@@ -1,0 +1,66 @@
+// E9 — the audio module (§3.7): mixing throughput vs active channel count.
+// The 2001 system leaned on DirectSound; the software mixer must hold many
+// times realtime so audio never constrains the simulator's frame budget.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "audio/mixer.hpp"
+
+namespace {
+
+using namespace cod::audio;
+
+void BM_MixChannels(benchmark::State& state) {
+  const int channels = static_cast<int>(state.range(0));
+  Mixer m(48000);
+  auto loop = std::make_shared<PcmBuffer>(makeEngineLoop(48000, 900, 1.0, 2));
+  for (int i = 0; i < channels; ++i)
+    m.play(loop, 0.5, /*loop=*/true, 1.0 + 0.01 * i);
+  std::vector<float> out;
+  constexpr std::size_t kFrames = 960;  // 20 ms blocks
+  for (auto _ : state) {
+    m.mix(out, kFrames);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["xRealtime"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kFrames / 48000.0,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_EnginePitchTracking(benchmark::State& state) {
+  AudioEngine e;
+  e.setBackground(true);
+  e.setEngine(true, 900.0);
+  double rpm = 900.0;
+  std::vector<float> out;
+  for (auto _ : state) {
+    rpm = 900.0 + 800.0 * std::abs(std::sin(rpm));
+    e.setEngine(true, rpm);
+    out = e.pump(0.02);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_CollisionEventBurst(benchmark::State& state) {
+  AudioEngine e;
+  for (auto _ : state) {
+    e.playEvent("collision", 1.0);
+    benchmark::DoNotOptimize(e.pump(0.02));
+  }
+}
+
+void BM_ProceduralGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(makeCollisionBurst(48000, 0.6, seed++));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MixChannels)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_EnginePitchTracking);
+BENCHMARK(BM_CollisionEventBurst);
+BENCHMARK(BM_ProceduralGeneration);

@@ -1,0 +1,141 @@
+// E3 — Communication Backbone routing (Figs. 1 & 2): cost of pushing an
+// attribute update through a virtual channel, for the same-computer fast
+// path vs the cross-host path, plus codec microbenchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.hpp"
+#include "core/protocol.hpp"
+
+namespace {
+
+using namespace cod;
+
+class NullLp : public core::LogicalProcess {
+ public:
+  NullLp() : core::LogicalProcess("lp") {}
+  std::uint64_t received = 0;
+  void reflectAttributeValues(const std::string&, const core::AttributeSet&,
+                              double) override {
+    ++received;
+  }
+};
+
+core::AttributeSet sampleAttrs() {
+  core::AttributeSet a;
+  a.set("carrierPos", math::Vec3{1, 2, 3});
+  a.set("heading", 0.5);
+  a.set("speed", 3.2);
+  a.set("slew", -0.2);
+  a.set("boomPitch", 0.8);
+  a.set("cableLen", 6.0);
+  a.set("engineOn", true);
+  a.set("alarms", std::int64_t{0});
+  return a;
+}
+
+/// Local fast path: publisher and subscriber on one CB.
+void BM_LocalFastPathUpdate(benchmark::State& state) {
+  core::CodCluster cluster;
+  auto& cb = cluster.addComputer("onebox");
+  NullLp pub, sub;
+  cb.attach(pub);
+  cb.attach(sub);
+  const auto h = cb.publishObjectClass(pub, "bench.data");
+  cb.subscribeObjectClass(sub, "bench.data");
+  const core::AttributeSet attrs = sampleAttrs();
+  double t = 0.0;
+  for (auto _ : state) {
+    cb.updateAttributeValues(h, attrs, t);
+    cb.tick(t);
+    t += 1e-4;
+  }
+  state.counters["delivered"] = static_cast<double>(sub.received);
+}
+
+/// Cross-host path: update serialized, sent over the simulated LAN,
+/// decoded and delivered on the far CB.
+void BM_CrossHostUpdate(benchmark::State& state) {
+  core::CodCluster cluster;
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  NullLp pub, sub;
+  cbA.attach(pub);
+  cbB.attach(sub);
+  const auto h = cbA.publishObjectClass(pub, "bench.data");
+  const auto s = cbB.subscribeObjectClass(sub, "bench.data");
+  cluster.runUntil([&] { return cbB.connected(s); }, 5.0);
+  const core::AttributeSet attrs = sampleAttrs();
+  for (auto _ : state) {
+    cbA.updateAttributeValues(h, attrs, cluster.now());
+    cluster.step(0.001);  // latency 200 us: delivered within one slice
+  }
+  state.counters["delivered"] = static_cast<double>(sub.received);
+}
+
+/// Fan-out: one publisher, N subscribing computers.
+void BM_FanOutUpdate(benchmark::State& state) {
+  const int fan = static_cast<int>(state.range(0));
+  core::CodCluster cluster;
+  auto& cbA = cluster.addComputer("pub");
+  NullLp pub;
+  cbA.attach(pub);
+  const auto h = cbA.publishObjectClass(pub, "bench.data");
+  std::vector<std::unique_ptr<NullLp>> subs;
+  std::vector<core::SubscriptionHandle> handles;
+  for (int i = 0; i < fan; ++i) {
+    auto& cb = cluster.addComputer("sub" + std::to_string(i));
+    subs.push_back(std::make_unique<NullLp>());
+    cb.attach(*subs.back());
+    handles.push_back(cb.subscribeObjectClass(*subs.back(), "bench.data"));
+  }
+  cluster.runUntil(
+      [&] {
+        for (std::size_t i = 0; i < handles.size(); ++i)
+          if (!cluster.cb(i + 1).connected(handles[i])) return false;
+        return true;
+      },
+      10.0);
+  const core::AttributeSet attrs = sampleAttrs();
+  for (auto _ : state) {
+    cbA.updateAttributeValues(h, attrs, cluster.now());
+    cluster.step(0.001);
+  }
+  state.counters["fan"] = fan;
+}
+
+void BM_EncodeUpdateMsg(benchmark::State& state) {
+  const core::AttributeSet attrs = sampleAttrs();
+  core::UpdateMsg msg;
+  msg.channelId = 7;
+  msg.timestamp = 1.5;
+  msg.payload = attrs.encode();
+  for (auto _ : state) {
+    ++msg.seq;
+    benchmark::DoNotOptimize(core::encode(msg));
+  }
+}
+
+void BM_DecodeUpdateMsg(benchmark::State& state) {
+  const core::AttributeSet attrs = sampleAttrs();
+  core::UpdateMsg msg;
+  msg.channelId = 7;
+  msg.seq = 1;
+  msg.timestamp = 1.5;
+  msg.payload = attrs.encode();
+  const auto bytes = core::encode(msg);
+  for (auto _ : state) {
+    auto decoded = core::decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+    auto set = core::AttributeSet::decode(decoded->update.payload);
+    benchmark::DoNotOptimize(set);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LocalFastPathUpdate);
+BENCHMARK(BM_CrossHostUpdate);
+BENCHMARK(BM_FanOutUpdate)->Arg(1)->Arg(2)->Arg(4)->Arg(7);
+BENCHMARK(BM_EncodeUpdateMsg);
+BENCHMARK(BM_DecodeUpdateMsg);

@@ -1,0 +1,85 @@
+// E6 — multi-level collision detection (§3.6, after Moore & Wilhelms):
+// query cost of the three-level pruning pipeline vs the naive all-pairs
+// all-triangles baseline, swept over the obstacle count.
+
+#include <benchmark/benchmark.h>
+
+#include "collision/world.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using namespace cod;
+using collision::Shape;
+using collision::World;
+using math::Mat4;
+
+/// A construction-site-like scene: n objects spread over the ground, a few
+/// clusters close enough to collide.
+World makeScene(int n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  World w(8.0);
+  for (int i = 0; i < n; ++i) {
+    const math::Vec3 pos{rng.uniform(0, 80), rng.uniform(0, 80),
+                         rng.uniform(0, 3)};
+    const math::Quat q =
+        math::Quat::fromAxisAngle({0, 0, 1}, rng.uniform(0, 3.14));
+    if (rng.chance(0.3)) {
+      w.add("bar", Shape::cylinder(0.06, 4.0, 8), Mat4::rigid(q, pos));
+    } else {
+      w.add("box",
+            Shape::box({rng.uniform(0.5, 2.5), rng.uniform(0.5, 2.5),
+                        rng.uniform(0.5, 2.5)}),
+            Mat4::rigid(q, pos));
+    }
+  }
+  return w;
+}
+
+void BM_MultiLevelQuery(benchmark::State& state) {
+  World w = makeScene(static_cast<int>(state.range(0)), 11);
+  collision::QueryStats stats;
+  for (auto _ : state) {
+    stats.reset();
+    benchmark::DoNotOptimize(w.query(&stats));
+  }
+  state.counters["triTests"] = static_cast<double>(stats.triangleTests);
+  state.counters["sphereRejects"] = static_cast<double>(stats.sphereRejects);
+  state.counters["contacts"] = static_cast<double>(stats.contacts);
+}
+
+void BM_NaiveQuery(benchmark::State& state) {
+  World w = makeScene(static_cast<int>(state.range(0)), 11);
+  collision::QueryStats stats;
+  for (auto _ : state) {
+    stats.reset();
+    benchmark::DoNotOptimize(w.queryNaive(&stats));
+  }
+  state.counters["triTests"] = static_cast<double>(stats.triangleTests);
+  state.counters["contacts"] = static_cast<double>(stats.contacts);
+}
+
+/// The simulator's actual per-step query: one moving cargo against the
+/// course bars (queryOne), at 50 Hz this must be trivially cheap.
+void BM_CargoAgainstBars(benchmark::State& state) {
+  World w(8.0);
+  for (int i = 0; i < 3; ++i) {
+    w.add("bar", Shape::cylinder(0.06, 4.0, 8),
+          Mat4::translation({5.0 * i, 0, 1.3}));
+  }
+  const auto cargo =
+      w.add("cargo", Shape::box({1, 1, 1}), Mat4::translation({0, 0, 1.2}));
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.01;
+    if (x > 10.0) x = 0.0;
+    w.setTransform(cargo, Mat4::translation({x, 0, 1.2}));
+    benchmark::DoNotOptimize(w.queryOne(cargo));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MultiLevelQuery)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_NaiveQuery)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_CargoAgainstBars);

@@ -1,0 +1,132 @@
+// E7 — the dynamics module (§3.6): step cost of each physical model and of
+// the full 50 Hz substep, plus the inertia-oscillation settle time the
+// paper describes ("the cable is oscillated until a full stop").
+
+#include <benchmark/benchmark.h>
+
+#include "crane/dynamics.hpp"
+#include "crane/safety.hpp"
+#include "physics/pendulum.hpp"
+#include "physics/terrain.hpp"
+#include "physics/vehicle.hpp"
+
+namespace {
+
+using namespace cod;
+
+void BM_PendulumStep(benchmark::State& state) {
+  physics::CablePendulum p;
+  p.reset({0, 0, 10}, 6.0);
+  p.setPivot({0.5, 0, 10});  // keep it swinging
+  for (auto _ : state) {
+    p.step(0.02);
+    benchmark::DoNotOptimize(p.bobPosition());
+  }
+}
+
+void BM_VehicleStep(benchmark::State& state) {
+  physics::Terrain terrain = physics::Terrain::rolling(141, 91, 1.0, 0.4, 3);
+  physics::Vehicle v;
+  v.setPosition({50, 50}, 0.3);
+  physics::VehicleInput in;
+  in.throttle = 0.7;
+  in.steer = 0.1;
+  for (auto _ : state) {
+    v.step(in, terrain, 0.02);
+    benchmark::DoNotOptimize(v.position3());
+  }
+}
+
+void BM_TerrainFollow(benchmark::State& state) {
+  physics::Terrain terrain = physics::Terrain::rolling(141, 91, 1.0, 0.4, 3);
+  double x = 10.0;
+  for (auto _ : state) {
+    x += 0.01;
+    if (x > 120.0) x = 10.0;
+    benchmark::DoNotOptimize(terrain.follow({x, 45.0}, 0.3, 4.5, 2.5));
+  }
+}
+
+void BM_CraneJointStep(benchmark::State& state) {
+  crane::CraneJointDynamics dyn;
+  crane::CraneState s;
+  s.engineOn = true;
+  crane::CraneControls c;
+  c.joystickSlew = 0.5;
+  c.joystickLuff = -0.2;
+  c.joystickTelescope = 0.3;
+  c.joystickHoist = 0.4;
+  for (auto _ : state) {
+    dyn.step(s, c, 0.02);
+    benchmark::DoNotOptimize(s.slewAngleRad);
+  }
+}
+
+/// Everything the dynamics module integrates per 20 ms substep.
+void BM_FullSubstep(benchmark::State& state) {
+  physics::Terrain terrain = physics::Terrain::rolling(141, 91, 1.0, 0.4, 3);
+  physics::Vehicle v;
+  v.setPosition({50, 50}, 0.0);
+  crane::CraneJointDynamics joints;
+  crane::EngineModel engine;
+  crane::CraneKinematics kin;
+  crane::SafetyEnvelope safety;
+  physics::CablePendulum pendulum;
+  crane::CraneState s;
+  crane::CraneControls c;
+  c.ignition = true;
+  c.throttle = 0.5;
+  c.joystickSlew = 0.3;
+  pendulum.reset(kin.boomTip(s), s.cableLengthM);
+  physics::VehicleInput vin;
+  vin.throttle = 0.5;
+  for (auto _ : state) {
+    engine.step(true, 0.5, 0.02);
+    s.engineOn = engine.on();
+    v.step(vin, terrain, 0.02);
+    s.carrierPosition = v.position3();
+    s.carrierHeadingRad = v.heading();
+    joints.step(s, c, 0.02);
+    pendulum.setPivot(kin.boomTip(s));
+    pendulum.setLength(s.cableLengthM);
+    pendulum.step(0.02);
+    benchmark::DoNotOptimize(safety.assess(s, kin, v.rolloverIndex()));
+  }
+  // Realtime headroom: substeps of 20 ms simulated per wall second.
+  state.counters["xRealtime"] = benchmark::Counter(
+      0.02 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+/// Settle time of the inertia oscillation after the boom stops, vs damping.
+void BM_OscillationSettle(benchmark::State& state) {
+  const double damping = static_cast<double>(state.range(0)) / 100.0;
+  double settleSec = 0.0;
+  for (auto _ : state) {
+    physics::CableParams params;
+    params.dampingRate = damping;
+    physics::CablePendulum p(params);
+    p.reset({0, 0, 10}, 6.0);
+    for (int i = 0; i < 100; ++i) {  // boom slews, then stops
+      p.setPivot({0.03 * i, 0, 10});
+      p.step(0.02);
+    }
+    int steps = 0;
+    while (!p.atRest() && steps < 100000) {
+      p.step(0.02);
+      ++steps;
+    }
+    settleSec = steps * 0.02;
+    benchmark::DoNotOptimize(settleSec);
+  }
+  state.counters["settleSec"] = settleSec;
+}
+
+}  // namespace
+
+BENCHMARK(BM_PendulumStep);
+BENCHMARK(BM_VehicleStep);
+BENCHMARK(BM_TerrainFollow);
+BENCHMARK(BM_CraneJointStep);
+BENCHMARK(BM_FullSubstep);
+BENCHMARK(BM_OscillationSettle)->Arg(6)->Arg(12)->Arg(25)->Arg(50);

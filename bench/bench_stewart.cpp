@@ -1,0 +1,115 @@
+// E8 — motion platform controller (§3.4): inverse-kinematics and motion-
+// cueing cost per tick, and the posture-interpolation smoothness that keeps
+// the platform in phase with the 16 fps visual display.
+
+#include <benchmark/benchmark.h>
+
+#include "platform/motion_cueing.hpp"
+#include "platform/stewart.hpp"
+
+namespace {
+
+using namespace cod;
+using platform::Pose;
+
+void BM_InverseKinematics(benchmark::State& state) {
+  const platform::StewartPlatform sp;
+  Pose p = sp.homePose();
+  double phase = 0.0;
+  for (auto _ : state) {
+    phase += 0.01;
+    p.position.z = sp.homePose().position.z + 0.1 * std::sin(phase);
+    p.orientation = math::Quat::fromEuler(0.05 * std::sin(phase * 1.3),
+                                          0.05 * std::cos(phase), 0.0);
+    benchmark::DoNotOptimize(sp.inverseKinematics(p));
+  }
+}
+
+void BM_ClampToWorkspace(benchmark::State& state) {
+  const platform::StewartPlatform sp;
+  Pose crazy = sp.homePose();
+  crazy.position.z += 2.0;
+  crazy.orientation = math::Quat::fromAxisAngle({1, 0, 0}, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sp.clampToWorkspace(crazy));
+  }
+}
+
+void BM_InterpolatorAdvance(benchmark::State& state) {
+  platform::PoseInterpolator interp(Pose::identity());
+  Pose target;
+  target.position = {0.1, 0.05, 1.7};
+  interp.setTarget(target, 1.0 / 16.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.advance(0.005));
+  }
+}
+
+/// Full controller tick: washout map → clamp → interpolate → IK → vibration.
+void BM_FullControllerTick(benchmark::State& state) {
+  const platform::StewartPlatform sp;
+  platform::WashoutFilter washout;
+  platform::PoseInterpolator interp(sp.homePose());
+  platform::VibrationGenerator vib(0.004, 14.0, 5);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.005;
+    Pose target = washout.map(sp.homePose(), 0.05 * std::sin(t),
+                              0.03 * std::cos(t), std::sin(t * 0.3), 0.2,
+                              0.005);
+    if (!sp.reachable(target)) target = sp.clampToWorkspace(target);
+    interp.setTarget(target, 1.0 / 16.0);
+    Pose pose = interp.advance(0.005);
+    pose.position.z += vib.sample(0.005);
+    benchmark::DoNotOptimize(sp.inverseKinematics(pose));
+  }
+  state.counters["xRealtime"] = benchmark::Counter(
+      0.005 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+/// Smoothness (§3.4): worst single-tick leg step while chasing a rough
+/// carrier pose at the display frequency. Reported as a counter (metres).
+void BM_PostureSmoothness(benchmark::State& state) {
+  const double frameInterval = 1.0 / static_cast<double>(state.range(0));
+  double worst = 0.0;
+  for (auto _ : state) {
+    const platform::StewartPlatform sp;
+    platform::PoseInterpolator interp(sp.homePose());
+    std::array<double, 6> last{};
+    bool haveLast = false;
+    worst = 0.0;
+    double t = 0.0;
+    double nextFrame = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+      t += 0.005;
+      if (t >= nextFrame) {
+        nextFrame = t + frameInterval;
+        Pose target = sp.homePose();
+        target.position.z += 0.08 * std::sin(t * 2.0);
+        target.orientation =
+            math::Quat::fromEuler(0.1 * std::sin(t * 1.7), 0.1 * std::cos(t),
+                                  0.0);
+        interp.setTarget(target, frameInterval);
+      }
+      const Pose pose = interp.advance(0.005);
+      const auto sol = sp.inverseKinematics(pose);
+      if (haveLast) {
+        for (int leg = 0; leg < 6; ++leg)
+          worst = std::max(worst, std::abs(sol.lengths[leg] - last[leg]));
+      }
+      last = sol.lengths;
+      haveLast = true;
+    }
+    benchmark::DoNotOptimize(worst);
+  }
+  state.counters["maxLegStepMm"] = worst * 1e3;
+}
+
+}  // namespace
+
+BENCHMARK(BM_InverseKinematics);
+BENCHMARK(BM_ClampToWorkspace);
+BENCHMARK(BM_InterpolatorAdvance);
+BENCHMARK(BM_FullControllerTick);
+BENCHMARK(BM_PostureSmoothness)->Arg(8)->Arg(16)->Arg(30);

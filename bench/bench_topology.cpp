@@ -1,0 +1,158 @@
+// E5 — fully distributed vs server/client (§1): the paper chose the fully
+// distributed topology for COD. This bench measures what that choice buys:
+// a CB virtual channel delivers in one LAN hop; a central broker needs two
+// (client → broker → client) and concentrates every update on one host.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/broker.hpp"
+#include "core/cluster.hpp"
+
+using namespace cod;
+
+namespace {
+
+class Lp : public core::LogicalProcess {
+ public:
+  Lp() : core::LogicalProcess("lp") {}
+};
+
+/// Virtual latency of one update, CB mesh (publisher → subscriber direct).
+double cbLatency(core::CodCluster& cluster, core::CommunicationBackbone& cbA,
+                 core::PublicationHandle h, core::CommunicationBackbone& cbB,
+                 core::SubscriptionHandle s, int iters) {
+  double total = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    core::AttributeSet a;
+    a.set("i", i);
+    const double t0 = cluster.now();
+    cbA.updateAttributeValues(h, a, t0);
+    cluster.runUntil(
+        [&] {
+          const core::Reflection* r = cbB.latest(s);
+          return r != nullptr && r->attrs.getInt("i") == i;
+        },
+        t0 + 1.0);
+    total += cluster.now() - t0;
+  }
+  return total / iters;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: fully distributed (CB mesh) vs server/client (broker)\n\n");
+  const double fineTick = 0.0001;  // resolve sub-millisecond protocol time
+
+  // --- CB mesh ------------------------------------------------------------
+  double meshLatency;
+  {
+    core::CodCluster::Config cfg;
+    cfg.tickIntervalSec = fineTick;
+    core::CodCluster cluster(cfg);
+    auto& cbA = cluster.addComputer("a");
+    auto& cbB = cluster.addComputer("b");
+    Lp pub, sub;
+    cbA.attach(pub);
+    cbB.attach(sub);
+    const auto h = cbA.publishObjectClass(pub, "t");
+    const auto s = cbB.subscribeObjectClass(sub, "t");
+    cluster.runUntil([&] { return cbB.connected(s); }, 5.0);
+    meshLatency = cbLatency(cluster, cbA, h, cbB, s, 200);
+  }
+
+  // --- Broker -------------------------------------------------------------
+  double brokerLatency;
+  {
+    net::SimNetwork net(5);
+    const auto hS = net.addHost("server");
+    const auto hP = net.addHost("pub");
+    const auto hC = net.addHost("sub");
+    core::BrokerServer server(net.bind(hS, 1));
+    core::BrokerClient pub(net.bind(hP, 1), {hS, 1});
+    core::BrokerClient sub(net.bind(hC, 1), {hS, 1});
+    sub.subscribe("t");
+    for (int i = 0; i < 100; ++i) {
+      net.advance(0.001);
+      server.tick(net.now());
+      sub.tick(net.now());
+    }
+    double total = 0.0;
+    const int iters = 200;
+    for (int i = 0; i < iters; ++i) {
+      core::AttributeSet a;
+      a.set("i", i);
+      const double t0 = net.now();
+      pub.update("t", a, t0);
+      bool got = false;
+      while (!got && net.now() < t0 + 1.0) {
+        net.advance(fineTick);
+        server.tick(net.now());
+        sub.tick(net.now());
+        while (auto d = sub.poll()) {
+          if (d->attrs.getInt("i") == i) got = true;
+        }
+      }
+      total += net.now() - t0;
+    }
+    brokerLatency = total / iters;
+  }
+
+  std::printf("%24s %16s\n", "topology", "latency (ms)");
+  std::printf("%24s %16.3f\n", "CB mesh (1 hop)", 1e3 * meshLatency);
+  std::printf("%24s %16.3f\n", "broker (2 hops)", 1e3 * brokerLatency);
+  std::printf("\nbroker/mesh latency ratio: %.2fx (expect ~2x: one extra "
+              "LAN hop)\n\n",
+              brokerLatency / meshLatency);
+
+  // --- Load concentration: packets handled per host, 4 pubs × 4 subs -----
+  std::printf("load concentration with 4 publishers x 4 subscribers:\n");
+  {
+    core::CodCluster cluster;
+    std::vector<std::unique_ptr<Lp>> lps;
+    std::vector<core::PublicationHandle> pubs;
+    std::vector<core::SubscriptionHandle> subHandles;
+    for (int i = 0; i < 4; ++i) {
+      auto& cb = cluster.addComputer("pub" + std::to_string(i));
+      lps.push_back(std::make_unique<Lp>());
+      cb.attach(*lps.back());
+      pubs.push_back(cb.publishObjectClass(*lps.back(), "load"));
+    }
+    for (int i = 0; i < 4; ++i) {
+      auto& cb = cluster.addComputer("sub" + std::to_string(i));
+      lps.push_back(std::make_unique<Lp>());
+      cb.attach(*lps.back());
+      subHandles.push_back(cb.subscribeObjectClass(*lps.back(), "load"));
+    }
+    cluster.runUntil(
+        [&] {
+          for (int i = 0; i < 4; ++i)
+            if (cluster.cb(4 + i).sourceCount(subHandles[i]) < 4) return false;
+          return true;
+        },
+        10.0);
+    core::AttributeSet a;
+    a.set("x", 1.0);
+    for (int round = 0; round < 100; ++round) {
+      for (int i = 0; i < 4; ++i)
+        cluster.cb(i).updateAttributeValues(pubs[i], a, cluster.now());
+      cluster.step(0.005);
+    }
+    std::uint64_t maxSent = 0, totalSent = 0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const auto sent = cluster.cb(i).stats().updatesSent;
+      maxSent = std::max(maxSent, sent);
+      totalSent += sent;
+    }
+    std::printf("  mesh: %llu updates total, busiest host sent %llu "
+                "(%.0f%% of traffic)\n",
+                static_cast<unsigned long long>(totalSent),
+                static_cast<unsigned long long>(maxSent),
+                100.0 * maxSent / totalSent);
+    std::printf("  broker: by construction 100%% of relayed traffic passes "
+                "the server host\n");
+  }
+  return 0;
+}

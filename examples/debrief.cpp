@@ -1,0 +1,74 @@
+// Debrief: record a training session, save the journal, then replay it
+// into a cluster that contains only the instructor monitor — no dynamics,
+// no trainee. The monitor cannot tell the difference: the replayer
+// publishes the same object classes the dynamics module did (§2.1
+// transparency).
+//
+//   $ ./debrief
+
+#include <cstdio>
+
+#include "sim/recorder.hpp"
+#include "sim/simulator_app.hpp"
+
+using namespace cod;
+
+int main() {
+  const char* journalPath = "training_session.codr";
+
+  // ---- 1. Live session with a recorder riding on the instructor's box.
+  std::printf("recording a live session...\n");
+  sim::CraneSimulatorApp::Config cfg;
+  cfg.course = scenario::compactCourse();
+  cfg.fbWidth = 32;
+  cfg.fbHeight = 24;
+  sim::CraneSimulatorApp app(cfg);
+  sim::SessionRecorder recorder(
+      {sim::kClassCraneState, sim::kClassScenarioStatus,
+       sim::kClassScenarioEvents});
+  recorder.bind(app.cluster().cb(7));  // instructor computer
+  app.waitUntilWired(10.0);
+  app.runExam(400.0);
+  const scenario::ScoreSheet& live = app.scenario().exam().score();
+  std::printf("  live result: %s, score %.1f, %.1fs, %zu updates journaled\n",
+              scenario::phaseName(live.phase), live.total, live.elapsedSec,
+              recorder.recording().size());
+
+  sim::Recording journal = recorder.takeRecording();
+  if (!journal.save(journalPath)) {
+    std::printf("  could not save %s\n", journalPath);
+    return 1;
+  }
+  std::printf("  journal saved to %s (%.1f s of telemetry)\n\n", journalPath,
+              journal.durationSec());
+
+  // ---- 2. Debrief: replay into an instructor-only cluster at 8x speed.
+  std::printf("replaying at 8x into an instructor-only cluster...\n");
+  const auto loaded = sim::Recording::load(journalPath);
+  if (!loaded) {
+    std::printf("  could not load %s\n", journalPath);
+    return 1;
+  }
+  core::CodCluster debrief;
+  auto& cbReplay = debrief.addComputer("replay-station");
+  auto& cbMonitor = debrief.addComputer("instructor");
+  sim::SessionReplayer replayer(*loaded, /*timeScale=*/8.0);
+  replayer.bind(cbReplay);
+  sim::InstructorModule monitor;
+  monitor.bind(cbMonitor);
+
+  double nextPrint = 0.0;
+  while (!replayer.finished() && debrief.now() < 120.0) {
+    debrief.step(0.5);
+    if (replayer.replayClockSec() >= nextPrint) {
+      nextPrint += 30.0;
+      std::printf("journal t=%.0fs:\n%s\n", replayer.replayClockSec(),
+                  monitor.statusWindow().renderText().c_str());
+    }
+  }
+  std::printf("replay done: monitor saw %llu state updates (live session "
+              "produced the journal's %zu records)\n",
+              static_cast<unsigned long long>(monitor.stateUpdatesSeen()),
+              loaded->size());
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "audio/mixer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::audio {
+
+Mixer::Mixer(int sampleRate) : rate_(sampleRate) {}
+
+ChannelId Mixer::play(std::shared_ptr<const PcmBuffer> buf, double gain,
+                      bool loop, double rate) {
+  if (!buf || buf->frames() == 0) return 0;
+  Channel ch;
+  ch.buf = std::move(buf);
+  ch.gain = gain;
+  ch.loop = loop;
+  ch.rate = std::max(0.01, rate);
+  const ChannelId id = nextId_++;
+  channels_.emplace(id, std::move(ch));
+  return id;
+}
+
+void Mixer::stop(ChannelId id) { channels_.erase(id); }
+
+void Mixer::setGain(ChannelId id, double gain) {
+  const auto it = channels_.find(id);
+  if (it != channels_.end()) it->second.gain = gain;
+}
+
+void Mixer::setRate(ChannelId id, double rate) {
+  const auto it = channels_.find(id);
+  if (it != channels_.end()) it->second.rate = std::max(0.01, rate);
+}
+
+bool Mixer::playing(ChannelId id) const { return channels_.contains(id); }
+
+std::size_t Mixer::activeChannels() const { return channels_.size(); }
+
+void Mixer::mix(std::vector<float>& out, std::size_t frames) {
+  out.assign(frames, 0.0f);
+  for (auto& [id, ch] : channels_) {
+    const std::size_t len = ch.buf->frames();
+    const double step =
+        ch.rate * ch.buf->sampleRate() / static_cast<double>(rate_);
+    for (std::size_t i = 0; i < frames; ++i) {
+      if (ch.done) break;
+      // Linear-interpolated resample.
+      const std::size_t i0 = static_cast<std::size_t>(ch.pos);
+      const double frac = ch.pos - static_cast<double>(i0);
+      const std::size_t i1 = i0 + 1 < len ? i0 + 1 : (ch.loop ? 0 : i0);
+      const double s = (1.0 - frac) * ch.buf->sample(i0) +
+                       frac * ch.buf->sample(i1);
+      out[i] += static_cast<float>(ch.gain * s);
+      ch.pos += step;
+      if (ch.pos >= static_cast<double>(len)) {
+        if (ch.loop) {
+          ch.pos = std::fmod(ch.pos, static_cast<double>(len));
+        } else {
+          ch.done = true;
+        }
+      }
+    }
+  }
+  std::erase_if(channels_, [](const auto& kv) { return kv.second.done; });
+  // Master gain + soft clip (tanh keeps summed channels inside [-1, 1]).
+  for (float& s : out)
+    s = static_cast<float>(std::tanh(master_ * static_cast<double>(s)));
+  framesMixed_ += frames;
+}
+
+AudioEngine::AudioEngine(int sampleRate, std::uint64_t seed)
+    : mixer_(sampleRate) {
+  // Built-in procedural bank; callers may override any entry.
+  registerSound("collision", std::make_shared<PcmBuffer>(makeCollisionBurst(
+                                 sampleRate, 0.6, seed ^ 0x1)));
+  registerSound("alarm", std::make_shared<PcmBuffer>(
+                             makeSine(sampleRate, 880.0, 0.4, 0.6)));
+  registerSound("engine", std::make_shared<PcmBuffer>(makeEngineLoop(
+                              sampleRate, engineBaseRpm_, 1.0, seed ^ 0x2)));
+  registerSound("background", std::make_shared<PcmBuffer>(makeNoise(
+                                  sampleRate, 1.0, 0.25, seed ^ 0x3)));
+}
+
+void AudioEngine::registerSound(const std::string& name,
+                                std::shared_ptr<const PcmBuffer> buf) {
+  sounds_[name] = std::move(buf);
+}
+
+bool AudioEngine::hasSound(const std::string& name) const {
+  return sounds_.contains(name);
+}
+
+std::optional<ChannelId> AudioEngine::playEvent(const std::string& name,
+                                                double gain) {
+  const auto it = sounds_.find(name);
+  if (it == sounds_.end()) return std::nullopt;
+  ++eventsPlayed_;
+  return mixer_.play(it->second, gain, /*loop=*/false);
+}
+
+void AudioEngine::setEngine(bool on, double rpm) {
+  if (!on) {
+    if (engineChannel_) {
+      mixer_.stop(*engineChannel_);
+      engineChannel_.reset();
+    }
+    return;
+  }
+  if (!engineChannel_) {
+    engineChannel_ = mixer_.play(sounds_.at("engine"), 0.8, /*loop=*/true);
+  }
+  // Pitch tracks RPM relative to the baked loop's base RPM.
+  mixer_.setRate(*engineChannel_, std::max(0.2, rpm / engineBaseRpm_));
+}
+
+void AudioEngine::setBackground(bool on, double gain) {
+  if (!on) {
+    if (backgroundChannel_) {
+      mixer_.stop(*backgroundChannel_);
+      backgroundChannel_.reset();
+    }
+    return;
+  }
+  if (!backgroundChannel_) {
+    backgroundChannel_ =
+        mixer_.play(sounds_.at("background"), gain, /*loop=*/true);
+  } else {
+    mixer_.setGain(*backgroundChannel_, gain);
+  }
+}
+
+std::vector<float> AudioEngine::pump(double dt) {
+  std::vector<float> out;
+  const auto frames =
+      static_cast<std::size_t>(std::max(0.0, dt) * mixer_.sampleRate());
+  mixer_.mix(out, frames);
+  return out;
+}
+
+}  // namespace cod::audio

@@ -1,0 +1,98 @@
+// Software mixing console + the audio module's engine (§3.7).
+//
+// The Mixer renders N channels (looping beds, one-shot effects, each with
+// its own gain and playback rate) into an output PCM block; AudioEngine
+// binds named sounds to simulator events (collision, engine ignition) the
+// audio LP receives over the CB.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "audio/pcm.hpp"
+
+namespace cod::audio {
+
+using ChannelId = std::uint32_t;
+
+class Mixer {
+ public:
+  explicit Mixer(int sampleRate = 48000);
+
+  int sampleRate() const { return rate_; }
+
+  /// Start playing a buffer. `rate` resamples (1.0 = native pitch).
+  ChannelId play(std::shared_ptr<const PcmBuffer> buf, double gain = 1.0,
+                 bool loop = false, double rate = 1.0);
+  void stop(ChannelId id);
+  void setGain(ChannelId id, double gain);
+  void setRate(ChannelId id, double rate);
+  bool playing(ChannelId id) const;
+  std::size_t activeChannels() const;
+
+  void setMasterGain(double g) { master_ = g; }
+
+  /// Mix the next `frames` samples into `out` (resized). Finished one-shot
+  /// channels free themselves. Output is soft-clipped to [-1, 1].
+  void mix(std::vector<float>& out, std::size_t frames);
+
+  std::uint64_t framesMixed() const { return framesMixed_; }
+
+ private:
+  struct Channel {
+    std::shared_ptr<const PcmBuffer> buf;
+    double pos = 0.0;   // fractional read cursor (frames)
+    double gain = 1.0;
+    double rate = 1.0;  // playback-rate ratio
+    bool loop = false;
+    bool done = false;
+  };
+
+  int rate_;
+  double master_ = 1.0;
+  std::map<ChannelId, Channel> channels_;
+  ChannelId nextId_ = 1;
+  std::uint64_t framesMixed_ = 0;
+};
+
+/// Event-driven audio engine: named sound registry + simulator bindings.
+class AudioEngine {
+ public:
+  explicit AudioEngine(int sampleRate = 48000, std::uint64_t seed = 99);
+
+  /// Register a sound under a name (replacing any previous one).
+  void registerSound(const std::string& name,
+                     std::shared_ptr<const PcmBuffer> buf);
+  bool hasSound(const std::string& name) const;
+
+  /// Fire a one-shot event sound ("collision", "alarm", ...). Returns the
+  /// channel, or nullopt if the name is unknown.
+  std::optional<ChannelId> playEvent(const std::string& name,
+                                     double gain = 1.0);
+
+  /// Engine loop follows ignition state and RPM (pitch via playback rate).
+  void setEngine(bool on, double rpm);
+  /// Looping background bed (construction-site noise).
+  void setBackground(bool on, double gain = 0.3);
+
+  Mixer& mixer() { return mixer_; }
+  const Mixer& mixer() const { return mixer_; }
+
+  /// Pump `dt` seconds of audio; returns the mixed block.
+  std::vector<float> pump(double dt);
+
+  std::uint64_t eventsPlayed() const { return eventsPlayed_; }
+
+ private:
+  Mixer mixer_;
+  std::map<std::string, std::shared_ptr<const PcmBuffer>> sounds_;
+  std::optional<ChannelId> engineChannel_;
+  std::optional<ChannelId> backgroundChannel_;
+  double engineBaseRpm_ = 900.0;
+  std::uint64_t eventsPlayed_ = 0;
+};
+
+}  // namespace cod::audio

@@ -1,0 +1,87 @@
+#include "audio/pcm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/vec.hpp"
+
+namespace cod::audio {
+
+PcmBuffer::PcmBuffer(int sampleRate, std::vector<float> samples)
+    : rate_(sampleRate), samples_(std::move(samples)) {
+  if (sampleRate <= 0) throw std::invalid_argument("PcmBuffer: bad rate");
+}
+
+float PcmBuffer::peak() const {
+  float p = 0.0f;
+  for (const float s : samples_) p = std::max(p, std::abs(s));
+  return p;
+}
+
+double PcmBuffer::rms() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const float s : samples_) acc += static_cast<double>(s) * s;
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+PcmBuffer makeSine(int sampleRate, double freqHz, double durationSec,
+                   double gain) {
+  const auto n = static_cast<std::size_t>(sampleRate * durationSec);
+  std::vector<float> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<float>(
+        gain * std::sin(2.0 * math::kPi * freqHz * i / sampleRate));
+  }
+  return {sampleRate, std::move(s)};
+}
+
+PcmBuffer makeNoise(int sampleRate, double durationSec, double gain,
+                    std::uint64_t seed) {
+  math::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(sampleRate * durationSec);
+  std::vector<float> s(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s[i] = static_cast<float>(gain * rng.uniform(-1.0, 1.0));
+  return {sampleRate, std::move(s)};
+}
+
+PcmBuffer makeEngineLoop(int sampleRate, double rpm, double durationSec,
+                         std::uint64_t seed) {
+  math::Rng rng(seed);
+  // Six-cylinder four-stroke firing frequency: rpm / 60 * cylinders / 2.
+  const double f0 = rpm / 60.0 * 3.0;
+  const auto n = static_cast<std::size_t>(sampleRate * durationSec);
+  std::vector<float> s(n);
+  double flutter = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sampleRate;
+    flutter += 0.001 * (rng.uniform(-1.0, 1.0) - flutter);
+    const double a = 1.0 + 2.0 * flutter;
+    double v = 0.5 * std::sin(2 * math::kPi * f0 * t) +
+               0.25 * std::sin(2 * math::kPi * 2 * f0 * t) +
+               0.12 * std::sin(2 * math::kPi * 3 * f0 * t) +
+               0.05 * rng.uniform(-1.0, 1.0);
+    s[i] = static_cast<float>(math::clamp(0.6 * a * v, -1.0, 1.0));
+  }
+  return {sampleRate, std::move(s)};
+}
+
+PcmBuffer makeCollisionBurst(int sampleRate, double durationSec,
+                             std::uint64_t seed) {
+  math::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(sampleRate * durationSec);
+  std::vector<float> s(n);
+  double lp = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / sampleRate;
+    const double env = std::exp(-9.0 * t);
+    lp += 0.35 * (rng.uniform(-1.0, 1.0) - lp);  // metallic-ish colour
+    const double ring = 0.4 * std::sin(2 * math::kPi * 640.0 * t) +
+                        0.25 * std::sin(2 * math::kPi * 1030.0 * t);
+    s[i] = static_cast<float>(math::clamp(env * (0.7 * lp + ring), -1.0, 1.0));
+  }
+  return {sampleRate, std::move(s)};
+}
+
+}  // namespace cod::audio

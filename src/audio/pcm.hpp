@@ -1,0 +1,55 @@
+// PCM sample buffers and procedural sound generators.
+//
+// Stands in for the DirectSound assets of the paper's audio module (§3.7):
+// static sounds (background noise) and dynamic effects (collision sounds,
+// motor working noise) are synthesized deterministically so tests can
+// assert on the mixed output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace cod::audio {
+
+/// Mono float PCM in [-1, 1].
+class PcmBuffer {
+ public:
+  PcmBuffer() = default;
+  PcmBuffer(int sampleRate, std::vector<float> samples);
+
+  int sampleRate() const { return rate_; }
+  std::size_t frames() const { return samples_.size(); }
+  double durationSec() const {
+    return rate_ > 0 ? static_cast<double>(samples_.size()) / rate_ : 0.0;
+  }
+  float sample(std::size_t i) const { return samples_[i]; }
+  const std::vector<float>& samples() const { return samples_; }
+
+  float peak() const;
+  double rms() const;
+
+ private:
+  int rate_ = 48000;
+  std::vector<float> samples_;
+};
+
+/// Pure tone.
+PcmBuffer makeSine(int sampleRate, double freqHz, double durationSec,
+                   double gain = 0.8);
+
+/// Seeded white noise (the "background noise" bed).
+PcmBuffer makeNoise(int sampleRate, double durationSec, double gain,
+                    std::uint64_t seed);
+
+/// Engine loop: fundamental + harmonics with a slow amplitude flutter.
+/// `rpm` maps to the firing frequency of a big diesel.
+PcmBuffer makeEngineLoop(int sampleRate, double rpm, double durationSec,
+                         std::uint64_t seed);
+
+/// Collision burst: exponentially decaying filtered noise "clang".
+PcmBuffer makeCollisionBurst(int sampleRate, double durationSec,
+                             std::uint64_t seed);
+
+}  // namespace cod::audio

@@ -1,0 +1,115 @@
+#include "collision/shape.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cod::collision {
+
+using math::Vec3;
+
+Shape::Shape(std::vector<Vec3> vertices,
+             std::vector<std::array<std::uint32_t, 3>> triangles)
+    : verts_(std::move(vertices)), tris_(std::move(triangles)) {
+  if (verts_.empty() || tris_.empty())
+    throw std::invalid_argument("Shape: empty mesh");
+  for (const auto& t : tris_)
+    for (const std::uint32_t i : t)
+      if (i >= verts_.size()) throw std::out_of_range("Shape: bad index");
+  sphere_ = math::Sphere::fromPoints(verts_);
+  aabb_ = math::Aabb::fromPoints(verts_);
+}
+
+std::shared_ptr<Shape> Shape::box(const Vec3& size) {
+  const Vec3 h = size * 0.5;
+  std::vector<Vec3> v = {
+      {-h.x, -h.y, -h.z}, {h.x, -h.y, -h.z}, {h.x, h.y, -h.z},
+      {-h.x, h.y, -h.z},  {-h.x, -h.y, h.z}, {h.x, -h.y, h.z},
+      {h.x, h.y, h.z},    {-h.x, h.y, h.z}};
+  std::vector<std::array<std::uint32_t, 3>> t = {
+      {0, 2, 1}, {0, 3, 2},  // bottom
+      {4, 5, 6}, {4, 6, 7},  // top
+      {0, 1, 5}, {0, 5, 4},  // -y
+      {2, 3, 7}, {2, 7, 6},  // +y
+      {1, 2, 6}, {1, 6, 5},  // +x
+      {3, 0, 4}, {3, 4, 7},  // -x
+  };
+  return std::make_shared<Shape>(std::move(v), std::move(t));
+}
+
+std::shared_ptr<Shape> Shape::cylinder(double radius, double height,
+                                       int segments) {
+  if (segments < 3) throw std::invalid_argument("Shape::cylinder: segments<3");
+  std::vector<Vec3> v;
+  const double h = height * 0.5;
+  for (int i = 0; i < segments; ++i) {
+    const double a = 2.0 * math::kPi * i / segments;
+    v.push_back({radius * std::cos(a), radius * std::sin(a), -h});
+    v.push_back({radius * std::cos(a), radius * std::sin(a), h});
+  }
+  const std::uint32_t bottomCenter = static_cast<std::uint32_t>(v.size());
+  v.push_back({0, 0, -h});
+  const std::uint32_t topCenter = static_cast<std::uint32_t>(v.size());
+  v.push_back({0, 0, h});
+  std::vector<std::array<std::uint32_t, 3>> t;
+  for (int i = 0; i < segments; ++i) {
+    const std::uint32_t b0 = static_cast<std::uint32_t>(2 * i);
+    const std::uint32_t t0 = b0 + 1;
+    const std::uint32_t b1 =
+        static_cast<std::uint32_t>(2 * ((i + 1) % segments));
+    const std::uint32_t t1 = b1 + 1;
+    t.push_back({b0, b1, t1});  // side
+    t.push_back({b0, t1, t0});
+    t.push_back({bottomCenter, b1, b0});  // bottom cap
+    t.push_back({topCenter, t0, t1});     // top cap
+  }
+  return std::make_shared<Shape>(std::move(v), std::move(t));
+}
+
+math::Triangle Shape::triangle(std::size_t i) const {
+  const auto& t = tris_.at(i);
+  return {verts_[t[0]], verts_[t[1]], verts_[t[2]]};
+}
+
+Object::Object(std::uint32_t id, std::string name, std::shared_ptr<Shape> shape,
+               const math::Mat4& transform)
+    : id_(id), name_(std::move(name)), shape_(std::move(shape)) {
+  if (!shape_) throw std::invalid_argument("Object: null shape");
+  setTransform(transform);
+}
+
+void Object::setTransform(const math::Mat4& t) {
+  transform_ = t;
+  trisDirty_ = true;
+  // Level-1 volume: transform the local sphere centre; a rigid transform
+  // preserves the radius.
+  worldSphere_.center = t.transformPoint(shape_->localSphere().center);
+  worldSphere_.radius = shape_->localSphere().radius;
+  // Level-2 volume: world AABB of the transformed local AABB corners.
+  const math::Aabb& lb = shape_->localAabb();
+  worldAabb_ = {};
+  for (int cx = 0; cx < 2; ++cx)
+    for (int cy = 0; cy < 2; ++cy)
+      for (int cz = 0; cz < 2; ++cz) {
+        const math::Vec3 corner{cx != 0 ? lb.hi.x : lb.lo.x,
+                                cy != 0 ? lb.hi.y : lb.lo.y,
+                                cz != 0 ? lb.hi.z : lb.lo.z};
+        worldAabb_.expand(t.transformPoint(corner));
+      }
+}
+
+const std::vector<math::Triangle>& Object::worldTriangles() const {
+  if (trisDirty_) {
+    worldTris_.clear();
+    worldTris_.reserve(shape_->triangleCount());
+    for (std::size_t i = 0; i < shape_->triangleCount(); ++i) {
+      const math::Triangle local = shape_->triangle(i);
+      worldTris_.push_back({transform_.transformPoint(local.a),
+                            transform_.transformPoint(local.b),
+                            transform_.transformPoint(local.c)});
+    }
+    trisDirty_ = false;
+  }
+  return worldTris_;
+}
+
+}  // namespace cod::collision

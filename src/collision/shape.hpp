@@ -1,0 +1,77 @@
+// Triangle-mesh collision shapes and world-space collision objects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/geometry.hpp"
+#include "math/mat.hpp"
+
+namespace cod::collision {
+
+/// An immutable triangle mesh in local space, with precomputed local
+/// bounding volumes (the first two levels of the multi-level test).
+class Shape {
+ public:
+  Shape(std::vector<math::Vec3> vertices,
+        std::vector<std::array<std::uint32_t, 3>> triangles);
+
+  /// Axis-aligned box of full extents `size` centred at the origin.
+  static std::shared_ptr<Shape> box(const math::Vec3& size);
+  /// Upright cylinder (z axis), radius/height, `segments` sides — the
+  /// course "bars" and cargo drum.
+  static std::shared_ptr<Shape> cylinder(double radius, double height,
+                                         int segments = 12);
+
+  const std::vector<math::Vec3>& vertices() const { return verts_; }
+  const std::vector<std::array<std::uint32_t, 3>>& triangles() const {
+    return tris_;
+  }
+  std::size_t triangleCount() const { return tris_.size(); }
+  math::Triangle triangle(std::size_t i) const;
+
+  const math::Sphere& localSphere() const { return sphere_; }
+  const math::Aabb& localAabb() const { return aabb_; }
+
+ private:
+  std::vector<math::Vec3> verts_;
+  std::vector<std::array<std::uint32_t, 3>> tris_;
+  math::Sphere sphere_;
+  math::Aabb aabb_;
+};
+
+/// A shape instanced into the world at a rigid pose.
+class Object {
+ public:
+  Object(std::uint32_t id, std::string name, std::shared_ptr<Shape> shape,
+         const math::Mat4& transform);
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Shape& shape() const { return *shape_; }
+
+  void setTransform(const math::Mat4& t);
+  const math::Mat4& transform() const { return transform_; }
+
+  /// World-space bounding volumes (levels 1 and 2).
+  const math::Sphere& worldSphere() const { return worldSphere_; }
+  const math::Aabb& worldAabb() const { return worldAabb_; }
+
+  /// World-space triangles, recomputed lazily after transform changes.
+  const std::vector<math::Triangle>& worldTriangles() const;
+
+ private:
+  std::uint32_t id_;
+  std::string name_;
+  std::shared_ptr<Shape> shape_;
+  math::Mat4 transform_;
+  math::Sphere worldSphere_;
+  math::Aabb worldAabb_;
+  mutable std::vector<math::Triangle> worldTris_;
+  mutable bool trisDirty_ = true;
+};
+
+}  // namespace cod::collision

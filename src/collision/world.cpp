@@ -1,0 +1,159 @@
+#include "collision/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace cod::collision {
+
+World::World(double broadphaseCellSize) : cellSize_(broadphaseCellSize) {}
+
+std::uint32_t World::add(const std::string& name, std::shared_ptr<Shape> shape,
+                         const math::Mat4& transform) {
+  const std::uint32_t id = nextId_++;
+  objects_.push_back(
+      std::make_unique<Object>(id, name, std::move(shape), transform));
+  return id;
+}
+
+void World::remove(std::uint32_t id) {
+  objects_.erase(std::remove_if(objects_.begin(), objects_.end(),
+                                [&](const auto& o) { return o->id() == id; }),
+                 objects_.end());
+}
+
+void World::setTransform(std::uint32_t id, const math::Mat4& t) {
+  if (Object* o = find(id)) o->setTransform(t);
+}
+
+Object* World::find(std::uint32_t id) {
+  for (auto& o : objects_)
+    if (o->id() == id) return o.get();
+  return nullptr;
+}
+
+const Object* World::find(std::uint32_t id) const {
+  for (const auto& o : objects_)
+    if (o->id() == id) return o.get();
+  return nullptr;
+}
+
+std::optional<Contact> World::testPair(const Object& a, const Object& b,
+                                       QueryStats* stats) {
+  QueryStats local;
+  QueryStats& s = stats != nullptr ? *stats : local;
+  ++s.pairsConsidered;
+  // Level 1: bounding spheres.
+  ++s.sphereTests;
+  if (!a.worldSphere().overlaps(b.worldSphere())) {
+    ++s.sphereRejects;
+    return std::nullopt;
+  }
+  // Level 2: world AABBs.
+  ++s.aabbTests;
+  if (!a.worldAabb().overlaps(b.worldAabb())) {
+    ++s.aabbRejects;
+    return std::nullopt;
+  }
+  // Level 3: exact triangle pairs (prefiltered by triangle AABB overlap of
+  // the pair's intersection volume).
+  math::Aabb overlap;
+  overlap.lo = a.worldAabb().lo.cwiseMax(b.worldAabb().lo);
+  overlap.hi = a.worldAabb().hi.cwiseMin(b.worldAabb().hi);
+  for (const math::Triangle& ta : a.worldTriangles()) {
+    if (!ta.bounds().overlaps(overlap)) continue;
+    for (const math::Triangle& tb : b.worldTriangles()) {
+      if (!tb.bounds().overlaps(overlap)) continue;
+      ++s.triangleTests;
+      if (math::triTriIntersect(ta, tb)) {
+        ++s.contacts;
+        return Contact{a.id(), b.id(),
+                       (ta.centroid() + tb.centroid()) * 0.5};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> World::broadphasePairs()
+    const {
+  // Uniform grid over world AABBs: objects sharing a cell become candidate
+  // pairs. Deduplicated via a set (object counts here are hundreds, not
+  // millions).
+  std::map<std::tuple<int, int, int>, std::vector<std::size_t>> grid;
+  const double inv = 1.0 / cellSize_;
+  for (std::size_t idx = 0; idx < objects_.size(); ++idx) {
+    const math::Aabb& box = objects_[idx]->worldAabb();
+    const int x0 = static_cast<int>(std::floor(box.lo.x * inv));
+    const int x1 = static_cast<int>(std::floor(box.hi.x * inv));
+    const int y0 = static_cast<int>(std::floor(box.lo.y * inv));
+    const int y1 = static_cast<int>(std::floor(box.hi.y * inv));
+    const int z0 = static_cast<int>(std::floor(box.lo.z * inv));
+    const int z1 = static_cast<int>(std::floor(box.hi.z * inv));
+    for (int x = x0; x <= x1; ++x)
+      for (int y = y0; y <= y1; ++y)
+        for (int z = z0; z <= z1; ++z) grid[{x, y, z}].push_back(idx);
+  }
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& [cell, members] : grid) {
+    for (std::size_t i = 0; i < members.size(); ++i)
+      for (std::size_t j = i + 1; j < members.size(); ++j)
+        pairs.insert(std::minmax(members[i], members[j]));
+  }
+  return {pairs.begin(), pairs.end()};
+}
+
+std::vector<Contact> World::query(QueryStats* stats) const {
+  std::vector<Contact> contacts;
+  for (const auto& [i, j] : broadphasePairs()) {
+    if (auto c = testPair(*objects_[i], *objects_[j], stats))
+      contacts.push_back(*c);
+  }
+  return contacts;
+}
+
+std::vector<Contact> World::queryOne(std::uint32_t id,
+                                     QueryStats* stats) const {
+  std::vector<Contact> contacts;
+  const Object* target = find(id);
+  if (target == nullptr) return contacts;
+  for (const auto& o : objects_) {
+    if (o->id() == id) continue;
+    if (auto c = testPair(*target, *o, stats)) contacts.push_back(*c);
+  }
+  return contacts;
+}
+
+std::vector<Contact> World::queryNaive(QueryStats* stats) const {
+  // Baseline: no broadphase, no bounding volumes — every triangle of every
+  // pair (still skipping triangles with disjoint boxes would be a pruning
+  // level, so the baseline does not do it).
+  QueryStats local;
+  QueryStats& s = stats != nullptr ? *stats : local;
+  std::vector<Contact> contacts;
+  for (std::size_t i = 0; i < objects_.size(); ++i) {
+    for (std::size_t j = i + 1; j < objects_.size(); ++j) {
+      ++s.pairsConsidered;
+      const Object& a = *objects_[i];
+      const Object& b = *objects_[j];
+      bool hit = false;
+      for (const math::Triangle& ta : a.worldTriangles()) {
+        for (const math::Triangle& tb : b.worldTriangles()) {
+          ++s.triangleTests;
+          if (math::triTriIntersect(ta, tb)) {
+            ++s.contacts;
+            contacts.push_back(Contact{
+                a.id(), b.id(), (ta.centroid() + tb.centroid()) * 0.5});
+            hit = true;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+    }
+  }
+  return contacts;
+}
+
+}  // namespace cod::collision

@@ -1,0 +1,117 @@
+#include "core/broker.hpp"
+
+#include <algorithm>
+
+namespace cod::core {
+
+namespace {
+
+std::vector<std::uint8_t> encodeControl(BrokerMsgType t,
+                                        const std::string& className) {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(t));
+  w.str(className);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encodeUpdate(BrokerMsgType t,
+                                       const std::string& className,
+                                       double timestamp,
+                                       std::span<const std::uint8_t> payload) {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(t));
+  w.str(className);
+  w.f64(timestamp);
+  w.blob(payload);
+  return w.take();
+}
+
+}  // namespace
+
+BrokerServer::BrokerServer(std::unique_ptr<net::Transport> transport)
+    : transport_(std::move(transport)) {}
+
+void BrokerServer::tick(double /*now*/) {
+  while (auto d = transport_->receive()) {
+    net::WireReader r(d->payload);
+    const auto type = r.u8();
+    auto className = r.str();
+    if (!type || !className) continue;
+    switch (static_cast<BrokerMsgType>(*type)) {
+      case BrokerMsgType::kSubscribe: {
+        auto& subs = subscribers_[*className];
+        if (std::find(subs.begin(), subs.end(), d->src) == subs.end())
+          subs.push_back(d->src);
+        break;
+      }
+      case BrokerMsgType::kPublishDecl:
+        // The broker routes by class; publisher identity is not needed.
+        break;
+      case BrokerMsgType::kUpdate: {
+        const auto ts = r.f64();
+        const auto payload = r.blob();
+        if (!ts || !payload) break;
+        const auto it = subscribers_.find(*className);
+        if (it == subscribers_.end()) break;
+        const auto fwd = encodeUpdate(BrokerMsgType::kForward, *className, *ts,
+                                      *payload);
+        for (const net::NodeAddr& sub : it->second) {
+          if (sub == d->src) continue;  // no self-echo
+          transport_->send(sub, fwd);
+          ++updatesRelayed_;
+        }
+        break;
+      }
+      case BrokerMsgType::kForward:
+        break;  // clients never send forwards
+    }
+  }
+}
+
+std::size_t BrokerServer::subscriberCount(const std::string& className) const {
+  const auto it = subscribers_.find(className);
+  return it != subscribers_.end() ? it->second.size() : 0;
+}
+
+BrokerClient::BrokerClient(std::unique_ptr<net::Transport> transport,
+                           net::NodeAddr serverAddr)
+    : transport_(std::move(transport)), server_(serverAddr) {}
+
+void BrokerClient::subscribe(const std::string& className) {
+  transport_->send(server_, encodeControl(BrokerMsgType::kSubscribe, className));
+}
+
+void BrokerClient::declarePublish(const std::string& className) {
+  transport_->send(server_,
+                   encodeControl(BrokerMsgType::kPublishDecl, className));
+}
+
+void BrokerClient::update(const std::string& className,
+                          const AttributeSet& attrs, double timestamp) {
+  transport_->send(server_, encodeUpdate(BrokerMsgType::kUpdate, className,
+                                         timestamp, attrs.encode()));
+}
+
+void BrokerClient::tick(double /*now*/) {
+  while (auto d = transport_->receive()) {
+    net::WireReader r(d->payload);
+    const auto type = r.u8();
+    auto className = r.str();
+    const auto ts = r.f64();
+    const auto payload = r.blob();
+    if (!type || !className || !ts || !payload) continue;
+    if (static_cast<BrokerMsgType>(*type) != BrokerMsgType::kForward) continue;
+    auto attrs = AttributeSet::decode(*payload);
+    if (!attrs) continue;
+    mailbox_.push_back({std::move(*className), std::move(*attrs), *ts});
+  }
+}
+
+std::optional<BrokerClient::Delivery> BrokerClient::poll() {
+  if (mailbox_.empty()) return std::nullopt;
+  Delivery d = std::move(mailbox_.front());
+  mailbox_.pop_front();
+  return d;
+}
+
+}  // namespace cod::core

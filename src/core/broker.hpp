@@ -1,0 +1,81 @@
+// Client/server (broker) topology baseline.
+//
+// §1 of the paper contrasts two network-parallel topologies: server/client
+// and fully distributed, and chooses the latter for COD. This module
+// implements the road not taken — a central broker that owns the
+// subscription table and relays every update — so the trade-off can be
+// measured (bench E5): the broker adds a second network hop to every update
+// and concentrates all traffic on one host.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/value.hpp"
+#include "net/transport.hpp"
+
+namespace cod::core {
+
+/// Broker wire protocol (distinct from the CB protocol on purpose: the two
+/// stacks share nothing but the transport).
+enum class BrokerMsgType : std::uint8_t {
+  kSubscribe = 1,   // client → server: interest in a class
+  kPublishDecl = 2, // client → server: will send updates for a class
+  kUpdate = 3,      // client → server: attribute update
+  kForward = 4,     // server → client: relayed update
+};
+
+/// The central message broker. Runs on one host; every client update makes
+/// two hops (client → broker → subscribers).
+class BrokerServer {
+ public:
+  explicit BrokerServer(std::unique_ptr<net::Transport> transport);
+
+  void tick(double now);
+
+  std::uint64_t updatesRelayed() const { return updatesRelayed_; }
+  std::size_t subscriberCount(const std::string& className) const;
+
+ private:
+  std::unique_ptr<net::Transport> transport_;
+  std::map<std::string, std::vector<net::NodeAddr>> subscribers_;
+  std::uint64_t updatesRelayed_ = 0;
+};
+
+/// A broker client with a publish/subscribe API mirroring the CB's.
+class BrokerClient {
+ public:
+  BrokerClient(std::unique_ptr<net::Transport> transport,
+               net::NodeAddr serverAddr);
+
+  /// A delivered update (kept distinct from core::Reflection to emphasise
+  /// that the stacks are independent).
+  struct Delivery {
+    std::string className;
+    AttributeSet attrs;
+    double timestamp = 0.0;
+  };
+
+  void subscribe(const std::string& className);
+  void declarePublish(const std::string& className);
+  void update(const std::string& className, const AttributeSet& attrs,
+              double timestamp);
+
+  /// Drain inbound forwards into the mailbox.
+  void tick(double now);
+
+  std::optional<Delivery> poll();
+  std::size_t pending() const { return mailbox_.size(); }
+
+ private:
+  std::unique_ptr<net::Transport> transport_;
+  net::NodeAddr server_;
+  std::deque<Delivery> mailbox_;
+};
+
+}  // namespace cod::core

@@ -1,0 +1,516 @@
+#include "core/cb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cod::core {
+
+LogicalProcess::~LogicalProcess() {
+  if (cb_ != nullptr) cb_->detach(*this);
+}
+
+CommunicationBackbone::CommunicationBackbone(
+    std::string name, std::unique_ptr<net::Transport> transport, Config cfg)
+    : name_(std::move(name)), transport_(std::move(transport)), cfg_(cfg) {
+  if (!transport_)
+    throw std::invalid_argument("CommunicationBackbone: null transport");
+}
+
+CommunicationBackbone::CommunicationBackbone(
+    std::string name, std::unique_ptr<net::Transport> transport)
+    : CommunicationBackbone(std::move(name), std::move(transport), Config{}) {}
+
+CommunicationBackbone::~CommunicationBackbone() {
+  // Detach surviving LPs so their destructors do not dangle into us.
+  for (auto& [id, lp] : lps_) {
+    lp->cb_ = nullptr;
+    lp->id_ = 0;
+  }
+}
+
+LpId CommunicationBackbone::attach(LogicalProcess& lp) {
+  if (lp.cb_ == this) return lp.id_;
+  if (lp.cb_ != nullptr)
+    throw std::logic_error("LP '" + lp.name() + "' already attached elsewhere");
+  lp.id_ = nextLpId_++;
+  lp.cb_ = this;
+  lps_[lp.id_] = &lp;
+  return lp.id_;
+}
+
+void CommunicationBackbone::detach(LogicalProcess& lp) {
+  if (lp.cb_ != this) return;
+  // Resign every registration owned by this LP.
+  std::vector<PublicationHandle> pubs;
+  for (const auto& [h, e] : publications_)
+    if (e.lp == lp.id_) pubs.push_back(h);
+  for (const PublicationHandle h : pubs) unpublish(h);
+  std::vector<SubscriptionHandle> subs;
+  for (const auto& [h, e] : subscriptions_)
+    if (e.lp == lp.id_) subs.push_back(h);
+  for (const SubscriptionHandle h : subs) unsubscribe(h);
+  lps_.erase(lp.id_);
+  lp.cb_ = nullptr;
+  lp.id_ = 0;
+}
+
+PublicationHandle CommunicationBackbone::publishObjectClass(
+    LogicalProcess& lp, const std::string& className) {
+  if (lp.cb_ != this) attach(lp);
+  PublicationEntry e;
+  e.id = nextHandle_++;
+  e.lp = lp.id_;
+  e.className = className;
+  auto [it, _] = publications_.emplace(e.id, std::move(e));
+  if (cfg_.localFastPath) matchLocal(it->second);
+  return it->first;
+}
+
+SubscriptionHandle CommunicationBackbone::subscribeObjectClass(
+    LogicalProcess& lp, const std::string& className) {
+  if (lp.cb_ != this) attach(lp);
+  SubscriptionEntry e;
+  e.id = nextHandle_++;
+  e.lp = lp.id_;
+  e.className = className;
+  e.nextBroadcast = now_;  // start discovery on the next tick
+  auto [it, _] = subscriptions_.emplace(e.id, std::move(e));
+  if (cfg_.localFastPath) {
+    for (auto& [h, pub] : publications_) {
+      if (pub.className == className &&
+          std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
+                    it->first) == pub.localSubscribers.end()) {
+        pub.localSubscribers.push_back(it->first);
+      }
+    }
+  }
+  return it->first;
+}
+
+void CommunicationBackbone::matchLocal(PublicationEntry& pub) {
+  for (const auto& [h, sub] : subscriptions_) {
+    if (sub.className == pub.className &&
+        std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
+                  h) == pub.localSubscribers.end()) {
+      pub.localSubscribers.push_back(h);
+    }
+  }
+}
+
+void CommunicationBackbone::unpublish(PublicationHandle h) {
+  const auto it = publications_.find(h);
+  if (it == publications_.end()) return;
+  for (const OutChannel& ch : it->second.channels) {
+    const auto bytes = encode(ByeMsg{ch.remoteChannelId, /*fromPublisher=*/true});
+    transport_->send(ch.remote, bytes);
+  }
+  publications_.erase(it);
+}
+
+void CommunicationBackbone::unsubscribe(SubscriptionHandle h) {
+  const auto it = subscriptions_.find(h);
+  if (it == subscriptions_.end()) return;
+  std::vector<std::uint32_t> channels;
+  for (const auto& [cid, ch] : inChannels_)
+    if (ch.subscription == h) channels.push_back(cid);
+  for (const std::uint32_t cid : channels) removeInChannel(cid, /*sendBye=*/true);
+  for (auto& [ph, pub] : publications_) {
+    auto& ls = pub.localSubscribers;
+    ls.erase(std::remove(ls.begin(), ls.end(), h), ls.end());
+  }
+  subscriptions_.erase(it);
+}
+
+void CommunicationBackbone::removeInChannel(std::uint32_t channelId,
+                                            bool sendBye) {
+  const auto it = inChannels_.find(channelId);
+  if (it == inChannels_.end()) return;
+  if (sendBye) {
+    // Tell the publisher so its outgoing entry does not linger until the
+    // heartbeat timeout.
+    const auto bytes =
+        encode(ByeMsg{channelId, /*fromPublisher=*/false});
+    transport_->send(it->second.remote, bytes);
+  }
+  inChannels_.erase(it);
+}
+
+void CommunicationBackbone::updateAttributeValues(PublicationHandle h,
+                                                  const AttributeSet& attrs,
+                                                  double timestamp) {
+  const auto it = publications_.find(h);
+  if (it == publications_.end())
+    throw std::invalid_argument("updateAttributeValues: unknown publication");
+  PublicationEntry& pub = it->second;
+  const std::uint64_t seq = pub.nextSeq++;
+
+  // Local fast path: same-computer subscribers get the update without the
+  // network round trip (§2.1 — one or many LPs can run on a computer).
+  for (const SubscriptionHandle sh : pub.localSubscribers) {
+    const auto sit = subscriptions_.find(sh);
+    if (sit == subscriptions_.end()) continue;
+    Reflection r{pub.className, attrs, timestamp, seq};
+    enqueueReflection(sit->second, std::move(r));
+    ++stats_.updatesLocalFastPath;
+  }
+
+  if (!pub.channels.empty()) {
+    UpdateMsg msg;
+    msg.seq = seq;
+    msg.timestamp = timestamp;
+    msg.payload = attrs.encode();
+    for (OutChannel& ch : pub.channels) {
+      msg.channelId = ch.remoteChannelId;
+      transport_->send(ch.remote, encode(msg));
+      ch.lastSentSec = now_;
+      ++stats_.updatesSent;
+    }
+  }
+}
+
+std::optional<Reflection> CommunicationBackbone::poll(SubscriptionHandle h) {
+  const auto it = subscriptions_.find(h);
+  if (it == subscriptions_.end() || it->second.mailbox.empty())
+    return std::nullopt;
+  Reflection r = std::move(it->second.mailbox.front());
+  it->second.mailbox.pop_front();
+  return r;
+}
+
+const Reflection* CommunicationBackbone::latest(SubscriptionHandle h) const {
+  const auto it = subscriptions_.find(h);
+  if (it == subscriptions_.end() || !it->second.latest) return nullptr;
+  return &*it->second.latest;
+}
+
+std::size_t CommunicationBackbone::pending(SubscriptionHandle h) const {
+  const auto it = subscriptions_.find(h);
+  return it != subscriptions_.end() ? it->second.mailbox.size() : 0;
+}
+
+std::size_t CommunicationBackbone::channelCount(PublicationHandle h) const {
+  const auto it = publications_.find(h);
+  if (it == publications_.end()) return 0;
+  return it->second.channels.size() + it->second.localSubscribers.size();
+}
+
+std::size_t CommunicationBackbone::sourceCount(SubscriptionHandle h) const {
+  const auto it = subscriptions_.find(h);
+  if (it == subscriptions_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [cid, ch] : inChannels_)
+    if (ch.subscription == h && ch.live) ++n;
+  for (const auto& [ph, pub] : publications_) {
+    if (std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
+                  h) != pub.localSubscribers.end())
+      ++n;
+  }
+  return n;
+}
+
+void CommunicationBackbone::enqueueReflection(SubscriptionEntry& sub,
+                                              Reflection r) {
+  sub.latest = r;
+  if (sub.mailbox.size() >= cfg_.mailboxLimit) {
+    sub.mailbox.pop_front();
+    ++stats_.mailboxOverflows;
+  }
+  sub.mailbox.push_back(std::move(r));
+  ++stats_.updatesDelivered;
+}
+
+void CommunicationBackbone::tick(double now) {
+  now_ = now;
+  while (auto d = transport_->receive()) handleDatagram(*d, now);
+  runTimers(now);
+  if (cfg_.pushDelivery) deliverMailboxes();
+  // Step LPs by id snapshot: an LP may attach/detach others in step().
+  std::vector<LpId> ids;
+  ids.reserve(lps_.size());
+  for (const auto& [id, lp] : lps_) ids.push_back(id);
+  for (const LpId id : ids) {
+    const auto it = lps_.find(id);
+    if (it != lps_.end()) it->second->step(now);
+  }
+}
+
+void CommunicationBackbone::handleDatagram(const net::Datagram& d, double now) {
+  const auto msg = decode(d.payload);
+  if (!msg) {
+    ++stats_.malformedDrops;
+    return;
+  }
+  switch (msg->type) {
+    case MsgType::kSubscription:
+      handleSubscription(msg->subscription, d.src, now);
+      break;
+    case MsgType::kAcknowledge:
+      handleAcknowledge(msg->acknowledge, d.src, now);
+      break;
+    case MsgType::kChannelConnection:
+      handleChannelConnection(msg->channelConnection, d.src, now);
+      break;
+    case MsgType::kChannelAck:
+      handleChannelAck(msg->channelAck, d.src, now);
+      break;
+    case MsgType::kUpdate:
+      handleUpdate(msg->update, d.src, now);
+      break;
+    case MsgType::kHeartbeat:
+      handleHeartbeat(msg->heartbeat, d.src, now);
+      break;
+    case MsgType::kBye:
+      handleBye(msg->bye, d.src);
+      break;
+  }
+}
+
+void CommunicationBackbone::handleSubscription(const SubscriptionMsg& m,
+                                               const net::NodeAddr& src,
+                                               double /*now*/) {
+  // §2.3: the publisher CB checks whether one of its LPs produces the
+  // requested class; if so it acknowledges. It keeps listening while it
+  // executes, which is what makes dynamic join possible.
+  for (const auto& [h, pub] : publications_) {
+    if (pub.className != m.className) continue;
+    const AcknowledgeMsg ack{m.subscriptionId, pub.id, pub.className};
+    transport_->send(src, encode(ack));
+    ++stats_.acknowledgesSent;
+  }
+}
+
+void CommunicationBackbone::handleAcknowledge(const AcknowledgeMsg& m,
+                                              const net::NodeAddr& src,
+                                              double now) {
+  const auto it = subscriptions_.find(m.subscriptionId);
+  if (it == subscriptions_.end()) return;  // stale: subscription resigned
+  SubscriptionEntry& sub = it->second;
+  if (sub.className != m.className) return;
+  // Dedup: one channel per (publisher endpoint, publication entry).
+  for (const auto& [cid, ch] : inChannels_) {
+    if (ch.subscription == sub.id && ch.remote == src &&
+        ch.remotePublicationId == m.publicationId)
+      return;
+  }
+  InChannel ch;
+  ch.channelId = nextChannelId_++;
+  ch.subscription = sub.id;
+  ch.remote = src;
+  ch.remotePublicationId = m.publicationId;
+  ch.lastConnectSent = now;
+  ch.lastActivity = now;
+  ch.lastHeartbeatSent = now;
+  const ChannelConnectionMsg connect{sub.id, m.publicationId, ch.channelId,
+                                     sub.className};
+  inChannels_.emplace(ch.channelId, ch);
+  sub.everAcknowledged = true;
+  transport_->send(src, encode(connect));
+}
+
+void CommunicationBackbone::handleChannelConnection(
+    const ChannelConnectionMsg& m, const net::NodeAddr& src, double now) {
+  const auto it = publications_.find(m.publicationId);
+  if (it == publications_.end()) return;
+  PublicationEntry& pub = it->second;
+  if (pub.className != m.className) return;
+  const auto existing =
+      std::find_if(pub.channels.begin(), pub.channels.end(),
+                   [&](const OutChannel& ch) {
+                     return ch.remote == src && ch.remoteChannelId == m.channelId;
+                   });
+  if (existing == pub.channels.end()) {
+    OutChannel ch;
+    ch.remoteChannelId = m.channelId;
+    ch.remote = src;
+    ch.lastSentSec = now;
+    ch.lastHeardSec = now;
+    pub.channels.push_back(ch);
+    ++stats_.channelsEstablishedOut;
+  }
+  // Idempotent confirm (the paper's second ACKNOWLEDGE).
+  const ChannelAckMsg ack{m.channelId, pub.id};
+  transport_->send(src, encode(ack));
+}
+
+void CommunicationBackbone::handleChannelAck(const ChannelAckMsg& m,
+                                             const net::NodeAddr& /*src*/,
+                                             double now) {
+  const auto it = inChannels_.find(m.channelId);
+  if (it == inChannels_.end()) return;
+  if (!it->second.live) {
+    it->second.live = true;
+    ++stats_.channelsEstablishedIn;
+  }
+  it->second.lastActivity = now;
+}
+
+void CommunicationBackbone::handleUpdate(const UpdateMsg& m,
+                                         const net::NodeAddr& /*src*/,
+                                         double now) {
+  const auto it = inChannels_.find(m.channelId);
+  if (it == inChannels_.end()) {
+    ++stats_.unknownChannelDrops;
+    return;
+  }
+  InChannel& ch = it->second;
+  if (!ch.live) {
+    // The CHANNEL_ACK was lost but data is flowing: the channel is live.
+    ch.live = true;
+    ++stats_.channelsEstablishedIn;
+  }
+  ch.lastActivity = now;
+  if (m.seq <= ch.lastSeq) {
+    ++stats_.duplicatesDropped;
+    return;
+  }
+  ch.lastSeq = m.seq;
+  auto attrs = AttributeSet::decode(m.payload);
+  if (!attrs) {
+    ++stats_.malformedDrops;
+    return;
+  }
+  const auto sit = subscriptions_.find(ch.subscription);
+  if (sit == subscriptions_.end()) return;
+  Reflection r{sit->second.className, std::move(*attrs), m.timestamp, m.seq};
+  enqueueReflection(sit->second, std::move(r));
+}
+
+void CommunicationBackbone::handleHeartbeat(const HeartbeatMsg& m,
+                                            const net::NodeAddr& src,
+                                            double now) {
+  if (m.fromPublisher) {
+    // Subscriber side: a publisher keep-alive refreshes the inbound channel.
+    const auto it = inChannels_.find(m.channelId);
+    if (it != inChannels_.end() && it->second.remote == src)
+      it->second.lastActivity = now;
+    return;
+  }
+  // Publisher side: a subscriber keep-alive refreshes the outgoing channel.
+  for (auto& [h, pub] : publications_) {
+    for (OutChannel& ch : pub.channels) {
+      if (ch.remote == src && ch.remoteChannelId == m.channelId)
+        ch.lastHeardSec = now;
+    }
+  }
+}
+
+void CommunicationBackbone::handleBye(const ByeMsg& m,
+                                      const net::NodeAddr& src) {
+  if (m.fromPublisher) {
+    // A publisher resigned: drop the inbound channel (no BYE back).
+    const auto it = inChannels_.find(m.channelId);
+    if (it != inChannels_.end() && it->second.remote == src)
+      removeInChannel(m.channelId, /*sendBye=*/false);
+    return;
+  }
+  // A subscriber resigned: drop the matching outgoing channel.
+  for (auto& [h, pub] : publications_) {
+    auto& chans = pub.channels;
+    chans.erase(std::remove_if(chans.begin(), chans.end(),
+                               [&](const OutChannel& ch) {
+                                 return ch.remote == src &&
+                                        ch.remoteChannelId == m.channelId;
+                               }),
+                chans.end());
+  }
+}
+
+void CommunicationBackbone::runTimers(double now) {
+  // Subscription discovery broadcasts (§2.3).
+  for (auto& [h, sub] : subscriptions_) {
+    if (now < sub.nextBroadcast) continue;
+    const bool hasLive = sourceCount(h) > 0;
+    if (hasLive && cfg_.refreshIntervalSec <= 0.0) {
+      sub.nextBroadcast = 1e300;  // paper-literal: stop once acknowledged
+      continue;
+    }
+    const SubscriptionMsg msg{sub.id, sub.className};
+    const auto bytes = encode(msg);
+    transport_->broadcast(address().port, bytes);
+    ++stats_.broadcastsSent;
+    if (!cfg_.localFastPath) {
+      // A socket does not hear its own broadcast; feed it back so two LPs
+      // on one computer still connect when the fast path is disabled.
+      handleSubscription(msg, address(), now);
+    }
+    sub.nextBroadcast =
+        now + (hasLive ? cfg_.refreshIntervalSec : cfg_.broadcastIntervalSec);
+  }
+
+  // Retransmit CHANNEL_CONNECTION for channels still awaiting their ack,
+  // and time out dead inbound channels.
+  std::vector<std::uint32_t> toDrop;
+  for (auto& [cid, ch] : inChannels_) {
+    if (!ch.live && now - ch.lastConnectSent >= cfg_.connectRetrySec) {
+      const auto sit = subscriptions_.find(ch.subscription);
+      if (sit != subscriptions_.end()) {
+        const ChannelConnectionMsg connect{ch.subscription,
+                                           ch.remotePublicationId, ch.channelId,
+                                           sit->second.className};
+        transport_->send(ch.remote, encode(connect));
+        ch.lastConnectSent = now;
+      }
+    }
+    if (ch.live && now - ch.lastHeartbeatSent >= cfg_.heartbeatIntervalSec) {
+      // Subscriber keep-alive so the publisher can garbage-collect dead
+      // channels (we may never send anything else on this direction).
+      transport_->send(ch.remote, encode(HeartbeatMsg{ch.channelId, now,
+                                                      /*fromPublisher=*/false}));
+      ch.lastHeartbeatSent = now;
+    }
+    if (now - ch.lastActivity > cfg_.channelTimeoutSec) toDrop.push_back(cid);
+  }
+  for (const std::uint32_t cid : toDrop) {
+    const auto it = inChannels_.find(cid);
+    if (it == inChannels_.end()) continue;
+    const SubscriptionHandle sh = it->second.subscription;
+    removeInChannel(cid, /*sendBye=*/false);
+    ++stats_.channelsTimedOut;
+    // Resume fast discovery for the orphaned subscription.
+    const auto sit = subscriptions_.find(sh);
+    if (sit != subscriptions_.end()) sit->second.nextBroadcast = now;
+  }
+
+  // Publisher keep-alives on idle channels + timeout of dead subscribers.
+  for (auto& [h, pub] : publications_) {
+    auto& chans = pub.channels;
+    for (OutChannel& ch : chans) {
+      if (now - ch.lastSentSec >= cfg_.heartbeatIntervalSec) {
+        transport_->send(ch.remote,
+                         encode(HeartbeatMsg{ch.remoteChannelId, now,
+                                             /*fromPublisher=*/true}));
+        ch.lastSentSec = now;
+      }
+    }
+    const std::size_t before = chans.size();
+    chans.erase(std::remove_if(chans.begin(), chans.end(),
+                               [&](const OutChannel& ch) {
+                                 return now - ch.lastHeardSec >
+                                        cfg_.channelTimeoutSec;
+                               }),
+                chans.end());
+    stats_.channelsTimedOut += before - chans.size();
+  }
+}
+
+void CommunicationBackbone::deliverMailboxes() {
+  std::vector<SubscriptionHandle> ids;
+  ids.reserve(subscriptions_.size());
+  for (const auto& [h, sub] : subscriptions_) ids.push_back(h);
+  for (const SubscriptionHandle h : ids) {
+    // Re-find each time: reflect callbacks may (un)subscribe re-entrantly.
+    auto it = subscriptions_.find(h);
+    if (it == subscriptions_.end()) continue;
+    while (!it->second.mailbox.empty()) {
+      Reflection r = std::move(it->second.mailbox.front());
+      it->second.mailbox.pop_front();
+      const auto lpIt = lps_.find(it->second.lp);
+      if (lpIt != lps_.end())
+        lpIt->second->reflectAttributeValues(r.className, r.attrs, r.timestamp);
+      it = subscriptions_.find(h);
+      if (it == subscriptions_.end()) break;
+    }
+  }
+}
+
+}  // namespace cod::core

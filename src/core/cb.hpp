@@ -1,0 +1,258 @@
+// The Communication Backbone (CB) — the paper's primary contribution (§2).
+//
+// One CB runs on every computer of the COD cluster as a transparent
+// communication layer. Logical Processes (LPs) attach to their resident CB
+// and use HLA-style service calls (publishObjectClass, subscribeObjectClass,
+// updateAttributeValues) without knowing where — or whether — matching LPs
+// exist. The CB performs:
+//
+//  * the broadcast-until-ACKNOWLEDGE initialization protocol that discovers
+//    publishers for each subscription and builds *virtual channels*
+//    (publication-table entry linked to a remote subscription-table entry);
+//  * push/pull update routing over those channels, with a same-computer
+//    fast path when publisher and subscriber share a CB;
+//  * dynamic join: a publisher CB keeps listening while it executes, so a
+//    new LP (e.g. an extra display) can be plugged in without restarting
+//    the system;
+//  * liveness (heartbeats, channel timeout) and teardown (BYE).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/value.hpp"
+#include "net/transport.hpp"
+
+namespace cod::core {
+
+class CommunicationBackbone;
+
+using LpId = std::uint32_t;
+using PublicationHandle = std::uint32_t;
+using SubscriptionHandle = std::uint32_t;
+
+inline constexpr std::uint32_t kInvalidHandle = 0;
+
+/// One delivered attribute update, as seen by a subscriber.
+struct Reflection {
+  std::string className;
+  AttributeSet attrs;
+  double timestamp = 0.0;
+  std::uint64_t seq = 0;
+};
+
+/// Base class for the paper's Logical Processes. Derive, override
+/// reflectAttributeValues() (push model) and/or poll the CB (pull model),
+/// and attach to the resident CB.
+class LogicalProcess {
+ public:
+  explicit LogicalProcess(std::string name) : name_(std::move(name)) {}
+  virtual ~LogicalProcess();
+  LogicalProcess(const LogicalProcess&) = delete;
+  LogicalProcess& operator=(const LogicalProcess&) = delete;
+
+  const std::string& name() const { return name_; }
+  LpId id() const { return id_; }
+  /// The CB this LP is attached to, or null.
+  CommunicationBackbone* backbone() const { return cb_; }
+
+  /// Push-model delivery of one subscribed update (HLA "reflect attribute
+  /// values"). Default does nothing — pull-model LPs poll instead.
+  virtual void reflectAttributeValues(const std::string& className,
+                                      const AttributeSet& attrs,
+                                      double timestamp) {
+    (void)className;
+    (void)attrs;
+    (void)timestamp;
+  }
+
+  /// Called once per CB tick after deliveries; the LP's own work.
+  virtual void step(double now) { (void)now; }
+
+ private:
+  friend class CommunicationBackbone;
+  std::string name_;
+  LpId id_ = 0;
+  CommunicationBackbone* cb_ = nullptr;
+};
+
+/// Counters exposed for tests, benches and the instructor monitor.
+struct CbStats {
+  std::uint64_t broadcastsSent = 0;
+  std::uint64_t acknowledgesSent = 0;
+  std::uint64_t channelsEstablishedOut = 0;  // as publisher
+  std::uint64_t channelsEstablishedIn = 0;   // as subscriber
+  std::uint64_t updatesSent = 0;
+  std::uint64_t updatesDelivered = 0;
+  std::uint64_t updatesLocalFastPath = 0;
+  std::uint64_t duplicatesDropped = 0;
+  std::uint64_t unknownChannelDrops = 0;
+  std::uint64_t malformedDrops = 0;
+  std::uint64_t channelsTimedOut = 0;
+  std::uint64_t mailboxOverflows = 0;
+};
+
+/// The Communication Backbone.
+class CommunicationBackbone {
+ public:
+  struct Config {
+    /// §2.3: the "constant time interval" between SUBSCRIPTION broadcasts
+    /// while a subscription is still unacknowledged.
+    double broadcastIntervalSec = 0.05;
+    /// Slow re-broadcast after a subscription has at least one channel, so
+    /// publishers that join late are still discovered. 0 disables it,
+    /// which is the paper's literal stop-after-first-ACK behaviour.
+    double refreshIntervalSec = 1.0;
+    /// Retransmit CHANNEL_CONNECTION if the CHANNEL_ACK is lost.
+    double connectRetrySec = 0.2;
+    /// Keep-alive cadence on live channels.
+    double heartbeatIntervalSec = 0.5;
+    /// A channel with no traffic or heartbeat for this long is dropped and
+    /// (on the subscriber side) rediscovery resumes.
+    double channelTimeoutSec = 3.0;
+    /// Same-CB publisher→subscriber delivery without touching the network.
+    bool localFastPath = true;
+    /// Per-subscription mailbox capacity; oldest entries drop on overflow.
+    std::size_t mailboxLimit = 1024;
+    /// Push reflections to LogicalProcess::reflectAttributeValues on tick.
+    /// (Pull via poll()/latest() works in either mode.)
+    bool pushDelivery = true;
+  };
+
+  /// `transport` is this computer's socket; by convention every CB of a
+  /// cluster binds the same port so discovery broadcasts reach all of them.
+  CommunicationBackbone(std::string name,
+                        std::unique_ptr<net::Transport> transport,
+                        Config cfg);
+  CommunicationBackbone(std::string name,
+                        std::unique_ptr<net::Transport> transport);
+  ~CommunicationBackbone();
+  CommunicationBackbone(const CommunicationBackbone&) = delete;
+  CommunicationBackbone& operator=(const CommunicationBackbone&) = delete;
+
+  const std::string& name() const { return name_; }
+  net::NodeAddr address() const { return transport_->localAddress(); }
+  const Config& config() const { return cfg_; }
+
+  /// Attach an LP to this CB (the paper's "register to its resident CB").
+  /// The CB does not own the LP; the LP must outlive its registrations or
+  /// detach first (its destructor detaches automatically).
+  LpId attach(LogicalProcess& lp);
+  void detach(LogicalProcess& lp);
+
+  /// HLA service: declare that `lp` produces `className`.
+  PublicationHandle publishObjectClass(LogicalProcess& lp,
+                                       const std::string& className);
+  /// HLA service: declare interest in `className`; starts discovery.
+  SubscriptionHandle subscribeObjectClass(LogicalProcess& lp,
+                                          const std::string& className);
+  void unpublish(PublicationHandle h);
+  void unsubscribe(SubscriptionHandle h);
+
+  /// HLA service: push one update through every virtual channel linked to
+  /// this publication (plus the local fast path).
+  void updateAttributeValues(PublicationHandle h, const AttributeSet& attrs,
+                             double timestamp);
+
+  /// Pull model: take the next queued reflection for a subscription.
+  std::optional<Reflection> poll(SubscriptionHandle h);
+  /// Pull model: latest reflection seen on a subscription (null if none).
+  const Reflection* latest(SubscriptionHandle h) const;
+  /// Queued reflections not yet pulled/pushed.
+  std::size_t pending(SubscriptionHandle h) const;
+
+  /// Number of live virtual channels attached to a publication.
+  std::size_t channelCount(PublicationHandle h) const;
+  /// Number of live inbound channels feeding a subscription.
+  std::size_t sourceCount(SubscriptionHandle h) const;
+  /// True once a subscription has at least one live channel.
+  bool connected(SubscriptionHandle h) const { return sourceCount(h) > 0; }
+
+  /// Process inbound traffic, run protocol timers, deliver mailboxes and
+  /// step attached LPs. Call regularly with a monotonically increasing
+  /// clock (virtual or wall).
+  void tick(double now);
+
+  const CbStats& stats() const { return stats_; }
+  std::size_t lpCount() const { return lps_.size(); }
+
+ private:
+  struct OutChannel {
+    std::uint32_t remoteChannelId = 0;
+    net::NodeAddr remote;
+    double lastSentSec = 0.0;   // last update/heartbeat we sent
+    double lastHeardSec = 0.0;  // last heartbeat from the subscriber
+  };
+  struct PublicationEntry {
+    PublicationHandle id = 0;
+    LpId lp = 0;
+    std::string className;
+    std::uint64_t nextSeq = 1;
+    std::vector<OutChannel> channels;
+    std::vector<SubscriptionHandle> localSubscribers;  // fast path links
+  };
+  struct InChannel {
+    std::uint32_t channelId = 0;
+    SubscriptionHandle subscription = 0;
+    net::NodeAddr remote;
+    std::uint32_t remotePublicationId = 0;
+    bool live = false;          // CHANNEL_ACK received
+    double lastConnectSent = 0.0;
+    double lastActivity = 0.0;      // last traffic from the publisher
+    double lastHeartbeatSent = 0.0; // our own keep-alives to the publisher
+    std::uint64_t lastSeq = 0;
+  };
+  struct SubscriptionEntry {
+    SubscriptionHandle id = 0;
+    LpId lp = 0;
+    std::string className;
+    bool everAcknowledged = false;
+    double nextBroadcast = 0.0;
+    std::deque<Reflection> mailbox;
+    std::optional<Reflection> latest;
+  };
+
+  void handleDatagram(const net::Datagram& d, double now);
+  void handleSubscription(const SubscriptionMsg& m, const net::NodeAddr& src,
+                          double now);
+  void handleAcknowledge(const AcknowledgeMsg& m, const net::NodeAddr& src,
+                         double now);
+  void handleChannelConnection(const ChannelConnectionMsg& m,
+                               const net::NodeAddr& src, double now);
+  void handleChannelAck(const ChannelAckMsg& m, const net::NodeAddr& src,
+                        double now);
+  void handleUpdate(const UpdateMsg& m, const net::NodeAddr& src, double now);
+  void handleHeartbeat(const HeartbeatMsg& m, const net::NodeAddr& src,
+                       double now);
+  void handleBye(const ByeMsg& m, const net::NodeAddr& src);
+
+  void runTimers(double now);
+  void deliverMailboxes();
+  void enqueueReflection(SubscriptionEntry& sub, Reflection r);
+  void matchLocal(PublicationEntry& pub);
+  void removeInChannel(std::uint32_t channelId, bool sendBye);
+
+  std::string name_;
+  std::unique_ptr<net::Transport> transport_;
+  Config cfg_;
+  double now_ = 0.0;
+
+  std::map<LpId, LogicalProcess*> lps_;
+  std::map<PublicationHandle, PublicationEntry> publications_;
+  std::map<SubscriptionHandle, SubscriptionEntry> subscriptions_;
+  std::map<std::uint32_t, InChannel> inChannels_;  // keyed by channelId
+
+  std::uint32_t nextLpId_ = 1;
+  std::uint32_t nextHandle_ = 1;
+  std::uint32_t nextChannelId_ = 1;
+  CbStats stats_;
+};
+
+}  // namespace cod::core

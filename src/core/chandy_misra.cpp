@@ -1,0 +1,204 @@
+#include "core/chandy_misra.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cod::core::cm {
+
+void Node::send(NodeId to, std::int64_t payload, double delay) {
+  if (kernel_ == nullptr)
+    throw std::logic_error("Node::send outside a kernel run");
+  if (delay < lookahead_)
+    throw std::logic_error("Node '" + name_ +
+                           "': send delay violates declared lookahead");
+  kernel_->sendFrom(*this, to, payload, delay);
+}
+
+NodeId Kernel::add(Node& n) {
+  n.id_ = static_cast<NodeId>(nodes_.size());
+  n.kernel_ = this;
+  NodeSlot slot;
+  slot.node = &n;
+  nodes_.push_back(std::move(slot));
+  return n.id_;
+}
+
+void Kernel::connect(NodeId from, NodeId to) {
+  Channel c;
+  c.from = from;
+  c.to = to;
+  channels_.push_back(std::move(c));
+  const std::size_t idx = channels_.size() - 1;
+  nodes_.at(from).outputs.push_back(idx);
+  nodes_.at(to).inputs.push_back(idx);
+}
+
+void Kernel::post(NodeId to, const Event& ev) {
+  NodeSlot& slot = nodes_.at(to);
+  if (slot.envSealed)
+    throw std::logic_error("Kernel::post after sealEnvironment");
+  if (!slot.env.queue.empty() && ev.time < slot.env.queue.back().time)
+    throw std::logic_error("Kernel::post: external events must be ordered");
+  slot.env.queue.push_back({ev.time, ev.payload, /*isNull=*/false});
+  slot.env.clock = ev.time;
+}
+
+void Kernel::sealEnvironment() {
+  for (NodeSlot& slot : nodes_) {
+    slot.envSealed = true;
+    slot.env.clock = std::numeric_limits<double>::infinity();
+  }
+}
+
+void Kernel::sendFrom(Node& n, NodeId to, std::int64_t payload, double delay) {
+  const double t = n.currentEventTime_ + delay;
+  for (const std::size_t ci : nodes_.at(n.id_).outputs) {
+    Channel& c = channels_[ci];
+    if (c.to != to) continue;
+    if (!c.queue.empty() && t < c.queue.back().time)
+      throw std::logic_error("Node '" + n.name_ +
+                             "': out-of-order send on a FIFO channel");
+    c.queue.push_back({t, payload, /*isNull=*/false});
+    return;
+  }
+  throw std::logic_error("Node '" + n.name_ + "': no channel to target node");
+}
+
+bool Kernel::propagateGuarantees(double horizon) {
+  // A node can never emit earlier than (min over its inputs' guarantees) +
+  // its lookahead; announce that bound on every output whose current
+  // guarantee is worse. Iterate to a fixpoint (cycles converge because
+  // positive lookahead strictly advances the bound each lap).
+  bool advancedAny = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeSlot& slot : nodes_) {
+      double bound = guarantee(slot.env);
+      for (const std::size_t ci : slot.inputs)
+        bound = std::min(bound, guarantee(channels_[ci]));
+      bound = std::max(bound, slot.node->localClock());
+      // Nothing beyond the horizon needs a guarantee; capping keeps the
+      // fixpoint finite on cyclic topologies.
+      const double promise =
+          std::min(bound + slot.node->lookahead(), horizon);
+      for (const std::size_t ci : slot.outputs) {
+        Channel& c = channels_[ci];
+        const double already = c.queue.empty() ? c.clock : c.queue.back().time;
+        if (promise > already) {
+          c.queue.push_back({promise, 0, /*isNull=*/true});
+          ++nullsSent_;
+          changed = true;
+          advancedAny = true;
+        }
+      }
+    }
+  }
+  return advancedAny;
+}
+
+std::size_t Kernel::run(double untilTime, std::size_t maxEvents) {
+  const std::size_t processedBefore = eventsProcessed_;
+  std::size_t popped = 0;
+  for (;;) {
+    if (++popped > maxEvents)
+      throw std::runtime_error(
+          "Chandy-Misra livelock: maxEvents exceeded (zero-lookahead cycle?)");
+    // Pick the globally earliest safely-processable head message.
+    double bestTime = std::numeric_limits<double>::infinity();
+    std::size_t bestNode = nodes_.size();
+    Channel* bestChannel = nullptr;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      NodeSlot& slot = nodes_[i];
+      // Gather this node's input channels: real ones + environment.
+      auto guaranteeOf = [&](const Channel& c) { return guarantee(c); };
+      // Find the earliest head among nonempty inputs.
+      Channel* headChannel = nullptr;
+      double headTime = std::numeric_limits<double>::infinity();
+      auto consider = [&](Channel& c) {
+        if (c.queue.empty()) return;
+        if (c.queue.front().time < headTime) {
+          headTime = c.queue.front().time;
+          headChannel = &c;
+        }
+      };
+      for (const std::size_t ci : slot.inputs) consider(channels_[ci]);
+      consider(slot.env);
+      if (headChannel == nullptr) continue;
+      if (headTime > untilTime) continue;
+      // Conservative condition: every *other* input guarantees nothing
+      // earlier than headTime.
+      bool safe = true;
+      for (const std::size_t ci : slot.inputs) {
+        Channel& c = channels_[ci];
+        if (&c != headChannel && guaranteeOf(c) < headTime) {
+          safe = false;
+          break;
+        }
+      }
+      if (safe && &slot.env != headChannel && guaranteeOf(slot.env) < headTime)
+        safe = false;
+      if (!safe) continue;
+      if (headTime < bestTime) {
+        bestTime = headTime;
+        bestNode = i;
+        bestChannel = headChannel;
+      }
+    }
+
+    if (bestChannel == nullptr) {
+      // Nothing processable: try to unblock by propagating guarantees
+      // (termination nulls — idle upstream nodes announce their bounds).
+      if (propagateGuarantees(untilTime + 1e-9)) continue;
+      // If a real event remains within the horizon despite the fixpoint,
+      // the conservative condition can never be met: deadlock.
+      for (const Channel& c : channels_) {
+        for (const ChannelMsg& m : c.queue) {
+          if (!m.isNull && m.time <= untilTime)
+            throw std::runtime_error(
+                "Chandy-Misra deadlock: cycle with insufficient lookahead");
+        }
+      }
+      for (const NodeSlot& slot : nodes_) {
+        for (const ChannelMsg& m : slot.env.queue) {
+          if (!m.isNull && m.time <= untilTime && slot.envSealed)
+            throw std::runtime_error(
+                "Chandy-Misra deadlock: unreachable environment event");
+        }
+      }
+      break;
+    }
+
+    NodeSlot& slot = nodes_[bestNode];
+    Node& node = *slot.node;
+    const ChannelMsg msg = bestChannel->queue.front();
+    bestChannel->queue.pop_front();
+    bestChannel->clock = msg.time;
+    // A sealed environment channel that has just drained guarantees that
+    // nothing more will ever arrive on it.
+    if (bestChannel == &slot.env && slot.envSealed && slot.env.queue.empty())
+      slot.env.clock = std::numeric_limits<double>::infinity();
+    node.clock_ = std::max(node.clock_, msg.time);
+    if (!msg.isNull) {
+      node.currentEventTime_ = msg.time;
+      const NodeId from =
+          bestChannel == &slot.env ? node.id() : bestChannel->from;
+      node.onEvent(Event{msg.time, msg.payload}, from);
+      ++eventsProcessed_;
+    }
+    // Advance downstream guarantees: null messages at clock + lookahead.
+    const double promise = node.clock_ + node.lookahead();
+    for (const std::size_t ci : slot.outputs) {
+      Channel& c = channels_[ci];
+      const double already =
+          c.queue.empty() ? c.clock : c.queue.back().time;
+      if (promise > already) {
+        c.queue.push_back({promise, 0, /*isNull=*/true});
+        ++nullsSent_;
+      }
+    }
+  }
+  return eventsProcessed_ - processedBefore;
+}
+
+}  // namespace cod::core::cm

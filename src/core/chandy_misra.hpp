@@ -1,0 +1,136 @@
+// Conservative asynchronous distributed simulation after Chandy & Misra
+// (CACM 1981) — the message-scheduling reference the paper leans on for its
+// server-less COD environment ([7] in the paper).
+//
+// Nodes exchange timestamped events over directed FIFO channels. A node may
+// process the event with the smallest timestamp among its input heads only
+// when *every* input channel guarantees it will never deliver anything
+// earlier; empty channels advance their guarantee via null messages carrying
+// clock-only timestamps (local clock + lookahead). With positive lookahead
+// this is deadlock-free even on cyclic topologies.
+//
+// The kernel is single-threaded and deterministic; it models the distributed
+// algorithm exactly (each node sees only its own channels).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cod::core::cm {
+
+using NodeId = std::uint32_t;
+
+/// One timestamped event. `payload` is domain-defined.
+struct Event {
+  double time = 0.0;
+  std::int64_t payload = 0;
+};
+
+class Kernel;
+
+/// A logical process of the conservative simulation.
+class Node {
+ public:
+  /// `lookahead` is the node's promise: any event it emits in reaction to
+  /// an input at time t has timestamp >= t + lookahead. Must be > 0 for
+  /// cyclic topologies.
+  Node(std::string name, double lookahead)
+      : name_(std::move(name)), lookahead_(lookahead) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+  double lookahead() const { return lookahead_; }
+  NodeId id() const { return id_; }
+  /// Local virtual time: timestamp of the last processed event.
+  double localClock() const { return clock_; }
+
+  /// React to one input event; may call send() with delay >= lookahead.
+  virtual void onEvent(const Event& ev, NodeId from) = 0;
+
+ protected:
+  /// Emit an event on the output channel to `to`, at time ev.time + delay.
+  /// Only valid inside onEvent; delay must be >= lookahead.
+  void send(NodeId to, std::int64_t payload, double delay);
+
+ private:
+  friend class Kernel;
+  std::string name_;
+  double lookahead_ = 0.0;
+  NodeId id_ = 0;
+  double clock_ = 0.0;
+  Kernel* kernel_ = nullptr;
+  double currentEventTime_ = 0.0;
+};
+
+/// The conservative scheduler.
+class Kernel {
+ public:
+  /// Register a node (not owned; must outlive the kernel).
+  NodeId add(Node& n);
+
+  /// Create the directed FIFO channel from → to.
+  void connect(NodeId from, NodeId to);
+
+  /// Inject an external (environment) event destined for `to`.
+  /// External events must be posted in nondecreasing time order per node.
+  void post(NodeId to, const Event& ev);
+
+  /// Declare that no further external events will be posted; environment
+  /// channels then stop constraining node safe-times.
+  void sealEnvironment();
+
+  /// Run until no event with time <= untilTime can be processed.
+  /// Returns the number of (non-null) events processed.
+  /// Throws std::runtime_error on conservative deadlock (zero lookahead in
+  /// a dependency cycle) or livelock (`maxEvents` exceeded — unbounded
+  /// same-timestamp cycling, which positive lookahead prevents).
+  std::size_t run(double untilTime, std::size_t maxEvents = 50'000'000);
+
+  std::size_t nullMessagesSent() const { return nullsSent_; }
+  std::size_t eventsProcessed() const { return eventsProcessed_; }
+
+ private:
+  friend class Node;
+
+  struct ChannelMsg {
+    double time = 0.0;
+    std::int64_t payload = 0;
+    bool isNull = false;
+  };
+  struct Channel {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::deque<ChannelMsg> queue;
+    double clock = 0.0;  // guarantee: nothing earlier will ever arrive
+  };
+  struct NodeSlot {
+    Node* node = nullptr;
+    std::vector<std::size_t> inputs;   // channel indices
+    std::vector<std::size_t> outputs;  // channel indices
+    Channel env;                       // external stimulus channel
+    bool envSealed = false;
+  };
+
+  void sendFrom(Node& n, NodeId to, std::int64_t payload, double delay);
+  /// Guarantee of a channel: head timestamp if any, else channel clock.
+  static double guarantee(const Channel& c) {
+    return c.queue.empty() ? c.clock : c.queue.front().time;
+  }
+  /// Stalled: push null messages carrying each node's earliest-possible
+  /// output time downstream until a fixpoint. Returns true if any channel
+  /// guarantee advanced (progress is again possible).
+  bool propagateGuarantees(double horizon);
+
+  std::vector<NodeSlot> nodes_;
+  std::vector<Channel> channels_;
+  std::size_t nullsSent_ = 0;
+  std::size_t eventsProcessed_ = 0;
+};
+
+}  // namespace cod::core::cm

@@ -1,0 +1,41 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+
+namespace cod::core {
+
+CodCluster::CodCluster(Config cfg) : cfg_(cfg), net_(cfg.seed) {
+  net_.setDefaultLink(cfg_.link);
+}
+
+CodCluster::CodCluster() : CodCluster(Config{}) {}
+
+CommunicationBackbone& CodCluster::addComputer(const std::string& name) {
+  const net::HostId host = net_.addHost(name);
+  auto transport = net_.bind(host, cfg_.cbPort);
+  cbs_.push_back(std::make_unique<CommunicationBackbone>(
+      name, std::move(transport), cfg_.cb));
+  // Let the newcomer observe the current clock immediately so its timers
+  // are phased off "now", not zero.
+  cbs_.back()->tick(net_.now());
+  return *cbs_.back();
+}
+
+void CodCluster::step(double dt) {
+  const double target = net_.now() + dt;
+  while (net_.now() < target) {
+    const double slice = std::min(cfg_.tickIntervalSec, target - net_.now());
+    net_.advance(slice);
+    for (auto& cb : cbs_) cb->tick(net_.now());
+  }
+}
+
+bool CodCluster::runUntil(const std::function<bool()>& pred, double maxTime) {
+  while (net_.now() < maxTime) {
+    if (pred()) return true;
+    step(cfg_.tickIntervalSec);
+  }
+  return pred();
+}
+
+}  // namespace cod::core

@@ -1,0 +1,55 @@
+// CodCluster — a whole simulated rack in one object.
+//
+// Builds the paper's Figure 1: N desktop computers on one (simulated) LAN,
+// each executing a Communication Backbone. Computers can be added while the
+// cluster runs (dynamic join, §2.3). Time is virtual and fully
+// deterministic: step() advances the LAN and ticks every CB in lockstep
+// sub-intervals, which is the cooperative equivalent of "each computer
+// executes at its own pace" for a single-process reproduction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cb.hpp"
+#include "net/simnet.hpp"
+
+namespace cod::core {
+
+class CodCluster {
+ public:
+  struct Config {
+    net::LinkModel link;                  // LAN characteristics
+    CommunicationBackbone::Config cb;     // shared CB configuration
+    std::uint16_t cbPort = 1;             // discovery port bound by every CB
+    std::uint64_t seed = 1;               // network RNG seed
+    double tickIntervalSec = 0.005;       // CB tick cadence inside step()
+  };
+
+  explicit CodCluster(Config cfg);
+  CodCluster();
+
+  /// Add a computer executing a CB; usable at any time (dynamic join).
+  CommunicationBackbone& addComputer(const std::string& name);
+
+  std::size_t size() const { return cbs_.size(); }
+  CommunicationBackbone& cb(std::size_t i) { return *cbs_.at(i); }
+  const CommunicationBackbone& cb(std::size_t i) const { return *cbs_.at(i); }
+  net::SimNetwork& network() { return net_; }
+  double now() const { return net_.now(); }
+
+  /// Advance the whole cluster by dt seconds of virtual time.
+  void step(double dt);
+
+  /// Step until `pred()` holds; returns false if `maxTime` elapsed first.
+  bool runUntil(const std::function<bool()>& pred, double maxTime);
+
+ private:
+  Config cfg_;
+  net::SimNetwork net_;
+  std::vector<std::unique_ptr<CommunicationBackbone>> cbs_;
+};
+
+}  // namespace cod::core

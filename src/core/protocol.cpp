@@ -1,0 +1,151 @@
+#include "core/protocol.hpp"
+
+namespace cod::core {
+
+namespace {
+
+net::WireWriter header(MsgType t) {
+  net::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(t));
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const SubscriptionMsg& m) {
+  net::WireWriter w = header(MsgType::kSubscription);
+  w.u32(m.subscriptionId);
+  w.str(m.className);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const AcknowledgeMsg& m) {
+  net::WireWriter w = header(MsgType::kAcknowledge);
+  w.u32(m.subscriptionId);
+  w.u32(m.publicationId);
+  w.str(m.className);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ChannelConnectionMsg& m) {
+  net::WireWriter w = header(MsgType::kChannelConnection);
+  w.u32(m.subscriptionId);
+  w.u32(m.publicationId);
+  w.u32(m.channelId);
+  w.str(m.className);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ChannelAckMsg& m) {
+  net::WireWriter w = header(MsgType::kChannelAck);
+  w.u32(m.channelId);
+  w.u32(m.publicationId);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const UpdateMsg& m) {
+  net::WireWriter w = header(MsgType::kUpdate);
+  w.u32(m.channelId);
+  w.u64(m.seq);
+  w.f64(m.timestamp);
+  w.blob(m.payload);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const HeartbeatMsg& m) {
+  net::WireWriter w = header(MsgType::kHeartbeat);
+  w.u32(m.channelId);
+  w.f64(m.timestamp);
+  w.boolean(m.fromPublisher);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const ByeMsg& m) {
+  net::WireWriter w = header(MsgType::kBye);
+  w.u32(m.channelId);
+  w.boolean(m.fromPublisher);
+  return w.take();
+}
+
+std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  const auto t = r.u8();
+  if (!t) return std::nullopt;
+  CbMessage msg;
+  msg.type = static_cast<MsgType>(*t);
+  switch (msg.type) {
+    case MsgType::kSubscription: {
+      const auto id = r.u32();
+      auto cls = r.str();
+      if (!id || !cls) return std::nullopt;
+      msg.subscription = {*id, std::move(*cls)};
+      break;
+    }
+    case MsgType::kAcknowledge: {
+      const auto sid = r.u32();
+      const auto pid = r.u32();
+      auto cls = r.str();
+      if (!sid || !pid || !cls) return std::nullopt;
+      msg.acknowledge = {*sid, *pid, std::move(*cls)};
+      break;
+    }
+    case MsgType::kChannelConnection: {
+      const auto sid = r.u32();
+      const auto pid = r.u32();
+      const auto ch = r.u32();
+      auto cls = r.str();
+      if (!sid || !pid || !ch || !cls) return std::nullopt;
+      msg.channelConnection = {*sid, *pid, *ch, std::move(*cls)};
+      break;
+    }
+    case MsgType::kChannelAck: {
+      const auto ch = r.u32();
+      const auto pid = r.u32();
+      if (!ch || !pid) return std::nullopt;
+      msg.channelAck = {*ch, *pid};
+      break;
+    }
+    case MsgType::kUpdate: {
+      const auto ch = r.u32();
+      const auto seq = r.u64();
+      const auto ts = r.f64();
+      auto payload = r.blob();
+      if (!ch || !seq || !ts || !payload) return std::nullopt;
+      msg.update = {*ch, *seq, *ts, std::move(*payload)};
+      break;
+    }
+    case MsgType::kHeartbeat: {
+      const auto ch = r.u32();
+      const auto ts = r.f64();
+      const auto fromPub = r.boolean();
+      if (!ch || !ts || !fromPub) return std::nullopt;
+      msg.heartbeat = {*ch, *ts, *fromPub};
+      break;
+    }
+    case MsgType::kBye: {
+      const auto ch = r.u32();
+      const auto fromPub = r.boolean();
+      if (!ch || !fromPub) return std::nullopt;
+      msg.bye = {*ch, *fromPub};
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return msg;
+}
+
+const char* msgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kSubscription: return "SUBSCRIPTION";
+    case MsgType::kAcknowledge: return "ACKNOWLEDGE";
+    case MsgType::kChannelConnection: return "CHANNEL_CONNECTION";
+    case MsgType::kChannelAck: return "CHANNEL_ACK";
+    case MsgType::kUpdate: return "UPDATE";
+    case MsgType::kHeartbeat: return "HEARTBEAT";
+    case MsgType::kBye: return "BYE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace cod::core

@@ -1,0 +1,108 @@
+// The CB wire protocol (paper §2.3).
+//
+// Control messages implement the initialization protocol — a subscriber CB
+// broadcasts SUBSCRIPTION at a constant interval until ACKNOWLEDGE arrives;
+// it then sends CHANNEL_CONNECTION to the acknowledging publisher CB, which
+// answers with a second ACKNOWLEDGE (CHANNEL_ACK here, to make the two
+// acknowledge phases explicit on the wire). Data messages (UPDATE) flow over
+// the established virtual channel. HEARTBEAT keeps channels alive and BYE
+// tears them down when an LP resigns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace cod::core {
+
+/// Message discriminator, first byte of every CB datagram.
+enum class MsgType : std::uint8_t {
+  kSubscription = 1,      // broadcast: "who publishes class X?"
+  kAcknowledge = 2,       // publisher → subscriber: "I do"
+  kChannelConnection = 3, // subscriber → publisher: "open channel N"
+  kChannelAck = 4,        // publisher → subscriber: "channel N is live"
+  kUpdate = 5,            // publisher → subscriber: attribute update
+  kHeartbeat = 6,         // either direction: liveness
+  kBye = 7,               // either direction: tear down a channel
+};
+
+/// Broadcast by the subscriber's CB until acknowledged (§2.3).
+struct SubscriptionMsg {
+  std::uint32_t subscriptionId = 0;  // unique within the issuing CB
+  std::string className;
+};
+
+/// Publisher's answer to a SUBSCRIPTION it can serve.
+struct AcknowledgeMsg {
+  std::uint32_t subscriptionId = 0;  // echoed from the SUBSCRIPTION
+  std::uint32_t publicationId = 0;   // publisher-side table entry
+  std::string className;
+};
+
+/// Subscriber asks the publisher to link its publication entry to the
+/// subscriber's table entry — this mapping *is* the virtual channel (§2.2).
+struct ChannelConnectionMsg {
+  std::uint32_t subscriptionId = 0;
+  std::uint32_t publicationId = 0;
+  std::uint32_t channelId = 0;  // chosen by the subscriber CB
+  std::string className;
+};
+
+/// Publisher confirms the channel (the paper's second ACKNOWLEDGE).
+struct ChannelAckMsg {
+  std::uint32_t channelId = 0;
+  std::uint32_t publicationId = 0;
+};
+
+/// One attribute update pushed through a virtual channel.
+struct UpdateMsg {
+  std::uint32_t channelId = 0;
+  std::uint64_t seq = 0;       // per-channel sequence number
+  double timestamp = 0.0;      // sender simulation time
+  std::vector<std::uint8_t> payload;  // encoded AttributeSet
+};
+
+struct HeartbeatMsg {
+  std::uint32_t channelId = 0;
+  double timestamp = 0.0;
+  /// Channel ids are allocated by the subscriber, so a CB that both
+  /// publishes and subscribes can know the same id in both roles. The
+  /// direction flag says which role the sender is speaking in.
+  bool fromPublisher = false;
+};
+
+struct ByeMsg {
+  std::uint32_t channelId = 0;
+  bool fromPublisher = false;
+};
+
+/// A decoded CB datagram.
+struct CbMessage {
+  MsgType type = MsgType::kHeartbeat;
+  SubscriptionMsg subscription;
+  AcknowledgeMsg acknowledge;
+  ChannelConnectionMsg channelConnection;
+  ChannelAckMsg channelAck;
+  UpdateMsg update;
+  HeartbeatMsg heartbeat;
+  ByeMsg bye;
+};
+
+std::vector<std::uint8_t> encode(const SubscriptionMsg& m);
+std::vector<std::uint8_t> encode(const AcknowledgeMsg& m);
+std::vector<std::uint8_t> encode(const ChannelConnectionMsg& m);
+std::vector<std::uint8_t> encode(const ChannelAckMsg& m);
+std::vector<std::uint8_t> encode(const UpdateMsg& m);
+std::vector<std::uint8_t> encode(const HeartbeatMsg& m);
+std::vector<std::uint8_t> encode(const ByeMsg& m);
+
+/// Decode any CB datagram; nullopt on malformed input (which the CB drops,
+/// as a real socket daemon must).
+std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes);
+
+const char* msgTypeName(MsgType t);
+
+}  // namespace cod::core

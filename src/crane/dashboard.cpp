@@ -1,0 +1,70 @@
+#include "crane/dashboard.hpp"
+
+#include <cmath>
+
+namespace cod::crane {
+
+const char* meterName(Meter m) {
+  switch (m) {
+    case Meter::kEngineRpm: return "ENGINE RPM";
+    case Meter::kSpeed: return "SPEED";
+    case Meter::kFuel: return "FUEL";
+    case Meter::kHydraulicPressure: return "HYD PRESSURE";
+    case Meter::kLoadMomentPct: return "LOAD MOMENT %";
+    case Meter::kCableLength: return "CABLE LENGTH";
+  }
+  return "?";
+}
+
+Dashboard::Dashboard() = default;
+
+void Dashboard::updateInstruments(const CraneState& s, const AlarmSet& alarms,
+                                  double momentUtilisation) {
+  engineOn_ = s.engineOn;
+  values_[static_cast<std::size_t>(Meter::kEngineRpm)] = s.engineRpm;
+  values_[static_cast<std::size_t>(Meter::kSpeed)] =
+      std::abs(s.carrierSpeedMps) * 3.6;  // km/h needle
+  values_[static_cast<std::size_t>(Meter::kFuel)] = fuel01_ * 100.0;
+  // Hydraulic pressure rises with actuator demand.
+  const double demand =
+      std::abs(controls_.joystickSlew) + std::abs(controls_.joystickLuff) +
+      std::abs(controls_.joystickTelescope) + std::abs(controls_.joystickHoist);
+  values_[static_cast<std::size_t>(Meter::kHydraulicPressure)] =
+      s.engineOn ? 60.0 + 35.0 * math::clamp(demand, 0.0, 1.0) : 0.0;
+  values_[static_cast<std::size_t>(Meter::kLoadMomentPct)] =
+      momentUtilisation * 100.0;
+  values_[static_cast<std::size_t>(Meter::kCableLength)] = s.cableLengthM;
+  alarms_ = alarms;
+}
+
+double Dashboard::meterValue(Meter m) const {
+  return values_[static_cast<std::size_t>(m)];
+}
+
+double Dashboard::displayedValue(Meter m) const {
+  const std::size_t i = static_cast<std::size_t>(m);
+  switch (faults_[i]) {
+    case MeterFault::kNone: return values_[i];
+    case MeterFault::kStuck: return frozen_[i];
+    case MeterFault::kDead: return 0.0;
+  }
+  return values_[i];
+}
+
+void Dashboard::injectFault(Meter m, MeterFault f) {
+  const std::size_t i = static_cast<std::size_t>(m);
+  if (f == MeterFault::kStuck) frozen_[i] = values_[i];
+  faults_[i] = f;
+}
+
+MeterFault Dashboard::fault(Meter m) const {
+  return faults_[static_cast<std::size_t>(m)];
+}
+
+void Dashboard::consumeFuel(double dt) {
+  if (!engineOn_) return;
+  // Roughly 2.5 hours of full-load running on one tank.
+  fuel01_ = math::clamp(fuel01_ - dt / 9000.0, 0.0, 1.0);
+}
+
+}  // namespace cod::crane

@@ -1,0 +1,80 @@
+// Dashboard instrument model (§3.2).
+//
+// The dashboard module is the signal half of the I/O device simulator: it
+// reads the operator's input devices (wheel, pedals, two joysticks, ignition
+// and hook-latch switches) and drives the output instruments (meters and
+// indicator lamps). The instructor can inject instrument faults for
+// trouble-shooting training (§3.3) — a faulted meter freezes or reads zero
+// regardless of the true signal.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "crane/safety.hpp"
+#include "crane/state.hpp"
+
+namespace cod::crane {
+
+/// Output instruments on the panel.
+enum class Meter : std::uint8_t {
+  kEngineRpm = 0,
+  kSpeed = 1,
+  kFuel = 2,
+  kHydraulicPressure = 3,
+  kLoadMomentPct = 4,
+  kCableLength = 5,
+};
+inline constexpr std::size_t kMeterCount = 6;
+
+const char* meterName(Meter m);
+
+/// Fault kinds the instructor can inject per meter.
+enum class MeterFault : std::uint8_t {
+  kNone = 0,
+  kStuck = 1,   // holds the value it had when the fault was injected
+  kDead = 2,    // reads zero
+};
+
+/// The dashboard: input signals in, meter needles and lamps out.
+class Dashboard {
+ public:
+  Dashboard();
+
+  /// Set the raw operator inputs (normally from the hardware; in this
+  /// reproduction from a scripted operator or a test).
+  void setControls(const CraneControls& c) { controls_ = c; }
+  const CraneControls& controls() const { return controls_; }
+
+  /// Update output instruments from the authoritative crane state.
+  void updateInstruments(const CraneState& s, const AlarmSet& alarms,
+                         double momentUtilisation);
+
+  double meterValue(Meter m) const;
+  /// The physically displayed value (after any injected fault).
+  double displayedValue(Meter m) const;
+
+  bool lampActive(Alarm a) const { return alarms_.active(a); }
+  const AlarmSet& lamps() const { return alarms_; }
+
+  /// Instructor fault injection (§3.3 troubleshooting training).
+  void injectFault(Meter m, MeterFault f);
+  MeterFault fault(Meter m) const;
+
+  /// Fuel burns while the engine runs; refillable for long sessions.
+  void consumeFuel(double dt);
+  void refuel() { fuel01_ = 1.0; }
+  double fuel() const { return fuel01_; }
+
+ private:
+  CraneControls controls_;
+  std::array<double, kMeterCount> values_{};
+  std::array<double, kMeterCount> frozen_{};
+  std::array<MeterFault, kMeterCount> faults_{};
+  AlarmSet alarms_;
+  double fuel01_ = 1.0;
+  bool engineOn_ = false;
+};
+
+}  // namespace cod::crane

@@ -1,0 +1,75 @@
+#include "crane/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::crane {
+
+CraneJointDynamics::CraneJointDynamics(CraneLimits limits) : limits_(limits) {}
+
+namespace {
+
+/// First-order approach of `rate` toward `target` with time constant tau.
+double relax(double rate, double target, double tau, double dt) {
+  const double alpha = 1.0 - std::exp(-dt / tau);
+  return rate + alpha * (target - rate);
+}
+
+/// Integrate a joint with range clamping; zero the rate at the stops.
+void integrateClamped(double& pos, double& rate, double lo, double hi,
+                      double dt) {
+  pos += rate * dt;
+  if (pos <= lo) {
+    pos = lo;
+    rate = std::max(0.0, rate);
+  } else if (pos >= hi) {
+    pos = hi;
+    rate = std::min(0.0, rate);
+  }
+}
+
+}  // namespace
+
+void CraneJointDynamics::step(CraneState& s, const CraneControls& c,
+                              double dt) const {
+  if (dt <= 0.0) return;
+  // Hydraulic actuators only answer when the engine runs.
+  const double power = s.engineOn ? 1.0 : 0.0;
+  const double tau = limits_.actuatorTau;
+
+  const double slewTarget =
+      power * math::clamp(c.joystickSlew, -1.0, 1.0) * limits_.maxSlewRateRad;
+  s.slewRateRad = relax(s.slewRateRad, slewTarget, tau, dt);
+  s.slewAngleRad = math::wrapAngle(s.slewAngleRad + s.slewRateRad * dt);
+
+  const double luffTarget =
+      power * math::clamp(c.joystickLuff, -1.0, 1.0) * limits_.maxLuffRateRad;
+  s.boomPitchRate = relax(s.boomPitchRate, luffTarget, tau, dt);
+  integrateClamped(s.boomPitchRad, s.boomPitchRate, limits_.boomPitchMinRad,
+                   limits_.boomPitchMaxRad, dt);
+
+  const double teleTarget = power *
+                            math::clamp(c.joystickTelescope, -1.0, 1.0) *
+                            limits_.maxTelescopeRate;
+  s.boomLengthRate = relax(s.boomLengthRate, teleTarget, tau, dt);
+  integrateClamped(s.boomLengthM, s.boomLengthRate, limits_.boomLengthMinM,
+                   limits_.boomLengthMaxM, dt);
+
+  // Hoist: positive joystick pays cable out (hook descends).
+  const double hoistTarget = power * math::clamp(c.joystickHoist, -1.0, 1.0) *
+                             limits_.maxHoistRate;
+  s.cableRate = relax(s.cableRate, hoistTarget, tau, dt);
+  integrateClamped(s.cableLengthM, s.cableRate, limits_.cableMinM,
+                   limits_.cableMaxM, dt);
+}
+
+void EngineModel::step(bool ignition, double demand01, double dt) {
+  on_ = ignition;
+  const double target =
+      on_ ? 800.0 + 1400.0 * math::clamp(demand01, 0.0, 1.0) : 0.0;
+  const double tau = on_ ? 0.8 : 1.6;  // spools up faster than it dies
+  rpm_ += (1.0 - std::exp(-dt / tau)) * (target - rpm_);
+  if (!on_ && rpm_ < 1.0) rpm_ = 0.0;
+}
+
+}  // namespace cod::crane

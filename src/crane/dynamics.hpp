@@ -1,0 +1,36 @@
+// Joint-space dynamics of the crane superstructure: joystick commands →
+// rate-limited, first-order actuator responses, integrated into joint
+// positions with range clamping.
+#pragma once
+
+#include "crane/state.hpp"
+
+namespace cod::crane {
+
+class CraneJointDynamics {
+ public:
+  explicit CraneJointDynamics(CraneLimits limits = {});
+
+  const CraneLimits& limits() const { return limits_; }
+
+  /// Advance the superstructure joints by dt under the given controls.
+  void step(CraneState& s, const CraneControls& c, double dt) const;
+
+ private:
+  CraneLimits limits_;
+};
+
+/// Engine model shared by dashboard RPM gauge and audio pitch: idle +
+/// demand-dependent rise with first-order lag.
+class EngineModel {
+ public:
+  void step(bool ignition, double demand01, double dt);
+  bool on() const { return on_; }
+  double rpm() const { return rpm_; }
+
+ private:
+  bool on_ = false;
+  double rpm_ = 0.0;
+};
+
+}  // namespace cod::crane

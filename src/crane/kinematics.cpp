@@ -1,0 +1,48 @@
+#include "crane/kinematics.hpp"
+
+#include <cmath>
+
+namespace cod::crane {
+
+using math::Mat4;
+using math::Quat;
+using math::Vec3;
+
+CraneKinematics::CraneKinematics(CraneGeometry geom) : geom_(geom) {}
+
+Mat4 CraneKinematics::carrierTransform(const CraneState& s) const {
+  return Mat4::rigid(s.carrierOrientation(), s.carrierPosition);
+}
+
+Vec3 CraneKinematics::boomPivot(const CraneState& s) const {
+  return carrierTransform(s).transformPoint(geom_.boomPivotOffset);
+}
+
+Vec3 CraneKinematics::boomTip(const CraneState& s) const {
+  // Boom direction in the superstructure frame: slew about body z, then
+  // luff up from the deck plane.
+  const Quat slew = Quat::fromAxisAngle({0, 0, 1}, s.slewAngleRad);
+  const Vec3 boomDirBody =
+      slew.rotate({std::cos(s.boomPitchRad), 0.0, std::sin(s.boomPitchRad)});
+  const Vec3 boomDirWorld = s.carrierOrientation().rotate(boomDirBody);
+  return boomPivot(s) + boomDirWorld * s.boomLengthM;
+}
+
+Vec3 CraneKinematics::hookRestPosition(const CraneState& s) const {
+  return boomTip(s) - Vec3{0, 0, s.cableLengthM};
+}
+
+double CraneKinematics::workingRadius(const CraneState& s) const {
+  const Vec3 tip = boomTip(s);
+  const Vec3 axis = carrierTransform(s).transformPoint(
+      {geom_.boomPivotOffset.x, geom_.boomPivotOffset.y, 0.0});
+  const double dx = tip.x - axis.x;
+  const double dy = tip.y - axis.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Vec3 CraneKinematics::cabEye(const CraneState& s) const {
+  return carrierTransform(s).transformPoint(geom_.cabEyeOffset);
+}
+
+}  // namespace cod::crane

@@ -1,0 +1,46 @@
+// Forward kinematics of the crane superstructure.
+#pragma once
+
+#include "crane/state.hpp"
+#include "math/mat.hpp"
+
+namespace cod::crane {
+
+/// Fixed geometry of the crane body.
+struct CraneGeometry {
+  /// Boom pivot relative to the carrier origin (behind the cab, above deck).
+  math::Vec3 boomPivotOffset{-1.0, 0.0, 2.2};
+  /// Operator cab eye point relative to the carrier origin.
+  math::Vec3 cabEyeOffset{2.2, 0.8, 2.6};
+};
+
+class CraneKinematics {
+ public:
+  explicit CraneKinematics(CraneGeometry geom = {});
+
+  const CraneGeometry& geometry() const { return geom_; }
+
+  /// Carrier-body → world rigid transform.
+  math::Mat4 carrierTransform(const CraneState& s) const;
+
+  /// World-space boom pivot.
+  math::Vec3 boomPivot(const CraneState& s) const;
+
+  /// World-space boom tip (pivot + slewed/luffed boom of current length).
+  math::Vec3 boomTip(const CraneState& s) const;
+
+  /// World-space hook rest position (cable straight down from the tip).
+  math::Vec3 hookRestPosition(const CraneState& s) const;
+
+  /// Horizontal working radius: distance from the slew axis to the point
+  /// under the boom tip. This is the lever arm of the load moment.
+  double workingRadius(const CraneState& s) const;
+
+  /// Eye point for the surround-view rig.
+  math::Vec3 cabEye(const CraneState& s) const;
+
+ private:
+  CraneGeometry geom_;
+};
+
+}  // namespace cod::crane

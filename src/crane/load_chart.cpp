@@ -1,0 +1,83 @@
+#include "crane/load_chart.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace cod::crane {
+
+LoadChart::LoadChart(std::vector<double> boomLengths, std::vector<double> radii,
+                     std::vector<std::vector<double>> capacityKg)
+    : lengths_(std::move(boomLengths)),
+      radii_(std::move(radii)),
+      cap_(std::move(capacityKg)) {
+  if (lengths_.size() < 2 || radii_.size() < 2)
+    throw std::invalid_argument("LoadChart: need at least a 2x2 table");
+  if (!std::is_sorted(lengths_.begin(), lengths_.end()) ||
+      !std::is_sorted(radii_.begin(), radii_.end()))
+    throw std::invalid_argument("LoadChart: axes must be increasing");
+  if (cap_.size() != lengths_.size())
+    throw std::invalid_argument("LoadChart: row count mismatch");
+  for (const auto& row : cap_)
+    if (row.size() != radii_.size())
+      throw std::invalid_argument("LoadChart: column count mismatch");
+}
+
+LoadChart LoadChart::typical25t() {
+  // Ratings (kg) by boom length (rows) x working radius (columns);
+  // shaped after published rough-terrain charts: capacity falls sharply
+  // with radius, and long booms trade capacity for reach.
+  return LoadChart(
+      {9.0, 14.0, 20.0, 26.0},             // boom lengths, m
+      {3.0, 5.0, 8.0, 12.0, 16.0, 20.0},   // working radii, m
+      {
+          {25000, 16000, 8500, 4200, 0, 0},      // 9 m boom
+          {21000, 14500, 8000, 4600, 2600, 0},   // 14 m
+          {15000, 12000, 7200, 4300, 2700, 1700},  // 20 m
+          {11000, 9500, 6300, 3900, 2500, 1600},   // 26 m
+      });
+}
+
+double LoadChart::capacityKg(double boomLengthM, double radiusM) const {
+  if (radiusM > radii_.back()) return 0.0;  // outside the envelope
+  const double len = math::clamp(boomLengthM, lengths_.front(), lengths_.back());
+  const double rad = math::clamp(radiusM, radii_.front(), radii_.back());
+  const auto hiL = std::upper_bound(lengths_.begin(), lengths_.end(), len);
+  const std::size_t i1 = std::min<std::size_t>(
+      lengths_.size() - 1,
+      static_cast<std::size_t>(std::max<long>(1, hiL - lengths_.begin())));
+  const std::size_t i0 = i1 - 1;
+  const auto hiR = std::upper_bound(radii_.begin(), radii_.end(), rad);
+  const std::size_t j1 = std::min<std::size_t>(
+      radii_.size() - 1,
+      static_cast<std::size_t>(std::max<long>(1, hiR - radii_.begin())));
+  const std::size_t j0 = j1 - 1;
+  const double u = (len - lengths_[i0]) /
+                   std::max(1e-12, lengths_[i1] - lengths_[i0]);
+  const double v =
+      (rad - radii_[j0]) / std::max(1e-12, radii_[j1] - radii_[j0]);
+  return math::lerp(math::lerp(cap_[i0][j0], cap_[i0][j1], v),
+                    math::lerp(cap_[i1][j0], cap_[i1][j1], v), u);
+}
+
+double LoadChart::utilisation(double loadKg, double boomLengthM,
+                              double radiusM) const {
+  if (loadKg <= 0.0) return 0.0;
+  const double cap = capacityKg(boomLengthM, radiusM);
+  if (cap <= 0.0) return std::numeric_limits<double>::infinity();
+  return loadKg / cap;
+}
+
+void Outriggers::step(double dt) {
+  if (dt <= 0.0 || cycleSec_ <= 0.0) return;
+  const double rate = dt / cycleSec_;
+  progress_ = math::clamp(progress_ + (target_ ? rate : -rate), 0.0, 1.0);
+}
+
+Outriggers::State Outriggers::state() const {
+  if (progress_ <= 0.0) return State::kStowed;
+  if (progress_ >= 1.0) return State::kDeployed;
+  return target_ ? State::kDeploying : State::kStowing;
+}
+
+}  // namespace cod::crane

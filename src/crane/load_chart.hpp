@@ -1,0 +1,73 @@
+// Rated-capacity (load) chart.
+//
+// Real mobile cranes ship a chart: maximum load as a function of boom
+// length and working radius, separately for "on outriggers" and "on
+// rubber" (driving configuration). This module provides a bilinear
+// interpolated chart the safety envelope consults instead of a single
+// rated-moment constant, plus the crane's outrigger state, which the
+// exam's lift phase requires to be deployed.
+#pragma once
+
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace cod::crane {
+
+/// Capacity table: rows indexed by boom length, columns by working radius.
+class LoadChart {
+ public:
+  /// `boomLengths` (m) and `radii` (m) must be strictly increasing;
+  /// `capacityKg[i][j]` is the rating at boomLengths[i], radii[j].
+  LoadChart(std::vector<double> boomLengths, std::vector<double> radii,
+            std::vector<std::vector<double>> capacityKg);
+
+  /// A typical 25 t rough-terrain crane chart (on outriggers).
+  static LoadChart typical25t();
+
+  /// Bilinear-interpolated rating; clamped at the chart edges, and 0 when
+  /// the radius exceeds the chart (outside the working envelope).
+  double capacityKg(double boomLengthM, double radiusM) const;
+
+  /// Utilisation = load / capacity (>= 1 means overload). Infinite when
+  /// outside the envelope with a non-zero load.
+  double utilisation(double loadKg, double boomLengthM, double radiusM) const;
+
+  double maxRadius() const { return radii_.back(); }
+
+ private:
+  std::vector<double> lengths_;
+  std::vector<double> radii_;
+  std::vector<std::vector<double>> cap_;
+};
+
+/// Outrigger beams: extend + set before lifting. Stowed outriggers derate
+/// the chart heavily and let the carrier sway; deployed outriggers lock
+/// the carrier level and firm.
+class Outriggers {
+ public:
+  enum class State { kStowed, kDeploying, kDeployed, kStowing };
+
+  /// Full deploy/stow cycle duration, seconds.
+  explicit Outriggers(double cycleSec = 8.0) : cycleSec_(cycleSec) {}
+
+  void requestDeploy() { target_ = true; }
+  void requestStow() { target_ = false; }
+  void step(double dt);
+
+  State state() const;
+  /// 0 = stowed, 1 = set on all four pads.
+  double progress() const { return progress_; }
+  bool deployed() const { return progress_ >= 1.0; }
+  bool stowed() const { return progress_ <= 0.0; }
+  /// Chart derating factor when lifting "on rubber" (stowed): a real crane
+  /// keeps only a fraction of its on-outrigger rating.
+  double capacityFactor() const { return deployed() ? 1.0 : 0.25; }
+
+ private:
+  double cycleSec_;
+  double progress_ = 0.0;
+  bool target_ = false;
+};
+
+}  // namespace cod::crane

@@ -1,0 +1,96 @@
+#include "crane/safety.hpp"
+
+#include <bit>
+
+namespace cod::crane {
+
+const char* alarmName(Alarm a) {
+  switch (a) {
+    case Alarm::kBoomOvershoot: return "BOOM OVERSHOOT";
+    case Alarm::kSlewZone: return "SLEW ZONE";
+    case Alarm::kOverload: return "OVERLOAD";
+    case Alarm::kTipover: return "TIP-OVER";
+    case Alarm::kCableOverrun: return "CABLE OVERRUN";
+    case Alarm::kOverspeed: return "OVERSPEED";
+    case Alarm::kOutriggers: return "OUTRIGGERS";
+    case Alarm::kHighWind: return "HIGH WIND";
+  }
+  return "?";
+}
+
+std::size_t AlarmSet::count() const {
+  return static_cast<std::size_t>(std::popcount(bits_));
+}
+
+AlarmSet AlarmSet::fromBits(std::uint32_t bits) {
+  AlarmSet s;
+  s.bits_ = bits & ((1u << kAlarmCount) - 1);
+  return s;
+}
+
+std::vector<Alarm> AlarmSet::list() const {
+  std::vector<Alarm> out;
+  for (std::size_t i = 0; i < kAlarmCount; ++i) {
+    const Alarm a = static_cast<Alarm>(i);
+    if (active(a)) out.push_back(a);
+  }
+  return out;
+}
+
+SafetyEnvelope::SafetyEnvelope(SafetyLimits limits) : limits_(limits) {}
+
+SafetyEnvelope::Assessment SafetyEnvelope::assess(
+    const CraneState& s, const CraneKinematics& kin,
+    double rolloverIndex) const {
+  Environment env;
+  env.rolloverIndex = rolloverIndex;
+  return assess(s, kin, env);
+}
+
+SafetyEnvelope::Assessment SafetyEnvelope::assess(
+    const CraneState& s, const CraneKinematics& kin,
+    const Environment& env) const {
+  Assessment a;
+  a.rolloverIndex = env.rolloverIndex;
+
+  if (s.boomPitchRad < limits_.boomPitchSafeMinRad ||
+      s.boomPitchRad > limits_.boomPitchSafeMaxRad) {
+    a.alarms.raise(Alarm::kBoomOvershoot);
+  }
+  if (limits_.slewZoneHalfWidthRad > 0.0) {
+    const double off =
+        std::abs(math::angleDiff(s.slewAngleRad, limits_.slewZoneCenterRad));
+    if (off <= limits_.slewZoneHalfWidthRad) a.alarms.raise(Alarm::kSlewZone);
+  }
+  a.loadMomentKgM = s.hookLoadKg * kin.workingRadius(s);
+  if (chart_) {
+    // Chart rating, derated when lifting on rubber (outriggers stowed).
+    const double factor = env.outriggersDeployed ? 1.0 : 0.25;
+    const double cap =
+        factor * chart_->capacityKg(s.boomLengthM, kin.workingRadius(s));
+    a.momentUtilisation = cap > 0.0 ? s.hookLoadKg / cap
+                          : (s.hookLoadKg > 0.0 ? 2.0 : 0.0);
+  } else {
+    a.momentUtilisation =
+        limits_.ratedMomentKgM > 0 ? a.loadMomentKgM / limits_.ratedMomentKgM
+                                   : 0.0;
+  }
+  if (a.momentUtilisation > 1.0) a.alarms.raise(Alarm::kOverload);
+  if (env.rolloverIndex > limits_.rolloverWarnIndex)
+    a.alarms.raise(Alarm::kTipover);
+  if (s.cargoAttached && !env.outriggersDeployed)
+    a.alarms.raise(Alarm::kOutriggers);
+  if (env.windSpeedMps > limits_.windStopMps)
+    a.alarms.raise(Alarm::kHighWind);
+  if (s.cargoAttached &&
+      std::abs(s.carrierSpeedMps) > limits_.maxSpeedWithLoadMps) {
+    a.alarms.raise(Alarm::kOverspeed);
+  }
+  // Cable near its winch limits (two-blocking at the top, slack at bottom).
+  // The CraneLimits clamp the state; flag when within the margin.
+  if (s.cableLengthM <= limits_.cableSlackMarginM + 0.5)
+    a.alarms.raise(Alarm::kCableOverrun);
+  return a;
+}
+
+}  // namespace cod::crane

@@ -1,0 +1,107 @@
+// Safety envelope and alarms (§3.3: "alarm signals ... signal the
+// misconduct of the operator", e.g. "if the derrick boom overshoots the
+// safety zone, the second alarm will be lighted").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crane/kinematics.hpp"
+#include "crane/load_chart.hpp"
+#include "crane/state.hpp"
+
+namespace cod::crane {
+
+/// Alarm lamps on the instructor's status window.
+enum class Alarm : std::uint8_t {
+  kBoomOvershoot = 0,   // luff angle outside the safety zone
+  kSlewZone = 1,        // superstructure slewed into the forbidden arc
+  kOverload = 2,        // load moment above the rated chart
+  kTipover = 3,         // carrier rollover index too high
+  kCableOverrun = 4,    // cable at the limit (two-block / slack)
+  kOverspeed = 5,       // driving too fast with a suspended load
+  kOutriggers = 6,      // lifting without the outriggers set
+  kHighWind = 7,        // wind above the work-stop threshold
+};
+
+inline constexpr std::size_t kAlarmCount = 8;
+
+const char* alarmName(Alarm a);
+
+/// Bit set of active alarms, cheap to ship in a CB attribute.
+class AlarmSet {
+ public:
+  void raise(Alarm a) { bits_ |= (1u << static_cast<unsigned>(a)); }
+  bool active(Alarm a) const {
+    return (bits_ & (1u << static_cast<unsigned>(a))) != 0;
+  }
+  bool any() const { return bits_ != 0; }
+  std::size_t count() const;
+  std::uint32_t bits() const { return bits_; }
+  static AlarmSet fromBits(std::uint32_t bits);
+  std::vector<Alarm> list() const;
+
+  bool operator==(const AlarmSet&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// Envelope limits + the rated load-moment chart.
+struct SafetyLimits {
+  double boomPitchSafeMinRad = math::deg2rad(15.0);
+  double boomPitchSafeMaxRad = math::deg2rad(78.0);
+  /// Forbidden slew arc (e.g. over the cab), symmetric around `slewZoneCenter`.
+  double slewZoneCenterRad = math::kPi;  // directly backwards is allowed...
+  double slewZoneHalfWidthRad = 0.0;     // ...by default no forbidden arc
+  /// Rated moment: maximum load [kg] * working radius [m]. Used only when
+  /// no load chart is installed.
+  double ratedMomentKgM = 90000.0;  // e.g. 9 t at 10 m
+  double rolloverWarnIndex = 0.55;
+  double maxSpeedWithLoadMps = 2.0;
+  double cableSlackMarginM = 0.2;
+  /// Work-stop wind speed (typical site rule: ~10 m/s for crane work).
+  double windStopMps = 10.0;
+};
+
+/// Evaluates the alarm lamps for a crane state.
+class SafetyEnvelope {
+ public:
+  explicit SafetyEnvelope(SafetyLimits limits = {});
+
+  const SafetyLimits& limits() const { return limits_; }
+
+  /// Install a rated-capacity chart; assessments then use chart
+  /// utilisation (with the outrigger derating) instead of the flat moment.
+  void setLoadChart(LoadChart chart) { chart_ = std::move(chart); }
+  bool hasLoadChart() const { return chart_.has_value(); }
+
+  struct Assessment {
+    AlarmSet alarms;
+    double loadMomentKgM = 0.0;
+    /// Load relative to the rating (chart or flat moment); >1 is overload.
+    double momentUtilisation = 0.0;
+    double rolloverIndex = 0.0;
+  };
+
+  /// Context beyond the crane state the envelope needs.
+  struct Environment {
+    double rolloverIndex = 0.0;
+    double windSpeedMps = 0.0;
+    bool outriggersDeployed = true;
+  };
+
+  Assessment assess(const CraneState& s, const CraneKinematics& kin,
+                    const Environment& env) const;
+  /// Convenience for callers without wind/outrigger context.
+  Assessment assess(const CraneState& s, const CraneKinematics& kin,
+                    double rolloverIndex) const;
+
+ private:
+  SafetyLimits limits_;
+  std::optional<LoadChart> chart_;
+};
+
+}  // namespace cod::crane

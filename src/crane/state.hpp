@@ -1,0 +1,83 @@
+// Crane joint state and operator control inputs.
+//
+// The paper's mockup has a steering wheel, gas pedal, brake and two
+// joysticks: one for the derrick boom (slew + luff) and one for the boom
+// telescope and the plumb (hoist) cable (§3.2).
+#pragma once
+
+#include "math/quat.hpp"
+#include "math/vec.hpp"
+
+namespace cod::crane {
+
+/// Joint-space state of the crane superstructure.
+struct CraneState {
+  // Slew: rotation of the superstructure about the carrier's vertical axis.
+  double slewAngleRad = 0.0;
+  double slewRateRad = 0.0;
+  // Luff ("raising degree of the derrick boom").
+  double boomPitchRad = math::deg2rad(45.0);
+  double boomPitchRate = 0.0;
+  // Telescope ("elongated length of the derrick boom").
+  double boomLengthM = 10.0;
+  double boomLengthRate = 0.0;
+  // Plumb cable ("current length of the plumb cable").
+  double cableLengthM = 6.0;
+  double cableRate = 0.0;
+
+  double hookLoadKg = 0.0;  // cargo currently on the hook
+  bool cargoAttached = false;
+
+  bool engineOn = false;
+  double engineRpm = 0.0;
+
+  // Carrier pose (filled from the vehicle model).
+  math::Vec3 carrierPosition;
+  double carrierHeadingRad = 0.0;
+  double carrierPitchRad = 0.0;
+  double carrierRollRad = 0.0;
+  double carrierSpeedMps = 0.0;
+
+  math::Quat carrierOrientation() const {
+    return math::Quat::fromEuler(carrierRollRad, -carrierPitchRad,
+                                 carrierHeadingRad);
+  }
+};
+
+/// Normalised operator inputs, as read off the dashboard instruments.
+struct CraneControls {
+  // Driving.
+  double steering = 0.0;  // [-1, 1]
+  double throttle = 0.0;  // [0, 1]
+  double brake = 0.0;     // [0, 1]
+  bool reverse = false;
+  bool ignition = false;
+  // Boom joystick: x = slew, y = luff.
+  double joystickSlew = 0.0;  // [-1, 1]
+  double joystickLuff = 0.0;  // [-1, 1]
+  // Telescope/cable joystick: x = telescope, y = hoist.
+  double joystickTelescope = 0.0;  // [-1, 1]
+  double joystickHoist = 0.0;      // [-1, 1]
+  // Hook latch (grab / release cargo).
+  bool hookLatch = false;
+  // Outrigger master switch (deploy when true, stow when false).
+  bool outriggersDeploy = false;
+};
+
+/// Joint rate/range limits of the crane superstructure.
+struct CraneLimits {
+  double maxSlewRateRad = math::deg2rad(12.0);
+  double maxLuffRateRad = math::deg2rad(8.0);
+  double maxTelescopeRate = 0.8;   // m/s
+  double maxHoistRate = 1.2;       // m/s
+  double boomPitchMinRad = math::deg2rad(5.0);
+  double boomPitchMaxRad = math::deg2rad(80.0);
+  double boomLengthMinM = 9.0;
+  double boomLengthMaxM = 26.0;
+  double cableMinM = 0.5;
+  double cableMaxM = 30.0;
+  /// First-order response time of each actuator (s).
+  double actuatorTau = 0.35;
+};
+
+}  // namespace cod::crane

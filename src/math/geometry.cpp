@@ -1,0 +1,194 @@
+#include "math/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::math {
+
+Aabb Aabb::fromPoints(std::span<const Vec3> pts) {
+  Aabb box;
+  for (const Vec3& p : pts) box.expand(p);
+  return box;
+}
+
+Sphere Sphere::fromPoints(std::span<const Vec3> pts) {
+  // Ritter-style: bound the AABB centre; exact enough for bounding volumes.
+  if (pts.empty()) return {};
+  const Aabb box = Aabb::fromPoints(pts);
+  Sphere s{box.center(), 0.0};
+  double r2 = 0.0;
+  for (const Vec3& p : pts) r2 = std::max(r2, (p - s.center).norm2());
+  s.radius = std::sqrt(r2);
+  return s;
+}
+
+bool Sphere::overlaps(const Aabb& box) const {
+  // Distance from the centre to the box, squared.
+  double d2 = 0.0;
+  const double cs[3] = {center.x, center.y, center.z};
+  const double lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+  const double hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+  for (int i = 0; i < 3; ++i) {
+    if (cs[i] < lo[i]) {
+      const double d = lo[i] - cs[i];
+      d2 += d * d;
+    } else if (cs[i] > hi[i]) {
+      const double d = cs[i] - hi[i];
+      d2 += d * d;
+    }
+  }
+  return d2 <= radius * radius;
+}
+
+namespace {
+
+// Project triangle onto axis; returns [min, max].
+void projectTri(const Triangle& t, const Vec3& axis, double& mn, double& mx) {
+  const double a = axis.dot(t.a);
+  const double b = axis.dot(t.b);
+  const double c = axis.dot(t.c);
+  mn = std::min({a, b, c});
+  mx = std::max({a, b, c});
+}
+
+bool axisSeparates(const Triangle& t1, const Triangle& t2, const Vec3& axis) {
+  if (axis.norm2() < 1e-24) return false;  // degenerate axis: no information
+  double mn1, mx1, mn2, mx2;
+  projectTri(t1, axis, mn1, mx1);
+  projectTri(t2, axis, mn2, mx2);
+  // Require a gap clearly above rounding noise: coplanar triangles project
+  // onto (near-)normal axes with ~1e-17 artificial gaps that would
+  // otherwise report touching geometry as separated.
+  const double eps =
+      1e-10 * (std::abs(mn1) + std::abs(mx1) + std::abs(mn2) + std::abs(mx2));
+  return mx1 < mn2 - eps || mx2 < mn1 - eps;
+}
+
+}  // namespace
+
+bool triTriIntersect(const Triangle& t1, const Triangle& t2) {
+  // Separating axis test: 2 face normals + 9 edge-edge cross products +
+  // 6 in-plane edge normals. The last group is what separates *coplanar*
+  // pairs, where every edge-edge cross product degenerates to the shared
+  // face normal and cannot discriminate.
+  const Vec3 e1[3] = {t1.b - t1.a, t1.c - t1.b, t1.a - t1.c};
+  const Vec3 e2[3] = {t2.b - t2.a, t2.c - t2.b, t2.a - t2.c};
+  const Vec3 n1 = e1[0].cross(e1[1]);
+  const Vec3 n2 = e2[0].cross(e2[1]);
+  if (axisSeparates(t1, t2, n1)) return false;
+  if (axisSeparates(t1, t2, n2)) return false;
+  for (const auto& a : e1)
+    for (const auto& b : e2)
+      if (axisSeparates(t1, t2, a.cross(b))) return false;
+  for (const auto& a : e1)
+    if (axisSeparates(t1, t2, n1.cross(a))) return false;
+  for (const auto& b : e2)
+    if (axisSeparates(t1, t2, n2.cross(b))) return false;
+  return true;
+}
+
+bool rayTriIntersect(const Ray& ray, const Triangle& tri, double* tOut) {
+  constexpr double kEps = 1e-12;
+  const Vec3 e1 = tri.b - tri.a;
+  const Vec3 e2 = tri.c - tri.a;
+  const Vec3 p = ray.dir.cross(e2);
+  const double det = e1.dot(p);
+  if (std::abs(det) < kEps) return false;  // parallel
+  const double inv = 1.0 / det;
+  const Vec3 s = ray.origin - tri.a;
+  const double u = s.dot(p) * inv;
+  if (u < 0.0 || u > 1.0) return false;
+  const Vec3 q = s.cross(e1);
+  const double v = ray.dir.dot(q) * inv;
+  if (v < 0.0 || u + v > 1.0) return false;
+  const double t = e2.dot(q) * inv;
+  if (t < 0.0) return false;
+  if (tOut != nullptr) *tOut = t;
+  return true;
+}
+
+bool rayAabbIntersect(const Ray& ray, const Aabb& box, double* tNearOut) {
+  double tNear = 0.0;
+  double tFar = 1e300;
+  const double o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+  const double d[3] = {ray.dir.x, ray.dir.y, ray.dir.z};
+  const double lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+  const double hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+  for (int i = 0; i < 3; ++i) {
+    if (std::abs(d[i]) < 1e-15) {
+      if (o[i] < lo[i] || o[i] > hi[i]) return false;
+      continue;
+    }
+    double t1 = (lo[i] - o[i]) / d[i];
+    double t2 = (hi[i] - o[i]) / d[i];
+    if (t1 > t2) std::swap(t1, t2);
+    tNear = std::max(tNear, t1);
+    tFar = std::min(tFar, t2);
+    if (tNear > tFar) return false;
+  }
+  if (tNearOut != nullptr) *tNearOut = tNear;
+  return true;
+}
+
+Vec3 closestPointOnSegment(const Vec3& a, const Vec3& b, const Vec3& p) {
+  const Vec3 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 < 1e-24) return a;
+  const double t = clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return a + ab * t;
+}
+
+double segmentSegmentDistance(const Vec3& p1, const Vec3& q1, const Vec3& p2,
+                              const Vec3& q2) {
+  // Ericson, Real-Time Collision Detection, closest-point-of-segments.
+  const Vec3 d1 = q1 - p1;
+  const Vec3 d2 = q2 - p2;
+  const Vec3 r = p1 - p2;
+  const double a = d1.norm2();
+  const double e = d2.norm2();
+  const double f = d2.dot(r);
+  double s, t;
+  constexpr double kEps = 1e-15;
+  if (a <= kEps && e <= kEps) return r.norm();
+  if (a <= kEps) {
+    s = 0.0;
+    t = clamp(f / e, 0.0, 1.0);
+  } else {
+    const double c = d1.dot(r);
+    if (e <= kEps) {
+      t = 0.0;
+      s = clamp(-c / a, 0.0, 1.0);
+    } else {
+      const double b = d1.dot(d2);
+      const double denom = a * e - b * b;
+      s = denom > kEps ? clamp((b * f - c * e) / denom, 0.0, 1.0) : 0.0;
+      t = (b * s + f) / e;
+      if (t < 0.0) {
+        t = 0.0;
+        s = clamp(-c / a, 0.0, 1.0);
+      } else if (t > 1.0) {
+        t = 1.0;
+        s = clamp((b - c) / a, 0.0, 1.0);
+      }
+    }
+  }
+  const Vec3 c1 = p1 + d1 * s;
+  const Vec3 c2 = p2 + d2 * t;
+  return (c1 - c2).norm();
+}
+
+bool pointInPolygon2D(const Vec2& p, std::span<const Vec2> poly) {
+  bool inside = false;
+  const std::size_t n = poly.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2& a = poly[i];
+    const Vec2& b = poly[j];
+    if (((a.y > p.y) != (b.y > p.y)) &&
+        (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+}  // namespace cod::math

@@ -1,0 +1,119 @@
+// Geometric primitives and intersection kernels shared by the collision
+// subsystem, the renderer and the scenario course description.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace cod::math {
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec3 lo{1e300, 1e300, 1e300};
+  Vec3 hi{-1e300, -1e300, -1e300};
+
+  static Aabb fromPoints(std::span<const Vec3> pts);
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 extent() const { return (hi - lo) * 0.5; }
+  double volume() const {
+    if (!valid()) return 0.0;
+    const Vec3 d = hi - lo;
+    return d.x * d.y * d.z;
+  }
+  void expand(const Vec3& p) {
+    lo = lo.cwiseMin(p);
+    hi = hi.cwiseMax(p);
+  }
+  void expand(const Aabb& o) {
+    lo = lo.cwiseMin(o.lo);
+    hi = hi.cwiseMax(o.hi);
+  }
+  /// Grow the box by `margin` on all sides.
+  Aabb inflated(double margin) const {
+    return {lo - Vec3{margin, margin, margin}, hi + Vec3{margin, margin, margin}};
+  }
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+  bool overlaps(const Aabb& o) const {
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y &&
+           hi.y >= o.lo.y && lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+};
+
+/// Bounding sphere.
+struct Sphere {
+  Vec3 center;
+  double radius = 0.0;
+
+  static Sphere fromPoints(std::span<const Vec3> pts);
+
+  bool overlaps(const Sphere& o) const {
+    const double r = radius + o.radius;
+    return (center - o.center).norm2() <= r * r;
+  }
+  bool overlaps(const Aabb& box) const;
+  bool contains(const Vec3& p) const {
+    return (p - center).norm2() <= radius * radius;
+  }
+};
+
+/// A triangle in 3-D.
+struct Triangle {
+  Vec3 a, b, c;
+
+  Vec3 normal() const { return (b - a).cross(c - a).normalized(); }
+  Vec3 centroid() const { return (a + b + c) / 3.0; }
+  double area() const { return 0.5 * (b - a).cross(c - a).norm(); }
+  Aabb bounds() const {
+    Aabb box;
+    box.expand(a);
+    box.expand(b);
+    box.expand(c);
+    return box;
+  }
+};
+
+/// Plane in Hessian normal form: dot(n, p) + d = 0.
+struct Plane {
+  Vec3 n{0, 0, 1};
+  double d = 0.0;
+
+  static Plane fromPointNormal(const Vec3& p, const Vec3& normal) {
+    const Vec3 u = normal.normalized();
+    return {u, -u.dot(p)};
+  }
+  double signedDistance(const Vec3& p) const { return n.dot(p) + d; }
+};
+
+/// Parametric ray: origin + t * dir, t >= 0.
+struct Ray {
+  Vec3 origin;
+  Vec3 dir{0, 0, -1};
+};
+
+/// Exact triangle–triangle intersection test (Moller 1997 interval method).
+bool triTriIntersect(const Triangle& t1, const Triangle& t2);
+
+/// Ray–triangle intersection (Moller–Trumbore); on hit, writes distance t.
+bool rayTriIntersect(const Ray& ray, const Triangle& tri, double* tOut);
+
+/// Ray–AABB slab test; returns true if the ray hits the box for some t >= 0.
+bool rayAabbIntersect(const Ray& ray, const Aabb& box, double* tNearOut);
+
+/// Closest point on a segment [a, b] to point p.
+Vec3 closestPointOnSegment(const Vec3& a, const Vec3& b, const Vec3& p);
+
+/// Minimum distance between two segments [p1,q1] and [p2,q2].
+double segmentSegmentDistance(const Vec3& p1, const Vec3& q1, const Vec3& p2,
+                              const Vec3& q2);
+
+/// 2-D point-in-polygon test (winding, closed polygon, XY plane).
+bool pointInPolygon2D(const Vec2& p, std::span<const Vec2> poly);
+
+}  // namespace cod::math

@@ -1,0 +1,146 @@
+#include "math/mat.hpp"
+
+namespace cod::math {
+
+Mat3 Mat3::fromQuat(const Quat& q) {
+  const double w = q.w, x = q.x, y = q.y, z = q.z;
+  Mat3 r;
+  r.m[0][0] = 1 - 2 * (y * y + z * z);
+  r.m[0][1] = 2 * (x * y - w * z);
+  r.m[0][2] = 2 * (x * z + w * y);
+  r.m[1][0] = 2 * (x * y + w * z);
+  r.m[1][1] = 1 - 2 * (x * x + z * z);
+  r.m[1][2] = 2 * (y * z - w * x);
+  r.m[2][0] = 2 * (x * z - w * y);
+  r.m[2][1] = 2 * (y * z + w * x);
+  r.m[2][2] = 1 - 2 * (x * x + y * y);
+  return r;
+}
+
+Mat3 Mat3::operator*(const Mat3& o) const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) {
+      double s = 0;
+      for (int k = 0; k < 3; ++k) s += m[i][k] * o.m[k][j];
+      r.m[i][j] = s;
+    }
+  return r;
+}
+
+Mat3 Mat3::transposed() const {
+  Mat3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+  return r;
+}
+
+double Mat3::determinant() const {
+  return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+Mat4 Mat4::translation(const Vec3& t) {
+  Mat4 r;
+  r.m[0][3] = t.x;
+  r.m[1][3] = t.y;
+  r.m[2][3] = t.z;
+  return r;
+}
+
+Mat4 Mat4::scale(const Vec3& s) {
+  Mat4 r;
+  r.m[0][0] = s.x;
+  r.m[1][1] = s.y;
+  r.m[2][2] = s.z;
+  return r;
+}
+
+Mat4 Mat4::rotation(const Quat& q) {
+  const Mat3 r3 = Mat3::fromQuat(q.normalized());
+  Mat4 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r.m[i][j] = r3.m[i][j];
+  return r;
+}
+
+Mat4 Mat4::rigid(const Quat& q, const Vec3& t) {
+  Mat4 r = rotation(q);
+  r.m[0][3] = t.x;
+  r.m[1][3] = t.y;
+  r.m[2][3] = t.z;
+  return r;
+}
+
+Mat4 Mat4::lookAt(const Vec3& eye, const Vec3& target, const Vec3& up) {
+  const Vec3 f = (target - eye).normalized();   // forward
+  const Vec3 s = f.cross(up).normalized();      // right
+  const Vec3 u = s.cross(f);                    // true up
+  Mat4 r;
+  r.m[0][0] = s.x; r.m[0][1] = s.y; r.m[0][2] = s.z; r.m[0][3] = -s.dot(eye);
+  r.m[1][0] = u.x; r.m[1][1] = u.y; r.m[1][2] = u.z; r.m[1][3] = -u.dot(eye);
+  r.m[2][0] = -f.x; r.m[2][1] = -f.y; r.m[2][2] = -f.z; r.m[2][3] = f.dot(eye);
+  return r;
+}
+
+Mat4 Mat4::perspective(double fovY, double aspect, double zNear, double zFar) {
+  const double t = 1.0 / std::tan(fovY * 0.5);
+  Mat4 r;
+  r.m[0][0] = t / aspect;
+  r.m[1][1] = t;
+  r.m[2][2] = (zFar + zNear) / (zNear - zFar);
+  r.m[2][3] = 2.0 * zFar * zNear / (zNear - zFar);
+  r.m[3][2] = -1.0;
+  r.m[3][3] = 0.0;
+  return r;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      double s = 0;
+      for (int k = 0; k < 4; ++k) s += m[i][k] * o.m[k][j];
+      r.m[i][j] = s;
+    }
+  return r;
+}
+
+Vec4 Mat4::operator*(const Vec4& v) const {
+  return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+          m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+          m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+          m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w};
+}
+
+Vec3 Mat4::transformPoint(const Vec3& p) const {
+  const Vec4 r = (*this) * Vec4{p, 1.0};
+  return r.xyz();
+}
+
+Vec3 Mat4::transformDir(const Vec3& d) const {
+  const Vec4 r = (*this) * Vec4{d, 0.0};
+  return r.xyz();
+}
+
+Mat4 Mat4::transposed() const {
+  Mat4 r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r.m[i][j] = m[j][i];
+  return r;
+}
+
+Mat4 Mat4::rigidInverse() const {
+  // [R t; 0 1]^-1 = [R' -R't; 0 1]
+  Mat4 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+  const Vec3 t{m[0][3], m[1][3], m[2][3]};
+  r.m[0][3] = -(r.m[0][0] * t.x + r.m[0][1] * t.y + r.m[0][2] * t.z);
+  r.m[1][3] = -(r.m[1][0] * t.x + r.m[1][1] * t.y + r.m[1][2] * t.z);
+  r.m[2][3] = -(r.m[2][0] * t.x + r.m[2][1] * t.y + r.m[2][2] * t.z);
+  return r;
+}
+
+}  // namespace cod::math

@@ -1,0 +1,54 @@
+// 3x3 and 4x4 matrices, row-major, used by the renderer and platform IK.
+#pragma once
+
+#include "math/quat.hpp"
+#include "math/vec.hpp"
+
+namespace cod::math {
+
+/// Row-major 3x3 matrix.
+struct Mat3 {
+  double m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+
+  static Mat3 identity() { return {}; }
+  static Mat3 fromQuat(const Quat& q);
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+  Mat3 operator*(const Mat3& o) const;
+  Mat3 transposed() const;
+  double determinant() const;
+};
+
+/// Row-major 4x4 homogeneous transform / projection matrix.
+struct Mat4 {
+  double m[4][4] = {{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}};
+
+  static Mat4 identity() { return {}; }
+  static Mat4 translation(const Vec3& t);
+  static Mat4 scale(const Vec3& s);
+  static Mat4 rotation(const Quat& q);
+  /// Rigid transform: rotate by q then translate by t.
+  static Mat4 rigid(const Quat& q, const Vec3& t);
+  /// Right-handed look-at view matrix (camera at eye, looking at target).
+  static Mat4 lookAt(const Vec3& eye, const Vec3& target, const Vec3& up);
+  /// Right-handed perspective projection; fovY in radians, maps to clip
+  /// space with z in [-w, w].
+  static Mat4 perspective(double fovY, double aspect, double zNear,
+                          double zFar);
+
+  Mat4 operator*(const Mat4& o) const;
+  Vec4 operator*(const Vec4& v) const;
+  /// Transform a point (w = 1) and drop back to 3-D (no perspective divide).
+  Vec3 transformPoint(const Vec3& p) const;
+  /// Transform a direction (w = 0).
+  Vec3 transformDir(const Vec3& d) const;
+  Mat4 transposed() const;
+  /// Inverse of a rigid transform (rotation + translation only).
+  Mat4 rigidInverse() const;
+};
+
+}  // namespace cod::math

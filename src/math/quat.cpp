@@ -1,0 +1,84 @@
+#include "math/quat.hpp"
+
+#include <algorithm>
+
+namespace cod::math {
+
+Quat Quat::fromAxisAngle(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  const double h = angle * 0.5;
+  const double s = std::sin(h);
+  return {std::cos(h), u.x * s, u.y * s, u.z * s};
+}
+
+Quat Quat::fromEuler(double roll, double pitch, double yaw) {
+  const Quat rz = fromAxisAngle({0, 0, 1}, yaw);
+  const Quat ry = fromAxisAngle({0, 1, 0}, pitch);
+  const Quat rx = fromAxisAngle({1, 0, 0}, roll);
+  return rz * ry * rx;
+}
+
+Quat Quat::normalized() const {
+  const double n = norm();
+  if (n <= 0.0) return Quat{};
+  return {w / n, x / n, y / n, z / n};
+}
+
+Vec3 Quat::rotate(const Vec3& v) const {
+  // v' = v + 2 q_v x (q_v x v + w v)
+  const Vec3 qv{x, y, z};
+  const Vec3 t = qv.cross(v) * 2.0;
+  return v + t * w + qv.cross(t);
+}
+
+Vec3 Quat::toEuler() const {
+  // Inverse of fromEuler (Z-Y-X intrinsic / yaw-pitch-roll).
+  const double sinp = 2.0 * (w * y - z * x);
+  double pitch;
+  if (std::abs(sinp) >= 1.0) {
+    pitch = std::copysign(kPi / 2.0, sinp);  // gimbal lock
+  } else {
+    pitch = std::asin(sinp);
+  }
+  const double roll =
+      std::atan2(2.0 * (w * x + y * z), 1.0 - 2.0 * (x * x + y * y));
+  const double yaw =
+      std::atan2(2.0 * (w * z + x * y), 1.0 - 2.0 * (y * y + z * z));
+  return {roll, pitch, yaw};
+}
+
+double Quat::angle() const {
+  const double c = clamp(std::abs(w) / std::max(norm(), 1e-300), 0.0, 1.0);
+  return 2.0 * std::acos(c);
+}
+
+Quat nlerp(const Quat& a, const Quat& b, double t) {
+  // Take the short arc.
+  const double d = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+  const double s = d < 0.0 ? -1.0 : 1.0;
+  Quat r{lerp(a.w, s * b.w, t), lerp(a.x, s * b.x, t), lerp(a.y, s * b.y, t),
+         lerp(a.z, s * b.z, t)};
+  return r.normalized();
+}
+
+Quat slerp(const Quat& a, const Quat& b, double t) {
+  double d = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+  Quat bb = b;
+  if (d < 0.0) {
+    d = -d;
+    bb = {-b.w, -b.x, -b.y, -b.z};
+  }
+  if (d > 0.9995) return nlerp(a, bb, t);  // nearly parallel: avoid 1/sin(0)
+  const double theta = std::acos(clamp(d, -1.0, 1.0));
+  const double sa = std::sin((1.0 - t) * theta) / std::sin(theta);
+  const double sb = std::sin(t * theta) / std::sin(theta);
+  Quat r{a.w * sa + bb.w * sb, a.x * sa + bb.x * sb, a.y * sa + bb.y * sb,
+         a.z * sa + bb.z * sb};
+  return r.normalized();
+}
+
+double angularDistance(const Quat& a, const Quat& b) {
+  return (a.conjugate() * b).angle();
+}
+
+}  // namespace cod::math

@@ -1,0 +1,60 @@
+// Unit quaternions for 3-D orientation (motion platform, crane pose,
+// camera rig). Convention: q = w + xi + yj + zk, Hamilton product,
+// right-handed coordinate frames.
+#pragma once
+
+#include "math/vec.hpp"
+
+namespace cod::math {
+
+struct Quat {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Quat() = default;
+  constexpr Quat(double w_, double x_, double y_, double z_)
+      : w(w_), x(x_), y(y_), z(z_) {}
+
+  /// Quaternion for a rotation of `angle` radians about unit `axis`.
+  static Quat fromAxisAngle(const Vec3& axis, double angle);
+
+  /// Z-Y-X (yaw, pitch, roll) Euler composition: R = Rz(yaw)Ry(pitch)Rx(roll).
+  static Quat fromEuler(double roll, double pitch, double yaw);
+
+  /// Hamilton product; composition satisfies
+  /// (a*b).rotate(v) == a.rotate(b.rotate(v)).
+  Quat operator*(const Quat& o) const {
+    return {w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w};
+  }
+
+  constexpr Quat conjugate() const { return {w, -x, -y, -z}; }
+  double norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+  Quat normalized() const;
+
+  /// Rotate a vector by this (assumed unit) quaternion.
+  Vec3 rotate(const Vec3& v) const;
+
+  /// Extract (roll, pitch, yaw) matching fromEuler.
+  Vec3 toEuler() const;
+
+  /// Angle of the rotation this quaternion represents, in [0, pi].
+  double angle() const;
+
+  constexpr bool operator==(const Quat&) const = default;
+};
+
+/// Normalized linear interpolation (cheap, adequate for small steps).
+Quat nlerp(const Quat& a, const Quat& b, double t);
+
+/// Spherical linear interpolation (constant angular velocity).
+Quat slerp(const Quat& a, const Quat& b, double t);
+
+/// Geodesic angular distance between two unit quaternions, in [0, pi].
+double angularDistance(const Quat& a, const Quat& b);
+
+}  // namespace cod::math

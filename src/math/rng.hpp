@@ -1,0 +1,50 @@
+// Deterministic, seedable random number generation.
+//
+// The simulator must be reproducible across runs (tests, benches and the
+// simulated LAN all depend on it), so every stochastic component takes an
+// explicit Rng instead of touching global state.
+#pragma once
+
+#include <cstdint>
+
+namespace cod::math {
+
+/// xoshiro256** with a splitmix64 seeder — fast, high quality, and
+/// deterministic for a given seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (one value per call, cached pair).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fork a statistically independent stream (for per-node RNGs).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+  bool hasCachedNormal_ = false;
+  double cachedNormal_ = 0.0;
+};
+
+}  // namespace cod::math

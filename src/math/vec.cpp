@@ -1,0 +1,23 @@
+#include "math/vec.hpp"
+
+#include <ostream>
+
+namespace cod::math {
+
+double wrapAngle(double rad) noexcept {
+  double a = std::fmod(rad + kPi, kTwoPi);
+  if (a <= 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+double angleDiff(double a, double b) noexcept { return wrapAngle(a - b); }
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+  return os << '(' << v.x << ", " << v.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace cod::math

@@ -1,0 +1,156 @@
+// Small fixed-size vector types used across the simulator.
+//
+// These are deliberately simple value types (Core Guidelines C.10: prefer
+// concrete types). All operations are constexpr-friendly and allocation-free.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+
+namespace cod::math {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Degrees → radians.
+constexpr double deg2rad(double deg) noexcept { return deg * kPi / 180.0; }
+/// Radians → degrees.
+constexpr double rad2deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// 2-component double vector (screen coordinates, course maps).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  Vec2& operator+=(const Vec2& o) { x += o.x; y += o.y; return *this; }
+  Vec2& operator-=(const Vec2& o) { x -= o.x; y -= o.y; return *this; }
+  Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// 2-D cross product (z of the implied 3-D cross).
+  constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// 3-component double vector; the workhorse type of the simulator.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+  Vec3& operator/=(double s) { x /= s; y /= s; z /= s; return *this; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+  /// Component-wise min.
+  Vec3 cwiseMin(const Vec3& o) const {
+    return {std::fmin(x, o.x), std::fmin(y, o.y), std::fmin(z, o.z)};
+  }
+  /// Component-wise max.
+  Vec3 cwiseMax(const Vec3& o) const {
+    return {std::fmax(x, o.x), std::fmax(y, o.y), std::fmax(z, o.z)};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// 4-component vector (homogeneous coordinates in the rasterizer).
+struct Vec4 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double w = 0.0;
+
+  constexpr Vec4() = default;
+  constexpr Vec4(double x_, double y_, double z_, double w_)
+      : x(x_), y(y_), z(z_), w(w_) {}
+  constexpr Vec4(const Vec3& v, double w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+  constexpr Vec4 operator+(const Vec4& o) const {
+    return {x + o.x, y + o.y, z + o.z, w + o.w};
+  }
+  constexpr Vec4 operator-(const Vec4& o) const {
+    return {x - o.x, y - o.y, z - o.z, w - o.w};
+  }
+  constexpr Vec4 operator*(double s) const {
+    return {x * s, y * s, z * s, w * s};
+  }
+  constexpr bool operator==(const Vec4&) const = default;
+
+  constexpr double dot(const Vec4& o) const {
+    return x * o.x + y * o.y + z * o.z + w * o.w;
+  }
+  constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+/// Linear interpolation.
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+constexpr Vec2 lerp(const Vec2& a, const Vec2& b, double t) {
+  return a + (b - a) * t;
+}
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+  return a + (b - a) * t;
+}
+
+/// Clamp helper (double).
+constexpr double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Wrap an angle to (-pi, pi].
+double wrapAngle(double rad) noexcept;
+
+/// Shortest signed angular difference a-b wrapped to (-pi, pi].
+double angleDiff(double a, double b) noexcept;
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace cod::math

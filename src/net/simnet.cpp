@@ -1,0 +1,179 @@
+#include "net/simnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cod::net {
+
+SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {}
+
+SimNetwork::~SimNetwork() {
+  // Endpoints must not outlive the network; detach any stragglers so their
+  // destructors become no-ops instead of touching freed memory.
+  for (auto& [addr, ep] : endpoints_) ep->net_ = nullptr;
+}
+
+HostId SimNetwork::addHost(std::string name) {
+  hosts_.push_back(std::move(name));
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+const std::string& SimNetwork::hostName(HostId h) const {
+  return hosts_.at(h);
+}
+
+std::unique_ptr<SimTransport> SimNetwork::bind(HostId host,
+                                               std::uint16_t port) {
+  if (host >= hosts_.size()) throw std::out_of_range("SimNetwork::bind: bad host");
+  const NodeAddr addr{host, port};
+  if (endpoints_.contains(addr))
+    throw std::runtime_error("SimNetwork::bind: address in use");
+  auto t = std::unique_ptr<SimTransport>(new SimTransport(this, addr));
+  endpoints_[addr] = t.get();
+  return t;
+}
+
+void SimNetwork::setLink(HostId a, HostId b, const LinkModel& link) {
+  links_[std::minmax(a, b)] = link;
+}
+
+void SimNetwork::setPartitioned(HostId a, HostId b, bool blocked) {
+  if (blocked) {
+    partitions_.insert(std::minmax(a, b));
+  } else {
+    partitions_.erase(std::minmax(a, b));
+  }
+}
+
+const LinkModel& SimNetwork::linkFor(HostId a, HostId b) const {
+  const auto it = links_.find(std::minmax(a, b));
+  return it != links_.end() ? it->second : defaultLink_;
+}
+
+bool SimNetwork::partitioned(HostId a, HostId b) const {
+  return partitions_.contains(std::minmax(a, b));
+}
+
+void SimNetwork::enqueue(const NodeAddr& src, const NodeAddr& dst,
+                         std::span<const std::uint8_t> bytes) {
+  const LinkModel& link = linkFor(src.host, dst.host);
+  if (link.lossRate > 0.0 && rng_.chance(link.lossRate)) {
+    ++stats_.packetsDropped;
+    return;
+  }
+  // NIC serialization: the sender's egress line is busy for size/bandwidth.
+  double txStart = now_;
+  if (src.host != dst.host && link.bandwidthBytesPerSec > 0.0) {
+    double& freeAt = egressFreeAt_[src.host];
+    txStart = std::max(now_, freeAt);
+    freeAt = txStart + static_cast<double>(bytes.size()) / link.bandwidthBytesPerSec;
+    txStart = freeAt;  // packet leaves once fully serialized
+  }
+  double latency = src.host == dst.host ? 0.0 : link.latencySec;
+  if (src.host != dst.host && link.jitterSec > 0.0)
+    latency += std::abs(rng_.normal(0.0, link.jitterSec));
+  InFlight pkt;
+  pkt.deliverAt = txStart + latency;
+  pkt.seq = seq_++;
+  pkt.dgram.src = src;
+  pkt.dgram.dst = dst;
+  pkt.dgram.payload.assign(bytes.begin(), bytes.end());
+  queue_.push(std::move(pkt));
+}
+
+void SimNetwork::submit(const NodeAddr& src, const NodeAddr& dst,
+                        std::span<const std::uint8_t> bytes) {
+  ++stats_.packetsSent;
+  stats_.bytesSent += bytes.size();
+  if (partitioned(src.host, dst.host)) {
+    ++stats_.packetsDropped;
+    return;
+  }
+  if (!endpoints_.contains(dst)) {
+    // No socket bound there: the LAN silently eats it, like real UDP.
+    ++stats_.packetsDropped;
+    return;
+  }
+  enqueue(src, dst, bytes);
+}
+
+void SimNetwork::submitBroadcast(const NodeAddr& src, std::uint16_t port,
+                                 std::span<const std::uint8_t> bytes) {
+  ++stats_.packetsSent;
+  stats_.bytesSent += bytes.size();
+  for (const auto& [addr, ep] : endpoints_) {
+    if (addr.port != port) continue;
+    if (addr == src) continue;  // a socket does not hear its own broadcast
+    if (partitioned(src.host, addr.host)) {
+      ++stats_.packetsDropped;
+      continue;
+    }
+    enqueue(src, addr, bytes);
+  }
+}
+
+void SimNetwork::unbind(const NodeAddr& addr) { endpoints_.erase(addr); }
+
+void SimNetwork::deliver(InFlight&& pkt) {
+  const auto it = endpoints_.find(pkt.dgram.dst);
+  if (it == endpoints_.end()) {
+    ++stats_.packetsDropped;  // socket closed while the packet was in flight
+    return;
+  }
+  SimTransport* ep = it->second;
+  if (ep->inbox_.size() >= ep->inboxLimit_) {
+    ++stats_.packetsDropped;
+    return;
+  }
+  stats_.bytesReceived += pkt.dgram.payload.size();
+  ++stats_.packetsReceived;
+  ep->inbox_.push_back(std::move(pkt.dgram));
+}
+
+void SimNetwork::advance(double dt) {
+  const double target = now_ + dt;
+  while (!queue_.empty() && queue_.top().deliverAt <= target) {
+    InFlight pkt = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, pkt.deliverAt);
+    deliver(std::move(pkt));
+  }
+  now_ = target;
+}
+
+bool SimNetwork::step() {
+  if (queue_.empty()) return false;
+  InFlight pkt = queue_.top();
+  queue_.pop();
+  now_ = std::max(now_, pkt.deliverAt);
+  deliver(std::move(pkt));
+  return true;
+}
+
+void SimNetwork::runUntilIdle(double maxTime) {
+  while (!queue_.empty() && queue_.top().deliverAt <= maxTime) step();
+}
+
+SimTransport::~SimTransport() {
+  if (net_ != nullptr) net_->unbind(addr_);
+}
+
+void SimTransport::send(const NodeAddr& dst,
+                        std::span<const std::uint8_t> bytes) {
+  if (net_ != nullptr) net_->submit(addr_, dst, bytes);
+}
+
+void SimTransport::broadcast(std::uint16_t port,
+                             std::span<const std::uint8_t> bytes) {
+  if (net_ != nullptr) net_->submitBroadcast(addr_, port, bytes);
+}
+
+std::optional<Datagram> SimTransport::receive() {
+  if (inbox_.empty()) return std::nullopt;
+  Datagram d = std::move(inbox_.front());
+  inbox_.pop_front();
+  return d;
+}
+
+}  // namespace cod::net

@@ -1,0 +1,147 @@
+// Deterministic simulated LAN.
+//
+// The paper's COD is eight desktop PCs on a 2001-era local area network.
+// That hardware is replaced here by SimNetwork: a virtual-time Ethernet
+// segment with a configurable link model (propagation latency, jitter,
+// random loss, NIC serialization bandwidth), true broadcast semantics, and
+// failure injection (partitions). Every stochastic decision draws from a
+// seeded RNG, so a run is exactly reproducible.
+//
+// SimNetwork is single-threaded by design: hosts are stepped cooperatively
+// under one virtual clock, which is what makes protocol tests and benches
+// deterministic. (Real-socket deployments use UdpTransport instead.)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "net/transport.hpp"
+
+namespace cod::net {
+
+/// Per-link characteristics of the simulated LAN.
+struct LinkModel {
+  /// One-way propagation + switching latency, seconds.
+  double latencySec = 200e-6;
+  /// Gaussian jitter (standard deviation, seconds); sampled per packet.
+  double jitterSec = 0.0;
+  /// Probability a packet is silently dropped.
+  double lossRate = 0.0;
+  /// NIC serialization rate; 100 Mbit/s Ethernet by default.
+  double bandwidthBytesPerSec = 12.5e6;
+};
+
+class SimTransport;
+
+/// The virtual Ethernet segment all SimTransports attach to.
+class SimNetwork {
+ public:
+  explicit SimNetwork(std::uint64_t seed = 1);
+  ~SimNetwork();
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Register a computer; returns its id. Names are for diagnostics.
+  HostId addHost(std::string name);
+  std::size_t hostCount() const { return hosts_.size(); }
+  const std::string& hostName(HostId h) const;
+
+  /// Bind an endpoint (socket) on `host`:`port`. The returned transport
+  /// unbinds itself on destruction. Binding the same address twice throws.
+  std::unique_ptr<SimTransport> bind(HostId host, std::uint16_t port);
+
+  void setDefaultLink(const LinkModel& link) { defaultLink_ = link; }
+  const LinkModel& defaultLink() const { return defaultLink_; }
+  /// Override the link between two hosts (applies in both directions).
+  void setLink(HostId a, HostId b, const LinkModel& link);
+
+  /// Block / unblock traffic between two hosts (failure injection).
+  void setPartitioned(HostId a, HostId b, bool blocked);
+
+  /// Current virtual time, seconds.
+  double now() const { return now_; }
+
+  /// Advance virtual time by dt, delivering every packet due in the window.
+  void advance(double dt);
+
+  /// Deliver the single next in-flight packet, jumping the clock to its
+  /// delivery time. Returns false if nothing is in flight.
+  bool step();
+
+  /// Deliver until no packets remain in flight or `maxTime` is reached.
+  void runUntilIdle(double maxTime = 1e9);
+
+  std::size_t inFlight() const { return queue_.size(); }
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  friend class SimTransport;
+
+  struct InFlight {
+    double deliverAt = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break for equal timestamps
+    Datagram dgram;
+  };
+  struct InFlightLater {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      if (a.deliverAt != b.deliverAt) return a.deliverAt > b.deliverAt;
+      return a.seq > b.seq;
+    }
+  };
+
+  void submit(const NodeAddr& src, const NodeAddr& dst,
+              std::span<const std::uint8_t> bytes);
+  void submitBroadcast(const NodeAddr& src, std::uint16_t port,
+                       std::span<const std::uint8_t> bytes);
+  void unbind(const NodeAddr& addr);
+  const LinkModel& linkFor(HostId a, HostId b) const;
+  bool partitioned(HostId a, HostId b) const;
+  void enqueue(const NodeAddr& src, const NodeAddr& dst,
+               std::span<const std::uint8_t> bytes);
+  void deliver(InFlight&& pkt);
+
+  std::vector<std::string> hosts_;
+  std::map<NodeAddr, SimTransport*> endpoints_;
+  std::map<std::pair<HostId, HostId>, LinkModel> links_;  // key: minmax pair
+  std::set<std::pair<HostId, HostId>> partitions_;
+  LinkModel defaultLink_;
+  std::priority_queue<InFlight, std::vector<InFlight>, InFlightLater> queue_;
+  std::map<HostId, double> egressFreeAt_;  // NIC serialization model
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  math::Rng rng_;
+  TransportStats stats_;
+};
+
+/// A socket bound to one (host, port) of a SimNetwork.
+class SimTransport final : public Transport {
+ public:
+  ~SimTransport() override;
+
+  NodeAddr localAddress() const override { return addr_; }
+  void send(const NodeAddr& dst, std::span<const std::uint8_t> bytes) override;
+  void broadcast(std::uint16_t port, std::span<const std::uint8_t> bytes) override;
+  std::optional<Datagram> receive() override;
+
+  std::size_t pending() const { return inbox_.size(); }
+  /// Inbound queue capacity; packets beyond it are dropped (buffer overflow).
+  void setInboxLimit(std::size_t limit) { inboxLimit_ = limit; }
+
+ private:
+  friend class SimNetwork;
+  SimTransport(SimNetwork* net, NodeAddr addr) : net_(net), addr_(addr) {}
+
+  SimNetwork* net_;
+  NodeAddr addr_;
+  std::deque<Datagram> inbox_;
+  std::size_t inboxLimit_ = 65536;
+};
+
+}  // namespace cod::net

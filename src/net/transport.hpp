@@ -1,0 +1,72 @@
+// Transport abstraction the Communication Backbone rides on.
+//
+// The CB protocol (discovery broadcast, channel connection, update routing)
+// is written against this interface only, so the same CB runs unchanged on
+// the deterministic simulated LAN (SimNetwork), on plain in-memory queues,
+// or on real UDP sockets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cod::net {
+
+/// Identifies a computer on the (possibly simulated) LAN.
+using HostId = std::uint32_t;
+
+inline constexpr HostId kInvalidHost = 0xFFFFFFFFu;
+
+/// A (host, port) endpoint.
+struct NodeAddr {
+  HostId host = kInvalidHost;
+  std::uint16_t port = 0;
+
+  constexpr bool operator==(const NodeAddr&) const = default;
+  constexpr auto operator<=>(const NodeAddr&) const = default;
+  constexpr bool valid() const { return host != kInvalidHost; }
+};
+
+/// One received datagram.
+struct Datagram {
+  NodeAddr src;
+  NodeAddr dst;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Unreliable datagram transport endpoint (one "socket").
+///
+/// All operations are non-blocking; `receive` polls the inbound queue.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Address this endpoint is bound to.
+  virtual NodeAddr localAddress() const = 0;
+
+  /// Send a datagram to a specific endpoint.
+  virtual void send(const NodeAddr& dst, std::span<const std::uint8_t> bytes) = 0;
+
+  /// LAN broadcast to every endpoint bound to `port` (except this one).
+  /// This is the primitive the CB initialization protocol uses for
+  /// subscription discovery.
+  virtual void broadcast(std::uint16_t port, std::span<const std::uint8_t> bytes) = 0;
+
+  /// Poll one inbound datagram; nullopt when the queue is empty.
+  virtual std::optional<Datagram> receive() = 0;
+};
+
+/// Simple traffic counters, kept by the transports that support them.
+struct TransportStats {
+  std::uint64_t packetsSent = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t packetsReceived = 0;
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t packetsDropped = 0;  // loss model or full queues
+};
+
+}  // namespace cod::net

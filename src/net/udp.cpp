@@ -1,0 +1,110 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace cod::net {
+
+UdpTransport::UdpTransport(const UdpConfig& cfg, HostId host,
+                           std::uint16_t port)
+    : cfg_(cfg), addr_{host, port} {
+  if (host >= cfg.maxHosts)
+    throw std::out_of_range("UdpTransport: host id exceeds maxHosts");
+  if (port >= cfg.portsPerHost)
+    throw std::out_of_range("UdpTransport: port exceeds portsPerHost");
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::system_error(errno, std::generic_category(), "socket");
+
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(udpPortFor(addr_));
+  if (::inet_pton(AF_INET, cfg_.bindIp.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::invalid_argument("UdpTransport: bad bind IP");
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    const int err = errno;
+    ::close(fd_);
+    throw std::system_error(err, std::generic_category(), "bind");
+  }
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint16_t UdpTransport::udpPortFor(const NodeAddr& a) const {
+  return static_cast<std::uint16_t>(cfg_.basePort + a.host * cfg_.portsPerHost +
+                                    a.port);
+}
+
+std::optional<NodeAddr> UdpTransport::addrForUdpPort(
+    std::uint16_t udpPort) const {
+  if (udpPort < cfg_.basePort) return std::nullopt;
+  const std::uint16_t off = static_cast<std::uint16_t>(udpPort - cfg_.basePort);
+  const NodeAddr a{static_cast<HostId>(off / cfg_.portsPerHost),
+                   static_cast<std::uint16_t>(off % cfg_.portsPerHost)};
+  if (a.host >= cfg_.maxHosts) return std::nullopt;
+  return a;
+}
+
+void UdpTransport::send(const NodeAddr& dst,
+                        std::span<const std::uint8_t> bytes) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(udpPortFor(dst));
+  ::inet_pton(AF_INET, cfg_.bindIp.c_str(), &sa.sin_addr);
+  const ssize_t n =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (n >= 0) {
+    ++stats_.packetsSent;
+    stats_.bytesSent += bytes.size();
+  } else {
+    ++stats_.packetsDropped;
+  }
+}
+
+void UdpTransport::broadcast(std::uint16_t port,
+                             std::span<const std::uint8_t> bytes) {
+  // Emulated LAN broadcast: unicast to the same CB port on every host slot.
+  for (HostId h = 0; h < cfg_.maxHosts; ++h) {
+    const NodeAddr dst{h, port};
+    if (dst == addr_) continue;
+    send(dst, bytes);
+  }
+}
+
+std::optional<Datagram> UdpTransport::receive() {
+  std::uint8_t buf[65536];
+  sockaddr_in from{};
+  socklen_t fromLen = sizeof(from);
+  const ssize_t n = ::recvfrom(fd_, buf, sizeof(buf), 0,
+                               reinterpret_cast<sockaddr*>(&from), &fromLen);
+  if (n < 0) return std::nullopt;  // EWOULDBLOCK or transient error: no data
+  const auto src = addrForUdpPort(ntohs(from.sin_port));
+  if (!src) return std::nullopt;  // datagram from outside our address plan
+  Datagram d;
+  d.src = *src;
+  d.dst = addr_;
+  d.payload.assign(buf, buf + n);
+  ++stats_.packetsReceived;
+  stats_.bytesReceived += d.payload.size();
+  return d;
+}
+
+}  // namespace cod::net

@@ -1,0 +1,49 @@
+// Real-socket transport: UDP over loopback (or a real LAN).
+//
+// The COD address space (HostId, port) is mapped onto real UDP ports:
+//   udpPort = basePort + host * portsPerHost + port
+// so a whole simulated "rack" of computers can run as one or many OS
+// processes on 127.0.0.1. LAN broadcast is emulated by unicasting to every
+// host slot, which preserves the CB discovery protocol's semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace cod::net {
+
+/// Address-mapping scheme shared by all endpoints of one deployment.
+struct UdpConfig {
+  std::string bindIp = "127.0.0.1";
+  std::uint16_t basePort = 47000;
+  std::uint16_t portsPerHost = 32;
+  std::uint16_t maxHosts = 16;
+};
+
+/// A non-blocking UDP socket implementing the Transport interface.
+class UdpTransport final : public Transport {
+ public:
+  /// Binds immediately; throws std::system_error on failure.
+  UdpTransport(const UdpConfig& cfg, HostId host, std::uint16_t port);
+  ~UdpTransport() override;
+
+  NodeAddr localAddress() const override { return addr_; }
+  void send(const NodeAddr& dst, std::span<const std::uint8_t> bytes) override;
+  void broadcast(std::uint16_t port, std::span<const std::uint8_t> bytes) override;
+  std::optional<Datagram> receive() override;
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  std::uint16_t udpPortFor(const NodeAddr& a) const;
+  std::optional<NodeAddr> addrForUdpPort(std::uint16_t udpPort) const;
+
+  UdpConfig cfg_;
+  NodeAddr addr_;
+  int fd_ = -1;
+  TransportStats stats_;
+};
+
+}  // namespace cod::net

@@ -1,0 +1,126 @@
+#include "net/wire.hpp"
+
+namespace cod::net {
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(std::string_view s) {
+  const std::size_t n = s.size() > 0xFFFF ? 0xFFFF : s.size();
+  u16(static_cast<std::uint16_t>(n));
+  buf_.insert(buf_.end(), s.begin(), s.begin() + static_cast<long>(n));
+}
+
+void WireWriter::blob(std::span<const std::uint8_t> bytes) {
+  u32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void WireWriter::raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+bool WireReader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || pos_ + n > buf_.size()) {
+    ok_ = false;
+    return false;
+  }
+  *out = buf_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::optional<std::uint8_t> WireReader::u8() {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return std::nullopt;
+  return *p;
+}
+
+std::optional<std::uint16_t> WireReader::u16() {
+  const std::uint8_t* p = nullptr;
+  if (!take(2, &p)) return std::nullopt;
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::optional<std::uint32_t> WireReader::u32() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::optional<std::uint64_t> WireReader::u64() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::optional<std::int32_t> WireReader::i32() {
+  auto v = u32();
+  if (!v) return std::nullopt;
+  return static_cast<std::int32_t>(*v);
+}
+
+std::optional<std::int64_t> WireReader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<double> WireReader::f64() {
+  auto bits = u64();
+  if (!bits) return std::nullopt;
+  double v;
+  std::memcpy(&v, &*bits, sizeof(v));
+  return v;
+}
+
+std::optional<bool> WireReader::boolean() {
+  auto v = u8();
+  if (!v) return std::nullopt;
+  return *v != 0;
+}
+
+std::optional<std::string> WireReader::str() {
+  auto n = u16();
+  if (!n) return std::nullopt;
+  const std::uint8_t* p = nullptr;
+  if (!take(*n, &p)) return std::nullopt;
+  return std::string(reinterpret_cast<const char*>(p), *n);
+}
+
+std::optional<std::vector<std::uint8_t>> WireReader::blob() {
+  auto n = u32();
+  if (!n) return std::nullopt;
+  if (*n > remaining()) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  const std::uint8_t* p = nullptr;
+  if (!take(*n, &p)) return std::nullopt;
+  return std::vector<std::uint8_t>(p, p + *n);
+}
+
+}  // namespace cod::net

@@ -1,0 +1,73 @@
+// Byte-order-safe wire serialization.
+//
+// Every CB protocol message and attribute value crosses host boundaries in
+// the COD cluster, so encoding is explicit little-endian regardless of the
+// host architecture.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cod::net {
+
+/// Append-only encoder producing a byte buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  /// Length-prefixed UTF-8 string (u16 length).
+  void str(std::string_view s);
+  /// Length-prefixed opaque blob (u32 length).
+  void blob(std::span<const std::uint8_t> bytes);
+  /// Raw bytes, no length prefix.
+  void raw(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Checked decoder over a byte span. All reads return nullopt once the
+/// buffer is exhausted or malformed; `ok()` stays false thereafter.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : buf_(bytes) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int32_t> i32();
+  std::optional<std::int64_t> i64();
+  std::optional<double> f64();
+  std::optional<bool> boolean();
+  std::optional<std::string> str();
+  std::optional<std::vector<std::uint8_t>> blob();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool atEnd() const { return pos_ == buf_.size(); }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace cod::net

@@ -1,0 +1,33 @@
+// Fixed-step ODE integrators used by the dynamics module.
+//
+// `State` must support state + state, state * double (scalar on the right).
+// `f(t, state)` returns the derivative as another State.
+#pragma once
+
+#include <concepts>
+
+namespace cod::physics {
+
+template <typename S>
+concept StateVector = requires(S a, S b, double k) {
+  { a + b } -> std::convertible_to<S>;
+  { a * k } -> std::convertible_to<S>;
+};
+
+/// Explicit (forward) Euler. First order; kept as a baseline.
+template <StateVector S, typename F>
+S eulerStep(const S& s, double t, double dt, F&& f) {
+  return s + f(t, s) * dt;
+}
+
+/// Classic fourth-order Runge-Kutta.
+template <StateVector S, typename F>
+S rk4Step(const S& s, double t, double dt, F&& f) {
+  const S k1 = f(t, s);
+  const S k2 = f(t + dt * 0.5, s + k1 * (dt * 0.5));
+  const S k3 = f(t + dt * 0.5, s + k2 * (dt * 0.5));
+  const S k4 = f(t + dt, s + k3 * dt);
+  return s + (k1 + k2 * 2.0 + k3 * 2.0 + k4) * (dt / 6.0);
+}
+
+}  // namespace cod::physics

@@ -1,0 +1,83 @@
+#include "physics/pendulum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::physics {
+
+using math::Vec3;
+
+CablePendulum::CablePendulum(CableParams params) : params_(params) {
+  reset({0, 0, 0}, 1.0);
+}
+
+void CablePendulum::reset(const Vec3& pivot, double length) {
+  pivot_ = pivot;
+  length_ = std::max(0.01, length);
+  const Vec3 down = params_.gravity.norm() > 0 ? params_.gravity.normalized()
+                                               : Vec3{0, 0, -1};
+  pos_ = pivot_ + down * length_;
+  vel_ = {};
+  externalForce_ = {};
+}
+
+void CablePendulum::setLength(double length) {
+  length_ = std::max(0.01, length);
+}
+
+void CablePendulum::step(double dt) {
+  if (dt <= 0.0) return;
+  // Semi-implicit integration of the free particle...
+  vel_ += params_.gravity * dt;
+  if (params_.cargoMassKg > 0.0)
+    vel_ += externalForce_ * (dt / params_.cargoMassKg);
+  externalForce_ = {};
+  vel_ *= std::exp(-params_.dampingRate * dt);
+  Vec3 candidate = pos_ + vel_ * dt;
+  // ...then project back onto the cable sphere around the (already moved)
+  // pivot. The projection is what transfers pivot inertia into swing.
+  Vec3 radial = candidate - pivot_;
+  const double r = radial.norm();
+  if (r < 1e-9) {
+    // Degenerate: bob at the pivot; re-hang straight down.
+    const Vec3 down = params_.gravity.norm() > 0 ? params_.gravity.normalized()
+                                                 : Vec3{0, 0, -1};
+    radial = down;
+    candidate = pivot_ + down * length_;
+  } else {
+    radial = radial / r;
+    candidate = pivot_ + radial * length_;
+  }
+  // Velocity from corrected positions keeps the pair consistent; remove the
+  // radial component (the cable is inextensible, taut-side only).
+  vel_ = (candidate - pos_) * (1.0 / dt);
+  const double radialSpeed = vel_.dot(radial);
+  if (radialSpeed > 0.0) vel_ -= radial * radialSpeed;  // cable cannot push
+  pos_ = candidate;
+}
+
+double CablePendulum::swingAngle() const {
+  const Vec3 down = params_.gravity.norm() > 0 ? params_.gravity.normalized()
+                                               : Vec3{0, 0, -1};
+  const Vec3 dir = (pos_ - pivot_).normalized();
+  return std::acos(math::clamp(dir.dot(down), -1.0, 1.0));
+}
+
+double CablePendulum::energy() const {
+  const double g = params_.gravity.norm();
+  const double m = params_.cargoMassKg;
+  // Height above the straight-down rest point.
+  const double restZ = -length_;
+  const Vec3 rel = pos_ - pivot_;
+  const Vec3 down = g > 0 ? params_.gravity.normalized() : Vec3{0, 0, -1};
+  const double along = rel.dot(down);  // distance below pivot
+  const double h = (-restZ) - along;   // = length - along >= 0
+  const double kinetic = 0.5 * m * vel_.norm2();
+  return kinetic + m * g * std::max(0.0, h);
+}
+
+bool CablePendulum::atRest(double angleTolRad, double speedTol) const {
+  return swingAngle() <= angleTolRad && vel_.norm() <= speedTol;
+}
+
+}  // namespace cod::physics

@@ -1,0 +1,69 @@
+// Inertia oscillation of the lift hook (§3.6).
+//
+// "When the derrick boom is moving, the dynamic module computes the inertia
+// of the lift hook acting on the cable ...; when the boom stops, the cable
+// oscillates until a full stop." The hook + cargo are modelled as a point
+// mass on an inextensible cable hung from a moving pivot (the boom tip),
+// integrated with a position-based constraint projection that is
+// unconditionally stable under pivot motion and cable-length changes
+// (hoisting), with viscous damping that brings the oscillation to rest.
+#pragma once
+
+#include "math/vec.hpp"
+
+namespace cod::physics {
+
+struct CableParams {
+  double cargoMassKg = 1000.0;
+  /// Viscous damping rate (1/s): v *= exp(-damping * dt) each step.
+  double dampingRate = 0.12;
+  /// Gravity (z-up world).
+  math::Vec3 gravity{0.0, 0.0, -9.80665};
+};
+
+class CablePendulum {
+ public:
+  explicit CablePendulum(CableParams params = {});
+
+  /// Reset the bob hanging straight down from `pivot` at `length`, at rest.
+  void reset(const math::Vec3& pivot, double length);
+
+  /// Move the pivot (boom tip) for this step; the constraint projection
+  /// converts pivot motion into hook swing — the "inertia" of the paper.
+  void setPivot(const math::Vec3& pivot) { pivot_ = pivot; }
+  /// Change cable length (hoisting); clamped positive.
+  void setLength(double length);
+
+  /// Accumulate an external force on the bob (e.g. wind drag on the
+  /// cargo) for the next step; cleared after each step.
+  void applyForce(const math::Vec3& force) { externalForce_ += force; }
+
+  void step(double dt);
+
+  const math::Vec3& pivot() const { return pivot_; }
+  double length() const { return length_; }
+  const math::Vec3& bobPosition() const { return pos_; }
+  const math::Vec3& bobVelocity() const { return vel_; }
+
+  /// Swing angle from the vertical, radians in [0, pi].
+  double swingAngle() const;
+
+  /// Mechanical energy relative to the straight-down rest pose (J >= 0).
+  double energy() const;
+
+  /// True when the hook has effectively stopped swinging.
+  bool atRest(double angleTolRad = 0.005, double speedTol = 0.02) const;
+
+  const CableParams& params() const { return params_; }
+  void setParams(const CableParams& p) { params_ = p; }
+
+ private:
+  CableParams params_;
+  math::Vec3 pivot_;
+  math::Vec3 pos_{0, 0, -1};
+  math::Vec3 vel_;
+  math::Vec3 externalForce_;
+  double length_ = 1.0;
+};
+
+}  // namespace cod::physics

@@ -1,0 +1,118 @@
+#include "physics/terrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+
+namespace cod::physics {
+
+using math::Vec2;
+using math::Vec3;
+
+Terrain::Terrain(int nx, int ny, double cellSize)
+    : nx_(nx), ny_(ny), cell_(cellSize) {
+  if (nx < 2 || ny < 2 || cellSize <= 0.0)
+    throw std::invalid_argument("Terrain: need >=2x2 cells, positive size");
+  h_.assign(static_cast<std::size_t>(nx) * ny, 0.0);
+}
+
+Terrain Terrain::rolling(int nx, int ny, double cellSize, double amplitude,
+                         std::uint64_t seed) {
+  Terrain t(nx, ny, cellSize);
+  math::Rng rng(seed);
+  // Coarse lattice of random control heights, upsampled with cosine
+  // interpolation; three octaves.
+  for (int octave = 0; octave < 3; ++octave) {
+    const int step = std::max(2, 16 >> octave);
+    const double amp = amplitude / (1 << octave);
+    const int gx = nx / step + 2;
+    const int gy = ny / step + 2;
+    std::vector<double> ctrl(static_cast<std::size_t>(gx) * gy);
+    for (double& c : ctrl) c = rng.uniform(-amp, amp);
+    auto at = [&](int i, int j) {
+      return ctrl[static_cast<std::size_t>(j) * gx + i];
+    };
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const double fx = static_cast<double>(i) / step;
+        const double fy = static_cast<double>(j) / step;
+        const int i0 = static_cast<int>(fx);
+        const int j0 = static_cast<int>(fy);
+        auto smooth = [](double u) { return (1 - std::cos(u * math::kPi)) / 2; };
+        const double u = smooth(fx - i0);
+        const double v = smooth(fy - j0);
+        const double hv =
+            math::lerp(math::lerp(at(i0, j0), at(i0 + 1, j0), u),
+                       math::lerp(at(i0, j0 + 1), at(i0 + 1, j0 + 1), u), v);
+        t.h_[static_cast<std::size_t>(j) * nx + i] += hv;
+      }
+    }
+  }
+  return t;
+}
+
+double Terrain::heightAt(int i, int j) const {
+  i = std::clamp(i, 0, nx_ - 1);
+  j = std::clamp(j, 0, ny_ - 1);
+  return h_[static_cast<std::size_t>(j) * nx_ + i];
+}
+
+void Terrain::setHeightAt(int i, int j, double h) {
+  if (i < 0 || i >= nx_ || j < 0 || j >= ny_)
+    throw std::out_of_range("Terrain::setHeightAt");
+  h_[static_cast<std::size_t>(j) * nx_ + i] = h;
+}
+
+double Terrain::height(double x, double y) const {
+  const double fx = std::clamp(x / cell_, 0.0, static_cast<double>(nx_ - 1));
+  const double fy = std::clamp(y / cell_, 0.0, static_cast<double>(ny_ - 1));
+  const int i0 = std::min(static_cast<int>(fx), nx_ - 2);
+  const int j0 = std::min(static_cast<int>(fy), ny_ - 2);
+  const double u = fx - i0;
+  const double v = fy - j0;
+  return math::lerp(
+      math::lerp(heightAt(i0, j0), heightAt(i0 + 1, j0), u),
+      math::lerp(heightAt(i0, j0 + 1), heightAt(i0 + 1, j0 + 1), u), v);
+}
+
+Vec3 Terrain::normal(double x, double y) const {
+  const double e = cell_ * 0.5;
+  const double dzdx = (height(x + e, y) - height(x - e, y)) / (2 * e);
+  const double dzdy = (height(x, y + e) - height(x, y - e)) / (2 * e);
+  return Vec3{-dzdx, -dzdy, 1.0}.normalized();
+}
+
+double Terrain::slopeDeg(double x, double y) const {
+  const Vec3 n = normal(x, y);
+  return math::rad2deg(std::acos(math::clamp(n.z, -1.0, 1.0)));
+}
+
+Terrain::FootprintPose Terrain::follow(const Vec2& pos, double heading,
+                                       double wheelbase, double track) const {
+  const Vec2 fwd{std::cos(heading), std::sin(heading)};
+  const Vec2 right{std::sin(heading), -std::cos(heading)};
+  const double hw = wheelbase * 0.5;
+  const double ht = track * 0.5;
+  // Wheel contact points: front-left, front-right, rear-left, rear-right.
+  const Vec2 fl = pos + fwd * hw - right * ht;
+  const Vec2 fr = pos + fwd * hw + right * ht;
+  const Vec2 rl = pos - fwd * hw - right * ht;
+  const Vec2 rr = pos - fwd * hw + right * ht;
+  const double zfl = height(fl.x, fl.y);
+  const double zfr = height(fr.x, fr.y);
+  const double zrl = height(rl.x, rl.y);
+  const double zrr = height(rr.x, rr.y);
+  FootprintPose p;
+  p.z = (zfl + zfr + zrl + zrr) / 4.0;
+  const double zFront = (zfl + zfr) / 2.0;
+  const double zRear = (zrl + zrr) / 2.0;
+  const double zLeft = (zfl + zrl) / 2.0;
+  const double zRight = (zfr + zrr) / 2.0;
+  p.pitch = std::atan2(zFront - zRear, wheelbase);
+  p.roll = std::atan2(zRight - zLeft, track);
+  return p;
+}
+
+}  // namespace cod::physics

@@ -1,0 +1,60 @@
+// Heightmap terrain and the paper's terrain-following mechanism (§3.6).
+//
+// The mobile crane's centre of gravity is higher than an ordinary vehicle's,
+// so driving over uneven ground is itself a training hazard; the dynamics
+// module samples this terrain every step to pose the carrier (z, pitch,
+// roll) and to feed grade resistance into the longitudinal model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace cod::physics {
+
+class Terrain {
+ public:
+  /// Flat ground of nx × ny cells of `cellSize` metres.
+  Terrain(int nx, int ny, double cellSize);
+
+  /// Procedurally rolling ground: several octaves of smoothed value noise,
+  /// deterministic in `seed`. `amplitude` is the peak-to-mean height.
+  static Terrain rolling(int nx, int ny, double cellSize, double amplitude,
+                         std::uint64_t seed);
+
+  int cellsX() const { return nx_; }
+  int cellsY() const { return ny_; }
+  double cellSize() const { return cell_; }
+  /// Extent in metres along X / Y.
+  double width() const { return (nx_ - 1) * cell_; }
+  double depth() const { return (ny_ - 1) * cell_; }
+
+  double heightAt(int i, int j) const;
+  void setHeightAt(int i, int j, double h);
+
+  /// Bilinear height at world (x, y); clamped at the borders.
+  double height(double x, double y) const;
+  /// Surface normal by central differences (unit, z-up).
+  math::Vec3 normal(double x, double y) const;
+  /// Steepest slope at (x, y), degrees.
+  double slopeDeg(double x, double y) const;
+
+  /// Terrain following for a rectangular wheel footprint centred at `pos`
+  /// with the given heading (radians, CCW from +X).
+  struct FootprintPose {
+    double z = 0.0;      // chassis height (mean of wheel contacts)
+    double pitch = 0.0;  // nose-up positive, radians
+    double roll = 0.0;   // right-side-down positive, radians
+  };
+  FootprintPose follow(const math::Vec2& pos, double heading, double wheelbase,
+                       double track) const;
+
+ private:
+  int nx_;
+  int ny_;
+  double cell_;
+  std::vector<double> h_;  // row-major [j * nx + i]
+};
+
+}  // namespace cod::physics

@@ -1,0 +1,88 @@
+#include "physics/vehicle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::physics {
+
+namespace {
+constexpr double kGravity = 9.80665;
+}
+
+Vehicle::Vehicle(VehicleParams params) : params_(params) {}
+
+void Vehicle::setPosition(const math::Vec2& p, double heading) {
+  pos_ = p;
+  heading_ = math::wrapAngle(heading);
+}
+
+void Vehicle::step(const VehicleInput& in, const Terrain& terrain, double dt) {
+  const double throttle = math::clamp(in.throttle, 0.0, 1.0);
+  const double brake = math::clamp(in.brake, 0.0, 1.0);
+  const double steer = math::clamp(in.steer, -1.0, 1.0);
+
+  // Longitudinal forces.
+  const double dir = in.reverse ? -1.0 : 1.0;
+  double force = dir * throttle * params_.engineForceMaxN;
+  // Grade resistance: component of gravity along the heading.
+  const double eps = 0.5;
+  const double hAhead = terrain.height(pos_.x + eps * std::cos(heading_),
+                                       pos_.y + eps * std::sin(heading_));
+  const double hBehind = terrain.height(pos_.x - eps * std::cos(heading_),
+                                        pos_.y - eps * std::sin(heading_));
+  const double grade = (hAhead - hBehind) / (2 * eps);  // rise over run
+  force -= params_.massKg * kGravity * grade /
+           std::sqrt(1.0 + grade * grade);
+  // Rolling resistance and drag oppose motion.
+  if (std::abs(speed_) > 1e-6) {
+    const double sgn = speed_ > 0 ? 1.0 : -1.0;
+    force -= sgn * params_.rollingCoef * params_.massKg * kGravity;
+    force -= sgn * params_.dragCoef * speed_ * speed_;
+  }
+  // Brakes oppose motion and can hold the vehicle still on a grade.
+  const double brakeForce = brake * params_.brakeForceMaxN;
+  double accel = force / params_.massKg;
+  if (std::abs(speed_) > 1e-6) {
+    const double sgn = speed_ > 0 ? 1.0 : -1.0;
+    accel -= sgn * brakeForce / params_.massKg;
+  } else if (brake > 0.05 && std::abs(accel) * params_.massKg <= brakeForce) {
+    accel = 0.0;  // parked: brake holds against grade + engine
+  }
+
+  double newSpeed = speed_ + accel * dt;
+  // Brakes never reverse the direction of travel.
+  if (brake > 0.0 && speed_ != 0.0 && newSpeed * speed_ < 0.0) newSpeed = 0.0;
+  const double cap = in.reverse ? params_.reverseSpeedMps : params_.maxSpeedMps;
+  newSpeed = math::clamp(newSpeed, -cap, cap);
+  speed_ = newSpeed;
+
+  // Kinematic bicycle steering.
+  const double steerAngle = steer * params_.maxSteerRad;
+  double yawRate = 0.0;
+  if (std::abs(steerAngle) > 1e-9 && std::abs(speed_) > 1e-9) {
+    const double turnRadius = params_.wheelbaseM / std::tan(steerAngle);
+    yawRate = speed_ / turnRadius;
+  }
+  heading_ = math::wrapAngle(heading_ + yawRate * dt);
+  pos_.x += speed_ * std::cos(heading_) * dt;
+  pos_.y += speed_ * std::sin(heading_) * dt;
+  latAccel_ = speed_ * yawRate;  // v^2 / r
+
+  // Terrain following (§3.6): pose the chassis on the ground.
+  const Terrain::FootprintPose fp =
+      terrain.follow(pos_, heading_, params_.wheelbaseM, params_.trackM);
+  z_ = fp.z;
+  pitch_ = fp.pitch;
+  roll_ = fp.roll;
+}
+
+double Vehicle::rolloverIndex() const {
+  // Quasi-static tip threshold about the outer wheel line, worsened by the
+  // terrain roll angle the crane currently sits at.
+  const double halfTrack = params_.trackM * 0.5;
+  const double tilt = std::abs(roll_);
+  const double lateral = std::abs(latAccel_) + kGravity * std::sin(tilt);
+  return lateral * params_.cgHeightM / (kGravity * halfTrack);
+}
+
+}  // namespace cod::physics

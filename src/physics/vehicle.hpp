@@ -1,0 +1,79 @@
+// Longitudinal + kinematic-steering model of the mobile crane carrier.
+//
+// The paper's flight-simulator analogy (§1) — "when a user pushes the pedal,
+// the simulator must recalculate the new position according to its current
+// position, velocity, acceleration, ... and gravity" — is exactly this
+// module's job for the crane truck: pedal and wheel signals in, a physically
+// plausible carrier pose out, including grade resistance from the terrain
+// and a rollover index driven by the crane's high centre of gravity.
+#pragma once
+
+#include "math/quat.hpp"
+#include "math/vec.hpp"
+#include "physics/terrain.hpp"
+
+namespace cod::physics {
+
+struct VehicleParams {
+  double massKg = 24000.0;         // typical 25 t rough-terrain crane
+  double engineForceMaxN = 90e3;   // peak tractive force
+  double brakeForceMaxN = 180e3;
+  double dragCoef = 5.0;           // aero drag, N per (m/s)^2
+  double rollingCoef = 0.015;      // rolling resistance fraction of weight
+  double wheelbaseM = 4.5;
+  double trackM = 2.5;
+  double cgHeightM = 1.8;          // high CG: the crane's hazard (§3.6)
+  double maxSteerRad = 0.55;
+  double maxSpeedMps = 8.3;        // ~30 km/h site limit
+  double reverseSpeedMps = 2.5;
+};
+
+/// Normalised driver inputs (dashboard signals).
+struct VehicleInput {
+  double throttle = 0.0;  // [0, 1]
+  double brake = 0.0;     // [0, 1]
+  double steer = 0.0;     // [-1, 1], positive steers left (CCW)
+  bool reverse = false;
+};
+
+class Vehicle {
+ public:
+  explicit Vehicle(VehicleParams params = {});
+
+  void setPosition(const math::Vec2& p, double heading);
+
+  /// One fixed step of the carrier dynamics over `terrain`.
+  void step(const VehicleInput& in, const Terrain& terrain, double dt);
+
+  const math::Vec2& position() const { return pos_; }
+  double heading() const { return heading_; }
+  double speed() const { return speed_; }
+
+  /// Full 3-D pose from the latest terrain-following solve.
+  math::Vec3 position3() const { return {pos_.x, pos_.y, z_}; }
+  double pitch() const { return pitch_; }
+  double roll() const { return roll_; }
+  math::Quat orientation() const {
+    return math::Quat::fromEuler(roll_, -pitch_, heading_);
+  }
+
+  /// Lateral acceleration of the last step (m/s^2).
+  double lateralAccel() const { return latAccel_; }
+  /// Static-stability rollover index: |a_lat| * h_cg / (g * track/2).
+  /// >= 1 means the quasi-static tipping threshold is crossed.
+  double rolloverIndex() const;
+
+  const VehicleParams& params() const { return params_; }
+
+ private:
+  VehicleParams params_;
+  math::Vec2 pos_;
+  double heading_ = 0.0;
+  double speed_ = 0.0;  // signed: negative in reverse
+  double z_ = 0.0;
+  double pitch_ = 0.0;
+  double roll_ = 0.0;
+  double latAccel_ = 0.0;
+};
+
+}  // namespace cod::physics

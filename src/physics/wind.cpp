@@ -1,0 +1,46 @@
+#include "physics/wind.hpp"
+
+#include <cmath>
+
+namespace cod::physics {
+
+Wind::Wind(WindParams params, std::uint64_t seed)
+    : params_(params), rng_(seed), direction_(params.meanDirectionRad) {}
+
+void Wind::setMean(double speedMps, double directionRad) {
+  params_.meanSpeedMps = speedMps;
+  params_.meanDirectionRad = directionRad;
+  direction_ = directionRad;
+}
+
+void Wind::step(double dt) {
+  if (dt <= 0.0) return;
+  // Gusts: one-pole low-pass of white noise in both axes.
+  const double alpha =
+      1.0 - std::exp(-2.0 * math::kPi * params_.gustCutoffHz * dt);
+  gustAlong_ += alpha * (rng_.normal() - gustAlong_);
+  gustAcross_ += alpha * (rng_.normal() - gustAcross_);
+  // Mean direction veers as a bounded random walk around the configured
+  // heading.
+  direction_ += params_.veerRateRadPerS * rng_.normal() * std::sqrt(dt);
+  const double pull =
+      math::angleDiff(params_.meanDirectionRad, direction_);
+  direction_ = math::wrapAngle(direction_ + 0.1 * pull * dt);
+}
+
+math::Vec3 Wind::velocity() const {
+  const double gustScale = params_.meanSpeedMps * params_.gustIntensity;
+  const double along = params_.meanSpeedMps + gustScale * gustAlong_;
+  const double across = gustScale * gustAcross_;
+  const double c = std::cos(direction_);
+  const double s = std::sin(direction_);
+  return {along * c - across * s, along * s + across * c, 0.0};
+}
+
+math::Vec3 Wind::dragForce(double dragArea, double dragCoef) const {
+  constexpr double kAirDensity = 1.225;  // kg/m^3 at sea level
+  const math::Vec3 v = velocity();
+  return v * (0.5 * kAirDensity * dragCoef * dragArea * v.norm());
+}
+
+}  // namespace cod::physics

@@ -1,0 +1,50 @@
+// Wind field for the training site.
+//
+// Wind is the classic crane-operation hazard the paper's flight-simulator
+// analogy lists ("wind speed" among the quantities a high-fidelity
+// simulator must recalculate). The model: a slowly veering mean wind plus
+// band-limited gusts (one-pole filtered noise), deterministic in its seed.
+// The dynamics module applies the resulting drag force to the suspended
+// cargo; the safety envelope raises an alarm above the work-stop threshold.
+#pragma once
+
+#include "math/rng.hpp"
+#include "math/vec.hpp"
+
+namespace cod::physics {
+
+struct WindParams {
+  double meanSpeedMps = 0.0;      // calm by default
+  double meanDirectionRad = 0.0;  // blowing toward +X at 0
+  double gustIntensity = 0.3;     // gust stddev as a fraction of the mean
+  double gustCutoffHz = 0.08;     // slow gust spectrum
+  double veerRateRadPerS = 0.01;  // random walk of the mean direction
+};
+
+class Wind {
+ public:
+  explicit Wind(WindParams params = WindParams{}, std::uint64_t seed = 41);
+
+  void setMean(double speedMps, double directionRad);
+  const WindParams& params() const { return params_; }
+
+  /// Advance the gust/veer processes.
+  void step(double dt);
+
+  /// Instantaneous wind velocity (z component is always 0).
+  math::Vec3 velocity() const;
+  double speed() const { return velocity().norm(); }
+  double directionRad() const { return direction_; }
+
+  /// Drag force on a suspended body: F = 1/2 rho Cd A |v| v.
+  math::Vec3 dragForce(double dragArea, double dragCoef = 1.1) const;
+
+ private:
+  WindParams params_;
+  math::Rng rng_;
+  double direction_ = 0.0;
+  double gustAlong_ = 0.0;   // filtered noise, along-wind
+  double gustAcross_ = 0.0;  // filtered noise, cross-wind
+};
+
+}  // namespace cod::physics

@@ -1,0 +1,69 @@
+#include "platform/motion_cueing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::platform {
+
+using math::Quat;
+using math::Vec3;
+
+PoseInterpolator::PoseInterpolator(const Pose& initial)
+    : from_(initial), target_(initial), current_(initial) {}
+
+void PoseInterpolator::setTarget(const Pose& target, double intervalSec) {
+  from_ = current_;
+  target_ = target;
+  interval_ = std::max(1e-6, intervalSec);
+  t_ = 0.0;
+}
+
+Pose PoseInterpolator::advance(double dt) {
+  t_ = std::min(1.0, t_ + dt / interval_);
+  // Smoothstep easing keeps velocity continuous at segment joins, which is
+  // what "smoothly transform the posture between consecutive statuses"
+  // requires of a motion base.
+  const double s = t_ * t_ * (3.0 - 2.0 * t_);
+  current_.position = math::lerp(from_.position, target_.position, s);
+  current_.orientation = math::slerp(from_.orientation, target_.orientation, s);
+  return current_;
+}
+
+WashoutFilter::WashoutFilter(WashoutParams params) : params_(params) {}
+
+Pose WashoutFilter::map(const Pose& home, double vehiclePitch,
+                        double vehicleRoll, double longitudinalAccel,
+                        double lateralAccel, double dt) {
+  // Acceleration cue: lean the platform and shift it slightly, then let the
+  // offset wash out so the stroke is available for the next onset cue.
+  offset_.x += params_.positionScale * longitudinalAccel * dt;
+  offset_.y += params_.positionScale * lateralAccel * dt;
+  const double decay = std::exp(-params_.recentreRate * dt);
+  offset_ *= decay;
+  offset_.x = math::clamp(offset_.x, -params_.maxOffsetM, params_.maxOffsetM);
+  offset_.y = math::clamp(offset_.y, -params_.maxOffsetM, params_.maxOffsetM);
+
+  const double pitch = math::clamp(params_.angleScale * vehiclePitch,
+                                   -params_.maxTiltRad, params_.maxTiltRad);
+  const double roll = math::clamp(params_.angleScale * vehicleRoll,
+                                  -params_.maxTiltRad, params_.maxTiltRad);
+  Pose p;
+  p.position = home.position + offset_;
+  p.orientation = Quat::fromEuler(roll, pitch, 0.0);
+  return p;
+}
+
+VibrationGenerator::VibrationGenerator(double amplitudeM, double cutoffHz,
+                                       std::uint64_t seed)
+    : amplitudeM_(amplitudeM), cutoffHz_(cutoffHz), rng_(seed) {}
+
+double VibrationGenerator::sample(double dt) {
+  if (!enabled_ || dt <= 0.0) return enabled_ ? state_ * amplitudeM_ : 0.0;
+  // One-pole low-pass over white noise: band-limited "engine rumble".
+  const double alpha =
+      1.0 - std::exp(-2.0 * math::kPi * cutoffHz_ * dt);
+  state_ += alpha * (rng_.normal() - state_);
+  return state_ * amplitudeM_;
+}
+
+}  // namespace cod::platform

@@ -1,0 +1,91 @@
+// Motion cueing for the platform controller module (§3.4).
+//
+// Three responsibilities the paper calls out:
+//  1. smooth interpolation of the platform posture between consecutive
+//     target statuses, at a frequency synchronized with the visual display
+//     ("otherwise the user may visually see the crane going downhill while
+//     the motion platform is still in uphill posture");
+//  2. scaling the (unbounded) vehicle motion into the platform's small
+//     workspace, with a washout that re-centres the platform slowly enough
+//     not to be felt;
+//  3. a constant random up-and-down vibration while the engine is ignited —
+//     the crane is a heavy industrial machine.
+#pragma once
+
+#include "math/rng.hpp"
+#include "platform/stewart.hpp"
+
+namespace cod::platform {
+
+/// Interpolates platform pose between consecutive target statuses.
+class PoseInterpolator {
+ public:
+  explicit PoseInterpolator(const Pose& initial = Pose::identity());
+
+  /// Feed the next target status and the interval over which to reach it
+  /// (typically one display frame, so motion and vision stay in phase).
+  void setTarget(const Pose& target, double intervalSec);
+
+  /// Advance by dt and return the smoothly interpolated pose.
+  Pose advance(double dt);
+
+  const Pose& current() const { return current_; }
+  const Pose& target() const { return target_; }
+  /// Remaining fraction of the current interval in [0, 1].
+  double progress() const { return math::clamp(t_, 0.0, 1.0); }
+
+ private:
+  Pose from_;
+  Pose target_;
+  Pose current_;
+  double t_ = 1.0;         // normalized progress
+  double interval_ = 1.0;  // seconds
+};
+
+/// Classical washout: scale vehicle motion into the workspace and decay the
+/// platform back to neutral so sustained cues do not saturate the stroke.
+struct WashoutParams {
+  double positionScale = 0.08;   // m of platform per m/s^2 of accel cue
+  double angleScale = 0.7;       // platform tilt per vehicle tilt
+  double recentreRate = 0.35;    // 1/s exponential pull toward home
+  double maxTiltRad = 0.30;
+  double maxOffsetM = 0.25;
+};
+
+class WashoutFilter {
+ public:
+  explicit WashoutFilter(WashoutParams params = {});
+
+  /// Map a vehicle state sample (specific forces + attitude) to a platform
+  /// pose target around `home`.
+  Pose map(const Pose& home, double vehiclePitch, double vehicleRoll,
+           double longitudinalAccel, double lateralAccel, double dt);
+
+  const WashoutParams& params() const { return params_; }
+
+ private:
+  WashoutParams params_;
+  math::Vec3 offset_;  // persistent, washed-out translation state
+};
+
+/// Engine-idle vibration: band-limited random vertical bounce (§3.4).
+class VibrationGenerator {
+ public:
+  VibrationGenerator(double amplitudeM, double cutoffHz, std::uint64_t seed);
+
+  /// Next vertical offset sample; returns 0 when disabled.
+  double sample(double dt);
+
+  void setEnabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  double amplitude() const { return amplitudeM_; }
+
+ private:
+  double amplitudeM_;
+  double cutoffHz_;
+  math::Rng rng_;
+  double state_ = 0.0;  // one-pole low-pass of white noise
+  bool enabled_ = true;
+};
+
+}  // namespace cod::platform

@@ -1,0 +1,90 @@
+#include "platform/stewart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::platform {
+
+using math::Quat;
+using math::Vec3;
+
+namespace {
+
+std::array<Vec3, 6> anchorRing(double radius, double pairHalfAngle,
+                               double phase) {
+  // Three pairs at 120 degrees; each pair split by +-pairHalfAngle.
+  std::array<Vec3, 6> a;
+  for (int k = 0; k < 3; ++k) {
+    const double center = phase + 2.0 * math::kPi * k / 3.0;
+    a[2 * k] = {radius * std::cos(center - pairHalfAngle),
+                radius * std::sin(center - pairHalfAngle), 0.0};
+    a[2 * k + 1] = {radius * std::cos(center + pairHalfAngle),
+                    radius * std::sin(center + pairHalfAngle), 0.0};
+  }
+  return a;
+}
+
+}  // namespace
+
+std::array<Vec3, 6> StewartGeometry::baseAnchors() const {
+  return anchorRing(baseRadiusM, basePairHalfAngle, 0.0);
+}
+
+std::array<Vec3, 6> StewartGeometry::platformAnchors() const {
+  // Platform ring rotated 60 degrees so legs cross — the classic 6-6 layout.
+  return anchorRing(platformRadiusM, platformPairHalfAngle, math::kPi / 3.0);
+}
+
+StewartPlatform::StewartPlatform(StewartGeometry geom)
+    : geom_(geom), plat_(geom.platformAnchors()) {
+  // Leg i connects base anchor (i+1) mod 6 to platform anchor i: each leg
+  // spans the same angular gap, so the level home pose has six equal legs
+  // (and the legs cross, which is what stiffens a 6-6 Stewart platform).
+  const std::array<math::Vec3, 6> ring = geom.baseAnchors();
+  for (int i = 0; i < 6; ++i) base_[i] = ring[(i + 1) % 6];
+}
+
+Pose StewartPlatform::homePose() const {
+  return {{0.0, 0.0, geom_.homeHeightM}, Quat{}};
+}
+
+LegSolution StewartPlatform::inverseKinematics(const Pose& pose) const {
+  LegSolution sol;
+  sol.strokeMargin = 1e300;
+  for (int i = 0; i < 6; ++i) {
+    const Vec3 anchorWorld =
+        pose.position + pose.orientation.rotate(plat_[i]);
+    const double len = (anchorWorld - base_[i]).norm();
+    sol.lengths[i] = len;
+    const double margin =
+        std::min(len - geom_.legMinM, geom_.legMaxM - len);
+    sol.strokeMargin = std::min(sol.strokeMargin, margin);
+    if (margin < 0.0) sol.reachable = false;
+  }
+  return sol;
+}
+
+Pose StewartPlatform::clampToWorkspace(const Pose& desired) const {
+  if (reachable(desired)) return desired;
+  const Pose home = homePose();
+  // Bisect the blend factor between home (always reachable) and desired.
+  double lo = 0.0;  // home
+  double hi = 1.0;  // desired (unreachable)
+  for (int iter = 0; iter < 32; ++iter) {
+    const double mid = (lo + hi) * 0.5;
+    Pose p;
+    p.position = math::lerp(home.position, desired.position, mid);
+    p.orientation = math::slerp(home.orientation, desired.orientation, mid);
+    if (reachable(p)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  Pose p;
+  p.position = math::lerp(home.position, desired.position, lo);
+  p.orientation = math::slerp(home.orientation, desired.orientation, lo);
+  return p;
+}
+
+}  // namespace cod::platform

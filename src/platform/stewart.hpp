@@ -1,0 +1,79 @@
+// Stewart-platform-based manipulator (paper §3.4, after Stewart 1965).
+//
+// Six prismatic legs connect a fixed base to the moving platform. Motion
+// cueing only needs the *inverse* kinematics — given the desired platform
+// pose, each leg length is the distance between its base and platform
+// anchors — plus stroke limits defining the reachable workspace.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "math/mat.hpp"
+#include "math/quat.hpp"
+#include "math/vec.hpp"
+
+namespace cod::platform {
+
+/// A rigid pose of the moving platform relative to the base frame.
+struct Pose {
+  math::Vec3 position;  // platform centre, metres (z up)
+  math::Quat orientation;
+
+  static Pose identity() { return {}; }
+};
+
+/// Geometry of a 6-6 Stewart platform with paired anchor points.
+struct StewartGeometry {
+  double baseRadiusM = 1.6;
+  double platformRadiusM = 1.1;
+  /// Half-angle between the two anchors of each pair, radians.
+  double basePairHalfAngle = 0.12;
+  double platformPairHalfAngle = 0.35;
+  /// Actuator stroke limits.
+  double legMinM = 1.3;
+  double legMaxM = 2.2;
+  /// Neutral platform height above the base plane.
+  double homeHeightM = 1.7;
+
+  /// Anchor layouts (computed from the radii/angles).
+  std::array<math::Vec3, 6> baseAnchors() const;
+  std::array<math::Vec3, 6> platformAnchors() const;
+};
+
+/// Result of one inverse-kinematics solve.
+struct LegSolution {
+  std::array<double, 6> lengths{};
+  bool reachable = true;  // all legs within [legMin, legMax]
+  /// Worst-case margin to the nearer stroke limit (negative if violated).
+  double strokeMargin = 0.0;
+};
+
+class StewartPlatform {
+ public:
+  explicit StewartPlatform(StewartGeometry geom = {});
+
+  const StewartGeometry& geometry() const { return geom_; }
+
+  /// Neutral (home) pose: level platform at homeHeight.
+  Pose homePose() const;
+
+  /// Inverse kinematics: leg lengths for a platform pose.
+  LegSolution inverseKinematics(const Pose& pose) const;
+
+  /// Clamp a desired pose into the reachable workspace by shrinking its
+  /// offset from home until all legs are within stroke (bisection).
+  Pose clampToWorkspace(const Pose& desired) const;
+
+  /// True if the pose is reachable.
+  bool reachable(const Pose& pose) const {
+    return inverseKinematics(pose).reachable;
+  }
+
+ private:
+  StewartGeometry geom_;
+  std::array<math::Vec3, 6> base_;
+  std::array<math::Vec3, 6> plat_;
+};
+
+}  // namespace cod::platform

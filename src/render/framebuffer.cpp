@@ -1,0 +1,52 @@
+#include "render/framebuffer.hpp"
+
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace cod::render {
+
+Framebuffer::Framebuffer(int width, int height) : w_(width), h_(height) {
+  if (width <= 0 || height <= 0)
+    throw std::invalid_argument("Framebuffer: non-positive size");
+  color_.assign(static_cast<std::size_t>(w_) * h_, 0);
+  depth_.assign(static_cast<std::size_t>(w_) * h_,
+                std::numeric_limits<double>::infinity());
+}
+
+void Framebuffer::clear(Color c) {
+  const std::uint32_t packed = c.packed();
+  std::fill(color_.begin(), color_.end(), packed);
+  std::fill(depth_.begin(), depth_.end(),
+            std::numeric_limits<double>::infinity());
+}
+
+void Framebuffer::plot(int x, int y, double z, Color c) {
+  if (x < 0 || x >= w_ || y < 0 || y >= h_) return;
+  const std::size_t i = static_cast<std::size_t>(y) * w_ + x;
+  if (z >= depth_[i]) return;
+  depth_[i] = z;
+  color_[i] = c.packed();
+}
+
+double Framebuffer::coverage() const {
+  std::size_t written = 0;
+  for (const double d : depth_)
+    if (d != std::numeric_limits<double>::infinity()) ++written;
+  return static_cast<double>(written) / static_cast<double>(depth_.size());
+}
+
+bool Framebuffer::writePpm(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << "P6\n" << w_ << ' ' << h_ << "\n255\n";
+  for (const std::uint32_t p : color_) {
+    const char rgb[3] = {static_cast<char>((p >> 16) & 0xFF),
+                         static_cast<char>((p >> 8) & 0xFF),
+                         static_cast<char>(p & 0xFF)};
+    f.write(rgb, 3);
+  }
+  return static_cast<bool>(f);
+}
+
+}  // namespace cod::render

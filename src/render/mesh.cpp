@@ -1,0 +1,88 @@
+#include "render/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cod::render {
+
+using math::Vec3;
+
+Color Color::shaded(double k) const {
+  k = math::clamp(k, 0.0, 1.0);
+  return {static_cast<std::uint8_t>(r * k), static_cast<std::uint8_t>(g * k),
+          static_cast<std::uint8_t>(b * k)};
+}
+
+Mesh::Mesh(std::vector<Vec3> vertices,
+           std::vector<std::array<std::uint32_t, 3>> triangles, Color color)
+    : verts_(std::move(vertices)), tris_(std::move(triangles)), color_(color) {
+  if (verts_.empty() || tris_.empty())
+    throw std::invalid_argument("Mesh: empty geometry");
+  for (const auto& t : tris_)
+    for (const std::uint32_t i : t)
+      if (i >= verts_.size()) throw std::out_of_range("Mesh: bad index");
+  sphere_ = math::Sphere::fromPoints(verts_);
+}
+
+std::shared_ptr<Mesh> Mesh::box(const Vec3& size, Color c) {
+  const Vec3 h = size * 0.5;
+  std::vector<Vec3> v = {
+      {-h.x, -h.y, -h.z}, {h.x, -h.y, -h.z}, {h.x, h.y, -h.z},
+      {-h.x, h.y, -h.z},  {-h.x, -h.y, h.z}, {h.x, -h.y, h.z},
+      {h.x, h.y, h.z},    {-h.x, h.y, h.z}};
+  std::vector<std::array<std::uint32_t, 3>> t = {
+      {0, 2, 1}, {0, 3, 2}, {4, 5, 6}, {4, 6, 7}, {0, 1, 5}, {0, 5, 4},
+      {2, 3, 7}, {2, 7, 6}, {1, 2, 6}, {1, 6, 5}, {3, 0, 4}, {3, 4, 7}};
+  return std::make_shared<Mesh>(std::move(v), std::move(t), c);
+}
+
+std::shared_ptr<Mesh> Mesh::cylinder(double radius, double height,
+                                     int segments, Color c) {
+  if (segments < 3) throw std::invalid_argument("Mesh::cylinder: segments<3");
+  std::vector<Vec3> v;
+  const double h = height * 0.5;
+  for (int i = 0; i < segments; ++i) {
+    const double a = 2.0 * math::kPi * i / segments;
+    v.push_back({radius * std::cos(a), radius * std::sin(a), -h});
+    v.push_back({radius * std::cos(a), radius * std::sin(a), h});
+  }
+  const auto bc = static_cast<std::uint32_t>(v.size());
+  v.push_back({0, 0, -h});
+  const auto tc = static_cast<std::uint32_t>(v.size());
+  v.push_back({0, 0, h});
+  std::vector<std::array<std::uint32_t, 3>> t;
+  for (int i = 0; i < segments; ++i) {
+    const auto b0 = static_cast<std::uint32_t>(2 * i);
+    const auto t0 = b0 + 1;
+    const auto b1 = static_cast<std::uint32_t>(2 * ((i + 1) % segments));
+    const auto t1 = b1 + 1;
+    t.push_back({b0, b1, t1});
+    t.push_back({b0, t1, t0});
+    t.push_back({bc, b1, b0});
+    t.push_back({tc, t0, t1});
+  }
+  return std::make_shared<Mesh>(std::move(v), std::move(t), c);
+}
+
+std::shared_ptr<Mesh> Mesh::plane(double w, double d, int subdiv, Color c) {
+  if (subdiv < 1) throw std::invalid_argument("Mesh::plane: subdiv<1");
+  std::vector<Vec3> v;
+  const int n = subdiv + 1;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      v.push_back({-w / 2 + w * i / subdiv, -d / 2 + d * j / subdiv, 0.0});
+  std::vector<std::array<std::uint32_t, 3>> t;
+  for (int j = 0; j < subdiv; ++j) {
+    for (int i = 0; i < subdiv; ++i) {
+      const auto a = static_cast<std::uint32_t>(j * n + i);
+      const auto b = a + 1;
+      const auto cc = a + n;
+      const auto dd = cc + 1;
+      t.push_back({a, b, dd});
+      t.push_back({a, dd, cc});
+    }
+  }
+  return std::make_shared<Mesh>(std::move(v), std::move(t), c);
+}
+
+}  // namespace cod::render

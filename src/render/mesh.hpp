@@ -1,0 +1,57 @@
+// Renderable triangle meshes and procedural builders.
+//
+// The virtual scene of the paper's simulator (training ground, crane, cargo,
+// bars) is assembled from these meshes; the headline experiment renders
+// "3235 polygons" of them per frame.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "math/geometry.hpp"
+#include "math/vec.hpp"
+
+namespace cod::render {
+
+/// Packed RGB color.
+struct Color {
+  std::uint8_t r = 200, g = 200, b = 200;
+
+  std::uint32_t packed() const {
+    return (static_cast<std::uint32_t>(r) << 16) |
+           (static_cast<std::uint32_t>(g) << 8) | b;
+  }
+  /// Scale brightness by `k` in [0, 1].
+  Color shaded(double k) const;
+};
+
+class Mesh {
+ public:
+  Mesh(std::vector<math::Vec3> vertices,
+       std::vector<std::array<std::uint32_t, 3>> triangles, Color color);
+
+  static std::shared_ptr<Mesh> box(const math::Vec3& size, Color c);
+  static std::shared_ptr<Mesh> cylinder(double radius, double height,
+                                        int segments, Color c);
+  /// Flat ground plane `w` × `d`, subdivided so the polygon count is
+  /// controllable (frame-rate sweeps need scenes of a given size).
+  static std::shared_ptr<Mesh> plane(double w, double d, int subdiv, Color c);
+
+  const std::vector<math::Vec3>& vertices() const { return verts_; }
+  const std::vector<std::array<std::uint32_t, 3>>& triangles() const {
+    return tris_;
+  }
+  std::size_t triangleCount() const { return tris_.size(); }
+  Color color() const { return color_; }
+  const math::Sphere& boundingSphere() const { return sphere_; }
+
+ private:
+  std::vector<math::Vec3> verts_;
+  std::vector<std::array<std::uint32_t, 3>> tris_;
+  Color color_;
+  math::Sphere sphere_;
+};
+
+}  // namespace cod::render

@@ -1,0 +1,142 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::render {
+
+using math::Mat4;
+using math::Vec3;
+using math::Vec4;
+
+void Rasterizer::setLightDirection(const Vec3& dir) {
+  light_ = dir.normalized();
+}
+
+namespace {
+
+/// Sutherland–Hodgman clip of a triangle against the near plane z + w > 0.
+/// Writes up to 4 vertices; returns the count.
+int clipNear(const Vec4 in[3], Vec4 out[4]) {
+  int n = 0;
+  for (int i = 0; i < 3; ++i) {
+    const Vec4& a = in[i];
+    const Vec4& b = in[(i + 1) % 3];
+    const double da = a.z + a.w;
+    const double db = b.z + b.w;
+    if (da >= 0.0) out[n++] = a;
+    if ((da >= 0.0) != (db >= 0.0)) {
+      const double t = da / (da - db);
+      out[n++] = a + (b - a) * t;
+    }
+    if (n >= 4) break;
+  }
+  return n;
+}
+
+}  // namespace
+
+void Rasterizer::drawTriangle(Framebuffer& fb, const Vec4 clip[3], Color c) {
+  // Perspective divide → NDC → viewport.
+  double sx[3], sy[3], sz[3];
+  for (int i = 0; i < 3; ++i) {
+    const double invW = 1.0 / clip[i].w;
+    const double nx = clip[i].x * invW;
+    const double ny = clip[i].y * invW;
+    sz[i] = clip[i].z * invW;
+    sx[i] = (nx + 1.0) * 0.5 * fb.width();
+    sy[i] = (1.0 - ny) * 0.5 * fb.height();
+  }
+  const double area = (sx[1] - sx[0]) * (sy[2] - sy[0]) -
+                      (sx[2] - sx[0]) * (sy[1] - sy[0]);
+  if (std::abs(area) < 1e-9) return;
+  const int x0 = std::max(0, static_cast<int>(std::floor(
+                                 std::min({sx[0], sx[1], sx[2]}))));
+  const int x1 = std::min(fb.width() - 1,
+                          static_cast<int>(std::ceil(
+                              std::max({sx[0], sx[1], sx[2]}))));
+  const int y0 = std::max(0, static_cast<int>(std::floor(
+                                 std::min({sy[0], sy[1], sy[2]}))));
+  const int y1 = std::min(fb.height() - 1,
+                          static_cast<int>(std::ceil(
+                              std::max({sy[0], sy[1], sy[2]}))));
+  if (x0 > x1 || y0 > y1) return;
+  const double invArea = 1.0 / area;
+  ++stats_.trianglesDrawn;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const double px = x + 0.5;
+      const double py = y + 0.5;
+      const double w0 = ((sx[1] - px) * (sy[2] - py) -
+                         (sx[2] - px) * (sy[1] - py)) * invArea;
+      const double w1 = ((sx[2] - px) * (sy[0] - py) -
+                         (sx[0] - px) * (sy[2] - py)) * invArea;
+      const double w2 = 1.0 - w0 - w1;
+      if (w0 < 0.0 || w1 < 0.0 || w2 < 0.0) continue;
+      const double z = w0 * sz[0] + w1 * sz[1] + w2 * sz[2];
+      fb.plot(x, y, z, c);
+      ++stats_.pixelsShaded;
+    }
+  }
+}
+
+void Rasterizer::render(const Scene& scene, const Camera& camera,
+                        Framebuffer& fb) {
+  const Mat4 vp = camera.viewProjection();
+  for (const SceneObject& obj : scene.objects()) {
+    if (!obj.visible || !obj.mesh) continue;
+    ++stats_.objectsSubmitted;
+    // Per-object cull: world bounding sphere vs frustum.
+    math::Sphere ws;
+    ws.center = obj.transform.transformPoint(obj.mesh->boundingSphere().center);
+    ws.radius = obj.mesh->boundingSphere().radius;
+    if (!camera.sphereVisible(ws)) {
+      ++stats_.objectsCulled;
+      continue;
+    }
+    const Mat4 mvp = vp * obj.transform;
+    const auto& verts = obj.mesh->vertices();
+    const auto& tris = obj.mesh->triangles();
+    for (const auto& tri : tris) {
+      ++stats_.trianglesSubmitted;
+      const Vec3& a = verts[tri[0]];
+      const Vec3& b = verts[tri[1]];
+      const Vec3& cpos = verts[tri[2]];
+      // Flat shade from the world-space normal.
+      const Vec3 wa = obj.transform.transformPoint(a);
+      const Vec3 wb = obj.transform.transformPoint(b);
+      const Vec3 wc = obj.transform.transformPoint(cpos);
+      const Vec3 n = (wb - wa).cross(wc - wa).normalized();
+      const double k = 0.25 + 0.75 * std::abs(n.dot(light_));
+      const Color shadedColor = obj.mesh->color().shaded(k);
+
+      const Vec4 clip[3] = {mvp * Vec4{a, 1.0}, mvp * Vec4{b, 1.0},
+                            mvp * Vec4{cpos, 1.0}};
+      // Quick reject: all vertices outside one clip half-space.
+      auto allOutside = [&](auto pred) {
+        return pred(clip[0]) && pred(clip[1]) && pred(clip[2]);
+      };
+      if (allOutside([](const Vec4& v) { return v.x < -v.w; }) ||
+          allOutside([](const Vec4& v) { return v.x > v.w; }) ||
+          allOutside([](const Vec4& v) { return v.y < -v.w; }) ||
+          allOutside([](const Vec4& v) { return v.y > v.w; }) ||
+          allOutside([](const Vec4& v) { return v.z > v.w; })) {
+        ++stats_.trianglesClipped;
+        continue;
+      }
+      Vec4 poly[4];
+      const int nVerts = clipNear(clip, poly);
+      if (nVerts < 3) {
+        ++stats_.trianglesClipped;
+        continue;
+      }
+      // Fan-triangulate the clipped polygon (two-sided fill).
+      for (int i = 1; i + 1 < nVerts; ++i) {
+        const Vec4 fan[3] = {poly[0], poly[i], poly[i + 1]};
+        drawTriangle(fb, fan, shadedColor);
+      }
+    }
+  }
+}
+
+}  // namespace cod::render

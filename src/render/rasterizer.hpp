@@ -1,0 +1,48 @@
+// Z-buffered software rasterizer.
+//
+// Stands in for the paper's TNT2 M64 graphics cards: frame cost genuinely
+// scales with the polygon and pixel load, so the frame-rate experiments
+// (E1/E2) measure a real rendering workload. Pipeline per frame:
+// per-object frustum cull (bounding sphere) → vertex transform → near-plane
+// clip → perspective divide → viewport map → flat-shaded two-sided
+// z-buffer triangle fill.
+#pragma once
+
+#include <cstdint>
+
+#include "render/camera.hpp"
+#include "render/framebuffer.hpp"
+#include "render/scene.hpp"
+
+namespace cod::render {
+
+struct RenderStats {
+  std::uint64_t objectsSubmitted = 0;
+  std::uint64_t objectsCulled = 0;
+  std::uint64_t trianglesSubmitted = 0;
+  std::uint64_t trianglesClipped = 0;  // rejected by clip-space tests
+  std::uint64_t trianglesDrawn = 0;
+  std::uint64_t pixelsShaded = 0;
+
+  void reset() { *this = {}; }
+};
+
+class Rasterizer {
+ public:
+  /// Directional light (world space, normalized internally).
+  void setLightDirection(const math::Vec3& dir);
+
+  /// Render one frame of `scene` from `camera` into `fb`.
+  void render(const Scene& scene, const Camera& camera, Framebuffer& fb);
+
+  const RenderStats& stats() const { return stats_; }
+  void resetStats() { stats_.reset(); }
+
+ private:
+  void drawTriangle(Framebuffer& fb, const math::Vec4 clip[3], Color c);
+
+  math::Vec3 light_{-0.4, 0.3, -0.85};
+  RenderStats stats_;
+};
+
+}  // namespace cod::render

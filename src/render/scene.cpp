@@ -1,0 +1,37 @@
+#include "render/scene.hpp"
+
+namespace cod::render {
+
+std::uint32_t Scene::add(const std::string& name, std::shared_ptr<Mesh> mesh,
+                         const math::Mat4& transform) {
+  SceneObject obj;
+  obj.id = nextId_++;
+  obj.name = name;
+  obj.mesh = std::move(mesh);
+  obj.transform = transform;
+  objects_.push_back(std::move(obj));
+  return objects_.back().id;
+}
+
+void Scene::setTransform(std::uint32_t id, const math::Mat4& t) {
+  if (SceneObject* o = find(id)) o->transform = t;
+}
+
+void Scene::setVisible(std::uint32_t id, bool visible) {
+  if (SceneObject* o = find(id)) o->visible = visible;
+}
+
+SceneObject* Scene::find(std::uint32_t id) {
+  for (SceneObject& o : objects_)
+    if (o.id == id) return &o;
+  return nullptr;
+}
+
+std::size_t Scene::polygonCount() const {
+  std::size_t n = 0;
+  for (const SceneObject& o : objects_)
+    if (o.visible && o.mesh) n += o.mesh->triangleCount();
+  return n;
+}
+
+}  // namespace cod::render

@@ -1,0 +1,41 @@
+// A scene: mesh instances with rigid transforms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/mat.hpp"
+#include "render/mesh.hpp"
+
+namespace cod::render {
+
+struct SceneObject {
+  std::uint32_t id = 0;
+  std::string name;
+  std::shared_ptr<Mesh> mesh;
+  math::Mat4 transform;
+  bool visible = true;
+};
+
+class Scene {
+ public:
+  std::uint32_t add(const std::string& name, std::shared_ptr<Mesh> mesh,
+                    const math::Mat4& transform = math::Mat4::identity());
+  void setTransform(std::uint32_t id, const math::Mat4& t);
+  void setVisible(std::uint32_t id, bool visible);
+  SceneObject* find(std::uint32_t id);
+
+  const std::vector<SceneObject>& objects() const { return objects_; }
+
+  /// Total triangles across visible objects — the paper's "polygons inside
+  /// the virtual scene" figure.
+  std::size_t polygonCount() const;
+
+ private:
+  std::vector<SceneObject> objects_;
+  std::uint32_t nextId_ = 1;
+};
+
+}  // namespace cod::render

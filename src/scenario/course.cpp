@@ -1,0 +1,67 @@
+#include "scenario/course.hpp"
+
+#include <cmath>
+
+namespace cod::scenario {
+
+double Course::driveDistance() const {
+  double d = 0.0;
+  math::Vec2 prev = startPosition;
+  for (const Waypoint& w : driveRoute) {
+    d += (w.position - prev).norm();
+    prev = w.position;
+  }
+  return d;
+}
+
+Course standardLicensureCourse() {
+  Course c;
+  c.startPosition = {10.0, 10.0};
+  c.startHeadingRad = 0.0;
+  // A dog-leg drive to the testing ground (Fig. 8's route from the
+  // starting point to the designated location).
+  c.driveRoute = {
+      {{40.0, 10.0}, 3.0},
+      {{70.0, 25.0}, 3.0},
+      {{95.0, 45.0}, 3.0},
+      {{110.0, 60.0}, 3.5},
+  };
+  c.craneParkPosition = {110.0, 60.0};
+  c.craneParkHeadingRad = 0.0;
+  // Lift zone ~8 m left of the park spot; drop zone ~8 m right (Fig. 9:
+  // lift in the white circle at the left, carry to the right and back).
+  c.pickZone = {{110.0, 68.0}, 1.5};
+  c.dropZone = {{110.0, 52.0}, 1.5};
+  // Cargo trajectory: an arc from pick to drop passing over the bars.
+  c.cargoPath = {
+      {110.0, 68.0}, {113.0, 66.0}, {115.0, 60.0}, {113.0, 54.0},
+      {110.0, 52.0},
+  };
+  // Three bars obstruct the arc.
+  c.bars = {
+      {{113.2, 65.2}, math::deg2rad(30.0), 4.0, 1.3, 0.06},
+      {{115.2, 60.0}, math::deg2rad(90.0), 4.0, 1.5, 0.06},
+      {{113.2, 54.8}, math::deg2rad(150.0), 4.0, 1.3, 0.06},
+  };
+  c.cargoMassKg = 800.0;
+  c.timeLimitSec = 600.0;
+  return c;
+}
+
+Course compactCourse() {
+  Course c;
+  c.startPosition = {5.0, 5.0};
+  c.startHeadingRad = 0.0;
+  c.driveRoute = {{{25.0, 5.0}, 2.5}, {{40.0, 15.0}, 3.0}};
+  c.craneParkPosition = {40.0, 15.0};
+  c.craneParkHeadingRad = 0.0;
+  c.pickZone = {{40.0, 23.0}, 1.5};
+  c.dropZone = {{40.0, 7.0}, 1.5};
+  c.cargoPath = {{40.0, 23.0}, {43.0, 15.0}, {40.0, 7.0}};
+  c.bars = {{{43.2, 15.0}, math::deg2rad(90.0), 4.0, 1.4, 0.06}};
+  c.cargoMassKg = 500.0;
+  c.timeLimitSec = 300.0;
+  return c;
+}
+
+}  // namespace cod::scenario

@@ -1,0 +1,62 @@
+// Training-course description (paper §3.5, Figs. 8 & 9).
+//
+// The scenario: drive the crane from the starting point to the testing
+// ground, lift the cargo out of the white circular zone, carry it along a
+// bar-obstructed trajectory to the far zone, and bring it back. Bars placed
+// on the path deduct points when the cargo collides with them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "math/vec.hpp"
+
+namespace cod::scenario {
+
+/// A driving waypoint with an acceptance radius.
+struct Waypoint {
+  math::Vec2 position;
+  double radiusM = 3.0;
+};
+
+/// A circular cargo zone painted on the ground (the "white circular zone").
+struct CargoZone {
+  math::Vec2 center;
+  double radiusM = 1.5;
+};
+
+/// One obstructing bar: a horizontal beam on two posts the cargo must clear.
+struct Bar {
+  math::Vec2 position;   // centre of the beam, ground plane
+  double headingRad = 0; // beam direction
+  double lengthM = 4.0;
+  double heightM = 1.2;  // top of the beam above ground
+  double barRadiusM = 0.06;
+};
+
+/// The whole course.
+struct Course {
+  math::Vec2 startPosition;
+  double startHeadingRad = 0.0;
+  std::vector<Waypoint> driveRoute;   // start → testing ground
+  math::Vec2 craneParkPosition;       // where to park for the lift
+  double craneParkHeadingRad = 0.0;
+  CargoZone pickZone;                 // cargo initial position (Fig. 9 left)
+  CargoZone dropZone;                 // far end of the trajectory
+  std::vector<math::Vec2> cargoPath;  // nominal trajectory of the cargo
+  std::vector<Bar> bars;              // obstructions along the path
+  double cargoMassKg = 800.0;
+  double timeLimitSec = 600.0;
+
+  /// Total drive distance along the route.
+  double driveDistance() const;
+};
+
+/// The standard licensure course used throughout tests, benches and
+/// examples — Fig. 8/9 re-expressed in metres.
+Course standardLicensureCourse();
+
+/// A shorter variant for quick tests (same structure, fewer bars).
+Course compactCourse();
+
+}  // namespace cod::scenario

@@ -1,0 +1,119 @@
+#include "scenario/exam.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace cod::scenario {
+
+const char* phaseName(ExamPhase p) {
+  switch (p) {
+    case ExamPhase::kDriveToSite: return "DRIVE TO SITE";
+    case ExamPhase::kLiftCargo: return "LIFT CARGO";
+    case ExamPhase::kTraverseOut: return "TRAVERSE OUT";
+    case ExamPhase::kReturnCargo: return "RETURN CARGO";
+    case ExamPhase::kSetDown: return "SET DOWN";
+    case ExamPhase::kPassed: return "PASSED";
+    case ExamPhase::kFailed: return "FAILED";
+  }
+  return "?";
+}
+
+Exam::Exam(Course course, ScoringRules rules)
+    : course_(std::move(course)), rules_(rules) {}
+
+void Exam::deduct(double t, const std::string& reason, double points) {
+  sheet_.deductions.push_back({t, reason, points});
+  sheet_.total = std::max(0.0, sheet_.total - points);
+}
+
+void Exam::finish(double t) {
+  sheet_.elapsedSec = t;
+  if (t > course_.timeLimitSec) {
+    const double over = (t - course_.timeLimitSec) / 60.0;
+    deduct(t, "over time limit", rules_.overTimePerMinute * std::ceil(over));
+  }
+  sheet_.phase = sheet_.total >= rules_.passThreshold ? ExamPhase::kPassed
+                                                      : ExamPhase::kFailed;
+}
+
+void Exam::observe(const ExamObservation& obs) {
+  if (sheet_.finished()) return;
+  sheet_.elapsedSec = obs.timeSec;
+
+  // Event deductions apply in every phase.
+  for (const std::size_t barIdx : obs.barHits) {
+    deduct(obs.timeSec, "bar " + std::to_string(barIdx) + " collision",
+           rules_.barCollision);
+  }
+  // Newly raised alarm lamps (edge-triggered on the bit set).
+  const std::uint32_t newAlarms = obs.alarmBits & ~lastAlarmBits_;
+  if (newAlarms != 0) {
+    deduct(obs.timeSec, "alarm raised",
+           rules_.alarmRaised * std::popcount(newAlarms));
+  }
+  lastAlarmBits_ = obs.alarmBits;
+
+  switch (sheet_.phase) {
+    case ExamPhase::kDriveToSite: {
+      if (waypointIdx_ < course_.driveRoute.size()) {
+        const Waypoint& w = course_.driveRoute[waypointIdx_];
+        if ((obs.carrierPosition - w.position).norm() <= w.radiusM)
+          ++waypointIdx_;
+      }
+      if (waypointIdx_ >= course_.driveRoute.size()) {
+        sheet_.phase = ExamPhase::kLiftCargo;
+        phaseEnteredAt_ = obs.timeSec;
+      }
+      break;
+    }
+    case ExamPhase::kLiftCargo: {
+      // Cargo must be attached and lifted clear of the ground.
+      if (obs.cargoAttached && obs.cargoPosition.z > 0.8) {
+        sheet_.phase = ExamPhase::kTraverseOut;
+        phaseEnteredAt_ = obs.timeSec;
+      }
+      break;
+    }
+    case ExamPhase::kTraverseOut: {
+      const math::Vec2 cargo2{obs.cargoPosition.x, obs.cargoPosition.y};
+      if ((cargo2 - course_.dropZone.center).norm() <=
+          course_.dropZone.radiusM + 0.5) {
+        reachedDropZone_ = true;
+        sheet_.phase = ExamPhase::kReturnCargo;
+        phaseEnteredAt_ = obs.timeSec;
+      }
+      break;
+    }
+    case ExamPhase::kReturnCargo: {
+      const math::Vec2 cargo2{obs.cargoPosition.x, obs.cargoPosition.y};
+      if ((cargo2 - course_.pickZone.center).norm() <=
+          course_.pickZone.radiusM + 0.5) {
+        sheet_.phase = ExamPhase::kSetDown;
+        phaseEnteredAt_ = obs.timeSec;
+      }
+      break;
+    }
+    case ExamPhase::kSetDown: {
+      if (!obs.cargoAttached) {
+        const math::Vec2 cargo2{obs.cargoPosition.x, obs.cargoPosition.y};
+        const double miss = (cargo2 - course_.pickZone.center).norm();
+        if (miss > course_.pickZone.radiusM)
+          deduct(obs.timeSec, "cargo set down outside zone",
+                 rules_.dropOutsideZone);
+        finish(obs.timeSec);
+      }
+      break;
+    }
+    case ExamPhase::kPassed:
+    case ExamPhase::kFailed:
+      break;
+  }
+
+  // Hard timeout: twice the limit aborts the attempt.
+  if (!sheet_.finished() && obs.timeSec > 2.0 * course_.timeLimitSec) {
+    deduct(obs.timeSec, "exam aborted (time)", 100.0);
+    finish(obs.timeSec);
+  }
+}
+
+}  // namespace cod::scenario

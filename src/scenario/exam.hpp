@@ -1,0 +1,95 @@
+// Exam state machine and scoring (§3.5).
+//
+// "Score will be deducted if the bar is collided, and the score will be
+// dynamically displayed on the status window." The module consumes crane
+// state and collision events, tracks exam phase progression, and produces a
+// running score sheet that the instructor monitor subscribes to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/vec.hpp"
+#include "scenario/course.hpp"
+
+namespace cod::scenario {
+
+enum class ExamPhase : std::uint8_t {
+  kDriveToSite = 0,   // drive the route to the testing ground
+  kLiftCargo = 1,     // pick the cargo from the white circle
+  kTraverseOut = 2,   // carry it along the trajectory to the drop zone
+  kReturnCargo = 3,   // and bring it back
+  kSetDown = 4,       // lower it into the original zone
+  kPassed = 5,
+  kFailed = 6,
+};
+
+const char* phaseName(ExamPhase p);
+
+/// One scoring event.
+struct Deduction {
+  double timeSec = 0.0;
+  std::string reason;
+  double points = 0.0;
+};
+
+struct ScoreSheet {
+  double total = 100.0;
+  std::vector<Deduction> deductions;
+  double elapsedSec = 0.0;
+  ExamPhase phase = ExamPhase::kDriveToSite;
+  bool finished() const {
+    return phase == ExamPhase::kPassed || phase == ExamPhase::kFailed;
+  }
+};
+
+/// Deduction schedule.
+struct ScoringRules {
+  double barCollision = 10.0;
+  double alarmRaised = 2.0;       // per newly raised alarm lamp
+  double missedWaypoint = 5.0;
+  double overTimePerMinute = 5.0;
+  double passThreshold = 70.0;
+  double dropOutsideZone = 20.0;
+};
+
+/// Inputs the exam consumes each tick.
+struct ExamObservation {
+  double timeSec = 0.0;
+  math::Vec2 carrierPosition;
+  double carrierSpeedMps = 0.0;
+  math::Vec3 hookPosition;
+  math::Vec3 cargoPosition;
+  bool cargoAttached = false;
+  std::uint32_t alarmBits = 0;
+  /// Ids of bars the cargo hit this tick (edge events, not level).
+  std::vector<std::size_t> barHits;
+};
+
+class Exam {
+ public:
+  Exam(Course course, ScoringRules rules = {});
+
+  const Course& course() const { return course_; }
+  const ScoreSheet& score() const { return sheet_; }
+  ExamPhase phase() const { return sheet_.phase; }
+  std::size_t nextWaypoint() const { return waypointIdx_; }
+
+  /// Advance the exam with one observation.
+  void observe(const ExamObservation& obs);
+
+ private:
+  void deduct(double t, const std::string& reason, double points);
+  void finish(double t);
+
+  Course course_;
+  ScoringRules rules_;
+  ScoreSheet sheet_;
+  std::size_t waypointIdx_ = 0;
+  std::uint32_t lastAlarmBits_ = 0;
+  bool reachedDropZone_ = false;
+  double phaseEnteredAt_ = 0.0;
+};
+
+}  // namespace cod::scenario

@@ -1,0 +1,174 @@
+#include "scenario/operator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::scenario {
+
+using crane::CraneControls;
+using math::Vec2;
+using math::Vec3;
+
+ScriptedOperator::ScriptedOperator(Course course, OperatorProfile profile)
+    : course_(std::move(course)), profile_(profile) {}
+
+CraneControls ScriptedOperator::decide(const OperatorObservation& obs) {
+  CraneControls c;
+  c.ignition = true;
+  switch (obs.phase) {
+    case ExamPhase::kDriveToSite:
+      return drive(obs);
+    case ExamPhase::kLiftCargo:
+    case ExamPhase::kTraverseOut:
+    case ExamPhase::kReturnCargo:
+    case ExamPhase::kSetDown:
+      return work(obs);
+    case ExamPhase::kPassed:
+    case ExamPhase::kFailed: {
+      c.brake = 1.0;
+      c.ignition = false;
+      return c;
+    }
+  }
+  return c;
+}
+
+CraneControls ScriptedOperator::drive(const OperatorObservation& obs) const {
+  CraneControls c;
+  c.ignition = true;
+  const std::size_t idx =
+      std::min(obs.nextWaypoint, course_.driveRoute.size() - 1);
+  const Vec2 target = course_.driveRoute[idx].position;
+  const Vec2 delta = target - obs.carrierPosition;
+  const double bearing = std::atan2(delta.y, delta.x);
+  const double err = math::angleDiff(bearing, obs.carrierHeadingRad);
+  c.steering = math::clamp(profile_.driveGain * err, -1.0, 1.0);
+  const bool lastLeg = obs.nextWaypoint + 1 >= course_.driveRoute.size();
+  const double dist = delta.norm();
+  if (lastLeg && dist < 8.0) {
+    // Roll gently into the park spot.
+    c.throttle = dist > 3.0 ? 0.25 : 0.0;
+    c.brake = dist > 3.0 ? 0.0 : 1.0;
+  } else if (std::abs(err) > 0.6) {
+    c.throttle = 0.3;  // tight turn: slow down
+  } else {
+    c.throttle = profile_.cruiseThrottle;
+  }
+  return c;
+}
+
+void ScriptedOperator::aimBoom(CraneControls& c,
+                               const OperatorObservation& obs,
+                               const Vec2& target2,
+                               double hookZTarget) const {
+  // Close the loop on the boom-tip ground projection: the tip is where the
+  // cable hangs from, it is swing-free (unlike the hook), and referencing
+  // both tip and target to the carrier cancels the slew-axis offset.
+  const Vec2 base = obs.carrierPosition;
+  const Vec2 tip2{obs.boomTip.x, obs.boomTip.y};
+  const Vec2 toTarget = target2 - base;
+  const Vec2 toTip = tip2 - base;
+
+  const double azErr = math::angleDiff(std::atan2(toTarget.y, toTarget.x),
+                                       std::atan2(toTip.y, toTip.x));
+  c.joystickSlew = math::clamp(profile_.slewGain * azErr, -1.0, 1.0);
+
+  // Luff controls the working radius (it always has authority: raising the
+  // boom pulls the tip in even at minimum telescope length)...
+  const double radiusErr = toTarget.norm() - toTip.norm();
+  c.joystickLuff = math::clamp(-1.5 * radiusErr, -1.0, 1.0);
+
+  // ...while the telescope is slaved to keep the luff near 45 deg, where
+  // it retains authority in both directions.
+  const double desiredLen = math::clamp(
+      toTarget.norm() / std::cos(math::deg2rad(45.0)), 9.0, 26.0);
+  c.joystickTelescope = math::clamp(
+      profile_.telescopeGain * (desiredLen - obs.boomLengthM), -1.0, 1.0);
+
+  // Hoist toward the requested hook height (positive pays cable out).
+  const double cableTarget = obs.boomTip.z - hookZTarget;
+  const double cableErr = cableTarget - obs.cableLengthM;
+  c.joystickHoist = math::clamp(profile_.hoistGain * cableErr, -1.0, 1.0);
+}
+
+CraneControls ScriptedOperator::work(const OperatorObservation& obs) {
+  CraneControls c;
+  c.ignition = true;
+  c.brake = 1.0;  // parked at the testing ground
+  c.outriggersDeploy = true;  // pads go down as soon as we stop driving
+  const double cargoHalf = 0.5;
+
+  switch (obs.phase) {
+    case ExamPhase::kLiftCargo: {
+      returning_ = false;
+      pathIdx_ = 0;
+      const Vec2 pick = course_.pickZone.center;
+      const Vec2 hook2{obs.hookPosition.x, obs.hookPosition.y};
+      const double horizErr = (hook2 - pick).norm();
+      if (!obs.cargoAttached) {
+        // Swing over the cargo, then come down on it and latch.
+        const double hookZ = horizErr < 0.6
+                                 ? obs.cargoPosition.z + cargoHalf + 0.15
+                                 : 2.5;
+        aimBoom(c, obs, pick, hookZ);
+        const double vertGap =
+            obs.hookPosition.z - (obs.cargoPosition.z + cargoHalf);
+        // Never take the load before the pads are set (§3.3-style alarm).
+        if (horizErr < 0.7 && vertGap < 0.4 && obs.outriggersDeployed)
+          c.hookLatch = true;
+      } else {
+        // Hoist clear of the ground.
+        aimBoom(c, obs, pick, profile_.carryHeightM + cargoHalf);
+        c.hookLatch = true;
+      }
+      return c;
+    }
+    case ExamPhase::kTraverseOut:
+    case ExamPhase::kReturnCargo: {
+      c.hookLatch = true;
+      const bool outbound = obs.phase == ExamPhase::kTraverseOut;
+      if (outbound == returning_) {
+        // Phase flipped since the last call: restart along the path.
+        returning_ = !outbound;
+        pathIdx_ = 0;
+      }
+      std::vector<Vec2> path = course_.cargoPath;
+      if (!outbound) std::reverse(path.begin(), path.end());
+      if (pathIdx_ < path.size()) {
+        const Vec2 cargo2{obs.cargoPosition.x, obs.cargoPosition.y};
+        if ((cargo2 - path[pathIdx_]).norm() < 1.2) ++pathIdx_;
+      }
+      const Vec2 target = pathIdx_ < path.size() ? path[pathIdx_] : path.back();
+      aimBoom(c, obs, target, profile_.carryHeightM + cargoHalf);
+      // Do not start traversing until the cargo hangs at carry height —
+      // swinging it low through the bars is exactly what costs points.
+      const double carryCenterZ = profile_.carryHeightM + cargoHalf - 0.65;
+      if (obs.cargoPosition.z < carryCenterZ - 0.45) {
+        c.joystickSlew = 0.0;
+        c.joystickTelescope = 0.0;
+      }
+      // Gentle slewing with a suspended load keeps the pendulum quiet.
+      c.joystickSlew = math::clamp(c.joystickSlew, -profile_.slewCapWithCargo,
+                                   profile_.slewCapWithCargo);
+      return c;
+    }
+    case ExamPhase::kSetDown: {
+      const Vec2 pick = course_.pickZone.center;
+      const Vec2 cargo2{obs.cargoPosition.x, obs.cargoPosition.y};
+      const bool centred = (cargo2 - pick).norm() < 0.8;
+      // Lower onto the ground, then release — and stay released (no
+      // re-latch flapping while the status update is in flight).
+      aimBoom(c, obs, pick, centred ? cargoHalf - 0.05 : 1.2);
+      if (released_ ||
+          (centred && obs.cargoPosition.z < cargoHalf + 0.12)) {
+        released_ = true;
+      }
+      c.hookLatch = !released_;
+      return c;
+    }
+    default:
+      return c;
+  }
+}
+
+}  // namespace cod::scenario

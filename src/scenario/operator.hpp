@@ -1,0 +1,87 @@
+// Scripted trainee — replaces the human in the mockup.
+//
+// A deterministic controller that drives the course and works the boom
+// through the licensure exam. Two proficiency profiles exist so the scoring
+// path is exercised both ways: a careful operator clears the bars; a sloppy
+// one carries the cargo too low and collects deductions.
+#pragma once
+
+#include "crane/state.hpp"
+#include "math/vec.hpp"
+#include "scenario/course.hpp"
+#include "scenario/exam.hpp"
+
+namespace cod::scenario {
+
+/// Everything the operator can see (trainee's situational awareness).
+struct OperatorObservation {
+  double timeSec = 0.0;
+  ExamPhase phase = ExamPhase::kDriveToSite;
+  std::size_t nextWaypoint = 0;
+  // Carrier.
+  math::Vec2 carrierPosition;
+  double carrierHeadingRad = 0.0;
+  double carrierSpeedMps = 0.0;
+  // Crane joints.
+  double slewAngleRad = 0.0;
+  double boomPitchRad = 0.0;
+  double boomLengthM = 0.0;
+  double cableLengthM = 0.0;
+  double workingRadiusM = 0.0;
+  math::Vec3 boomTip;
+  math::Vec3 hookPosition;
+  // Cargo.
+  math::Vec3 cargoPosition;
+  bool cargoAttached = false;
+  // Outriggers (pads must be set before lifting).
+  bool outriggersDeployed = false;
+};
+
+struct OperatorProfile {
+  /// Height the cargo is carried at during traverse (m above ground).
+  double carryHeightM = 2.6;
+  double driveGain = 1.5;
+  double slewGain = 2.0;
+  double telescopeGain = 1.2;
+  double hoistGain = 1.5;
+  double cruiseThrottle = 0.8;
+  /// Slew-lever cap while cargo hangs on the hook. A good operator slews
+  /// gently so the load does not pump up into a pendulum.
+  double slewCapWithCargo = 0.3;
+
+  static OperatorProfile careful() { return {}; }
+  static OperatorProfile sloppy() {
+    OperatorProfile p;
+    p.carryHeightM = 1.1;       // below the tallest bar: will clip it
+    p.slewGain = 3.5;           // jerky slewing, bigger hook swing
+    p.slewCapWithCargo = 1.0;   // full-rate slewing with a suspended load
+    return p;
+  }
+};
+
+class ScriptedOperator {
+ public:
+  ScriptedOperator(Course course, OperatorProfile profile);
+
+  /// Compute the control outputs for this instant.
+  crane::CraneControls decide(const OperatorObservation& obs);
+
+  const OperatorProfile& profile() const { return profile_; }
+
+ private:
+  crane::CraneControls drive(const OperatorObservation& obs) const;
+  crane::CraneControls work(const OperatorObservation& obs);
+
+  /// Slew/telescope the boom so the point under the tip approaches
+  /// `target2`; hoist the hook toward `hookZTarget`.
+  void aimBoom(crane::CraneControls& c, const OperatorObservation& obs,
+               const math::Vec2& target2, double hookZTarget) const;
+
+  Course course_;
+  OperatorProfile profile_;
+  std::size_t pathIdx_ = 0;     // cargo-path waypoint during traverse
+  bool returning_ = false;
+  bool released_ = false;       // SetDown latch-off is final
+};
+
+}  // namespace cod::scenario

@@ -1,0 +1,57 @@
+#include "sim/audio_module.hpp"
+
+#include <cmath>
+
+namespace cod::sim {
+
+AudioModule::AudioModule() : AudioModule(Config{}) {}
+
+AudioModule::AudioModule(Config cfg)
+    : core::LogicalProcess("audio"),
+      cfg_(cfg),
+      engine_(cfg.sampleRate, cfg.seed) {}
+
+void AudioModule::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
+  eventSub_ = cb.subscribeObjectClass(*this, kClassScenarioEvents);
+  engine_.setBackground(true);
+}
+
+void AudioModule::reflectAttributeValues(const std::string& className,
+                                         const core::AttributeSet& attrs,
+                                         double /*timestamp*/) {
+  if (className == kClassCraneState) {
+    const CraneStateMsg m = decodeCraneState(attrs);
+    engine_.setEngine(m.state.engineOn, m.state.engineRpm);
+    // New alarm lamps chime once.
+    const std::uint32_t fresh = m.alarmBits & ~lastAlarmBits_;
+    if (fresh != 0) engine_.playEvent("alarm", 0.7);
+    lastAlarmBits_ = m.alarmBits;
+  } else if (className == kClassScenarioEvents) {
+    const ScenarioEventMsg ev = decodeScenarioEvent(attrs);
+    if (ev.kind == "barHit" || ev.kind == "collision") {
+      engine_.playEvent("collision", 1.0);
+      ++collisionSounds_;
+    }
+  }
+}
+
+void AudioModule::step(double now) {
+  if (!started_) {
+    started_ = true;
+    audioClock_ = now;
+    return;
+  }
+  // Pump whole chunks up to the current time.
+  while (audioClock_ + cfg_.chunkSec <= now) {
+    const std::vector<float> chunk = engine_.pump(cfg_.chunkSec);
+    double acc = 0.0;
+    for (const float s : chunk) acc += static_cast<double>(s) * s;
+    lastRms_ = chunk.empty() ? 0.0 : std::sqrt(acc / chunk.size());
+    audioClock_ += cfg_.chunkSec;
+  }
+}
+
+}  // namespace cod::sim

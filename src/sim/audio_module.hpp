@@ -1,0 +1,50 @@
+// The audio module (§3.7) as a Logical Process: static background bed,
+// engine loop pitched by RPM, and dynamic one-shot effects fired by
+// scenario events (collision sounds) and alarms.
+#pragma once
+
+#include "audio/mixer.hpp"
+#include "core/cb.hpp"
+#include "sim/object_classes.hpp"
+
+namespace cod::sim {
+
+class AudioModule : public core::LogicalProcess {
+ public:
+  struct Config {
+    int sampleRate = 48000;
+    double chunkSec = 0.05;  // mixer pump granularity
+    std::uint64_t seed = 99;
+  };
+
+  AudioModule();
+  explicit AudioModule(Config cfg);
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+  void step(double now) override;
+
+  const audio::AudioEngine& engine() const { return engine_; }
+  audio::AudioEngine& engine() { return engine_; }
+  std::uint64_t collisionSoundsPlayed() const { return collisionSounds_; }
+  /// RMS of the most recent mixed chunk (tests assert sound is produced).
+  double lastChunkRms() const { return lastRms_; }
+
+ private:
+  Config cfg_;
+  audio::AudioEngine engine_;
+  std::uint32_t lastAlarmBits_ = 0;
+
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
+  core::SubscriptionHandle eventSub_ = core::kInvalidHandle;
+  double audioClock_ = 0.0;
+  bool started_ = false;
+  std::uint64_t collisionSounds_ = 0;
+  double lastRms_ = 0.0;
+};
+
+}  // namespace cod::sim

@@ -1,0 +1,89 @@
+#include "sim/dashboard_module.hpp"
+
+namespace cod::sim {
+
+DashboardModule::DashboardModule() : DashboardModule(Config{}) {}
+
+DashboardModule::DashboardModule(Config cfg)
+    : core::LogicalProcess("dashboard"), cfg_(cfg) {}
+
+DashboardModule::DashboardModule(scenario::Course course,
+                                 scenario::OperatorProfile profile)
+    : DashboardModule(std::move(course), profile, Config{}) {}
+
+DashboardModule::DashboardModule(scenario::Course course,
+                                 scenario::OperatorProfile profile, Config cfg)
+    : core::LogicalProcess("dashboard"),
+      cfg_(cfg),
+      operator_(std::make_unique<scenario::ScriptedOperator>(std::move(course),
+                                                             profile)) {}
+
+void DashboardModule::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  controlsPub_ = cb.publishObjectClass(*this, kClassCraneControls);
+  stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
+  statusSub_ = cb.subscribeObjectClass(*this, kClassScenarioStatus);
+  commandSub_ = cb.subscribeObjectClass(*this, kClassInstructorCommands);
+}
+
+void DashboardModule::reflectAttributeValues(const std::string& className,
+                                             const core::AttributeSet& attrs,
+                                             double /*timestamp*/) {
+  if (className == kClassCraneState) {
+    const CraneStateMsg m = decodeCraneState(attrs);
+    const double dt = std::max(0.0, m.simTimeSec - lastStateTime_);
+    lastStateTime_ = m.simTimeSec;
+    latestState_ = m;
+    dash_.updateInstruments(m.state, crane::AlarmSet::fromBits(m.alarmBits),
+                            m.momentUtilisation);
+    dash_.consumeFuel(dt);
+  } else if (className == kClassScenarioStatus) {
+    latestStatus_ = decodeScenarioStatus(attrs);
+  } else if (className == kClassInstructorCommands) {
+    const InstructorCommandMsg cmd = decodeInstructorCommand(attrs);
+    if (cmd.command == "injectFault") {
+      dash_.injectFault(static_cast<crane::Meter>(cmd.meter),
+                        static_cast<crane::MeterFault>(cmd.fault));
+    } else if (cmd.command == "refuel") {
+      dash_.refuel();
+    }
+  }
+}
+
+scenario::OperatorObservation DashboardModule::buildObservation() const {
+  scenario::OperatorObservation obs;
+  obs.phase = static_cast<scenario::ExamPhase>(latestStatus_.phase);
+  obs.nextWaypoint = static_cast<std::size_t>(latestStatus_.nextWaypoint);
+  obs.timeSec = lastStateTime_;
+  if (latestState_) {
+    const CraneStateMsg& m = *latestState_;
+    obs.carrierPosition = {m.state.carrierPosition.x,
+                           m.state.carrierPosition.y};
+    obs.carrierHeadingRad = m.state.carrierHeadingRad;
+    obs.carrierSpeedMps = m.state.carrierSpeedMps;
+    obs.slewAngleRad = m.state.slewAngleRad;
+    obs.boomPitchRad = m.state.boomPitchRad;
+    obs.boomLengthM = m.state.boomLengthM;
+    obs.cableLengthM = m.state.cableLengthM;
+    obs.workingRadiusM = m.workingRadiusM;
+    obs.hookPosition = m.hookPosition;
+    obs.cargoPosition = m.cargoPosition;
+    obs.cargoAttached = m.state.cargoAttached;
+    obs.boomTip = m.boomTip;
+    obs.outriggersDeployed = m.outriggerProgress >= 1.0;
+  }
+  return obs;
+}
+
+void DashboardModule::step(double now) {
+  if (cb_ == nullptr || now < nextSend_) return;
+  nextSend_ = now + cfg_.controlsIntervalSec;
+  crane::CraneControls out = manual_;
+  if (operator_ && latestState_) out = operator_->decide(buildObservation());
+  dash_.setControls(out);
+  cb_->updateAttributeValues(controlsPub_, encodeControls(out), now);
+  ++framesSent_;
+}
+
+}  // namespace cod::sim

@@ -1,0 +1,68 @@
+// The dashboard module (§3.2) as a Logical Process.
+//
+// Input half: reads operator inputs (here: a scripted trainee, or values a
+// test sets directly) and publishes crane.controls at the control rate.
+// Output half: receives crane.state and drives the panel meters and lamps;
+// accepts instructor.commands to inject instrument faults (§3.3) or drive
+// the panel remotely.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/cb.hpp"
+#include "crane/dashboard.hpp"
+#include "scenario/operator.hpp"
+#include "sim/object_classes.hpp"
+
+namespace cod::sim {
+
+class DashboardModule : public core::LogicalProcess {
+ public:
+  struct Config {
+    double controlsIntervalSec = 0.02;  // 50 Hz signal scan
+  };
+
+  /// Manual mode: a test (or example) calls setManualControls().
+  DashboardModule();
+  explicit DashboardModule(Config cfg);
+  /// Trainee mode: a scripted operator closes the loop.
+  DashboardModule(scenario::Course course, scenario::OperatorProfile profile);
+  DashboardModule(scenario::Course course, scenario::OperatorProfile profile,
+                  Config cfg);
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+  void step(double now) override;
+
+  /// Manual-control hook (ignored when a scripted operator is installed).
+  void setManualControls(const crane::CraneControls& c) { manual_ = c; }
+
+  const crane::Dashboard& dashboard() const { return dash_; }
+  crane::Dashboard& dashboard() { return dash_; }
+  std::uint64_t controlFramesSent() const { return framesSent_; }
+
+ private:
+  scenario::OperatorObservation buildObservation() const;
+
+  Config cfg_;
+  crane::Dashboard dash_;
+  std::unique_ptr<scenario::ScriptedOperator> operator_;
+  crane::CraneControls manual_;
+  std::optional<CraneStateMsg> latestState_;
+  ScenarioStatusMsg latestStatus_;
+  double lastStateTime_ = 0.0;
+
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::PublicationHandle controlsPub_ = core::kInvalidHandle;
+  core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
+  core::SubscriptionHandle statusSub_ = core::kInvalidHandle;
+  core::SubscriptionHandle commandSub_ = core::kInvalidHandle;
+  double nextSend_ = 0.0;
+  std::uint64_t framesSent_ = 0;
+};
+
+}  // namespace cod::sim

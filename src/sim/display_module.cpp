@@ -1,0 +1,135 @@
+#include "sim/display_module.hpp"
+
+#include <set>
+
+namespace cod::sim {
+
+using math::Mat4;
+using math::Quat;
+using math::Vec3;
+
+VisualDisplayModule::VisualDisplayModule(const scenario::Course& course,
+                                         Config cfg)
+    : core::LogicalProcess("display-" + std::to_string(cfg.channel)),
+      cfg_(cfg),
+      course_(course),
+      built_(buildTrainingScene(course, cfg.targetPolygons)),
+      fb_(cfg.fbWidth, cfg.fbHeight) {}
+
+void VisualDisplayModule::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
+  if (cfg_.useSyncServer) {
+    readyPub_ = cb.publishObjectClass(*this, kClassSyncReady);
+    swapSub_ = cb.subscribeObjectClass(*this, kClassSyncSwap);
+  }
+}
+
+void VisualDisplayModule::reflectAttributeValues(
+    const std::string& className, const core::AttributeSet& attrs,
+    double /*timestamp*/) {
+  if (className == kClassCraneState) {
+    latestState_ = decodeCraneState(attrs);
+  } else if (className == kClassSyncSwap) {
+    const SyncSwapMsg m = decodeSyncSwap(attrs);
+    if (waitingSwap_ && m.frame >= frame_) {
+      waitingSwap_ = false;
+      ++swapsReceived_;
+      ++frame_;
+    }
+  }
+}
+
+void VisualDisplayModule::updateDynamicObjects(const CraneStateMsg& m) {
+  const crane::CraneState& s = m.state;
+  render::Scene& scene = built_.scene;
+  // Carrier box sits on the wheels.
+  scene.setTransform(built_.ids.carrier,
+                     Mat4::rigid(s.carrierOrientation(),
+                                 s.carrierPosition + Vec3{0, 0, 1.0}));
+  // Boom: unit box stretched from pivot to tip.
+  const Vec3 pivot = kin_.boomPivot(s);
+  const Quat boomQ = s.carrierOrientation() *
+                     Quat::fromAxisAngle({0, 0, 1}, s.slewAngleRad) *
+                     Quat::fromAxisAngle({0, -1, 0}, s.boomPitchRad);
+  scene.setTransform(built_.ids.boom,
+                     Mat4::rigid(boomQ, pivot) *
+                         Mat4::scale({s.boomLengthM, 1.0, 1.0}) *
+                         Mat4::translation({0.5, 0.0, 0.0}));
+  scene.setTransform(built_.ids.hook, Mat4::translation(m.hookPosition));
+  scene.setTransform(built_.ids.cargo, Mat4::translation(m.cargoPosition));
+}
+
+void VisualDisplayModule::renderFrame() {
+  if (latestState_) {
+    updateDynamicObjects(*latestState_);
+    const crane::CraneState& s = latestState_->state;
+    rig_.setPose(kin_.cabEye(s), s.carrierOrientation());
+  }
+  fb_.clear();
+  // Channels beyond the three-monitor rig mirror an existing view (extra
+  // observer displays, as in the dynamic-join scenario).
+  const std::size_t rigChannel =
+      static_cast<std::size_t>(cfg_.channel) % rig_.channels();
+  raster_.render(built_.scene, rig_.channel(rigChannel), fb_);
+  ++framesRendered_;
+}
+
+void VisualDisplayModule::step(double now) {
+  if (waitingSwap_) {
+    // FRAME_READY may have been sent before the virtual channel to the
+    // sync server existed (or been lost); re-announce until the swap comes.
+    if (now >= readyResendDue_ && cb_ != nullptr) {
+      cb_->updateAttributeValues(readyPub_,
+                                 encodeSyncReady({cfg_.channel, frame_}), now);
+      readyResendDue_ = now + cfg_.frameIntervalSec;
+    }
+    return;
+  }
+  if (now < nextFrameDue_) return;
+  nextFrameDue_ = now + cfg_.frameIntervalSec;
+  renderFrame();
+  if (cfg_.useSyncServer && cb_ != nullptr) {
+    const SyncReadyMsg ready{cfg_.channel, frame_};
+    cb_->updateAttributeValues(readyPub_, encodeSyncReady(ready), now);
+    readyResendDue_ = now + cfg_.frameIntervalSec;
+    waitingSwap_ = true;
+  } else {
+    ++frame_;
+  }
+}
+
+SyncServerModule::SyncServerModule(int displayCount)
+    : core::LogicalProcess("sync-server"), displayCount_(displayCount) {}
+
+void SyncServerModule::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  swapPub_ = cb.publishObjectClass(*this, kClassSyncSwap);
+  readySub_ = cb.subscribeObjectClass(*this, kClassSyncReady);
+}
+
+void SyncServerModule::reflectAttributeValues(const std::string& className,
+                                              const core::AttributeSet& attrs,
+                                              double timestamp) {
+  now_ = std::max(now_, timestamp);
+  if (className != kClassSyncReady) return;
+  const SyncReadyMsg m = decodeSyncReady(attrs);
+  if (m.frame <= lastSwappedFrame_) {
+    // Stale ready: the SWAP was lost or raced the channel setup — repeat it.
+    cb_->updateAttributeValues(swapPub_, encodeSyncSwap({m.frame}), now_);
+    return;
+  }
+  auto& channels = ready_[m.frame];
+  channels.insert(m.channel);
+  if (static_cast<int>(channels.size()) >= displayCount_) {
+    cb_->updateAttributeValues(swapPub_, encodeSyncSwap({m.frame}), now_);
+    ++swapsIssued_;
+    lastSwappedFrame_ = std::max(lastSwappedFrame_, m.frame);
+    // Drop bookkeeping for this and any older frame.
+    ready_.erase(ready_.begin(), ready_.upper_bound(m.frame));
+  }
+}
+
+}  // namespace cod::sim

@@ -1,0 +1,103 @@
+// The visual display modules (§3.7, §4) as Logical Processes.
+//
+// Three VisualDisplayModules render the left/centre/right channels of the
+// ~120° surround view; the SyncServerModule is the paper's fourth computer:
+// it waits for FRAME_READY (sync.ready) from all channels and answers with
+// a SWAP (sync.swap), forming the swap barrier whose overhead caps the
+// paper's frame rate at 16 fps. Displays can also free-run (barrier off)
+// for the E2 ablation.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/cb.hpp"
+#include "crane/kinematics.hpp"
+#include "render/camera.hpp"
+#include "render/framebuffer.hpp"
+#include "render/rasterizer.hpp"
+#include "scenario/course.hpp"
+#include "sim/object_classes.hpp"
+#include "sim/scene_builder.hpp"
+
+namespace cod::sim {
+
+class VisualDisplayModule : public core::LogicalProcess {
+ public:
+  struct Config {
+    int channel = 1;             // 0 = left, 1 = centre, 2 = right
+    int fbWidth = 160;
+    int fbHeight = 120;
+    double frameIntervalSec = 1.0 / 16.0;
+    bool useSyncServer = true;
+    std::size_t targetPolygons = 3235;
+  };
+
+  VisualDisplayModule(const scenario::Course& course, Config cfg);
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+  void step(double now) override;
+
+  std::uint64_t framesRendered() const { return framesRendered_; }
+  std::uint64_t swapsReceived() const { return swapsReceived_; }
+  const render::Framebuffer& framebuffer() const { return fb_; }
+  const render::RenderStats& renderStats() const { return raster_.stats(); }
+  const render::Scene& scene() const { return built_.scene; }
+  bool waitingForSwap() const { return waitingSwap_; }
+  std::int64_t currentFrame() const { return frame_; }
+
+ private:
+  void renderFrame();
+  void updateDynamicObjects(const CraneStateMsg& m);
+
+  Config cfg_;
+  scenario::Course course_;
+  BuiltScene built_;
+  render::SurroundRig rig_;
+  render::Rasterizer raster_;
+  render::Framebuffer fb_;
+  crane::CraneKinematics kin_;
+  std::optional<CraneStateMsg> latestState_;
+
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::PublicationHandle readyPub_ = core::kInvalidHandle;
+  core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
+  core::SubscriptionHandle swapSub_ = core::kInvalidHandle;
+  double nextFrameDue_ = 0.0;
+  double readyResendDue_ = 0.0;
+  std::int64_t frame_ = 0;
+  bool waitingSwap_ = false;
+  std::uint64_t framesRendered_ = 0;
+  std::uint64_t swapsReceived_ = 0;
+};
+
+/// The synchronization server (the paper's fourth rack computer).
+class SyncServerModule : public core::LogicalProcess {
+ public:
+  explicit SyncServerModule(int displayCount);
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+
+  std::uint64_t swapsIssued() const { return swapsIssued_; }
+
+ private:
+  int displayCount_;
+  std::map<std::int64_t, std::set<std::int64_t>> ready_;  // frame → channels
+  std::int64_t lastSwappedFrame_ = -1;
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::PublicationHandle swapPub_ = core::kInvalidHandle;
+  core::SubscriptionHandle readySub_ = core::kInvalidHandle;
+  std::uint64_t swapsIssued_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace cod::sim

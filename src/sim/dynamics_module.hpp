@@ -1,0 +1,107 @@
+// The dynamics module (§3.6) as a Logical Process.
+//
+// The authoritative world model: consumes dashboard control signals,
+// integrates the carrier (terrain following), the crane joints, and the
+// lift-hook inertia oscillation; runs multi-level collision detection of
+// the cargo against the course bars; evaluates the safety envelope; and
+// publishes the crane.state snapshot plus scenario.events.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/cb.hpp"
+#include "crane/dynamics.hpp"
+#include "crane/kinematics.hpp"
+#include "crane/safety.hpp"
+#include "crane/load_chart.hpp"
+#include "physics/pendulum.hpp"
+#include "physics/terrain.hpp"
+#include "physics/vehicle.hpp"
+#include "physics/wind.hpp"
+#include "scenario/course.hpp"
+#include "sim/object_classes.hpp"
+#include "sim/scene_builder.hpp"
+
+namespace cod::sim {
+
+class DynamicsModule : public core::LogicalProcess {
+ public:
+  struct Config {
+    scenario::Course course;
+    double fixedDtSec = 0.02;       // 50 Hz internal integration
+    double terrainAmplitudeM = 0.35;
+    std::uint64_t terrainSeed = 11;
+    double hookCaptureRadiusM = 0.9;
+    double barHitCooldownSec = 1.0;
+    /// Site wind (calm by default; examples/benches raise it).
+    physics::WindParams wind;
+    std::uint64_t windSeed = 41;
+    /// Frontal drag area of the hanging cargo, m^2.
+    double cargoDragAreaM2 = 1.2;
+    /// Consult the rated-capacity chart instead of the flat moment limit.
+    bool useLoadChart = true;
+  };
+
+  explicit DynamicsModule(Config cfg);
+
+  /// Attach to the resident CB and register publications/subscriptions.
+  void bind(core::CommunicationBackbone& cb);
+
+  void step(double now) override;
+
+  // ---- Introspection (tests, examples) ----------------------------------
+  const crane::CraneState& craneState() const { return state_; }
+  const physics::Vehicle& vehicle() const { return vehicle_; }
+  const physics::Terrain& terrain() const { return terrain_; }
+  const physics::CablePendulum& pendulum() const { return pendulum_; }
+  const crane::CraneKinematics& kinematics() const { return kin_; }
+  math::Vec3 hookPosition() const { return pendulum_.bobPosition(); }
+  math::Vec3 cargoPosition() const { return cargoPos_; }
+  bool cargoAttached() const { return state_.cargoAttached; }
+  double simTime() const { return simTime_; }
+  std::uint64_t barHitsEmitted() const { return barHitsEmitted_; }
+  const collision::QueryStats& collisionStats() const { return collStats_; }
+  const physics::Wind& wind() const { return wind_; }
+  physics::Wind& wind() { return wind_; }
+  const crane::Outriggers& outriggers() const { return outriggers_; }
+
+  /// Latest controls seen (for the instructor's dashboard mirror in tests).
+  const crane::CraneControls& controls() const { return controls_; }
+
+ private:
+  void substep(double dt);
+  void publishState();
+  void emitEvent(const std::string& kind, std::int64_t index,
+                 const math::Vec3& pos);
+
+  Config cfg_;
+  physics::Terrain terrain_;
+  physics::Vehicle vehicle_;
+  crane::CraneJointDynamics joints_;
+  crane::EngineModel engine_;
+  crane::CraneKinematics kin_;
+  crane::SafetyEnvelope safety_;
+  physics::CablePendulum pendulum_;
+  physics::Wind wind_;
+  crane::Outriggers outriggers_;
+  std::unique_ptr<BuiltCollision> collisionWorld_;
+
+  crane::CraneState state_;
+  crane::CraneControls controls_;
+  math::Vec3 cargoPos_;
+  crane::SafetyEnvelope::Assessment lastAssessment_;
+  std::vector<double> barHitCooldown_;
+  collision::QueryStats collStats_;
+
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::PublicationHandle statePub_ = core::kInvalidHandle;
+  core::PublicationHandle eventPub_ = core::kInvalidHandle;
+  core::SubscriptionHandle controlsSub_ = core::kInvalidHandle;
+
+  double simTime_ = 0.0;
+  std::optional<double> lastNow_;
+  std::uint64_t barHitsEmitted_ = 0;
+};
+
+}  // namespace cod::sim

@@ -1,0 +1,202 @@
+#include "sim/object_classes.hpp"
+
+namespace cod::sim {
+
+using core::AttributeSet;
+
+AttributeSet encodeControls(const crane::CraneControls& c) {
+  AttributeSet a;
+  a.set("steering", c.steering);
+  a.set("throttle", c.throttle);
+  a.set("brake", c.brake);
+  a.set("reverse", c.reverse);
+  a.set("ignition", c.ignition);
+  a.set("joySlew", c.joystickSlew);
+  a.set("joyLuff", c.joystickLuff);
+  a.set("joyTele", c.joystickTelescope);
+  a.set("joyHoist", c.joystickHoist);
+  a.set("hookLatch", c.hookLatch);
+  a.set("outriggers", c.outriggersDeploy);
+  return a;
+}
+
+crane::CraneControls decodeControls(const AttributeSet& a) {
+  crane::CraneControls c;
+  c.steering = a.getDouble("steering");
+  c.throttle = a.getDouble("throttle");
+  c.brake = a.getDouble("brake");
+  c.reverse = a.getBool("reverse");
+  c.ignition = a.getBool("ignition");
+  c.joystickSlew = a.getDouble("joySlew");
+  c.joystickLuff = a.getDouble("joyLuff");
+  c.joystickTelescope = a.getDouble("joyTele");
+  c.joystickHoist = a.getDouble("joyHoist");
+  c.hookLatch = a.getBool("hookLatch");
+  c.outriggersDeploy = a.getBool("outriggers");
+  return c;
+}
+
+AttributeSet encodeCraneState(const CraneStateMsg& m) {
+  AttributeSet a;
+  const crane::CraneState& s = m.state;
+  a.set("carrierPos", s.carrierPosition);
+  a.set("heading", s.carrierHeadingRad);
+  a.set("pitch", s.carrierPitchRad);
+  a.set("roll", s.carrierRollRad);
+  a.set("speed", s.carrierSpeedMps);
+  a.set("slew", s.slewAngleRad);
+  a.set("boomPitch", s.boomPitchRad);
+  a.set("boomLen", s.boomLengthM);
+  a.set("cableLen", s.cableLengthM);
+  a.set("hookLoad", s.hookLoadKg);
+  a.set("cargoAttached", s.cargoAttached);
+  a.set("engineOn", s.engineOn);
+  a.set("engineRpm", s.engineRpm);
+  a.set("boomTip", m.boomTip);
+  a.set("hookPos", m.hookPosition);
+  a.set("cargoPos", m.cargoPosition);
+  a.set("workRadius", m.workingRadiusM);
+  a.set("momentUtil", m.momentUtilisation);
+  a.set("rollover", m.rolloverIndex);
+  a.set("alarms", static_cast<std::int64_t>(m.alarmBits));
+  a.set("simTime", m.simTimeSec);
+  a.set("wind", m.windSpeedMps);
+  a.set("outriggerProg", m.outriggerProgress);
+  return a;
+}
+
+CraneStateMsg decodeCraneState(const AttributeSet& a) {
+  CraneStateMsg m;
+  crane::CraneState& s = m.state;
+  s.carrierPosition = a.getVec3("carrierPos");
+  s.carrierHeadingRad = a.getDouble("heading");
+  s.carrierPitchRad = a.getDouble("pitch");
+  s.carrierRollRad = a.getDouble("roll");
+  s.carrierSpeedMps = a.getDouble("speed");
+  s.slewAngleRad = a.getDouble("slew");
+  s.boomPitchRad = a.getDouble("boomPitch");
+  s.boomLengthM = a.getDouble("boomLen");
+  s.cableLengthM = a.getDouble("cableLen");
+  s.hookLoadKg = a.getDouble("hookLoad");
+  s.cargoAttached = a.getBool("cargoAttached");
+  s.engineOn = a.getBool("engineOn");
+  s.engineRpm = a.getDouble("engineRpm");
+  m.boomTip = a.getVec3("boomTip");
+  m.hookPosition = a.getVec3("hookPos");
+  m.cargoPosition = a.getVec3("cargoPos");
+  m.workingRadiusM = a.getDouble("workRadius");
+  m.momentUtilisation = a.getDouble("momentUtil");
+  m.rolloverIndex = a.getDouble("rollover");
+  m.alarmBits = static_cast<std::uint32_t>(a.getInt("alarms"));
+  m.simTimeSec = a.getDouble("simTime");
+  m.windSpeedMps = a.getDouble("wind");
+  m.outriggerProgress = a.getDouble("outriggerProg");
+  return m;
+}
+
+AttributeSet encodeScenarioEvent(const ScenarioEventMsg& m) {
+  AttributeSet a;
+  a.set("kind", m.kind);
+  a.set("index", m.index);
+  a.set("pos", m.position);
+  a.set("time", m.simTimeSec);
+  return a;
+}
+
+ScenarioEventMsg decodeScenarioEvent(const AttributeSet& a) {
+  ScenarioEventMsg m;
+  m.kind = a.getString("kind");
+  m.index = a.getInt("index", -1);
+  m.position = a.getVec3("pos");
+  m.simTimeSec = a.getDouble("time");
+  return m;
+}
+
+AttributeSet encodeScenarioStatus(const ScenarioStatusMsg& m) {
+  AttributeSet a;
+  a.set("phase", m.phase);
+  a.set("score", m.score);
+  a.set("elapsed", m.elapsedSec);
+  a.set("nextWaypoint", m.nextWaypoint);
+  a.set("lastDeduction", m.lastDeduction);
+  a.set("finished", m.finished);
+  return a;
+}
+
+ScenarioStatusMsg decodeScenarioStatus(const AttributeSet& a) {
+  ScenarioStatusMsg m;
+  m.phase = a.getInt("phase");
+  m.score = a.getDouble("score", 100.0);
+  m.elapsedSec = a.getDouble("elapsed");
+  m.nextWaypoint = a.getInt("nextWaypoint");
+  m.lastDeduction = a.getString("lastDeduction");
+  m.finished = a.getBool("finished");
+  return m;
+}
+
+AttributeSet encodeInstructorCommand(const InstructorCommandMsg& m) {
+  AttributeSet a;
+  a.set("command", m.command);
+  a.set("meter", m.meter);
+  a.set("fault", m.fault);
+  return a;
+}
+
+InstructorCommandMsg decodeInstructorCommand(const AttributeSet& a) {
+  InstructorCommandMsg m;
+  m.command = a.getString("command");
+  m.meter = a.getInt("meter");
+  m.fault = a.getInt("fault");
+  return m;
+}
+
+AttributeSet encodePlatformPose(const PlatformPoseMsg& m) {
+  AttributeSet a;
+  a.set("pos", m.position);
+  a.set("qw", m.qw);
+  a.set("qx", m.qx);
+  a.set("qy", m.qy);
+  a.set("qz", m.qz);
+  for (int i = 0; i < 6; ++i)
+    a.set("leg" + std::to_string(i), m.legs[i]);
+  a.set("vibration", m.vibrationM);
+  a.set("reachable", m.reachable);
+  return a;
+}
+
+PlatformPoseMsg decodePlatformPose(const AttributeSet& a) {
+  PlatformPoseMsg m;
+  m.position = a.getVec3("pos");
+  m.qw = a.getDouble("qw", 1.0);
+  m.qx = a.getDouble("qx");
+  m.qy = a.getDouble("qy");
+  m.qz = a.getDouble("qz");
+  for (int i = 0; i < 6; ++i)
+    m.legs[i] = a.getDouble("leg" + std::to_string(i));
+  m.vibrationM = a.getDouble("vibration");
+  m.reachable = a.getBool("reachable", true);
+  return m;
+}
+
+AttributeSet encodeSyncReady(const SyncReadyMsg& m) {
+  AttributeSet a;
+  a.set("channel", m.channel);
+  a.set("frame", m.frame);
+  return a;
+}
+
+SyncReadyMsg decodeSyncReady(const AttributeSet& a) {
+  return {a.getInt("channel"), a.getInt("frame")};
+}
+
+AttributeSet encodeSyncSwap(const SyncSwapMsg& m) {
+  AttributeSet a;
+  a.set("frame", m.frame);
+  return a;
+}
+
+SyncSwapMsg decodeSyncSwap(const AttributeSet& a) {
+  return {a.getInt("frame")};
+}
+
+}  // namespace cod::sim

@@ -1,0 +1,110 @@
+// The simulator's Federation Object Model: the object classes exchanged
+// over the Communication Backbone, and typed encode/decode helpers.
+//
+// Class names and attribute keys are the contract between the seven
+// modules; everything else about a module is private to it (§2.1: each LP
+// "only needs to convey its event message ... without knowing the existence
+// of other processes").
+#pragma once
+
+#include <string>
+
+#include "core/value.hpp"
+#include "crane/state.hpp"
+
+namespace cod::sim {
+
+// ---- Object class names -------------------------------------------------
+inline const std::string kClassCraneControls = "crane.controls";
+inline const std::string kClassCraneState = "crane.state";
+inline const std::string kClassScenarioEvents = "scenario.events";
+inline const std::string kClassScenarioStatus = "scenario.status";
+inline const std::string kClassInstructorCommands = "instructor.commands";
+inline const std::string kClassPlatformPose = "platform.pose";
+inline const std::string kClassSyncReady = "sync.ready";
+inline const std::string kClassSyncSwap = "sync.swap";
+
+// ---- crane.controls -----------------------------------------------------
+core::AttributeSet encodeControls(const crane::CraneControls& c);
+crane::CraneControls decodeControls(const core::AttributeSet& a);
+
+// ---- crane.state --------------------------------------------------------
+/// The authoritative world snapshot published by the dynamics module.
+struct CraneStateMsg {
+  crane::CraneState state;
+  math::Vec3 boomTip;
+  math::Vec3 hookPosition;
+  math::Vec3 cargoPosition;
+  double workingRadiusM = 0.0;
+  double momentUtilisation = 0.0;
+  double rolloverIndex = 0.0;
+  std::uint32_t alarmBits = 0;
+  double simTimeSec = 0.0;
+  double windSpeedMps = 0.0;
+  double outriggerProgress = 0.0;  // 0 stowed .. 1 deployed
+};
+
+core::AttributeSet encodeCraneState(const CraneStateMsg& m);
+CraneStateMsg decodeCraneState(const core::AttributeSet& a);
+
+// ---- scenario.events ----------------------------------------------------
+struct ScenarioEventMsg {
+  std::string kind;        // "barHit", "collision", "cargoDropped", ...
+  std::int64_t index = -1; // bar index for barHit
+  math::Vec3 position;
+  double simTimeSec = 0.0;
+};
+
+core::AttributeSet encodeScenarioEvent(const ScenarioEventMsg& m);
+ScenarioEventMsg decodeScenarioEvent(const core::AttributeSet& a);
+
+// ---- scenario.status ----------------------------------------------------
+struct ScenarioStatusMsg {
+  std::int64_t phase = 0;  // scenario::ExamPhase
+  double score = 100.0;
+  double elapsedSec = 0.0;
+  std::int64_t nextWaypoint = 0;
+  std::string lastDeduction;
+  bool finished = false;
+};
+
+core::AttributeSet encodeScenarioStatus(const ScenarioStatusMsg& m);
+ScenarioStatusMsg decodeScenarioStatus(const core::AttributeSet& a);
+
+// ---- instructor.commands ------------------------------------------------
+struct InstructorCommandMsg {
+  std::string command;     // "injectFault", "refuel", ...
+  std::int64_t meter = 0;  // crane::Meter
+  std::int64_t fault = 0;  // crane::MeterFault
+};
+
+core::AttributeSet encodeInstructorCommand(const InstructorCommandMsg& m);
+InstructorCommandMsg decodeInstructorCommand(const core::AttributeSet& a);
+
+// ---- platform.pose ------------------------------------------------------
+struct PlatformPoseMsg {
+  math::Vec3 position;
+  double qw = 1.0, qx = 0.0, qy = 0.0, qz = 0.0;
+  double legs[6] = {};
+  double vibrationM = 0.0;
+  bool reachable = true;
+};
+
+core::AttributeSet encodePlatformPose(const PlatformPoseMsg& m);
+PlatformPoseMsg decodePlatformPose(const core::AttributeSet& a);
+
+// ---- sync.ready / sync.swap ----------------------------------------------
+struct SyncReadyMsg {
+  std::int64_t channel = 0;
+  std::int64_t frame = 0;
+};
+struct SyncSwapMsg {
+  std::int64_t frame = 0;
+};
+
+core::AttributeSet encodeSyncReady(const SyncReadyMsg& m);
+SyncReadyMsg decodeSyncReady(const core::AttributeSet& a);
+core::AttributeSet encodeSyncSwap(const SyncSwapMsg& m);
+SyncSwapMsg decodeSyncSwap(const core::AttributeSet& a);
+
+}  // namespace cod::sim

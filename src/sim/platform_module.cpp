@@ -1,0 +1,87 @@
+#include "sim/platform_module.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cod::sim {
+
+PlatformModule::PlatformModule() : PlatformModule(Config{}) {}
+
+PlatformModule::PlatformModule(Config cfg)
+    : core::LogicalProcess("motion-platform"),
+      cfg_(cfg),
+      interp_(platform::StewartPlatform().homePose()),
+      vibration_(cfg.vibrationAmplitudeM, cfg.vibrationCutoffHz,
+                 cfg.vibrationSeed) {}
+
+void PlatformModule::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  posePub_ = cb.publishObjectClass(*this, kClassPlatformPose);
+  stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
+}
+
+void PlatformModule::reflectAttributeValues(const std::string& className,
+                                            const core::AttributeSet& attrs,
+                                            double /*timestamp*/) {
+  if (className != kClassCraneState) return;
+  latestState_ = decodeCraneState(attrs);
+}
+
+void PlatformModule::step(double now) {
+  const double dt = std::max(0.0, now - lastTick_);
+  lastTick_ = now;
+
+  // New posture target once per display frame (§3.4: the interpolation
+  // frequency is synchronized with the visual display).
+  if (now >= nextFrame_ && latestState_) {
+    nextFrame_ = now + cfg_.frameIntervalSec;
+    const CraneStateMsg& m = *latestState_;
+    const double stateDt = std::max(1e-3, m.simTimeSec - lastStateTime_);
+    const double longAccel =
+        (m.state.carrierSpeedMps - lastSpeed_) / stateDt;
+    lastSpeed_ = m.state.carrierSpeedMps;
+    lastStateTime_ = m.simTimeSec;
+    platform::Pose target = washout_.map(
+        stewart_.homePose(), m.state.carrierPitchRad, m.state.carrierRollRad,
+        longAccel, /*lateralAccel=*/m.rolloverIndex * 2.0,
+        cfg_.frameIntervalSec);
+    vibration_.setEnabled(m.state.engineOn);
+    if (!stewart_.reachable(target)) {
+      ++unreachableTargets_;
+      target = stewart_.clampToWorkspace(target);
+    }
+    interp_.setTarget(target, cfg_.frameIntervalSec);
+  }
+
+  if (dt <= 0.0) return;
+  platform::Pose pose = interp_.advance(dt);
+  const double vib = vibration_.sample(dt);
+  pose.position.z += vib;
+
+  const platform::LegSolution sol = stewart_.inverseKinematics(pose);
+  if (haveLegs_) {
+    for (int i = 0; i < 6; ++i)
+      maxLegStep_ =
+          std::max(maxLegStep_, std::abs(sol.lengths[i] - lastLegs_[i]));
+  }
+  lastLegs_ = sol.lengths;
+  haveLegs_ = true;
+
+  if (cb_ != nullptr) {
+    PlatformPoseMsg msg;
+    msg.position = pose.position;
+    msg.qw = pose.orientation.w;
+    msg.qx = pose.orientation.x;
+    msg.qy = pose.orientation.y;
+    msg.qz = pose.orientation.z;
+    for (int i = 0; i < 6; ++i) msg.legs[i] = sol.lengths[i];
+    msg.vibrationM = vib;
+    msg.reachable = sol.reachable;
+    lastMsg_ = msg;
+    cb_->updateAttributeValues(posePub_, encodePlatformPose(msg), now);
+    ++posesPublished_;
+  }
+}
+
+}  // namespace cod::sim

@@ -1,0 +1,70 @@
+// The motion platform controller (§3.4) as a Logical Process.
+//
+// Subscribes to crane.state, maps the carrier motion through the washout
+// filter into the Stewart platform's workspace, interpolates the posture at
+// the display frequency (so vision and motion stay in phase), adds the
+// engine vibration, solves the inverse kinematics, and publishes the six
+// leg lengths as platform.pose.
+#pragma once
+
+#include <optional>
+
+#include "core/cb.hpp"
+#include "platform/motion_cueing.hpp"
+#include "platform/stewart.hpp"
+#include "sim/object_classes.hpp"
+
+namespace cod::sim {
+
+class PlatformModule : public core::LogicalProcess {
+ public:
+  struct Config {
+    double frameIntervalSec = 1.0 / 16.0;  // synchronized with the displays
+    double vibrationAmplitudeM = 0.004;
+    double vibrationCutoffHz = 14.0;
+    std::uint64_t vibrationSeed = 23;
+  };
+
+  PlatformModule();
+  explicit PlatformModule(Config cfg);
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+  void step(double now) override;
+
+  const platform::StewartPlatform& stewart() const { return stewart_; }
+  const platform::Pose& currentPose() const { return interp_.current(); }
+  const PlatformPoseMsg& lastPublished() const { return lastMsg_; }
+  std::uint64_t posesPublished() const { return posesPublished_; }
+  /// Largest single-tick leg-length change seen (smoothness metric, m).
+  double maxLegStepM() const { return maxLegStep_; }
+  std::uint64_t unreachableTargets() const { return unreachableTargets_; }
+
+ private:
+  Config cfg_;
+  platform::StewartPlatform stewart_;
+  platform::WashoutFilter washout_;
+  platform::PoseInterpolator interp_;
+  platform::VibrationGenerator vibration_;
+
+  std::optional<CraneStateMsg> latestState_;
+  double lastSpeed_ = 0.0;
+  double lastStateTime_ = 0.0;
+  std::array<double, 6> lastLegs_{};
+  bool haveLegs_ = false;
+  double maxLegStep_ = 0.0;
+  std::uint64_t unreachableTargets_ = 0;
+
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::PublicationHandle posePub_ = core::kInvalidHandle;
+  core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
+  double nextFrame_ = 0.0;
+  double lastTick_ = 0.0;
+  PlatformPoseMsg lastMsg_;
+  std::uint64_t posesPublished_ = 0;
+};
+
+}  // namespace cod::sim

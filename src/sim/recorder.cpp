@@ -1,0 +1,116 @@
+#include "sim/recorder.hpp"
+
+#include <fstream>
+
+#include "net/wire.hpp"
+
+namespace cod::sim {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x434F4452;  // "CODR"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> Recording::serialize() const {
+  net::WireWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const RecordedUpdate& r : records_) {
+    w.f64(r.timeSec);
+    w.str(r.className);
+    w.blob(r.attrs.encode());
+  }
+  return w.take();
+}
+
+std::optional<Recording> Recording::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  net::WireReader r(bytes);
+  if (r.u32() != kMagic) return std::nullopt;
+  const auto version = r.u16();
+  if (!version || *version != kVersion) return std::nullopt;
+  const auto count = r.u32();
+  if (!count) return std::nullopt;
+  Recording rec;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto t = r.f64();
+    auto cls = r.str();
+    const auto blob = r.blob();
+    if (!t || !cls || !blob) return std::nullopt;
+    auto attrs = core::AttributeSet::decode(*blob);
+    if (!attrs) return std::nullopt;
+    rec.append({*t, std::move(*cls), std::move(*attrs)});
+  }
+  return rec;
+}
+
+bool Recording::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const auto bytes = serialize();
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+std::optional<Recording> Recording::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+SessionRecorder::SessionRecorder(std::vector<std::string> classNames)
+    : core::LogicalProcess("recorder"), classNames_(std::move(classNames)) {}
+
+void SessionRecorder::bind(core::CommunicationBackbone& cb) {
+  cb.attach(*this);
+  for (const std::string& cls : classNames_) cb.subscribeObjectClass(*this, cls);
+}
+
+void SessionRecorder::reflectAttributeValues(const std::string& className,
+                                             const core::AttributeSet& attrs,
+                                             double timestamp) {
+  recording_.append({timestamp, className, attrs});
+}
+
+SessionReplayer::SessionReplayer(Recording recording, double timeScale)
+    : core::LogicalProcess("replayer"),
+      recording_(std::move(recording)),
+      timeScale_(timeScale > 0.0 ? timeScale : 1.0) {}
+
+void SessionReplayer::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  for (const RecordedUpdate& r : recording_.records()) {
+    if (!pubs_.contains(r.className))
+      pubs_[r.className] = cb.publishObjectClass(*this, r.className);
+  }
+}
+
+void SessionReplayer::step(double now) {
+  if (cb_ == nullptr || finished()) return;
+  if (!startNow_) {
+    // Hold the journal until a viewer's channel exists (or the grace
+    // period runs out — maybe nobody subscribes to some classes).
+    if (!firstStep_) firstStep_ = now;
+    bool anyConnected = false;
+    for (const auto& [cls, h] : pubs_)
+      anyConnected = anyConnected || cb_->channelCount(h) > 0;
+    if (!anyConnected && now - *firstStep_ < graceSec_) return;
+    startNow_ = now;
+  }
+  // Map cluster time to journal time (records may not start at zero).
+  const double t0 = recording_.records().front().timeSec;
+  replayClock_ = t0 + (now - *startNow_) * timeScale_;
+  while (cursor_ < recording_.size() &&
+         recording_.records()[cursor_].timeSec <= replayClock_) {
+    const RecordedUpdate& r = recording_.records()[cursor_];
+    cb_->updateAttributeValues(pubs_.at(r.className), r.attrs, r.timeSec);
+    ++cursor_;
+  }
+}
+
+}  // namespace cod::sim

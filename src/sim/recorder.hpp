@@ -1,0 +1,99 @@
+// Session recording and replay.
+//
+// A training device wants debriefing: the instructor replays the trainee's
+// run after the fact. The recorder is just another LP — it subscribes to
+// the streams of interest and journals every reflection with its
+// timestamp; the replayer is a publisher LP that feeds a journal back into
+// a (possibly display-only) cluster at original speed, which also shows off
+// the COD property that modules never know who produces their data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cb.hpp"
+
+namespace cod::sim {
+
+/// One journaled update.
+struct RecordedUpdate {
+  double timeSec = 0.0;  // publisher timestamp
+  std::string className;
+  core::AttributeSet attrs;
+};
+
+/// An in-memory journal with binary (de)serialization.
+class Recording {
+ public:
+  void append(RecordedUpdate r) { records_.push_back(std::move(r)); }
+  const std::vector<RecordedUpdate>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  double durationSec() const {
+    return records_.empty() ? 0.0 : records_.back().timeSec;
+  }
+
+  /// Serialize to bytes (versioned container).
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<Recording> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  bool save(const std::string& path) const;
+  static std::optional<Recording> load(const std::string& path);
+
+ private:
+  std::vector<RecordedUpdate> records_;
+};
+
+/// LP that journals every update of the given object classes.
+class SessionRecorder : public core::LogicalProcess {
+ public:
+  explicit SessionRecorder(std::vector<std::string> classNames);
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+
+  const Recording& recording() const { return recording_; }
+  Recording takeRecording() { return std::move(recording_); }
+
+ private:
+  std::vector<std::string> classNames_;
+  Recording recording_;
+};
+
+/// LP that republishes a journal in original time order. Publication
+/// classes are registered from the distinct class names in the journal;
+/// subscribers (displays, instructor monitor) connect as usual.
+class SessionReplayer : public core::LogicalProcess {
+ public:
+  /// `timeScale` > 1 replays faster than real time.
+  explicit SessionReplayer(Recording recording, double timeScale = 1.0);
+
+  /// How long to hold the first record while discovery wires the viewers
+  /// up (replay starts early if a channel connects sooner).
+  void setStartGraceSec(double sec) { graceSec_ = sec; }
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void step(double now) override;
+
+  bool finished() const { return cursor_ >= recording_.size(); }
+  std::size_t published() const { return cursor_; }
+  double replayClockSec() const { return replayClock_; }
+
+ private:
+  Recording recording_;
+  double timeScale_;
+  double graceSec_ = 1.0;
+  std::size_t cursor_ = 0;
+  double replayClock_ = 0.0;
+  std::optional<double> firstStep_;
+  std::optional<double> startNow_;
+  std::map<std::string, core::PublicationHandle> pubs_;
+  core::CommunicationBackbone* cb_ = nullptr;
+};
+
+}  // namespace cod::sim

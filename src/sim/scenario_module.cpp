@@ -1,0 +1,64 @@
+#include "sim/scenario_module.hpp"
+
+namespace cod::sim {
+
+ScenarioModule::ScenarioModule(scenario::Course course,
+                               scenario::ScoringRules rules)
+    : core::LogicalProcess("scenario"), exam_(std::move(course), rules) {}
+
+void ScenarioModule::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  statusPub_ = cb.publishObjectClass(*this, kClassScenarioStatus);
+  stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
+  eventSub_ = cb.subscribeObjectClass(*this, kClassScenarioEvents);
+}
+
+void ScenarioModule::reflectAttributeValues(const std::string& className,
+                                            const core::AttributeSet& attrs,
+                                            double /*timestamp*/) {
+  if (className == kClassScenarioEvents) {
+    const ScenarioEventMsg ev = decodeScenarioEvent(attrs);
+    if (ev.kind == "barHit" && ev.index >= 0)
+      pendingBarHits_.push_back(static_cast<std::size_t>(ev.index));
+    return;
+  }
+  if (className != kClassCraneState) return;
+  const CraneStateMsg m = decodeCraneState(attrs);
+  latestState_ = m;
+
+  scenario::ExamObservation obs;
+  obs.timeSec = m.simTimeSec;
+  obs.carrierPosition = {m.state.carrierPosition.x, m.state.carrierPosition.y};
+  obs.carrierSpeedMps = m.state.carrierSpeedMps;
+  obs.hookPosition = m.hookPosition;
+  obs.cargoPosition = m.cargoPosition;
+  obs.cargoAttached = m.state.cargoAttached;
+  obs.alarmBits = m.alarmBits;
+  obs.barHits = std::move(pendingBarHits_);
+  pendingBarHits_.clear();
+  exam_.observe(obs);
+}
+
+void ScenarioModule::step(double now) {
+  // 10 Hz status stream is plenty for the instructor display.
+  if (now - lastPublish_ >= 0.1) {
+    publishStatus(now);
+    lastPublish_ = now;
+  }
+}
+
+void ScenarioModule::publishStatus(double time) {
+  if (cb_ == nullptr) return;
+  const scenario::ScoreSheet& sheet = exam_.score();
+  ScenarioStatusMsg m;
+  m.phase = static_cast<std::int64_t>(sheet.phase);
+  m.score = sheet.total;
+  m.elapsedSec = sheet.elapsedSec;
+  m.nextWaypoint = static_cast<std::int64_t>(exam_.nextWaypoint());
+  if (!sheet.deductions.empty()) m.lastDeduction = sheet.deductions.back().reason;
+  m.finished = sheet.finished();
+  cb_->updateAttributeValues(statusPub_, encodeScenarioStatus(m), time);
+}
+
+}  // namespace cod::sim

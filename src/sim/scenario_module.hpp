@@ -1,0 +1,41 @@
+// The scenario control module (§3.5) as a Logical Process: consumes
+// crane.state and scenario.events, advances the exam state machine, and
+// publishes scenario.status (phase + running score) for the instructor
+// monitor and the dashboard module's scripted operator.
+#pragma once
+
+#include "core/cb.hpp"
+#include "scenario/exam.hpp"
+#include "sim/object_classes.hpp"
+
+namespace cod::sim {
+
+class ScenarioModule : public core::LogicalProcess {
+ public:
+  ScenarioModule(scenario::Course course, scenario::ScoringRules rules = {});
+
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+  void step(double now) override;
+
+  const scenario::Exam& exam() const { return exam_; }
+  bool finished() const { return exam_.score().finished(); }
+
+ private:
+  void publishStatus(double time);
+
+  scenario::Exam exam_;
+  std::vector<std::size_t> pendingBarHits_;
+  std::optional<CraneStateMsg> latestState_;
+
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::PublicationHandle statusPub_ = core::kInvalidHandle;
+  core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
+  core::SubscriptionHandle eventSub_ = core::kInvalidHandle;
+  double lastPublish_ = -1.0;
+};
+
+}  // namespace cod::sim

@@ -1,0 +1,113 @@
+#include "sim/scene_builder.hpp"
+
+#include "math/rng.hpp"
+
+namespace cod::sim {
+
+using math::Mat4;
+using math::Quat;
+using math::Vec3;
+using render::Color;
+using render::Mesh;
+
+math::Mat4 barBeamTransform(const scenario::Bar& bar) {
+  // The beam mesh is a z-axis cylinder; lay it flat along the heading.
+  const Quat lay = Quat::fromAxisAngle({0, 1, 0}, math::kPi / 2.0);
+  const Quat yaw = Quat::fromAxisAngle({0, 0, 1}, bar.headingRad);
+  return Mat4::rigid(yaw * lay,
+                     {bar.position.x, bar.position.y, bar.heightM});
+}
+
+BuiltScene buildTrainingScene(const scenario::Course& course,
+                              std::size_t targetPolygons, std::uint64_t seed) {
+  BuiltScene built;
+  render::Scene& scene = built.scene;
+
+  // Ground: coarse plane; its subdivision is adjusted last to close in on
+  // the polygon budget.
+  const Color ground{95, 120, 70};
+  const Color mark{230, 230, 230};
+
+  // Zones: flat rings (squashed cylinders) marking pick/drop circles.
+  for (const scenario::CargoZone& z :
+       {course.pickZone, course.dropZone}) {
+    scene.add("zone",
+              Mesh::cylinder(z.radiusM, 0.02, 18, mark),
+              Mat4::translation({z.center.x, z.center.y, 0.02}));
+  }
+  // Route markers: small posts at each waypoint.
+  for (const scenario::Waypoint& w : course.driveRoute) {
+    scene.add("marker", Mesh::cylinder(0.12, 1.0, 6, {220, 60, 60}),
+              Mat4::translation({w.position.x, w.position.y, 0.5}));
+  }
+  // Bars: beam + two posts each.
+  for (const scenario::Bar& bar : course.bars) {
+    scene.add("bar.beam",
+              Mesh::cylinder(bar.barRadiusM, bar.lengthM, 8, {240, 200, 40}),
+              barBeamTransform(bar));
+    const Vec3 along{std::cos(bar.headingRad), std::sin(bar.headingRad), 0};
+    for (const double s : {-0.5, 0.5}) {
+      const Vec3 foot = Vec3{bar.position.x, bar.position.y, 0} +
+                        along * (s * bar.lengthM);
+      scene.add("bar.post",
+                Mesh::cylinder(0.05, bar.heightM, 6, {180, 180, 180}),
+                Mat4::translation({foot.x, foot.y, bar.heightM / 2}));
+    }
+  }
+
+  // The crane itself: carrier box + boom box + hook + cargo (dynamic).
+  built.ids.carrier = scene.add(
+      "crane.carrier", Mesh::box({6.5, 2.5, 2.0}, {210, 160, 30}),
+      Mat4::translation({course.startPosition.x, course.startPosition.y, 1.0}));
+  built.ids.boom =
+      scene.add("crane.boom", Mesh::box({1.0, 0.5, 0.5}, {200, 60, 30}),
+                Mat4::translation({0, 0, -100}));  // placed by the display LP
+  built.ids.hook = scene.add("crane.hook", Mesh::box({0.3, 0.3, 0.3}, {40, 40, 40}),
+                             Mat4::translation({0, 0, -100}));
+  built.ids.cargo = scene.add(
+      "cargo", Mesh::box({1.0, 1.0, 1.0}, {60, 90, 200}),
+      Mat4::translation({course.pickZone.center.x, course.pickZone.center.y,
+                         0.5}));
+
+  // Site clutter (stacked materials, sheds) until close to the budget,
+  // then the ground plane soaks up the remainder.
+  math::Rng rng(seed);
+  constexpr std::size_t kGroundReserve = 200;  // triangles left for terrain
+  while (scene.polygonCount() + 12 + kGroundReserve <= targetPolygons) {
+    const double x = rng.uniform(0.0, 130.0);
+    const double y = rng.uniform(0.0, 80.0);
+    const double s = rng.uniform(0.8, 3.0);
+    scene.add("clutter", Mesh::box({s, s * rng.uniform(0.6, 1.4), s},
+                                   {static_cast<std::uint8_t>(rng.uniformInt(90, 200)),
+                                    static_cast<std::uint8_t>(rng.uniformInt(90, 200)),
+                                    static_cast<std::uint8_t>(rng.uniformInt(90, 200))}),
+              Mat4::translation({x, y, s / 2}));
+  }
+  // Ground: pick a subdivision whose 2*n^2 triangles land near the target.
+  const std::size_t remaining =
+      targetPolygons > scene.polygonCount() ? targetPolygons - scene.polygonCount()
+                                            : 2;
+  int subdiv = 1;
+  while (static_cast<std::size_t>(2 * (subdiv + 1) * (subdiv + 1)) <= remaining)
+    ++subdiv;
+  scene.add("ground", Mesh::plane(140.0, 90.0, subdiv, ground),
+            Mat4::translation({65.0, 40.0, 0.0}));
+  return built;
+}
+
+std::unique_ptr<BuiltCollision> buildCollisionWorld(
+    const scenario::Course& course) {
+  auto built = std::make_unique<BuiltCollision>();
+  for (const scenario::Bar& bar : course.bars) {
+    built->barIds.push_back(built->world.add(
+        "bar", collision::Shape::cylinder(bar.barRadiusM, bar.lengthM, 8),
+        barBeamTransform(bar)));
+  }
+  built->cargoId = built->world.add(
+      "cargo", collision::Shape::box({1.0, 1.0, 1.0}),
+      Mat4::translation(
+          {course.pickZone.center.x, course.pickZone.center.y, 0.5}));
+  return built;
+}
+
+}  // namespace cod::sim

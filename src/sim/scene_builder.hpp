@@ -1,0 +1,54 @@
+// Builds the visual scene and the collision world for a training course.
+//
+// The visual side can be padded with decoration to hit a requested polygon
+// budget (the paper's scene holds 3235 polygons); the collision side holds
+// only what the dynamics module tests: the bars and the cargo.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collision/world.hpp"
+#include "physics/terrain.hpp"
+#include "render/scene.hpp"
+#include "scenario/course.hpp"
+
+namespace cod::sim {
+
+/// Scene-object ids the simulator updates every frame.
+struct DynamicSceneIds {
+  std::uint32_t carrier = 0;
+  std::uint32_t boom = 0;
+  std::uint32_t cargo = 0;
+  std::uint32_t hook = 0;
+};
+
+struct BuiltScene {
+  render::Scene scene;
+  DynamicSceneIds ids;
+};
+
+/// Visual scene: terrain patch, route markers, zones, bars, crane, cargo,
+/// plus procedural "site clutter" boxes until ~`targetPolygons` triangles.
+BuiltScene buildTrainingScene(const scenario::Course& course,
+                              std::size_t targetPolygons = 3235,
+                              std::uint64_t seed = 7);
+
+/// Collision world: one object per bar (beam + posts as one shape is
+/// overkill; the beam cylinder is what the cargo can hit) and the cargo box.
+/// Returns bar object ids in course order plus the cargo id.
+struct BuiltCollision {
+  collision::World world{8.0};
+  std::vector<std::uint32_t> barIds;
+  std::uint32_t cargoId = 0;
+};
+
+std::unique_ptr<BuiltCollision> buildCollisionWorld(
+    const scenario::Course& course);
+
+/// Rigid transform placing a bar's beam (a z-axis cylinder of length
+/// `bar.lengthM`) horizontally at its position/heading/height.
+math::Mat4 barBeamTransform(const scenario::Bar& bar);
+
+}  // namespace cod::sim

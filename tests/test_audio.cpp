@@ -1,0 +1,184 @@
+#include "audio/mixer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cod::audio {
+namespace {
+
+TEST(Pcm, SineProperties) {
+  const PcmBuffer s = makeSine(48000, 440.0, 0.5, 0.8);
+  EXPECT_EQ(s.frames(), 24000u);
+  EXPECT_NEAR(s.durationSec(), 0.5, 1e-9);
+  EXPECT_NEAR(s.peak(), 0.8f, 0.01f);
+  EXPECT_NEAR(s.rms(), 0.8 / std::sqrt(2.0), 0.01);
+}
+
+TEST(Pcm, NoiseIsSeededAndBounded) {
+  const PcmBuffer a = makeNoise(48000, 0.1, 0.5, 7);
+  const PcmBuffer b = makeNoise(48000, 0.1, 0.5, 7);
+  const PcmBuffer c = makeNoise(48000, 0.1, 0.5, 8);
+  ASSERT_EQ(a.frames(), b.frames());
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < a.frames(); ++i) {
+    EXPECT_EQ(a.sample(i), b.sample(i));
+    anyDiff |= a.sample(i) != c.sample(i);
+  }
+  EXPECT_TRUE(anyDiff);
+  EXPECT_LE(a.peak(), 0.5f);
+}
+
+TEST(Pcm, EngineLoopHasEnergy) {
+  const PcmBuffer e = makeEngineLoop(48000, 900.0, 0.5, 3);
+  EXPECT_GT(e.rms(), 0.1);
+  EXPECT_LE(e.peak(), 1.0f);
+}
+
+TEST(Pcm, CollisionBurstDecays) {
+  const PcmBuffer burst = makeCollisionBurst(48000, 0.6, 5);
+  // RMS of the first 50 ms dwarfs the last 50 ms.
+  auto rmsRange = [&](std::size_t from, std::size_t to) {
+    double acc = 0;
+    for (std::size_t i = from; i < to; ++i)
+      acc += static_cast<double>(burst.sample(i)) * burst.sample(i);
+    return std::sqrt(acc / (to - from));
+  };
+  const std::size_t n = burst.frames();
+  EXPECT_GT(rmsRange(0, 2400), 10.0 * rmsRange(n - 2400, n));
+}
+
+TEST(Pcm, RejectsBadRate) {
+  EXPECT_THROW(PcmBuffer(0, {}), std::invalid_argument);
+}
+
+TEST(Mixer, SilenceWhenIdle) {
+  Mixer m(48000);
+  std::vector<float> out;
+  m.mix(out, 128);
+  ASSERT_EQ(out.size(), 128u);
+  for (const float s : out) EXPECT_EQ(s, 0.0f);
+  EXPECT_EQ(m.framesMixed(), 128u);
+}
+
+TEST(Mixer, OneShotPlaysAndFinishes) {
+  Mixer m(48000);
+  auto buf = std::make_shared<PcmBuffer>(makeSine(48000, 440, 0.01, 0.5));
+  const ChannelId id = m.play(buf, 1.0, /*loop=*/false);
+  EXPECT_TRUE(m.playing(id));
+  std::vector<float> out;
+  m.mix(out, 480);  // one 10 ms buffer inside a 10 ms block
+  double energy = 0;
+  for (const float s : out) energy += std::abs(s);
+  EXPECT_GT(energy, 1.0);
+  m.mix(out, 480);  // buffer exhausted: channel freed
+  EXPECT_FALSE(m.playing(id));
+  EXPECT_EQ(m.activeChannels(), 0u);
+}
+
+TEST(Mixer, LoopingChannelKeepsPlaying) {
+  Mixer m(48000);
+  auto buf = std::make_shared<PcmBuffer>(makeSine(48000, 440, 0.01, 0.5));
+  const ChannelId id = m.play(buf, 1.0, /*loop=*/true);
+  std::vector<float> out;
+  for (int i = 0; i < 10; ++i) m.mix(out, 480);
+  EXPECT_TRUE(m.playing(id));
+  double energy = 0;
+  for (const float s : out) energy += std::abs(s);
+  EXPECT_GT(energy, 1.0);
+  m.stop(id);
+  EXPECT_FALSE(m.playing(id));
+}
+
+TEST(Mixer, GainScalesOutput) {
+  auto buf = std::make_shared<PcmBuffer>(makeSine(48000, 100, 0.1, 0.5));
+  Mixer loud(48000), quiet(48000);
+  loud.play(buf, 1.0);
+  quiet.play(buf, 0.1);
+  std::vector<float> a, b;
+  loud.mix(a, 1000);
+  quiet.mix(b, 1000);
+  double ea = 0, eb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ea += std::abs(a[i]);
+    eb += std::abs(b[i]);
+  }
+  EXPECT_GT(ea, 5.0 * eb);
+}
+
+TEST(Mixer, PlaybackRateResamples) {
+  // At rate 2.0 a buffer finishes in half the frames.
+  Mixer m(48000);
+  auto buf = std::make_shared<PcmBuffer>(makeSine(48000, 440, 0.02, 0.5));
+  const ChannelId id = m.play(buf, 1.0, false, 2.0);
+  std::vector<float> out;
+  m.mix(out, 480);  // 10 ms at double speed consumes the 20 ms buffer
+  EXPECT_FALSE(m.playing(id));
+}
+
+TEST(Mixer, MixIsSoftClipped) {
+  Mixer m(48000);
+  auto loud = std::make_shared<PcmBuffer>(makeSine(48000, 100, 0.1, 1.0));
+  for (int i = 0; i < 8; ++i) m.play(loud, 1.0);
+  std::vector<float> out;
+  m.mix(out, 1000);
+  for (const float s : out) {
+    EXPECT_LE(s, 1.0f);
+    EXPECT_GE(s, -1.0f);
+  }
+}
+
+TEST(Mixer, PlayRejectsEmpty) {
+  Mixer m(48000);
+  EXPECT_EQ(m.play(nullptr), 0u);
+}
+
+TEST(AudioEngine, BuiltInBankRegistered) {
+  AudioEngine e;
+  EXPECT_TRUE(e.hasSound("collision"));
+  EXPECT_TRUE(e.hasSound("alarm"));
+  EXPECT_TRUE(e.hasSound("engine"));
+  EXPECT_TRUE(e.hasSound("background"));
+  EXPECT_FALSE(e.hasSound("nonexistent"));
+}
+
+TEST(AudioEngine, PlayEventCounts) {
+  AudioEngine e;
+  EXPECT_TRUE(e.playEvent("collision").has_value());
+  EXPECT_FALSE(e.playEvent("bogus").has_value());
+  EXPECT_EQ(e.eventsPlayed(), 1u);
+}
+
+TEST(AudioEngine, EngineLoopFollowsIgnitionAndRpm) {
+  AudioEngine e;
+  e.setEngine(true, 900.0);
+  EXPECT_EQ(e.mixer().activeChannels(), 1u);
+  e.setEngine(true, 1800.0);  // pitch shift, same channel
+  EXPECT_EQ(e.mixer().activeChannels(), 1u);
+  e.setEngine(false, 0.0);
+  EXPECT_EQ(e.mixer().activeChannels(), 0u);
+}
+
+TEST(AudioEngine, PumpProducesSound) {
+  AudioEngine e;
+  e.setBackground(true, 0.4);
+  e.setEngine(true, 1000.0);
+  const std::vector<float> chunk = e.pump(0.1);
+  EXPECT_EQ(chunk.size(), 4800u);
+  double energy = 0;
+  for (const float s : chunk) energy += std::abs(s);
+  EXPECT_GT(energy, 10.0);
+}
+
+TEST(AudioEngine, RegisterOverridesSound) {
+  AudioEngine e;
+  auto silent = std::make_shared<PcmBuffer>(
+      PcmBuffer(48000, std::vector<float>(480, 0.0f)));
+  e.registerSound("collision", silent);
+  e.playEvent("collision");
+  const std::vector<float> chunk = e.pump(0.01);
+  for (const float s : chunk) EXPECT_EQ(s, 0.0f);
+}
+
+}  // namespace
+}  // namespace cod::audio

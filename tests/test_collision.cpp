@@ -1,0 +1,191 @@
+#include "collision/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "math/rng.hpp"
+
+namespace cod::collision {
+namespace {
+
+using math::Mat4;
+using math::Vec3;
+
+TEST(Shape, BoxHasTwelveTriangles) {
+  const auto box = Shape::box({2, 2, 2});
+  EXPECT_EQ(box->triangleCount(), 12u);
+  EXPECT_NEAR(box->localSphere().radius, std::sqrt(3.0), 1e-9);
+  EXPECT_EQ(box->localAabb().lo, Vec3(-1, -1, -1));
+  EXPECT_EQ(box->localAabb().hi, Vec3(1, 1, 1));
+}
+
+TEST(Shape, CylinderTriangleCount) {
+  const auto cyl = Shape::cylinder(0.5, 2.0, 8);
+  EXPECT_EQ(cyl->triangleCount(), 8u * 4u);  // 2 side + 2 caps per segment
+  EXPECT_THROW(Shape::cylinder(0.5, 2.0, 2), std::invalid_argument);
+}
+
+TEST(Shape, RejectsEmptyAndBadIndices) {
+  EXPECT_THROW(Shape({}, {}), std::invalid_argument);
+  EXPECT_THROW(Shape({{0, 0, 0}}, {{{0, 1, 2}}}), std::out_of_range);
+}
+
+TEST(Object, WorldVolumesFollowTransform) {
+  World w;
+  const auto id = w.add("box", Shape::box({2, 2, 2}),
+                        Mat4::translation({10, 0, 0}));
+  const Object* o = w.find(id);
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->worldSphere().center, Vec3(10, 0, 0));
+  EXPECT_EQ(o->worldAabb().lo, Vec3(9, -1, -1));
+  // Rotation by 45 deg about z grows the AABB but not the sphere.
+  w.setTransform(id, Mat4::rigid(math::Quat::fromAxisAngle({0, 0, 1},
+                                                           math::kPi / 4),
+                                 {10, 0, 0}));
+  EXPECT_NEAR(o->worldSphere().radius, std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(o->worldAabb().hi.x - 10.0, std::sqrt(2.0), 1e-9);
+}
+
+TEST(World, DisjointObjectsNoContact) {
+  World w;
+  w.add("a", Shape::box({1, 1, 1}), Mat4::translation({0, 0, 0}));
+  w.add("b", Shape::box({1, 1, 1}), Mat4::translation({5, 0, 0}));
+  EXPECT_TRUE(w.query().empty());
+  EXPECT_TRUE(w.queryNaive().empty());
+}
+
+TEST(World, OverlappingBoxesContact) {
+  World w;
+  const auto a = w.add("a", Shape::box({2, 2, 2}), Mat4::translation({0, 0, 0}));
+  const auto b = w.add("b", Shape::box({2, 2, 2}),
+                       Mat4::translation({1.5, 0, 0}));
+  const auto contacts = w.query();
+  ASSERT_EQ(contacts.size(), 1u);
+  EXPECT_EQ(std::minmax(contacts[0].idA, contacts[0].idB),
+            std::minmax(a, b));
+}
+
+TEST(World, LevelsPruneInOrder) {
+  World w;
+  w.add("a", Shape::box({1, 1, 1}), Mat4::translation({0, 0, 0}));
+  // Sphere-level reject: far away.
+  w.add("far", Shape::box({1, 1, 1}), Mat4::translation({100, 100, 100}));
+  QueryStats s;
+  w.query(&s);
+  EXPECT_EQ(s.contacts, 0u);
+  EXPECT_EQ(s.triangleTests, 0u);  // never reached level 3
+
+  // AABB-level reject: spheres overlap (diagonal corners) but boxes do not.
+  World w2;
+  w2.add("a", Shape::box({2, 2, 2}), Mat4::translation({0, 0, 0}));
+  w2.add("b", Shape::box({2, 2, 2}),
+         Mat4::rigid(math::Quat::fromAxisAngle({0, 0, 1}, math::kPi / 4),
+                     {2.4, 0, 0}));
+  QueryStats s2;
+  const auto pair = World::testPair(*w2.find(1), *w2.find(2), &s2);
+  EXPECT_GE(s2.sphereTests, 1u);
+  (void)pair;  // outcome depends on geometry; the stats are what we check
+}
+
+TEST(World, TestPairCountsEachLevel) {
+  World w;
+  const auto a = w.add("a", Shape::box({2, 2, 2}), Mat4::identity());
+  const auto b = w.add("b", Shape::box({2, 2, 2}),
+                       Mat4::translation({1.0, 0, 0}));
+  QueryStats s;
+  const auto c = World::testPair(*w.find(a), *w.find(b), &s);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(s.sphereTests, 1u);
+  EXPECT_EQ(s.aabbTests, 1u);
+  EXPECT_GE(s.triangleTests, 1u);
+  EXPECT_EQ(s.contacts, 1u);
+}
+
+TEST(World, QueryOneIgnoresOtherPairs) {
+  World w;
+  const auto probe =
+      w.add("probe", Shape::box({1, 1, 1}), Mat4::translation({0, 0, 0}));
+  w.add("near", Shape::box({1, 1, 1}), Mat4::translation({0.5, 0, 0}));
+  // These two collide with each other but not with the probe.
+  w.add("x", Shape::box({1, 1, 1}), Mat4::translation({20, 0, 0}));
+  w.add("y", Shape::box({1, 1, 1}), Mat4::translation({20.5, 0, 0}));
+  const auto contacts = w.queryOne(probe);
+  ASSERT_EQ(contacts.size(), 1u);
+}
+
+TEST(World, RemoveDeletesObject) {
+  World w;
+  const auto a = w.add("a", Shape::box({1, 1, 1}), Mat4::identity());
+  const auto b = w.add("b", Shape::box({1, 1, 1}),
+                       Mat4::translation({0.5, 0, 0}));
+  EXPECT_EQ(w.query().size(), 1u);
+  w.remove(b);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_TRUE(w.query().empty());
+  EXPECT_EQ(w.find(b), nullptr);
+  EXPECT_NE(w.find(a), nullptr);
+}
+
+TEST(World, ThinBarAgainstCube) {
+  // The scenario case: a thin horizontal cylinder (bar) and the cargo cube.
+  World w;
+  const auto bar = w.add(
+      "bar", Shape::cylinder(0.06, 4.0, 8),
+      Mat4::rigid(math::Quat::fromAxisAngle({0, 1, 0}, math::kPi / 2),
+                  {0, 0, 1.3}));
+  const auto cargo =
+      w.add("cargo", Shape::box({1, 1, 1}), Mat4::translation({0, 0, 1.2}));
+  EXPECT_EQ(w.query().size(), 1u);
+  // Lift the cargo above the bar: clear.
+  w.setTransform(cargo, Mat4::translation({0, 0, 2.5}));
+  EXPECT_TRUE(w.query().empty());
+  (void)bar;
+}
+
+/// Property: multi-level and naive queries agree on every random scene.
+TEST(WorldProperty, MultiLevelMatchesNaive) {
+  math::Rng rng(31);
+  for (int scene = 0; scene < 20; ++scene) {
+    World w(4.0);
+    const int n = 14;
+    for (int i = 0; i < n; ++i) {
+      const Vec3 pos{rng.uniform(0, 25), rng.uniform(0, 25),
+                     rng.uniform(0, 4)};
+      const math::Quat q = math::Quat::fromAxisAngle(
+          {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+          rng.uniform(0, 3));
+      if (rng.chance(0.5)) {
+        w.add("box", Shape::box({rng.uniform(0.5, 3), rng.uniform(0.5, 3),
+                                 rng.uniform(0.5, 3)}),
+              Mat4::rigid(q, pos));
+      } else {
+        w.add("cyl",
+              Shape::cylinder(rng.uniform(0.2, 1.0), rng.uniform(0.5, 4), 8),
+              Mat4::rigid(q, pos));
+      }
+    }
+    auto key = [](const Contact& c) { return std::minmax(c.idA, c.idB); };
+    std::set<std::pair<std::uint32_t, std::uint32_t>> fast, naive;
+    for (const Contact& c : w.query()) fast.insert(key(c));
+    for (const Contact& c : w.queryNaive()) naive.insert(key(c));
+    EXPECT_EQ(fast, naive) << "scene " << scene;
+  }
+}
+
+TEST(World, MultiLevelDoesFarLessWorkThanNaive) {
+  math::Rng rng(33);
+  World w(8.0);
+  for (int i = 0; i < 40; ++i) {
+    w.add("box", Shape::box({1, 1, 1}),
+          Mat4::translation({rng.uniform(0, 60), rng.uniform(0, 60),
+                             rng.uniform(0, 5)}));
+  }
+  QueryStats fast, naive;
+  w.query(&fast);
+  w.queryNaive(&naive);
+  EXPECT_LT(fast.triangleTests, naive.triangleTests / 10);
+}
+
+}  // namespace
+}  // namespace cod::collision

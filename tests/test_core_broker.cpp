@@ -1,0 +1,103 @@
+#include "core/broker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/simnet.hpp"
+
+namespace cod::core {
+namespace {
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() : server(net.bind(net.addHost("server"), 1)) {}
+
+  BrokerClient makeClient(const std::string& name) {
+    return BrokerClient(net.bind(net.addHost(name), 1), {0, 1});
+  }
+
+  void pump(BrokerServer& s, std::vector<BrokerClient*> clients,
+            double seconds = 0.1) {
+    for (int i = 0; i < 20; ++i) {
+      net.advance(seconds / 20);
+      s.tick(net.now());
+      for (BrokerClient* c : clients) c->tick(net.now());
+    }
+  }
+
+  net::SimNetwork net{3};
+  BrokerServer server;
+};
+
+TEST_F(BrokerTest, SubscribeThenUpdateIsForwarded) {
+  BrokerClient pub = makeClient("pub");
+  BrokerClient sub = makeClient("sub");
+  sub.subscribe("topic");
+  pump(server, {&pub, &sub});
+  AttributeSet attrs;
+  attrs.set("v", 42.0);
+  pub.update("topic", attrs, 1.5);
+  pump(server, {&pub, &sub});
+  const auto d = sub.poll();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->className, "topic");
+  EXPECT_DOUBLE_EQ(d->attrs.getDouble("v"), 42.0);
+  EXPECT_DOUBLE_EQ(d->timestamp, 1.5);
+  EXPECT_EQ(server.updatesRelayed(), 1u);
+}
+
+TEST_F(BrokerTest, NoSubscriberMeansNoRelay) {
+  BrokerClient pub = makeClient("pub");
+  AttributeSet attrs;
+  pub.update("nobody", attrs, 0.0);
+  pump(server, {&pub});
+  EXPECT_EQ(server.updatesRelayed(), 0u);
+}
+
+TEST_F(BrokerTest, SelfEchoSuppressed) {
+  BrokerClient both = makeClient("both");
+  both.subscribe("t");
+  pump(server, {&both});
+  AttributeSet attrs;
+  both.update("t", attrs, 0.0);
+  pump(server, {&both});
+  EXPECT_FALSE(both.poll().has_value());
+}
+
+TEST_F(BrokerTest, FanOutToMultipleSubscribers) {
+  BrokerClient pub = makeClient("pub");
+  BrokerClient s1 = makeClient("s1");
+  BrokerClient s2 = makeClient("s2");
+  s1.subscribe("fan");
+  s2.subscribe("fan");
+  pump(server, {&pub, &s1, &s2});
+  EXPECT_EQ(server.subscriberCount("fan"), 2u);
+  AttributeSet attrs;
+  attrs.set("n", 1);
+  pub.update("fan", attrs, 0.0);
+  pump(server, {&pub, &s1, &s2});
+  EXPECT_TRUE(s1.poll().has_value());
+  EXPECT_TRUE(s2.poll().has_value());
+  EXPECT_EQ(server.updatesRelayed(), 2u);
+}
+
+TEST_F(BrokerTest, DuplicateSubscribeIsIdempotent) {
+  BrokerClient sub = makeClient("sub");
+  sub.subscribe("t");
+  sub.subscribe("t");
+  pump(server, {&sub});
+  EXPECT_EQ(server.subscriberCount("t"), 1u);
+}
+
+TEST_F(BrokerTest, ClassIsolation) {
+  BrokerClient pub = makeClient("pub");
+  BrokerClient sub = makeClient("sub");
+  sub.subscribe("a");
+  pump(server, {&pub, &sub});
+  AttributeSet attrs;
+  pub.update("b", attrs, 0.0);
+  pump(server, {&pub, &sub});
+  EXPECT_FALSE(sub.poll().has_value());
+}
+
+}  // namespace
+}  // namespace cod::core

@@ -1,0 +1,445 @@
+// Tests of the Communication Backbone protocol over the simulated LAN.
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::core {
+namespace {
+
+/// Minimal publisher LP.
+class Pub : public LogicalProcess {
+ public:
+  explicit Pub(std::string cls) : LogicalProcess("pub"), cls_(std::move(cls)) {}
+  void bind(CommunicationBackbone& cb) {
+    cb.attach(*this);
+    handle = cb.publishObjectClass(*this, cls_);
+  }
+  void send(double value, double ts) {
+    AttributeSet a;
+    a.set("v", value);
+    backbone()->updateAttributeValues(handle, a, ts);
+  }
+  PublicationHandle handle = kInvalidHandle;
+
+ private:
+  std::string cls_;
+};
+
+/// Minimal subscriber LP recording everything it reflects.
+class Sub : public LogicalProcess {
+ public:
+  explicit Sub(std::string cls) : LogicalProcess("sub"), cls_(std::move(cls)) {}
+  void bind(CommunicationBackbone& cb) {
+    cb.attach(*this);
+    handle = cb.subscribeObjectClass(*this, cls_);
+  }
+  void reflectAttributeValues(const std::string& className,
+                              const AttributeSet& attrs,
+                              double timestamp) override {
+    classNames.push_back(className);
+    values.push_back(attrs.getDouble("v"));
+    timestamps.push_back(timestamp);
+  }
+  SubscriptionHandle handle = kInvalidHandle;
+  std::vector<std::string> classNames;
+  std::vector<double> values;
+  std::vector<double> timestamps;
+
+ private:
+  std::string cls_;
+};
+
+class CbTest : public ::testing::Test {
+ protected:
+  CodCluster cluster;
+};
+
+TEST_F(CbTest, DiscoveryEstablishesChannel) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("demo");
+  pub.bind(cbA);
+  Sub sub("demo");
+  sub.bind(cbB);
+  ASSERT_TRUE(cluster.runUntil([&] { return cbB.connected(sub.handle); }, 2.0));
+  EXPECT_EQ(cbA.channelCount(pub.handle), 1u);
+  EXPECT_EQ(cbB.sourceCount(sub.handle), 1u);
+  EXPECT_GE(cbB.stats().broadcastsSent, 1u);
+  EXPECT_GE(cbA.stats().acknowledgesSent, 1u);
+}
+
+TEST_F(CbTest, UpdatesFlowInOrderWithTimestamps) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("demo");
+  pub.bind(cbA);
+  Sub sub("demo");
+  sub.bind(cbB);
+  cluster.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  for (int i = 0; i < 20; ++i) pub.send(i, 0.1 * i);
+  cluster.step(0.1);
+  ASSERT_EQ(sub.values.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(sub.values[i], i);
+    EXPECT_DOUBLE_EQ(sub.timestamps[i], 0.1 * i);
+    EXPECT_EQ(sub.classNames[i], "demo");
+  }
+}
+
+TEST_F(CbTest, SubscriberBeforePublisherConnects) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Sub sub("late");
+  sub.bind(cbB);
+  cluster.step(0.5);  // subscriber broadcasts into the void for a while
+  EXPECT_FALSE(cbB.connected(sub.handle));
+  Pub pub("late");
+  pub.bind(cbA);  // publisher joins late (dynamic join, §2.3)
+  EXPECT_TRUE(cluster.runUntil([&] { return cbB.connected(sub.handle); },
+                               cluster.now() + 3.0));
+}
+
+TEST_F(CbTest, PublisherBeforeSubscriberConnects) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("early");
+  pub.bind(cbA);
+  cluster.step(0.5);
+  Sub sub("early");
+  sub.bind(cbB);
+  EXPECT_TRUE(cluster.runUntil([&] { return cbB.connected(sub.handle); },
+                               cluster.now() + 2.0));
+}
+
+TEST_F(CbTest, ClassNamesIsolateTraffic) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("alpha");
+  pub.bind(cbA);
+  Sub rightSub("alpha");
+  rightSub.bind(cbB);
+  Sub wrongSub("beta");
+  wrongSub.bind(cbB);
+  cluster.runUntil([&] { return cbB.connected(rightSub.handle); }, 2.0);
+  pub.send(1.0, 0.0);
+  cluster.step(0.1);
+  EXPECT_EQ(rightSub.values.size(), 1u);
+  EXPECT_TRUE(wrongSub.values.empty());
+  EXPECT_FALSE(cbB.connected(wrongSub.handle));
+}
+
+TEST_F(CbTest, MultipleSubscribersFanOut) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  auto& cbC = cluster.addComputer("c");
+  Pub pub("fan");
+  pub.bind(cbA);
+  Sub s1("fan"), s2("fan");
+  s1.bind(cbB);
+  s2.bind(cbC);
+  cluster.runUntil(
+      [&] { return cbB.connected(s1.handle) && cbC.connected(s2.handle); },
+      3.0);
+  EXPECT_EQ(cbA.channelCount(pub.handle), 2u);
+  pub.send(5.0, 1.0);
+  cluster.step(0.1);
+  EXPECT_EQ(s1.values.size(), 1u);
+  EXPECT_EQ(s2.values.size(), 1u);
+}
+
+TEST_F(CbTest, MultiplePublishersFanIn) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  auto& cbC = cluster.addComputer("c");
+  Pub p1("multi"), p2("multi");
+  p1.bind(cbA);
+  p2.bind(cbB);
+  Sub sub("multi");
+  sub.bind(cbC);
+  cluster.runUntil([&] { return cbC.sourceCount(sub.handle) == 2; }, 3.0);
+  p1.send(1.0, 0.0);
+  p2.send(2.0, 0.0);
+  cluster.step(0.1);
+  EXPECT_EQ(sub.values.size(), 2u);
+}
+
+TEST_F(CbTest, LocalFastPathSameComputer) {
+  auto& cb = cluster.addComputer("solo");
+  Pub pub("local");
+  pub.bind(cb);
+  Sub sub("local");
+  sub.bind(cb);
+  // No network round trip needed: deliver on the next tick.
+  pub.send(9.0, 0.0);
+  cluster.step(0.01);
+  ASSERT_EQ(sub.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(sub.values[0], 9.0);
+  EXPECT_EQ(cb.stats().updatesLocalFastPath, 1u);
+  EXPECT_EQ(cb.stats().updatesSent, 0u);  // nothing left the computer
+}
+
+TEST_F(CbTest, LocalDeliveryWithFastPathDisabledUsesProtocol) {
+  CodCluster::Config cfg;
+  cfg.cb.localFastPath = false;
+  CodCluster c2(cfg);
+  auto& cb = c2.addComputer("solo");
+  Pub pub("local");
+  pub.bind(cb);
+  Sub sub("local");
+  sub.bind(cb);
+  ASSERT_TRUE(c2.runUntil([&] { return cb.connected(sub.handle); }, 2.0));
+  pub.send(4.0, 0.0);
+  c2.step(0.1);
+  ASSERT_EQ(sub.values.size(), 1u);
+  EXPECT_EQ(cb.stats().updatesLocalFastPath, 0u);
+  EXPECT_GE(cb.stats().updatesSent, 1u);  // went through the socket
+}
+
+TEST_F(CbTest, PullModelPollAndLatest) {
+  CodCluster::Config cfg;
+  cfg.cb.pushDelivery = false;  // pure pull
+  CodCluster c2(cfg);
+  auto& cbA = c2.addComputer("a");
+  auto& cbB = c2.addComputer("b");
+  Pub pub("pull");
+  pub.bind(cbA);
+  Sub sub("pull");
+  sub.bind(cbB);
+  c2.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  pub.send(1.0, 0.0);
+  pub.send(2.0, 0.1);
+  c2.step(0.1);
+  EXPECT_TRUE(sub.values.empty());  // nothing pushed
+  EXPECT_EQ(cbB.pending(sub.handle), 2u);
+  const Reflection* latest = cbB.latest(sub.handle);
+  ASSERT_NE(latest, nullptr);
+  EXPECT_DOUBLE_EQ(latest->attrs.getDouble("v"), 2.0);
+  const auto first = cbB.poll(sub.handle);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->attrs.getDouble("v"), 1.0);
+  EXPECT_EQ(cbB.pending(sub.handle), 1u);
+}
+
+TEST_F(CbTest, UnsubscribeTearsDownBothSides) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("bye");
+  pub.bind(cbA);
+  Sub sub("bye");
+  sub.bind(cbB);
+  cluster.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  cbB.unsubscribe(sub.handle);
+  cluster.step(0.1);  // let the BYE propagate
+  EXPECT_EQ(cbA.channelCount(pub.handle), 0u);
+  pub.send(1.0, 0.0);
+  cluster.step(0.1);
+  EXPECT_TRUE(sub.values.empty());
+}
+
+TEST_F(CbTest, UnpublishNotifiesSubscriber) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("gone");
+  pub.bind(cbA);
+  Sub sub("gone");
+  sub.bind(cbB);
+  cluster.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  cbA.unpublish(pub.handle);
+  cluster.step(0.1);
+  EXPECT_EQ(cbB.sourceCount(sub.handle), 0u);
+}
+
+TEST_F(CbTest, DetachResignsAllRegistrations) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Sub sub("multi");
+  sub.bind(cbB);
+  {
+    Pub pub("multi");
+    pub.bind(cbA);
+    cluster.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+    EXPECT_EQ(cbA.lpCount(), 1u);
+  }  // pub destroyed → detached → unpublished
+  EXPECT_EQ(cbA.lpCount(), 0u);
+  cluster.step(0.1);
+  EXPECT_EQ(cbB.sourceCount(sub.handle), 0u);
+}
+
+TEST_F(CbTest, ChannelSurvivesWellBeyondTimeout) {
+  // Regression for the channel-id role collision: a CB that both publishes
+  // and subscribes used to mis-route keep-alives, and its channels died at
+  // the timeout. Run an idle (no-update) channel for several timeouts.
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  // Both computers publish one class and subscribe to the other's.
+  Pub pubA("a.out");
+  pubA.bind(cbA);
+  Sub subA("b.out");
+  subA.bind(cbA);
+  Pub pubB("b.out");
+  pubB.bind(cbB);
+  Sub subB("a.out");
+  subB.bind(cbB);
+  cluster.runUntil(
+      [&] { return cbA.connected(subA.handle) && cbB.connected(subB.handle); },
+      3.0);
+  const double horizon =
+      cluster.now() + 4.0 * cbA.config().channelTimeoutSec;
+  while (cluster.now() < horizon) cluster.step(0.25);
+  EXPECT_EQ(cbA.stats().channelsTimedOut, 0u);
+  EXPECT_EQ(cbB.stats().channelsTimedOut, 0u);
+  pubA.send(1.0, 0.0);
+  pubB.send(2.0, 0.0);
+  cluster.step(0.1);
+  EXPECT_EQ(subA.values.size(), 1u);
+  EXPECT_EQ(subB.values.size(), 1u);
+}
+
+TEST_F(CbTest, PartitionTimesOutAndReconnects) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("part");
+  pub.bind(cbA);
+  Sub sub("part");
+  sub.bind(cbB);
+  cluster.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  cluster.network().setPartitioned(0, 1, true);
+  // Everything times out across the partition.
+  cluster.step(cbA.config().channelTimeoutSec + 1.0);
+  EXPECT_EQ(cbB.sourceCount(sub.handle), 0u);
+  EXPECT_GE(cbB.stats().channelsTimedOut, 1u);
+  // Heal: discovery resumes and the channel comes back.
+  cluster.network().setPartitioned(0, 1, false);
+  EXPECT_TRUE(cluster.runUntil([&] { return cbB.connected(sub.handle); },
+                               cluster.now() + 5.0));
+  pub.send(3.0, 0.0);
+  cluster.step(0.1);
+  EXPECT_EQ(sub.values.size(), 1u);
+}
+
+TEST_F(CbTest, LossyLinkStillConnectsAndDedups) {
+  CodCluster::Config cfg;
+  cfg.link.lossRate = 0.2;
+  CodCluster c2(cfg);
+  auto& cbA = c2.addComputer("a");
+  auto& cbB = c2.addComputer("b");
+  Pub pub("lossy");
+  pub.bind(cbA);
+  Sub sub("lossy");
+  sub.bind(cbB);
+  // Retransmits make discovery succeed despite 20% loss.
+  ASSERT_TRUE(c2.runUntil([&] { return cbB.connected(sub.handle); }, 10.0));
+  for (int i = 0; i < 100; ++i) pub.send(i, 0.01 * i);
+  c2.step(0.5);
+  // Some updates are lost (no retransmit for data), none duplicated, and
+  // the sequence observed is strictly increasing.
+  EXPECT_LE(sub.values.size(), 100u);
+  EXPECT_GT(sub.values.size(), 50u);
+  for (std::size_t i = 1; i < sub.values.size(); ++i)
+    EXPECT_LT(sub.values[i - 1], sub.values[i]);
+}
+
+TEST_F(CbTest, MailboxOverflowDropsOldest) {
+  CodCluster::Config cfg;
+  cfg.cb.pushDelivery = false;
+  cfg.cb.mailboxLimit = 5;
+  CodCluster c2(cfg);
+  auto& cbA = c2.addComputer("a");
+  auto& cbB = c2.addComputer("b");
+  Pub pub("flood");
+  pub.bind(cbA);
+  Sub sub("flood");
+  sub.bind(cbB);
+  c2.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  for (int i = 0; i < 20; ++i) pub.send(i, 0.0);
+  c2.step(0.2);
+  EXPECT_EQ(cbB.pending(sub.handle), 5u);
+  const auto first = cbB.poll(sub.handle);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->attrs.getDouble("v"), 15.0);  // oldest kept
+  EXPECT_GE(cbB.stats().mailboxOverflows, 15u);
+}
+
+TEST_F(CbTest, AttachIsIdempotentAndExclusive) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  Pub pub("x");
+  pub.bind(cbA);
+  EXPECT_EQ(cbA.attach(pub), pub.id());  // second attach: same id
+  EXPECT_THROW(cbB.attach(pub), std::logic_error);
+}
+
+TEST_F(CbTest, UpdateOnUnknownPublicationThrows) {
+  auto& cb = cluster.addComputer("a");
+  AttributeSet a;
+  EXPECT_THROW(cb.updateAttributeValues(12345, a, 0.0), std::invalid_argument);
+}
+
+TEST_F(CbTest, PaperLiteralModeStopsBroadcastingAfterAck) {
+  CodCluster::Config cfg;
+  cfg.cb.refreshIntervalSec = 0.0;  // §2.3 literal: stop after first ACK
+  CodCluster c2(cfg);
+  auto& cbA = c2.addComputer("a");
+  auto& cbB = c2.addComputer("b");
+  Pub pub("once");
+  pub.bind(cbA);
+  Sub sub("once");
+  sub.bind(cbB);
+  c2.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  const auto broadcastsAtConnect = cbB.stats().broadcastsSent;
+  c2.step(5.0);
+  EXPECT_EQ(cbB.stats().broadcastsSent, broadcastsAtConnect);
+}
+
+TEST_F(CbTest, RefreshModeKeepsDiscoveringLatePublishers) {
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  auto& cbC = cluster.addComputer("c");
+  Pub p1("refresh");
+  p1.bind(cbA);
+  Sub sub("refresh");
+  sub.bind(cbB);
+  cluster.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+  // A second publisher appears after the subscription is satisfied.
+  Pub p2("refresh");
+  p2.bind(cbC);
+  EXPECT_TRUE(cluster.runUntil(
+      [&] { return cbB.sourceCount(sub.handle) == 2; }, cluster.now() + 5.0));
+}
+
+TEST_F(CbTest, MalformedDatagramsAreCountedAndIgnored) {
+  auto& cbA = cluster.addComputer("a");
+  cluster.addComputer("b");
+  // Inject garbage straight at cbA's port.
+  auto rogue = cluster.network().bind(1, 2);
+  rogue->send(cbA.address(), std::vector<std::uint8_t>{0xFF, 0x00, 0x13});
+  cluster.step(0.1);
+  EXPECT_EQ(cbA.stats().malformedDrops, 1u);
+}
+
+TEST_F(CbTest, NullTransportRejected) {
+  EXPECT_THROW(CommunicationBackbone("x", nullptr), std::invalid_argument);
+}
+
+TEST_F(CbTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    CodCluster::Config cfg;
+    cfg.seed = seed;
+    cfg.link.jitterSec = 100e-6;
+    CodCluster c(cfg);
+    auto& cbA = c.addComputer("a");
+    auto& cbB = c.addComputer("b");
+    Pub pub("det");
+    pub.bind(cbA);
+    Sub sub("det");
+    sub.bind(cbB);
+    c.runUntil([&] { return cbB.connected(sub.handle); }, 2.0);
+    for (int i = 0; i < 50; ++i) pub.send(i, 0.01 * i);
+    c.step(0.5);
+    return std::make_pair(sub.values.size(), cbB.stats().updatesDelivered);
+  };
+  EXPECT_EQ(run(77), run(77));
+}
+
+}  // namespace
+}  // namespace cod::core

@@ -1,0 +1,118 @@
+// The CB protocol over real UDP sockets (the deployment transport): the
+// identical state machines that run on SimNetwork must converge on the
+// loopback interface with wall-clock ticking.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/cb.hpp"
+#include "net/udp.hpp"
+
+namespace cod::core {
+namespace {
+
+net::UdpConfig testConfig() {
+  net::UdpConfig cfg;
+  cfg.basePort = 53200;  // distinct range from the raw UDP transport tests
+  cfg.portsPerHost = 4;
+  cfg.maxHosts = 4;
+  return cfg;
+}
+
+double wallClock() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+class RecordingLp : public LogicalProcess {
+ public:
+  RecordingLp() : LogicalProcess("lp") {}
+  std::vector<double> values;
+  void reflectAttributeValues(const std::string&, const AttributeSet& a,
+                              double) override {
+    values.push_back(a.getDouble("v"));
+  }
+};
+
+TEST(CbOverUdp, DiscoveryAndUpdatesOnLoopback) {
+  const net::UdpConfig cfg = testConfig();
+  CommunicationBackbone::Config cbCfg;
+  cbCfg.broadcastIntervalSec = 0.01;  // fast discovery for a quick test
+  CommunicationBackbone cbA(
+      "udp-a", std::make_unique<net::UdpTransport>(cfg, 0, 1), cbCfg);
+  CommunicationBackbone cbB(
+      "udp-b", std::make_unique<net::UdpTransport>(cfg, 1, 1), cbCfg);
+
+  RecordingLp pub, sub;
+  cbA.attach(pub);
+  const auto h = cbA.publishObjectClass(pub, "udp.demo");
+  cbB.attach(sub);
+  const auto sh = cbB.subscribeObjectClass(sub, "udp.demo");
+
+  // Tick both CBs with the wall clock until the channel is live.
+  const double deadline = wallClock() + 5.0;
+  while (!cbB.connected(sh) && wallClock() < deadline) {
+    cbA.tick(wallClock());
+    cbB.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(cbB.connected(sh)) << "discovery did not converge over UDP";
+  EXPECT_EQ(cbA.channelCount(h), 1u);
+
+  // Updates flow end to end (loopback is reliable in practice, but allow
+  // for scheduling: require at least most of them).
+  for (int i = 0; i < 50; ++i) {
+    AttributeSet a;
+    a.set("v", static_cast<double>(i));
+    cbA.updateAttributeValues(h, a, wallClock());
+    cbA.tick(wallClock());
+    cbB.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double drainDeadline = wallClock() + 1.0;
+  while (sub.values.size() < 50 && wallClock() < drainDeadline) {
+    cbB.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(sub.values.size(), 45u);
+  // Sequence-number dedup guarantees strictly increasing delivery.
+  for (std::size_t i = 1; i < sub.values.size(); ++i)
+    EXPECT_LT(sub.values[i - 1], sub.values[i]);
+}
+
+TEST(CbOverUdp, DynamicJoinOnLoopback) {
+  const net::UdpConfig cfg = testConfig();
+  CommunicationBackbone::Config cbCfg;
+  cbCfg.broadcastIntervalSec = 0.01;
+  CommunicationBackbone cbPub(
+      "udp-pub", std::make_unique<net::UdpTransport>(cfg, 2, 1), cbCfg);
+  RecordingLp pub;
+  cbPub.attach(pub);
+  const auto h = cbPub.publishObjectClass(pub, "udp.join");
+
+  // The publisher runs alone for a while (it keeps listening, §2.3).
+  for (int i = 0; i < 20; ++i) {
+    cbPub.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // A subscriber joins late on another "host".
+  CommunicationBackbone cbSub(
+      "udp-sub", std::make_unique<net::UdpTransport>(cfg, 3, 1), cbCfg);
+  RecordingLp sub;
+  cbSub.attach(sub);
+  const auto sh = cbSub.subscribeObjectClass(sub, "udp.join");
+  const double deadline = wallClock() + 5.0;
+  while (!cbSub.connected(sh) && wallClock() < deadline) {
+    cbPub.tick(wallClock());
+    cbSub.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(cbSub.connected(sh));
+  EXPECT_EQ(cbPub.channelCount(h), 1u);
+}
+
+}  // namespace
+}  // namespace cod::core

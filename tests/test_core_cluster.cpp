@@ -1,0 +1,102 @@
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::core {
+namespace {
+
+TEST(CodCluster, AddComputerGrowsTheRack) {
+  CodCluster cluster;
+  EXPECT_EQ(cluster.size(), 0u);
+  auto& a = cluster.addComputer("alpha");
+  auto& b = cluster.addComputer("beta");
+  EXPECT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(a.name(), "alpha");
+  EXPECT_EQ(b.name(), "beta");
+  EXPECT_EQ(&cluster.cb(0), &a);
+  EXPECT_EQ(&cluster.cb(1), &b);
+  // Every CB binds the same port on its own host.
+  EXPECT_EQ(a.address().port, b.address().port);
+  EXPECT_NE(a.address().host, b.address().host);
+}
+
+TEST(CodCluster, StepAdvancesVirtualTimeExactly) {
+  CodCluster cluster;
+  cluster.addComputer("a");
+  EXPECT_DOUBLE_EQ(cluster.now(), 0.0);
+  cluster.step(0.123);
+  EXPECT_NEAR(cluster.now(), 0.123, 1e-12);
+  cluster.step(1.0);
+  EXPECT_NEAR(cluster.now(), 1.123, 1e-12);
+}
+
+TEST(CodCluster, RunUntilStopsAtPredicateOrDeadline) {
+  CodCluster cluster;
+  cluster.addComputer("a");
+  EXPECT_TRUE(cluster.runUntil([&] { return cluster.now() >= 0.5; }, 5.0));
+  EXPECT_LT(cluster.now(), 1.0);
+  EXPECT_FALSE(cluster.runUntil([] { return false; }, cluster.now() + 0.3));
+}
+
+TEST(CodCluster, LateComputerTicksFromCurrentClock) {
+  CodCluster cluster;
+  cluster.addComputer("early");
+  cluster.step(5.0);
+  // A computer racked in later must not replay five seconds of timers.
+  auto& late = cluster.addComputer("late");
+  struct Probe : LogicalProcess {
+    Probe() : LogicalProcess("probe") {}
+    double firstStepAt = -1.0;
+    void step(double now) override {
+      if (firstStepAt < 0.0) firstStepAt = now;
+    }
+  } probe;
+  late.attach(probe);
+  cluster.step(0.1);
+  EXPECT_GE(probe.firstStepAt, 5.0);
+}
+
+TEST(CodCluster, LpStepCalledEveryTick) {
+  CodCluster::Config cfg;
+  cfg.tickIntervalSec = 0.01;
+  CodCluster cluster(cfg);
+  auto& cb = cluster.addComputer("a");
+  struct Counter : LogicalProcess {
+    Counter() : LogicalProcess("counter") {}
+    int steps = 0;
+    void step(double) override { ++steps; }
+  } counter;
+  cb.attach(counter);
+  cluster.step(1.0);
+  EXPECT_NEAR(counter.steps, 100, 2);
+}
+
+TEST(CodCluster, ConfigControlsLinkModel) {
+  CodCluster::Config cfg;
+  cfg.link.latencySec = 0.05;  // a very slow LAN
+  CodCluster cluster(cfg);
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  struct Lp : LogicalProcess {
+    Lp() : LogicalProcess("lp") {}
+    int got = 0;
+    void reflectAttributeValues(const std::string&, const AttributeSet&,
+                                double) override {
+      ++got;
+    }
+  } pub, sub;
+  cbA.attach(pub);
+  const auto h = cbA.publishObjectClass(pub, "slow");
+  cbB.attach(sub);
+  const auto sh = cbB.subscribeObjectClass(sub, "slow");
+  cluster.runUntil([&] { return cbB.connected(sh); }, 10.0);
+  AttributeSet a;
+  cbA.updateAttributeValues(h, a, cluster.now());
+  cluster.step(0.02);
+  EXPECT_EQ(sub.got, 0);  // still in flight on the 50 ms link
+  cluster.step(0.1);
+  EXPECT_EQ(sub.got, 1);
+}
+
+}  // namespace
+}  // namespace cod::core

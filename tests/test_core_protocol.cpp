@@ -1,0 +1,122 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::core {
+namespace {
+
+TEST(Protocol, SubscriptionRoundTrip) {
+  const SubscriptionMsg m{42, "crane.state"};
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kSubscription);
+  EXPECT_EQ(decoded->subscription.subscriptionId, 42u);
+  EXPECT_EQ(decoded->subscription.className, "crane.state");
+}
+
+TEST(Protocol, AcknowledgeRoundTrip) {
+  const AcknowledgeMsg m{7, 13, "audio.events"};
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kAcknowledge);
+  EXPECT_EQ(d->acknowledge.subscriptionId, 7u);
+  EXPECT_EQ(d->acknowledge.publicationId, 13u);
+  EXPECT_EQ(d->acknowledge.className, "audio.events");
+}
+
+TEST(Protocol, ChannelConnectionRoundTrip) {
+  const ChannelConnectionMsg m{1, 2, 3, "x"};
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kChannelConnection);
+  EXPECT_EQ(d->channelConnection.subscriptionId, 1u);
+  EXPECT_EQ(d->channelConnection.publicationId, 2u);
+  EXPECT_EQ(d->channelConnection.channelId, 3u);
+}
+
+TEST(Protocol, ChannelAckRoundTrip) {
+  const ChannelAckMsg m{5, 6};
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kChannelAck);
+  EXPECT_EQ(d->channelAck.channelId, 5u);
+  EXPECT_EQ(d->channelAck.publicationId, 6u);
+}
+
+TEST(Protocol, UpdateRoundTrip) {
+  UpdateMsg m;
+  m.channelId = 9;
+  m.seq = 123456789ull;
+  m.timestamp = 1.25;
+  m.payload = {10, 20, 30};
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kUpdate);
+  EXPECT_EQ(d->update.channelId, 9u);
+  EXPECT_EQ(d->update.seq, 123456789ull);
+  EXPECT_DOUBLE_EQ(d->update.timestamp, 1.25);
+  EXPECT_EQ(d->update.payload, (std::vector<std::uint8_t>{10, 20, 30}));
+}
+
+TEST(Protocol, HeartbeatCarriesDirection) {
+  const auto pub = decode(encode(HeartbeatMsg{4, 2.0, true}));
+  ASSERT_TRUE(pub.has_value());
+  EXPECT_TRUE(pub->heartbeat.fromPublisher);
+  const auto sub = decode(encode(HeartbeatMsg{4, 2.0, false}));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_FALSE(sub->heartbeat.fromPublisher);
+}
+
+TEST(Protocol, ByeCarriesDirection) {
+  const auto d = decode(encode(ByeMsg{11, true}));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kBye);
+  EXPECT_EQ(d->bye.channelId, 11u);
+  EXPECT_TRUE(d->bye.fromPublisher);
+}
+
+TEST(Protocol, EmptyDatagramRejected) {
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{99, 0, 0}).has_value());
+}
+
+TEST(Protocol, TruncatedMessagesRejected) {
+  auto bytes = encode(SubscriptionMsg{1, "some.class"});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + cut);
+    EXPECT_FALSE(decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Protocol, MsgTypeNames) {
+  EXPECT_STREQ(msgTypeName(MsgType::kSubscription), "SUBSCRIPTION");
+  EXPECT_STREQ(msgTypeName(MsgType::kAcknowledge), "ACKNOWLEDGE");
+  EXPECT_STREQ(msgTypeName(MsgType::kChannelConnection), "CHANNEL_CONNECTION");
+  EXPECT_STREQ(msgTypeName(MsgType::kChannelAck), "CHANNEL_ACK");
+  EXPECT_STREQ(msgTypeName(MsgType::kUpdate), "UPDATE");
+  EXPECT_STREQ(msgTypeName(MsgType::kHeartbeat), "HEARTBEAT");
+  EXPECT_STREQ(msgTypeName(MsgType::kBye), "BYE");
+}
+
+TEST(Protocol, EmptyClassNameAllowed) {
+  const auto d = decode(encode(SubscriptionMsg{1, ""}));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->subscription.className.empty());
+}
+
+TEST(Protocol, LargePayloadRoundTrips) {
+  UpdateMsg m;
+  m.channelId = 1;
+  m.seq = 1;
+  m.payload.assign(60000, 0x5A);
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->update.payload.size(), 60000u);
+}
+
+}  // namespace
+}  // namespace cod::core

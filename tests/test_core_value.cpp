@@ -1,0 +1,150 @@
+#include "core/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::core {
+namespace {
+
+TEST(AttributeValue, TypedAccessors) {
+  EXPECT_TRUE(AttributeValue(true).asBool());
+  EXPECT_EQ(AttributeValue(42).asInt(), 42);
+  EXPECT_DOUBLE_EQ(AttributeValue(3.5).asDouble(), 3.5);
+  EXPECT_EQ(AttributeValue("hi").asString(), "hi");
+  EXPECT_EQ(AttributeValue(math::Vec3{1, 2, 3}).asVec3(), math::Vec3(1, 2, 3));
+  const std::vector<std::uint8_t> blob{9, 8};
+  EXPECT_EQ(AttributeValue(blob).asBlob(), blob);
+}
+
+TEST(AttributeValue, NumericCoercion) {
+  EXPECT_DOUBLE_EQ(AttributeValue(7).asDouble(), 7.0);
+  EXPECT_EQ(AttributeValue(7.9).asInt(), 7);
+  EXPECT_TRUE(AttributeValue(1).asBool());
+  EXPECT_FALSE(AttributeValue(0).asBool());
+  EXPECT_EQ(AttributeValue(true).asInt(), 1);
+}
+
+TEST(AttributeValue, FallbacksOnWrongType) {
+  const AttributeValue s("text");
+  EXPECT_DOUBLE_EQ(s.asDouble(9.0), 9.0);
+  EXPECT_EQ(s.asInt(5), 5);
+  EXPECT_EQ(s.asVec3({1, 1, 1}), math::Vec3(1, 1, 1));
+  EXPECT_TRUE(AttributeValue(1.0).asString().empty());
+}
+
+TEST(AttributeValue, TypePredicates) {
+  EXPECT_TRUE(AttributeValue(true).isBool());
+  EXPECT_TRUE(AttributeValue(1).isInt());
+  EXPECT_TRUE(AttributeValue(1.0).isDouble());
+  EXPECT_TRUE(AttributeValue("x").isString());
+  EXPECT_TRUE(AttributeValue(math::Vec3{}).isVec3());
+  EXPECT_TRUE(AttributeValue(std::vector<std::uint8_t>{1}).isBlob());
+  EXPECT_FALSE(AttributeValue(1).isDouble());
+}
+
+TEST(AttributeValue, EncodeDecodeAllTypes) {
+  const AttributeValue values[] = {
+      AttributeValue(true),
+      AttributeValue(false),
+      AttributeValue(std::int64_t{-123456789}),
+      AttributeValue(2.718281828),
+      AttributeValue(std::string("a string")),
+      AttributeValue(math::Vec3{-1.5, 2.5, 3.5}),
+      AttributeValue(std::vector<std::uint8_t>{0, 1, 2, 255}),
+  };
+  for (const AttributeValue& v : values) {
+    net::WireWriter w;
+    v.encode(w);
+    net::WireReader r(w.bytes());
+    const auto decoded = AttributeValue::decode(r);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, v);
+  }
+}
+
+TEST(AttributeValue, DecodeMalformedFails) {
+  const std::vector<std::uint8_t> garbage{200};  // unknown tag
+  net::WireReader r(garbage);
+  EXPECT_FALSE(AttributeValue::decode(r).has_value());
+  net::WireReader empty(std::span<const std::uint8_t>{});
+  EXPECT_FALSE(AttributeValue::decode(empty).has_value());
+}
+
+TEST(AttributeSet, SetGetHas) {
+  AttributeSet a;
+  a.set("x", 1.5);
+  a.set("name", "crane");
+  a.set("on", true);
+  EXPECT_TRUE(a.has("x"));
+  EXPECT_FALSE(a.has("y"));
+  EXPECT_DOUBLE_EQ(a.getDouble("x"), 1.5);
+  EXPECT_EQ(a.getString("name"), "crane");
+  EXPECT_TRUE(a.getBool("on"));
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(AttributeSet, FallbacksForMissingKeys) {
+  const AttributeSet a;
+  EXPECT_DOUBLE_EQ(a.getDouble("missing", 7.5), 7.5);
+  EXPECT_EQ(a.getInt("missing", -2), -2);
+  EXPECT_EQ(a.getString("missing", "dflt"), "dflt");
+  EXPECT_FALSE(a.getBool("missing"));
+  EXPECT_EQ(a.getVec3("missing", {1, 2, 3}), math::Vec3(1, 2, 3));
+  EXPECT_EQ(a.find("missing"), nullptr);
+}
+
+TEST(AttributeSet, OverwriteReplacesValue) {
+  AttributeSet a;
+  a.set("k", 1);
+  a.set("k", 2);
+  EXPECT_EQ(a.getInt("k"), 2);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(AttributeSet, InitializerListConstruction) {
+  const AttributeSet a{{"speed", AttributeValue(3.0)},
+                       {"gear", AttributeValue(2)}};
+  EXPECT_DOUBLE_EQ(a.getDouble("speed"), 3.0);
+  EXPECT_EQ(a.getInt("gear"), 2);
+}
+
+TEST(AttributeSet, EncodeDecodeRoundTrip) {
+  AttributeSet a;
+  a.set("b", true);
+  a.set("i", -42);
+  a.set("d", 0.125);
+  a.set("s", "text");
+  a.set("v", math::Vec3{1, -2, 3});
+  const auto bytes = a.encode();
+  const auto decoded = AttributeSet::decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, a);
+}
+
+TEST(AttributeSet, EmptySetRoundTrips) {
+  const AttributeSet a;
+  const auto decoded = AttributeSet::decode(a.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(AttributeSet, DecodeTruncatedFails) {
+  AttributeSet a;
+  a.set("key", 1.0);
+  auto bytes = a.encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(AttributeSet::decode(bytes).has_value());
+}
+
+TEST(AttributeSet, IterationIsOrdered) {
+  AttributeSet a;
+  a.set("zeta", 1);
+  a.set("alpha", 2);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : a) keys.push_back(k);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");  // std::map ordering, stable on the wire
+  EXPECT_EQ(keys[1], "zeta");
+}
+
+}  // namespace
+}  // namespace cod::core

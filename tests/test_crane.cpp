@@ -1,0 +1,291 @@
+#include "crane/dashboard.hpp"
+#include "crane/dynamics.hpp"
+#include "crane/kinematics.hpp"
+#include "crane/safety.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::crane {
+namespace {
+
+using math::deg2rad;
+using math::Vec3;
+
+TEST(Kinematics, BoomTipAtZeroSlewPointsForward) {
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = 0.0;  // horizontal boom
+  s.boomLengthM = 10.0;
+  s.slewAngleRad = 0.0;
+  const Vec3 pivot = kin.boomPivot(s);
+  const Vec3 tip = kin.boomTip(s);
+  EXPECT_NEAR(tip.x - pivot.x, 10.0, 1e-9);
+  EXPECT_NEAR(tip.y - pivot.y, 0.0, 1e-9);
+  EXPECT_NEAR(tip.z - pivot.z, 0.0, 1e-9);
+}
+
+TEST(Kinematics, LuffRaisesTip) {
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = deg2rad(60.0);
+  s.boomLengthM = 10.0;
+  const Vec3 pivot = kin.boomPivot(s);
+  const Vec3 tip = kin.boomTip(s);
+  EXPECT_NEAR(tip.z - pivot.z, 10.0 * std::sin(deg2rad(60.0)), 1e-9);
+}
+
+TEST(Kinematics, SlewRotatesTipAroundAxis) {
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = deg2rad(45.0);
+  s.boomLengthM = 12.0;
+  s.slewAngleRad = deg2rad(90.0);
+  const Vec3 pivot = kin.boomPivot(s);
+  const Vec3 tip = kin.boomTip(s);
+  // At 90 deg slew the tip offset is along +y of the carrier.
+  EXPECT_NEAR(tip.x - pivot.x, 0.0, 1e-9);
+  EXPECT_GT(tip.y - pivot.y, 5.0);
+}
+
+TEST(Kinematics, CarrierPoseCarriesTheBoom) {
+  CraneKinematics kin;
+  CraneState s;
+  s.carrierPosition = {100, 50, 2};
+  s.carrierHeadingRad = deg2rad(90.0);
+  s.boomPitchRad = 0.0;
+  s.boomLengthM = 10.0;
+  const Vec3 tip = kin.boomTip(s);
+  // Heading +90 deg: boom now points along +y in the world.
+  EXPECT_NEAR(tip.y, 50.0 - 1.0 + 10.0, 1e-6);  // pivot offset x=-1 rotates to y
+}
+
+TEST(Kinematics, HookHangsStraightDown) {
+  CraneKinematics kin;
+  CraneState s;
+  s.cableLengthM = 7.0;
+  const Vec3 tip = kin.boomTip(s);
+  const Vec3 hook = kin.hookRestPosition(s);
+  EXPECT_NEAR(hook.x, tip.x, 1e-12);
+  EXPECT_NEAR(hook.y, tip.y, 1e-12);
+  EXPECT_NEAR(tip.z - hook.z, 7.0, 1e-12);
+}
+
+TEST(Kinematics, WorkingRadiusGrowsWithLengthShrinksWithLuff) {
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = deg2rad(45.0);
+  s.boomLengthM = 10.0;
+  const double base = kin.workingRadius(s);
+  s.boomLengthM = 15.0;
+  EXPECT_GT(kin.workingRadius(s), base);
+  s.boomLengthM = 10.0;
+  s.boomPitchRad = deg2rad(75.0);
+  EXPECT_LT(kin.workingRadius(s), base);
+}
+
+TEST(JointDynamics, RespondsOnlyWithEngineOn) {
+  CraneJointDynamics dyn;
+  CraneState s;
+  CraneControls c;
+  c.joystickSlew = 1.0;
+  s.engineOn = false;
+  const double slew0 = s.slewAngleRad;
+  for (int i = 0; i < 100; ++i) dyn.step(s, c, 0.02);
+  EXPECT_NEAR(s.slewAngleRad, slew0, 1e-9);
+  s.engineOn = true;
+  for (int i = 0; i < 100; ++i) dyn.step(s, c, 0.02);
+  EXPECT_GT(s.slewAngleRad, slew0 + 0.1);
+}
+
+TEST(JointDynamics, RateLimitsHold) {
+  CraneJointDynamics dyn;
+  CraneState s;
+  s.engineOn = true;
+  CraneControls c;
+  c.joystickSlew = 1.0;
+  double prev = s.slewAngleRad;
+  for (int i = 0; i < 200; ++i) {
+    dyn.step(s, c, 0.02);
+    const double rate = math::angleDiff(s.slewAngleRad, prev) / 0.02;
+    EXPECT_LE(std::abs(rate), dyn.limits().maxSlewRateRad + 1e-9);
+    prev = s.slewAngleRad;
+  }
+}
+
+TEST(JointDynamics, JointRangesClamp) {
+  CraneJointDynamics dyn;
+  CraneState s;
+  s.engineOn = true;
+  CraneControls c;
+  c.joystickLuff = 1.0;
+  c.joystickTelescope = 1.0;
+  c.joystickHoist = 1.0;
+  for (int i = 0; i < 5000; ++i) dyn.step(s, c, 0.02);
+  EXPECT_NEAR(s.boomPitchRad, dyn.limits().boomPitchMaxRad, 1e-9);
+  EXPECT_NEAR(s.boomLengthM, dyn.limits().boomLengthMaxM, 1e-9);
+  EXPECT_NEAR(s.cableLengthM, dyn.limits().cableMaxM, 1e-9);
+  c.joystickLuff = -1.0;
+  c.joystickTelescope = -1.0;
+  c.joystickHoist = -1.0;
+  for (int i = 0; i < 5000; ++i) dyn.step(s, c, 0.02);
+  EXPECT_NEAR(s.boomPitchRad, dyn.limits().boomPitchMinRad, 1e-9);
+  EXPECT_NEAR(s.boomLengthM, dyn.limits().boomLengthMinM, 1e-9);
+  EXPECT_NEAR(s.cableLengthM, dyn.limits().cableMinM, 1e-9);
+}
+
+TEST(EngineModel, IdleAndDemandResponse) {
+  EngineModel e;
+  for (int i = 0; i < 500; ++i) e.step(true, 0.0, 0.02);
+  EXPECT_NEAR(e.rpm(), 800.0, 20.0);  // idle
+  for (int i = 0; i < 500; ++i) e.step(true, 1.0, 0.02);
+  EXPECT_NEAR(e.rpm(), 2200.0, 50.0);  // full demand
+  for (int i = 0; i < 2000; ++i) e.step(false, 0.0, 0.02);
+  EXPECT_DOUBLE_EQ(e.rpm(), 0.0);
+  EXPECT_FALSE(e.on());
+}
+
+TEST(Safety, BoomOvershootAlarm) {
+  SafetyEnvelope env;
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = deg2rad(45.0);
+  EXPECT_FALSE(env.assess(s, kin, 0.0).alarms.active(Alarm::kBoomOvershoot));
+  s.boomPitchRad = deg2rad(5.1);  // below the safe minimum of 15 deg
+  EXPECT_TRUE(env.assess(s, kin, 0.0).alarms.active(Alarm::kBoomOvershoot));
+  s.boomPitchRad = deg2rad(79.5);  // above the safe maximum of 78 deg
+  EXPECT_TRUE(env.assess(s, kin, 0.0).alarms.active(Alarm::kBoomOvershoot));
+}
+
+TEST(Safety, OverloadUsesLoadMoment) {
+  SafetyEnvelope env;  // rated 90000 kg*m
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = deg2rad(30.0);
+  s.boomLengthM = 20.0;  // radius ~ 17.3 m
+  s.hookLoadKg = 3000.0;  // ~52 t*m: fine
+  auto a = env.assess(s, kin, 0.0);
+  EXPECT_FALSE(a.alarms.active(Alarm::kOverload));
+  EXPECT_GT(a.momentUtilisation, 0.3);
+  s.hookLoadKg = 8000.0;  // ~139 t*m: overload
+  a = env.assess(s, kin, 0.0);
+  EXPECT_TRUE(a.alarms.active(Alarm::kOverload));
+  EXPECT_GT(a.momentUtilisation, 1.0);
+}
+
+TEST(Safety, TipoverAlarmFromRolloverIndex) {
+  SafetyEnvelope env;
+  CraneKinematics kin;
+  CraneState s;
+  EXPECT_FALSE(env.assess(s, kin, 0.3).alarms.active(Alarm::kTipover));
+  EXPECT_TRUE(env.assess(s, kin, 0.7).alarms.active(Alarm::kTipover));
+}
+
+TEST(Safety, OverspeedOnlyWithCargo) {
+  SafetyEnvelope env;
+  CraneKinematics kin;
+  CraneState s;
+  s.carrierSpeedMps = 5.0;
+  s.cargoAttached = false;
+  EXPECT_FALSE(env.assess(s, kin, 0.0).alarms.active(Alarm::kOverspeed));
+  s.cargoAttached = true;
+  EXPECT_TRUE(env.assess(s, kin, 0.0).alarms.active(Alarm::kOverspeed));
+}
+
+TEST(Safety, SlewZoneAlarmWhenConfigured) {
+  SafetyLimits limits;
+  limits.slewZoneCenterRad = math::kPi;
+  limits.slewZoneHalfWidthRad = deg2rad(20.0);
+  SafetyEnvelope env(limits);
+  CraneKinematics kin;
+  CraneState s;
+  s.slewAngleRad = math::kPi - deg2rad(10.0);  // inside the forbidden arc
+  EXPECT_TRUE(env.assess(s, kin, 0.0).alarms.active(Alarm::kSlewZone));
+  s.slewAngleRad = 0.0;
+  EXPECT_FALSE(env.assess(s, kin, 0.0).alarms.active(Alarm::kSlewZone));
+}
+
+TEST(AlarmSet, BitsRoundTripAndCount) {
+  AlarmSet a;
+  a.raise(Alarm::kOverload);
+  a.raise(Alarm::kTipover);
+  EXPECT_TRUE(a.any());
+  EXPECT_EQ(a.count(), 2u);
+  const AlarmSet b = AlarmSet::fromBits(a.bits());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.list().size(), 2u);
+  EXPECT_FALSE(AlarmSet{}.any());
+}
+
+TEST(Dashboard, MetersTrackState) {
+  Dashboard d;
+  CraneState s;
+  s.engineOn = true;
+  s.engineRpm = 1500.0;
+  s.carrierSpeedMps = 5.0;
+  s.cableLengthM = 12.5;
+  d.updateInstruments(s, {}, 0.4);
+  EXPECT_DOUBLE_EQ(d.meterValue(Meter::kEngineRpm), 1500.0);
+  EXPECT_DOUBLE_EQ(d.meterValue(Meter::kSpeed), 18.0);  // km/h
+  EXPECT_DOUBLE_EQ(d.meterValue(Meter::kLoadMomentPct), 40.0);
+  EXPECT_DOUBLE_EQ(d.meterValue(Meter::kCableLength), 12.5);
+}
+
+TEST(Dashboard, StuckFaultFreezesDisplay) {
+  Dashboard d;
+  CraneState s;
+  s.engineOn = true;
+  s.engineRpm = 1000.0;
+  d.updateInstruments(s, {}, 0.0);
+  d.injectFault(Meter::kEngineRpm, MeterFault::kStuck);
+  s.engineRpm = 2000.0;
+  d.updateInstruments(s, {}, 0.0);
+  EXPECT_DOUBLE_EQ(d.meterValue(Meter::kEngineRpm), 2000.0);     // truth
+  EXPECT_DOUBLE_EQ(d.displayedValue(Meter::kEngineRpm), 1000.0);  // needle
+  d.injectFault(Meter::kEngineRpm, MeterFault::kNone);
+  EXPECT_DOUBLE_EQ(d.displayedValue(Meter::kEngineRpm), 2000.0);
+}
+
+TEST(Dashboard, DeadFaultReadsZero) {
+  Dashboard d;
+  CraneState s;
+  s.cableLengthM = 9.0;
+  d.updateInstruments(s, {}, 0.0);
+  d.injectFault(Meter::kCableLength, MeterFault::kDead);
+  EXPECT_DOUBLE_EQ(d.displayedValue(Meter::kCableLength), 0.0);
+  EXPECT_EQ(d.fault(Meter::kCableLength), MeterFault::kDead);
+}
+
+TEST(Dashboard, AlarmLampsMirrorAssessment) {
+  Dashboard d;
+  AlarmSet alarms;
+  alarms.raise(Alarm::kOverload);
+  d.updateInstruments({}, alarms, 1.2);
+  EXPECT_TRUE(d.lampActive(Alarm::kOverload));
+  EXPECT_FALSE(d.lampActive(Alarm::kTipover));
+}
+
+TEST(Dashboard, FuelBurnsOnlyWithEngine) {
+  Dashboard d;
+  CraneState off;
+  off.engineOn = false;
+  d.updateInstruments(off, {}, 0.0);
+  d.consumeFuel(1000.0);
+  EXPECT_DOUBLE_EQ(d.fuel(), 1.0);
+  CraneState on;
+  on.engineOn = true;
+  d.updateInstruments(on, {}, 0.0);
+  d.consumeFuel(4500.0);
+  EXPECT_NEAR(d.fuel(), 0.5, 0.01);
+  d.refuel();
+  EXPECT_DOUBLE_EQ(d.fuel(), 1.0);
+}
+
+TEST(Names, AllEnumsHaveNames) {
+  for (std::size_t i = 0; i < kAlarmCount; ++i)
+    EXPECT_STRNE(alarmName(static_cast<Alarm>(i)), "?");
+  for (std::size_t i = 0; i < kMeterCount; ++i)
+    EXPECT_STRNE(meterName(static_cast<Meter>(i)), "?");
+}
+
+}  // namespace
+}  // namespace cod::crane

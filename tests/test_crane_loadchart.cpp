@@ -1,0 +1,137 @@
+#include "crane/load_chart.hpp"
+#include "crane/safety.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::crane {
+namespace {
+
+TEST(LoadChart, ExactGridPoints) {
+  const LoadChart chart = LoadChart::typical25t();
+  EXPECT_DOUBLE_EQ(chart.capacityKg(9.0, 3.0), 25000.0);
+  EXPECT_DOUBLE_EQ(chart.capacityKg(26.0, 20.0), 1600.0);
+}
+
+TEST(LoadChart, BilinearBetweenPoints) {
+  const LoadChart chart({10.0, 20.0}, {5.0, 15.0},
+                        {{1000.0, 500.0}, {800.0, 400.0}});
+  EXPECT_DOUBLE_EQ(chart.capacityKg(15.0, 10.0), 675.0);  // centre average
+  EXPECT_DOUBLE_EQ(chart.capacityKg(10.0, 10.0), 750.0);
+  EXPECT_DOUBLE_EQ(chart.capacityKg(15.0, 5.0), 900.0);
+}
+
+TEST(LoadChart, ClampsInsideAndZeroBeyondEnvelope) {
+  const LoadChart chart = LoadChart::typical25t();
+  // Short radius clamps to the first column.
+  EXPECT_DOUBLE_EQ(chart.capacityKg(9.0, 1.0), chart.capacityKg(9.0, 3.0));
+  // Beyond the last radius the crane simply cannot reach: zero rating.
+  EXPECT_DOUBLE_EQ(chart.capacityKg(20.0, 25.0), 0.0);
+  EXPECT_DOUBLE_EQ(chart.maxRadius(), 20.0);
+}
+
+TEST(LoadChart, CapacityFallsWithRadius) {
+  const LoadChart chart = LoadChart::typical25t();
+  double prev = 1e9;
+  for (const double r : {3.0, 5.0, 8.0, 12.0, 16.0}) {
+    const double cap = chart.capacityKg(14.0, r);
+    EXPECT_LT(cap, prev) << "radius " << r;
+    prev = cap;
+  }
+}
+
+TEST(LoadChart, Utilisation) {
+  const LoadChart chart = LoadChart::typical25t();
+  EXPECT_DOUBLE_EQ(chart.utilisation(0.0, 9.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(chart.utilisation(12500.0, 9.0, 3.0), 0.5);
+  EXPECT_GT(chart.utilisation(30000.0, 9.0, 3.0), 1.0);
+  // Any load outside the envelope is infinite utilisation.
+  EXPECT_TRUE(std::isinf(chart.utilisation(100.0, 9.0, 25.0)));
+}
+
+TEST(LoadChart, RejectsMalformedTables) {
+  EXPECT_THROW(LoadChart({10.0}, {5.0, 10.0}, {{1, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(LoadChart({20.0, 10.0}, {5.0, 10.0}, {{1, 2}, {3, 4}}),
+               std::invalid_argument);
+  EXPECT_THROW(LoadChart({10.0, 20.0}, {5.0, 10.0}, {{1, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(LoadChart({10.0, 20.0}, {5.0, 10.0}, {{1, 2}, {3}}),
+               std::invalid_argument);
+}
+
+TEST(Outriggers, DeployCycleTiming) {
+  Outriggers o(4.0);
+  EXPECT_TRUE(o.stowed());
+  EXPECT_EQ(o.state(), Outriggers::State::kStowed);
+  o.requestDeploy();
+  o.step(2.0);
+  EXPECT_EQ(o.state(), Outriggers::State::kDeploying);
+  EXPECT_NEAR(o.progress(), 0.5, 1e-9);
+  o.step(2.5);
+  EXPECT_TRUE(o.deployed());
+  EXPECT_EQ(o.state(), Outriggers::State::kDeployed);
+}
+
+TEST(Outriggers, StowReverses) {
+  Outriggers o(4.0);
+  o.requestDeploy();
+  o.step(10.0);
+  o.requestStow();
+  o.step(2.0);
+  EXPECT_EQ(o.state(), Outriggers::State::kStowing);
+  o.step(3.0);
+  EXPECT_TRUE(o.stowed());
+}
+
+TEST(Outriggers, CapacityFactorDerates) {
+  Outriggers o(1.0);
+  EXPECT_DOUBLE_EQ(o.capacityFactor(), 0.25);  // on rubber
+  o.requestDeploy();
+  o.step(2.0);
+  EXPECT_DOUBLE_EQ(o.capacityFactor(), 1.0);
+}
+
+TEST(SafetyWithChart, OutriggerDeratingTriggersOverload) {
+  SafetyEnvelope env;
+  env.setLoadChart(LoadChart::typical25t());
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = math::deg2rad(45.0);
+  s.boomLengthM = 14.0;
+  s.hookLoadKg = 4000.0;
+  s.cargoAttached = true;
+  SafetyEnvelope::Environment ctx;
+  ctx.outriggersDeployed = true;
+  EXPECT_FALSE(env.assess(s, kin, ctx).alarms.active(Alarm::kOverload));
+  // The same lift on rubber keeps only 25% of the rating: overload.
+  ctx.outriggersDeployed = false;
+  const auto a = env.assess(s, kin, ctx);
+  EXPECT_TRUE(a.alarms.active(Alarm::kOverload));
+  EXPECT_TRUE(a.alarms.active(Alarm::kOutriggers));
+}
+
+TEST(SafetyWithChart, HighWindAlarm) {
+  SafetyEnvelope env;
+  CraneKinematics kin;
+  CraneState s;
+  SafetyEnvelope::Environment ctx;
+  ctx.windSpeedMps = 8.0;
+  EXPECT_FALSE(env.assess(s, kin, ctx).alarms.active(Alarm::kHighWind));
+  ctx.windSpeedMps = 12.0;
+  EXPECT_TRUE(env.assess(s, kin, ctx).alarms.active(Alarm::kHighWind));
+}
+
+TEST(SafetyWithChart, BeyondEnvelopeIsOverload) {
+  SafetyEnvelope env;
+  env.setLoadChart(LoadChart::typical25t());
+  CraneKinematics kin;
+  CraneState s;
+  s.boomPitchRad = math::deg2rad(16.0);  // long reach, low boom
+  s.boomLengthM = 26.0;                  // radius ~ 25 m: off the chart
+  s.hookLoadKg = 200.0;
+  const auto a = env.assess(s, kin, SafetyEnvelope::Environment{});
+  EXPECT_TRUE(a.alarms.active(Alarm::kOverload));
+}
+
+}  // namespace
+}  // namespace cod::crane

@@ -1,0 +1,190 @@
+#include "math/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+
+namespace cod::math {
+namespace {
+
+TEST(Aabb, FromPointsAndContains) {
+  const Vec3 pts[] = {{0, 0, 0}, {1, 2, 3}, {-1, 5, 2}};
+  const Aabb box = Aabb::fromPoints(pts);
+  EXPECT_EQ(box.lo, Vec3(-1, 0, 0));
+  EXPECT_EQ(box.hi, Vec3(1, 5, 3));
+  EXPECT_TRUE(box.contains({0, 1, 1}));
+  EXPECT_FALSE(box.contains({2, 1, 1}));
+}
+
+TEST(Aabb, OverlapSymmetricAndEdgeTouching) {
+  const Aabb a{{0, 0, 0}, {1, 1, 1}};
+  const Aabb b{{1, 0, 0}, {2, 1, 1}};  // shares the x=1 face
+  const Aabb c{{1.01, 0, 0}, {2, 1, 1}};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Aabb, VolumeAndInflate) {
+  const Aabb a{{0, 0, 0}, {2, 3, 4}};
+  EXPECT_DOUBLE_EQ(a.volume(), 24.0);
+  const Aabb b = a.inflated(1.0);
+  EXPECT_EQ(b.lo, Vec3(-1, -1, -1));
+  EXPECT_EQ(b.hi, Vec3(3, 4, 5));
+  EXPECT_DOUBLE_EQ(Aabb{}.volume(), 0.0);  // invalid box
+}
+
+TEST(Sphere, FromPointsBoundsAll) {
+  Rng rng(42);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 64; ++i)
+    pts.push_back({rng.uniform(-3, 5), rng.uniform(0, 9), rng.uniform(-2, 2)});
+  const Sphere s = Sphere::fromPoints(pts);
+  for (const Vec3& p : pts)
+    EXPECT_LE((p - s.center).norm(), s.radius + 1e-9);
+}
+
+TEST(Sphere, OverlapSphere) {
+  const Sphere a{{0, 0, 0}, 1.0};
+  const Sphere b{{1.9, 0, 0}, 1.0};
+  const Sphere c{{2.1, 0, 0}, 1.0};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Sphere, OverlapAabb) {
+  const Sphere s{{0, 0, 0}, 1.0};
+  EXPECT_TRUE(s.overlaps(Aabb{{0.5, -1, -1}, {3, 1, 1}}));
+  EXPECT_FALSE(s.overlaps(Aabb{{1.5, 1.5, 1.5}, {3, 3, 3}}));
+  // Corner case: sphere just reaching a box corner.
+  const double d = 1.0 / std::sqrt(3.0);
+  EXPECT_TRUE(s.overlaps(Aabb{{d - 1e-9, d - 1e-9, d - 1e-9}, {2, 2, 2}}));
+}
+
+TEST(Triangle, NormalAreaCentroid) {
+  const Triangle t{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  EXPECT_EQ(t.normal(), Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(t.area(), 0.5);
+  EXPECT_NEAR(t.centroid().x, 1.0 / 3, 1e-12);
+}
+
+TEST(Plane, SignedDistance) {
+  const Plane p = Plane::fromPointNormal({0, 0, 2}, {0, 0, 2});
+  EXPECT_NEAR(p.signedDistance({0, 0, 5}), 3.0, 1e-12);
+  EXPECT_NEAR(p.signedDistance({0, 0, -1}), -3.0, 1e-12);
+}
+
+TEST(TriTri, IntersectingCross) {
+  const Triangle a{{-1, 0, 0}, {1, 0, 0}, {0, 2, 0}};
+  const Triangle b{{0, 1, -1}, {0, 1, 1}, {0, -1, 0}};
+  EXPECT_TRUE(triTriIntersect(a, b));
+  EXPECT_TRUE(triTriIntersect(b, a));
+}
+
+TEST(TriTri, SeparatedCoplanarAndParallel) {
+  const Triangle a{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  const Triangle far{{5, 5, 0}, {6, 5, 0}, {5, 6, 0}};
+  EXPECT_FALSE(triTriIntersect(a, far));
+  const Triangle above{{0, 0, 1}, {1, 0, 1}, {0, 1, 1}};
+  EXPECT_FALSE(triTriIntersect(a, above));
+}
+
+TEST(TriTri, SharedEdgeCounts) {
+  const Triangle a{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  const Triangle b{{0, 0, 0}, {1, 0, 0}, {0, -1, 0}};
+  EXPECT_TRUE(triTriIntersect(a, b));
+}
+
+TEST(TriTri, CoplanarOverlapping) {
+  const Triangle a{{0, 0, 0}, {2, 0, 0}, {0, 2, 0}};
+  const Triangle b{{0.5, 0.5, 0}, {1.5, 0.5, 0}, {0.5, 1.5, 0}};
+  EXPECT_TRUE(triTriIntersect(a, b));
+}
+
+TEST(RayTri, HitAndMiss) {
+  const Triangle t{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}};
+  double dist = 0;
+  EXPECT_TRUE(rayTriIntersect({{0, 0, 5}, {0, 0, -1}}, t, &dist));
+  EXPECT_NEAR(dist, 5.0, 1e-12);
+  EXPECT_FALSE(rayTriIntersect({{0, 0, 5}, {0, 0, 1}}, t, nullptr));   // away
+  EXPECT_FALSE(rayTriIntersect({{5, 5, 5}, {0, 0, -1}}, t, nullptr));  // aside
+}
+
+TEST(RayTri, ParallelRayMisses) {
+  const Triangle t{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}};
+  EXPECT_FALSE(rayTriIntersect({{0, 0, 1}, {1, 0, 0}}, t, nullptr));
+}
+
+TEST(RayAabb, HitFromOutsideAndInside) {
+  const Aabb box{{-1, -1, -1}, {1, 1, 1}};
+  double t = 0;
+  EXPECT_TRUE(rayAabbIntersect({{-5, 0, 0}, {1, 0, 0}}, box, &t));
+  EXPECT_NEAR(t, 4.0, 1e-12);
+  // Origin inside: tNear clamps to 0.
+  EXPECT_TRUE(rayAabbIntersect({{0, 0, 0}, {1, 0, 0}}, box, &t));
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_FALSE(rayAabbIntersect({{-5, 5, 0}, {1, 0, 0}}, box, nullptr));
+  EXPECT_FALSE(rayAabbIntersect({{5, 0, 0}, {1, 0, 0}}, box, nullptr));
+}
+
+TEST(ClosestPoint, SegmentEndpointsAndInterior) {
+  const Vec3 a{0, 0, 0}, b{10, 0, 0};
+  EXPECT_EQ(closestPointOnSegment(a, b, {-5, 3, 0}), a);
+  EXPECT_EQ(closestPointOnSegment(a, b, {15, 3, 0}), b);
+  EXPECT_EQ(closestPointOnSegment(a, b, {4, 3, 0}), Vec3(4, 0, 0));
+}
+
+TEST(SegmentDistance, ParallelCrossingDegenerate) {
+  // Parallel segments 2 apart.
+  EXPECT_NEAR(
+      segmentSegmentDistance({0, 0, 0}, {10, 0, 0}, {0, 2, 0}, {10, 2, 0}),
+      2.0, 1e-12);
+  // Perpendicular crossing at height 1.
+  EXPECT_NEAR(
+      segmentSegmentDistance({-1, 0, 0}, {1, 0, 0}, {0, -1, 1}, {0, 1, 1}),
+      1.0, 1e-12);
+  // Degenerate (point) segments.
+  EXPECT_NEAR(segmentSegmentDistance({0, 0, 0}, {0, 0, 0}, {3, 4, 0},
+                                     {3, 4, 0}),
+              5.0, 1e-12);
+}
+
+TEST(PointInPolygon, SquareAndConcave) {
+  const Vec2 square[] = {{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(pointInPolygon2D({2, 2}, square));
+  EXPECT_FALSE(pointInPolygon2D({5, 2}, square));
+  // L-shaped concave polygon: the notch is outside.
+  const Vec2 ell[] = {{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}};
+  EXPECT_TRUE(pointInPolygon2D({1, 3}, ell));
+  EXPECT_FALSE(pointInPolygon2D({3, 3}, ell));
+}
+
+/// Property: two random triangles that are far apart never intersect, and a
+/// triangle always intersects a translated copy overlapping it.
+TEST(TriTriProperty, RandomizedSeparationAndOverlap) {
+  Rng rng(7);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto randTri = [&](Vec3 offset) {
+      return Triangle{offset + Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                    rng.uniform(-1, 1)},
+                      offset + Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                    rng.uniform(-1, 1)},
+                      offset + Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                    rng.uniform(-1, 1)}};
+    };
+    const Triangle a = randTri({0, 0, 0});
+    const Triangle far = randTri({10, 10, 10});
+    EXPECT_FALSE(triTriIntersect(a, far)) << "iter " << iter;
+    // A triangle intersects itself, and a copy shifted a short distance
+    // *within its own plane* still overlaps it (coplanar-overlap case).
+    EXPECT_TRUE(triTriIntersect(a, a)) << "iter " << iter;
+    if (a.area() > 0.05) {
+      const Vec3 inPlane = (a.b - a.a).normalized() * 0.01;
+      const Triangle shifted{a.a + inPlane, a.b + inPlane, a.c + inPlane};
+      EXPECT_TRUE(triTriIntersect(a, shifted)) << "iter " << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cod::math

@@ -1,0 +1,105 @@
+#include "math/mat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::math {
+namespace {
+
+void expectNear(const Vec3& a, const Vec3& b, double tol = 1e-9) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Mat3, FromQuatMatchesQuatRotate) {
+  const Quat q = Quat::fromEuler(0.3, -0.5, 1.1);
+  const Mat3 m = Mat3::fromQuat(q);
+  const Vec3 v{1.5, -2.0, 0.7};
+  expectNear(m * v, q.rotate(v));
+}
+
+TEST(Mat3, RotationDeterminantIsOne) {
+  const Mat3 m = Mat3::fromQuat(Quat::fromAxisAngle({1, 1, 0}, 0.9));
+  EXPECT_NEAR(m.determinant(), 1.0, 1e-12);
+}
+
+TEST(Mat3, TransposeOfRotationIsInverse) {
+  const Quat q = Quat::fromAxisAngle({0.2, 0.5, 0.8}, 1.3);
+  const Mat3 m = Mat3::fromQuat(q);
+  const Mat3 mt = m.transposed();
+  const Vec3 v{3, -1, 2};
+  expectNear(mt * (m * v), v);
+}
+
+TEST(Mat4, TranslationMovesPoints) {
+  const Mat4 t = Mat4::translation({1, 2, 3});
+  expectNear(t.transformPoint({0, 0, 0}), {1, 2, 3});
+  // Directions are unaffected by translation.
+  expectNear(t.transformDir({1, 0, 0}), {1, 0, 0});
+}
+
+TEST(Mat4, ScaleScalesPoints) {
+  const Mat4 s = Mat4::scale({2, 3, 4});
+  expectNear(s.transformPoint({1, 1, 1}), {2, 3, 4});
+}
+
+TEST(Mat4, RigidComposesRotationThenTranslation) {
+  const Quat q = Quat::fromAxisAngle({0, 0, 1}, kPi / 2);
+  const Mat4 m = Mat4::rigid(q, {10, 0, 0});
+  expectNear(m.transformPoint({1, 0, 0}), {10, 1, 0});
+}
+
+TEST(Mat4, RigidInverseUndoes) {
+  const Mat4 m = Mat4::rigid(Quat::fromEuler(0.2, 0.4, -0.9), {5, -3, 2});
+  const Mat4 inv = m.rigidInverse();
+  const Vec3 p{1.1, 2.2, 3.3};
+  expectNear(inv.transformPoint(m.transformPoint(p)), p);
+}
+
+TEST(Mat4, MultiplicationAssociatesWithTransform) {
+  const Mat4 a = Mat4::translation({1, 0, 0});
+  const Mat4 b = Mat4::scale({2, 2, 2});
+  const Vec3 p{1, 1, 1};
+  // (a*b) p == a (b p)
+  expectNear((a * b).transformPoint(p), a.transformPoint(b.transformPoint(p)));
+}
+
+TEST(Mat4, LookAtMapsTargetToNegativeZ) {
+  const Mat4 v = Mat4::lookAt({0, 0, 0}, {10, 0, 0}, {0, 0, 1});
+  const Vec3 t = v.transformPoint({10, 0, 0});
+  EXPECT_NEAR(t.x, 0.0, 1e-9);
+  EXPECT_NEAR(t.y, 0.0, 1e-9);
+  EXPECT_NEAR(t.z, -10.0, 1e-9);  // camera looks down -z in view space
+}
+
+TEST(Mat4, LookAtKeepsEyeAtOrigin) {
+  const Mat4 v = Mat4::lookAt({3, 4, 5}, {0, 0, 0}, {0, 0, 1});
+  expectNear(v.transformPoint({3, 4, 5}), {0, 0, 0});
+}
+
+TEST(Mat4, PerspectiveMapsNearFarToClipRange) {
+  const double n = 0.5, f = 100.0;
+  const Mat4 p = Mat4::perspective(deg2rad(60.0), 1.5, n, f);
+  // Points on the optical axis at the near/far planes map to z/w = -1/+1.
+  const Vec4 nearPt = p * Vec4{0, 0, -n, 1};
+  const Vec4 farPt = p * Vec4{0, 0, -f, 1};
+  EXPECT_NEAR(nearPt.z / nearPt.w, -1.0, 1e-9);
+  EXPECT_NEAR(farPt.z / farPt.w, 1.0, 1e-9);
+}
+
+TEST(Mat4, PerspectiveFovEdges) {
+  const double fovY = deg2rad(90.0);
+  const Mat4 p = Mat4::perspective(fovY, 1.0, 1.0, 10.0);
+  // At 90 deg fov and aspect 1, the point (z, 0, -z) lands on x/w = 1.
+  const Vec4 edge = p * Vec4{2.0, 0, -2.0, 1};
+  EXPECT_NEAR(edge.x / edge.w, 1.0, 1e-9);
+}
+
+TEST(Mat4, TransposedSwapsIndices) {
+  Mat4 m;
+  m.m[0][3] = 7.0;
+  EXPECT_DOUBLE_EQ(m.transposed().m[3][0], 7.0);
+}
+
+}  // namespace
+}  // namespace cod::math

@@ -1,0 +1,129 @@
+#include "math/quat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::math {
+namespace {
+
+void expectNear(const Vec3& a, const Vec3& b, double tol = 1e-9) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Quat, IdentityRotatesNothing) {
+  const Quat q;
+  expectNear(q.rotate({1, 2, 3}), {1, 2, 3});
+  EXPECT_DOUBLE_EQ(q.angle(), 0.0);
+}
+
+TEST(Quat, AxisAngleQuarterTurnZ) {
+  const Quat q = Quat::fromAxisAngle({0, 0, 1}, kPi / 2);
+  expectNear(q.rotate({1, 0, 0}), {0, 1, 0});
+  expectNear(q.rotate({0, 1, 0}), {-1, 0, 0});
+  expectNear(q.rotate({0, 0, 1}), {0, 0, 1});
+}
+
+TEST(Quat, RotationPreservesLength) {
+  const Quat q = Quat::fromAxisAngle({1, 2, 3}, 1.234);
+  const Vec3 v{-4, 5, 0.5};
+  EXPECT_NEAR(q.rotate(v).norm(), v.norm(), 1e-12);
+}
+
+TEST(Quat, CompositionMatchesSequentialRotation) {
+  const Quat a = Quat::fromAxisAngle({0, 0, 1}, 0.7);
+  const Quat b = Quat::fromAxisAngle({1, 0, 0}, -1.1);
+  const Vec3 v{1, 2, 3};
+  expectNear((a * b).rotate(v), a.rotate(b.rotate(v)), 1e-12);
+}
+
+TEST(Quat, ConjugateInverts) {
+  const Quat q = Quat::fromAxisAngle({0.3, -0.4, 0.86}, 2.1);
+  const Vec3 v{5, -6, 7};
+  expectNear(q.conjugate().rotate(q.rotate(v)), v, 1e-12);
+}
+
+TEST(Quat, AngleOfAxisAngle) {
+  for (const double a : {0.1, 0.5, 1.0, 2.0, 3.0}) {
+    const Quat q = Quat::fromAxisAngle({0, 1, 0}, a);
+    EXPECT_NEAR(q.angle(), a, 1e-12);
+  }
+}
+
+/// Euler round trip across the non-degenerate range.
+class EulerRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EulerRoundTrip, FromToEuler) {
+  const auto [roll, pitch, yaw] = GetParam();
+  const Quat q = Quat::fromEuler(roll, pitch, yaw);
+  const Vec3 e = q.toEuler();
+  EXPECT_NEAR(e.x, roll, 1e-9);
+  EXPECT_NEAR(e.y, pitch, 1e-9);
+  EXPECT_NEAR(e.z, yaw, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EulerRoundTrip,
+    ::testing::Combine(::testing::Values(-1.0, -0.2, 0.0, 0.4, 1.2),
+                       ::testing::Values(-1.2, -0.3, 0.0, 0.5, 1.3),
+                       ::testing::Values(-2.5, 0.0, 0.9, 2.8)));
+
+TEST(Quat, EulerGimbalLockDoesNotCrash) {
+  const Quat q = Quat::fromEuler(0.3, kPi / 2, 0.7);
+  const Vec3 e = q.toEuler();
+  EXPECT_NEAR(e.y, kPi / 2, 1e-6);
+}
+
+TEST(Slerp, Endpoints) {
+  const Quat a = Quat::fromAxisAngle({0, 0, 1}, 0.2);
+  const Quat b = Quat::fromAxisAngle({0, 0, 1}, 1.4);
+  EXPECT_NEAR(angularDistance(slerp(a, b, 0.0), a), 0.0, 1e-9);
+  EXPECT_NEAR(angularDistance(slerp(a, b, 1.0), b), 0.0, 1e-9);
+}
+
+TEST(Slerp, ConstantAngularVelocity) {
+  const Quat a;
+  const Quat b = Quat::fromAxisAngle({0, 1, 0}, 2.0);
+  double prev = 0.0;
+  for (int i = 1; i <= 4; ++i) {
+    const double t = i / 4.0;
+    const double d = angularDistance(a, slerp(a, b, t));
+    EXPECT_NEAR(d - prev, 0.5, 1e-9);  // equal increments of 2.0/4
+    prev = d;
+  }
+}
+
+TEST(Slerp, TakesShortArc) {
+  const Quat a = Quat::fromAxisAngle({0, 0, 1}, 0.1);
+  // The negated quaternion represents the same rotation; slerp must not
+  // take the long way around.
+  const Quat b = Quat::fromAxisAngle({0, 0, 1}, 0.3);
+  const Quat bneg{-b.w, -b.x, -b.y, -b.z};
+  const Quat mid = slerp(a, bneg, 0.5);
+  EXPECT_NEAR(angularDistance(a, mid), 0.1, 1e-9);
+}
+
+TEST(Nlerp, EndpointsAndUnitNorm) {
+  const Quat a = Quat::fromAxisAngle({1, 0, 0}, 0.4);
+  const Quat b = Quat::fromAxisAngle({1, 0, 0}, 1.0);
+  for (const double t : {0.0, 0.3, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(nlerp(a, b, t).norm(), 1.0, 1e-12);
+  }
+  EXPECT_NEAR(angularDistance(nlerp(a, b, 1.0), b), 0.0, 1e-9);
+}
+
+TEST(AngularDistance, SymmetricAndZeroOnSelf) {
+  const Quat a = Quat::fromEuler(0.1, 0.2, 0.3);
+  const Quat b = Quat::fromEuler(-0.4, 0.5, -0.6);
+  EXPECT_NEAR(angularDistance(a, a), 0.0, 1e-9);
+  EXPECT_NEAR(angularDistance(a, b), angularDistance(b, a), 1e-12);
+}
+
+TEST(Quat, NormalizedHandlesZero) {
+  const Quat z{0, 0, 0, 0};
+  EXPECT_EQ(z.normalized(), Quat{});
+}
+
+}  // namespace
+}  // namespace cod::math

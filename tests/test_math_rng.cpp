@@ -1,0 +1,117 @@
+#include "math/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cod::math {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(12);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    sawLo |= v == 2;
+    sawHi |= v == 5;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+  EXPECT_EQ(rng.uniformInt(7, 7), 7);
+  EXPECT_EQ(rng.uniformInt(7, 3), 7);  // degenerate range returns lo
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(14);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+  Rng always(16);
+  EXPECT_FALSE(always.chance(0.0));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ReseedResets) {
+  Rng rng(18);
+  const auto a = rng.next();
+  rng.next();
+  rng.reseed(18);
+  EXPECT_EQ(rng.next(), a);
+}
+
+}  // namespace
+}  // namespace cod::math

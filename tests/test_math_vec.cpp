@@ -1,0 +1,135 @@
+#include "math/vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::math {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, Vec2(4, -2));
+  EXPECT_EQ(a - b, Vec2(-2, 6));
+  EXPECT_EQ(a * 2.0, Vec2(2, 4));
+  EXPECT_EQ(2.0 * a, Vec2(2, 4));
+  EXPECT_EQ(-a, Vec2(-1, -2));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1, 0}, b{0, 1};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});  // zero vector stays zero
+}
+
+TEST(Vec3, Arithmetic) {
+  Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  a += b;
+  EXPECT_EQ(a, Vec3(5, 7, 9));
+  a *= 2.0;
+  EXPECT_EQ(a, Vec3(10, 14, 18));
+  a /= 2.0;
+  EXPECT_EQ(a, Vec3(5, 7, 9));
+}
+
+TEST(Vec3, CrossFollowsRightHandRule) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+  EXPECT_EQ(y.cross(x), -z);
+}
+
+TEST(Vec3, CrossIsOrthogonal) {
+  const Vec3 a{1.2, -3.4, 0.7}, b{0.3, 2.2, -5.0};
+  const Vec3 c = a.cross(b);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, ComponentwiseMinMax) {
+  const Vec3 a{1, 5, -2}, b{3, 2, -7};
+  EXPECT_EQ(a.cwiseMin(b), Vec3(1, 2, -7));
+  EXPECT_EQ(a.cwiseMax(b), Vec3(3, 5, -2));
+}
+
+TEST(Vec3, IndexOperator) {
+  const Vec3 v{7, 8, 9};
+  EXPECT_DOUBLE_EQ(v[0], 7);
+  EXPECT_DOUBLE_EQ(v[1], 8);
+  EXPECT_DOUBLE_EQ(v[2], 9);
+}
+
+TEST(Vec4, DotAndXyz) {
+  const Vec4 a{1, 2, 3, 4};
+  const Vec4 b{5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(a.dot(b), 5 + 12 + 21 + 32);
+  EXPECT_EQ(a.xyz(), Vec3(1, 2, 3));
+  EXPECT_EQ(Vec4(Vec3(1, 2, 3), 4.0), a);
+}
+
+TEST(Lerp, Scalars) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(lerp(0.0, 10.0, 0.25), 2.5);
+}
+
+TEST(Lerp, Vectors) {
+  EXPECT_EQ(lerp(Vec3(0, 0, 0), Vec3(2, 4, 6), 0.5), Vec3(1, 2, 3));
+  EXPECT_EQ(lerp(Vec2(0, 0), Vec2(2, 4), 0.5), Vec2(1, 2));
+}
+
+TEST(Clamp, Bounds) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Angles, DegRadRoundTrip) {
+  EXPECT_NEAR(rad2deg(deg2rad(123.4)), 123.4, 1e-12);
+  EXPECT_NEAR(deg2rad(180.0), kPi, 1e-15);
+}
+
+TEST(Angles, WrapAngleRange) {
+  for (double a = -25.0; a < 25.0; a += 0.37) {
+    const double w = wrapAngle(a);
+    EXPECT_GT(w, -kPi - 1e-12) << a;
+    EXPECT_LE(w, kPi + 1e-12) << a;
+    // Wrapped angle equals the original modulo 2*pi.
+    EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9) << a;
+    EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9) << a;
+  }
+}
+
+TEST(Angles, AngleDiffShortestPath) {
+  EXPECT_NEAR(angleDiff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angleDiff(-0.1, 0.1), -0.2, 1e-12);
+  // Across the wrap point: 179 deg vs -179 deg differ by 2 deg.
+  EXPECT_NEAR(angleDiff(deg2rad(179), deg2rad(-179)), deg2rad(-2), 1e-9);
+}
+
+/// Property sweep: wrapAngle is idempotent.
+class WrapAngleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapAngleProperty, Idempotent) {
+  const double a = GetParam();
+  EXPECT_NEAR(wrapAngle(wrapAngle(a)), wrapAngle(a), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WrapAngleProperty,
+                         ::testing::Values(-100.0, -7.5, -kPi, -0.1, 0.0, 0.1,
+                                           kPi, 7.5, 100.0));
+
+}  // namespace
+}  // namespace cod::math

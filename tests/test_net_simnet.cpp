@@ -1,0 +1,223 @@
+#include "net/simnet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::net {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> b) {
+  return {b};
+}
+
+class SimNetTest : public ::testing::Test {
+ protected:
+  SimNetwork net{1};
+  HostId a = net.addHost("a");
+  HostId b = net.addHost("b");
+};
+
+TEST_F(SimNetTest, UnicastDeliversAfterLatency) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  ta->send({b, 1}, bytes({1, 2, 3}));
+  EXPECT_FALSE(tb->receive().has_value());  // not delivered yet
+  net.advance(0.001);  // default latency is 200 us
+  const auto d = tb->receive();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, bytes({1, 2, 3}));
+  EXPECT_EQ(d->src, (NodeAddr{a, 1}));
+  EXPECT_EQ(d->dst, (NodeAddr{b, 1}));
+}
+
+TEST_F(SimNetTest, SameHostDeliveryIsImmediate) {
+  auto t1 = net.bind(a, 1);
+  auto t2 = net.bind(a, 2);
+  t1->send({a, 2}, bytes({9}));
+  net.advance(0.0);
+  ASSERT_TRUE(t2->receive().has_value());
+}
+
+TEST_F(SimNetTest, FifoOrderPreserved) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  for (std::uint8_t i = 0; i < 10; ++i) ta->send({b, 1}, bytes({i}));
+  net.advance(1.0);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    const auto d = tb->receive();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->payload[0], i);
+  }
+}
+
+TEST_F(SimNetTest, BroadcastReachesAllBoundPortsExceptSender) {
+  const HostId c = net.addHost("c");
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  auto tc = net.bind(c, 1);
+  auto tcOther = net.bind(c, 2);  // different port: must not hear it
+  ta->broadcast(1, bytes({7}));
+  net.advance(0.01);
+  EXPECT_TRUE(tb->receive().has_value());
+  EXPECT_TRUE(tc->receive().has_value());
+  EXPECT_FALSE(tcOther->receive().has_value());
+  EXPECT_FALSE(ta->receive().has_value());  // no self-delivery
+}
+
+TEST_F(SimNetTest, SendToUnboundAddressIsDropped) {
+  auto ta = net.bind(a, 1);
+  ta->send({b, 9}, bytes({1}));
+  net.advance(1.0);
+  EXPECT_EQ(net.stats().packetsDropped, 1u);
+}
+
+TEST_F(SimNetTest, PartitionBlocksBothDirections) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  net.setPartitioned(a, b, true);
+  ta->send({b, 1}, bytes({1}));
+  tb->send({a, 1}, bytes({2}));
+  net.advance(1.0);
+  EXPECT_FALSE(ta->receive().has_value());
+  EXPECT_FALSE(tb->receive().has_value());
+  net.setPartitioned(a, b, false);
+  ta->send({b, 1}, bytes({3}));
+  net.advance(1.0);
+  EXPECT_TRUE(tb->receive().has_value());
+}
+
+TEST_F(SimNetTest, LossRateDropsDeterministically) {
+  LinkModel lossy;
+  lossy.lossRate = 0.5;
+  net.setDefaultLink(lossy);
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  for (int i = 0; i < 1000; ++i) ta->send({b, 1}, bytes({1}));
+  net.advance(10.0);
+  int received = 0;
+  while (tb->receive()) ++received;
+  EXPECT_GT(received, 400);
+  EXPECT_LT(received, 600);
+
+  // Determinism: a second network with the same seed drops the same count.
+  SimNetwork net2(1);
+  const HostId a2 = net2.addHost("a");
+  const HostId b2 = net2.addHost("b");
+  net2.setDefaultLink(lossy);
+  auto ta2 = net2.bind(a2, 1);
+  auto tb2 = net2.bind(b2, 1);
+  for (int i = 0; i < 1000; ++i) ta2->send({b2, 1}, bytes({1}));
+  net2.advance(10.0);
+  int received2 = 0;
+  while (tb2->receive()) ++received2;
+  EXPECT_EQ(received, received2);
+}
+
+TEST_F(SimNetTest, BandwidthSerializesLargePackets) {
+  LinkModel slow;
+  slow.latencySec = 0.0;
+  slow.bandwidthBytesPerSec = 1000.0;  // 1 KB/s
+  net.setDefaultLink(slow);
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  const std::vector<std::uint8_t> big(500, 0xAA);  // 0.5 s of line time
+  ta->send({b, 1}, big);
+  ta->send({b, 1}, big);
+  net.advance(0.4);
+  EXPECT_FALSE(tb->receive().has_value());  // first still serializing
+  net.advance(0.2);
+  EXPECT_TRUE(tb->receive().has_value());   // first done at 0.5 s
+  EXPECT_FALSE(tb->receive().has_value());  // second queued behind it
+  net.advance(0.5);
+  EXPECT_TRUE(tb->receive().has_value());
+}
+
+TEST_F(SimNetTest, JitterAddsVariableDelay) {
+  LinkModel jittery;
+  jittery.latencySec = 0.001;
+  jittery.jitterSec = 0.01;
+  net.setLink(a, b, jittery);
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  ta->send({b, 1}, bytes({1}));
+  net.advance(0.002);
+  // With 10 ms jitter the packet is very unlikely to have arrived in 2 ms;
+  // but it must arrive within a generous horizon.
+  net.advance(1.0);
+  EXPECT_TRUE(tb->receive().has_value());
+}
+
+TEST_F(SimNetTest, InboxLimitDropsOverflow) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  tb->setInboxLimit(5);
+  for (int i = 0; i < 10; ++i) ta->send({b, 1}, bytes({1}));
+  net.advance(1.0);
+  int received = 0;
+  while (tb->receive()) ++received;
+  EXPECT_EQ(received, 5);
+  EXPECT_EQ(net.stats().packetsDropped, 5u);
+}
+
+TEST_F(SimNetTest, UnbindStopsDelivery) {
+  auto ta = net.bind(a, 1);
+  {
+    auto tb = net.bind(b, 1);
+    ta->send({b, 1}, bytes({1}));
+  }  // tb destroyed while packet in flight
+  net.advance(1.0);
+  EXPECT_EQ(net.stats().packetsDropped, 1u);
+}
+
+TEST_F(SimNetTest, RebindAfterUnbindWorks) {
+  auto t1 = net.bind(a, 1);
+  t1.reset();
+  auto t2 = net.bind(a, 1);  // same address, no "in use" error
+  EXPECT_EQ(t2->localAddress(), (NodeAddr{a, 1}));
+}
+
+TEST_F(SimNetTest, DoubleBindThrows) {
+  auto t1 = net.bind(a, 1);
+  EXPECT_THROW(net.bind(a, 1), std::runtime_error);
+}
+
+TEST_F(SimNetTest, BadHostThrows) {
+  EXPECT_THROW(net.bind(99, 1), std::out_of_range);
+}
+
+TEST_F(SimNetTest, StepAdvancesToNextPacket) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  ta->send({b, 1}, bytes({1}));
+  EXPECT_TRUE(net.step());
+  EXPECT_TRUE(tb->receive().has_value());
+  EXPECT_FALSE(net.step());  // nothing left
+}
+
+TEST_F(SimNetTest, ClockAdvancesMonotonically) {
+  EXPECT_DOUBLE_EQ(net.now(), 0.0);
+  net.advance(0.5);
+  EXPECT_DOUBLE_EQ(net.now(), 0.5);
+  net.advance(0.25);
+  EXPECT_DOUBLE_EQ(net.now(), 0.75);
+}
+
+TEST_F(SimNetTest, StatsCountTraffic) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  ta->send({b, 1}, bytes({1, 2, 3, 4}));
+  net.advance(1.0);
+  tb->receive();
+  EXPECT_EQ(net.stats().packetsSent, 1u);
+  EXPECT_EQ(net.stats().bytesSent, 4u);
+  EXPECT_EQ(net.stats().packetsReceived, 1u);
+  EXPECT_EQ(net.stats().bytesReceived, 4u);
+}
+
+TEST_F(SimNetTest, HostNames) {
+  EXPECT_EQ(net.hostName(a), "a");
+  EXPECT_EQ(net.hostName(b), "b");
+  EXPECT_EQ(net.hostCount(), 2u);
+}
+
+}  // namespace
+}  // namespace cod::net

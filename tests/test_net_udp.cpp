@@ -1,0 +1,76 @@
+// Real-socket smoke tests over 127.0.0.1 (the deployment path; everything
+// protocol-level is tested on SimNetwork).
+#include "net/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cod::net {
+namespace {
+
+UdpConfig testConfig() {
+  UdpConfig cfg;
+  cfg.basePort = 52100;  // away from the default to avoid collisions
+  cfg.portsPerHost = 4;
+  cfg.maxHosts = 4;
+  return cfg;
+}
+
+std::optional<Datagram> receiveWithRetry(Transport& t, int attempts = 200) {
+  for (int i = 0; i < attempts; ++i) {
+    if (auto d = t.receive()) return d;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return std::nullopt;
+}
+
+TEST(UdpTransport, SendReceiveLoopback) {
+  const UdpConfig cfg = testConfig();
+  UdpTransport a(cfg, 0, 0);
+  UdpTransport b(cfg, 1, 0);
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4, 5};
+  a.send({1, 0}, payload);
+  const auto d = receiveWithRetry(b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, payload);
+  EXPECT_EQ(d->src, (NodeAddr{0, 0}));
+  EXPECT_EQ(d->dst, (NodeAddr{1, 0}));
+}
+
+TEST(UdpTransport, EmulatedBroadcastReachesAllHosts) {
+  const UdpConfig cfg = testConfig();
+  UdpTransport a(cfg, 0, 1);
+  UdpTransport b(cfg, 1, 1);
+  UdpTransport c(cfg, 2, 1);
+  a.broadcast(1, std::vector<std::uint8_t>{42});
+  EXPECT_TRUE(receiveWithRetry(b).has_value());
+  EXPECT_TRUE(receiveWithRetry(c).has_value());
+  // The sender does not hear its own broadcast.
+  EXPECT_FALSE(a.receive().has_value());
+}
+
+TEST(UdpTransport, NonBlockingReceiveOnEmpty) {
+  UdpTransport a(testConfig(), 3, 0);
+  EXPECT_FALSE(a.receive().has_value());
+}
+
+TEST(UdpTransport, RejectsOutOfPlanAddresses) {
+  const UdpConfig cfg = testConfig();
+  EXPECT_THROW(UdpTransport(cfg, 99, 0), std::out_of_range);
+  EXPECT_THROW(UdpTransport(cfg, 0, 99), std::out_of_range);
+}
+
+TEST(UdpTransport, StatsCount) {
+  const UdpConfig cfg = testConfig();
+  UdpTransport a(cfg, 0, 2);
+  UdpTransport b(cfg, 1, 2);
+  a.send({1, 2}, std::vector<std::uint8_t>{1, 2, 3});
+  ASSERT_TRUE(receiveWithRetry(b).has_value());
+  EXPECT_EQ(a.stats().packetsSent, 1u);
+  EXPECT_EQ(a.stats().bytesSent, 3u);
+  EXPECT_EQ(b.stats().packetsReceived, 1u);
+}
+
+}  // namespace
+}  // namespace cod::net

@@ -1,0 +1,149 @@
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+
+namespace cod::net {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.boolean(), true);
+  EXPECT_EQ(r.boolean(), false);
+  EXPECT_TRUE(r.atEnd());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Wire, LittleEndianLayout) {
+  WireWriter w;
+  w.u32(0x11223344);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x44);
+  EXPECT_EQ(w.bytes()[1], 0x33);
+  EXPECT_EQ(w.bytes()[2], 0x22);
+  EXPECT_EQ(w.bytes()[3], 0x11);
+}
+
+TEST(Wire, StringRoundTrip) {
+  WireWriter w;
+  w.str("hello");
+  w.str("");
+  w.str("utf8 \xE4\xB8\xAD\xE6\x96\x87");
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "utf8 \xE4\xB8\xAD\xE6\x96\x87");
+}
+
+TEST(Wire, BlobRoundTrip) {
+  WireWriter w;
+  const std::vector<std::uint8_t> data{1, 2, 3, 0, 255};
+  w.blob(data);
+  w.blob({});
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.blob(), data);
+  EXPECT_EQ(r.blob(), std::vector<std::uint8_t>{});
+}
+
+TEST(Wire, ReadPastEndFails) {
+  WireWriter w;
+  w.u16(7);
+  WireReader r(w.bytes());
+  EXPECT_TRUE(r.u16().has_value());
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_FALSE(r.ok());
+  // Once broken, everything fails.
+  EXPECT_FALSE(r.u8().has_value());
+}
+
+TEST(Wire, TruncatedStringFails) {
+  WireWriter w;
+  w.u16(100);  // claims 100 bytes follow
+  w.raw(std::vector<std::uint8_t>{'a', 'b'});
+  WireReader r(w.bytes());
+  EXPECT_FALSE(r.str().has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, OversizedBlobLengthFails) {
+  WireWriter w;
+  w.u32(0xFFFFFFFF);  // absurd length
+  WireReader r(w.bytes());
+  EXPECT_FALSE(r.blob().has_value());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, SpecialDoubles) {
+  WireWriter w;
+  w.f64(0.0);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(1e-308);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), 1e-308);
+}
+
+TEST(Wire, RemainingTracksPosition) {
+  WireWriter w;
+  w.u32(1);
+  w.u32(2);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+/// Property: random value sequences round-trip exactly.
+TEST(WireProperty, RandomRoundTrips) {
+  math::Rng rng(21);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<std::uint64_t> u64s;
+    std::vector<double> f64s;
+    std::vector<std::string> strs;
+    WireWriter w;
+    for (int i = 0; i < 16; ++i) {
+      u64s.push_back(rng.next());
+      w.u64(u64s.back());
+      f64s.push_back(rng.normal(0, 1e6));
+      w.f64(f64s.back());
+      std::string s;
+      const int len = static_cast<int>(rng.uniformInt(0, 32));
+      for (int k = 0; k < len; ++k)
+        s.push_back(static_cast<char>(rng.uniformInt(32, 126)));
+      strs.push_back(s);
+      w.str(s);
+    }
+    WireReader r(w.bytes());
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(r.u64(), u64s[i]);
+      EXPECT_EQ(r.f64(), f64s[i]);
+      EXPECT_EQ(r.str(), strs[i]);
+    }
+    EXPECT_TRUE(r.atEnd());
+  }
+}
+
+}  // namespace
+}  // namespace cod::net

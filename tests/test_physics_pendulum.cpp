@@ -1,0 +1,183 @@
+#include "physics/pendulum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "physics/integrator.hpp"
+
+namespace cod::physics {
+namespace {
+
+TEST(Pendulum, RestsAtEquilibrium) {
+  CablePendulum p;
+  p.reset({0, 0, 10}, 4.0);
+  for (int i = 0; i < 1000; ++i) p.step(0.01);
+  EXPECT_NEAR(p.swingAngle(), 0.0, 1e-9);
+  EXPECT_EQ(p.bobPosition(), math::Vec3(0, 0, 6));
+  EXPECT_TRUE(p.atRest());
+}
+
+TEST(Pendulum, CableStaysAtLength) {
+  CableParams params;
+  params.dampingRate = 0.0;
+  CablePendulum p(params);
+  p.reset({0, 0, 10}, 5.0);
+  // Kick it hard and verify the constraint through the swing.
+  p.setPivot({0.5, 0, 10});
+  for (int i = 0; i < 2000; ++i) {
+    p.step(0.005);
+    EXPECT_NEAR((p.bobPosition() - p.pivot()).norm(), 5.0, 1e-9) << i;
+  }
+}
+
+TEST(Pendulum, PivotMotionInducesSwing) {
+  CablePendulum p;
+  p.reset({0, 0, 10}, 4.0);
+  // Move the pivot steadily (boom slewing), then stop.
+  for (int i = 0; i < 100; ++i) {
+    p.setPivot({0.02 * i, 0, 10});
+    p.step(0.01);
+  }
+  // Hook lags behind the pivot: it is swinging.
+  EXPECT_GT(p.swingAngle(), 0.01);
+  EXPECT_GT(p.energy(), 0.0);
+}
+
+TEST(Pendulum, OscillatesUntilFullStopAfterBoomStops) {
+  // §3.6: "the cable is oscillated until a full stop."
+  CablePendulum p;
+  p.reset({0, 0, 10}, 4.0);
+  for (int i = 0; i < 150; ++i) {
+    p.setPivot({0.03 * i, 0, 10});
+    p.step(0.01);
+  }
+  const double swingAtStop = p.swingAngle();
+  EXPECT_GT(swingAtStop, 0.02);
+  // Boom halted: damping must bring the hook to rest eventually.
+  int steps = 0;
+  while (!p.atRest() && steps < 200000) {
+    p.step(0.01);
+    ++steps;
+  }
+  EXPECT_TRUE(p.atRest()) << "swing=" << p.swingAngle();
+}
+
+TEST(Pendulum, EnergyDecaysUnderDamping) {
+  CableParams params;
+  params.dampingRate = 0.3;
+  CablePendulum p(params);
+  p.reset({0, 0, 10}, 4.0);
+  for (int i = 0; i < 80; ++i) {
+    p.setPivot({0.04 * i, 0, 10});
+    p.step(0.01);
+  }
+  // Sample energy once per (approximate) period so the potential/kinetic
+  // exchange inside a cycle does not mask the decay.
+  const double period = 2 * math::kPi * std::sqrt(4.0 / 9.80665);
+  double prev = p.energy();
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (double t = 0; t < period; t += 0.01) p.step(0.01);
+    const double e = p.energy();
+    EXPECT_LT(e, prev) << "cycle " << cycle;
+    prev = e;
+  }
+}
+
+/// Small-angle period must match 2*pi*sqrt(L/g) across cable lengths.
+class PendulumPeriod : public ::testing::TestWithParam<double> {};
+
+TEST_P(PendulumPeriod, MatchesAnalyticSmallAngle) {
+  const double length = GetParam();
+  CableParams params;
+  params.dampingRate = 0.0;
+  CablePendulum p(params);
+  p.reset({0, 0, 20}, length);
+  // Displace by 2 degrees and release.
+  const double theta0 = math::deg2rad(2.0);
+  CablePendulum q(params);
+  q.reset({0, 0, 20}, length);
+  q.setPivot({0, 0, 20});
+  // Start from a displaced position: re-seat the bob by nudging the pivot
+  // once, then measuring zero crossings of x.
+  CablePendulum r(params);
+  r.reset({-std::sin(theta0) * length, 0, 20}, length);
+  r.setPivot({0, 0, 20});  // pivot jumps; bob now hangs at angle theta0
+  const double dt = 0.001;
+  // Find two successive zero crossings of bob x → half period.
+  double prevX = r.bobPosition().x;
+  double firstCross = -1, secondCross = -1;
+  for (double t = dt; t < 60.0; t += dt) {
+    r.step(dt);
+    const double x = r.bobPosition().x;
+    if (prevX < 0 && x >= 0) {
+      if (firstCross < 0) {
+        firstCross = t;
+      } else {
+        secondCross = t;
+        break;
+      }
+    }
+    prevX = x;
+  }
+  ASSERT_GT(firstCross, 0);
+  ASSERT_GT(secondCross, 0);
+  const double measured = secondCross - firstCross;
+  const double analytic = 2 * math::kPi * std::sqrt(length / 9.80665);
+  EXPECT_NEAR(measured, analytic, analytic * 0.03) << "L=" << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PendulumPeriod,
+                         ::testing::Values(2.0, 4.0, 8.0, 16.0));
+
+TEST(Pendulum, HoistingShortensCable) {
+  CablePendulum p;
+  p.reset({0, 0, 10}, 8.0);
+  p.setLength(3.0);
+  p.step(0.01);
+  EXPECT_NEAR((p.bobPosition() - p.pivot()).norm(), 3.0, 1e-9);
+  EXPECT_GT(p.bobPosition().z, 6.5);
+}
+
+TEST(Pendulum, LengthClampedPositive) {
+  CablePendulum p;
+  p.setLength(-5.0);
+  EXPECT_GT(p.length(), 0.0);
+}
+
+TEST(Pendulum, ZeroDtIsNoOp) {
+  CablePendulum p;
+  p.reset({0, 0, 10}, 4.0);
+  const math::Vec3 before = p.bobPosition();
+  p.step(0.0);
+  EXPECT_EQ(p.bobPosition(), before);
+}
+
+TEST(Integrator, Rk4MatchesExponentialDecay) {
+  // y' = -2y, y(0) = 1 → y(t) = exp(-2t).
+  double y = 1.0;
+  const double dt = 0.01;
+  for (double t = 0; t < 1.0; t += dt) {
+    y = rk4Step(y, t, dt, [](double, double s) { return -2.0 * s; });
+  }
+  EXPECT_NEAR(y, std::exp(-2.0), 1e-8);
+}
+
+TEST(Integrator, Rk4BeatsEulerOnHarmonicOscillator) {
+  struct S {
+    double x, v;
+    S operator+(const S& o) const { return {x + o.x, v + o.v}; }
+    S operator*(double k) const { return {x * k, v * k}; }
+  };
+  auto f = [](double, const S& s) { return S{s.v, -s.x}; };
+  S rk{1, 0}, eu{1, 0};
+  const double dt = 0.05;
+  for (double t = 0; t < 10.0; t += dt) {
+    rk = rk4Step(rk, t, dt, f);
+    eu = eulerStep(eu, t, dt, f);
+  }
+  const double exact = std::cos(10.0);
+  EXPECT_LT(std::abs(rk.x - exact), std::abs(eu.x - exact));
+  EXPECT_NEAR(rk.x, exact, 1e-4);
+}
+
+}  // namespace
+}  // namespace cod::physics

@@ -1,0 +1,104 @@
+#include "physics/terrain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::physics {
+namespace {
+
+TEST(Terrain, FlatByDefault) {
+  const Terrain t(11, 11, 1.0);
+  EXPECT_DOUBLE_EQ(t.height(5.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.slopeDeg(5.0, 5.0), 0.0);
+  EXPECT_EQ(t.normal(5.0, 5.0), math::Vec3(0, 0, 1));
+  EXPECT_DOUBLE_EQ(t.width(), 10.0);
+  EXPECT_DOUBLE_EQ(t.depth(), 10.0);
+}
+
+TEST(Terrain, ConstructionValidation) {
+  EXPECT_THROW(Terrain(1, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(Terrain(5, 5, 0.0), std::invalid_argument);
+}
+
+TEST(Terrain, BilinearInterpolation) {
+  Terrain t(3, 3, 1.0);
+  t.setHeightAt(1, 1, 4.0);
+  // Exactly on the bumped vertex.
+  EXPECT_DOUBLE_EQ(t.height(1.0, 1.0), 4.0);
+  // Halfway to a zero neighbour.
+  EXPECT_DOUBLE_EQ(t.height(1.5, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.height(1.0, 1.5), 2.0);
+  // Diagonal quarter point.
+  EXPECT_DOUBLE_EQ(t.height(1.5, 1.5), 1.0);
+}
+
+TEST(Terrain, ClampsAtBorders) {
+  Terrain t(3, 3, 1.0);
+  t.setHeightAt(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(t.height(-5.0, -5.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.height(100.0, 100.0), 0.0);
+}
+
+TEST(Terrain, SetHeightValidation) {
+  Terrain t(3, 3, 1.0);
+  EXPECT_THROW(t.setHeightAt(-1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(t.setHeightAt(0, 3, 1.0), std::out_of_range);
+}
+
+TEST(Terrain, NormalTiltsAgainstSlope) {
+  // A ramp rising along +x: normal leans toward -x.
+  Terrain t(11, 11, 1.0);
+  for (int j = 0; j < 11; ++j)
+    for (int i = 0; i < 11; ++i) t.setHeightAt(i, j, 0.5 * i);
+  const math::Vec3 n = t.normal(5.0, 5.0);
+  EXPECT_LT(n.x, 0.0);
+  EXPECT_NEAR(n.y, 0.0, 1e-9);
+  EXPECT_GT(n.z, 0.0);
+  EXPECT_NEAR(t.slopeDeg(5.0, 5.0), math::rad2deg(std::atan(0.5)), 0.5);
+}
+
+TEST(Terrain, FollowOnFlatGroundIsLevel) {
+  const Terrain t(21, 21, 1.0);
+  const auto p = t.follow({10, 10}, 0.7, 4.5, 2.5);
+  EXPECT_DOUBLE_EQ(p.z, 0.0);
+  EXPECT_DOUBLE_EQ(p.pitch, 0.0);
+  EXPECT_DOUBLE_EQ(p.roll, 0.0);
+}
+
+TEST(Terrain, FollowPitchesUpOnRampFacingUphill) {
+  Terrain t(21, 21, 1.0);
+  for (int j = 0; j < 21; ++j)
+    for (int i = 0; i < 21; ++i) t.setHeightAt(i, j, 0.2 * i);
+  // Heading along +x (uphill): nose up, no roll.
+  const auto up = t.follow({10, 10}, 0.0, 4.0, 2.0);
+  EXPECT_GT(up.pitch, 0.0);
+  EXPECT_NEAR(up.roll, 0.0, 1e-9);
+  EXPECT_NEAR(up.pitch, std::atan(0.2), 1e-6);
+  // Heading along +y (across the slope): pure roll, right side uphill.
+  const auto across = t.follow({10, 10}, math::kPi / 2, 4.0, 2.0);
+  EXPECT_NEAR(across.pitch, 0.0, 1e-9);
+  EXPECT_GT(std::abs(across.roll), 0.0);
+  // Facing downhill flips the pitch sign.
+  const auto down = t.follow({10, 10}, math::kPi, 4.0, 2.0);
+  EXPECT_NEAR(down.pitch, -up.pitch, 1e-9);
+}
+
+TEST(Terrain, RollingIsDeterministicAndBounded) {
+  const Terrain a = Terrain::rolling(64, 64, 1.0, 1.0, 5);
+  const Terrain b = Terrain::rolling(64, 64, 1.0, 1.0, 5);
+  const Terrain c = Terrain::rolling(64, 64, 1.0, 1.0, 6);
+  double maxAbs = 0.0;
+  bool anyDifferent = false;
+  for (int j = 0; j < 64; ++j) {
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_DOUBLE_EQ(a.heightAt(i, j), b.heightAt(i, j));
+      anyDifferent |= a.heightAt(i, j) != c.heightAt(i, j);
+      maxAbs = std::max(maxAbs, std::abs(a.heightAt(i, j)));
+    }
+  }
+  EXPECT_TRUE(anyDifferent);
+  EXPECT_GT(maxAbs, 0.0);
+  EXPECT_LT(maxAbs, 2.0);  // sum of three octaves < 2 * amplitude
+}
+
+}  // namespace
+}  // namespace cod::physics

@@ -1,0 +1,163 @@
+#include "physics/vehicle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::physics {
+namespace {
+
+class VehicleTest : public ::testing::Test {
+ protected:
+  Terrain flat{101, 101, 1.0};
+  Vehicle v;
+
+  void SetUp() override { v.setPosition({50, 50}, 0.0); }
+
+  void run(const VehicleInput& in, double seconds) {
+    const double dt = 0.01;
+    for (double t = 0; t < seconds; t += dt) v.step(in, flat, dt);
+  }
+};
+
+TEST_F(VehicleTest, AcceleratesUnderThrottle) {
+  VehicleInput in;
+  in.throttle = 1.0;
+  run(in, 2.0);
+  EXPECT_GT(v.speed(), 1.0);
+  EXPECT_GT(v.position().x, 50.0);
+  EXPECT_NEAR(v.position().y, 50.0, 1e-9);  // no steering: straight line
+}
+
+TEST_F(VehicleTest, TopSpeedIsCapped) {
+  VehicleInput in;
+  in.throttle = 1.0;
+  run(in, 60.0);
+  EXPECT_LE(v.speed(), v.params().maxSpeedMps + 1e-9);
+  EXPECT_GT(v.speed(), v.params().maxSpeedMps * 0.9);
+}
+
+TEST_F(VehicleTest, BrakingStopsWithoutReversing) {
+  VehicleInput go;
+  go.throttle = 1.0;
+  run(go, 5.0);
+  ASSERT_GT(v.speed(), 2.0);
+  VehicleInput stop;
+  stop.brake = 1.0;
+  run(stop, 5.0);
+  EXPECT_NEAR(v.speed(), 0.0, 1e-6);
+  EXPECT_GE(v.speed(), 0.0);  // brakes never push backwards
+}
+
+TEST_F(VehicleTest, CoastingDeceleratesFromDragAndRolling) {
+  VehicleInput go;
+  go.throttle = 1.0;
+  run(go, 5.0);
+  const double before = v.speed();
+  run(VehicleInput{}, 3.0);
+  EXPECT_LT(v.speed(), before);
+}
+
+TEST_F(VehicleTest, ReverseDrivesBackwards) {
+  VehicleInput in;
+  in.throttle = 0.6;
+  in.reverse = true;
+  run(in, 3.0);
+  EXPECT_LT(v.speed(), 0.0);
+  EXPECT_LT(v.position().x, 50.0);
+  EXPECT_GE(v.speed(), -v.params().reverseSpeedMps - 1e-9);
+}
+
+TEST_F(VehicleTest, SteeringTurnsLeftForPositiveInput) {
+  VehicleInput in;
+  in.throttle = 0.8;
+  in.steer = 0.5;
+  run(in, 3.0);
+  EXPECT_GT(v.heading(), 0.05);  // CCW
+  EXPECT_GT(v.position().y, 50.0);
+}
+
+TEST_F(VehicleTest, LateralAccelGrowsWithSpeedAndSteer) {
+  VehicleInput gentle;
+  gentle.throttle = 0.4;
+  gentle.steer = 0.2;
+  run(gentle, 3.0);
+  const double a1 = std::abs(v.lateralAccel());
+  VehicleInput hard;
+  hard.throttle = 1.0;
+  hard.steer = 1.0;
+  run(hard, 4.0);
+  EXPECT_GT(std::abs(v.lateralAccel()), a1);
+}
+
+TEST_F(VehicleTest, RolloverIndexRisesInHardTurns) {
+  VehicleInput straight;
+  straight.throttle = 1.0;
+  run(straight, 4.0);
+  const double idxStraight = v.rolloverIndex();
+  VehicleInput turning = straight;
+  turning.steer = 1.0;
+  run(turning, 2.0);
+  EXPECT_GT(v.rolloverIndex(), idxStraight);
+  EXPECT_GT(v.rolloverIndex(), 0.3);  // crane CG makes hard turns risky
+}
+
+TEST_F(VehicleTest, GradeSlowsClimbAndBrakeHolds) {
+  // 20% ramp along +x.
+  Terrain ramp(101, 101, 1.0);
+  for (int j = 0; j < 101; ++j)
+    for (int i = 0; i < 101; ++i) ramp.setHeightAt(i, j, 0.2 * i);
+  Vehicle flat2, hill;
+  flat2.setPosition({50, 50}, 0.0);
+  hill.setPosition({50, 50}, 0.0);
+  VehicleInput in;
+  in.throttle = 0.5;
+  const double dt = 0.01;
+  for (double t = 0; t < 5.0; t += dt) {
+    flat2.step(in, flat, dt);
+    hill.step(in, ramp, dt);
+  }
+  EXPECT_LT(hill.speed(), flat2.speed());
+
+  // With the brake on and no throttle, the crane holds on the grade.
+  Vehicle parked;
+  parked.setPosition({50, 50}, 0.0);
+  VehicleInput hold;
+  hold.brake = 1.0;
+  for (double t = 0; t < 3.0; t += dt) parked.step(hold, ramp, dt);
+  EXPECT_NEAR(parked.speed(), 0.0, 1e-9);
+  EXPECT_NEAR(parked.position().x, 50.0, 1e-6);
+}
+
+TEST_F(VehicleTest, RollsBackwardOnGradeWithoutBrakes) {
+  Terrain ramp(101, 101, 1.0);
+  for (int j = 0; j < 101; ++j)
+    for (int i = 0; i < 101; ++i) ramp.setHeightAt(i, j, 0.3 * i);
+  Vehicle c;
+  c.setPosition({50, 50}, 0.0);  // facing uphill
+  const double dt = 0.01;
+  for (double t = 0; t < 4.0; t += dt) c.step(VehicleInput{}, ramp, dt);
+  EXPECT_LT(c.speed(), 0.0);  // gravity wins
+}
+
+TEST_F(VehicleTest, TerrainFollowingPosesChassis) {
+  Terrain ramp(101, 101, 1.0);
+  for (int j = 0; j < 101; ++j)
+    for (int i = 0; i < 101; ++i) ramp.setHeightAt(i, j, 0.1 * i);
+  Vehicle c;
+  c.setPosition({50, 50}, 0.0);
+  c.step(VehicleInput{}, ramp, 0.01);
+  EXPECT_NEAR(c.position3().z, 5.0, 0.2);
+  EXPECT_GT(c.pitch(), 0.0);
+  EXPECT_NEAR(c.roll(), 0.0, 1e-9);
+}
+
+TEST_F(VehicleTest, OrientationQuaternionMatchesHeading) {
+  VehicleInput in;
+  in.throttle = 0.5;
+  in.steer = 0.3;
+  run(in, 2.0);
+  const math::Vec3 fwd = v.orientation().rotate({1, 0, 0});
+  EXPECT_NEAR(std::atan2(fwd.y, fwd.x), v.heading(), 1e-6);
+}
+
+}  // namespace
+}  // namespace cod::physics

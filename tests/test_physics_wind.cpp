@@ -1,0 +1,103 @@
+#include "physics/pendulum.hpp"
+#include "physics/wind.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::physics {
+namespace {
+
+TEST(Wind, CalmByDefault) {
+  Wind w;
+  w.step(1.0);
+  EXPECT_NEAR(w.speed(), 0.0, 1e-9);
+  EXPECT_EQ(w.dragForce(1.0), math::Vec3{});
+}
+
+TEST(Wind, MeanSpeedAndDirection) {
+  WindParams p;
+  p.meanSpeedMps = 8.0;
+  p.meanDirectionRad = 0.0;
+  p.gustIntensity = 0.0;
+  p.veerRateRadPerS = 0.0;
+  Wind w(p, 1);
+  w.step(0.1);
+  EXPECT_NEAR(w.velocity().x, 8.0, 1e-9);
+  EXPECT_NEAR(w.velocity().y, 0.0, 1e-9);
+  w.setMean(5.0, math::kPi / 2);
+  w.step(0.1);
+  EXPECT_NEAR(w.velocity().x, 0.0, 1e-9);
+  EXPECT_NEAR(w.velocity().y, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w.velocity().z, 0.0);
+}
+
+TEST(Wind, GustsVaryAroundTheMean) {
+  WindParams p;
+  p.meanSpeedMps = 10.0;
+  p.gustIntensity = 0.3;
+  Wind w(p, 2);
+  double mn = 1e9, mx = -1e9, sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    w.step(0.05);
+    const double s = w.speed();
+    mn = std::min(mn, s);
+    mx = std::max(mx, s);
+    sum += s;
+  }
+  EXPECT_LT(mn, 9.0);   // lulls
+  EXPECT_GT(mx, 11.0);  // gusts
+  EXPECT_NEAR(sum / n, 10.0, 1.0);
+}
+
+TEST(Wind, DeterministicInSeed) {
+  WindParams p;
+  p.meanSpeedMps = 6.0;
+  Wind a(p, 7), b(p, 7), c(p, 8);
+  bool anyDiff = false;
+  for (int i = 0; i < 500; ++i) {
+    a.step(0.05);
+    b.step(0.05);
+    c.step(0.05);
+    EXPECT_EQ(a.velocity(), b.velocity());
+    anyDiff |= !(a.velocity() == c.velocity());
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Wind, DragForceQuadraticInSpeed) {
+  WindParams p;
+  p.gustIntensity = 0.0;
+  p.veerRateRadPerS = 0.0;
+  p.meanSpeedMps = 5.0;
+  Wind w5(p, 1);
+  p.meanSpeedMps = 10.0;
+  Wind w10(p, 1);
+  const double f5 = w5.dragForce(1.0).norm();
+  const double f10 = w10.dragForce(1.0).norm();
+  EXPECT_NEAR(f10 / f5, 4.0, 1e-6);
+  // And linear in area.
+  EXPECT_NEAR(w10.dragForce(2.0).norm() / f10, 2.0, 1e-9);
+}
+
+TEST(Wind, PushesPendulumDownwind) {
+  CableParams cp;
+  cp.cargoMassKg = 500.0;
+  CablePendulum pend(cp);
+  pend.reset({0, 0, 10}, 6.0);
+  WindParams wp;
+  wp.meanSpeedMps = 12.0;
+  wp.gustIntensity = 0.0;
+  wp.veerRateRadPerS = 0.0;
+  Wind wind(wp, 3);
+  for (int i = 0; i < 2000; ++i) {
+    wind.step(0.01);
+    pend.applyForce(wind.dragForce(1.2));
+    pend.step(0.01);
+  }
+  // The bob settles deflected downwind (+x), not hanging straight.
+  EXPECT_GT(pend.bobPosition().x, 0.1);
+  EXPECT_GT(pend.swingAngle(), 0.01);
+}
+
+}  // namespace
+}  // namespace cod::physics

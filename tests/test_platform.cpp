@@ -1,0 +1,200 @@
+#include "platform/motion_cueing.hpp"
+#include "platform/stewart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::platform {
+namespace {
+
+using math::Quat;
+using math::Vec3;
+
+TEST(Stewart, HomePoseIsReachableWithEqualLegs) {
+  const StewartPlatform sp;
+  const LegSolution sol = sp.inverseKinematics(sp.homePose());
+  EXPECT_TRUE(sol.reachable);
+  for (int i = 1; i < 6; ++i)
+    EXPECT_NEAR(sol.lengths[i], sol.lengths[0], 1e-9);
+  EXPECT_GT(sol.strokeMargin, 0.0);
+}
+
+TEST(Stewart, PureHeaveChangesAllLegsEqually) {
+  const StewartPlatform sp;
+  Pose up = sp.homePose();
+  up.position.z += 0.1;
+  const LegSolution home = sp.inverseKinematics(sp.homePose());
+  const LegSolution heave = sp.inverseKinematics(up);
+  for (int i = 0; i < 6; ++i) EXPECT_GT(heave.lengths[i], home.lengths[i]);
+  for (int i = 1; i < 6; ++i)
+    EXPECT_NEAR(heave.lengths[i] - home.lengths[i],
+                heave.lengths[0] - home.lengths[0], 1e-9);
+}
+
+TEST(Stewart, RollSplitsLegsSymmetrically) {
+  const StewartPlatform sp;
+  Pose rolled = sp.homePose();
+  rolled.orientation = Quat::fromAxisAngle({1, 0, 0}, 0.1);
+  const LegSolution sol = sp.inverseKinematics(rolled);
+  const LegSolution home = sp.inverseKinematics(sp.homePose());
+  // Some legs extend, others retract; the total change is ~zero.
+  double sum = 0.0;
+  bool anyLonger = false, anyShorter = false;
+  for (int i = 0; i < 6; ++i) {
+    const double d = sol.lengths[i] - home.lengths[i];
+    sum += d;
+    anyLonger |= d > 1e-6;
+    anyShorter |= d < -1e-6;
+  }
+  EXPECT_TRUE(anyLonger);
+  EXPECT_TRUE(anyShorter);
+  EXPECT_NEAR(sum, 0.0, 0.02);
+}
+
+TEST(Stewart, ExtremePoseUnreachable) {
+  const StewartPlatform sp;
+  Pose crazy = sp.homePose();
+  crazy.position.z += 5.0;
+  EXPECT_FALSE(sp.reachable(crazy));
+  const LegSolution sol = sp.inverseKinematics(crazy);
+  EXPECT_LT(sol.strokeMargin, 0.0);
+}
+
+TEST(Stewart, ClampToWorkspaceReturnsReachablePose) {
+  const StewartPlatform sp;
+  Pose crazy = sp.homePose();
+  crazy.position.z += 5.0;
+  crazy.orientation = Quat::fromAxisAngle({1, 0, 0}, 1.0);
+  const Pose clamped = sp.clampToWorkspace(crazy);
+  EXPECT_TRUE(sp.reachable(clamped));
+  // The clamp moves toward home but keeps the direction of the request.
+  EXPECT_GT(clamped.position.z, sp.homePose().position.z);
+  // A reachable pose is returned unchanged.
+  Pose mild = sp.homePose();
+  mild.position.z += 0.05;
+  const Pose same = sp.clampToWorkspace(mild);
+  EXPECT_NEAR(same.position.z, mild.position.z, 1e-12);
+}
+
+TEST(Stewart, AnchorLayoutsAreRings) {
+  const StewartGeometry g;
+  for (const Vec3& a : g.baseAnchors()) {
+    const Vec3 planar{a.x, a.y, 0};
+    EXPECT_NEAR(planar.norm(), g.baseRadiusM, 1e-9);
+  }
+  for (const Vec3& a : g.platformAnchors()) {
+    const Vec3 planar{a.x, a.y, 0};
+    EXPECT_NEAR(planar.norm(), g.platformRadiusM, 1e-9);
+  }
+}
+
+TEST(Interpolator, ReachesTargetSmoothly) {
+  PoseInterpolator interp(Pose::identity());
+  Pose target;
+  target.position = {0, 0, 1.0};
+  interp.setTarget(target, 1.0);
+  // Smoothstep: slow at the ends, fast in the middle, monotone.
+  double prevZ = 0.0;
+  double maxStep = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const Pose p = interp.advance(0.01);
+    EXPECT_GE(p.position.z, prevZ - 1e-12);
+    maxStep = std::max(maxStep, p.position.z - prevZ);
+    prevZ = p.position.z;
+  }
+  EXPECT_NEAR(prevZ, 1.0, 1e-9);
+  // Peak velocity of smoothstep is 1.5x average: step stays below 2x.
+  EXPECT_LT(maxStep, 2.0 * 0.01);
+}
+
+TEST(Interpolator, RetargetMidFlightIsContinuous) {
+  PoseInterpolator interp(Pose::identity());
+  Pose t1;
+  t1.position = {0, 0, 1.0};
+  interp.setTarget(t1, 1.0);
+  for (int i = 0; i < 50; ++i) interp.advance(0.01);
+  const Vec3 mid = interp.current().position;
+  Pose t2;
+  t2.position = {0, 0, -1.0};
+  interp.setTarget(t2, 1.0);
+  // No jump at the retarget instant.
+  const Pose p = interp.advance(0.001);
+  EXPECT_NEAR(p.position.z, mid.z, 0.01);
+}
+
+TEST(Interpolator, SlerpsOrientation) {
+  PoseInterpolator interp(Pose::identity());
+  Pose target;
+  target.orientation = Quat::fromAxisAngle({0, 0, 1}, 1.0);
+  interp.setTarget(target, 1.0);
+  interp.advance(0.5);
+  const double mid = math::angularDistance(Quat{}, interp.current().orientation);
+  EXPECT_GT(mid, 0.1);
+  EXPECT_LT(mid, 0.9);
+  interp.advance(0.5);
+  EXPECT_NEAR(
+      math::angularDistance(target.orientation, interp.current().orientation),
+      0.0, 1e-6);
+}
+
+TEST(Washout, ScalesAndDecays) {
+  WashoutFilter w;
+  const StewartPlatform sp;
+  const Pose home = sp.homePose();
+  // A sustained 2 m/s^2 surge builds an offset...
+  Pose p;
+  for (int i = 0; i < 100; ++i) p = w.map(home, 0, 0, 2.0, 0.0, 0.01);
+  const double offset = p.position.x - home.position.x;
+  EXPECT_GT(offset, 0.001);
+  EXPECT_LE(offset, w.params().maxOffsetM + 1e-12);
+  // ...which washes out once the acceleration stops.
+  for (int i = 0; i < 2000; ++i) p = w.map(home, 0, 0, 0.0, 0.0, 0.01);
+  EXPECT_NEAR(p.position.x - home.position.x, 0.0, 0.002);
+}
+
+TEST(Washout, TiltTracksVehicleAttitudeWithCap) {
+  WashoutFilter w;
+  const StewartPlatform sp;
+  const Pose p = w.map(sp.homePose(), 0.2, -0.1, 0, 0, 0.01);
+  const Vec3 e = p.orientation.toEuler();
+  EXPECT_NEAR(e.y, 0.2 * w.params().angleScale, 1e-9);
+  EXPECT_NEAR(e.x, -0.1 * w.params().angleScale, 1e-9);
+  // Huge attitude is capped.
+  const Pose big = w.map(sp.homePose(), 2.0, 0, 0, 0, 0.01);
+  EXPECT_LE(big.orientation.toEuler().y, w.params().maxTiltRad + 1e-9);
+}
+
+TEST(Vibration, DeterministicSeedAndAmplitude) {
+  VibrationGenerator a(0.005, 12.0, 99);
+  VibrationGenerator b(0.005, 12.0, 99);
+  double maxAbs = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double sa = a.sample(0.005);
+    EXPECT_DOUBLE_EQ(sa, b.sample(0.005));
+    maxAbs = std::max(maxAbs, std::abs(sa));
+  }
+  EXPECT_GT(maxAbs, 0.0);
+  EXPECT_LT(maxAbs, 0.05);  // bounded rumble
+}
+
+TEST(Vibration, DisabledProducesZero) {
+  VibrationGenerator v(0.005, 12.0, 1);
+  v.setEnabled(false);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(v.sample(0.01), 0.0);
+}
+
+TEST(Vibration, IsBandLimited) {
+  // The one-pole filter must suppress sample-to-sample jumps relative to
+  // raw white noise of the same variance.
+  VibrationGenerator v(1.0, 5.0, 7);
+  double prev = v.sample(0.001);
+  double maxJump = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double s = v.sample(0.001);
+    maxJump = std::max(maxJump, std::abs(s - prev));
+    prev = s;
+  }
+  EXPECT_LT(maxJump, 0.5);  // white noise would jump by ~several sigma
+}
+
+}  // namespace
+}  // namespace cod::platform

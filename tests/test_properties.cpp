@@ -1,0 +1,163 @@
+// Cross-module parameterized property sweeps: invariants that must hold
+// over whole parameter ranges, not just at hand-picked points.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "crane/load_chart.hpp"
+#include "math/rng.hpp"
+#include "platform/stewart.hpp"
+#include "render/rasterizer.hpp"
+
+namespace cod {
+namespace {
+
+// ---- CB: delivery under loss never duplicates and never reorders --------
+class CbLossProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CbLossProperty, NoDuplicationNoReorder) {
+  const double loss = GetParam();
+  core::CodCluster::Config cfg;
+  cfg.link.lossRate = loss;
+  cfg.seed = 42 + static_cast<std::uint64_t>(loss * 100);
+  core::CodCluster cluster(cfg);
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+
+  struct Counter : core::LogicalProcess {
+    Counter() : core::LogicalProcess("counter") {}
+    std::vector<std::int64_t> seen;
+    void reflectAttributeValues(const std::string&, const core::AttributeSet& a,
+                                double) override {
+      seen.push_back(a.getInt("i"));
+    }
+  } sub;
+  struct Src : core::LogicalProcess {
+    Src() : core::LogicalProcess("src") {}
+  } pub;
+  cbA.attach(pub);
+  const auto h = cbA.publishObjectClass(pub, "prop.data");
+  cbB.attach(sub);
+  const auto sh = cbB.subscribeObjectClass(sub, "prop.data");
+  ASSERT_TRUE(cluster.runUntil([&] { return cbB.connected(sh); }, 30.0))
+      << "loss " << loss;
+  for (int i = 0; i < 200; ++i) {
+    core::AttributeSet a;
+    a.set("i", i);
+    cbA.updateAttributeValues(h, a, cluster.now());
+    cluster.step(0.01);
+  }
+  cluster.step(0.5);
+  // Strictly increasing: no duplicates, no reordering, whatever the loss.
+  for (std::size_t i = 1; i < sub.seen.size(); ++i)
+    EXPECT_LT(sub.seen[i - 1], sub.seen[i]);
+  if (loss == 0.0) EXPECT_EQ(sub.seen.size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, CbLossProperty,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.4));
+
+// ---- Stewart: IK is rotation-invariant about the vertical axis ----------
+class StewartYawProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(StewartYawProperty, LegLengthMultisetInvariantUnderYaw) {
+  // Yawing the platform pose by 120 deg permutes the legs of a symmetric
+  // 6-6 platform; the sorted leg lengths must match.
+  const double tilt = GetParam();
+  const platform::StewartPlatform sp;
+  platform::Pose pose = sp.homePose();
+  pose.orientation = math::Quat::fromEuler(tilt, 0.0, 0.0);
+  auto sortedLengths = [&](const platform::Pose& p) {
+    auto sol = sp.inverseKinematics(p);
+    std::array<double, 6> lengths = sol.lengths;
+    std::sort(lengths.begin(), lengths.end());
+    return lengths;
+  };
+  const auto base = sortedLengths(pose);
+  const math::Quat yaw =
+      math::Quat::fromAxisAngle({0, 0, 1}, math::deg2rad(120.0));
+  platform::Pose rotated = pose;
+  // Conjugation rotates the tilt *axis* by 120 deg (same tilt magnitude):
+  // the symmetry operation of the 6-6 anchor layout.
+  rotated.orientation = yaw * pose.orientation * yaw.conjugate();
+  const auto turned = sortedLengths(rotated);
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(base[i], turned[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(TiltSweep, StewartYawProperty,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2));
+
+// ---- Load chart: capacity is monotone in radius everywhere --------------
+class ChartMonotoneProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChartMonotoneProperty, CapacityNeverRisesWithRadius) {
+  const double boomLen = GetParam();
+  const crane::LoadChart chart = crane::LoadChart::typical25t();
+  double prev = 1e18;
+  for (double r = 3.0; r <= 20.0; r += 0.25) {
+    const double cap = chart.capacityKg(boomLen, r);
+    EXPECT_LE(cap, prev + 1e-9) << "len " << boomLen << " radius " << r;
+    prev = cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BoomSweep, ChartMonotoneProperty,
+                         ::testing::Values(9.0, 12.0, 14.0, 17.0, 20.0, 26.0));
+
+// ---- Rasterizer: pixel output bounded by framebuffer, depth monotone ----
+class RasterizerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RasterizerProperty, CoverageBoundedAndDepthTested) {
+  const int subdiv = GetParam();
+  render::Scene scene;
+  scene.add("sheet", render::Mesh::plane(8, 8, subdiv, {200, 0, 0}),
+            math::Mat4::rigid(
+                math::Quat::fromAxisAngle({0, 1, 0}, math::kPi / 2),
+                {4, 0, 0}));
+  // A second, nearer sheet occludes the first everywhere they overlap.
+  scene.add("front", render::Mesh::plane(8, 8, subdiv, {0, 0, 200}),
+            math::Mat4::rigid(
+                math::Quat::fromAxisAngle({0, 1, 0}, math::kPi / 2),
+                {2, 0, 0}));
+  render::Camera cam;
+  cam.lookAt({-6, 0, 0}, {0, 0, 0});
+  render::Framebuffer fb(48, 36);
+  fb.clear({0, 0, 0});
+  render::Rasterizer raster;
+  raster.render(scene, cam, fb);
+  EXPECT_LE(fb.coverage(), 1.0);
+  EXPECT_GT(fb.coverage(), 0.1);
+  // Every covered pixel shows the *near* (blue) sheet where both project;
+  // sample the centre region.
+  int nearWins = 0, farWins = 0;
+  for (int y = 12; y < 24; ++y) {
+    for (int x = 16; x < 32; ++x) {
+      const std::uint32_t p = fb.pixel(x, y);
+      if ((p & 0xFF) > ((p >> 16) & 0xFF)) ++nearWins;
+      if ((p & 0xFF) < ((p >> 16) & 0xFF)) ++farWins;
+    }
+  }
+  EXPECT_GT(nearWins, 0);
+  EXPECT_EQ(farWins, 0) << "far sheet leaked through the z-buffer";
+}
+
+INSTANTIATE_TEST_SUITE_P(SubdivSweep, RasterizerProperty,
+                         ::testing::Values(1, 4, 8, 16));
+
+// ---- RNG: uniformInt covers every bucket in range ------------------------
+class RngBucketProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngBucketProperty, AllBucketsHit) {
+  const int buckets = GetParam();
+  math::Rng rng(1000 + buckets);
+  std::vector<int> histogram(buckets, 0);
+  for (int i = 0; i < buckets * 200; ++i)
+    ++histogram[rng.uniformInt(0, buckets - 1)];
+  for (int b = 0; b < buckets; ++b)
+    EXPECT_GT(histogram[b], 0) << "bucket " << b << " of " << buckets;
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketSweep, RngBucketProperty,
+                         ::testing::Values(2, 7, 16, 100));
+
+}  // namespace
+}  // namespace cod

@@ -1,0 +1,190 @@
+#include "render/rasterizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace cod::render {
+namespace {
+
+using math::Mat4;
+using math::Quat;
+using math::Vec3;
+
+TEST(Color, PackAndShade) {
+  const Color c{200, 100, 50};
+  EXPECT_EQ(c.packed(), 0xC86432u);
+  const Color half = c.shaded(0.5);
+  EXPECT_EQ(half.r, 100);
+  EXPECT_EQ(half.g, 50);
+  EXPECT_EQ(half.b, 25);
+  const Color full = c.shaded(5.0);  // clamped
+  EXPECT_EQ(full.r, 200);
+}
+
+TEST(Mesh, BuildersProduceExpectedCounts) {
+  EXPECT_EQ(Mesh::box({1, 1, 1}, {})->triangleCount(), 12u);
+  EXPECT_EQ(Mesh::cylinder(1, 2, 10, {})->triangleCount(), 40u);
+  EXPECT_EQ(Mesh::plane(10, 10, 4, {})->triangleCount(), 32u);
+  EXPECT_THROW(Mesh::plane(10, 10, 0, {}), std::invalid_argument);
+}
+
+TEST(Scene, PolygonCountTracksVisibility) {
+  Scene s;
+  const auto a = s.add("a", Mesh::box({1, 1, 1}, {}));
+  s.add("b", Mesh::plane(5, 5, 2, {}));
+  EXPECT_EQ(s.polygonCount(), 12u + 8u);
+  s.setVisible(a, false);
+  EXPECT_EQ(s.polygonCount(), 8u);
+}
+
+TEST(Camera, SphereCulling) {
+  Camera cam;
+  cam.lookAt({0, 0, 0}, {10, 0, 0});
+  cam.setPerspective(math::deg2rad(50), 4.0 / 3.0, 0.3, 100.0);
+  EXPECT_TRUE(cam.sphereVisible({{10, 0, 0}, 1.0}));    // dead ahead
+  EXPECT_FALSE(cam.sphereVisible({{-10, 0, 0}, 1.0}));  // behind
+  EXPECT_FALSE(cam.sphereVisible({{10, 50, 0}, 1.0}));  // far off-axis
+  EXPECT_FALSE(cam.sphereVisible({{500, 0, 0}, 1.0}));  // beyond far plane
+  // A big sphere straddling a frustum plane is conservatively visible.
+  EXPECT_TRUE(cam.sphereVisible({{10, 8, 0}, 6.0}));
+}
+
+TEST(SurroundRig, CoversAbout120Degrees) {
+  const SurroundRig rig;
+  EXPECT_EQ(rig.channels(), 3u);
+  EXPECT_NEAR(math::rad2deg(rig.horizontalCoverage()), 120.0, 15.0);
+}
+
+TEST(SurroundRig, ChannelsPointInDifferentDirections) {
+  SurroundRig rig;
+  rig.setPose({0, 0, 1.7}, Quat{});
+  // Probe: a point far to the left is visible only in the left channel.
+  const math::Sphere leftPoint{{20, 30, 1.7}, 1.0};
+  EXPECT_TRUE(rig.channel(0).sphereVisible(leftPoint));
+  EXPECT_FALSE(rig.channel(2).sphereVisible(leftPoint));
+  const math::Sphere rightPoint{{20, -30, 1.7}, 1.0};
+  EXPECT_FALSE(rig.channel(0).sphereVisible(rightPoint));
+  EXPECT_TRUE(rig.channel(2).sphereVisible(rightPoint));
+}
+
+TEST(Framebuffer, ClearAndPlotDepthTest) {
+  Framebuffer fb(8, 8);
+  fb.clear({0, 0, 0});
+  EXPECT_DOUBLE_EQ(fb.coverage(), 0.0);
+  fb.plot(3, 3, 0.5, {255, 0, 0});
+  EXPECT_EQ(fb.pixel(3, 3), 0xFF0000u);
+  // A farther fragment loses the depth test.
+  fb.plot(3, 3, 0.9, {0, 255, 0});
+  EXPECT_EQ(fb.pixel(3, 3), 0xFF0000u);
+  // A nearer one wins.
+  fb.plot(3, 3, 0.1, {0, 0, 255});
+  EXPECT_EQ(fb.pixel(3, 3), 0x0000FFu);
+  // Out-of-bounds plots are ignored.
+  fb.plot(-1, 0, 0.0, {});
+  fb.plot(8, 8, 0.0, {});
+  EXPECT_NEAR(fb.coverage(), 1.0 / 64, 1e-12);
+}
+
+TEST(Framebuffer, RejectsBadSize) {
+  EXPECT_THROW(Framebuffer(0, 10), std::invalid_argument);
+}
+
+class RasterizerTest : public ::testing::Test {
+ protected:
+  RasterizerTest() : fb(64, 48) {
+    cam.lookAt({-5, 0, 0}, {0, 0, 0});
+    cam.setPerspective(math::deg2rad(60), 4.0 / 3.0, 0.1, 100.0);
+  }
+  Scene scene;
+  Camera cam;
+  Framebuffer fb;
+  Rasterizer raster;
+};
+
+TEST_F(RasterizerTest, DrawsVisibleBox) {
+  scene.add("box", Mesh::box({2, 2, 2}, {255, 0, 0}));
+  fb.clear({0, 0, 0});
+  raster.render(scene, cam, fb);
+  EXPECT_GT(raster.stats().trianglesDrawn, 0u);
+  EXPECT_GT(raster.stats().pixelsShaded, 0u);
+  EXPECT_GT(fb.coverage(), 0.02);
+  // The centre pixel shows the box (red-ish, shaded).
+  const std::uint32_t centre = fb.pixel(32, 24);
+  EXPECT_GT((centre >> 16) & 0xFF, 0u);
+}
+
+TEST_F(RasterizerTest, CullsObjectsOutsideFrustum) {
+  scene.add("behind", Mesh::box({2, 2, 2}, {}),
+            Mat4::translation({-20, 0, 0}));
+  raster.render(scene, cam, fb);
+  EXPECT_EQ(raster.stats().objectsCulled, 1u);
+  EXPECT_EQ(raster.stats().trianglesDrawn, 0u);
+}
+
+TEST_F(RasterizerTest, NearPlaneClippingDoesNotExplode) {
+  // A huge ground plane passing through the camera: triangles straddle the
+  // near plane and must be clipped, not skipped or smeared.
+  scene.add("ground", Mesh::plane(200, 200, 2, {0, 255, 0}),
+            Mat4::translation({0, 0, -1.0}));
+  fb.clear({0, 0, 0});
+  raster.render(scene, cam, fb);
+  EXPECT_GT(fb.coverage(), 0.2);  // lower half of the screen is ground
+}
+
+TEST_F(RasterizerTest, NearerObjectOccludesFarther) {
+  scene.add("far", Mesh::box({4, 4, 4}, {0, 0, 255}),
+            Mat4::translation({5, 0, 0}));
+  scene.add("near", Mesh::box({1, 1, 1}, {255, 0, 0}),
+            Mat4::translation({0, 0, 0}));
+  fb.clear({0, 0, 0});
+  raster.render(scene, cam, fb);
+  const std::uint32_t centre = fb.pixel(32, 24);
+  EXPECT_GT((centre >> 16) & 0xFF, centre & 0xFF);  // red in front of blue
+}
+
+TEST_F(RasterizerTest, StatsAccumulateAcrossFrames) {
+  scene.add("box", Mesh::box({2, 2, 2}, {}));
+  raster.render(scene, cam, fb);
+  const auto first = raster.stats().trianglesSubmitted;
+  raster.render(scene, cam, fb);
+  EXPECT_EQ(raster.stats().trianglesSubmitted, 2 * first);
+  raster.resetStats();
+  EXPECT_EQ(raster.stats().trianglesSubmitted, 0u);
+}
+
+TEST_F(RasterizerTest, FrameCostScalesWithPolygons) {
+  scene.add("fine", Mesh::plane(10, 10, 32, {}),
+            Mat4::rigid(Quat::fromAxisAngle({0, 1, 0}, math::kPi / 2),
+                        {2, 0, 0}));
+  raster.render(scene, cam, fb);
+  const auto fine = raster.stats().trianglesDrawn;
+  EXPECT_GT(fine, 500u);
+}
+
+TEST(Ppm, WriteProducesParsableFile) {
+  Framebuffer fb(4, 2);
+  fb.clear({1, 2, 3});
+  const std::string path = ::testing::TempDir() + "/cod_test.ppm";
+  ASSERT_TRUE(fb.writePpm(path));
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[3] = {};
+  ASSERT_EQ(std::fscanf(f, "%2s", magic), 1);
+  EXPECT_STREQ(magic, "P6");
+  int w = 0, h = 0, maxv = 0;
+  ASSERT_EQ(std::fscanf(f, "%d %d %d", &w, &h, &maxv), 3);
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxv, 255);
+  std::fgetc(f);  // single whitespace after the header
+  unsigned char rgb[3];
+  ASSERT_EQ(std::fread(rgb, 1, 3, f), 3u);
+  EXPECT_EQ(rgb[0], 1);
+  EXPECT_EQ(rgb[1], 2);
+  EXPECT_EQ(rgb[2], 3);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace cod::render

@@ -1,0 +1,301 @@
+#include "scenario/exam.hpp"
+#include "scenario/operator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cod::scenario {
+namespace {
+
+ExamObservation baseObs(double t) {
+  ExamObservation o;
+  o.timeSec = t;
+  return o;
+}
+
+class ExamTest : public ::testing::Test {
+ protected:
+  Course course = compactCourse();
+  Exam exam{compactCourse()};
+
+  /// Walk the carrier through every drive waypoint.
+  void completeDrive(double& t) {
+    for (const Waypoint& w : course.driveRoute) {
+      ExamObservation o = baseObs(t += 1.0);
+      o.carrierPosition = w.position;
+      exam.observe(o);
+    }
+  }
+};
+
+TEST_F(ExamTest, StartsInDrivePhase) {
+  EXPECT_EQ(exam.phase(), ExamPhase::kDriveToSite);
+  EXPECT_DOUBLE_EQ(exam.score().total, 100.0);
+}
+
+TEST_F(ExamTest, WaypointsAdvanceInOrder) {
+  double t = 0;
+  ExamObservation far = baseObs(t += 1.0);
+  far.carrierPosition = {999, 999};
+  exam.observe(far);
+  EXPECT_EQ(exam.nextWaypoint(), 0u);
+  ExamObservation atFirst = baseObs(t += 1.0);
+  atFirst.carrierPosition = course.driveRoute[0].position;
+  exam.observe(atFirst);
+  EXPECT_EQ(exam.nextWaypoint(), 1u);
+  EXPECT_EQ(exam.phase(), ExamPhase::kDriveToSite);
+}
+
+TEST_F(ExamTest, DriveCompletionEntersLiftPhase) {
+  double t = 0;
+  completeDrive(t);
+  EXPECT_EQ(exam.phase(), ExamPhase::kLiftCargo);
+}
+
+TEST_F(ExamTest, FullPassingRun) {
+  double t = 0;
+  completeDrive(t);
+  // Lift: cargo attached and raised.
+  ExamObservation lifted = baseObs(t += 5.0);
+  lifted.cargoAttached = true;
+  lifted.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                          2.0};
+  exam.observe(lifted);
+  EXPECT_EQ(exam.phase(), ExamPhase::kTraverseOut);
+  // Traverse: cargo reaches the drop zone.
+  ExamObservation out = baseObs(t += 20.0);
+  out.cargoAttached = true;
+  out.cargoPosition = {course.dropZone.center.x, course.dropZone.center.y, 2.0};
+  exam.observe(out);
+  EXPECT_EQ(exam.phase(), ExamPhase::kReturnCargo);
+  // Return: cargo back over the pick zone.
+  ExamObservation back = baseObs(t += 20.0);
+  back.cargoAttached = true;
+  back.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                        2.0};
+  exam.observe(back);
+  EXPECT_EQ(exam.phase(), ExamPhase::kSetDown);
+  // Set down inside the zone.
+  ExamObservation down = baseObs(t += 5.0);
+  down.cargoAttached = false;
+  down.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                        0.5};
+  exam.observe(down);
+  EXPECT_EQ(exam.phase(), ExamPhase::kPassed);
+  EXPECT_DOUBLE_EQ(exam.score().total, 100.0);
+  EXPECT_TRUE(exam.score().finished());
+}
+
+TEST_F(ExamTest, BarCollisionsDeductTenEach) {
+  double t = 0;
+  ExamObservation o = baseObs(t += 1.0);
+  o.barHits = {0};
+  exam.observe(o);
+  EXPECT_DOUBLE_EQ(exam.score().total, 90.0);
+  ExamObservation two = baseObs(t += 1.0);
+  two.barHits = {0, 0};
+  exam.observe(two);
+  EXPECT_DOUBLE_EQ(exam.score().total, 70.0);
+  ASSERT_EQ(exam.score().deductions.size(), 3u);
+  EXPECT_NE(exam.score().deductions[0].reason.find("bar 0"),
+            std::string::npos);
+}
+
+TEST_F(ExamTest, AlarmsAreEdgeTriggered) {
+  double t = 0;
+  ExamObservation on = baseObs(t += 1.0);
+  on.alarmBits = 0b11;  // two lamps light up
+  exam.observe(on);
+  EXPECT_DOUBLE_EQ(exam.score().total, 96.0);  // 2 alarms x 2 points
+  // Holding the same lamps costs nothing more.
+  ExamObservation still = baseObs(t += 1.0);
+  still.alarmBits = 0b11;
+  exam.observe(still);
+  EXPECT_DOUBLE_EQ(exam.score().total, 96.0);
+  // A new lamp costs again.
+  ExamObservation more = baseObs(t += 1.0);
+  more.alarmBits = 0b111;
+  exam.observe(more);
+  EXPECT_DOUBLE_EQ(exam.score().total, 94.0);
+}
+
+TEST_F(ExamTest, DropOutsideZoneDeducts) {
+  double t = 0;
+  completeDrive(t);
+  ExamObservation lifted = baseObs(t += 1.0);
+  lifted.cargoAttached = true;
+  lifted.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                          2.0};
+  exam.observe(lifted);
+  ExamObservation out = baseObs(t += 1.0);
+  out.cargoAttached = true;
+  out.cargoPosition = {course.dropZone.center.x, course.dropZone.center.y, 2.0};
+  exam.observe(out);
+  ExamObservation back = baseObs(t += 1.0);
+  back.cargoAttached = true;
+  back.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                        2.0};
+  exam.observe(back);
+  // Released 3 m away from the zone centre (zone radius is 1.5 m).
+  ExamObservation miss = baseObs(t += 1.0);
+  miss.cargoAttached = false;
+  miss.cargoPosition = {course.pickZone.center.x + 3.0,
+                        course.pickZone.center.y, 0.5};
+  exam.observe(miss);
+  EXPECT_TRUE(exam.score().finished());
+  EXPECT_DOUBLE_EQ(exam.score().total, 80.0);
+}
+
+TEST_F(ExamTest, FailsBelowThreshold) {
+  double t = 0;
+  for (int i = 0; i < 4; ++i) {
+    ExamObservation o = baseObs(t += 1.0);
+    o.barHits = {static_cast<std::size_t>(i % 1)};
+    exam.observe(o);
+  }
+  EXPECT_DOUBLE_EQ(exam.score().total, 60.0);  // below the 70 pass threshold
+  // Even completing everything now yields FAILED.
+  completeDrive(t);
+  ExamObservation lifted = baseObs(t += 1.0);
+  lifted.cargoAttached = true;
+  lifted.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                          2.0};
+  exam.observe(lifted);
+  ExamObservation out = baseObs(t += 1.0);
+  out.cargoAttached = true;
+  out.cargoPosition = {course.dropZone.center.x, course.dropZone.center.y, 2.0};
+  exam.observe(out);
+  ExamObservation back = baseObs(t += 1.0);
+  back.cargoAttached = true;
+  back.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                        2.0};
+  exam.observe(back);
+  ExamObservation down = baseObs(t += 1.0);
+  down.cargoAttached = false;
+  down.cargoPosition = {course.pickZone.center.x, course.pickZone.center.y,
+                        0.5};
+  exam.observe(down);
+  EXPECT_EQ(exam.phase(), ExamPhase::kFailed);
+}
+
+TEST_F(ExamTest, HardTimeoutAborts) {
+  ExamObservation late = baseObs(2.0 * course.timeLimitSec + 1.0);
+  exam.observe(late);
+  EXPECT_TRUE(exam.score().finished());
+  EXPECT_EQ(exam.phase(), ExamPhase::kFailed);
+  EXPECT_DOUBLE_EQ(exam.score().total, 0.0);
+}
+
+TEST_F(ExamTest, OverTimeDeductionOnFinish) {
+  Course quick = compactCourse();
+  quick.timeLimitSec = 10.0;
+  Exam e(quick);
+  double t = 11.0;  // already over the limit when things happen
+  for (const Waypoint& w : quick.driveRoute) {
+    ExamObservation o = baseObs(t += 0.5);
+    o.carrierPosition = w.position;
+    e.observe(o);
+  }
+  ExamObservation lifted = baseObs(t += 0.5);
+  lifted.cargoAttached = true;
+  lifted.cargoPosition = {quick.pickZone.center.x, quick.pickZone.center.y,
+                          2.0};
+  e.observe(lifted);
+  ExamObservation out = baseObs(t += 0.5);
+  out.cargoAttached = true;
+  out.cargoPosition = {quick.dropZone.center.x, quick.dropZone.center.y, 2.0};
+  e.observe(out);
+  ExamObservation back = baseObs(t += 0.5);
+  back.cargoAttached = true;
+  back.cargoPosition = {quick.pickZone.center.x, quick.pickZone.center.y, 2.0};
+  e.observe(back);
+  ExamObservation down = baseObs(t += 0.5);
+  down.cargoAttached = false;
+  down.cargoPosition = {quick.pickZone.center.x, quick.pickZone.center.y, 0.5};
+  e.observe(down);
+  EXPECT_TRUE(e.score().finished());
+  EXPECT_LT(e.score().total, 100.0);
+  bool hasOvertime = false;
+  for (const Deduction& d : e.score().deductions)
+    hasOvertime |= d.reason.find("over time") != std::string::npos;
+  EXPECT_TRUE(hasOvertime);
+}
+
+TEST(Course, StandardCourseIsWellFormed) {
+  const Course c = standardLicensureCourse();
+  EXPECT_FALSE(c.driveRoute.empty());
+  EXPECT_FALSE(c.bars.empty());
+  EXPECT_GE(c.cargoPath.size(), 2u);
+  EXPECT_GT(c.driveDistance(), 50.0);
+  // The cargo path starts at the pick zone and ends at the drop zone.
+  EXPECT_NEAR((c.cargoPath.front() - c.pickZone.center).norm(), 0.0, 1.0);
+  EXPECT_NEAR((c.cargoPath.back() - c.dropZone.center).norm(), 0.0, 1.0);
+}
+
+TEST(Operator, DrivesTowardFirstWaypoint) {
+  const Course c = compactCourse();
+  ScriptedOperator op(c, OperatorProfile::careful());
+  OperatorObservation obs;
+  obs.phase = ExamPhase::kDriveToSite;
+  obs.carrierPosition = c.startPosition;
+  obs.carrierHeadingRad = 0.0;  // waypoint is straight ahead on +x
+  const crane::CraneControls ctl = op.decide(obs);
+  EXPECT_TRUE(ctl.ignition);
+  EXPECT_GT(ctl.throttle, 0.5);
+  EXPECT_NEAR(ctl.steering, 0.0, 0.1);
+}
+
+TEST(Operator, SteersTowardOffAxisWaypoint) {
+  const Course c = compactCourse();
+  ScriptedOperator op(c, OperatorProfile::careful());
+  OperatorObservation obs;
+  obs.phase = ExamPhase::kDriveToSite;
+  obs.carrierPosition = c.startPosition;
+  obs.carrierHeadingRad = -math::kPi / 2;  // facing the wrong way
+  const crane::CraneControls ctl = op.decide(obs);
+  EXPECT_GT(ctl.steering, 0.5);  // hard left back toward the route
+}
+
+TEST(Operator, StopsWhenExamFinished) {
+  const Course c = compactCourse();
+  ScriptedOperator op(c, OperatorProfile::careful());
+  OperatorObservation obs;
+  obs.phase = ExamPhase::kPassed;
+  const crane::CraneControls ctl = op.decide(obs);
+  EXPECT_FALSE(ctl.ignition);
+  EXPECT_DOUBLE_EQ(ctl.brake, 1.0);
+}
+
+TEST(Operator, LatchesWhenHookOverCargo) {
+  const Course c = compactCourse();
+  ScriptedOperator op(c, OperatorProfile::careful());
+  OperatorObservation obs;
+  obs.phase = ExamPhase::kLiftCargo;
+  obs.carrierPosition = c.craneParkPosition;
+  obs.cargoPosition = {c.pickZone.center.x, c.pickZone.center.y, 0.5};
+  obs.hookPosition = {c.pickZone.center.x, c.pickZone.center.y, 1.2};
+  obs.boomTip = {c.pickZone.center.x, c.pickZone.center.y, 9.0};
+  obs.cableLengthM = 7.8;
+  obs.outriggersDeployed = true;  // pads set: latch is allowed
+  const crane::CraneControls ctl = op.decide(obs);
+  EXPECT_TRUE(ctl.hookLatch);
+  EXPECT_TRUE(ctl.outriggersDeploy);
+  // With the pads still up the operator refuses to take the load.
+  obs.outriggersDeployed = false;
+  scenario::ScriptedOperator op2(c, OperatorProfile::careful());
+  EXPECT_FALSE(op2.decide(obs).hookLatch);
+}
+
+TEST(Operator, ProfilesDiffer) {
+  const OperatorProfile careful = OperatorProfile::careful();
+  const OperatorProfile sloppy = OperatorProfile::sloppy();
+  EXPECT_GT(careful.carryHeightM, sloppy.carryHeightM);
+  EXPECT_LT(careful.slewCapWithCargo, sloppy.slewCapWithCargo);
+}
+
+TEST(PhaseNames, AllDefined) {
+  for (int i = 0; i <= static_cast<int>(ExamPhase::kFailed); ++i)
+    EXPECT_STRNE(phaseName(static_cast<ExamPhase>(i)), "?");
+}
+
+}  // namespace
+}  // namespace cod::scenario

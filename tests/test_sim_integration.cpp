@@ -1,0 +1,142 @@
+// Whole-system integration: the paper's eight-computer simulator.
+#include <gtest/gtest.h>
+
+#include "sim/simulator_app.hpp"
+
+namespace cod::sim {
+namespace {
+
+/// Small framebuffers + compact course keep these tests quick while still
+/// exercising every module and every virtual channel.
+CraneSimulatorApp::Config fastConfig() {
+  CraneSimulatorApp::Config cfg;
+  cfg.course = scenario::compactCourse();
+  cfg.fbWidth = 32;
+  cfg.fbHeight = 24;
+  return cfg;
+}
+
+TEST(Integration, AllModulesWireUp) {
+  CraneSimulatorApp app(fastConfig());
+  EXPECT_TRUE(app.waitUntilWired(10.0));
+  EXPECT_EQ(app.cluster().size(), 8u);  // the paper's rack
+  app.step(2.0);
+  EXPECT_GT(app.display(0).framesRendered(), 0u);
+  EXPECT_GT(app.display(1).framesRendered(), 0u);
+  EXPECT_GT(app.display(2).framesRendered(), 0u);
+  EXPECT_GT(app.syncServer().swapsIssued(), 0u);
+  EXPECT_GT(app.instructor().stateUpdatesSeen(), 0u);
+  EXPECT_GT(app.platform().posesPublished(), 0u);
+  EXPECT_GT(app.dashboard().controlFramesSent(), 0u);
+}
+
+TEST(Integration, CarefulTraineePassesTheExam) {
+  CraneSimulatorApp app(fastConfig());
+  app.waitUntilWired(10.0);
+  ASSERT_TRUE(app.runExam(600.0)) << "exam did not finish";
+  const scenario::ScoreSheet& sheet = app.scenario().exam().score();
+  EXPECT_EQ(sheet.phase, scenario::ExamPhase::kPassed);
+  EXPECT_GE(sheet.total, 90.0);
+  EXPECT_EQ(app.dynamics().barHitsEmitted(), 0u);
+}
+
+TEST(Integration, SloppyTraineeHitsBarsAndLosesPoints) {
+  CraneSimulatorApp::Config cfg = fastConfig();
+  cfg.operatorProfile = scenario::OperatorProfile::sloppy();
+  CraneSimulatorApp app(cfg);
+  app.waitUntilWired(10.0);
+  app.runExam(600.0);
+  EXPECT_GT(app.dynamics().barHitsEmitted(), 0u);
+  EXPECT_LT(app.scenario().exam().score().total, 95.0);
+  // Each bar hit reached the audio module as a collision sound.
+  EXPECT_EQ(app.audio().collisionSoundsPlayed(),
+            app.dynamics().barHitsEmitted());
+}
+
+TEST(Integration, DisplaysStayInLockstepUnderTheBarrier) {
+  CraneSimulatorApp app(fastConfig());
+  app.waitUntilWired(10.0);
+  app.step(5.0);
+  const auto f0 = app.display(0).framesRendered();
+  const auto f1 = app.display(1).framesRendered();
+  const auto f2 = app.display(2).framesRendered();
+  EXPECT_NEAR(static_cast<double>(f0), static_cast<double>(f1), 1.0);
+  EXPECT_NEAR(static_cast<double>(f1), static_cast<double>(f2), 1.0);
+  // ~16 fps of virtual time.
+  EXPECT_GT(f0, 60u);
+}
+
+TEST(Integration, FreeRunWithoutSyncServerAlsoWorks) {
+  CraneSimulatorApp::Config cfg = fastConfig();
+  cfg.useSyncServer = false;
+  CraneSimulatorApp app(cfg);
+  app.waitUntilWired(10.0);
+  app.step(3.0);
+  EXPECT_GT(app.display(0).framesRendered(), 40u);
+  EXPECT_EQ(app.syncServer().swapsIssued(), 0u);
+}
+
+TEST(Integration, DynamicDisplayJoinWithoutRestart) {
+  CraneSimulatorApp::Config cfg = fastConfig();
+  cfg.useSyncServer = false;
+  CraneSimulatorApp app(cfg);
+  app.waitUntilWired(10.0);
+  app.step(2.0);
+  // Hot-plug a fourth display (§2.3).
+  auto& cb = app.cluster().addComputer("display-extra");
+  VisualDisplayModule::Config dc;
+  dc.channel = 1;
+  dc.useSyncServer = false;
+  dc.fbWidth = 32;
+  dc.fbHeight = 24;
+  VisualDisplayModule extra(app.config().course, dc);
+  extra.bind(cb);
+  app.step(3.0);
+  EXPECT_GT(extra.framesRendered(), 30u);
+  EXPECT_GT(cb.stats().channelsEstablishedIn, 0u);
+}
+
+TEST(Integration, StatusWindowShowsLiveCraneData) {
+  CraneSimulatorApp app(fastConfig());
+  app.waitUntilWired(10.0);
+  app.step(20.0);  // trainee is driving by now
+  const StatusWindow& w = app.instructor().statusWindow();
+  // The instructor's numbers match the authoritative dynamics state.
+  EXPECT_NEAR(w.boomElongationM, app.dynamics().craneState().boomLengthM,
+              0.5);
+  EXPECT_NEAR(w.cableLengthM, app.dynamics().craneState().cableLengthM, 0.5);
+  EXPECT_FALSE(w.renderText().empty());
+}
+
+TEST(Integration, AudioTracksEngine) {
+  CraneSimulatorApp app(fastConfig());
+  app.waitUntilWired(10.0);
+  app.step(5.0);  // ignition happens immediately; engine spools up
+  EXPECT_GT(app.audio().engine().mixer().activeChannels(), 0u);
+  EXPECT_GT(app.audio().lastChunkRms(), 0.001);
+}
+
+TEST(Integration, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    CraneSimulatorApp app(fastConfig());
+    app.waitUntilWired(10.0);
+    app.step(30.0);
+    return std::make_tuple(app.dynamics().craneState().carrierPosition.x,
+                           app.dynamics().craneState().carrierPosition.y,
+                           app.display(0).framesRendered(),
+                           app.scenario().exam().score().total);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Integration, ExamFinishesWithinPaperishWallTime) {
+  // Guard against pathological slowdowns: a full exam on the compact course
+  // takes bounded virtual time.
+  CraneSimulatorApp app(fastConfig());
+  app.waitUntilWired(10.0);
+  ASSERT_TRUE(app.runExam(400.0));
+  EXPECT_LT(app.scenario().exam().score().elapsedSec, 300.0);
+}
+
+}  // namespace
+}  // namespace cod::sim

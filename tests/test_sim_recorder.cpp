@@ -1,0 +1,160 @@
+#include "sim/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "sim/instructor_module.hpp"
+#include "sim/object_classes.hpp"
+
+namespace cod::sim {
+namespace {
+
+RecordedUpdate makeRecord(double t, const std::string& cls, double v) {
+  core::AttributeSet a;
+  a.set("v", v);
+  return {t, cls, a};
+}
+
+TEST(Recording, SerializeRoundTrip) {
+  Recording rec;
+  rec.append(makeRecord(0.5, "crane.state", 1.0));
+  rec.append(makeRecord(1.0, "scenario.events", 2.0));
+  const auto bytes = rec.serialize();
+  const auto back = Recording::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_DOUBLE_EQ(back->records()[0].timeSec, 0.5);
+  EXPECT_EQ(back->records()[1].className, "scenario.events");
+  EXPECT_DOUBLE_EQ(back->records()[1].attrs.getDouble("v"), 2.0);
+  EXPECT_DOUBLE_EQ(back->durationSec(), 1.0);
+}
+
+TEST(Recording, RejectsCorruptData) {
+  Recording rec;
+  rec.append(makeRecord(0.0, "x", 1.0));
+  auto bytes = rec.serialize();
+  bytes[0] ^= 0xFF;  // break the magic
+  EXPECT_FALSE(Recording::deserialize(bytes).has_value());
+  auto truncated = rec.serialize();
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(Recording::deserialize(truncated).has_value());
+  EXPECT_FALSE(Recording::deserialize(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Recording, SaveLoadFile) {
+  Recording rec;
+  for (int i = 0; i < 10; ++i) rec.append(makeRecord(0.1 * i, "c", i));
+  const std::string path = ::testing::TempDir() + "/cod_session.codr";
+  ASSERT_TRUE(rec.save(path));
+  const auto loaded = Recording::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 10u);
+  EXPECT_FALSE(Recording::load("/nonexistent/nope").has_value());
+}
+
+class Pub : public core::LogicalProcess {
+ public:
+  Pub() : core::LogicalProcess("pub") {}
+  void bind(core::CommunicationBackbone& cb, const std::string& cls) {
+    cb.attach(*this);
+    handle = cb.publishObjectClass(*this, cls);
+  }
+  core::PublicationHandle handle = core::kInvalidHandle;
+};
+
+TEST(SessionRecorder, JournalsSubscribedClasses) {
+  core::CodCluster cluster;
+  auto& cbA = cluster.addComputer("src");
+  auto& cbB = cluster.addComputer("rec");
+  Pub pub;
+  pub.bind(cbA, "crane.state");
+  Pub other;
+  other.bind(cbA, "uninteresting");
+  SessionRecorder recorder({"crane.state"});
+  recorder.bind(cbB);
+  cluster.step(0.5);  // wire up
+  for (int i = 0; i < 5; ++i) {
+    core::AttributeSet a;
+    a.set("i", i);
+    cbA.updateAttributeValues(pub.handle, a, 0.1 * i);
+    cbA.updateAttributeValues(other.handle, a, 0.1 * i);
+    cluster.step(0.05);
+  }
+  ASSERT_EQ(recorder.recording().size(), 5u);
+  EXPECT_EQ(recorder.recording().records()[2].attrs.getInt("i"), 2);
+  EXPECT_EQ(recorder.recording().records()[2].className, "crane.state");
+}
+
+TEST(SessionReplayer, ReplaysInOriginalOrderAndPace) {
+  Recording rec;
+  for (int i = 0; i < 20; ++i) rec.append(makeRecord(1.0 + 0.1 * i, "replay.data", i));
+
+  core::CodCluster cluster;
+  auto& cbR = cluster.addComputer("replayer");
+  auto& cbV = cluster.addComputer("viewer");
+  SessionReplayer replayer(rec, /*timeScale=*/1.0);
+  replayer.bind(cbR);
+
+  struct Viewer : core::LogicalProcess {
+    Viewer() : core::LogicalProcess("viewer") {}
+    std::vector<double> values;
+    std::vector<double> arrivals;  // cluster time at delivery
+    double now = 0.0;
+    void reflectAttributeValues(const std::string&, const core::AttributeSet& a,
+                                double) override {
+      values.push_back(a.getDouble("v"));
+      arrivals.push_back(now);
+    }
+    void step(double t) override { now = t; }
+  } viewer;
+  cbV.attach(viewer);
+  cbV.subscribeObjectClass(viewer, "replay.data");
+
+  cluster.step(4.0);
+  EXPECT_TRUE(replayer.finished());
+  ASSERT_EQ(viewer.values.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(viewer.values[i], i);
+  // Pacing: the last record (1.9 s into the journal) arrives ~1.9 s after
+  // the first, not all at once.
+  EXPECT_GT(viewer.arrivals.back() - viewer.arrivals.front(), 1.5);
+}
+
+TEST(SessionReplayer, TimeScaleSpeedsReplay) {
+  Recording rec;
+  for (int i = 0; i < 10; ++i) rec.append(makeRecord(0.2 * i, "fast.data", i));
+  core::CodCluster cluster;
+  auto& cbR = cluster.addComputer("replayer");
+  SessionReplayer replayer(rec, /*timeScale=*/4.0);
+  replayer.setStartGraceSec(0.0);  // nobody subscribes in this test
+  replayer.bind(cbR);
+  // 1.8 s of journal at 4x finishes within ~0.5 s of cluster time.
+  cluster.step(0.8);
+  EXPECT_TRUE(replayer.finished());
+}
+
+TEST(SessionReplayer, DrivesTheInstructorMonitor) {
+  // Record a synthetic crane.state stream, then replay it into a cluster
+  // containing only the instructor monitor: the debrief use case.
+  Recording rec;
+  for (int i = 0; i < 10; ++i) {
+    CraneStateMsg m;
+    m.state.slewAngleRad = 0.1 * i;
+    m.state.boomLengthM = 10.0 + i;
+    m.simTimeSec = 0.1 * i;
+    rec.append({0.1 * i, kClassCraneState, encodeCraneState(m)});
+  }
+  core::CodCluster cluster;
+  auto& cbR = cluster.addComputer("replayer");
+  auto& cbI = cluster.addComputer("instructor");
+  SessionReplayer replayer(rec);
+  replayer.bind(cbR);
+  InstructorModule instructor;
+  instructor.bind(cbI);
+  cluster.step(2.5);
+  EXPECT_TRUE(replayer.finished());
+  EXPECT_EQ(instructor.stateUpdatesSeen(), 10u);
+  EXPECT_NEAR(instructor.statusWindow().boomElongationM, 19.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cod::sim
