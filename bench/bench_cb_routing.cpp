@@ -4,8 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
+#include <memory>
+
 #include "core/cluster.hpp"
 #include "core/protocol.hpp"
+#include "net/transport.hpp"
 
 namespace {
 
@@ -104,6 +108,57 @@ void BM_FanOutUpdate(benchmark::State& state) {
   state.counters["fan"] = fan;
 }
 
+/// Transport that discards outbound traffic: isolates the CB send path
+/// (serialization + per-channel fan-out) from the simulated LAN.
+class NullTransport final : public net::Transport {
+ public:
+  net::NodeAddr localAddress() const override { return {1, 1}; }
+  void send(const net::NodeAddr&, std::span<const std::uint8_t> bytes) override {
+    bytesSent += bytes.size();
+  }
+  void broadcast(std::uint16_t, std::span<const std::uint8_t>) override {}
+  std::optional<net::Datagram> receive() override {
+    if (inbound.empty()) return std::nullopt;
+    net::Datagram d = std::move(inbound.front());
+    inbound.pop_front();
+    return d;
+  }
+  void inject(const net::NodeAddr& src, std::vector<std::uint8_t> bytes) {
+    inbound.push_back(net::Datagram{src, localAddress(), std::move(bytes)});
+  }
+  std::uint64_t bytesSent = 0;
+  std::deque<net::Datagram> inbound;
+};
+
+/// Pure update fan-out: updateAttributeValues() against N established
+/// channels, no LAN in the way — the path the encode-once/patch-channel-id
+/// fast path optimizes.
+void BM_FanOutSendOnly(benchmark::State& state) {
+  const std::uint32_t fan = static_cast<std::uint32_t>(state.range(0));
+  auto transport = std::make_unique<NullTransport>();
+  NullTransport* net = transport.get();
+  core::CommunicationBackbone cb("pub", std::move(transport));
+  NullLp pub;
+  cb.attach(pub);
+  const auto h = cb.publishObjectClass(pub, "bench.data");
+  for (std::uint32_t i = 0; i < fan; ++i) {
+    net->inject({10 + i, 1},
+                core::encode(core::ChannelConnectionMsg{100 + i, h, 1 + i,
+                                                        "bench.data"}));
+  }
+  cb.tick(0.0);
+  const core::AttributeSet attrs = sampleAttrs();
+  double t = 0.0;
+  for (auto _ : state) {
+    cb.updateAttributeValues(h, attrs, t);
+    t += 1e-6;
+  }
+  state.counters["fan"] = fan;
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(net->bytesSent),
+                         benchmark::Counter::kIsRate);
+}
+
 void BM_EncodeUpdateMsg(benchmark::State& state) {
   const core::AttributeSet attrs = sampleAttrs();
   core::UpdateMsg msg;
@@ -137,5 +192,6 @@ void BM_DecodeUpdateMsg(benchmark::State& state) {
 BENCHMARK(BM_LocalFastPathUpdate);
 BENCHMARK(BM_CrossHostUpdate);
 BENCHMARK(BM_FanOutUpdate)->Arg(1)->Arg(2)->Arg(4)->Arg(7);
+BENCHMARK(BM_FanOutSendOnly)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_EncodeUpdateMsg);
 BENCHMARK(BM_DecodeUpdateMsg);

@@ -82,7 +82,11 @@ int main() {
       }
       std::vector<std::unique_ptr<sim::VisualDisplayModule>> displays;
       for (int k = 0; k < n; ++k) {
-        auto& cb = cluster.addComputer("d" + std::to_string(k));
+        // Built with += : gcc 12's -Wrestrict false-fires on
+        // operator+(const char*, std::string&&) at -O3 (PR 105651).
+        std::string displayName = "d";
+        displayName += std::to_string(k);
+        auto& cb = cluster.addComputer(displayName);
         sim::VisualDisplayModule::Config dc;
         dc.channel = k;
         dc.fbWidth = 24;

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run every benchmark binary and drop per-bench baseline files next to the
+# build tree: Google-Benchmark binaries emit machine-readable
+# BENCH_<name>.json, self-driving scenario benches emit BENCH_<name>.log.
+#
+#   usage: bench/run_all.sh [build-dir] [output-dir]
+#
+# Defaults: build-dir=build, output-dir=<build-dir>/bench-baselines.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/bench-baselines}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [[ ! -d "${BENCH_DIR}" ]]; then
+  echo "error: ${BENCH_DIR} not found — configure and build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+# Discover built benches instead of duplicating the target lists from
+# bench/CMakeLists.txt. Google-Benchmark binaries (identified by their
+# libbenchmark link) emit JSON; self-driving main() benches emit logs.
+found=0
+for bin in "${BENCH_DIR}"/bench_*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  found=1
+  b="$(basename "${bin}")"
+  # No `grep -q`: under pipefail an early grep exit can SIGPIPE ldd and
+  # fail the pipeline even though the library was found.
+  if ldd "${bin}" 2>/dev/null | grep libbenchmark >/dev/null; then
+    out="${OUT_DIR}/BENCH_${b#bench_}.json"
+    echo "== ${b} -> ${out}"
+    "${bin}" --benchmark_out="${out}" --benchmark_out_format=json >/dev/null
+  else
+    out="${OUT_DIR}/BENCH_${b#bench_}.log"
+    echo "== ${b} -> ${out}"
+    "${bin}" > "${out}"
+  fi
+done
+
+if [[ "${found}" -eq 0 ]]; then
+  echo "error: no bench_* binaries under ${BENCH_DIR} — build first" >&2
+  exit 1
+fi
+
+echo "baselines written to ${OUT_DIR}/"

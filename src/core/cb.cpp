@@ -100,9 +100,12 @@ void CommunicationBackbone::matchLocal(PublicationEntry& pub) {
 void CommunicationBackbone::unpublish(PublicationHandle h) {
   const auto it = publications_.find(h);
   if (it == publications_.end()) return;
-  for (const OutChannel& ch : it->second.channels) {
-    const auto bytes = encode(ByeMsg{ch.remoteChannelId, /*fromPublisher=*/true});
-    transport_->send(ch.remote, bytes);
+  if (!it->second.channels.empty()) {
+    auto bye = encode(ByeMsg{0, /*fromPublisher=*/true});
+    for (const OutChannel& ch : it->second.channels) {
+      patchChannelId(bye, ch.remoteChannelId);
+      transport_->send(ch.remote, bye);
+    }
   }
   publications_.erase(it);
 }
@@ -146,22 +149,34 @@ void CommunicationBackbone::updateAttributeValues(PublicationHandle h,
 
   // Local fast path: same-computer subscribers get the update without the
   // network round trip (§2.1 — one or many LPs can run on a computer).
-  for (const SubscriptionHandle sh : pub.localSubscribers) {
+  // Handles whose subscription has been resigned are erased eagerly so the
+  // table cannot accumulate dead links (and channelCount stays truthful).
+  auto& locals = pub.localSubscribers;
+  std::size_t kept = 0;
+  for (const SubscriptionHandle sh : locals) {
     const auto sit = subscriptions_.find(sh);
-    if (sit == subscriptions_.end()) continue;
+    if (sit == subscriptions_.end()) continue;  // stale: dropped below
+    locals[kept++] = sh;
     Reflection r{pub.className, attrs, timestamp, seq};
     enqueueReflection(sit->second, std::move(r));
     ++stats_.updatesLocalFastPath;
   }
+  locals.resize(kept);
 
   if (!pub.channels.empty()) {
+    // Serialize the frame once; only the 4-byte channel id differs between
+    // channels, so fan-out patches it in place instead of re-encoding the
+    // whole payload per channel. updateFrame_ keeps its capacity across
+    // calls, making the steady-state hot path allocation-free apart from
+    // the AttributeSet encoding itself.
     UpdateMsg msg;
     msg.seq = seq;
     msg.timestamp = timestamp;
     msg.payload = attrs.encode();
+    encodeInto(msg, updateFrame_);
     for (OutChannel& ch : pub.channels) {
-      msg.channelId = ch.remoteChannelId;
-      transport_->send(ch.remote, encode(msg));
+      patchChannelId(updateFrame_, ch.remoteChannelId);
+      transport_->send(ch.remote, updateFrame_);
       ch.lastSentSec = now_;
       ++stats_.updatesSent;
     }
@@ -438,7 +453,10 @@ void CommunicationBackbone::runTimers(double now) {
   }
 
   // Retransmit CHANNEL_CONNECTION for channels still awaiting their ack,
-  // and time out dead inbound channels.
+  // and time out dead inbound channels. Keep-alive frames in one pass
+  // differ only in channel id, so each loop encodes at most one frame and
+  // re-targets it per channel.
+  std::vector<std::uint8_t> subHeartbeat;
   std::vector<std::uint32_t> toDrop;
   for (auto& [cid, ch] : inChannels_) {
     if (!ch.live && now - ch.lastConnectSent >= cfg_.connectRetrySec) {
@@ -454,8 +472,10 @@ void CommunicationBackbone::runTimers(double now) {
     if (ch.live && now - ch.lastHeartbeatSent >= cfg_.heartbeatIntervalSec) {
       // Subscriber keep-alive so the publisher can garbage-collect dead
       // channels (we may never send anything else on this direction).
-      transport_->send(ch.remote, encode(HeartbeatMsg{ch.channelId, now,
-                                                      /*fromPublisher=*/false}));
+      if (subHeartbeat.empty())
+        subHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/false});
+      patchChannelId(subHeartbeat, ch.channelId);
+      transport_->send(ch.remote, subHeartbeat);
       ch.lastHeartbeatSent = now;
     }
     if (now - ch.lastActivity > cfg_.channelTimeoutSec) toDrop.push_back(cid);
@@ -472,13 +492,15 @@ void CommunicationBackbone::runTimers(double now) {
   }
 
   // Publisher keep-alives on idle channels + timeout of dead subscribers.
+  std::vector<std::uint8_t> pubHeartbeat;
   for (auto& [h, pub] : publications_) {
     auto& chans = pub.channels;
     for (OutChannel& ch : chans) {
       if (now - ch.lastSentSec >= cfg_.heartbeatIntervalSec) {
-        transport_->send(ch.remote,
-                         encode(HeartbeatMsg{ch.remoteChannelId, now,
-                                             /*fromPublisher=*/true}));
+        if (pubHeartbeat.empty())
+          pubHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/true});
+        patchChannelId(pubHeartbeat, ch.remoteChannelId);
+        transport_->send(ch.remote, pubHeartbeat);
         ch.lastSentSec = now;
       }
     }

@@ -253,6 +253,9 @@ class CommunicationBackbone {
   std::uint32_t nextHandle_ = 1;
   std::uint32_t nextChannelId_ = 1;
   CbStats stats_;
+  /// Reusable UPDATE frame for updateAttributeValues: encoded once per
+  /// update, channel id patched per channel, capacity kept across calls.
+  std::vector<std::uint8_t> updateFrame_;
 };
 
 }  // namespace cod::core

@@ -1,5 +1,7 @@
 #include "core/protocol.hpp"
 
+#include <cassert>
+
 namespace cod::core {
 
 namespace {
@@ -44,12 +46,26 @@ std::vector<std::uint8_t> encode(const ChannelAckMsg& m) {
 }
 
 std::vector<std::uint8_t> encode(const UpdateMsg& m) {
-  net::WireWriter w = header(MsgType::kUpdate);
+  std::vector<std::uint8_t> out;
+  encodeInto(m, out);
+  return out;
+}
+
+void encodeInto(const UpdateMsg& m, std::vector<std::uint8_t>& out) {
+  net::WireWriter w(std::move(out));
+  w.u8(static_cast<std::uint8_t>(MsgType::kUpdate));
   w.u32(m.channelId);
   w.u64(m.seq);
   w.f64(m.timestamp);
   w.blob(m.payload);
-  return w.take();
+  out = w.take();
+}
+
+void patchChannelId(std::span<std::uint8_t> frame, std::uint32_t channelId) {
+  assert(frame.size() >= kChannelIdOffset + sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < sizeof(std::uint32_t); ++i)
+    frame[kChannelIdOffset + i] =
+        static_cast<std::uint8_t>((channelId >> (8 * i)) & 0xFF);
 }
 
 std::vector<std::uint8_t> encode(const HeartbeatMsg& m) {

@@ -99,6 +99,22 @@ std::vector<std::uint8_t> encode(const UpdateMsg& m);
 std::vector<std::uint8_t> encode(const HeartbeatMsg& m);
 std::vector<std::uint8_t> encode(const ByeMsg& m);
 
+/// Encode an UPDATE into `out`, reusing its capacity. `out` is cleared
+/// first. The fan-out hot path encodes one frame per update this way and
+/// re-targets it per channel with patchChannelId().
+void encodeInto(const UpdateMsg& m, std::vector<std::uint8_t>& out);
+
+/// UPDATE, HEARTBEAT and BYE frames all start [u8 type][u32 channelId], so
+/// a frame encoded once can be re-targeted at another virtual channel by
+/// rewriting 4 bytes instead of re-serializing the whole payload.
+inline constexpr std::size_t kChannelIdOffset = 1;
+
+/// Rewrite the channel id of an encoded UPDATE/HEARTBEAT/BYE frame in
+/// place. Precondition: `frame` holds one of those message types (at least
+/// kChannelIdOffset + 4 bytes); byte-identical to re-encoding the message
+/// with `channelId` substituted.
+void patchChannelId(std::span<std::uint8_t> frame, std::uint32_t channelId);
+
 /// Decode any CB datagram; nullopt on malformed input (which the CB drops,
 /// as a real socket daemon must).
 std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes);

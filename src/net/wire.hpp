@@ -18,6 +18,14 @@ namespace cod::net {
 /// Append-only encoder producing a byte buffer.
 class WireWriter {
  public:
+  WireWriter() = default;
+  /// Write into `reuse`'s storage: the vector is cleared but keeps its
+  /// capacity, so per-frame heap churn vanishes on encode-heavy paths.
+  explicit WireWriter(std::vector<std::uint8_t>&& reuse)
+      : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

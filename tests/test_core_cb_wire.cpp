@@ -1,0 +1,227 @@
+// Wire-level tests of the CB fan-out fast path: an UPDATE/HEARTBEAT/BYE
+// frame is encoded once and re-targeted per channel by patching the 4-byte
+// channel id, so the bytes each subscriber receives must be identical to a
+// full per-channel re-encode.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/cb.hpp"
+#include "core/protocol.hpp"
+#include "net/transport.hpp"
+
+namespace cod::core {
+namespace {
+
+/// Transport that records every outbound frame and replays injected
+/// datagrams, so tests can assert exact bytes on the wire.
+class ScriptedTransport final : public net::Transport {
+ public:
+  net::NodeAddr localAddress() const override { return {1, 1}; }
+
+  void send(const net::NodeAddr& dst,
+            std::span<const std::uint8_t> bytes) override {
+    sent.emplace_back(dst, std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  }
+
+  void broadcast(std::uint16_t /*port*/,
+                 std::span<const std::uint8_t> /*bytes*/) override {}
+
+  std::optional<net::Datagram> receive() override {
+    if (inbound.empty()) return std::nullopt;
+    net::Datagram d = std::move(inbound.front());
+    inbound.pop_front();
+    return d;
+  }
+
+  void inject(const net::NodeAddr& src, std::vector<std::uint8_t> bytes) {
+    inbound.push_back(net::Datagram{src, localAddress(), std::move(bytes)});
+  }
+
+  std::vector<std::pair<net::NodeAddr, std::vector<std::uint8_t>>> sent;
+  std::deque<net::Datagram> inbound;
+};
+
+AttributeSet sampleAttrs() {
+  AttributeSet a;
+  a.set("v", 1.25);
+  a.set("n", std::int64_t{7});
+  a.set("on", true);
+  return a;
+}
+
+TEST(PatchChannelId, MatchesFullReencodeForAllChannelBearingTypes) {
+  const std::vector<std::uint32_t> ids{0u, 1u, 5u, 0xDEADBEEFu};
+  for (const std::uint32_t id : ids) {
+    UpdateMsg u;
+    u.seq = 42;
+    u.timestamp = 3.5;
+    u.payload = sampleAttrs().encode();
+    auto patched = encode(u);  // channelId == 0
+    patchChannelId(patched, id);
+    u.channelId = id;
+    EXPECT_EQ(patched, encode(u)) << "UpdateMsg channel " << id;
+
+    auto hb = encode(HeartbeatMsg{0, 9.25, true});
+    patchChannelId(hb, id);
+    EXPECT_EQ(hb, encode(HeartbeatMsg{id, 9.25, true})) << "Heartbeat " << id;
+
+    auto bye = encode(ByeMsg{0, false});
+    patchChannelId(bye, id);
+    EXPECT_EQ(bye, encode(ByeMsg{id, false})) << "Bye " << id;
+  }
+}
+
+TEST(PatchChannelId, EncodeIntoReusesBufferAndMatchesEncode) {
+  UpdateMsg u;
+  u.channelId = 11;
+  u.seq = 3;
+  u.timestamp = 0.5;
+  u.payload = sampleAttrs().encode();
+  std::vector<std::uint8_t> frame;
+  encodeInto(u, frame);
+  EXPECT_EQ(frame, encode(u));
+  // Re-encoding a smaller message into the same buffer must not keep bytes
+  // of the previous, larger frame.
+  UpdateMsg small;
+  small.channelId = 12;
+  small.seq = 4;
+  encodeInto(small, frame);
+  EXPECT_EQ(frame, encode(small));
+}
+
+class WireFixture : public ::testing::Test {
+ protected:
+  WireFixture() {
+    auto t = std::make_unique<ScriptedTransport>();
+    transport = t.get();
+    cb = std::make_unique<CommunicationBackbone>("wire", std::move(t));
+  }
+
+  /// Establish two outgoing channels (ids 5 and 9) to two fake remotes.
+  PublicationHandle publishWithTwoChannels() {
+    cb->attach(lp);
+    const PublicationHandle h = cb->publishObjectClass(lp, "wire.cls");
+    transport->inject(sub1, encode(ChannelConnectionMsg{77, h, 5, "wire.cls"}));
+    transport->inject(sub2, encode(ChannelConnectionMsg{78, h, 9, "wire.cls"}));
+    cb->tick(0.0);
+    EXPECT_EQ(cb->channelCount(h), 2u);
+    transport->sent.clear();
+    return h;
+  }
+
+  LogicalProcess lp{"lp"};
+  ScriptedTransport* transport = nullptr;
+  std::unique_ptr<CommunicationBackbone> cb;
+  const net::NodeAddr sub1{10, 1};
+  const net::NodeAddr sub2{20, 1};
+};
+
+TEST_F(WireFixture, FanOutUpdateBytesIdenticalToPerChannelEncode) {
+  const PublicationHandle h = publishWithTwoChannels();
+  const AttributeSet attrs = sampleAttrs();
+  cb->updateAttributeValues(h, attrs, 2.5);
+
+  ASSERT_EQ(transport->sent.size(), 2u);
+  UpdateMsg ref;
+  ref.seq = 1;
+  ref.timestamp = 2.5;
+  ref.payload = attrs.encode();
+  ref.channelId = 5;
+  EXPECT_EQ(transport->sent[0].first, sub1);
+  EXPECT_EQ(transport->sent[0].second, encode(ref));
+  ref.channelId = 9;
+  EXPECT_EQ(transport->sent[1].first, sub2);
+  EXPECT_EQ(transport->sent[1].second, encode(ref));
+
+  // Each frame still decodes on its own (the patch kept it well-formed).
+  for (const auto& [dst, bytes] : transport->sent) {
+    const auto msg = decode(bytes);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->type, MsgType::kUpdate);
+    const auto decoded = AttributeSet::decode(msg->update.payload);
+    ASSERT_TRUE(decoded.has_value());
+  }
+}
+
+TEST_F(WireFixture, SecondUpdateReusedBufferStillExactBytes) {
+  const PublicationHandle h = publishWithTwoChannels();
+  cb->updateAttributeValues(h, sampleAttrs(), 1.0);
+  transport->sent.clear();
+  // A different (smaller) payload through the same reused frame buffer.
+  AttributeSet small;
+  small.set("v", 2.0);
+  cb->updateAttributeValues(h, small, 2.0);
+  ASSERT_EQ(transport->sent.size(), 2u);
+  UpdateMsg ref;
+  ref.seq = 2;
+  ref.timestamp = 2.0;
+  ref.payload = small.encode();
+  ref.channelId = 5;
+  EXPECT_EQ(transport->sent[0].second, encode(ref));
+  ref.channelId = 9;
+  EXPECT_EQ(transport->sent[1].second, encode(ref));
+}
+
+TEST_F(WireFixture, HeartbeatFanOutBytesIdenticalToPerChannelEncode) {
+  publishWithTwoChannels();
+  cb->tick(0.75);  // past heartbeatIntervalSec (0.5) with idle channels
+  ASSERT_EQ(transport->sent.size(), 2u);
+  EXPECT_EQ(transport->sent[0].second,
+            encode(HeartbeatMsg{5, 0.75, /*fromPublisher=*/true}));
+  EXPECT_EQ(transport->sent[1].second,
+            encode(HeartbeatMsg{9, 0.75, /*fromPublisher=*/true}));
+}
+
+TEST_F(WireFixture, UnpublishByeBytesIdenticalToPerChannelEncode) {
+  const PublicationHandle h = publishWithTwoChannels();
+  cb->unpublish(h);
+  ASSERT_EQ(transport->sent.size(), 2u);
+  EXPECT_EQ(transport->sent[0].second,
+            encode(ByeMsg{5, /*fromPublisher=*/true}));
+  EXPECT_EQ(transport->sent[1].second,
+            encode(ByeMsg{9, /*fromPublisher=*/true}));
+}
+
+/// Regression: publish → subscribe (local fast path) → unsubscribe →
+/// update. The publication table must not retain the dead subscriber —
+/// no delivery, truthful channelCount, and no crash.
+TEST_F(WireFixture, UnsubscribedLocalSubscriberIsErasedFromPublication) {
+  LogicalProcess sub{"sub"};
+  cb->attach(lp);
+  cb->attach(sub);
+  const PublicationHandle h = cb->publishObjectClass(lp, "local.cls");
+  const SubscriptionHandle s = cb->subscribeObjectClass(sub, "local.cls");
+  EXPECT_EQ(cb->channelCount(h), 1u);
+
+  cb->updateAttributeValues(h, sampleAttrs(), 0.1);
+  EXPECT_EQ(cb->pending(s), 1u);
+  EXPECT_EQ(cb->stats().updatesLocalFastPath, 1u);
+
+  cb->unsubscribe(s);
+  EXPECT_EQ(cb->channelCount(h), 0u);
+  cb->updateAttributeValues(h, sampleAttrs(), 0.2);
+  EXPECT_EQ(cb->stats().updatesLocalFastPath, 1u);  // nothing new delivered
+  EXPECT_EQ(cb->channelCount(h), 0u);
+}
+
+/// Same via detach (the destructor path every LP takes).
+TEST_F(WireFixture, DetachedSubscriberLeavesNoStaleLocalLink) {
+  cb->attach(lp);
+  const PublicationHandle h = cb->publishObjectClass(lp, "local.cls");
+  {
+    LogicalProcess sub{"sub"};
+    cb->attach(sub);
+    cb->subscribeObjectClass(sub, "local.cls");
+    EXPECT_EQ(cb->channelCount(h), 1u);
+  }  // ~LogicalProcess detaches and must scrub the publication table
+  EXPECT_EQ(cb->channelCount(h), 0u);
+  cb->updateAttributeValues(h, sampleAttrs(), 0.1);
+  EXPECT_EQ(cb->stats().updatesLocalFastPath, 0u);
+}
+
+}  // namespace
+}  // namespace cod::core

@@ -50,7 +50,9 @@ TEST_P(CbLossProperty, NoDuplicationNoReorder) {
   // Strictly increasing: no duplicates, no reordering, whatever the loss.
   for (std::size_t i = 1; i < sub.seen.size(); ++i)
     EXPECT_LT(sub.seen[i - 1], sub.seen[i]);
-  if (loss == 0.0) EXPECT_EQ(sub.seen.size(), 200u);
+  if (loss == 0.0) {
+    EXPECT_EQ(sub.seen.size(), 200u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(LossSweep, CbLossProperty,
