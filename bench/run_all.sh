@@ -46,4 +46,13 @@ if [[ "${found}" -eq 0 ]]; then
   exit 1
 fi
 
+# The reliable-channel baseline is what regression hunts diff against the
+# best-effort numbers; warn (stderr) if it was not produced — e.g. Google
+# Benchmark missing, so bench_reliable was never built. Not fatal: the
+# scenario-bench .log baselines above are still valid without it.
+if [[ ! -s "${OUT_DIR}/BENCH_reliable.json" ]]; then
+  echo "warning: BENCH_reliable.json missing — bench_reliable did not run" >&2
+  echo "         (is Google Benchmark installed?)" >&2
+fi
+
 echo "baselines written to ${OUT_DIR}/"

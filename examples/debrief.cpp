@@ -4,6 +4,11 @@
 // publishes the same object classes the dynamics module did (§2.1
 // transparency).
 //
+// The debrief LAN is deliberately lossy (25% drop + jitter): replay
+// channels are kReliableOrdered, so every journaled record still reaches
+// the monitor — the NACK/retransmit layer earns its keep where newest-wins
+// would silently thin the evidence.
+//
 //   $ ./debrief
 
 #include <cstdio>
@@ -42,14 +47,19 @@ int main() {
   std::printf("  journal saved to %s (%.1f s of telemetry)\n\n", journalPath,
               journal.durationSec());
 
-  // ---- 2. Debrief: replay into an instructor-only cluster at 8x speed.
-  std::printf("replaying at 8x into an instructor-only cluster...\n");
+  // ---- 2. Debrief: replay into an instructor-only cluster at 8x speed,
+  // over a deliberately lossy LAN.
+  std::printf("replaying at 8x into an instructor-only cluster "
+              "(25%% loss, 0.5 ms jitter)...\n");
   const auto loaded = sim::Recording::load(journalPath);
   if (!loaded) {
     std::printf("  could not load %s\n", journalPath);
     return 1;
   }
-  core::CodCluster debrief;
+  core::CodCluster::Config lossyCfg;
+  lossyCfg.link.lossRate = 0.25;
+  lossyCfg.link.jitterSec = 500e-6;
+  core::CodCluster debrief(lossyCfg);
   auto& cbReplay = debrief.addComputer("replay-station");
   auto& cbMonitor = debrief.addComputer("instructor");
   sim::SessionReplayer replayer(*loaded, /*timeScale=*/8.0);
@@ -66,9 +76,53 @@ int main() {
                   monitor.statusWindow().renderText().c_str());
     }
   }
-  std::printf("replay done: monitor saw %llu state updates (live session "
-              "produced the journal's %zu records)\n",
-              static_cast<unsigned long long>(monitor.stateUpdatesSeen()),
-              loaded->size());
+  // Let the retransmit layer drain the last losses before judging.
+  debrief.step(2.0);
+
+  const core::CbStats& pubStats = cbReplay.stats();
+  const core::CbStats& subStats = cbMonitor.stats();
+  const std::uint64_t published = replayer.published();
+  // How many journal records the monitor's subscriptions cover.
+  std::uint64_t expectState = 0, expectStatus = 0;
+  for (const sim::RecordedUpdate& r : loaded->records()) {
+    if (r.className == sim::kClassCraneState) ++expectState;
+    if (r.className == sim::kClassScenarioStatus) ++expectStatus;
+  }
+  std::printf(
+      "replay done over the lossy LAN:\n"
+      "  journal records replayed : %llu of %zu\n"
+      "  updates delivered        : %llu (monitor: %llu state, %llu status)\n"
+      "  LAN drops / retransmits  : %llu dropped, %llu frames re-sent,\n"
+      "                             %llu NACKs, %llu gaps healed\n"
+      "  score stream             : revision %lld, %lld deductions, "
+      "%llu regressions\n",
+      static_cast<unsigned long long>(published), loaded->size(),
+      static_cast<unsigned long long>(subStats.updatesDelivered),
+      static_cast<unsigned long long>(monitor.stateUpdatesSeen()),
+      static_cast<unsigned long long>(monitor.statusUpdatesSeen()),
+      static_cast<unsigned long long>(debrief.network().stats().packetsDropped),
+      static_cast<unsigned long long>(pubStats.reliable.retransmitsSent),
+      static_cast<unsigned long long>(subStats.reliable.nacksSent),
+      static_cast<unsigned long long>(subStats.reliable.gapsHealed),
+      static_cast<long long>(monitor.lastScoreRevision()),
+      static_cast<long long>(monitor.deductionsSeen()),
+      static_cast<unsigned long long>(monitor.revisionRegressions()));
+
+  // Lossless despite the loss model: every journaled record the monitor
+  // subscribes to must have arrived, with the score revision monotone.
+  if (!replayer.finished() || monitor.stateUpdatesSeen() != expectState ||
+      monitor.statusUpdatesSeen() != expectStatus ||
+      monitor.revisionRegressions() != 0) {
+    std::printf("FAILED: expected %llu state / %llu status records, monitor "
+                "saw %llu / %llu (replayer finished: %d)\n",
+                static_cast<unsigned long long>(expectState),
+                static_cast<unsigned long long>(expectStatus),
+                static_cast<unsigned long long>(monitor.stateUpdatesSeen()),
+                static_cast<unsigned long long>(monitor.statusUpdatesSeen()),
+                replayer.finished() ? 1 : 0);
+    return 1;
+  }
+  std::printf("lossless: the debrief saw the complete journal despite the "
+              "lossy LAN\n");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/cb.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace cod::core {
@@ -55,24 +56,26 @@ void CommunicationBackbone::detach(LogicalProcess& lp) {
 }
 
 PublicationHandle CommunicationBackbone::publishObjectClass(
-    LogicalProcess& lp, const std::string& className) {
+    LogicalProcess& lp, const std::string& className, net::QosClass qos) {
   if (lp.cb_ != this) attach(lp);
   PublicationEntry e;
   e.id = nextHandle_++;
   e.lp = lp.id_;
   e.className = className;
+  e.qos = qos;
   auto [it, _] = publications_.emplace(e.id, std::move(e));
   if (cfg_.localFastPath) matchLocal(it->second);
   return it->first;
 }
 
 SubscriptionHandle CommunicationBackbone::subscribeObjectClass(
-    LogicalProcess& lp, const std::string& className) {
+    LogicalProcess& lp, const std::string& className, net::QosClass qos) {
   if (lp.cb_ != this) attach(lp);
   SubscriptionEntry e;
   e.id = nextHandle_++;
   e.lp = lp.id_;
   e.className = className;
+  e.qos = qos;
   e.nextBroadcast = now_;  // start discovery on the next tick
   auto [it, _] = subscriptions_.emplace(e.id, std::move(e));
   if (cfg_.localFastPath) {
@@ -166,15 +169,23 @@ void CommunicationBackbone::updateAttributeValues(PublicationHandle h,
   if (!pub.channels.empty()) {
     // Serialize the frame once; only the 4-byte channel id differs between
     // channels, so fan-out patches it in place instead of re-encoding the
-    // whole payload per channel. updateFrame_ keeps its capacity across
-    // calls, making the steady-state hot path allocation-free apart from
-    // the AttributeSet encoding itself.
-    UpdateMsg msg;
-    msg.seq = seq;
-    msg.timestamp = timestamp;
-    msg.payload = attrs.encode();
-    encodeInto(msg, updateFrame_);
+    // whole payload per channel. The attribute set is encoded straight
+    // into the reusable frame (no intermediate payload vector), so the
+    // steady-state hot path is allocation-free.
+    net::WireWriter w(std::move(updateFrame_));
+    const std::size_t blobStart = beginUpdateFrame(w, seq, timestamp);
+    attrs.encodeInto(w);
+    w.endBlob(blobStart);
+    updateFrame_ = w.take();
+    bool buffered = false;
     for (OutChannel& ch : pub.channels) {
+      if (ch.qos == net::QosClass::kReliableOrdered && !buffered) {
+        // One buffered copy serves every reliable channel; the channel id
+        // is re-patched at retransmit time.
+        if (pub.retx) pub.retx->store(seq, updateFrame_, now_);
+        buffered = true;
+      }
+      if (!ch.qosConfirmed) continue;  // held back until the upgrade lands
       patchChannelId(updateFrame_, ch.remoteChannelId);
       transport_->send(ch.remote, updateFrame_);
       ch.lastSentSec = now_;
@@ -250,7 +261,7 @@ void CommunicationBackbone::tick(double now) {
 }
 
 void CommunicationBackbone::handleDatagram(const net::Datagram& d, double now) {
-  const auto msg = decode(d.payload);
+  auto msg = decode(d.payload);
   if (!msg) {
     ++stats_.malformedDrops;
     return;
@@ -276,6 +287,12 @@ void CommunicationBackbone::handleDatagram(const net::Datagram& d, double now) {
       break;
     case MsgType::kBye:
       handleBye(msg->bye, d.src);
+      break;
+    case MsgType::kNack:
+      handleNack(msg->nack, d.src, now);
+      break;
+    case MsgType::kWindowAck:
+      handleWindowAck(msg->windowAck, d.src, now);
       break;
   }
 }
@@ -315,9 +332,17 @@ void CommunicationBackbone::handleAcknowledge(const AcknowledgeMsg& m,
   ch.lastConnectSent = now;
   ch.lastActivity = now;
   ch.lastHeartbeatSent = now;
+  ch.qos = sub.qos;
+  if (ch.qos == net::QosClass::kReliableOrdered) {
+    // The base sequence arrives with the CHANNEL_ACK; frames that beat it
+    // are buffered in the queue until then.
+    ch.rq = std::make_unique<net::ReliableReceiveQueue>(cfg_.reliable,
+                                                        stats_.reliable);
+  }
   const ChannelConnectionMsg connect{sub.id, m.publicationId, ch.channelId,
-                                     sub.className};
-  inChannels_.emplace(ch.channelId, ch);
+                                     sub.className, sub.qos};
+  const std::uint32_t channelId = ch.channelId;
+  inChannels_.emplace(channelId, std::move(ch));
   sub.everAcknowledged = true;
   transport_->send(src, encode(connect));
 }
@@ -328,7 +353,7 @@ void CommunicationBackbone::handleChannelConnection(
   if (it == publications_.end()) return;
   PublicationEntry& pub = it->second;
   if (pub.className != m.className) return;
-  const auto existing =
+  auto existing =
       std::find_if(pub.channels.begin(), pub.channels.end(),
                    [&](const OutChannel& ch) {
                      return ch.remote == src && ch.remoteChannelId == m.channelId;
@@ -339,11 +364,29 @@ void CommunicationBackbone::handleChannelConnection(
     ch.remote = src;
     ch.lastSentSec = now;
     ch.lastHeardSec = now;
-    pub.channels.push_back(ch);
+    // Effective QoS: the stronger of the subscriber's request and the
+    // publication's floor.
+    ch.qos = (m.qos == net::QosClass::kReliableOrdered ||
+              pub.qos == net::QosClass::kReliableOrdered)
+                 ? net::QosClass::kReliableOrdered
+                 : net::QosClass::kBestEffort;
+    ch.firstSeq = pub.nextSeq;
+    ch.cumAcked = pub.nextSeq - 1;  // owes nothing from before it existed
+    ch.lastAckResendSec = now;      // the ack below counts as the first
+    ch.qosConfirmed = m.qos == ch.qos;  // false iff upgraded by our floor
+    if (ch.qos == net::QosClass::kReliableOrdered && !pub.retx) {
+      pub.retx = std::make_unique<net::ReliableSendWindow>(cfg_.reliable,
+                                                           stats_.reliable);
+    }
+    pub.channels.push_back(std::move(ch));
+    existing = std::prev(pub.channels.end());
     ++stats_.channelsEstablishedOut;
   }
-  // Idempotent confirm (the paper's second ACKNOWLEDGE).
-  const ChannelAckMsg ack{m.channelId, pub.id};
+  // Idempotent confirm (the paper's second ACKNOWLEDGE). Re-ACKs repeat
+  // the channel's original QoS and base sequence: a retransmitted
+  // CHANNEL_CONNECTION must not shift the base the subscriber will trust.
+  const ChannelAckMsg ack{m.channelId, pub.id, existing->qos,
+                          existing->firstSeq};
   transport_->send(src, encode(ack));
 }
 
@@ -352,14 +395,29 @@ void CommunicationBackbone::handleChannelAck(const ChannelAckMsg& m,
                                              double now) {
   const auto it = inChannels_.find(m.channelId);
   if (it == inChannels_.end()) return;
-  if (!it->second.live) {
-    it->second.live = true;
+  InChannel& ch = it->second;
+  if (!ch.live) {
+    ch.live = true;
     ++stats_.channelsEstablishedIn;
   }
-  it->second.lastActivity = now;
+  ch.lastActivity = now;
+  if (m.qos == net::QosClass::kReliableOrdered) {
+    if (!ch.rq) {
+      // The publication mandates reliability although this subscriber
+      // only asked for best effort: upgrade the channel.
+      ch.qos = net::QosClass::kReliableOrdered;
+      ch.rq = std::make_unique<net::ReliableReceiveQueue>(cfg_.reliable,
+                                                          stats_.reliable);
+    }
+    // Updates may have been delivered newest-wins before this ACK landed
+    // (upgrade path); never re-deliver below them.
+    std::vector<net::ReliableFrame> ready;
+    ch.rq->setBase(std::max(m.firstSeq, ch.lastSeq + 1), ready);
+    deliverReliableReady(ch, ready);
+  }
 }
 
-void CommunicationBackbone::handleUpdate(const UpdateMsg& m,
+void CommunicationBackbone::handleUpdate(UpdateMsg& m,
                                          const net::NodeAddr& /*src*/,
                                          double now) {
   const auto it = inChannels_.find(m.channelId);
@@ -374,6 +432,16 @@ void CommunicationBackbone::handleUpdate(const UpdateMsg& m,
     ++stats_.channelsEstablishedIn;
   }
   ch.lastActivity = now;
+  if (ch.rq) {
+    // Reliable path: the queue owns ordering, duplicates and gap healing.
+    // Retransmits legitimately arrive with old sequence numbers, so the
+    // newest-wins cursor does not apply.
+    std::vector<net::ReliableFrame> ready;
+    ch.rq->offer(net::ReliableFrame{m.seq, m.timestamp, std::move(m.payload)},
+                 ready);
+    deliverReliableReady(ch, ready);
+    return;
+  }
   if (m.seq <= ch.lastSeq) {
     ++stats_.duplicatesDropped;
     return;
@@ -421,13 +489,119 @@ void CommunicationBackbone::handleBye(const ByeMsg& m,
   // A subscriber resigned: drop the matching outgoing channel.
   for (auto& [h, pub] : publications_) {
     auto& chans = pub.channels;
+    const std::size_t before = chans.size();
     chans.erase(std::remove_if(chans.begin(), chans.end(),
                                [&](const OutChannel& ch) {
                                  return ch.remote == src &&
                                         ch.remoteChannelId == m.channelId;
                                }),
                 chans.end());
+    if (chans.size() != before) compactSendWindow(pub);
   }
+}
+
+std::pair<CommunicationBackbone::PublicationEntry*,
+          CommunicationBackbone::OutChannel*>
+CommunicationBackbone::findOutChannel(const net::NodeAddr& src,
+                                      std::uint32_t remoteChannelId) {
+  for (auto& [h, pub] : publications_) {
+    for (OutChannel& ch : pub.channels) {
+      if (ch.remote == src && ch.remoteChannelId == remoteChannelId)
+        return {&pub, &ch};
+    }
+  }
+  return {nullptr, nullptr};
+}
+
+void CommunicationBackbone::compactSendWindow(PublicationEntry& pub) {
+  if (!pub.retx) return;
+  std::uint64_t minAcked = std::numeric_limits<std::uint64_t>::max();
+  bool anyReliable = false;
+  for (const OutChannel& ch : pub.channels) {
+    if (ch.qos != net::QosClass::kReliableOrdered) continue;
+    anyReliable = true;
+    minAcked = std::min(minAcked, ch.cumAcked);
+  }
+  if (!anyReliable) {
+    pub.retx->clear();
+    return;
+  }
+  pub.retx->pruneThrough(minAcked);
+}
+
+void CommunicationBackbone::deliverReliableReady(
+    const InChannel& ch, std::vector<net::ReliableFrame>& ready) {
+  if (ready.empty()) return;
+  const auto sit = subscriptions_.find(ch.subscription);
+  if (sit == subscriptions_.end()) return;
+  for (net::ReliableFrame& f : ready) {
+    auto attrs = AttributeSet::decode(f.payload);
+    if (!attrs) {
+      ++stats_.malformedDrops;
+      continue;
+    }
+    enqueueReflection(sit->second, Reflection{sit->second.className,
+                                              std::move(*attrs), f.timestamp,
+                                              f.seq});
+  }
+}
+
+void CommunicationBackbone::handleNack(const NackMsg& m,
+                                       const net::NodeAddr& src, double now) {
+  const auto [pub, ch] = findOutChannel(src, m.channelId);
+  if (pub == nullptr || ch->qos != net::QosClass::kReliableOrdered ||
+      !pub->retx)
+    return;
+  ++stats_.reliable.nacksReceived;
+  std::uint64_t skipThrough = 0;
+  for (const std::uint64_t seq : m.missingSeqs) {
+    if (seq < ch->firstSeq || seq >= pub->nextSeq) continue;  // never owed
+    if (std::vector<std::uint8_t>* frame = pub->retx->frame(seq)) {
+      patchChannelId(*frame, ch->remoteChannelId);
+      transport_->send(ch->remote, *frame);
+      pub->retx->markSent(seq, now);
+      ch->lastSentSec = now;
+    } else if (seq <= pub->retx->highestEvicted()) {
+      // Evicted by window overflow: the subscriber must skip, or it will
+      // NACK this hole forever.
+      skipThrough = std::max(skipThrough, pub->retx->highestEvicted());
+    }
+    // Otherwise the frame was pruned because this subscriber already
+    // acked it — a stale NACK that crossed our prune in flight; ignore.
+  }
+  if (skipThrough > 0) {
+    transport_->send(ch->remote, encode(WindowAckMsg{ch->remoteChannelId,
+                                                     skipThrough,
+                                                     /*fromPublisher=*/true}));
+  }
+}
+
+void CommunicationBackbone::handleWindowAck(const WindowAckMsg& m,
+                                            const net::NodeAddr& src,
+                                            double now) {
+  if (m.fromPublisher) {
+    // Subscriber side: the publisher cannot retransmit through
+    // cumulativeSeq any more — skip the hole instead of waiting forever.
+    const auto it = inChannels_.find(m.channelId);
+    if (it == inChannels_.end() || it->second.remote != src ||
+        !it->second.rq)
+      return;
+    InChannel& ch = it->second;
+    ch.lastActivity = now;
+    std::vector<net::ReliableFrame> ready;
+    ch.rq->abandonThrough(m.cumulativeSeq, ready);
+    deliverReliableReady(ch, ready);
+    return;
+  }
+  // Publisher side: cumulative delivery progress from the subscriber.
+  const auto [pub, ch] = findOutChannel(src, m.channelId);
+  if (pub == nullptr || ch->qos != net::QosClass::kReliableOrdered) return;
+  ++stats_.reliable.windowAcksReceived;
+  ch->windowAckSeen = true;
+  ch->qosConfirmed = true;
+  ch->cumAcked = std::max(ch->cumAcked, m.cumulativeSeq);
+  ch->lastHeardSec = now;
+  compactSendWindow(*pub);
 }
 
 void CommunicationBackbone::runTimers(double now) {
@@ -459,14 +633,33 @@ void CommunicationBackbone::runTimers(double now) {
   std::vector<std::uint8_t> subHeartbeat;
   std::vector<std::uint32_t> toDrop;
   for (auto& [cid, ch] : inChannels_) {
-    if (!ch.live && now - ch.lastConnectSent >= cfg_.connectRetrySec) {
+    // A reliable channel needs the CHANNEL_ACK itself (it carries the base
+    // sequence), so inbound data marking the channel live is not enough to
+    // stop the connection retries.
+    const bool needsAck = !ch.live || (ch.rq && !ch.rq->baseKnown());
+    if (needsAck && now - ch.lastConnectSent >= cfg_.connectRetrySec) {
       const auto sit = subscriptions_.find(ch.subscription);
       if (sit != subscriptions_.end()) {
         const ChannelConnectionMsg connect{ch.subscription,
                                            ch.remotePublicationId, ch.channelId,
-                                           sit->second.className};
+                                           sit->second.className,
+                                           sit->second.qos};
         transport_->send(ch.remote, encode(connect));
         ch.lastConnectSent = now;
+      }
+    }
+    if (ch.rq) {
+      // Receiver half of the reliable layer: NACK persistent gaps and
+      // acknowledge cumulative progress.
+      const auto missing = ch.rq->collectNacks(now);
+      if (!missing.empty())
+        transport_->send(ch.remote, encode(NackMsg{ch.channelId, missing}));
+      if (const auto cum = ch.rq->collectAck(now)) {
+        transport_->send(ch.remote,
+                         encode(WindowAckMsg{ch.channelId, *cum,
+                                             /*fromPublisher=*/false}));
+        // The ack doubles as a keep-alive on this direction.
+        ch.lastHeartbeatSent = now;
       }
     }
     if (ch.live && now - ch.lastHeartbeatSent >= cfg_.heartbeatIntervalSec) {
@@ -491,17 +684,53 @@ void CommunicationBackbone::runTimers(double now) {
     if (sit != subscriptions_.end()) sit->second.nextBroadcast = now;
   }
 
-  // Publisher keep-alives on idle channels + timeout of dead subscribers.
+  // Publisher keep-alives on idle channels, the reliable tail-retransmit
+  // sweep, and timeout of dead subscribers.
   std::vector<std::uint8_t> pubHeartbeat;
   for (auto& [h, pub] : publications_) {
     auto& chans = pub.channels;
     for (OutChannel& ch : chans) {
+      if (ch.qos == net::QosClass::kReliableOrdered && !ch.windowAckSeen &&
+          now - ch.lastAckResendSec >= cfg_.connectRetrySec) {
+        // Until the first WINDOW_ACK arrives the subscriber may not know
+        // this channel is reliable (its CHANNEL_ACK can be lost while
+        // data keeps it live): repeat the ack with the original base.
+        transport_->send(ch.remote, encode(ChannelAckMsg{ch.remoteChannelId,
+                                                         pub.id, ch.qos,
+                                                         ch.firstSeq}));
+        ch.lastAckResendSec = now;
+      }
       if (now - ch.lastSentSec >= cfg_.heartbeatIntervalSec) {
         if (pubHeartbeat.empty())
           pubHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/true});
         patchChannelId(pubHeartbeat, ch.remoteChannelId);
         transport_->send(ch.remote, pubHeartbeat);
         ch.lastSentSec = now;
+      }
+    }
+    if (pub.retx && !pub.retx->empty()) {
+      // Unprompted retransmit of frames unacked beyond the timeout: loss
+      // of the last frame of a burst leaves no gap for the receiver to
+      // NACK, so the sender must cover the tail.
+      std::uint64_t minUnacked = std::numeric_limits<std::uint64_t>::max();
+      for (const OutChannel& ch : chans) {
+        // Unconfirmed channels receive nothing yet, so sweeping for them
+        // would only churn the frame timers.
+        if (ch.qos == net::QosClass::kReliableOrdered && ch.qosConfirmed)
+          minUnacked = std::min(minUnacked, ch.cumAcked + 1);
+      }
+      for (const std::uint64_t seq :
+           pub.retx->takeTailRetransmits(minUnacked, now)) {
+        std::vector<std::uint8_t>* frame = pub.retx->frame(seq);
+        if (frame == nullptr) continue;
+        for (OutChannel& ch : chans) {
+          if (ch.qos != net::QosClass::kReliableOrdered ||
+              !ch.qosConfirmed || ch.cumAcked >= seq || seq < ch.firstSeq)
+            continue;
+          patchChannelId(*frame, ch.remoteChannelId);
+          transport_->send(ch.remote, *frame);
+          ch.lastSentSec = now;
+        }
       }
     }
     const std::size_t before = chans.size();
@@ -511,7 +740,10 @@ void CommunicationBackbone::runTimers(double now) {
                                         cfg_.channelTimeoutSec;
                                }),
                 chans.end());
-    stats_.channelsTimedOut += before - chans.size();
+    if (chans.size() != before) {
+      stats_.channelsTimedOut += before - chans.size();
+      compactSendWindow(pub);
+    }
   }
 }
 

@@ -14,7 +14,11 @@
 //  * dynamic join: a publisher CB keeps listening while it executes, so a
 //    new LP (e.g. an extra display) can be plugged in without restarting
 //    the system;
-//  * liveness (heartbeats, channel timeout) and teardown (BYE).
+//  * liveness (heartbeats, channel timeout) and teardown (BYE);
+//  * per-channel QoS: kBestEffort channels are the paper's newest-wins
+//    path; kReliableOrdered channels add a NACK/retransmit window and
+//    in-order delivery (net/reliable.hpp) for traffic that must not drop,
+//    such as exam scoring and instructor commands.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +32,7 @@
 
 #include "core/protocol.hpp"
 #include "core/value.hpp"
+#include "net/reliable.hpp"
 #include "net/transport.hpp"
 
 namespace cod::core {
@@ -97,6 +102,8 @@ struct CbStats {
   std::uint64_t malformedDrops = 0;
   std::uint64_t channelsTimedOut = 0;
   std::uint64_t mailboxOverflows = 0;
+  /// Counters of the reliable-delivery layer (both roles).
+  net::ReliableStats reliable;
 };
 
 /// The Communication Backbone.
@@ -124,6 +131,8 @@ class CommunicationBackbone {
     /// Push reflections to LogicalProcess::reflectAttributeValues on tick.
     /// (Pull via poll()/latest() works in either mode.)
     bool pushDelivery = true;
+    /// Tunables of the kReliableOrdered channel machinery.
+    net::ReliableConfig reliable;
   };
 
   /// `transport` is this computer's socket; by convention every CB of a
@@ -147,12 +156,20 @@ class CommunicationBackbone {
   LpId attach(LogicalProcess& lp);
   void detach(LogicalProcess& lp);
 
-  /// HLA service: declare that `lp` produces `className`.
-  PublicationHandle publishObjectClass(LogicalProcess& lp,
-                                       const std::string& className);
+  /// HLA service: declare that `lp` produces `className`. `qos` is the
+  /// publication's floor: every channel opened to it is at least that
+  /// strong, even if the subscriber asked for best effort (used by e.g.
+  /// the scenario module so no monitor can accidentally sample the score
+  /// stream lossily).
+  PublicationHandle publishObjectClass(
+      LogicalProcess& lp, const std::string& className,
+      net::QosClass qos = net::QosClass::kBestEffort);
   /// HLA service: declare interest in `className`; starts discovery.
-  SubscriptionHandle subscribeObjectClass(LogicalProcess& lp,
-                                          const std::string& className);
+  /// `qos` is requested per channel during connection; the effective
+  /// class is the stronger of this and the publication's floor.
+  SubscriptionHandle subscribeObjectClass(
+      LogicalProcess& lp, const std::string& className,
+      net::QosClass qos = net::QosClass::kBestEffort);
   void unpublish(PublicationHandle h);
   void unsubscribe(SubscriptionHandle h);
 
@@ -189,14 +206,40 @@ class CommunicationBackbone {
     net::NodeAddr remote;
     double lastSentSec = 0.0;   // last update/heartbeat we sent
     double lastHeardSec = 0.0;  // last heartbeat from the subscriber
+    net::QosClass qos = net::QosClass::kBestEffort;
+    /// Reliable channels: first sequence owed to this channel (fixed at
+    /// creation; re-ACKs repeat it so a lost CHANNEL_ACK cannot shift the
+    /// base) and the highest sequence the subscriber has cumulatively
+    /// acknowledged.
+    std::uint64_t firstSeq = 0;
+    std::uint64_t cumAcked = 0;
+    /// Reliable channels re-send CHANNEL_ACK until the first WINDOW_ACK
+    /// proves the subscriber knows the channel's QoS and base — without
+    /// this, a lost ack on a publisher-upgraded channel would leave the
+    /// subscriber in newest-wins mode forever (inbound data stops its own
+    /// connection retries).
+    bool windowAckSeen = false;
+    double lastAckResendSec = 0.0;
+    /// True once the subscriber provably knows this channel's QoS: from
+    /// creation when it requested it, else from its first WINDOW_ACK.
+    /// Until then a publisher-upgraded channel carries no data — a
+    /// QoS-blind subscriber would consume it newest-wins and permanently
+    /// skip whatever was lost. Frames are window-buffered meanwhile and
+    /// recovered through the normal retransmit path once confirmed.
+    bool qosConfirmed = true;
   };
   struct PublicationEntry {
     PublicationHandle id = 0;
     LpId lp = 0;
     std::string className;
+    net::QosClass qos = net::QosClass::kBestEffort;  // channel QoS floor
     std::uint64_t nextSeq = 1;
     std::vector<OutChannel> channels;
     std::vector<SubscriptionHandle> localSubscribers;  // fast path links
+    /// Retransmit window, shared by every reliable channel of this
+    /// publication (frames differ only in the patched channel id).
+    /// Allocated on the first reliable channel.
+    std::unique_ptr<net::ReliableSendWindow> retx;
   };
   struct InChannel {
     std::uint32_t channelId = 0;
@@ -207,12 +250,17 @@ class CommunicationBackbone {
     double lastConnectSent = 0.0;
     double lastActivity = 0.0;      // last traffic from the publisher
     double lastHeartbeatSent = 0.0; // our own keep-alives to the publisher
-    std::uint64_t lastSeq = 0;
+    std::uint64_t lastSeq = 0;      // newest-wins cursor (best effort)
+    net::QosClass qos = net::QosClass::kBestEffort;
+    /// Present iff the channel is reliable: gap detection, NACK pacing
+    /// and in-order release.
+    std::unique_ptr<net::ReliableReceiveQueue> rq;
   };
   struct SubscriptionEntry {
     SubscriptionHandle id = 0;
     LpId lp = 0;
     std::string className;
+    net::QosClass qos = net::QosClass::kBestEffort;  // requested per channel
     bool everAcknowledged = false;
     double nextBroadcast = 0.0;
     std::deque<Reflection> mailbox;
@@ -228,16 +276,29 @@ class CommunicationBackbone {
                                const net::NodeAddr& src, double now);
   void handleChannelAck(const ChannelAckMsg& m, const net::NodeAddr& src,
                         double now);
-  void handleUpdate(const UpdateMsg& m, const net::NodeAddr& src, double now);
+  void handleUpdate(UpdateMsg& m, const net::NodeAddr& src, double now);
   void handleHeartbeat(const HeartbeatMsg& m, const net::NodeAddr& src,
                        double now);
   void handleBye(const ByeMsg& m, const net::NodeAddr& src);
+  void handleNack(const NackMsg& m, const net::NodeAddr& src, double now);
+  void handleWindowAck(const WindowAckMsg& m, const net::NodeAddr& src,
+                       double now);
 
   void runTimers(double now);
   void deliverMailboxes();
   void enqueueReflection(SubscriptionEntry& sub, Reflection r);
   void matchLocal(PublicationEntry& pub);
   void removeInChannel(std::uint32_t channelId, bool sendBye);
+  /// Decode and enqueue frames the reliable queue released in order.
+  void deliverReliableReady(const InChannel& ch,
+                            std::vector<net::ReliableFrame>& ready);
+  /// Find the outgoing channel `(src, remoteChannelId)` and its
+  /// publication; nulls if unknown.
+  std::pair<PublicationEntry*, OutChannel*> findOutChannel(
+      const net::NodeAddr& src, std::uint32_t remoteChannelId);
+  /// Prune (or drop) a publication's retransmit window after acks or
+  /// channel departures.
+  void compactSendWindow(PublicationEntry& pub);
 
   std::string name_;
   std::unique_ptr<net::Transport> transport_;

@@ -35,6 +35,7 @@ std::vector<std::uint8_t> encode(const ChannelConnectionMsg& m) {
   w.u32(m.publicationId);
   w.u32(m.channelId);
   w.str(m.className);
+  w.u8(static_cast<std::uint8_t>(m.qos));
   return w.take();
 }
 
@@ -42,6 +43,8 @@ std::vector<std::uint8_t> encode(const ChannelAckMsg& m) {
   net::WireWriter w = header(MsgType::kChannelAck);
   w.u32(m.channelId);
   w.u32(m.publicationId);
+  w.u8(static_cast<std::uint8_t>(m.qos));
+  w.u64(m.firstSeq);
   return w.take();
 }
 
@@ -53,12 +56,20 @@ std::vector<std::uint8_t> encode(const UpdateMsg& m) {
 
 void encodeInto(const UpdateMsg& m, std::vector<std::uint8_t>& out) {
   net::WireWriter w(std::move(out));
-  w.u8(static_cast<std::uint8_t>(MsgType::kUpdate));
-  w.u32(m.channelId);
-  w.u64(m.seq);
-  w.f64(m.timestamp);
-  w.blob(m.payload);
+  const std::size_t blobStart = beginUpdateFrame(w, m.seq, m.timestamp);
+  w.raw(m.payload);
+  w.endBlob(blobStart);
   out = w.take();
+  patchChannelId(out, m.channelId);
+}
+
+std::size_t beginUpdateFrame(net::WireWriter& w, std::uint64_t seq,
+                             double timestamp) {
+  w.u8(static_cast<std::uint8_t>(MsgType::kUpdate));
+  w.u32(0);  // channel id, patched per channel
+  w.u64(seq);
+  w.f64(timestamp);
+  return w.beginBlob();
 }
 
 void patchChannelId(std::span<std::uint8_t> frame, std::uint32_t channelId) {
@@ -79,6 +90,24 @@ std::vector<std::uint8_t> encode(const HeartbeatMsg& m) {
 std::vector<std::uint8_t> encode(const ByeMsg& m) {
   net::WireWriter w = header(MsgType::kBye);
   w.u32(m.channelId);
+  w.boolean(m.fromPublisher);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const NackMsg& m) {
+  net::WireWriter w = header(MsgType::kNack);
+  w.u32(m.channelId);
+  w.u16(static_cast<std::uint16_t>(
+      std::min<std::size_t>(m.missingSeqs.size(), 0xFFFF)));
+  for (std::size_t i = 0; i < m.missingSeqs.size() && i < 0xFFFF; ++i)
+    w.u64(m.missingSeqs[i]);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode(const WindowAckMsg& m) {
+  net::WireWriter w = header(MsgType::kWindowAck);
+  w.u32(m.channelId);
+  w.u64(m.cumulativeSeq);
   w.boolean(m.fromPublisher);
   return w.take();
 }
@@ -110,15 +139,24 @@ std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
       const auto pid = r.u32();
       const auto ch = r.u32();
       auto cls = r.str();
-      if (!sid || !pid || !ch || !cls) return std::nullopt;
-      msg.channelConnection = {*sid, *pid, *ch, std::move(*cls)};
+      const auto qos = r.u8();
+      if (!sid || !pid || !ch || !cls || !qos) return std::nullopt;
+      if (*qos > static_cast<std::uint8_t>(net::QosClass::kReliableOrdered))
+        return std::nullopt;
+      msg.channelConnection = {*sid, *pid, *ch, std::move(*cls),
+                               static_cast<net::QosClass>(*qos)};
       break;
     }
     case MsgType::kChannelAck: {
       const auto ch = r.u32();
       const auto pid = r.u32();
-      if (!ch || !pid) return std::nullopt;
-      msg.channelAck = {*ch, *pid};
+      const auto qos = r.u8();
+      const auto firstSeq = r.u64();
+      if (!ch || !pid || !qos || !firstSeq) return std::nullopt;
+      if (*qos > static_cast<std::uint8_t>(net::QosClass::kReliableOrdered))
+        return std::nullopt;
+      msg.channelAck = {*ch, *pid, static_cast<net::QosClass>(*qos),
+                        *firstSeq};
       break;
     }
     case MsgType::kUpdate: {
@@ -145,6 +183,29 @@ std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
       msg.bye = {*ch, *fromPub};
       break;
     }
+    case MsgType::kNack: {
+      const auto ch = r.u32();
+      const auto count = r.u16();
+      if (!ch || !count) return std::nullopt;
+      NackMsg nack;
+      nack.channelId = *ch;
+      nack.missingSeqs.reserve(*count);
+      for (std::uint16_t i = 0; i < *count; ++i) {
+        const auto seq = r.u64();
+        if (!seq) return std::nullopt;
+        nack.missingSeqs.push_back(*seq);
+      }
+      msg.nack = std::move(nack);
+      break;
+    }
+    case MsgType::kWindowAck: {
+      const auto ch = r.u32();
+      const auto cum = r.u64();
+      const auto fromPub = r.boolean();
+      if (!ch || !cum || !fromPub) return std::nullopt;
+      msg.windowAck = {*ch, *cum, *fromPub};
+      break;
+    }
     default:
       return std::nullopt;
   }
@@ -160,6 +221,8 @@ const char* msgTypeName(MsgType t) {
     case MsgType::kUpdate: return "UPDATE";
     case MsgType::kHeartbeat: return "HEARTBEAT";
     case MsgType::kBye: return "BYE";
+    case MsgType::kNack: return "NACK";
+    case MsgType::kWindowAck: return "WINDOW_ACK";
   }
   return "UNKNOWN";
 }

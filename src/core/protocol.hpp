@@ -7,6 +7,14 @@
 // acknowledge phases explicit on the wire). Data messages (UPDATE) flow over
 // the established virtual channel. HEARTBEAT keeps channels alive and BYE
 // tears them down when an LP resigns.
+//
+// Channels carry a QoS class (net::QosClass). kBestEffort channels are the
+// paper's newest-wins path and their data-plane frames (UPDATE, HEARTBEAT,
+// BYE) are wire-identical to the pre-QoS protocol. kReliableOrdered
+// channels add two control messages: NACK (receiver lists missing
+// sequences) and WINDOW_ACK (cumulative progress from the receiver, or a
+// skip order from a sender whose retransmit window no longer holds the
+// requested frames).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "net/reliable.hpp"
 #include "net/wire.hpp"
 
 namespace cod::core {
@@ -27,6 +36,8 @@ enum class MsgType : std::uint8_t {
   kUpdate = 5,            // publisher → subscriber: attribute update
   kHeartbeat = 6,         // either direction: liveness
   kBye = 7,               // either direction: tear down a channel
+  kNack = 8,              // subscriber → publisher: missing sequences
+  kWindowAck = 9,         // cumulative ack (subscriber) / skip (publisher)
 };
 
 /// Broadcast by the subscriber's CB until acknowledged (§2.3).
@@ -49,12 +60,40 @@ struct ChannelConnectionMsg {
   std::uint32_t publicationId = 0;
   std::uint32_t channelId = 0;  // chosen by the subscriber CB
   std::string className;
+  /// QoS the subscriber requests for this channel.
+  net::QosClass qos = net::QosClass::kBestEffort;
 };
 
 /// Publisher confirms the channel (the paper's second ACKNOWLEDGE).
 struct ChannelAckMsg {
   std::uint32_t channelId = 0;
   std::uint32_t publicationId = 0;
+  /// Effective QoS: the stronger of what the subscriber requested and
+  /// what the publication mandates.
+  net::QosClass qos = net::QosClass::kBestEffort;
+  /// For reliable channels: the first update sequence this channel is
+  /// owed (the publication's next sequence when the channel was opened).
+  /// Sequence numbers are publication-global, so a mid-stream joiner must
+  /// learn its base here rather than guessing from arrival order.
+  std::uint64_t firstSeq = 0;
+};
+
+/// Subscriber reports sequences missing on a reliable channel; the
+/// publisher re-sends them from its retransmit window.
+struct NackMsg {
+  std::uint32_t channelId = 0;
+  std::vector<std::uint64_t> missingSeqs;
+};
+
+/// From the subscriber (fromPublisher=false): everything through
+/// `cumulativeSeq` has been delivered in order — the publisher may prune
+/// its window. From the publisher (fromPublisher=true): frames through
+/// `cumulativeSeq` are no longer retransmittable — the subscriber must
+/// skip past them (counted as abandoned, never silent).
+struct WindowAckMsg {
+  std::uint32_t channelId = 0;
+  std::uint64_t cumulativeSeq = 0;
+  bool fromPublisher = false;
 };
 
 /// One attribute update pushed through a virtual channel.
@@ -89,6 +128,8 @@ struct CbMessage {
   UpdateMsg update;
   HeartbeatMsg heartbeat;
   ByeMsg bye;
+  NackMsg nack;
+  WindowAckMsg windowAck;
 };
 
 std::vector<std::uint8_t> encode(const SubscriptionMsg& m);
@@ -98,15 +139,26 @@ std::vector<std::uint8_t> encode(const ChannelAckMsg& m);
 std::vector<std::uint8_t> encode(const UpdateMsg& m);
 std::vector<std::uint8_t> encode(const HeartbeatMsg& m);
 std::vector<std::uint8_t> encode(const ByeMsg& m);
+std::vector<std::uint8_t> encode(const NackMsg& m);
+std::vector<std::uint8_t> encode(const WindowAckMsg& m);
 
 /// Encode an UPDATE into `out`, reusing its capacity. `out` is cleared
 /// first. The fan-out hot path encodes one frame per update this way and
 /// re-targets it per channel with patchChannelId().
 void encodeInto(const UpdateMsg& m, std::vector<std::uint8_t>& out);
 
-/// UPDATE, HEARTBEAT and BYE frames all start [u8 type][u32 channelId], so
-/// a frame encoded once can be re-targeted at another virtual channel by
-/// rewriting 4 bytes instead of re-serializing the whole payload.
+/// The single definition of the UPDATE frame layout, exposed so the CB
+/// can stream a payload into the frame with no intermediate buffer:
+/// writes [type][channelId=0][seq][timestamp] and opens the payload blob.
+/// Write the payload through `w`, then close it with
+/// `w.endBlob(returned offset)`; re-target with patchChannelId().
+std::size_t beginUpdateFrame(net::WireWriter& w, std::uint64_t seq,
+                             double timestamp);
+
+/// UPDATE, HEARTBEAT, BYE, NACK and WINDOW_ACK frames all start
+/// [u8 type][u32 channelId], so a frame encoded once can be re-targeted at
+/// another virtual channel by rewriting 4 bytes instead of re-serializing
+/// the whole payload.
 inline constexpr std::size_t kChannelIdOffset = 1;
 
 /// Rewrite the channel id of an encoded UPDATE/HEARTBEAT/BYE frame in

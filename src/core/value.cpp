@@ -152,12 +152,16 @@ math::Vec3 AttributeSet::getVec3(const std::string& name,
 
 std::vector<std::uint8_t> AttributeSet::encode() const {
   net::WireWriter w;
+  encodeInto(w);
+  return w.take();
+}
+
+void AttributeSet::encodeInto(net::WireWriter& w) const {
   w.u16(static_cast<std::uint16_t>(attrs_.size()));
   for (const auto& [name, value] : attrs_) {
     w.str(name);
     value.encode(w);
   }
-  return w.take();
 }
 
 std::optional<AttributeSet> AttributeSet::decode(

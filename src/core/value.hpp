@@ -85,6 +85,11 @@ class AttributeSet {
   auto end() const { return attrs_.end(); }
 
   std::vector<std::uint8_t> encode() const;
+  /// Append the encoding to `w` without an intermediate buffer — the
+  /// zero-copy path updateAttributeValues uses to write the payload
+  /// straight into the reusable UPDATE frame. Bytes are identical to
+  /// encode().
+  void encodeInto(net::WireWriter& w) const;
   static std::optional<AttributeSet> decode(std::span<const std::uint8_t> bytes);
 
   bool operator==(const AttributeSet&) const = default;

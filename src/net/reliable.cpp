@@ -1,0 +1,192 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+
+namespace cod::net {
+
+const char* qosName(QosClass q) {
+  switch (q) {
+    case QosClass::kBestEffort: return "best-effort";
+    case QosClass::kReliableOrdered: return "reliable-ordered";
+  }
+  return "?";
+}
+
+// ---- ReliableSendWindow -------------------------------------------------
+
+void ReliableSendWindow::store(std::uint64_t seq,
+                               std::vector<std::uint8_t> frame, double now) {
+  Entry e;
+  e.frame = std::move(frame);
+  e.lastSentSec = now;  // storing happens at first send
+  frames_[seq] = std::move(e);
+  highestStored_ = std::max(highestStored_, seq);
+  ++stats_->framesBuffered;
+  while (frames_.size() > cfg_->sendWindowFrames) {
+    highestEvicted_ = std::max(highestEvicted_, frames_.begin()->first);
+    frames_.erase(frames_.begin());
+    ++stats_->sendWindowEvictions;
+  }
+}
+
+std::vector<std::uint8_t>* ReliableSendWindow::frame(std::uint64_t seq) {
+  const auto it = frames_.find(seq);
+  return it != frames_.end() ? &it->second.frame : nullptr;
+}
+
+void ReliableSendWindow::markSent(std::uint64_t seq, double now) {
+  const auto it = frames_.find(seq);
+  if (it == frames_.end()) return;
+  it->second.lastSentSec = now;
+  ++stats_->retransmitsSent;
+}
+
+void ReliableSendWindow::pruneThrough(std::uint64_t throughSeq) {
+  while (!frames_.empty() && frames_.begin()->first <= throughSeq) {
+    frames_.erase(frames_.begin());
+    ++stats_->framesPruned;
+  }
+}
+
+std::vector<std::uint64_t> ReliableSendWindow::takeTailRetransmits(
+    std::uint64_t minUnacked, double now) {
+  std::vector<std::uint64_t> due;
+  for (auto it = frames_.lower_bound(minUnacked); it != frames_.end(); ++it) {
+    if (now - it->second.lastSentSec < cfg_->retxTimeoutSec) continue;
+    it->second.lastSentSec = now;
+    ++stats_->retransmitsSent;
+    due.push_back(it->first);
+    if (due.size() >= cfg_->maxRetransmitPerSweep) break;
+  }
+  return due;
+}
+
+// ---- ReliableReceiveQueue -----------------------------------------------
+
+void ReliableReceiveQueue::setBase(std::uint64_t firstSeq,
+                                   std::vector<ReliableFrame>& ready) {
+  if (baseKnown_) {
+    // A repeated CHANNEL_ACK means the sender has not heard from us:
+    // re-announce our position.
+    ackDue_ = true;
+    return;
+  }
+  baseKnown_ = true;
+  nextExpected_ = firstSeq;
+  // Frames below the base predate this channel and are not owed to it.
+  buffer_.erase(buffer_.begin(), buffer_.lower_bound(firstSeq));
+  release(ready);
+  ackDue_ = true;  // announce our position to the sender
+}
+
+void ReliableReceiveQueue::release(std::vector<ReliableFrame>& ready) {
+  auto it = buffer_.find(nextExpected_);
+  while (it != buffer_.end()) {
+    ready.push_back(std::move(it->second));
+    buffer_.erase(it);
+    ++nextExpected_;
+    ++stats_->gapsHealed;
+    it = buffer_.find(nextExpected_);
+  }
+}
+
+ReliableReceiveQueue::Offer ReliableReceiveQueue::offer(
+    ReliableFrame frame, std::vector<ReliableFrame>& ready) {
+  maxSeen_ = std::max(maxSeen_, frame.seq);
+  if (baseKnown_) {
+    if (frame.seq < nextExpected_) {
+      ++stats_->duplicatesDropped;
+      ackDue_ = true;  // the sender evidently missed our last ack
+      return Offer::kDuplicate;
+    }
+    if (frame.seq == nextExpected_) {
+      ready.push_back(std::move(frame));
+      ++nextExpected_;
+      release(ready);
+      ackDue_ = true;
+      return Offer::kDelivered;
+    }
+  }
+  // Out of order, or the base is still unknown: hold the frame.
+  if (buffer_.contains(frame.seq)) {
+    ++stats_->duplicatesDropped;
+    return Offer::kDuplicate;
+  }
+  if (buffer_.size() >= cfg_->reorderLimit) {
+    ++stats_->reorderOverflows;
+    return Offer::kOverflow;  // stays missing; a NACK will re-fetch it
+  }
+  buffer_.emplace(frame.seq, std::move(frame));
+  ++stats_->outOfOrderBuffered;
+  return Offer::kBuffered;
+}
+
+std::uint64_t ReliableReceiveQueue::abandonThrough(
+    std::uint64_t throughSeq, std::vector<ReliableFrame>& ready) {
+  if (!baseKnown_ || throughSeq < nextExpected_) return 0;
+  // Buffered frames inside the abandoned range are still deliverable; only
+  // the true holes are lost.
+  std::uint64_t range = throughSeq - nextExpected_ + 1;
+  for (auto it = buffer_.begin();
+       it != buffer_.end() && it->first <= throughSeq;) {
+    ready.push_back(std::move(it->second));
+    it = buffer_.erase(it);
+    --range;
+  }
+  nextExpected_ = throughSeq + 1;
+  release(ready);
+  stats_->gapsAbandoned += range;
+  ackDue_ = true;
+  return range;
+}
+
+std::vector<std::uint64_t> ReliableReceiveQueue::collectNacks(double now) {
+  if (!baseKnown_ || buffer_.empty()) {
+    missingSince_.clear();
+    return {};
+  }
+  // Enumerate the holes below the buffered frames. Track more than one
+  // NACK's worth so later holes age while earlier ones are in repair.
+  const std::size_t trackCap = 4 * cfg_->maxNacksPerMessage;
+  std::vector<std::uint64_t> current;
+  std::uint64_t seq = nextExpected_;
+  for (const auto& [held, f] : buffer_) {
+    for (; seq < held && current.size() < trackCap; ++seq)
+      current.push_back(seq);
+    if (current.size() >= trackCap) break;
+    seq = held + 1;
+  }
+  // Age each hole individually: drop the healed, stamp the new.
+  for (auto it = missingSince_.begin(); it != missingSince_.end();) {
+    if (std::binary_search(current.begin(), current.end(), it->first)) {
+      ++it;
+    } else {
+      it = missingSince_.erase(it);
+    }
+  }
+  for (const std::uint64_t s : current) missingSince_.emplace(s, now);
+  if (now - lastNackSec_ < cfg_->nackIntervalSec) return {};
+  // Only holes that outlived the jitter-healing grace are NACKed; a
+  // frame that is merely reordered arrives before its hole comes of age.
+  std::vector<std::uint64_t> due;
+  for (const auto& [s, since] : missingSince_) {
+    if (now - since < cfg_->nackIntervalSec) continue;
+    due.push_back(s);
+    if (due.size() >= cfg_->maxNacksPerMessage) break;
+  }
+  if (due.empty()) return {};
+  lastNackSec_ = now;
+  ++stats_->nacksSent;
+  return due;
+}
+
+std::optional<std::uint64_t> ReliableReceiveQueue::collectAck(double now) {
+  if (!baseKnown_ || !ackDue_) return std::nullopt;
+  if (now - lastAckSec_ < cfg_->ackIntervalSec) return std::nullopt;
+  lastAckSec_ = now;
+  ackDue_ = false;
+  ++stats_->windowAcksSent;
+  return nextExpected_ == 0 ? 0 : nextExpected_ - 1;
+}
+
+}  // namespace cod::net

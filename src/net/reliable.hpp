@@ -1,0 +1,219 @@
+// Per-channel reliable delivery over unreliable datagrams.
+//
+// The CB's virtual channels are newest-wins by default (kBestEffort): a
+// lost UPDATE is simply superseded by the next one, which is the right
+// trade for 16 fps surround-view state. Exam scoring and instructor
+// control traffic must never drop, so a channel can instead be opened as
+// kReliableOrdered: the sender keeps a bounded window of already-encoded
+// frames for retransmission, the receiver detects sequence gaps, NACKs
+// the missing frames, buffers out-of-order arrivals, and releases them
+// strictly in order.
+//
+// This header is transport-level machinery only — it moves opaque frames
+// and sequence numbers and knows nothing about the CB message vocabulary.
+// The CB owns the wire messages (kNack / kWindowAck in core/protocol.hpp)
+// and drives these two classes from its datagram handlers and timers:
+//
+//   sender (one window per publication, frames shared across channels):
+//     store() every reliable UPDATE frame once; NACKs and the
+//     retransmit timeout (takeTailRetransmits) re-send from the window;
+//     cumulative WindowAcks prune it.
+//   receiver (one queue per reliable in-channel):
+//     offer() each arriving frame; in-order frames come back immediately,
+//     out-of-order frames are buffered until the gap heals;
+//     collectNacks()/collectAck() tell the CB when to emit control
+//     messages.
+//
+// Loss of the *last* frame of a burst produces no observable gap at the
+// receiver, so NACKs alone cannot guarantee delivery; the sender-side
+// retransmit timeout covers the tail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace cod::net {
+
+/// Delivery guarantee of one virtual channel.
+enum class QosClass : std::uint8_t {
+  kBestEffort = 0,       // newest-wins; lost updates are superseded
+  kReliableOrdered = 1,  // every update delivered, in publication order
+};
+
+const char* qosName(QosClass q);
+
+/// Tunables of the reliable layer (CB config embeds one).
+struct ReliableConfig {
+  /// How long a gap must persist before the receiver NACKs it, and the
+  /// minimum spacing between NACKs for the same channel. Should exceed
+  /// typical jitter so plain reordering heals itself without traffic.
+  double nackIntervalSec = 0.05;
+  /// Sender-side retransmit timeout: an unacknowledged frame older than
+  /// this is re-sent unprompted (covers tail loss, where the receiver
+  /// never learns a gap exists).
+  double retxTimeoutSec = 0.25;
+  /// Cadence of cumulative WindowAcks from the receiver.
+  double ackIntervalSec = 0.1;
+  /// Retransmit buffer cap, frames per publication. Overflow evicts the
+  /// oldest frame — receivers that still miss it are told to skip, so a
+  /// too-small window degrades to counted loss instead of livelock.
+  std::size_t sendWindowFrames = 512;
+  /// Receiver reorder buffer cap, frames per channel.
+  std::size_t reorderLimit = 1024;
+  /// Missing sequence numbers listed per NACK message.
+  std::size_t maxNacksPerMessage = 64;
+  /// Frames re-sent per retransmit-timeout sweep per publication.
+  std::size_t maxRetransmitPerSweep = 32;
+};
+
+/// Counters for tests, benches and the instructor monitor.
+struct ReliableStats {
+  std::uint64_t framesBuffered = 0;      // sender: frames stored
+  std::uint64_t framesPruned = 0;        // sender: acked and released
+  std::uint64_t sendWindowEvictions = 0; // sender: overflow evictions
+  std::uint64_t retransmitsSent = 0;     // sender: frames re-sent
+  std::uint64_t nacksReceived = 0;       // sender side
+  std::uint64_t windowAcksReceived = 0;  // sender side
+  std::uint64_t nacksSent = 0;           // receiver side
+  std::uint64_t windowAcksSent = 0;      // receiver side
+  std::uint64_t outOfOrderBuffered = 0;  // receiver: held for a gap
+  std::uint64_t gapsHealed = 0;          // receiver: released from buffer
+  std::uint64_t duplicatesDropped = 0;   // receiver: seq already delivered
+  std::uint64_t reorderOverflows = 0;    // receiver: buffer cap hit
+  std::uint64_t gapsAbandoned = 0;       // receiver: skipped on sender's order
+};
+
+/// One data frame as the reliable layer sees it: an opaque payload with
+/// the publication-global sequence number and sender timestamp.
+struct ReliableFrame {
+  std::uint64_t seq = 0;
+  double timestamp = 0.0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Sender half: a bounded window of already-encoded UPDATE frames, keyed
+/// by sequence number. One window serves every reliable channel of a
+/// publication — frames differ between channels only in the 4-byte
+/// channel id, which the CB patches at (re)send time, so buffering stays
+/// one copy per update, not one per channel.
+class ReliableSendWindow {
+ public:
+  ReliableSendWindow(const ReliableConfig& cfg, ReliableStats& stats)
+      : cfg_(&cfg), stats_(&stats) {}
+
+  /// Buffer one encoded frame (copies; the live frame buffer is reused by
+  /// the caller). Evicts the oldest frame beyond the window cap.
+  void store(std::uint64_t seq, std::vector<std::uint8_t> frame, double now);
+
+  /// The stored frame for `seq`, or null if never stored / already
+  /// pruned / evicted. Mutable so the caller can patch the channel id in
+  /// place before re-sending.
+  std::vector<std::uint8_t>* frame(std::uint64_t seq);
+
+  /// Note that `seq` was just (re)sent — restarts its retransmit timeout.
+  void markSent(std::uint64_t seq, double now);
+
+  /// Drop every frame with seq <= `throughSeq` (cumulatively acked by all
+  /// reliable channels).
+  void pruneThrough(std::uint64_t throughSeq);
+
+  /// Frames unacked beyond the retransmit timeout, oldest first, capped
+  /// at maxRetransmitPerSweep. `minUnacked` is the smallest sequence any
+  /// live channel still waits for. Marks the returned frames sent.
+  std::vector<std::uint64_t> takeTailRetransmits(std::uint64_t minUnacked,
+                                                 double now);
+
+  /// Highest sequence ever evicted by overflow (0 if none): receivers
+  /// NACKing at or below it must be told to skip.
+  std::uint64_t highestEvicted() const { return highestEvicted_; }
+  std::uint64_t highestStored() const { return highestStored_; }
+  std::size_t size() const { return frames_.size(); }
+  bool empty() const { return frames_.empty(); }
+  void clear() { frames_.clear(); }
+
+ private:
+  struct Entry {
+    std::vector<std::uint8_t> frame;
+    double lastSentSec = 0.0;
+  };
+
+  const ReliableConfig* cfg_;
+  ReliableStats* stats_;
+  std::map<std::uint64_t, Entry> frames_;
+  std::uint64_t highestEvicted_ = 0;
+  std::uint64_t highestStored_ = 0;
+};
+
+/// Receiver half: gap detection, NACK scheduling and in-order release for
+/// one reliable in-channel.
+///
+/// Sequence numbers are publication-global, so a channel opened mid-stream
+/// must learn its base — the first sequence it is owed — from the
+/// publisher's CHANNEL_ACK. Frames arriving before the base is known are
+/// buffered, never delivered or NACKed (their gaps cannot be told from
+/// history that predates the channel).
+class ReliableReceiveQueue {
+ public:
+  ReliableReceiveQueue(const ReliableConfig& cfg, ReliableStats& stats)
+      : cfg_(&cfg), stats_(&stats) {}
+
+  /// Learn the channel's base sequence (idempotent; only the first call
+  /// takes effect). Frames already buffered at or above the base become
+  /// releasable and are appended to `ready` in order.
+  void setBase(std::uint64_t firstSeq, std::vector<ReliableFrame>& ready);
+  bool baseKnown() const { return baseKnown_; }
+
+  enum class Offer : std::uint8_t {
+    kDelivered,  // appended to `ready` (possibly with healed successors)
+    kBuffered,   // out of order or pre-base; held
+    kDuplicate,  // already delivered
+    kOverflow,   // reorder buffer full; frame dropped (will be NACKed)
+  };
+
+  /// Feed one arriving frame; releasable frames (this one and any healed
+  /// successors) are appended to `ready` strictly in sequence order.
+  Offer offer(ReliableFrame frame, std::vector<ReliableFrame>& ready);
+
+  /// Sender declared frames <= `throughSeq` unrecoverable (evicted from
+  /// its window): skip them so the stream can resume. Releasable buffered
+  /// frames are appended to `ready`. Returns how many sequences were
+  /// abandoned.
+  std::uint64_t abandonThrough(std::uint64_t throughSeq,
+                               std::vector<ReliableFrame>& ready);
+
+  /// Missing sequence numbers to NACK now (empty if no gap has persisted
+  /// for nackIntervalSec or a NACK went out more recently than that).
+  /// Each hole is aged individually, so a fresh hole opened while an
+  /// older gap is outstanding still gets its full jitter-healing grace
+  /// before it is NACKed. Caps at maxNacksPerMessage.
+  std::vector<std::uint64_t> collectNacks(double now);
+
+  /// Cumulative sequence to acknowledge now, if an ack is due (progress
+  /// was made, or duplicates suggest the sender missed the last ack).
+  std::optional<std::uint64_t> collectAck(double now);
+
+  /// Next sequence owed to the subscriber (0 while the base is unknown).
+  std::uint64_t nextExpected() const { return nextExpected_; }
+  std::uint64_t maxSeen() const { return maxSeen_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  void release(std::vector<ReliableFrame>& ready);
+
+  const ReliableConfig* cfg_;
+  ReliableStats* stats_;
+  std::map<std::uint64_t, ReliableFrame> buffer_;
+  /// When each currently-missing sequence was first observed missing,
+  /// maintained lazily by collectNacks (healed holes are dropped).
+  std::map<std::uint64_t, double> missingSince_;
+  bool baseKnown_ = false;
+  std::uint64_t nextExpected_ = 0;
+  std::uint64_t maxSeen_ = 0;
+  double lastNackSec_ = -1e300;
+  double lastAckSec_ = -1e300;
+  bool ackDue_ = false;
+};
+
+}  // namespace cod::net

@@ -39,6 +39,20 @@ void WireWriter::raw(std::span<const std::uint8_t> bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
 }
 
+std::size_t WireWriter::beginBlob() {
+  const std::size_t blobStart = buf_.size();
+  u32(0);  // placeholder; endBlob backpatches the real length
+  return blobStart;
+}
+
+void WireWriter::endBlob(std::size_t blobStart) {
+  const std::size_t contentLen = buf_.size() - blobStart - 4;
+  const std::uint32_t n = static_cast<std::uint32_t>(contentLen);
+  for (int i = 0; i < 4; ++i)
+    buf_[blobStart + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((n >> (8 * i)) & 0xFF);
+}
+
 bool WireReader::take(std::size_t n, const std::uint8_t** out) {
   if (!ok_ || pos_ + n > buf_.size()) {
     ok_ = false;

@@ -41,6 +41,14 @@ class WireWriter {
   /// Raw bytes, no length prefix.
   void raw(std::span<const std::uint8_t> bytes);
 
+  /// Start a length-prefixed blob whose content is written in place (no
+  /// intermediate buffer): reserves the u32 length slot and returns its
+  /// offset. Write the content with ordinary writer calls, then call
+  /// endBlob() with the returned offset to backpatch the length. Produces
+  /// bytes identical to blob() over the same content.
+  std::size_t beginBlob();
+  void endBlob(std::size_t blobStart);
+
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }

@@ -24,6 +24,7 @@ Exam::Exam(Course course, ScoringRules rules)
 void Exam::deduct(double t, const std::string& reason, double points) {
   sheet_.deductions.push_back({t, reason, points});
   sheet_.total = std::max(0.0, sheet_.total - points);
+  ++revision_;
 }
 
 void Exam::finish(double t) {
@@ -38,6 +39,7 @@ void Exam::finish(double t) {
 
 void Exam::observe(const ExamObservation& obs) {
   if (sheet_.finished()) return;
+  const ExamPhase phaseAtEntry = sheet_.phase;
   sheet_.elapsedSec = obs.timeSec;
 
   // Event deductions apply in every phase.
@@ -114,6 +116,8 @@ void Exam::observe(const ExamObservation& obs) {
     deduct(obs.timeSec, "exam aborted (time)", 100.0);
     finish(obs.timeSec);
   }
+
+  if (sheet_.phase != phaseAtEntry) ++revision_;
 }
 
 }  // namespace cod::scenario

@@ -76,6 +76,13 @@ class Exam {
   ExamPhase phase() const { return sheet_.phase; }
   std::size_t nextWaypoint() const { return waypointIdx_; }
 
+  /// Monotone counter of scoring events (deductions and phase
+  /// transitions). The scenario module publishes a status update whenever
+  /// it advances, and streams the score over a reliable channel — a
+  /// monitor must never miss a deduction, so the score stream cannot be
+  /// newest-wins like the 16 fps view state.
+  std::uint64_t revision() const { return revision_; }
+
   /// Advance the exam with one observation.
   void observe(const ExamObservation& obs);
 
@@ -90,6 +97,7 @@ class Exam {
   std::uint32_t lastAlarmBits_ = 0;
   bool reachedDropZone_ = false;
   double phaseEnteredAt_ = 0.0;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace cod::scenario

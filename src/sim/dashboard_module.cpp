@@ -24,7 +24,10 @@ void DashboardModule::bind(core::CommunicationBackbone& cb) {
   controlsPub_ = cb.publishObjectClass(*this, kClassCraneControls);
   stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
   statusSub_ = cb.subscribeObjectClass(*this, kClassScenarioStatus);
-  commandSub_ = cb.subscribeObjectClass(*this, kClassInstructorCommands);
+  // A dropped fault injection would silently change what the trainee is
+  // being tested on: instructor commands ride a reliable channel.
+  commandSub_ = cb.subscribeObjectClass(*this, kClassInstructorCommands,
+                                        net::QosClass::kReliableOrdered);
 }
 
 void DashboardModule::reflectAttributeValues(const std::string& className,

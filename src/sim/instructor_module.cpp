@@ -83,9 +83,14 @@ InstructorModule::InstructorModule() : core::LogicalProcess("instructor") {}
 void InstructorModule::bind(core::CommunicationBackbone& cb) {
   cb_ = &cb;
   cb.attach(*this);
-  commandPub_ = cb.publishObjectClass(*this, kClassInstructorCommands);
+  // Fault injections and the exam score must never drop; the 16 fps crane
+  // state and control echoes stay newest-wins (a lost frame is superseded
+  // anyway).
+  commandPub_ = cb.publishObjectClass(*this, kClassInstructorCommands,
+                                      net::QosClass::kReliableOrdered);
   stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
-  statusSub_ = cb.subscribeObjectClass(*this, kClassScenarioStatus);
+  statusSub_ = cb.subscribeObjectClass(*this, kClassScenarioStatus,
+                                       net::QosClass::kReliableOrdered);
   controlsSub_ = cb.subscribeObjectClass(*this, kClassCraneControls);
 }
 
@@ -114,6 +119,13 @@ void InstructorModule::reflectAttributeValues(const std::string& className,
         m.state.cableLengthM;
   } else if (className == kClassScenarioStatus) {
     const ScenarioStatusMsg m = decodeScenarioStatus(attrs);
+    ++statusUpdates_;
+    // The score channel is reliable-ordered: the revision counter must
+    // never step backwards. A regression here means the transport QoS was
+    // violated (or misconfigured), which the status window should expose.
+    if (m.revision < lastRevision_) ++revisionRegressions_;
+    lastRevision_ = m.revision;
+    deductionsSeen_ = std::max(deductionsSeen_, m.deductionCount);
     status_.score = m.score;
     status_.elapsedSec = m.elapsedSec;
     status_.phase =

@@ -61,6 +61,13 @@ class InstructorModule : public core::LogicalProcess {
   void refuel();
 
   std::uint64_t stateUpdatesSeen() const { return stateUpdates_; }
+  /// Score-stream accounting: the scenario.status subscription rides a
+  /// reliable-ordered channel, so every published status must arrive and
+  /// the revision counter can never regress.
+  std::uint64_t statusUpdatesSeen() const { return statusUpdates_; }
+  std::int64_t lastScoreRevision() const { return lastRevision_; }
+  std::int64_t deductionsSeen() const { return deductionsSeen_; }
+  std::uint64_t revisionRegressions() const { return revisionRegressions_; }
 
  private:
   StatusWindow status_;
@@ -72,6 +79,10 @@ class InstructorModule : public core::LogicalProcess {
   core::SubscriptionHandle statusSub_ = core::kInvalidHandle;
   core::SubscriptionHandle controlsSub_ = core::kInvalidHandle;
   std::uint64_t stateUpdates_ = 0;
+  std::uint64_t statusUpdates_ = 0;
+  std::int64_t lastRevision_ = 0;
+  std::int64_t deductionsSeen_ = 0;
+  std::uint64_t revisionRegressions_ = 0;
   double now_ = 0.0;
 };
 

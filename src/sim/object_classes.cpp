@@ -120,6 +120,8 @@ AttributeSet encodeScenarioStatus(const ScenarioStatusMsg& m) {
   a.set("nextWaypoint", m.nextWaypoint);
   a.set("lastDeduction", m.lastDeduction);
   a.set("finished", m.finished);
+  a.set("revision", m.revision);
+  a.set("deductions", m.deductionCount);
   return a;
 }
 
@@ -131,6 +133,8 @@ ScenarioStatusMsg decodeScenarioStatus(const AttributeSet& a) {
   m.nextWaypoint = a.getInt("nextWaypoint");
   m.lastDeduction = a.getString("lastDeduction");
   m.finished = a.getBool("finished");
+  m.revision = a.getInt("revision");
+  m.deductionCount = a.getInt("deductions");
   return m;
 }
 

@@ -66,6 +66,10 @@ struct ScenarioStatusMsg {
   std::int64_t nextWaypoint = 0;
   std::string lastDeduction;
   bool finished = false;
+  /// Exam::revision() at publish time — monotone; the instructor monitor
+  /// checks it never regresses on its reliable score channel.
+  std::int64_t revision = 0;
+  std::int64_t deductionCount = 0;
 };
 
 core::AttributeSet encodeScenarioStatus(const ScenarioStatusMsg& m);

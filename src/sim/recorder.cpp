@@ -85,21 +85,29 @@ void SessionReplayer::bind(core::CommunicationBackbone& cb) {
   cb_ = &cb;
   cb.attach(*this);
   for (const RecordedUpdate& r : recording_.records()) {
+    // A journal replay is evidence for the debrief: every record must
+    // reach the viewers even over a lossy LAN, so replay channels are
+    // reliable regardless of what the viewer asked for.
     if (!pubs_.contains(r.className))
-      pubs_[r.className] = cb.publishObjectClass(*this, r.className);
+      pubs_[r.className] = cb.publishObjectClass(
+          *this, r.className, net::QosClass::kReliableOrdered);
   }
 }
 
 void SessionReplayer::step(double now) {
   if (cb_ == nullptr || finished()) return;
   if (!startNow_) {
-    // Hold the journal until a viewer's channel exists (or the grace
-    // period runs out — maybe nobody subscribes to some classes).
+    // Hold the journal until EVERY replayed class has a viewer channel,
+    // or the grace period runs out (maybe nobody subscribes to some
+    // classes). Starting on the first channel would be premature: a
+    // reliable channel is only owed records from its creation onwards, so
+    // records replayed before a slow class finishes its handshake would
+    // be legitimately — and permanently — missed by that viewer.
     if (!firstStep_) firstStep_ = now;
-    bool anyConnected = false;
+    bool allConnected = !pubs_.empty();
     for (const auto& [cls, h] : pubs_)
-      anyConnected = anyConnected || cb_->channelCount(h) > 0;
-    if (!anyConnected && now - *firstStep_ < graceSec_) return;
+      allConnected = allConnected && cb_->channelCount(h) > 0;
+    if (!allConnected && now - *firstStep_ < graceSec_) return;
     startNow_ = now;
   }
   // Map cluster time to journal time (records may not start at zero).

@@ -9,7 +9,10 @@ ScenarioModule::ScenarioModule(scenario::Course course,
 void ScenarioModule::bind(core::CommunicationBackbone& cb) {
   cb_ = &cb;
   cb.attach(*this);
-  statusPub_ = cb.publishObjectClass(*this, kClassScenarioStatus);
+  // The score stream must never drop a deduction, whatever QoS a monitor
+  // asked for: mandate reliable delivery at the publication.
+  statusPub_ = cb.publishObjectClass(*this, kClassScenarioStatus,
+                                     net::QosClass::kReliableOrdered);
   stateSub_ = cb.subscribeObjectClass(*this, kClassCraneState);
   eventSub_ = cb.subscribeObjectClass(*this, kClassScenarioEvents);
 }
@@ -41,8 +44,11 @@ void ScenarioModule::reflectAttributeValues(const std::string& className,
 }
 
 void ScenarioModule::step(double now) {
-  // 10 Hz status stream is plenty for the instructor display.
-  if (now - lastPublish_ >= 0.1) {
+  // 10 Hz status stream is plenty for the instructor display, but scoring
+  // events publish immediately: each revision reaches the wire in the
+  // tick it happened, and the reliable channel takes it from there.
+  if (now - lastPublish_ >= 0.1 ||
+      exam_.revision() != lastPublishedRevision_) {
     publishStatus(now);
     lastPublish_ = now;
   }
@@ -58,7 +64,11 @@ void ScenarioModule::publishStatus(double time) {
   m.nextWaypoint = static_cast<std::int64_t>(exam_.nextWaypoint());
   if (!sheet.deductions.empty()) m.lastDeduction = sheet.deductions.back().reason;
   m.finished = sheet.finished();
+  m.revision = static_cast<std::int64_t>(exam_.revision());
+  m.deductionCount = static_cast<std::int64_t>(sheet.deductions.size());
   cb_->updateAttributeValues(statusPub_, encodeScenarioStatus(m), time);
+  lastPublishedRevision_ = exam_.revision();
+  ++statusPublishes_;
 }
 
 }  // namespace cod::sim

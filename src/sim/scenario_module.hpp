@@ -23,6 +23,8 @@ class ScenarioModule : public core::LogicalProcess {
 
   const scenario::Exam& exam() const { return exam_; }
   bool finished() const { return exam_.score().finished(); }
+  /// Status updates pushed so far (10 Hz cadence + one per scoring event).
+  std::uint64_t statusPublishes() const { return statusPublishes_; }
 
  private:
   void publishStatus(double time);
@@ -36,6 +38,8 @@ class ScenarioModule : public core::LogicalProcess {
   core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
   core::SubscriptionHandle eventSub_ = core::kInvalidHandle;
   double lastPublish_ = -1.0;
+  std::uint64_t lastPublishedRevision_ = 0;
+  std::uint64_t statusPublishes_ = 0;
 };
 
 }  // namespace cod::sim

@@ -4,6 +4,7 @@
 // full per-channel re-encode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <utility>
@@ -91,6 +92,38 @@ TEST(PatchChannelId, EncodeIntoReusesBufferAndMatchesEncode) {
   small.seq = 4;
   encodeInto(small, frame);
   EXPECT_EQ(frame, encode(small));
+}
+
+/// Zero-copy regression: encoding an AttributeSet straight into a writer
+/// (the path updateAttributeValues uses for the reusable UPDATE frame)
+/// must be byte-identical to the allocating encode().
+TEST(ZeroCopyEncode, AttributeSetEncodeIntoMatchesEncode) {
+  const AttributeSet attrs = sampleAttrs();
+  net::WireWriter w;
+  w.u32(0xA5A5A5A5);  // writer already holds bytes; append must not care
+  const std::size_t before = w.size();
+  attrs.encodeInto(w);
+  const auto direct = attrs.encode();
+  ASSERT_EQ(w.size(), before + direct.size());
+  EXPECT_TRUE(std::equal(direct.begin(), direct.end(),
+                         w.bytes().begin() + static_cast<long>(before)));
+}
+
+TEST(ZeroCopyEncode, BeginEndBlobMatchesBlob) {
+  const std::vector<std::uint8_t> content{1, 2, 3, 4, 5};
+  net::WireWriter viaBlob;
+  viaBlob.blob(content);
+  net::WireWriter inPlace;
+  const std::size_t start = inPlace.beginBlob();
+  inPlace.raw(content);
+  inPlace.endBlob(start);
+  EXPECT_EQ(inPlace.bytes(), viaBlob.bytes());
+  // Empty blob too.
+  net::WireWriter empty1, empty2;
+  empty1.blob({});
+  const std::size_t s2 = empty2.beginBlob();
+  empty2.endBlob(s2);
+  EXPECT_EQ(empty2.bytes(), empty1.bytes());
 }
 
 class WireFixture : public ::testing::Test {
@@ -184,6 +217,52 @@ TEST_F(WireFixture, UnpublishByeBytesIdenticalToPerChannelEncode) {
             encode(ByeMsg{5, /*fromPublisher=*/true}));
   EXPECT_EQ(transport->sent[1].second,
             encode(ByeMsg{9, /*fromPublisher=*/true}));
+}
+
+/// A reliable channel's retransmit must put the byte-identical frame back
+/// on the wire (buffered once, channel id re-patched — never re-encoded).
+TEST_F(WireFixture, NackRetransmitReplaysExactUpdateBytes) {
+  cb->attach(lp);
+  const PublicationHandle h = cb->publishObjectClass(lp, "wire.cls");
+  transport->inject(sub1,
+                    encode(ChannelConnectionMsg{77, h, 5, "wire.cls",
+                                                net::QosClass::kReliableOrdered}));
+  cb->tick(0.0);
+  transport->sent.clear();
+
+  const AttributeSet attrs = sampleAttrs();
+  cb->updateAttributeValues(h, attrs, 1.5);
+  ASSERT_EQ(transport->sent.size(), 1u);
+  const auto original = transport->sent[0].second;
+  transport->sent.clear();
+
+  transport->inject(sub1, encode(NackMsg{5, {1}}));
+  cb->tick(0.01);
+  ASSERT_GE(transport->sent.size(), 1u);
+  EXPECT_EQ(transport->sent[0].first, sub1);
+  EXPECT_EQ(transport->sent[0].second, original);
+  UpdateMsg ref;
+  ref.channelId = 5;
+  ref.seq = 1;
+  ref.timestamp = 1.5;
+  ref.payload = attrs.encode();
+  EXPECT_EQ(transport->sent[0].second, encode(ref));
+  EXPECT_EQ(cb->stats().reliable.retransmitsSent, 1u);
+}
+
+/// Best-effort publications must not pay for the reliable layer: no frame
+/// buffering, no retransmits, identical wire traffic.
+TEST_F(WireFixture, BestEffortPublicationBuffersNothing) {
+  const PublicationHandle h = publishWithTwoChannels();
+  for (int i = 0; i < 10; ++i)
+    cb->updateAttributeValues(h, sampleAttrs(), 0.1 * i);
+  EXPECT_EQ(cb->stats().reliable.framesBuffered, 0u);
+  EXPECT_EQ(cb->stats().reliable.retransmitsSent, 0u);
+  // A NACK against a best-effort channel is ignored, not served.
+  transport->sent.clear();
+  transport->inject(sub1, encode(NackMsg{5, {1, 2, 3}}));
+  cb->tick(0.01);
+  EXPECT_TRUE(transport->sent.empty());
 }
 
 /// Regression: publish → subscribe (local fast path) → unsubscribe →

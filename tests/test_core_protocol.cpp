@@ -25,22 +25,84 @@ TEST(Protocol, AcknowledgeRoundTrip) {
 }
 
 TEST(Protocol, ChannelConnectionRoundTrip) {
-  const ChannelConnectionMsg m{1, 2, 3, "x"};
+  const ChannelConnectionMsg m{1, 2, 3, "x",
+                               net::QosClass::kReliableOrdered};
   const auto d = decode(encode(m));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->type, MsgType::kChannelConnection);
   EXPECT_EQ(d->channelConnection.subscriptionId, 1u);
   EXPECT_EQ(d->channelConnection.publicationId, 2u);
   EXPECT_EQ(d->channelConnection.channelId, 3u);
+  EXPECT_EQ(d->channelConnection.qos, net::QosClass::kReliableOrdered);
+  // The default-constructed message still speaks best effort.
+  const auto d2 = decode(encode(ChannelConnectionMsg{1, 2, 3, "x"}));
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->channelConnection.qos, net::QosClass::kBestEffort);
 }
 
 TEST(Protocol, ChannelAckRoundTrip) {
-  const ChannelAckMsg m{5, 6};
+  const ChannelAckMsg m{5, 6, net::QosClass::kReliableOrdered, 12345u};
   const auto d = decode(encode(m));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->type, MsgType::kChannelAck);
   EXPECT_EQ(d->channelAck.channelId, 5u);
   EXPECT_EQ(d->channelAck.publicationId, 6u);
+  EXPECT_EQ(d->channelAck.qos, net::QosClass::kReliableOrdered);
+  EXPECT_EQ(d->channelAck.firstSeq, 12345u);
+}
+
+TEST(Protocol, InvalidQosRejected) {
+  auto bytes = encode(ChannelConnectionMsg{1, 2, 3, "x"});
+  bytes.back() = 7;  // not a QosClass
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Protocol, NackRoundTrip) {
+  NackMsg m;
+  m.channelId = 77;
+  m.missingSeqs = {4, 5, 9, 1000000007ull};
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kNack);
+  EXPECT_EQ(d->nack.channelId, 77u);
+  EXPECT_EQ(d->nack.missingSeqs, m.missingSeqs);
+}
+
+TEST(Protocol, EmptyNackRoundTrips) {
+  const auto d = decode(encode(NackMsg{3, {}}));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->nack.missingSeqs.empty());
+}
+
+TEST(Protocol, WindowAckRoundTripBothDirections) {
+  const auto fromSub = decode(encode(WindowAckMsg{8, 42, false}));
+  ASSERT_TRUE(fromSub.has_value());
+  EXPECT_EQ(fromSub->type, MsgType::kWindowAck);
+  EXPECT_EQ(fromSub->windowAck.channelId, 8u);
+  EXPECT_EQ(fromSub->windowAck.cumulativeSeq, 42u);
+  EXPECT_FALSE(fromSub->windowAck.fromPublisher);
+  const auto fromPub = decode(encode(WindowAckMsg{8, 42, true}));
+  ASSERT_TRUE(fromPub.has_value());
+  EXPECT_TRUE(fromPub->windowAck.fromPublisher);
+}
+
+TEST(Protocol, NackAndWindowAckStartWithPatchableChannelId) {
+  // The retransmit fast path may re-target these frames like UPDATEs.
+  auto nack = encode(NackMsg{0, {1, 2}});
+  patchChannelId(nack, 31u);
+  EXPECT_EQ(nack, encode(NackMsg{31u, {1, 2}}));
+  auto ack = encode(WindowAckMsg{0, 9, false});
+  patchChannelId(ack, 31u);
+  EXPECT_EQ(ack, encode(WindowAckMsg{31u, 9, false}));
+}
+
+TEST(Protocol, TruncatedNackRejected) {
+  const auto bytes = encode(NackMsg{1, {10, 20, 30}});
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + cut);
+    EXPECT_FALSE(decode(truncated).has_value()) << "cut=" << cut;
+  }
 }
 
 TEST(Protocol, UpdateRoundTrip) {
@@ -100,6 +162,8 @@ TEST(Protocol, MsgTypeNames) {
   EXPECT_STREQ(msgTypeName(MsgType::kUpdate), "UPDATE");
   EXPECT_STREQ(msgTypeName(MsgType::kHeartbeat), "HEARTBEAT");
   EXPECT_STREQ(msgTypeName(MsgType::kBye), "BYE");
+  EXPECT_STREQ(msgTypeName(MsgType::kNack), "NACK");
+  EXPECT_STREQ(msgTypeName(MsgType::kWindowAck), "WINDOW_ACK");
 }
 
 TEST(Protocol, EmptyClassNameAllowed) {

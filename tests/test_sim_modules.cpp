@@ -9,6 +9,7 @@
 #include "sim/dynamics_module.hpp"
 #include "sim/instructor_module.hpp"
 #include "sim/platform_module.hpp"
+#include "sim/scenario_module.hpp"
 #include "sim/scene_builder.hpp"
 
 namespace cod::sim {
@@ -94,6 +95,90 @@ TEST(ObjectClasses, PlatformPoseRoundTrip) {
   EXPECT_DOUBLE_EQ(d.qw, 0.99);
   for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(d.legs[i], m.legs[i]);
   EXPECT_FALSE(d.reachable);
+}
+
+TEST(ObjectClasses, StatusRevisionRoundTrips) {
+  ScenarioStatusMsg st;
+  st.revision = 42;
+  st.deductionCount = 7;
+  const ScenarioStatusMsg st2 = decodeScenarioStatus(encodeScenarioStatus(st));
+  EXPECT_EQ(st2.revision, 42);
+  EXPECT_EQ(st2.deductionCount, 7);
+}
+
+/// The exam-scoring stream across a lossy LAN: the scenario module
+/// mandates a reliable publication, so the instructor must see every
+/// deduction and a never-regressing revision even at 30% packet loss.
+TEST(ReliableScoreStream, InstructorMissesNoDeductionOverLossyLan) {
+  /// Publishes the crane state + bar-hit events that drive the exam.
+  class Feeder : public core::LogicalProcess {
+   public:
+    Feeder() : core::LogicalProcess("feeder") {}
+    void bind(core::CommunicationBackbone& cb) {
+      cb.attach(*this);
+      statePub_ = cb.publishObjectClass(*this, kClassCraneState);
+      eventPub_ = cb.publishObjectClass(*this, kClassScenarioEvents);
+    }
+    void barHit(std::int64_t bar, double t) {
+      backbone()->updateAttributeValues(
+          eventPub_, encodeScenarioEvent({"barHit", bar, {}, t}), t);
+    }
+    void state(double t) {
+      CraneStateMsg m;
+      m.simTimeSec = t;
+      backbone()->updateAttributeValues(statePub_, encodeCraneState(m), t);
+    }
+
+   private:
+    core::PublicationHandle statePub_ = core::kInvalidHandle;
+    core::PublicationHandle eventPub_ = core::kInvalidHandle;
+  };
+
+  core::CodCluster::Config cfg;
+  cfg.link.lossRate = 0.3;
+  cfg.link.jitterSec = 300e-6;
+  core::CodCluster cluster(cfg);
+  auto& cbSim = cluster.addComputer("sim");
+  auto& cbInstructor = cluster.addComputer("instructor");
+  ScenarioModule scenario(scenario::compactCourse());
+  scenario.bind(cbSim);
+  Feeder feeder;
+  feeder.bind(cbSim);  // same box as the scenario: events take the fast path
+  InstructorModule instructor;
+  instructor.bind(cbInstructor);
+
+  // The reliable status channel is up once the first update lands.
+  ASSERT_TRUE(cluster.runUntil(
+      [&] { return instructor.statusUpdatesSeen() > 0; }, 15.0));
+
+  for (int i = 0; i < 12; ++i) {
+    feeder.barHit(i % 3, cluster.now());
+    feeder.state(cluster.now());
+    cluster.step(0.3);
+  }
+  // Hits queue on the event subscription and are applied by the *next*
+  // state observation; flush the final one.
+  feeder.state(cluster.now());
+  cluster.step(0.3);
+  const std::uint64_t published = scenario.statusPublishes();
+  cluster.runUntil(
+      [&] {
+        return instructor.statusUpdatesSeen() >= published &&
+               static_cast<std::uint64_t>(instructor.lastScoreRevision()) >=
+                   scenario.exam().revision();
+      },
+      cluster.now() + 10.0);
+
+  const auto& sheet = scenario.exam().score();
+  EXPECT_EQ(sheet.deductions.size(), 12u);
+  EXPECT_EQ(instructor.deductionsSeen(),
+            static_cast<std::int64_t>(sheet.deductions.size()));
+  EXPECT_EQ(static_cast<std::uint64_t>(instructor.lastScoreRevision()),
+            scenario.exam().revision());
+  EXPECT_EQ(instructor.revisionRegressions(), 0u);
+  EXPECT_DOUBLE_EQ(instructor.statusWindow().score, sheet.total);
+  // The loss model really was in play on this LAN.
+  EXPECT_GT(cluster.network().stats().packetsDropped, 0u);
 }
 
 TEST(SceneBuilder, HitsPolygonBudget) {
