@@ -57,6 +57,34 @@ void BM_LocalFastPathUpdate(benchmark::State& state) {
   state.counters["delivered"] = static_cast<double>(sub.received);
 }
 
+/// Local fast path with wide registration tables: the per-update
+/// publication/subscription lookups are hash-table hits now (they were
+/// O(log n) ordered-map walks), so the cost must stay flat as the tables
+/// grow to state.range(0) co-registered pub/sub pairs.
+void BM_LocalFastPathUpdateWideTables(benchmark::State& state) {
+  const int tables = static_cast<int>(state.range(0));
+  core::CodCluster cluster;
+  auto& cb = cluster.addComputer("onebox");
+  NullLp pub, sub;
+  cb.attach(pub);
+  cb.attach(sub);
+  const auto h = cb.publishObjectClass(pub, "bench.data");
+  const auto s = cb.subscribeObjectClass(sub, "bench.data");
+  for (int i = 0; i < tables; ++i) {
+    const std::string cls = "bench.filler." + std::to_string(i);
+    cb.publishObjectClass(pub, cls);
+    cb.subscribeObjectClass(sub, cls);
+  }
+  const core::AttributeSet attrs = sampleAttrs();
+  double t = 0.0;
+  for (auto _ : state) {
+    cb.updateAttributeValues(h, attrs, t);
+    benchmark::DoNotOptimize(cb.poll(s));  // pull model: no tick in the loop
+    t += 1e-4;
+  }
+  state.counters["tables"] = tables;
+}
+
 /// Cross-host path: update serialized, sent over the simulated LAN,
 /// decoded and delivered on the far CB.
 void BM_CrossHostUpdate(benchmark::State& state) {
@@ -132,12 +160,17 @@ class NullTransport final : public net::Transport {
 
 /// Pure update fan-out: updateAttributeValues() against N established
 /// channels, no LAN in the way — the path the encode-once/patch-channel-id
-/// fast path optimizes.
+/// fast path optimizes. Batching is pinned off: this bench isolates the
+/// per-frame serialization cost (a no-op transport makes the staging
+/// memcpy look like pure loss); the datagram economics of batching are
+/// bench_batching's BM_FrameFlush.
 void BM_FanOutSendOnly(benchmark::State& state) {
   const std::uint32_t fan = static_cast<std::uint32_t>(state.range(0));
   auto transport = std::make_unique<NullTransport>();
   NullTransport* net = transport.get();
-  core::CommunicationBackbone cb("pub", std::move(transport));
+  core::CommunicationBackbone::Config cfg;
+  cfg.batch.enabled = false;
+  core::CommunicationBackbone cb("pub", std::move(transport), cfg);
   NullLp pub;
   cb.attach(pub);
   const auto h = cb.publishObjectClass(pub, "bench.data");
@@ -190,6 +223,7 @@ void BM_DecodeUpdateMsg(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_LocalFastPathUpdate);
+BENCHMARK(BM_LocalFastPathUpdateWideTables)->Arg(1)->Arg(64)->Arg(1024);
 BENCHMARK(BM_CrossHostUpdate);
 BENCHMARK(BM_FanOutUpdate)->Arg(1)->Arg(2)->Arg(4)->Arg(7);
 BENCHMARK(BM_FanOutSendOnly)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);

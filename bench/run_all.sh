@@ -46,13 +46,18 @@ if [[ "${found}" -eq 0 ]]; then
   exit 1
 fi
 
-# The reliable-channel baseline is what regression hunts diff against the
-# best-effort numbers; warn (stderr) if it was not produced — e.g. Google
-# Benchmark missing, so bench_reliable was never built. Not fatal: the
-# scenario-bench .log baselines above are still valid without it.
-if [[ ! -s "${OUT_DIR}/BENCH_reliable.json" ]]; then
-  echo "warning: BENCH_reliable.json missing — bench_reliable did not run" >&2
-  echo "         (is Google Benchmark installed?)" >&2
-fi
+# Baselines regression hunts diff against: the reliable-channel numbers
+# (vs best effort) and the batching numbers (datagrams/frame batched vs
+# unbatched). Warn (stderr) if either was not produced — e.g. Google
+# Benchmark missing, so the gbench binaries were never built. Not fatal:
+# the scenario-bench .log baselines above are still valid without them.
+for required in BENCH_reliable.json BENCH_batching.json; do
+  if [[ ! -s "${OUT_DIR}/${required}" ]]; then
+    bench_bin="bench_${required#BENCH_}"
+    bench_bin="${bench_bin%.json}"
+    echo "warning: ${required} missing — ${bench_bin} did not run" >&2
+    echo "         (is Google Benchmark installed?)" >&2
+  fi
+done
 
 echo "baselines written to ${OUT_DIR}/"

@@ -22,11 +22,74 @@ CommunicationBackbone::CommunicationBackbone(
     : CommunicationBackbone(std::move(name), std::move(transport), Config{}) {}
 
 CommunicationBackbone::~CommunicationBackbone() {
+  // Anything staged since the last tick still leaves (best effort — the
+  // transport may already be beyond caring, but a BYE or final update
+  // deserves the attempt).
+  flushBatches();
   // Detach surviving LPs so their destructors do not dangle into us.
   for (auto& [id, lp] : lps_) {
     lp->cb_ = nullptr;
     lp->id_ = 0;
   }
+}
+
+std::uint32_t CommunicationBackbone::batchSlotFor(const net::NodeAddr& dst) {
+  const auto it = batchSlots_.find(dst);
+  if (it != batchSlots_.end()) return it->second;
+  const auto slot = static_cast<std::uint32_t>(peerBatches_.size());
+  peerBatches_.push_back(PeerBatch{dst, {}});
+  batchSlots_.emplace(dst, slot);
+  return slot;
+}
+
+void CommunicationBackbone::stageSend(const net::NodeAddr& dst,
+                                      std::span<const std::uint8_t> frame) {
+  stageSend(batchSlotFor(dst), frame);
+}
+
+void CommunicationBackbone::stageSend(std::uint32_t slot,
+                                      std::span<const std::uint8_t> frame) {
+  PeerBatch& b = peerBatches_[slot];
+  if (!cfg_.batch.enabled) {
+    transport_->send(b.addr, frame);
+    return;
+  }
+  if (!b.builder.empty() &&
+      (b.builder.sizeWith(frame.size()) > cfg_.batch.byteBudget ||
+       b.builder.frameCount() >= kBatchMaxFrames)) {
+    ++stats_.batch.budgetFlushes;
+    flushSlot(b);
+  }
+  if (b.builder.empty() &&
+      b.builder.sizeWith(frame.size()) > cfg_.batch.byteBudget) {
+    // Even alone this frame busts the budget: bypass the container (the
+    // bare frame is wire-compatible; the transport fragments if it must).
+    transport_->send(b.addr, frame);
+    ++stats_.batch.oversizeSends;
+    return;
+  }
+  b.builder.append(frame);
+}
+
+void CommunicationBackbone::flushSlot(PeerBatch& b) {
+  if (b.builder.empty()) return;
+  if (b.builder.frameCount() == 1) {
+    // A one-frame container is pure overhead — and stripping it keeps a
+    // lone message byte-identical to the un-batched protocol.
+    transport_->send(b.addr, b.builder.soloFrame());
+    ++stats_.batch.soloFlushes;
+  } else {
+    const auto bytes = b.builder.bytes();
+    transport_->send(b.addr, bytes);
+    ++stats_.batch.datagramsCoalesced;
+    stats_.batch.framesCoalesced += b.builder.frameCount();
+    stats_.batch.containerBytesSent += bytes.size();
+  }
+  b.builder.clear();
+}
+
+void CommunicationBackbone::flushBatches() {
+  for (PeerBatch& b : peerBatches_) flushSlot(b);
 }
 
 LpId CommunicationBackbone::attach(LogicalProcess& lp) {
@@ -45,10 +108,12 @@ void CommunicationBackbone::detach(LogicalProcess& lp) {
   std::vector<PublicationHandle> pubs;
   for (const auto& [h, e] : publications_)
     if (e.lp == lp.id_) pubs.push_back(h);
+  std::sort(pubs.begin(), pubs.end());
   for (const PublicationHandle h : pubs) unpublish(h);
   std::vector<SubscriptionHandle> subs;
   for (const auto& [h, e] : subscriptions_)
     if (e.lp == lp.id_) subs.push_back(h);
+  std::sort(subs.begin(), subs.end());
   for (const SubscriptionHandle h : subs) unsubscribe(h);
   lps_.erase(lp.id_);
   lp.cb_ = nullptr;
@@ -91,13 +156,18 @@ SubscriptionHandle CommunicationBackbone::subscribeObjectClass(
 }
 
 void CommunicationBackbone::matchLocal(PublicationEntry& pub) {
+  std::vector<SubscriptionHandle> matched;
   for (const auto& [h, sub] : subscriptions_) {
     if (sub.className == pub.className &&
         std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
                   h) == pub.localSubscribers.end()) {
-      pub.localSubscribers.push_back(h);
+      matched.push_back(h);
     }
   }
+  // Creation order, not hash order: fast-path delivery order is observable.
+  std::sort(matched.begin(), matched.end());
+  pub.localSubscribers.insert(pub.localSubscribers.end(), matched.begin(),
+                              matched.end());
 }
 
 void CommunicationBackbone::unpublish(PublicationHandle h) {
@@ -105,10 +175,15 @@ void CommunicationBackbone::unpublish(PublicationHandle h) {
   if (it == publications_.end()) return;
   if (!it->second.channels.empty()) {
     auto bye = encode(ByeMsg{0, /*fromPublisher=*/true});
-    for (const OutChannel& ch : it->second.channels) {
+    for (OutChannel& ch : it->second.channels) {
       patchChannelId(bye, ch.remoteChannelId);
-      transport_->send(ch.remote, bye);
+      stageToChannel(ch, bye);
     }
+    // Resignation must not wait for the next tick (the subscriber would
+    // keep trusting a dead channel until its heartbeat timeout). Only the
+    // BYE'd peers flush — unrelated peers keep coalescing.
+    for (const OutChannel& ch : it->second.channels)
+      flushSlot(peerBatches_[ch.batchSlot]);
   }
   publications_.erase(it);
 }
@@ -133,10 +208,12 @@ void CommunicationBackbone::removeInChannel(std::uint32_t channelId,
   if (it == inChannels_.end()) return;
   if (sendBye) {
     // Tell the publisher so its outgoing entry does not linger until the
-    // heartbeat timeout.
+    // heartbeat timeout; flush that peer (only) immediately for the same
+    // reason.
     const auto bytes =
         encode(ByeMsg{channelId, /*fromPublisher=*/false});
-    transport_->send(it->second.remote, bytes);
+    stageToChannel(it->second, bytes);
+    flushSlot(peerBatches_[it->second.batchSlot]);
   }
   inChannels_.erase(it);
 }
@@ -187,9 +264,18 @@ void CommunicationBackbone::updateAttributeValues(PublicationHandle h,
       }
       if (!ch.qosConfirmed) continue;  // held back until the upgrade lands
       patchChannelId(updateFrame_, ch.remoteChannelId);
-      transport_->send(ch.remote, updateFrame_);
+      stageToChannel(ch, updateFrame_);
       ch.lastSentSec = now_;
       ++stats_.updatesSent;
+    }
+    if (cfg_.batch.flushReliableUpdates && pub.retx) {
+      // Latency escape hatch: reliable command streams leave now rather
+      // than riding the end-of-tick flush.
+      for (const OutChannel& ch : pub.channels) {
+        if (ch.qos == net::QosClass::kReliableOrdered &&
+            ch.batchSlot != kNoBatchSlot)
+          flushSlot(peerBatches_[ch.batchSlot]);
+      }
     }
   }
 }
@@ -258,41 +344,89 @@ void CommunicationBackbone::tick(double now) {
     const auto it = lps_.find(id);
     if (it != lps_.end()) it->second->step(now);
   }
+  // The flush point: everything staged this tick — handler replies, timer
+  // traffic, LP-step updates — leaves as one datagram per peer.
+  flushBatches();
 }
 
 void CommunicationBackbone::handleDatagram(const net::Datagram& d, double now) {
+  if (!d.payload.empty() &&
+      d.payload.front() == static_cast<std::uint8_t>(MsgType::kBatch)) {
+    // Container from a batching sender: walk the length-prefixed
+    // sub-frames as views (no copies) and dispatch each as if it had
+    // arrived alone. Interop is symmetric — bare frames from un-batched
+    // senders take the plain path below unchanged.
+    //
+    // The framing is validated in full BEFORE anything is dispatched: a
+    // corrupt container must have no side effects, exactly like decode()
+    // rejecting it wholesale (a half-applied datagram would be a state
+    // the un-batched protocol can never produce). validateBatchBody is
+    // the same contract decode() enforces.
+    const auto body = std::span<const std::uint8_t>(d.payload).subspan(1);
+    const auto count = validateBatchBody(body);
+    if (!count) {
+      ++stats_.malformedDrops;
+      return;
+    }
+    ++stats_.batch.datagramsUnpacked;
+    net::WireReader r(body);
+    r.u16();  // count, validated above
+    for (std::uint16_t i = 0; i < *count; ++i) {
+      auto msg = decode(*r.blobSpan());
+      if (!msg) {
+        // Valid framing, undecodable message inside: dropped exactly as
+        // the same bytes would be had they arrived bare.
+        ++stats_.malformedDrops;
+        continue;
+      }
+      ++stats_.batch.framesUnpacked;
+      dispatchMessage(*msg, d.src, now);
+    }
+    return;
+  }
   auto msg = decode(d.payload);
   if (!msg) {
     ++stats_.malformedDrops;
     return;
   }
-  switch (msg->type) {
+  dispatchMessage(*msg, d.src, now);
+}
+
+void CommunicationBackbone::dispatchMessage(CbMessage& msg,
+                                            const net::NodeAddr& src,
+                                            double now) {
+  switch (msg.type) {
     case MsgType::kSubscription:
-      handleSubscription(msg->subscription, d.src, now);
+      handleSubscription(msg.subscription, src, now);
       break;
     case MsgType::kAcknowledge:
-      handleAcknowledge(msg->acknowledge, d.src, now);
+      handleAcknowledge(msg.acknowledge, src, now);
       break;
     case MsgType::kChannelConnection:
-      handleChannelConnection(msg->channelConnection, d.src, now);
+      handleChannelConnection(msg.channelConnection, src, now);
       break;
     case MsgType::kChannelAck:
-      handleChannelAck(msg->channelAck, d.src, now);
+      handleChannelAck(msg.channelAck, src, now);
       break;
     case MsgType::kUpdate:
-      handleUpdate(msg->update, d.src, now);
+      handleUpdate(msg.update, src, now);
       break;
     case MsgType::kHeartbeat:
-      handleHeartbeat(msg->heartbeat, d.src, now);
+      handleHeartbeat(msg.heartbeat, src, now);
       break;
     case MsgType::kBye:
-      handleBye(msg->bye, d.src);
+      handleBye(msg.bye, src);
       break;
     case MsgType::kNack:
-      handleNack(msg->nack, d.src, now);
+      handleNack(msg.nack, src, now);
       break;
     case MsgType::kWindowAck:
-      handleWindowAck(msg->windowAck, d.src, now);
+      handleWindowAck(msg.windowAck, src, now);
+      break;
+    case MsgType::kBatch:
+      // Containers are unpacked in handleDatagram and never nest; one
+      // reaching here means a decoder bug upstream — drop it.
+      ++stats_.malformedDrops;
       break;
   }
 }
@@ -302,11 +436,15 @@ void CommunicationBackbone::handleSubscription(const SubscriptionMsg& m,
                                                double /*now*/) {
   // §2.3: the publisher CB checks whether one of its LPs produces the
   // requested class; if so it acknowledges. It keeps listening while it
-  // executes, which is what makes dynamic join possible.
-  for (const auto& [h, pub] : publications_) {
-    if (pub.className != m.className) continue;
-    const AcknowledgeMsg ack{m.subscriptionId, pub.id, pub.className};
-    transport_->send(src, encode(ack));
+  // executes, which is what makes dynamic join possible. ACKs go out in
+  // publication-id (creation) order — the table hashes, the wire must not.
+  std::vector<PublicationHandle> matches;
+  for (const auto& [h, pub] : publications_)
+    if (pub.className == m.className) matches.push_back(h);
+  std::sort(matches.begin(), matches.end());
+  for (const PublicationHandle h : matches) {
+    const AcknowledgeMsg ack{m.subscriptionId, h, m.className};
+    stageSend(src, encode(ack));
     ++stats_.acknowledgesSent;
   }
 }
@@ -344,7 +482,7 @@ void CommunicationBackbone::handleAcknowledge(const AcknowledgeMsg& m,
   const std::uint32_t channelId = ch.channelId;
   inChannels_.emplace(channelId, std::move(ch));
   sub.everAcknowledged = true;
-  transport_->send(src, encode(connect));
+  stageSend(src, encode(connect));
 }
 
 void CommunicationBackbone::handleChannelConnection(
@@ -387,7 +525,7 @@ void CommunicationBackbone::handleChannelConnection(
   // CHANNEL_CONNECTION must not shift the base the subscriber will trust.
   const ChannelAckMsg ack{m.channelId, pub.id, existing->qos,
                           existing->firstSeq};
-  transport_->send(src, encode(ack));
+  stageSend(src, encode(ack));
 }
 
 void CommunicationBackbone::handleChannelAck(const ChannelAckMsg& m,
@@ -558,7 +696,7 @@ void CommunicationBackbone::handleNack(const NackMsg& m,
     if (seq < ch->firstSeq || seq >= pub->nextSeq) continue;  // never owed
     if (std::vector<std::uint8_t>* frame = pub->retx->frame(seq)) {
       patchChannelId(*frame, ch->remoteChannelId);
-      transport_->send(ch->remote, *frame);
+      stageToChannel(*ch, *frame);
       pub->retx->markSent(seq, now);
       ch->lastSentSec = now;
     } else if (seq <= pub->retx->highestEvicted()) {
@@ -570,9 +708,8 @@ void CommunicationBackbone::handleNack(const NackMsg& m,
     // acked it — a stale NACK that crossed our prune in flight; ignore.
   }
   if (skipThrough > 0) {
-    transport_->send(ch->remote, encode(WindowAckMsg{ch->remoteChannelId,
-                                                     skipThrough,
-                                                     /*fromPublisher=*/true}));
+    stageToChannel(*ch, encode(WindowAckMsg{ch->remoteChannelId, skipThrough,
+                                            /*fromPublisher=*/true}));
   }
 }
 
@@ -605,8 +742,15 @@ void CommunicationBackbone::handleWindowAck(const WindowAckMsg& m,
 }
 
 void CommunicationBackbone::runTimers(double now) {
-  // Subscription discovery broadcasts (§2.3).
-  for (auto& [h, sub] : subscriptions_) {
+  // Subscription discovery broadcasts (§2.3). Handles are snapshotted and
+  // sorted: the table is a hash map now, and broadcast order should stay
+  // creation order on every platform.
+  std::vector<SubscriptionHandle> subIds;
+  subIds.reserve(subscriptions_.size());
+  for (const auto& [h, e] : subscriptions_) subIds.push_back(h);
+  std::sort(subIds.begin(), subIds.end());
+  for (const SubscriptionHandle h : subIds) {
+    SubscriptionEntry& sub = subscriptions_.find(h)->second;
     if (now < sub.nextBroadcast) continue;
     const bool hasLive = sourceCount(h) > 0;
     if (hasLive && cfg_.refreshIntervalSec <= 0.0) {
@@ -644,20 +788,20 @@ void CommunicationBackbone::runTimers(double now) {
                                            ch.remotePublicationId, ch.channelId,
                                            sit->second.className,
                                            sit->second.qos};
-        transport_->send(ch.remote, encode(connect));
+        stageSend(ch.remote, encode(connect));
         ch.lastConnectSent = now;
       }
     }
     if (ch.rq) {
       // Receiver half of the reliable layer: NACK persistent gaps and
-      // acknowledge cumulative progress.
+      // acknowledge cumulative progress. Both coalesce with whatever else
+      // this tick owes the publisher (heartbeats included).
       const auto missing = ch.rq->collectNacks(now);
       if (!missing.empty())
-        transport_->send(ch.remote, encode(NackMsg{ch.channelId, missing}));
+        stageToChannel(ch, encode(NackMsg{ch.channelId, missing}));
       if (const auto cum = ch.rq->collectAck(now)) {
-        transport_->send(ch.remote,
-                         encode(WindowAckMsg{ch.channelId, *cum,
-                                             /*fromPublisher=*/false}));
+        stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
+                                               /*fromPublisher=*/false}));
         // The ack doubles as a keep-alive on this direction.
         ch.lastHeartbeatSent = now;
       }
@@ -668,8 +812,16 @@ void CommunicationBackbone::runTimers(double now) {
       if (subHeartbeat.empty())
         subHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/false});
       patchChannelId(subHeartbeat, ch.channelId);
-      transport_->send(ch.remote, subHeartbeat);
+      stageToChannel(ch, subHeartbeat);
       ch.lastHeartbeatSent = now;
+      if (cfg_.batch.enabled && ch.rq) {
+        // Piggyback the cumulative ack on the keep-alive that is leaving
+        // anyway: a quiet reliable link keeps the publisher's window
+        // pruned without ever paying a separate control datagram.
+        if (const auto cum = ch.rq->piggybackAck(now))
+          stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
+                                                 /*fromPublisher=*/false}));
+      }
     }
     if (now - ch.lastActivity > cfg_.channelTimeoutSec) toDrop.push_back(cid);
   }
@@ -685,9 +837,15 @@ void CommunicationBackbone::runTimers(double now) {
   }
 
   // Publisher keep-alives on idle channels, the reliable tail-retransmit
-  // sweep, and timeout of dead subscribers.
+  // sweep, and timeout of dead subscribers (sorted snapshot again: the
+  // publication table hashes, but wire order should not).
   std::vector<std::uint8_t> pubHeartbeat;
-  for (auto& [h, pub] : publications_) {
+  std::vector<PublicationHandle> pubIds;
+  pubIds.reserve(publications_.size());
+  for (const auto& [h, e] : publications_) pubIds.push_back(h);
+  std::sort(pubIds.begin(), pubIds.end());
+  for (const PublicationHandle h : pubIds) {
+    PublicationEntry& pub = publications_.find(h)->second;
     auto& chans = pub.channels;
     for (OutChannel& ch : chans) {
       if (ch.qos == net::QosClass::kReliableOrdered && !ch.windowAckSeen &&
@@ -695,16 +853,15 @@ void CommunicationBackbone::runTimers(double now) {
         // Until the first WINDOW_ACK arrives the subscriber may not know
         // this channel is reliable (its CHANNEL_ACK can be lost while
         // data keeps it live): repeat the ack with the original base.
-        transport_->send(ch.remote, encode(ChannelAckMsg{ch.remoteChannelId,
-                                                         pub.id, ch.qos,
-                                                         ch.firstSeq}));
+        stageToChannel(ch, encode(ChannelAckMsg{ch.remoteChannelId, pub.id,
+                                                ch.qos, ch.firstSeq}));
         ch.lastAckResendSec = now;
       }
       if (now - ch.lastSentSec >= cfg_.heartbeatIntervalSec) {
         if (pubHeartbeat.empty())
           pubHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/true});
         patchChannelId(pubHeartbeat, ch.remoteChannelId);
-        transport_->send(ch.remote, pubHeartbeat);
+        stageToChannel(ch, pubHeartbeat);
         ch.lastSentSec = now;
       }
     }
@@ -728,7 +885,7 @@ void CommunicationBackbone::runTimers(double now) {
               !ch.qosConfirmed || ch.cumAcked >= seq || seq < ch.firstSeq)
             continue;
           patchChannelId(*frame, ch.remoteChannelId);
-          transport_->send(ch.remote, *frame);
+          stageToChannel(ch, *frame);
           ch.lastSentSec = now;
         }
       }
@@ -751,6 +908,9 @@ void CommunicationBackbone::deliverMailboxes() {
   std::vector<SubscriptionHandle> ids;
   ids.reserve(subscriptions_.size());
   for (const auto& [h, sub] : subscriptions_) ids.push_back(h);
+  // Subscription-id order == creation order: push delivery across LPs
+  // must not depend on hash-table layout.
+  std::sort(ids.begin(), ids.end());
   for (const SubscriptionHandle h : ids) {
     // Re-find each time: reflect callbacks may (un)subscribe re-entrantly.
     auto it = subscriptions_.find(h);

@@ -18,7 +18,12 @@
 //  * per-channel QoS: kBestEffort channels are the paper's newest-wins
 //    path; kReliableOrdered channels add a NACK/retransmit window and
 //    in-order delivery (net/reliable.hpp) for traffic that must not drop,
-//    such as exam scoring and instructor commands.
+//    such as exam scoring and instructor commands;
+//  * tick-coalesced sending: outbound frames (updates, heartbeats, acks,
+//    NACKs, retransmits) are staged per destination and leave as one
+//    kBatch container datagram per peer per flush — the paper's 16 fps
+//    surround view pushes 3+ attribute sets per frame, and without
+//    coalescing each one costs a datagram per channel.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +32,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/protocol.hpp"
@@ -88,6 +95,26 @@ class LogicalProcess {
   CommunicationBackbone* cb_ = nullptr;
 };
 
+/// Counters of the per-peer send coalescer (both directions).
+struct CbBatchStats {
+  std::uint64_t datagramsCoalesced = 0;  // kBatch containers emitted
+  std::uint64_t framesCoalesced = 0;     // sub-frames that rode in them
+  std::uint64_t soloFlushes = 0;         // one-frame flushes, sent bare
+  std::uint64_t oversizeSends = 0;       // frames beyond the byte budget
+  std::uint64_t budgetFlushes = 0;       // early flushes forced by budget
+  std::uint64_t containerBytesSent = 0;  // bytes across all containers
+  std::uint64_t datagramsUnpacked = 0;   // containers received
+  std::uint64_t framesUnpacked = 0;      // sub-frames dispatched from them
+  /// Mean container size; with framesCoalesced/datagramsCoalesced this is
+  /// the observable the batching bench tracks (bytes per datagram).
+  double bytesPerDatagram() const {
+    return datagramsCoalesced == 0
+               ? 0.0
+               : static_cast<double>(containerBytesSent) /
+                     static_cast<double>(datagramsCoalesced);
+  }
+};
+
 /// Counters exposed for tests, benches and the instructor monitor.
 struct CbStats {
   std::uint64_t broadcastsSent = 0;
@@ -104,6 +131,8 @@ struct CbStats {
   std::uint64_t mailboxOverflows = 0;
   /// Counters of the reliable-delivery layer (both roles).
   net::ReliableStats reliable;
+  /// Counters of the send coalescer.
+  CbBatchStats batch;
 };
 
 /// The Communication Backbone.
@@ -133,6 +162,24 @@ class CommunicationBackbone {
     bool pushDelivery = true;
     /// Tunables of the kReliableOrdered channel machinery.
     net::ReliableConfig reliable;
+    /// Tunables of the per-peer send coalescer.
+    struct Batch {
+      /// Stage outbound frames per destination and flush them as one
+      /// kBatch container per peer per tick. Off restores the one-
+      /// datagram-per-frame wire behaviour exactly.
+      bool enabled = true;
+      /// Container size cap, bytes — keep one flush under the path MTU so
+      /// the LAN never fragments it. A staged batch that a new frame
+      /// would push past this flushes early; a single frame larger than
+      /// the budget bypasses the container and is sent bare.
+      std::size_t byteBudget = 1200;
+      /// Latency escape hatch: flush a publication's peers immediately
+      /// after updateAttributeValues on any reliable channel, instead of
+      /// waiting for the end-of-tick flush. Costs the coalescing win on
+      /// those peers; meant for latency-critical command streams.
+      bool flushReliableUpdates = false;
+    };
+    Batch batch;
   };
 
   /// `transport` is this computer's socket; by convention every CB of a
@@ -197,13 +244,24 @@ class CommunicationBackbone {
   /// clock (virtual or wall).
   void tick(double now);
 
+  /// Emit every staged outbound frame now, one kBatch datagram per peer
+  /// (the coalescer's escape hatch — tick() calls this at its end, so
+  /// only latency-critical callers between ticks ever need it).
+  void flushBatches();
+
   const CbStats& stats() const { return stats_; }
   std::size_t lpCount() const { return lps_.size(); }
 
  private:
+  /// Sentinel for "staging slot not resolved yet" in the channel structs.
+  static constexpr std::uint32_t kNoBatchSlot = 0xFFFFFFFFu;
+
   struct OutChannel {
     std::uint32_t remoteChannelId = 0;
     net::NodeAddr remote;
+    /// Cached index into peerBatches_ for this channel's endpoint, so the
+    /// per-update fan-out stages without an address lookup.
+    std::uint32_t batchSlot = kNoBatchSlot;
     double lastSentSec = 0.0;   // last update/heartbeat we sent
     double lastHeardSec = 0.0;  // last heartbeat from the subscriber
     net::QosClass qos = net::QosClass::kBestEffort;
@@ -245,6 +303,7 @@ class CommunicationBackbone {
     std::uint32_t channelId = 0;
     SubscriptionHandle subscription = 0;
     net::NodeAddr remote;
+    std::uint32_t batchSlot = kNoBatchSlot;  // see OutChannel::batchSlot
     std::uint32_t remotePublicationId = 0;
     bool live = false;          // CHANNEL_ACK received
     double lastConnectSent = 0.0;
@@ -268,6 +327,9 @@ class CommunicationBackbone {
   };
 
   void handleDatagram(const net::Datagram& d, double now);
+  /// Route one decoded message to its handler (sub-frames of a kBatch
+  /// container go through here individually).
+  void dispatchMessage(CbMessage& msg, const net::NodeAddr& src, double now);
   void handleSubscription(const SubscriptionMsg& m, const net::NodeAddr& src,
                           double now);
   void handleAcknowledge(const AcknowledgeMsg& m, const net::NodeAddr& src,
@@ -300,15 +362,44 @@ class CommunicationBackbone {
   /// channel departures.
   void compactSendWindow(PublicationEntry& pub);
 
+  /// One staging buffer per remote endpoint this CB has ever addressed.
+  /// Slots are append-only (cleared, never erased, after a flush) so the
+  /// indices cached in channel structs stay valid for the CB's lifetime.
+  struct PeerBatch {
+    net::NodeAddr addr;
+    BatchBuilder builder;
+  };
+
+  /// Resolve (or create) the staging slot for `dst`.
+  std::uint32_t batchSlotFor(const net::NodeAddr& dst);
+  /// Stage one encoded frame for `dst`; with batching disabled this is a
+  /// plain transport send. May flush early on the byte budget.
+  void stageSend(const net::NodeAddr& dst, std::span<const std::uint8_t> frame);
+  void stageSend(std::uint32_t slot, std::span<const std::uint8_t> frame);
+  /// Stage through a channel's cached slot (resolving it on first use) —
+  /// the form every per-channel send path uses.
+  template <typename Channel>
+  void stageToChannel(Channel& ch, std::span<const std::uint8_t> frame) {
+    if (ch.batchSlot == kNoBatchSlot) ch.batchSlot = batchSlotFor(ch.remote);
+    stageSend(ch.batchSlot, frame);
+  }
+  void flushSlot(PeerBatch& b);
+
   std::string name_;
   std::unique_ptr<net::Transport> transport_;
   Config cfg_;
   double now_ = 0.0;
 
   std::map<LpId, LogicalProcess*> lps_;
-  std::map<PublicationHandle, PublicationEntry> publications_;
-  std::map<SubscriptionHandle, SubscriptionEntry> subscriptions_;
+  /// Hash tables, not ordered maps: updateAttributeValues and the
+  /// reflection paths look these up per update, and nothing needs key
+  /// order (iteration-order-sensitive work snapshots ids first).
+  std::unordered_map<PublicationHandle, PublicationEntry> publications_;
+  std::unordered_map<SubscriptionHandle, SubscriptionEntry> subscriptions_;
   std::map<std::uint32_t, InChannel> inChannels_;  // keyed by channelId
+
+  std::vector<PeerBatch> peerBatches_;
+  std::map<net::NodeAddr, std::uint32_t> batchSlots_;
 
   std::uint32_t nextLpId_ = 1;
   std::uint32_t nextHandle_ = 1;

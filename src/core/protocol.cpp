@@ -112,6 +112,78 @@ std::vector<std::uint8_t> encode(const WindowAckMsg& m) {
   return w.take();
 }
 
+void BatchBuilder::append(std::span<const std::uint8_t> frame) {
+  assert(!frame.empty());
+  assert(count_ < kBatchMaxFrames);
+  if (buf_.empty()) {
+    buf_.push_back(static_cast<std::uint8_t>(MsgType::kBatch));
+    buf_.push_back(0);  // u16 count, backpatched by bytes()
+    buf_.push_back(0);
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(frame.size());
+  for (std::size_t i = 0; i < kBatchFramePrefixBytes; ++i)
+    buf_.push_back(static_cast<std::uint8_t>((n >> (8 * i)) & 0xFF));
+  buf_.insert(buf_.end(), frame.begin(), frame.end());
+  ++count_;
+}
+
+std::size_t BatchBuilder::sizeWith(std::size_t frameSize) const {
+  const std::size_t current = empty() ? kBatchHeaderBytes : buf_.size();
+  return current + kBatchFramePrefixBytes + frameSize;
+}
+
+std::span<const std::uint8_t> BatchBuilder::bytes() {
+  buf_[1] = static_cast<std::uint8_t>(count_ & 0xFF);
+  buf_[2] = static_cast<std::uint8_t>(count_ >> 8);
+  return buf_;
+}
+
+std::span<const std::uint8_t> BatchBuilder::soloFrame() const {
+  assert(count_ == 1);
+  return std::span<const std::uint8_t>(buf_).subspan(kBatchHeaderBytes +
+                                                     kBatchFramePrefixBytes);
+}
+
+void BatchBuilder::clear() {
+  buf_.clear();
+  count_ = 0;
+}
+
+std::optional<std::uint16_t> validateBatchBody(
+    std::span<const std::uint8_t> body) {
+  net::WireReader r(body);
+  const auto count = r.u16();
+  // The coalescer never emits an empty container, so count == 0 is as
+  // malformed as a truncated header.
+  if (!count || *count == 0) return std::nullopt;
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    const auto frame = r.blobSpan();
+    // A sub-frame must be a plausible CB message: non-empty and never a
+    // nested container (the coalescer flattens; a nested batch on the
+    // wire is corruption or an amplification attempt).
+    if (!frame || frame->empty() ||
+        frame->front() == static_cast<std::uint8_t>(MsgType::kBatch))
+      return std::nullopt;
+  }
+  // The count must account for the whole datagram; trailing bytes mean
+  // the container was corrupted in flight.
+  if (!r.atEnd()) return std::nullopt;
+  return count;
+}
+
+std::vector<std::uint8_t> encode(const BatchMsg& m) {
+  BatchBuilder b;
+  for (const auto& frame : m.frames) b.append(frame);
+  if (b.empty()) {
+    // The coalescer never produces an empty container and decode()
+    // rejects one; the generic encoder still emits the canonical header
+    // so round-trip tests can probe that rejection.
+    return {static_cast<std::uint8_t>(MsgType::kBatch), 0, 0};
+  }
+  const auto bytes = b.bytes();
+  return std::vector<std::uint8_t>(bytes.begin(), bytes.end());
+}
+
 std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
   net::WireReader r(bytes);
   const auto t = r.u8();
@@ -206,6 +278,19 @@ std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
       msg.windowAck = {*ch, *cum, *fromPub};
       break;
     }
+    case MsgType::kBatch: {
+      const auto count = validateBatchBody(bytes.subspan(1));
+      if (!count) return std::nullopt;
+      r.u16();  // count, validated above
+      BatchMsg batch;
+      batch.frames.reserve(*count);
+      for (std::uint16_t i = 0; i < *count; ++i) {
+        const auto frame = r.blobSpan();  // validated above
+        batch.frames.emplace_back(frame->begin(), frame->end());
+      }
+      msg.batch = std::move(batch);
+      break;
+    }
     default:
       return std::nullopt;
   }
@@ -223,6 +308,7 @@ const char* msgTypeName(MsgType t) {
     case MsgType::kBye: return "BYE";
     case MsgType::kNack: return "NACK";
     case MsgType::kWindowAck: return "WINDOW_ACK";
+    case MsgType::kBatch: return "BATCH";
   }
   return "UNKNOWN";
 }

@@ -38,6 +38,7 @@ enum class MsgType : std::uint8_t {
   kBye = 7,               // either direction: tear down a channel
   kNack = 8,              // subscriber → publisher: missing sequences
   kWindowAck = 9,         // cumulative ack (subscriber) / skip (publisher)
+  kBatch = 10,            // container: several CB messages, one datagram
 };
 
 /// Broadcast by the subscriber's CB until acknowledged (§2.3).
@@ -118,6 +119,69 @@ struct ByeMsg {
   bool fromPublisher = false;
 };
 
+/// Container datagram produced by the CB's per-peer send coalescer: every
+/// frame staged for one destination during a tick rides out as one kBatch
+/// datagram instead of one datagram each. Sub-frames are existing wire
+/// messages, byte-for-byte unchanged, so a batched sender interoperates
+/// with an un-batched receiver's vocabulary (and vice versa: bare frames
+/// are still accepted everywhere).
+///
+/// Layout: [u8 10][u16 count][(u32 len)(frame bytes) × count]
+///
+/// A batch never nests another batch, never carries an empty sub-frame,
+/// and must consume the datagram exactly — anything else is rejected as
+/// malformed (a real socket daemon drops, never trusts, a corrupt
+/// container).
+struct BatchMsg {
+  std::vector<std::vector<std::uint8_t>> frames;
+};
+
+/// Incremental kBatch assembly for the send coalescer: sub-frames are
+/// appended straight into the container buffer (no per-frame allocation),
+/// and the count is backpatched when the datagram is taken. The buffer's
+/// capacity survives clear(), so a steady-state flush cycle is
+/// allocation-free.
+class BatchBuilder {
+ public:
+  /// Append one already-encoded wire message as a sub-frame.
+  void append(std::span<const std::uint8_t> frame);
+
+  std::size_t frameCount() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Container size on the wire if `frameSize` more bytes were appended.
+  std::size_t sizeWith(std::size_t frameSize) const;
+
+  /// The finished container (backpatches the count). Valid only while at
+  /// least one frame is staged.
+  std::span<const std::uint8_t> bytes();
+  /// When exactly one frame is staged the container is pure overhead: this
+  /// is that frame's bytes, unwrapped — byte-identical to an un-batched
+  /// send of the same message.
+  std::span<const std::uint8_t> soloFrame() const;
+
+  /// Drop the staged frames but keep the buffer's capacity.
+  void clear();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint16_t count_ = 0;
+};
+
+/// kBatch container framing constants: [u8 type][u16 count] header, then a
+/// u32 length prefix before each sub-frame.
+inline constexpr std::size_t kBatchHeaderBytes = 3;
+inline constexpr std::size_t kBatchFramePrefixBytes = 4;
+inline constexpr std::size_t kBatchMaxFrames = 0xFFFF;
+
+/// Validate a kBatch container body (everything after the type byte)
+/// against the framing rules: count > 0, every sub-frame non-empty and
+/// not a nested container, and the body consumed exactly. Returns the
+/// frame count, nullopt if malformed. The single definition of the
+/// container contract — decode() and the CB's zero-copy receive path
+/// both defer to it, so the two cannot drift apart.
+std::optional<std::uint16_t> validateBatchBody(
+    std::span<const std::uint8_t> body);
+
 /// A decoded CB datagram.
 struct CbMessage {
   MsgType type = MsgType::kHeartbeat;
@@ -130,6 +194,7 @@ struct CbMessage {
   ByeMsg bye;
   NackMsg nack;
   WindowAckMsg windowAck;
+  BatchMsg batch;
 };
 
 std::vector<std::uint8_t> encode(const SubscriptionMsg& m);
@@ -141,6 +206,7 @@ std::vector<std::uint8_t> encode(const HeartbeatMsg& m);
 std::vector<std::uint8_t> encode(const ByeMsg& m);
 std::vector<std::uint8_t> encode(const NackMsg& m);
 std::vector<std::uint8_t> encode(const WindowAckMsg& m);
+std::vector<std::uint8_t> encode(const BatchMsg& m);
 
 /// Encode an UPDATE into `out`, reusing its capacity. `out` is cleared
 /// first. The fan-out hot path encodes one frame per update this way and

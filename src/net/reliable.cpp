@@ -189,4 +189,12 @@ std::optional<std::uint64_t> ReliableReceiveQueue::collectAck(double now) {
   return nextExpected_ == 0 ? 0 : nextExpected_ - 1;
 }
 
+std::optional<std::uint64_t> ReliableReceiveQueue::piggybackAck(double now) {
+  if (!baseKnown_) return std::nullopt;
+  lastAckSec_ = now;
+  ackDue_ = false;
+  ++stats_->windowAcksSent;
+  return nextExpected_ == 0 ? 0 : nextExpected_ - 1;
+}
+
 }  // namespace cod::net

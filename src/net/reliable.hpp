@@ -194,6 +194,14 @@ class ReliableReceiveQueue {
   /// was made, or duplicates suggest the sender missed the last ack).
   std::optional<std::uint64_t> collectAck(double now);
 
+  /// Cumulative sequence to piggyback on a keep-alive that is leaving
+  /// anyway (the CB batches it into the same heartbeat datagram). Unlike
+  /// collectAck it ignores the pacing interval and the progress flag — the
+  /// marginal cost of riding along is a few bytes — and it stamps the
+  /// pacing clock, so the separate ack that would have followed is
+  /// absorbed. nullopt until the base is known.
+  std::optional<std::uint64_t> piggybackAck(double now);
+
   /// Next sequence owed to the subscriber (0 while the base is unknown).
   std::uint64_t nextExpected() const { return nextExpected_; }
   std::uint64_t maxSeen() const { return maxSeen_; }

@@ -126,6 +126,12 @@ std::optional<std::string> WireReader::str() {
 }
 
 std::optional<std::vector<std::uint8_t>> WireReader::blob() {
+  auto s = blobSpan();
+  if (!s) return std::nullopt;
+  return std::vector<std::uint8_t>(s->begin(), s->end());
+}
+
+std::optional<std::span<const std::uint8_t>> WireReader::blobSpan() {
   auto n = u32();
   if (!n) return std::nullopt;
   if (*n > remaining()) {
@@ -134,7 +140,7 @@ std::optional<std::vector<std::uint8_t>> WireReader::blob() {
   }
   const std::uint8_t* p = nullptr;
   if (!take(*n, &p)) return std::nullopt;
-  return std::vector<std::uint8_t>(p, p + *n);
+  return std::span<const std::uint8_t>(p, *n);
 }
 
 }  // namespace cod::net

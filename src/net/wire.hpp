@@ -73,6 +73,10 @@ class WireReader {
   std::optional<bool> boolean();
   std::optional<std::string> str();
   std::optional<std::vector<std::uint8_t>> blob();
+  /// Like blob(), but returns a view into the underlying buffer instead of
+  /// copying — the receive path of container datagrams (kBatch) walks its
+  /// length-prefixed sub-frames with this, decoding each in place.
+  std::optional<std::span<const std::uint8_t>> blobSpan();
 
   bool ok() const { return ok_; }
   std::size_t remaining() const { return buf_.size() - pos_; }

@@ -329,7 +329,13 @@ TEST_F(CbTest, LossyLinkStillConnectsAndDedups) {
   sub.bind(cbB);
   // Retransmits make discovery succeed despite 20% loss.
   ASSERT_TRUE(c2.runUntil([&] { return cbB.connected(sub.handle); }, 10.0));
-  for (int i = 0; i < 100; ++i) pub.send(i, 0.01 * i);
+  // One update per tick, so each leaves in its own datagram and the 20%
+  // loss applies per update (a single-burst send would coalesce into a
+  // handful of batch datagrams and make the loss all-or-nothing per batch).
+  for (int i = 0; i < 100; ++i) {
+    pub.send(i, 0.01 * i);
+    c2.step(0.005);
+  }
   c2.step(0.5);
   // Some updates are lost (no retransmit for data), none duplicated, and
   // the sequence observed is strictly increasing.

@@ -116,6 +116,62 @@ TEST(CbReliable, ZeroGapInOrderAt55PercentLoss) {
   EXPECT_EQ(cbB.stats().reliable.gapsAbandoned, 0u);
 }
 
+TEST(CbReliable, BurstPerTickBatchesHealUnderLoss) {
+  // Three updates per tick ride one container datagram, so a drop now
+  // costs a whole batch at once — the reliable layer must heal these
+  // coarser losses just as it healed single frames.
+  CodCluster::Config cfg;
+  cfg.link.lossRate = 0.25;
+  cfg.link.jitterSec = 400e-6;
+  cfg.seed = 9;
+  CodCluster cluster(cfg);
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  QosPub pub("score", net::QosClass::kReliableOrdered);
+  pub.bind(cbA);
+  QosSub sub("score", net::QosClass::kReliableOrdered);
+  sub.bind(cbB);
+  ASSERT_TRUE(cluster.runUntil([&] { return cbB.connected(sub.handle); }, 10.0));
+
+  constexpr int kBursts = 100;
+  for (int i = 0; i < kBursts; ++i) {
+    for (int j = 0; j < 3; ++j) pub.send(3 * i + j, cluster.now());
+    cluster.step(0.01);
+  }
+  cluster.runUntil(
+      [&] { return sub.values.size() >= static_cast<std::size_t>(3 * kBursts); },
+      cluster.now() + 20.0);
+  expectZeroGapInOrder(sub, 3 * kBursts);
+  EXPECT_EQ(cbB.stats().reliable.gapsAbandoned, 0u);
+  // The coalescer actually engaged (multi-frame containers went out).
+  EXPECT_GT(cbA.stats().batch.datagramsCoalesced, 0u);
+  EXPECT_GT(cbA.stats().batch.framesCoalesced,
+            cbA.stats().batch.datagramsCoalesced);
+}
+
+TEST(CbReliable, BatchingDisabledStillHealsAt25PercentLoss) {
+  // The un-batched wire path stays supported (interop with pre-batching
+  // peers) and must keep its reliability guarantees.
+  CodCluster::Config cfg;
+  cfg.link.lossRate = 0.25;
+  cfg.link.jitterSec = 500e-6;
+  cfg.cb.batch.enabled = false;
+  CodCluster cluster(cfg);
+  auto& cbA = cluster.addComputer("a");
+  auto& cbB = cluster.addComputer("b");
+  QosPub pub("score", net::QosClass::kReliableOrdered);
+  pub.bind(cbA);
+  QosSub sub("score", net::QosClass::kReliableOrdered);
+  sub.bind(cbB);
+  ASSERT_TRUE(cluster.runUntil([&] { return cbB.connected(sub.handle); }, 10.0));
+
+  constexpr int kCount = 200;
+  streamAndDrain(cluster, pub, sub, kCount, 0.01, kCount, 20.0);
+  expectZeroGapInOrder(sub, kCount);
+  EXPECT_EQ(cbA.stats().batch.datagramsCoalesced, 0u);  // nothing boxed
+  EXPECT_EQ(cbB.stats().reliable.gapsAbandoned, 0u);
+}
+
 TEST(CbReliable, BestEffortChannelOnSameLinkStillDrops) {
   // Contrast case: same lossy LAN, best-effort channel — gaps are expected
   // (newest-wins) while sequence order is still monotonic.

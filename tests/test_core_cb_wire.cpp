@@ -157,6 +157,7 @@ TEST_F(WireFixture, FanOutUpdateBytesIdenticalToPerChannelEncode) {
   const PublicationHandle h = publishWithTwoChannels();
   const AttributeSet attrs = sampleAttrs();
   cb->updateAttributeValues(h, attrs, 2.5);
+  cb->flushBatches();  // one staged frame per peer: leaves bare, not boxed
 
   ASSERT_EQ(transport->sent.size(), 2u);
   UpdateMsg ref;
@@ -183,11 +184,13 @@ TEST_F(WireFixture, FanOutUpdateBytesIdenticalToPerChannelEncode) {
 TEST_F(WireFixture, SecondUpdateReusedBufferStillExactBytes) {
   const PublicationHandle h = publishWithTwoChannels();
   cb->updateAttributeValues(h, sampleAttrs(), 1.0);
+  cb->flushBatches();
   transport->sent.clear();
   // A different (smaller) payload through the same reused frame buffer.
   AttributeSet small;
   small.set("v", 2.0);
   cb->updateAttributeValues(h, small, 2.0);
+  cb->flushBatches();
   ASSERT_EQ(transport->sent.size(), 2u);
   UpdateMsg ref;
   ref.seq = 2;
@@ -232,6 +235,7 @@ TEST_F(WireFixture, NackRetransmitReplaysExactUpdateBytes) {
 
   const AttributeSet attrs = sampleAttrs();
   cb->updateAttributeValues(h, attrs, 1.5);
+  cb->flushBatches();
   ASSERT_EQ(transport->sent.size(), 1u);
   const auto original = transport->sent[0].second;
   transport->sent.clear();
@@ -256,6 +260,7 @@ TEST_F(WireFixture, BestEffortPublicationBuffersNothing) {
   const PublicationHandle h = publishWithTwoChannels();
   for (int i = 0; i < 10; ++i)
     cb->updateAttributeValues(h, sampleAttrs(), 0.1 * i);
+  cb->flushBatches();
   EXPECT_EQ(cb->stats().reliable.framesBuffered, 0u);
   EXPECT_EQ(cb->stats().reliable.retransmitsSent, 0u);
   // A NACK against a best-effort channel is ignored, not served.
@@ -285,6 +290,259 @@ TEST_F(WireFixture, UnsubscribedLocalSubscriberIsErasedFromPublication) {
   cb->updateAttributeValues(h, sampleAttrs(), 0.2);
   EXPECT_EQ(cb->stats().updatesLocalFastPath, 1u);  // nothing new delivered
   EXPECT_EQ(cb->channelCount(h), 0u);
+}
+
+// ---- Tick-coalesced batching -------------------------------------------
+
+/// Three updates staged in one tick leave as ONE kBatch container per
+/// peer, and every sub-frame is byte-identical to the un-batched encode.
+TEST_F(WireFixture, ThreeUpdatesOneTickOneContainerPerPeer) {
+  const PublicationHandle h = publishWithTwoChannels();
+  const AttributeSet attrs = sampleAttrs();
+  cb->updateAttributeValues(h, attrs, 1.0);
+  cb->updateAttributeValues(h, attrs, 2.0);
+  cb->updateAttributeValues(h, attrs, 3.0);
+  cb->flushBatches();
+
+  ASSERT_EQ(transport->sent.size(), 2u);  // one datagram per peer, not six
+  EXPECT_EQ(cb->stats().batch.datagramsCoalesced, 2u);
+  EXPECT_EQ(cb->stats().batch.framesCoalesced, 6u);
+  const std::uint32_t channelIds[2] = {5, 9};
+  for (int peer = 0; peer < 2; ++peer) {
+    const auto msg = decode(transport->sent[peer].second);
+    ASSERT_TRUE(msg.has_value());
+    ASSERT_EQ(msg->type, MsgType::kBatch);
+    ASSERT_EQ(msg->batch.frames.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      UpdateMsg ref;
+      ref.channelId = channelIds[peer];
+      ref.seq = i + 1;
+      ref.timestamp = static_cast<double>(i + 1);
+      ref.payload = attrs.encode();
+      EXPECT_EQ(msg->batch.frames[i], encode(ref))
+          << "peer " << peer << " frame " << i;
+    }
+  }
+}
+
+/// Best-effort and reliable sub-frames share one container when both
+/// publications fan out to the same peer in the same tick.
+TEST_F(WireFixture, MixedQosFramesShareOneContainer) {
+  cb->attach(lp);
+  const PublicationHandle be = cb->publishObjectClass(lp, "wire.be");
+  const PublicationHandle rel = cb->publishObjectClass(
+      lp, "wire.rel", net::QosClass::kReliableOrdered);
+  transport->inject(sub1, encode(ChannelConnectionMsg{70, be, 5, "wire.be"}));
+  transport->inject(sub1,
+                    encode(ChannelConnectionMsg{71, rel, 6, "wire.rel",
+                                                net::QosClass::kReliableOrdered}));
+  cb->tick(0.0);
+  transport->sent.clear();
+
+  const AttributeSet attrs = sampleAttrs();
+  cb->updateAttributeValues(be, attrs, 1.0);
+  cb->updateAttributeValues(rel, attrs, 1.0);
+  cb->flushBatches();
+  ASSERT_EQ(transport->sent.size(), 1u);
+  const auto msg = decode(transport->sent[0].second);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->type, MsgType::kBatch);
+  ASSERT_EQ(msg->batch.frames.size(), 2u);
+  const auto first = decode(msg->batch.frames[0]);
+  const auto second = decode(msg->batch.frames[1]);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_EQ(first->update.channelId, 5u);
+  EXPECT_EQ(second->update.channelId, 6u);
+  // The reliable copy is window-buffered for retransmission as usual.
+  EXPECT_EQ(cb->stats().reliable.framesBuffered, 1u);
+}
+
+/// Receive interop: a container from a batching peer is unpacked and every
+/// sub-message dispatched; bare frames from un-batched senders still work.
+TEST_F(WireFixture, ReceivesBatchedAndBareFramesAlike) {
+  LogicalProcess sub{"sub"};
+  cb->attach(sub);
+  const SubscriptionHandle s = cb->subscribeObjectClass(sub, "far.cls");
+  // Bare ACKNOWLEDGE (un-batched sender), then a batch carrying the
+  // CHANNEL_ACK and two updates (batched sender).
+  transport->inject(sub1, encode(AcknowledgeMsg{s, 40, "far.cls"}));
+  cb->tick(0.0);
+  ASSERT_EQ(cb->sourceCount(s), 0u);  // connection sent, not yet acked
+  UpdateMsg u1;
+  u1.channelId = 1;  // first channel id this CB allocates
+  u1.seq = 1;
+  u1.timestamp = 0.5;
+  u1.payload = sampleAttrs().encode();
+  UpdateMsg u2 = u1;
+  u2.seq = 2;
+  u2.timestamp = 0.6;
+  BatchMsg batch;
+  batch.frames = {encode(ChannelAckMsg{1, 40}), encode(u1), encode(u2)};
+  transport->inject(sub1, encode(batch));
+  cb->tick(0.01);
+  EXPECT_EQ(cb->sourceCount(s), 1u);
+  EXPECT_EQ(cb->stats().updatesDelivered, 2u);
+  ASSERT_NE(cb->latest(s), nullptr);
+  EXPECT_EQ(cb->latest(s)->seq, 2u);
+  EXPECT_EQ(cb->stats().batch.datagramsUnpacked, 1u);
+  EXPECT_EQ(cb->stats().batch.framesUnpacked, 3u);
+  EXPECT_EQ(cb->stats().malformedDrops, 0u);
+}
+
+/// Corrupt containers are dropped without crashing AND without side
+/// effects: truncated mid-frame, lying counts, trailing garbage, nested
+/// batches, zero-length sub-frames, empty containers. Sub-frames ahead of
+/// the corruption must not have been dispatched — a half-applied datagram
+/// is a state the un-batched protocol can never produce.
+TEST_F(WireFixture, CorruptContainersDroppedAtomically) {
+  UpdateMsg u;
+  u.channelId = 1;
+  u.seq = 1;
+  u.payload = sampleAttrs().encode();
+  BatchMsg batch;
+  batch.frames = {encode(u), encode(HeartbeatMsg{1, 0.5, true})};
+  const auto good = encode(batch);
+
+  for (std::size_t cut = 1; cut + 1 < good.size(); ++cut)
+    transport->inject(sub1,
+                      std::vector<std::uint8_t>(good.begin(),
+                                                good.begin() + cut));
+  auto trailing = good;  // valid frames followed by a lying tail
+  trailing.push_back(0x00);
+  transport->inject(sub1, trailing);
+  BatchMsg nested;
+  nested.frames = {good};
+  transport->inject(sub1, encode(nested));
+  transport->inject(sub1, std::vector<std::uint8_t>{10, 1, 0, 0, 0, 0, 0});
+  transport->inject(sub1, std::vector<std::uint8_t>{10, 0, 0});  // count=0
+  cb->tick(0.0);
+  EXPECT_GT(cb->stats().malformedDrops, 0u);
+  // Atomic rejection: not one sub-frame of any corrupt container ran —
+  // the leading valid UPDATE in `trailing` was not delivered or counted.
+  EXPECT_EQ(cb->stats().batch.datagramsUnpacked, 0u);
+  EXPECT_EQ(cb->stats().batch.framesUnpacked, 0u);
+  EXPECT_EQ(cb->stats().unknownChannelDrops, 0u);
+  // A well-formed bare heartbeat still gets through afterwards.
+  transport->inject(sub1, encode(HeartbeatMsg{99, 0.5, true}));
+  cb->tick(0.01);  // unknown channel: ignored, but parsed fine
+  SUCCEED();
+}
+
+/// Two publications of the same class on one CB acknowledge a discovery
+/// broadcast in publication-id (creation) order, whatever the hash-table
+/// layout — channel-id assignment downstream depends on this order.
+TEST_F(WireFixture, SameClassPublicationsAcknowledgeInCreationOrder) {
+  LogicalProcess lp2{"lp2"};
+  cb->attach(lp);
+  cb->attach(lp2);
+  const PublicationHandle first = cb->publishObjectClass(lp, "dup.cls");
+  const PublicationHandle second = cb->publishObjectClass(lp2, "dup.cls");
+  ASSERT_LT(first, second);
+  transport->inject(sub1, encode(SubscriptionMsg{500, "dup.cls"}));
+  cb->tick(0.0);
+  ASSERT_EQ(transport->sent.size(), 1u);  // both ACKs ride one container
+  const auto msg = decode(transport->sent[0].second);
+  ASSERT_TRUE(msg.has_value());
+  ASSERT_EQ(msg->type, MsgType::kBatch);
+  ASSERT_EQ(msg->batch.frames.size(), 2u);
+  EXPECT_EQ(msg->batch.frames[0], encode(AcknowledgeMsg{500, first, "dup.cls"}));
+  EXPECT_EQ(msg->batch.frames[1],
+            encode(AcknowledgeMsg{500, second, "dup.cls"}));
+}
+
+/// A frame bigger than the byte budget bypasses the container and goes out
+/// bare (wire-compatible; the transport may fragment, the CB never does).
+TEST_F(WireFixture, OversizeFrameBypassesContainer) {
+  const PublicationHandle h = publishWithTwoChannels();
+  const auto soloBefore = cb->stats().batch.soloFlushes;
+  AttributeSet big;
+  big.set("blob", std::string(2000, 'x'));
+  cb->updateAttributeValues(h, sampleAttrs(), 1.0);  // small, staged
+  cb->updateAttributeValues(h, big, 2.0);            // oversize, bare
+  cb->flushBatches();
+  // Per peer: the oversize frame went out on its own, the small one in a
+  // solo flush — so four datagrams, two of them bare oversize.
+  ASSERT_EQ(transport->sent.size(), 4u);
+  EXPECT_EQ(cb->stats().batch.oversizeSends, 2u);
+  EXPECT_EQ(cb->stats().batch.soloFlushes, soloBefore + 2);
+  int oversize = 0;
+  for (const auto& [dst, bytes] : transport->sent) {
+    const auto msg = decode(bytes);
+    ASSERT_TRUE(msg.has_value());
+    ASSERT_EQ(msg->type, MsgType::kUpdate);  // never boxed
+    if (bytes.size() > 1200) ++oversize;
+  }
+  EXPECT_EQ(oversize, 2);
+}
+
+/// With batching disabled the wire is exactly the pre-batching protocol:
+/// one bare datagram per frame, no containers anywhere.
+TEST(WireNoBatching, DisabledConfigKeepsBareFrames) {
+  auto t = std::make_unique<ScriptedTransport>();
+  ScriptedTransport* transport = t.get();
+  CommunicationBackbone::Config cfg;
+  cfg.batch.enabled = false;
+  CommunicationBackbone cb("plain", std::move(t), cfg);
+  LogicalProcess lp{"lp"};
+  cb.attach(lp);
+  const PublicationHandle h = cb.publishObjectClass(lp, "wire.cls");
+  transport->inject({10, 1}, encode(ChannelConnectionMsg{77, h, 5, "wire.cls"}));
+  cb.tick(0.0);
+  transport->sent.clear();
+  const AttributeSet attrs = sampleAttrs();
+  for (int i = 0; i < 3; ++i)
+    cb.updateAttributeValues(h, attrs, 1.0 + i);
+  cb.tick(0.01);
+  ASSERT_EQ(transport->sent.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    UpdateMsg ref;
+    ref.channelId = 5;
+    ref.seq = i + 1;
+    ref.timestamp = 1.0 + static_cast<double>(i);
+    ref.payload = attrs.encode();
+    EXPECT_EQ(transport->sent[i].second, encode(ref));
+  }
+  EXPECT_EQ(cb.stats().batch.datagramsCoalesced, 0u);
+  EXPECT_EQ(cb.stats().batch.soloFlushes, 0u);
+}
+
+/// The byte budget splits a long staging run into MTU-sized containers.
+TEST(WireNoBatching, BudgetSplitsContainers) {
+  auto t = std::make_unique<ScriptedTransport>();
+  ScriptedTransport* transport = t.get();
+  CommunicationBackbone::Config cfg;
+  cfg.batch.byteBudget = 256;
+  CommunicationBackbone cb("budget", std::move(t), cfg);
+  LogicalProcess lp{"lp"};
+  cb.attach(lp);
+  const PublicationHandle h = cb.publishObjectClass(lp, "wire.cls");
+  transport->inject({10, 1}, encode(ChannelConnectionMsg{77, h, 5, "wire.cls"}));
+  cb.tick(0.0);
+  transport->sent.clear();
+  for (int i = 0; i < 20; ++i)
+    cb.updateAttributeValues(h, sampleAttrs(), 0.1 * i);
+  cb.flushBatches();
+  ASSERT_GT(transport->sent.size(), 1u);   // budget forced several flushes
+  EXPECT_LT(transport->sent.size(), 20u);  // but far fewer than one-per-frame
+  EXPECT_GT(cb.stats().batch.budgetFlushes, 0u);
+  for (const auto& [dst, bytes] : transport->sent) {
+    EXPECT_LE(bytes.size(), 256u);
+    ASSERT_TRUE(decode(bytes).has_value());
+  }
+  // Sub-frames survive the split in order.
+  std::uint64_t expectSeq = 1;
+  for (const auto& [dst, bytes] : transport->sent) {
+    const auto msg = decode(bytes);
+    ASSERT_TRUE(msg.has_value());
+    ASSERT_EQ(msg->type, MsgType::kBatch);
+    for (const auto& frame : msg->batch.frames) {
+      const auto sub = decode(frame);
+      ASSERT_TRUE(sub.has_value());
+      ASSERT_EQ(sub->type, MsgType::kUpdate);
+      EXPECT_EQ(sub->update.seq, expectSeq++);
+    }
+  }
+  EXPECT_EQ(expectSeq, 21u);
 }
 
 /// Same via detach (the destructor path every LP takes).

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace cod::core {
 namespace {
 
@@ -164,12 +166,137 @@ TEST(Protocol, MsgTypeNames) {
   EXPECT_STREQ(msgTypeName(MsgType::kBye), "BYE");
   EXPECT_STREQ(msgTypeName(MsgType::kNack), "NACK");
   EXPECT_STREQ(msgTypeName(MsgType::kWindowAck), "WINDOW_ACK");
+  EXPECT_STREQ(msgTypeName(MsgType::kBatch), "BATCH");
 }
 
 TEST(Protocol, EmptyClassNameAllowed) {
   const auto d = decode(encode(SubscriptionMsg{1, ""}));
   ASSERT_TRUE(d.has_value());
   EXPECT_TRUE(d->subscription.className.empty());
+}
+
+TEST(Protocol, BatchRoundTripMixedSubFrames) {
+  // A container carrying one frame of each plane: data (UPDATE), liveness
+  // (HEARTBEAT) and reliable control (NACK, WINDOW_ACK) — the mix a real
+  // per-peer flush produces.
+  UpdateMsg u;
+  u.channelId = 3;
+  u.seq = 9;
+  u.timestamp = 0.5;
+  u.payload = {1, 2, 3};
+  BatchMsg m;
+  m.frames.push_back(encode(u));
+  m.frames.push_back(encode(HeartbeatMsg{3, 0.5, true}));
+  m.frames.push_back(encode(NackMsg{4, {7, 8}}));
+  m.frames.push_back(encode(WindowAckMsg{4, 6, false}));
+  const auto d = decode(encode(m));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, MsgType::kBatch);
+  ASSERT_EQ(d->batch.frames.size(), 4u);
+  // Sub-frames are byte-identical to their un-batched encodes…
+  EXPECT_EQ(d->batch.frames[0], encode(u));
+  EXPECT_EQ(d->batch.frames[1], encode(HeartbeatMsg{3, 0.5, true}));
+  // …and each decodes on its own.
+  for (const auto& frame : d->batch.frames)
+    EXPECT_TRUE(decode(frame).has_value());
+}
+
+TEST(Protocol, BatchBytesOnWireLayout) {
+  // [u8 10][u16 count][(u32 len)(frame) × count], all little-endian.
+  const std::vector<std::uint8_t> sub = encode(ByeMsg{7, true});
+  BatchMsg m;
+  m.frames = {sub, sub};
+  const auto bytes = encode(m);
+  ASSERT_EQ(bytes.size(), kBatchHeaderBytes +
+                              2 * (kBatchFramePrefixBytes + sub.size()));
+  EXPECT_EQ(bytes[0], static_cast<std::uint8_t>(MsgType::kBatch));
+  EXPECT_EQ(bytes[1], 2u);  // count lo
+  EXPECT_EQ(bytes[2], 0u);  // count hi
+  EXPECT_EQ(bytes[3], static_cast<std::uint8_t>(sub.size()));  // len lo
+  EXPECT_EQ(bytes[4], 0u);
+  EXPECT_EQ(bytes[5], 0u);
+  EXPECT_EQ(bytes[6], 0u);
+  EXPECT_TRUE(std::equal(sub.begin(), sub.end(), bytes.begin() + 7));
+}
+
+TEST(Protocol, BatchBuilderMatchesEncodeAndReusesCapacity) {
+  const auto f1 = encode(HeartbeatMsg{1, 2.0, false});
+  const auto f2 = encode(ByeMsg{2, true});
+  BatchBuilder b;
+  EXPECT_TRUE(b.empty());
+  b.append(f1);
+  // One staged frame: the container would be pure overhead, so the solo
+  // view is the frame itself.
+  ASSERT_EQ(b.frameCount(), 1u);
+  EXPECT_TRUE(std::equal(f1.begin(), f1.end(), b.soloFrame().begin(),
+                         b.soloFrame().end()));
+  b.append(f2);
+  BatchMsg m;
+  m.frames = {f1, f2};
+  const auto viaEncode = encode(m);
+  const auto viaBuilder = b.bytes();
+  EXPECT_TRUE(std::equal(viaEncode.begin(), viaEncode.end(),
+                         viaBuilder.begin(), viaBuilder.end()));
+  EXPECT_EQ(b.sizeWith(0), viaBuilder.size() + kBatchFramePrefixBytes);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  b.append(f2);
+  EXPECT_EQ(b.frameCount(), 1u);  // no stale frames after clear
+  BatchMsg only2;
+  only2.frames = {f2};
+  const auto reused = b.bytes();
+  const auto expect2 = encode(only2);
+  EXPECT_TRUE(std::equal(expect2.begin(), expect2.end(), reused.begin(),
+                         reused.end()));
+}
+
+TEST(Protocol, TruncatedBatchRejected) {
+  BatchMsg m;
+  m.frames = {encode(HeartbeatMsg{1, 2.0, false}), encode(ByeMsg{2, true})};
+  const auto bytes = encode(m);
+  for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> truncated(bytes.begin(),
+                                              bytes.begin() + cut);
+    EXPECT_FALSE(decode(truncated).has_value()) << "cut=" << cut;
+  }
+}
+
+TEST(Protocol, BatchWithTrailingGarbageRejected) {
+  BatchMsg m;
+  m.frames = {encode(ByeMsg{2, true})};
+  auto bytes = encode(m);
+  bytes.push_back(0xAA);  // count says 1 frame; datagram says otherwise
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Protocol, NestedBatchRejected) {
+  BatchMsg inner;
+  inner.frames = {encode(ByeMsg{1, false})};
+  BatchMsg outer;
+  outer.frames = {encode(inner)};
+  EXPECT_FALSE(decode(encode(outer)).has_value());
+}
+
+TEST(Protocol, EmptyBatchRejected) {
+  // count == 0 never leaves the coalescer (a flush with nothing staged
+  // sends nothing), so an empty container on the wire is malformed.
+  EXPECT_FALSE(decode(encode(BatchMsg{})).has_value());
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{10, 0, 0}).has_value());
+}
+
+TEST(Protocol, BatchWithEmptySubFrameRejected) {
+  // Hand-build [kBatch][count=1][len=0]: a zero-length sub-frame can never
+  // be a CB message.
+  const std::vector<std::uint8_t> bytes{10, 1, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Protocol, BatchSubFrameLengthBeyondDatagramRejected) {
+  BatchMsg m;
+  m.frames = {encode(ByeMsg{2, true})};
+  auto bytes = encode(m);
+  bytes[3] = 0xFF;  // sub-frame length now reaches past the datagram end
+  EXPECT_FALSE(decode(bytes).has_value());
 }
 
 TEST(Protocol, LargePayloadRoundTrips) {

@@ -9,6 +9,7 @@
 #include <map>
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "net/simnet.hpp"
 #include "net/wire.hpp"
 
@@ -160,6 +161,24 @@ TEST_F(ReceiveQueueTest, AbandonSkipsHolesButDeliversBufferedFrames) {
   EXPECT_EQ(ready[0].seq, 3u);
   EXPECT_EQ(q.nextExpected(), 4u);
   EXPECT_EQ(stats.gapsAbandoned, 1u);
+}
+
+TEST_F(ReceiveQueueTest, PiggybackAckIgnoresPacingAndAbsorbsPeriodicAck) {
+  cfg.ackIntervalSec = 0.1;
+  ReliableReceiveQueue q(cfg, stats);
+  EXPECT_FALSE(q.piggybackAck(0.0).has_value());  // base still unknown
+  q.setBase(1, ready);
+  q.offer(frame(1), ready);
+  // Riding a departing keep-alive costs nothing, so the pacing interval
+  // does not apply…
+  const auto pig = q.piggybackAck(0.01);
+  ASSERT_TRUE(pig.has_value());
+  EXPECT_EQ(*pig, 1u);
+  // …and the periodic ack it replaced is absorbed, not duplicated.
+  EXPECT_FALSE(q.collectAck(0.2).has_value());
+  // New progress re-arms the normal path.
+  q.offer(frame(2), ready);
+  EXPECT_TRUE(q.collectAck(0.5).has_value());
 }
 
 TEST_F(ReceiveQueueTest, ReorderLimitDropsOverflow) {
@@ -367,6 +386,62 @@ void runSoak(double lossRate, double jitterSec, int numSends,
     EXPECT_GT(stats.nacksSent, 0u);
   }
   EXPECT_EQ(stats.gapsAbandoned, 0u);
+}
+
+// ---- Control-datagram reduction on quiet reliable links -----------------
+//
+// PR-2 follow-on: WINDOW_ACK/NACK piggyback on heartbeat flushes. With the
+// CB's send coalescer on, every control frame a tick owes a peer
+// (heartbeats for all channels, piggybacked acks) rides one datagram, so a
+// quiet multi-channel reliable link sends a fraction of the datagrams the
+// un-batched protocol needs.
+
+std::uint64_t quietReliableLinkDatagrams(bool batching) {
+  core::CodCluster::Config cfg;
+  cfg.cb.batch.enabled = batching;
+  core::CodCluster cluster(cfg);
+  auto& cbA = cluster.addComputer("pub");
+  auto& cbB = cluster.addComputer("sub");
+  core::LogicalProcess pub{"pub"};
+  core::LogicalProcess sub{"sub"};
+  cbA.attach(pub);
+  cbB.attach(sub);
+  const char* classes[3] = {"rel.a", "rel.b", "rel.c"};
+  std::vector<core::PublicationHandle> pubs;
+  std::vector<core::SubscriptionHandle> subs;
+  for (const char* cls : classes) {
+    pubs.push_back(
+        cbA.publishObjectClass(pub, cls, QosClass::kReliableOrdered));
+    subs.push_back(
+        cbB.subscribeObjectClass(sub, cls, QosClass::kReliableOrdered));
+  }
+  EXPECT_TRUE(cluster.runUntil(
+      [&] {
+        for (const auto s : subs)
+          if (!cbB.connected(s)) return false;
+        return true;
+      },
+      5.0));
+  // A short burst gives the reliable machinery progress to acknowledge.
+  core::AttributeSet attrs;
+  attrs.set("v", 1.0);
+  for (int i = 0; i < 5; ++i) {
+    for (const auto h : pubs) cbA.updateAttributeValues(h, attrs, cluster.now());
+    cluster.step(0.01);
+  }
+  const auto before = cluster.network().stats().packetsSent;
+  cluster.step(10.0);  // quiet: heartbeats, refresh broadcasts, acks
+  return cluster.network().stats().packetsSent - before;
+}
+
+TEST(ReliableControlTraffic, BatchingCutsQuietLinkControlDatagrams) {
+  const std::uint64_t batched = quietReliableLinkDatagrams(true);
+  const std::uint64_t unbatched = quietReliableLinkDatagrams(false);
+  ASSERT_GT(unbatched, 0u);
+  // At three reliable channels the coalesced protocol should need well
+  // under two-thirds of the control datagrams (measured ~0.45x).
+  EXPECT_LT(batched * 3, unbatched * 2)
+      << "batched=" << batched << " unbatched=" << unbatched;
 }
 
 TEST(ReliableSoak, AllFramesInOrderAt25PercentLoss) {
