@@ -47,11 +47,13 @@ if [[ "${found}" -eq 0 ]]; then
 fi
 
 # Baselines regression hunts diff against: the reliable-channel numbers
-# (vs best effort) and the batching numbers (datagrams/frame batched vs
-# unbatched). Warn (stderr) if either was not produced — e.g. Google
-# Benchmark missing, so the gbench binaries were never built. Not fatal:
-# the scenario-bench .log baselines above are still valid without them.
-for required in BENCH_reliable.json BENCH_batching.json; do
+# (vs best effort), the batching numbers (datagrams/frame batched vs
+# unbatched) and the telemetry overhead share (bench_telemetry exits
+# non-zero past its 2% budget). Warn (stderr) if any was not produced —
+# e.g. Google Benchmark missing, so the gbench binaries were never built.
+# Not fatal: the scenario-bench .log baselines above are still valid
+# without them.
+for required in BENCH_reliable.json BENCH_batching.json BENCH_telemetry.json; do
   if [[ ! -s "${OUT_DIR}/${required}" ]]; then
     bench_bin="bench_${required#BENCH_}"
     bench_bin="${bench_bin%.json}"

@@ -36,10 +36,42 @@ CommunicationBackbone::~CommunicationBackbone() {
 std::uint32_t CommunicationBackbone::batchSlotFor(const net::NodeAddr& dst) {
   const auto it = batchSlots_.find(dst);
   if (it != batchSlots_.end()) return it->second;
-  const auto slot = static_cast<std::uint32_t>(peerBatches_.size());
-  peerBatches_.push_back(PeerBatch{dst, {}});
+  std::uint32_t slot;
+  if (!freeBatchSlots_.empty()) {
+    slot = freeBatchSlots_.front();
+    freeBatchSlots_.pop_front();
+    peerBatches_[slot].addr = dst;
+  } else {
+    slot = static_cast<std::uint32_t>(peerBatches_.size());
+    peerBatches_.push_back(PeerBatch{dst, {}, 0, false});
+  }
+  peerBatches_[slot].active = true;
   batchSlots_.emplace(dst, slot);
   return slot;
+}
+
+std::uint32_t CommunicationBackbone::acquireBatchSlot(const net::NodeAddr& dst) {
+  const std::uint32_t slot = batchSlotFor(dst);
+  ++peerBatches_[slot].channelRefs;
+  return slot;
+}
+
+void CommunicationBackbone::releaseBatchSlot(std::uint32_t slot) {
+  if (slot == kNoBatchSlot) return;
+  PeerBatch& b = peerBatches_[slot];
+  if (b.channelRefs > 0) --b.channelRefs;
+  // Staged frames (a BYE, say) must still leave; if the builder is not
+  // empty yet, the flush that empties it completes the reclaim.
+  reclaimSlotIfIdle(slot);
+}
+
+void CommunicationBackbone::reclaimSlotIfIdle(std::uint32_t slot) {
+  PeerBatch& b = peerBatches_[slot];
+  if (!b.active || b.channelRefs > 0 || !b.builder.empty()) return;
+  batchSlots_.erase(b.addr);
+  b.active = false;
+  freeBatchSlots_.push_back(slot);
+  ++stats_.batch.peerSlotsReclaimed;
 }
 
 void CommunicationBackbone::stageSend(const net::NodeAddr& dst,
@@ -89,7 +121,14 @@ void CommunicationBackbone::flushSlot(PeerBatch& b) {
 }
 
 void CommunicationBackbone::flushBatches() {
-  for (PeerBatch& b : peerBatches_) flushSlot(b);
+  for (std::uint32_t i = 0; i < peerBatches_.size(); ++i) {
+    PeerBatch& b = peerBatches_[i];
+    if (!b.active) continue;
+    flushSlot(b);
+    // Transient destinations (discovery replies, peers mid-teardown) hold
+    // no channel pins: give their slots back once drained.
+    if (b.channelRefs == 0) reclaimSlotIfIdle(i);
+  }
 }
 
 LpId CommunicationBackbone::attach(LogicalProcess& lp) {
@@ -184,6 +223,8 @@ void CommunicationBackbone::unpublish(PublicationHandle h) {
     // BYE'd peers flush — unrelated peers keep coalescing.
     for (const OutChannel& ch : it->second.channels)
       flushSlot(peerBatches_[ch.batchSlot]);
+    for (const OutChannel& ch : it->second.channels)
+      releaseBatchSlot(ch.batchSlot);
   }
   publications_.erase(it);
 }
@@ -215,6 +256,7 @@ void CommunicationBackbone::removeInChannel(std::uint32_t channelId,
     stageToChannel(it->second, bytes);
     flushSlot(peerBatches_[it->second.batchSlot]);
   }
+  releaseBatchSlot(it->second.batchSlot);
   inChannels_.erase(it);
 }
 
@@ -304,6 +346,48 @@ std::size_t CommunicationBackbone::channelCount(PublicationHandle h) const {
   const auto it = publications_.find(h);
   if (it == publications_.end()) return 0;
   return it->second.channels.size() + it->second.localSubscribers.size();
+}
+
+std::vector<CbChannelHealth> CommunicationBackbone::channelHealth() const {
+  std::vector<CbChannelHealth> out;
+  // Publisher side in publication-id (creation) order: the tables hash,
+  // but telemetry snapshots should diff stably between intervals.
+  std::vector<PublicationHandle> pubIds;
+  pubIds.reserve(publications_.size());
+  for (const auto& [h, e] : publications_) pubIds.push_back(h);
+  std::sort(pubIds.begin(), pubIds.end());
+  for (const PublicationHandle h : pubIds) {
+    const PublicationEntry& pub = publications_.find(h)->second;
+    for (const OutChannel& ch : pub.channels) {
+      CbChannelHealth hh;
+      hh.channelId = ch.remoteChannelId;
+      hh.className = pub.className;
+      hh.outbound = true;
+      hh.qos = ch.qos;
+      hh.live = true;  // an OutChannel exists only once connected
+      hh.ageSec = now_ - ch.lastHeardSec;
+      hh.windowFrames = pub.retx ? pub.retx->size() : 0;
+      hh.retransmits = ch.retransmits;
+      hh.cumAcked = ch.cumAcked;
+      out.push_back(std::move(hh));
+    }
+  }
+  for (const auto& [cid, ch] : inChannels_) {  // channel-id order (std::map)
+    CbChannelHealth hh;
+    hh.channelId = cid;
+    const auto sit = subscriptions_.find(ch.subscription);
+    if (sit != subscriptions_.end()) hh.className = sit->second.className;
+    hh.outbound = false;
+    hh.qos = ch.qos;
+    hh.live = ch.live;
+    hh.ageSec = now_ - ch.lastActivity;
+    hh.windowFrames = ch.rq ? ch.rq->buffered() : 0;
+    hh.cumAcked = ch.rq ? (ch.rq->nextExpected() > 0 ? ch.rq->nextExpected() - 1
+                                                     : 0)
+                        : ch.lastSeq;
+    out.push_back(std::move(hh));
+  }
+  return out;
 }
 
 std::size_t CommunicationBackbone::sourceCount(SubscriptionHandle h) const {
@@ -630,8 +714,11 @@ void CommunicationBackbone::handleBye(const ByeMsg& m,
     const std::size_t before = chans.size();
     chans.erase(std::remove_if(chans.begin(), chans.end(),
                                [&](const OutChannel& ch) {
-                                 return ch.remote == src &&
-                                        ch.remoteChannelId == m.channelId;
+                                 if (ch.remote != src ||
+                                     ch.remoteChannelId != m.channelId)
+                                   return false;
+                                 releaseBatchSlot(ch.batchSlot);
+                                 return true;
                                }),
                 chans.end());
     if (chans.size() != before) compactSendWindow(pub);
@@ -699,6 +786,7 @@ void CommunicationBackbone::handleNack(const NackMsg& m,
       stageToChannel(*ch, *frame);
       pub->retx->markSent(seq, now);
       ch->lastSentSec = now;
+      ++ch->retransmits;
     } else if (seq <= pub->retx->highestEvicted()) {
       // Evicted by window overflow: the subscriber must skip, or it will
       // NACK this hole forever.
@@ -887,14 +975,18 @@ void CommunicationBackbone::runTimers(double now) {
           patchChannelId(*frame, ch.remoteChannelId);
           stageToChannel(ch, *frame);
           ch.lastSentSec = now;
+          ++ch.retransmits;
         }
       }
     }
     const std::size_t before = chans.size();
     chans.erase(std::remove_if(chans.begin(), chans.end(),
                                [&](const OutChannel& ch) {
-                                 return now - ch.lastHeardSec >
-                                        cfg_.channelTimeoutSec;
+                                 if (now - ch.lastHeardSec <=
+                                     cfg_.channelTimeoutSec)
+                                   return false;
+                                 releaseBatchSlot(ch.batchSlot);
+                                 return true;
                                }),
                 chans.end());
     if (chans.size() != before) {

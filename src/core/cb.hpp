@@ -105,6 +105,7 @@ struct CbBatchStats {
   std::uint64_t containerBytesSent = 0;  // bytes across all containers
   std::uint64_t datagramsUnpacked = 0;   // containers received
   std::uint64_t framesUnpacked = 0;      // sub-frames dispatched from them
+  std::uint64_t peerSlotsReclaimed = 0;  // staging slots freed on teardown
   /// Mean container size; with framesCoalesced/datagramsCoalesced this is
   /// the observable the batching bench tracks (bytes per datagram).
   double bytesPerDatagram() const {
@@ -113,6 +114,27 @@ struct CbBatchStats {
                : static_cast<double>(containerBytesSent) /
                      static_cast<double>(datagramsCoalesced);
   }
+};
+
+/// Live-health snapshot of one virtual channel, as exported to the
+/// telemetry subsystem (src/telemetry/): enough to spot a stalled peer, a
+/// retransmit storm, or a filling window without knowing CB internals.
+struct CbChannelHealth {
+  std::uint32_t channelId = 0;  // subscriber-allocated, both directions
+  std::string className;
+  bool outbound = false;  // true: publisher side of the channel
+  net::QosClass qos = net::QosClass::kBestEffort;
+  bool live = false;      // inbound: CHANNEL_ACK seen; outbound: always
+  /// Seconds since the peer was last heard from on this channel.
+  double ageSec = 0.0;
+  /// Reliable channels: outbound, frames parked in the publication's
+  /// retransmit window; inbound, frames held in the reorder buffer.
+  std::uint64_t windowFrames = 0;
+  /// Outbound reliable channels: frames re-sent on this channel so far.
+  std::uint64_t retransmits = 0;
+  /// Outbound: subscriber's cumulative ack; inbound: last in-order
+  /// (reliable) or newest-wins (best effort) sequence delivered.
+  std::uint64_t cumAcked = 0;
 };
 
 /// Counters exposed for tests, benches and the instructor monitor.
@@ -250,7 +272,22 @@ class CommunicationBackbone {
   void flushBatches();
 
   const CbStats& stats() const { return stats_; }
+  /// Per-endpoint counters of the transport under this CB (null if the
+  /// transport keeps none).
+  const net::TransportStats* transportStats() const {
+    return transport_->stats();
+  }
+  /// Health snapshot of every live virtual channel, publisher side first
+  /// (publication-id order), then subscriber side (channel-id order) —
+  /// deterministic so telemetry records diff cleanly across snapshots.
+  std::vector<CbChannelHealth> channelHealth() const;
   std::size_t lpCount() const { return lps_.size(); }
+  /// Peer staging slots currently in use / ever allocated. The coalescer
+  /// reclaims slots on channel teardown, so `peerSlotCount` tracks live
+  /// peers while `peerSlotCapacity` is bounded by the peak concurrent peer
+  /// count, not lifetime peer churn.
+  std::size_t peerSlotCount() const { return batchSlots_.size(); }
+  std::size_t peerSlotCapacity() const { return peerBatches_.size(); }
 
  private:
   /// Sentinel for "staging slot not resolved yet" in the channel structs.
@@ -285,6 +322,9 @@ class CommunicationBackbone {
     /// skip whatever was lost. Frames are window-buffered meanwhile and
     /// recovered through the normal retransmit path once confirmed.
     bool qosConfirmed = true;
+    /// Frames re-sent on this channel (NACK-driven + tail timeout), for
+    /// the per-channel health export.
+    std::uint64_t retransmits = 0;
   };
   struct PublicationEntry {
     PublicationHandle id = 0;
@@ -362,25 +402,41 @@ class CommunicationBackbone {
   /// channel departures.
   void compactSendWindow(PublicationEntry& pub);
 
-  /// One staging buffer per remote endpoint this CB has ever addressed.
-  /// Slots are append-only (cleared, never erased, after a flush) so the
-  /// indices cached in channel structs stay valid for the CB's lifetime.
+  /// One staging buffer per live remote endpoint. A slot stays pinned
+  /// while any channel caches its index (`channelRefs`); channel teardown
+  /// releases the pin and an unpinned slot is reclaimed to a free list
+  /// once its builder has flushed, so the table tracks live peers instead
+  /// of growing with lifetime peer churn (ephemeral-address dynamic join).
+  /// Reclaim happens only at zero refs, so a cached index can never watch
+  /// its slot be re-issued to a different peer.
   struct PeerBatch {
     net::NodeAddr addr;
     BatchBuilder builder;
+    std::uint32_t channelRefs = 0;  // live channels caching this index
+    bool active = false;            // false: parked on the free list
   };
 
-  /// Resolve (or create) the staging slot for `dst`.
+  /// Resolve (or create) the staging slot for `dst`. Slots created here
+  /// are unpinned; transient destinations (discovery replies) give theirs
+  /// back at the next flush.
   std::uint32_t batchSlotFor(const net::NodeAddr& dst);
+  /// Resolve the slot for a channel's endpoint and pin it until
+  /// releaseBatchSlot.
+  std::uint32_t acquireBatchSlot(const net::NodeAddr& dst);
+  /// Unpin a channel's cached slot at teardown (no-op on kNoBatchSlot).
+  void releaseBatchSlot(std::uint32_t slot);
+  /// Park an unpinned, empty, active slot on the free list.
+  void reclaimSlotIfIdle(std::uint32_t slot);
   /// Stage one encoded frame for `dst`; with batching disabled this is a
   /// plain transport send. May flush early on the byte budget.
   void stageSend(const net::NodeAddr& dst, std::span<const std::uint8_t> frame);
   void stageSend(std::uint32_t slot, std::span<const std::uint8_t> frame);
-  /// Stage through a channel's cached slot (resolving it on first use) —
-  /// the form every per-channel send path uses.
+  /// Stage through a channel's cached slot (resolving and pinning it on
+  /// first use) — the form every per-channel send path uses.
   template <typename Channel>
   void stageToChannel(Channel& ch, std::span<const std::uint8_t> frame) {
-    if (ch.batchSlot == kNoBatchSlot) ch.batchSlot = batchSlotFor(ch.remote);
+    if (ch.batchSlot == kNoBatchSlot)
+      ch.batchSlot = acquireBatchSlot(ch.remote);
     stageSend(ch.batchSlot, frame);
   }
   void flushSlot(PeerBatch& b);
@@ -399,7 +455,11 @@ class CommunicationBackbone {
   std::map<std::uint32_t, InChannel> inChannels_;  // keyed by channelId
 
   std::vector<PeerBatch> peerBatches_;
-  std::map<net::NodeAddr, std::uint32_t> batchSlots_;
+  std::map<net::NodeAddr, std::uint32_t> batchSlots_;  // active slots only
+  /// FIFO, not LIFO: flushBatches walks slots in index order, so reusing
+  /// the oldest freed index first keeps per-peer flush order tracking
+  /// channel-creation order instead of recent-teardown order.
+  std::deque<std::uint32_t> freeBatchSlots_;
 
   std::uint32_t nextLpId_ = 1;
   std::uint32_t nextHandle_ = 1;

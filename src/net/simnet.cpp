@@ -55,11 +55,25 @@ bool SimNetwork::partitioned(HostId a, HostId b) const {
   return partitions_.contains(std::minmax(a, b));
 }
 
+void SimNetwork::dropTowards(const NodeAddr& dst, std::uint32_t frames) {
+  // A dropped kBatch container is N lost frames, not one — soak suites and
+  // telemetry want true frame loss. The drop is also attributed to the
+  // destination endpoint (if still bound): the sim is omniscient, and
+  // per-node inbound loss is exactly what the health monitor needs.
+  ++stats_.packetsDropped;
+  stats_.framesDropped += frames;
+  const auto it = endpoints_.find(dst);
+  if (it != endpoints_.end()) {
+    ++it->second->stats_.packetsDropped;
+    it->second->stats_.framesDropped += frames;
+  }
+}
+
 void SimNetwork::enqueue(const NodeAddr& src, const NodeAddr& dst,
                          std::span<const std::uint8_t> bytes) {
   const LinkModel& link = linkFor(src.host, dst.host);
   if (link.lossRate > 0.0 && rng_.chance(link.lossRate)) {
-    ++stats_.packetsDropped;
+    dropTowards(dst, framesInDatagram(bytes));
     return;
   }
   // NIC serialization: the sender's egress line is busy for size/bandwidth.
@@ -84,15 +98,18 @@ void SimNetwork::enqueue(const NodeAddr& src, const NodeAddr& dst,
 
 void SimNetwork::submit(const NodeAddr& src, const NodeAddr& dst,
                         std::span<const std::uint8_t> bytes) {
+  const std::uint32_t frames = framesInDatagram(bytes);
   ++stats_.packetsSent;
   stats_.bytesSent += bytes.size();
+  stats_.framesSent += frames;
   if (partitioned(src.host, dst.host)) {
-    ++stats_.packetsDropped;
+    dropTowards(dst, frames);
     return;
   }
   if (!endpoints_.contains(dst)) {
-    // No socket bound there: the LAN silently eats it, like real UDP.
-    ++stats_.packetsDropped;
+    // No socket bound there: the LAN silently eats it, like real UDP
+    // (dropTowards charges only the global stats — no endpoint to bill).
+    dropTowards(dst, frames);
     return;
   }
   enqueue(src, dst, bytes);
@@ -100,13 +117,20 @@ void SimNetwork::submit(const NodeAddr& src, const NodeAddr& dst,
 
 void SimNetwork::submitBroadcast(const NodeAddr& src, std::uint16_t port,
                                  std::span<const std::uint8_t> bytes) {
+  const std::uint32_t frames = framesInDatagram(bytes);
   ++stats_.packetsSent;
   stats_.bytesSent += bytes.size();
   for (const auto& [addr, ep] : endpoints_) {
     if (addr.port != port) continue;
     if (addr == src) continue;  // a socket does not hear its own broadcast
+    // Frame accounting is per delivered copy (unlike packetsSent, which
+    // counts the one send() call): drops and receipts are charged per
+    // receiver below, so counting sends the same way keeps
+    // framesDropped <= framesSent and the loss ratio meaningful even for
+    // discovery-broadcast-heavy traffic.
+    stats_.framesSent += frames;
     if (partitioned(src.host, addr.host)) {
-      ++stats_.packetsDropped;
+      dropTowards(addr, frames);
       continue;
     }
     enqueue(src, addr, bytes);
@@ -116,18 +140,24 @@ void SimNetwork::submitBroadcast(const NodeAddr& src, std::uint16_t port,
 void SimNetwork::unbind(const NodeAddr& addr) { endpoints_.erase(addr); }
 
 void SimNetwork::deliver(InFlight&& pkt) {
+  const std::uint32_t frames = framesInDatagram(pkt.dgram.payload);
   const auto it = endpoints_.find(pkt.dgram.dst);
   if (it == endpoints_.end()) {
-    ++stats_.packetsDropped;  // socket closed while the packet was in flight
+    // Socket closed while the packet was in flight.
+    dropTowards(pkt.dgram.dst, frames);
     return;
   }
   SimTransport* ep = it->second;
   if (ep->inbox_.size() >= ep->inboxLimit_) {
-    ++stats_.packetsDropped;
+    dropTowards(pkt.dgram.dst, frames);
     return;
   }
   stats_.bytesReceived += pkt.dgram.payload.size();
   ++stats_.packetsReceived;
+  stats_.framesReceived += frames;
+  ++ep->stats_.packetsReceived;
+  ep->stats_.bytesReceived += pkt.dgram.payload.size();
+  ep->stats_.framesReceived += frames;
   ep->inbox_.push_back(std::move(pkt.dgram));
 }
 
@@ -161,11 +191,17 @@ SimTransport::~SimTransport() {
 
 void SimTransport::send(const NodeAddr& dst,
                         std::span<const std::uint8_t> bytes) {
+  ++stats_.packetsSent;
+  stats_.bytesSent += bytes.size();
+  stats_.framesSent += framesInDatagram(bytes);
   if (net_ != nullptr) net_->submit(addr_, dst, bytes);
 }
 
 void SimTransport::broadcast(std::uint16_t port,
                              std::span<const std::uint8_t> bytes) {
+  ++stats_.packetsSent;
+  stats_.bytesSent += bytes.size();
+  stats_.framesSent += framesInDatagram(bytes);
   if (net_ != nullptr) net_->submitBroadcast(addr_, port, bytes);
 }
 

@@ -106,6 +106,9 @@ class SimNetwork {
   void enqueue(const NodeAddr& src, const NodeAddr& dst,
                std::span<const std::uint8_t> bytes);
   void deliver(InFlight&& pkt);
+  /// Count one dropped packet of `frames` CB frames, attributing it to the
+  /// endpoint it was headed for (if still bound) as inbound loss.
+  void dropTowards(const NodeAddr& dst, std::uint32_t frames);
 
   std::vector<std::string> hosts_;
   std::map<NodeAddr, SimTransport*> endpoints_;
@@ -130,6 +133,13 @@ class SimTransport final : public Transport {
   void broadcast(std::uint16_t port, std::span<const std::uint8_t> bytes) override;
   std::optional<Datagram> receive() override;
 
+  /// Per-endpoint counters: this socket's own traffic view, plus — the
+  /// simulated LAN being omniscient — framesDropped for traffic that was
+  /// lost on its way *to* this endpoint (loss model, partition, inbox
+  /// overflow). A real socket cannot know the latter; telemetry consumers
+  /// treat it as the sim's ground truth for per-node inbound loss.
+  const TransportStats* stats() const override { return &stats_; }
+
   std::size_t pending() const { return inbox_.size(); }
   /// Inbound queue capacity; packets beyond it are dropped (buffer overflow).
   void setInboxLimit(std::size_t limit) { inboxLimit_ = limit; }
@@ -142,6 +152,7 @@ class SimTransport final : public Transport {
   NodeAddr addr_;
   std::deque<Datagram> inbox_;
   std::size_t inboxLimit_ = 65536;
+  TransportStats stats_;
 };
 
 }  // namespace cod::net

@@ -35,6 +35,35 @@ struct Datagram {
   std::vector<std::uint8_t> payload;
 };
 
+/// Simple traffic counters, kept by the transports that support them.
+///
+/// Packets are datagrams on the wire; frames are the CB messages they
+/// carry. The two differ because the CB's send coalescer packs a whole
+/// tick's frames for one peer into a single kBatch container datagram —
+/// so one lost packet can mean many lost frames, and loss accounting that
+/// only counted packets would understate what the protocol actually lost.
+struct TransportStats {
+  std::uint64_t packetsSent = 0;
+  std::uint64_t bytesSent = 0;
+  std::uint64_t packetsReceived = 0;
+  std::uint64_t bytesReceived = 0;
+  std::uint64_t packetsDropped = 0;  // loss model or full queues
+  std::uint64_t framesSent = 0;      // CB frames inside sent packets
+  std::uint64_t framesReceived = 0;  // CB frames inside delivered packets
+  /// CB frames inside dropped packets. Only an omniscient transport (the
+  /// simulated LAN) can attribute these to the endpoint that would have
+  /// received them; on real UDP this stays 0 and loss shows up indirectly
+  /// through the reliable layer's NACK/retransmit counters instead.
+  std::uint64_t framesDropped = 0;
+};
+
+/// Number of CB frames a datagram carries: N for a kBatch container, 1 for
+/// any bare frame (including malformed bytes — one datagram, one loss).
+/// Mirrors the container header [u8 type=10][u16 count] defined in
+/// core/protocol.hpp: net must not depend on core, so the three header
+/// bytes are duplicated here and a protocol test pins the two together.
+std::uint32_t framesInDatagram(std::span<const std::uint8_t> bytes);
+
 /// Unreliable datagram transport endpoint (one "socket").
 ///
 /// All operations are non-blocking; `receive` polls the inbound queue.
@@ -58,15 +87,10 @@ class Transport {
 
   /// Poll one inbound datagram; nullopt when the queue is empty.
   virtual std::optional<Datagram> receive() = 0;
-};
 
-/// Simple traffic counters, kept by the transports that support them.
-struct TransportStats {
-  std::uint64_t packetsSent = 0;
-  std::uint64_t bytesSent = 0;
-  std::uint64_t packetsReceived = 0;
-  std::uint64_t bytesReceived = 0;
-  std::uint64_t packetsDropped = 0;  // loss model or full queues
+  /// Per-endpoint traffic counters, null if this transport keeps none.
+  /// The telemetry subsystem snapshots these into NodeTelemetry records.
+  virtual const TransportStats* stats() const { return nullptr; }
 };
 
 }  // namespace cod::net

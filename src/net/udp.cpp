@@ -74,7 +74,11 @@ void UdpTransport::send(const NodeAddr& dst,
   if (n >= 0) {
     ++stats_.packetsSent;
     stats_.bytesSent += bytes.size();
+    stats_.framesSent += framesInDatagram(bytes);
   } else {
+    // Local sendto() failure (e.g. ENOBUFS). Not framesDropped: that
+    // counter means *inbound* loss to the telemetry monitor, and a real
+    // socket cannot attribute network loss at all (transport.hpp).
     ++stats_.packetsDropped;
   }
 }
@@ -104,6 +108,7 @@ std::optional<Datagram> UdpTransport::receive() {
   d.payload.assign(buf, buf + n);
   ++stats_.packetsReceived;
   stats_.bytesReceived += d.payload.size();
+  stats_.framesReceived += framesInDatagram(d.payload);
   return d;
 }
 

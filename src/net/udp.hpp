@@ -34,7 +34,7 @@ class UdpTransport final : public Transport {
   void broadcast(std::uint16_t port, std::span<const std::uint8_t> bytes) override;
   std::optional<Datagram> receive() override;
 
-  const TransportStats& stats() const { return stats_; }
+  const TransportStats* stats() const override { return &stats_; }
 
  private:
   std::uint16_t udpPortFor(const NodeAddr& a) const;

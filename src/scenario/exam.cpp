@@ -27,6 +27,11 @@ void Exam::deduct(double t, const std::string& reason, double points) {
   ++revision_;
 }
 
+void Exam::annotate(double t, std::string note) {
+  sheet_.annotations.push_back({t, std::move(note)});
+  ++revision_;
+}
+
 void Exam::finish(double t) {
   sheet_.elapsedSec = t;
   if (t > course_.timeLimitSec) {

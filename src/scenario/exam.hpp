@@ -34,9 +34,18 @@ struct Deduction {
   double points = 0.0;
 };
 
+/// One non-scoring note attached to the run — cluster-health alarms and
+/// peak-loss figures from the telemetry monitor, exam markers, anything a
+/// debrief should show alongside the deductions without moving the score.
+struct Annotation {
+  double timeSec = 0.0;
+  std::string note;
+};
+
 struct ScoreSheet {
   double total = 100.0;
   std::vector<Deduction> deductions;
+  std::vector<Annotation> annotations;
   double elapsedSec = 0.0;
   ExamPhase phase = ExamPhase::kDriveToSite;
   bool finished() const {
@@ -76,8 +85,8 @@ class Exam {
   ExamPhase phase() const { return sheet_.phase; }
   std::size_t nextWaypoint() const { return waypointIdx_; }
 
-  /// Monotone counter of scoring events (deductions and phase
-  /// transitions). The scenario module publishes a status update whenever
+  /// Monotone counter of sheet events (deductions, phase transitions and
+  /// annotations). The scenario module publishes a status update whenever
   /// it advances, and streams the score over a reliable channel — a
   /// monitor must never miss a deduction, so the score stream cannot be
   /// newest-wins like the 16 fps view state.
@@ -85,6 +94,11 @@ class Exam {
 
   /// Advance the exam with one observation.
   void observe(const ExamObservation& obs);
+
+  /// Attach a non-scoring note to the sheet (cluster-health alarms, peak
+  /// loss, markers). Bumps the revision so the debrief stream carries it
+  /// out immediately over the reliable status channel.
+  void annotate(double t, std::string note);
 
  private:
   void deduct(double t, const std::string& reason, double points);

@@ -80,6 +80,12 @@ std::string DashboardWindow::renderText() const {
 
 InstructorModule::InstructorModule() : core::LogicalProcess("instructor") {}
 
+std::string InstructorModule::renderClusterText() const {
+  if (clusterMonitor_ == nullptr)
+    return "+------ CLUSTER HEALTH (telemetry off) ------+\n";
+  return clusterMonitor_->renderTable() + clusterMonitor_->renderAlarms();
+}
+
 void InstructorModule::bind(core::CommunicationBackbone& cb) {
   cb_ = &cb;
   cb.attach(*this);

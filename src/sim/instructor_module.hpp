@@ -14,6 +14,7 @@
 #include "core/cb.hpp"
 #include "crane/dashboard.hpp"
 #include "sim/object_classes.hpp"
+#include "telemetry/monitor.hpp"
 
 namespace cod::sim {
 
@@ -55,6 +56,18 @@ class InstructorModule : public core::LogicalProcess {
   const StatusWindow& statusWindow() const { return status_; }
   const DashboardWindow& dashboardWindow() const { return dashWindow_; }
 
+  /// Wire the station's third window to a telemetry HealthMonitor (an LP
+  /// on the instructor's computer). The monitor must outlive this module.
+  void attachClusterMonitor(const telemetry::HealthMonitor* monitor) {
+    clusterMonitor_ = monitor;
+  }
+  const telemetry::HealthMonitor* clusterMonitor() const {
+    return clusterMonitor_;
+  }
+  /// The Cluster Health window: live per-node health table plus the alarm
+  /// feed. Empty-frame text when no monitor is attached (telemetry off).
+  std::string renderClusterText() const;
+
   /// "Click" an indicator on the dashboard window: inject a fault into the
   /// trainee's physical panel (via instructor.commands).
   void injectFault(crane::Meter meter, crane::MeterFault fault);
@@ -74,6 +87,7 @@ class InstructorModule : public core::LogicalProcess {
   DashboardWindow dashWindow_;
 
   core::CommunicationBackbone* cb_ = nullptr;
+  const telemetry::HealthMonitor* clusterMonitor_ = nullptr;
   core::PublicationHandle commandPub_ = core::kInvalidHandle;
   core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
   core::SubscriptionHandle statusSub_ = core::kInvalidHandle;

@@ -122,6 +122,8 @@ AttributeSet encodeScenarioStatus(const ScenarioStatusMsg& m) {
   a.set("finished", m.finished);
   a.set("revision", m.revision);
   a.set("deductions", m.deductionCount);
+  a.set("lastAnnotation", m.lastAnnotation);
+  a.set("annotations", m.annotationCount);
   return a;
 }
 
@@ -135,6 +137,8 @@ ScenarioStatusMsg decodeScenarioStatus(const AttributeSet& a) {
   m.finished = a.getBool("finished");
   m.revision = a.getInt("revision");
   m.deductionCount = a.getInt("deductions");
+  m.lastAnnotation = a.getString("lastAnnotation");
+  m.annotationCount = a.getInt("annotations");
   return m;
 }
 

@@ -70,6 +70,13 @@ struct ScenarioStatusMsg {
   /// checks it never regresses on its reliable score channel.
   std::int64_t revision = 0;
   std::int64_t deductionCount = 0;
+  /// Debrief annotations (telemetry alarms, peak loss): the newest note
+  /// plus the running count. The scenario module publishes one status per
+  /// annotation over the reliable channel, so a recorder that journals
+  /// the stream reconstructs the full feed; `annotationCount` lets any
+  /// consumer detect notes published before it subscribed.
+  std::string lastAnnotation;
+  std::int64_t annotationCount = 0;
 };
 
 core::AttributeSet encodeScenarioStatus(const ScenarioStatusMsg& m);

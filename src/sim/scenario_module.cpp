@@ -1,5 +1,7 @@
 #include "sim/scenario_module.hpp"
 
+#include <cstdio>
+
 namespace cod::sim {
 
 ScenarioModule::ScenarioModule(scenario::Course course,
@@ -44,6 +46,7 @@ void ScenarioModule::reflectAttributeValues(const std::string& className,
 }
 
 void ScenarioModule::step(double now) {
+  recordClusterAnnotations(now);
   // 10 Hz status stream is plenty for the instructor display, but scoring
   // events publish immediately: each revision reaches the wire in the
   // tick it happened, and the reliable channel takes it from there.
@@ -51,6 +54,33 @@ void ScenarioModule::step(double now) {
       exam_.revision() != lastPublishedRevision_) {
     publishStatus(now);
     lastPublish_ = now;
+  }
+}
+
+void ScenarioModule::recordClusterAnnotations(double now) {
+  if (clusterMonitor_ == nullptr) return;
+  // Drain the append-only alarm feed into the debrief one note per tick:
+  // each annotation bumps the exam revision, so each gets its own status
+  // publish and the wire stream carries every note's text, not just the
+  // newest of a same-tick burst.
+  const auto& alarms = clusterMonitor_->alarms();
+  if (alarmsRecorded_ < alarms.size()) {
+    const telemetry::HealthAlarm& a = alarms[alarmsRecorded_++];
+    exam_.annotate(now, std::string("cluster: ") +
+                            telemetry::alarmKindName(a.kind) + " " + a.node +
+                            " — " + a.detail);
+  }
+  // One closing note when the exam ends: the worst loss any node saw
+  // between two telemetry snapshots over the whole run.
+  if (!peakLossAnnotated_ && exam_.score().finished()) {
+    peakLossAnnotated_ = true;
+    if (clusterMonitor_->peakLossPct() > 0.0) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "cluster: peak inbound loss %.1f%% (%s)",
+                    clusterMonitor_->peakLossPct(),
+                    clusterMonitor_->peakLossNode().c_str());
+      exam_.annotate(now, buf);
+    }
   }
 }
 
@@ -66,6 +96,9 @@ void ScenarioModule::publishStatus(double time) {
   m.finished = sheet.finished();
   m.revision = static_cast<std::int64_t>(exam_.revision());
   m.deductionCount = static_cast<std::int64_t>(sheet.deductions.size());
+  if (!sheet.annotations.empty())
+    m.lastAnnotation = sheet.annotations.back().note;
+  m.annotationCount = static_cast<std::int64_t>(sheet.annotations.size());
   cb_->updateAttributeValues(statusPub_, encodeScenarioStatus(m), time);
   lastPublishedRevision_ = exam_.revision();
   ++statusPublishes_;

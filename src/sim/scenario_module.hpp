@@ -2,11 +2,17 @@
 // crane.state and scenario.events, advances the exam state machine, and
 // publishes scenario.status (phase + running score) for the instructor
 // monitor and the dashboard module's scripted operator.
+//
+// Optionally watches a co-located telemetry HealthMonitor: cluster-health
+// alarms become exam annotations as they fire, and the run's peak inbound
+// loss is annotated when the exam finishes — so a debrief shows whether a
+// bad score coincided with a sick network.
 #pragma once
 
 #include "core/cb.hpp"
 #include "scenario/exam.hpp"
 #include "sim/object_classes.hpp"
+#include "telemetry/monitor.hpp"
 
 namespace cod::sim {
 
@@ -15,6 +21,13 @@ class ScenarioModule : public core::LogicalProcess {
   ScenarioModule(scenario::Course course, scenario::ScoringRules rules = {});
 
   void bind(core::CommunicationBackbone& cb);
+
+  /// Watch a HealthMonitor (an LP on this module's computer) and record
+  /// its alarm feed into the exam's debrief annotations. The monitor must
+  /// outlive this module; pass null to stop watching.
+  void attachClusterMonitor(const telemetry::HealthMonitor* monitor) {
+    clusterMonitor_ = monitor;
+  }
 
   void reflectAttributeValues(const std::string& className,
                               const core::AttributeSet& attrs,
@@ -28,6 +41,7 @@ class ScenarioModule : public core::LogicalProcess {
 
  private:
   void publishStatus(double time);
+  void recordClusterAnnotations(double now);
 
   scenario::Exam exam_;
   std::vector<std::size_t> pendingBarHits_;
@@ -37,6 +51,9 @@ class ScenarioModule : public core::LogicalProcess {
   core::PublicationHandle statusPub_ = core::kInvalidHandle;
   core::SubscriptionHandle stateSub_ = core::kInvalidHandle;
   core::SubscriptionHandle eventSub_ = core::kInvalidHandle;
+  const telemetry::HealthMonitor* clusterMonitor_ = nullptr;
+  std::size_t alarmsRecorded_ = 0;
+  bool peakLossAnnotated_ = false;
   double lastPublish_ = -1.0;
   std::uint64_t lastPublishedRevision_ = 0;
   std::uint64_t statusPublishes_ = 0;

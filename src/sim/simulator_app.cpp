@@ -4,6 +4,13 @@ namespace cod::sim {
 
 CraneSimulatorApp::CraneSimulatorApp() : CraneSimulatorApp(Config{}) {}
 
+void CraneSimulatorApp::addTelemetry(core::CommunicationBackbone& cb) {
+  if (!cfg_.telemetry.enabled) return;
+  telemetry_.push_back(
+      std::make_unique<telemetry::TelemetryPublisher>(cfg_.telemetry));
+  telemetry_.back()->bind(cb);
+}
+
 CraneSimulatorApp::CraneSimulatorApp(Config cfg)
     : cfg_(std::move(cfg)), cluster_(cfg_.cluster) {
   // Computers 1..3: displays.
@@ -19,12 +26,14 @@ CraneSimulatorApp::CraneSimulatorApp(Config cfg)
     displays_.push_back(
         std::make_unique<VisualDisplayModule>(cfg_.course, dc));
     displays_.back()->bind(cb);
+    addTelemetry(cb);
   }
   // Computer 4: the synchronization server.
   {
     auto& cb = cluster_.addComputer("sync-server");
     sync_ = std::make_unique<SyncServerModule>(cfg_.displayCount);
     sync_->bind(cb);
+    addTelemetry(cb);
   }
   // Computer 5: dashboard (with the scripted trainee in the seat).
   {
@@ -32,6 +41,7 @@ CraneSimulatorApp::CraneSimulatorApp(Config cfg)
     dashboard_ = std::make_unique<DashboardModule>(cfg_.course,
                                                    cfg_.operatorProfile);
     dashboard_->bind(cb);
+    addTelemetry(cb);
   }
   // Computer 6: motion platform controller.
   {
@@ -40,8 +50,11 @@ CraneSimulatorApp::CraneSimulatorApp(Config cfg)
     pc.frameIntervalSec = cfg_.frameIntervalSec;
     platform_ = std::make_unique<PlatformModule>(pc);
     platform_->bind(cb);
+    addTelemetry(cb);
   }
-  // Computer 7: dynamics + scenario (two LPs on one box, §2.1).
+  // Computer 7: dynamics + scenario (two LPs on one box, §2.1). With
+  // telemetry on, a third LP — a HealthMonitor — feeds cluster alarms and
+  // the run's peak loss into the exam debrief.
   {
     auto& cb = cluster_.addComputer("dynamics");
     DynamicsModule::Config dc;
@@ -52,14 +65,30 @@ CraneSimulatorApp::CraneSimulatorApp(Config cfg)
     dynamics_->bind(cb);
     scenario_ = std::make_unique<ScenarioModule>(cfg_.course);
     scenario_->bind(cb);
+    addTelemetry(cb);
+    if (cfg_.telemetry.enabled) {
+      scenarioMonitor_ =
+          std::make_unique<telemetry::HealthMonitor>(cfg_.telemetryMonitor);
+      scenarioMonitor_->bind(cb);
+      scenario_->attachClusterMonitor(scenarioMonitor_.get());
+    }
   }
-  // Computer 8: instructor monitor + audio (two LPs on one box).
+  // Computer 8: instructor monitor + audio (two LPs on one box). With
+  // telemetry on, the station's HealthMonitor aggregates every node's
+  // export into the Cluster Health window.
   {
     auto& cb = cluster_.addComputer("instructor");
     instructor_ = std::make_unique<InstructorModule>();
     instructor_->bind(cb);
     audio_ = std::make_unique<AudioModule>();
     audio_->bind(cb);
+    addTelemetry(cb);
+    if (cfg_.telemetry.enabled) {
+      instructorMonitor_ =
+          std::make_unique<telemetry::HealthMonitor>(cfg_.telemetryMonitor);
+      instructorMonitor_->bind(cb);
+      instructor_->attachClusterMonitor(instructorMonitor_.get());
+    }
   }
 }
 

@@ -12,6 +12,8 @@
 #include <memory>
 
 #include "core/cluster.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/publisher.hpp"
 #include "sim/audio_module.hpp"
 #include "sim/dashboard_module.hpp"
 #include "sim/display_module.hpp"
@@ -39,6 +41,14 @@ class CraneSimulatorApp {
     physics::WindParams wind;
     double cargoDragAreaM2 = 1.2;
     core::CodCluster::Config cluster;
+    /// Cluster-health export: every computer runs a TelemetryPublisher,
+    /// the instructor station aggregates with a HealthMonitor (Cluster
+    /// Health window), and the scenario computer runs a second monitor
+    /// that annotates the exam debrief. telemetry.enabled = false builds
+    /// none of it — wire traffic is byte-identical to a telemetry-free
+    /// simulator.
+    telemetry::TelemetryConfig telemetry;
+    telemetry::MonitorConfig telemetryMonitor;
   };
 
   CraneSimulatorApp();
@@ -67,9 +77,17 @@ class CraneSimulatorApp {
   SyncServerModule& syncServer() { return *sync_; }
   int displayCount() const { return static_cast<int>(displays_.size()); }
 
+  /// The instructor station's cluster-health aggregator; null when
+  /// telemetry is disabled.
+  telemetry::HealthMonitor* clusterMonitor() { return instructorMonitor_.get(); }
+  std::size_t telemetryPublisherCount() const { return telemetry_.size(); }
+
   const Config& config() const { return cfg_; }
 
  private:
+  /// Start a telemetry publisher on `cb` (no-op when telemetry is off).
+  void addTelemetry(core::CommunicationBackbone& cb);
+
   Config cfg_;
   core::CodCluster cluster_;
   std::vector<std::unique_ptr<VisualDisplayModule>> displays_;
@@ -80,6 +98,9 @@ class CraneSimulatorApp {
   std::unique_ptr<ScenarioModule> scenario_;
   std::unique_ptr<InstructorModule> instructor_;
   std::unique_ptr<AudioModule> audio_;
+  std::vector<std::unique_ptr<telemetry::TelemetryPublisher>> telemetry_;
+  std::unique_ptr<telemetry::HealthMonitor> instructorMonitor_;
+  std::unique_ptr<telemetry::HealthMonitor> scenarioMonitor_;
 };
 
 }  // namespace cod::sim

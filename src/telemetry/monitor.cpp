@@ -1,0 +1,275 @@
+#include "telemetry/monitor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace cod::telemetry {
+
+namespace {
+
+/// Counter rate with restart protection: a publisher that restarted
+/// (counters back to zero) must not produce a huge unsigned wraparound.
+double rate(std::uint64_t cur, std::uint64_t prev, double dtSec) {
+  if (cur < prev || dtSec <= 0.0) return 0.0;
+  return static_cast<double>(cur - prev) / dtSec;
+}
+
+std::uint64_t delta(std::uint64_t cur, std::uint64_t prev) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+}  // namespace
+
+const char* alarmKindName(HealthAlarm::Kind k) {
+  switch (k) {
+    case HealthAlarm::Kind::kNodeSilent: return "NODE_SILENT";
+    case HealthAlarm::Kind::kNodeRecovered: return "NODE_RECOVERED";
+    case HealthAlarm::Kind::kLossSpike: return "LOSS_SPIKE";
+    case HealthAlarm::Kind::kRetransmitStorm: return "RETX_STORM";
+    case HealthAlarm::Kind::kMailboxOverflow: return "MAILBOX_OVERFLOW";
+  }
+  return "UNKNOWN";
+}
+
+HealthMonitor::HealthMonitor(MonitorConfig cfg)
+    : core::LogicalProcess("health-monitor"), cfg_(cfg) {}
+
+void HealthMonitor::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+  sub_ = cb.subscribeObjectClass(*this, kTelemetryClass);
+}
+
+void HealthMonitor::reflectAttributeValues(const std::string& className,
+                                           const core::AttributeSet& attrs,
+                                           double /*timestamp*/) {
+  if (className != kTelemetryClass) return;
+  const core::AttributeValue* v = attrs.find(kTelemetryAttr);
+  if (v == nullptr || !v->isBlob()) {
+    ++undecodable_;
+    return;
+  }
+  const std::vector<std::uint8_t>& bytes = v->asBlob();
+  const auto header = peekTelemetryHeader(bytes);
+  if (!header) {
+    ++undecodable_;
+    return;
+  }
+  if (header->baseSeq.has_value()) {
+    // Delta: decode against the sender's stored keyframe. A delta whose
+    // keyframe we missed (loss, or we joined mid-stream) still proves the
+    // node is alive — refresh its liveness but apply no counters; the
+    // next keyframe heals the chain. A delta whose base we DO hold but
+    // whose body will not decode is corruption, not keyframe loss, and
+    // must be counted as such or an operator chasing corrupt telemetry
+    // would be pointed at packet loss instead.
+    NodeState& st = nodes_[header->node];
+    NodeHealth& h = st.health;
+    const bool baseMatches =
+        st.keyframe && st.keyframe->seq == *header->baseSeq;
+    std::optional<NodeTelemetry> t;
+    if (baseMatches) t = decodeTelemetry(bytes, &*st.keyframe);
+    if (!t) {
+      if (baseMatches) {
+        ++undecodable_;
+      } else {
+        ++h.deltasRejected;
+      }
+      h.lastHeardSec = now_;
+      if (h.silent) {
+        h.silent = false;
+        raise(HealthAlarm::Kind::kNodeRecovered, header->node,
+              "node is back (awaiting keyframe)");
+      }
+      return;
+    }
+    applySnapshot(std::move(*t), /*isKeyframe=*/false);
+    return;
+  }
+  auto t = decodeTelemetry(bytes);
+  if (!t) {
+    ++undecodable_;
+    return;
+  }
+  applySnapshot(std::move(*t), /*isKeyframe=*/true);
+}
+
+void HealthMonitor::applySnapshot(NodeTelemetry&& t, bool isKeyframe) {
+  // A keyframe this far behind the node's last applied sequence is a
+  // publisher restart, not reordering: at snapshot cadence (~1 Hz) a
+  // record delayed by several whole intervals is effectively impossible
+  // on a LAN, while a restarted publisher whose literal seq-1 keyframe
+  // was lost (telemetry is best effort) would otherwise be stale-dropped
+  // until its new sequence caught the old one — a frozen health row for
+  // however long the dead process had been up.
+  constexpr std::uint64_t kRestartSeqGap = 3;
+  NodeState& st = nodes_[t.node];
+  NodeHealth& h = st.health;
+  if (h.snapshotsApplied > 0) {
+    const bool restarted =
+        t.seq < h.last.seq &&
+        (t.seq == 1 || (isKeyframe && t.seq + kRestartSeqGap < h.last.seq));
+    if (restarted) {
+      // Previous counters belong to a dead process — but a node that was
+      // flagged SILENT and came back as a new process still owes the feed
+      // its RECOVERED edge, so the flag survives the reset.
+      const bool wasSilent = h.silent;
+      st = NodeState{};
+      h.silent = wasSilent;
+    } else if (t.seq <= h.last.seq) {
+      ++h.staleDropped;  // reordered or duplicated snapshot
+      return;
+    }
+  }
+  if (h.snapshotsApplied > 0) deriveRates(st, h.last, t);
+  if (h.silent) {
+    h.silent = false;
+    raise(HealthAlarm::Kind::kNodeRecovered, t.node, "node is back");
+  }
+  h.lastHeardSec = now_;
+  ++h.snapshotsApplied;
+  if (isKeyframe) st.keyframe = t;
+  h.last = std::move(t);
+}
+
+void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
+                                const NodeTelemetry& cur) {
+  NodeHealth& h = st.health;
+  const double dt = cur.nodeTimeSec - prev.nodeTimeSec;
+  h.updatesPerSec = rate(cur.cb.updatesSent, prev.cb.updatesSent, dt);
+  h.retransmitsPerSec =
+      rate(cur.cb.reliable.retransmitsSent, prev.cb.reliable.retransmitsSent,
+           dt);
+  const std::uint64_t dDropped =
+      delta(cur.transport.framesDropped, prev.transport.framesDropped);
+  const std::uint64_t dReceived =
+      delta(cur.transport.framesReceived, prev.transport.framesReceived);
+  h.lossPct = (dDropped + dReceived) == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(dDropped) /
+                        static_cast<double>(dDropped + dReceived);
+  const std::uint64_t dBytes =
+      delta(cur.transport.bytesSent, prev.transport.bytesSent);
+  const std::uint64_t dPackets =
+      delta(cur.transport.packetsSent, prev.transport.packetsSent);
+  h.bytesPerDatagram = dPackets == 0 ? 0.0
+                                     : static_cast<double>(dBytes) /
+                                           static_cast<double>(dPackets);
+  if (h.lossPct > peakLossPct_) {
+    peakLossPct_ = h.lossPct;
+    peakLossNode_ = cur.node;
+  }
+
+  // Threshold alarms, edge-triggered per node.
+  char buf[96];
+  if (h.lossPct >= cfg_.lossSpikePct) {
+    if (!st.lossAlarm) {
+      st.lossAlarm = true;
+      std::snprintf(buf, sizeof(buf), "inbound loss %.1f%% (threshold %.1f%%)",
+                    h.lossPct, cfg_.lossSpikePct);
+      raise(HealthAlarm::Kind::kLossSpike, cur.node, buf);
+    }
+  } else {
+    st.lossAlarm = false;
+  }
+  if (h.retransmitsPerSec >= cfg_.retransmitStormPerSec) {
+    if (!st.retxAlarm) {
+      st.retxAlarm = true;
+      std::snprintf(buf, sizeof(buf), "%.1f retransmits/s (threshold %.1f)",
+                    h.retransmitsPerSec, cfg_.retransmitStormPerSec);
+      raise(HealthAlarm::Kind::kRetransmitStorm, cur.node, buf);
+    }
+  } else {
+    st.retxAlarm = false;
+  }
+  const std::uint64_t dOverflow =
+      delta(cur.cb.mailboxOverflows, prev.cb.mailboxOverflows);
+  if (cfg_.alarmOnMailboxOverflow && dOverflow > 0) {
+    if (!st.overflowAlarm) {
+      st.overflowAlarm = true;
+      std::snprintf(buf, sizeof(buf),
+                    "%llu reflections dropped on full mailboxes",
+                    static_cast<unsigned long long>(dOverflow));
+      raise(HealthAlarm::Kind::kMailboxOverflow, cur.node, buf);
+    }
+  } else {
+    st.overflowAlarm = false;
+  }
+}
+
+void HealthMonitor::step(double now) {
+  now_ = std::max(now_, now);
+  const double silentAfter =
+      cfg_.silentAfterIntervals * cfg_.expectedIntervalSec;
+  for (auto& [name, st] : nodes_) {
+    NodeHealth& h = st.health;
+    if (!h.silent && now_ - h.lastHeardSec > silentAfter) {
+      h.silent = true;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "no snapshot for %.1fs (expected every %.1fs)",
+                    now_ - h.lastHeardSec, cfg_.expectedIntervalSec);
+      raise(HealthAlarm::Kind::kNodeSilent, name, buf);
+    }
+  }
+}
+
+void HealthMonitor::raise(HealthAlarm::Kind kind, const std::string& nodeName,
+                          std::string detail) {
+  alarms_.push_back(HealthAlarm{kind, now_, nodeName, std::move(detail)});
+}
+
+std::vector<std::string> HealthMonitor::nodeNames() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& [name, st] : nodes_) names.push_back(name);
+  return names;
+}
+
+const NodeHealth* HealthMonitor::node(const std::string& name) const {
+  const auto it = nodes_.find(name);
+  return it != nodes_.end() ? &it->second.health : nullptr;
+}
+
+std::string HealthMonitor::renderTable() const {
+  std::string out;
+  out +=
+      "+----------------------- CLUSTER HEALTH ------------------------+\n";
+  out +=
+      "| node            seq    age  upd/s  loss%  retx/s  B/dg  state |\n";
+  char buf[128];
+  for (const auto& [name, st] : nodes_) {
+    const NodeHealth& h = st.health;
+    const char* state = h.silent ? "SILENT"
+                       : st.lossAlarm ? "LOSSY"
+                       : st.retxAlarm ? "RETX"
+                                      : "OK";
+    std::snprintf(buf, sizeof(buf),
+                  "| %-14s %5llu %6.1f %6.1f %6.1f %7.1f %5.0f %-6s|\n",
+                  name.c_str(), static_cast<unsigned long long>(h.last.seq),
+                  now_ - h.lastHeardSec, h.updatesPerSec, h.lossPct,
+                  h.retransmitsPerSec, h.bytesPerDatagram, state);
+    out += buf;
+  }
+  if (nodes_.empty()) out += "| (no nodes heard from yet)                 |\n";
+  out +=
+      "+---------------------------------------------------------------+\n";
+  return out;
+}
+
+std::string HealthMonitor::renderAlarms(std::size_t maxRows) const {
+  std::string out = "ALARMS";
+  if (alarms_.empty()) return out + ": (none)\n";
+  out += ":\n";
+  const std::size_t first =
+      alarms_.size() > maxRows ? alarms_.size() - maxRows : 0;
+  char buf[192];
+  for (std::size_t i = first; i < alarms_.size(); ++i) {
+    const HealthAlarm& a = alarms_[i];
+    std::snprintf(buf, sizeof(buf), "  [t=%8.2f] %-16s %-14s %s\n", a.timeSec,
+                  alarmKindName(a.kind), a.node.c_str(), a.detail.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cod::telemetry

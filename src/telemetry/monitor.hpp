@@ -1,0 +1,143 @@
+// HealthMonitor — the cluster-wide aggregation end of the telemetry
+// subsystem.
+//
+// A monitor is a Logical Process that subscribes to the reserved
+// cod.telemetry class, so it can run on any computer of the cluster (the
+// instructor station runs one for its health table; the scenario computer
+// runs one to annotate the exam debrief). From each node's snapshot
+// stream it tracks liveness/staleness, reassembles delta records against
+// their keyframes, derives rates from successive snapshots (updates/s,
+// inbound loss %, retransmits/s, bytes per datagram) and raises
+// threshold alarms:
+//
+//   kNodeSilent       no snapshot for N publish intervals
+//   kNodeRecovered    a silent node spoke again
+//   kLossSpike        inbound frame loss between snapshots over threshold
+//   kRetransmitStorm  reliable retransmit rate over threshold
+//   kMailboxOverflow  a node dropped reflections on a full mailbox
+//
+// Alarms are edge-triggered (one per onset, not one per interval) and
+// accumulate in an append-only feed consumers drain by index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cb.hpp"
+#include "telemetry/node_telemetry.hpp"
+
+namespace cod::telemetry {
+
+/// Alarm thresholds and the publish cadence staleness is judged against.
+struct MonitorConfig {
+  /// The publishers' TelemetryConfig::intervalSec, as expected here.
+  double expectedIntervalSec = 1.0;
+  /// A node is silent after this many expected intervals without a
+  /// snapshot.
+  double silentAfterIntervals = 3.0;
+  /// Inbound frame loss between two snapshots that counts as a spike, %.
+  double lossSpikePct = 10.0;
+  /// Reliable retransmit rate that counts as a storm, frames/second.
+  double retransmitStormPerSec = 50.0;
+  /// Raise on any mailbox overflow growth (off: overflows only show in
+  /// the table).
+  bool alarmOnMailboxOverflow = true;
+};
+
+struct HealthAlarm {
+  enum class Kind : std::uint8_t {
+    kNodeSilent = 0,
+    kNodeRecovered = 1,
+    kLossSpike = 2,
+    kRetransmitStorm = 3,
+    kMailboxOverflow = 4,
+  };
+  Kind kind = Kind::kNodeSilent;
+  double timeSec = 0.0;  // monitor clock at detection
+  std::string node;
+  std::string detail;
+};
+
+const char* alarmKindName(HealthAlarm::Kind k);
+
+/// What the monitor knows about one node.
+struct NodeHealth {
+  NodeTelemetry last;          // latest applied snapshot
+  double lastHeardSec = 0.0;   // monitor clock when it arrived
+  bool silent = false;
+  std::uint64_t snapshotsApplied = 0;
+  std::uint64_t deltasRejected = 0;  // lost their keyframe; healed later
+  std::uint64_t staleDropped = 0;    // out-of-order or repeated sequence
+  /// Rates over the last pair of applied snapshots (0 until two arrive).
+  double updatesPerSec = 0.0;
+  double lossPct = 0.0;
+  double retransmitsPerSec = 0.0;
+  double bytesPerDatagram = 0.0;
+};
+
+class HealthMonitor : public core::LogicalProcess {
+ public:
+  explicit HealthMonitor(MonitorConfig cfg = {});
+
+  /// Attach to a CB and subscribe cluster-wide.
+  void bind(core::CommunicationBackbone& cb);
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double timestamp) override;
+  void step(double now) override;
+
+  /// Names of every node heard from so far, in name order (the display
+  /// order of the health table).
+  std::vector<std::string> nodeNames() const;
+  std::size_t nodeCount() const { return nodes_.size(); }
+  /// Health of one node, null if never heard from.
+  const NodeHealth* node(const std::string& name) const;
+
+  /// Append-only alarm feed; consumers remember the index they drained to.
+  const std::vector<HealthAlarm>& alarms() const { return alarms_; }
+
+  /// Worst inbound loss observed on any node between two snapshots, and
+  /// which node it was — the exam debrief's "peak loss" annotation.
+  double peakLossPct() const { return peakLossPct_; }
+  const std::string& peakLossNode() const { return peakLossNode_; }
+
+  /// Snapshots that failed to decode outright (corruption); rejected
+  /// deltas are tracked per node instead.
+  std::uint64_t undecodableDropped() const { return undecodable_; }
+
+  /// ASCII health table (one row per node) for the instructor station.
+  std::string renderTable() const;
+  /// The newest `maxRows` alarms, oldest first.
+  std::string renderAlarms(std::size_t maxRows = 8) const;
+
+ private:
+  struct NodeState {
+    NodeHealth health;
+    std::optional<NodeTelemetry> keyframe;  // delta base
+    bool lossAlarm = false;
+    bool retxAlarm = false;
+    bool overflowAlarm = false;
+  };
+
+  void applySnapshot(NodeTelemetry&& t, bool isKeyframe);
+  void deriveRates(NodeState& st, const NodeTelemetry& prev,
+                   const NodeTelemetry& cur);
+  void raise(HealthAlarm::Kind kind, const std::string& nodeName,
+             std::string detail);
+
+  MonitorConfig cfg_;
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::SubscriptionHandle sub_ = core::kInvalidHandle;
+  std::map<std::string, NodeState> nodes_;
+  std::vector<HealthAlarm> alarms_;
+  double now_ = 0.0;
+  double peakLossPct_ = 0.0;
+  std::string peakLossNode_;
+  std::uint64_t undecodable_ = 0;
+};
+
+}  // namespace cod::telemetry

@@ -1,0 +1,99 @@
+// NodeTelemetry — the compact, versioned wire record one computer's
+// telemetry publisher exports every interval (ROADMAP "Instrumentation").
+//
+// A record is a point-in-time snapshot of everything a cluster-health
+// monitor needs about one node: identity (CB name + endpoint address), a
+// monotonic snapshot sequence, the CB's counters (CbStats including the
+// reliable-layer and send-coalescer blocks), the node's own transport
+// counters, and a per-channel health list (age since last frame,
+// retransmits, window occupancy).
+//
+// Two encodings share one decoder:
+//   * keyframe — every counter, self-contained;
+//   * delta    — only the counters that changed since a base keyframe,
+//     referenced by sequence number. Telemetry rides best-effort channels
+//     (a lost snapshot is superseded, retransmitting stale stats would be
+//     absurd), so deltas are encoded against the last *keyframe*, not the
+//     previous delta: any number of lost deltas heals at the next arrival,
+//     and a lost keyframe costs at most one keyframe interval of data.
+// The channel list is always encoded in full — it is small, and its shape
+// (channels appearing and vanishing) is exactly what must not be guessed
+// from a diff.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cb.hpp"
+#include "net/transport.hpp"
+
+namespace cod::telemetry {
+
+/// Wire-format version, first byte of every record. Decoders reject
+/// anything else (a mixed-version cluster must fail loudly, not
+/// misinterpret counters).
+inline constexpr std::uint8_t kTelemetryVersion = 1;
+
+/// Reserved object class the publishers publish on and monitors subscribe
+/// to — "cod." prefixed so no simulator module class can collide.
+inline const std::string kTelemetryClass = "cod.telemetry";
+/// The single attribute carrying the encoded record.
+inline const std::string kTelemetryAttr = "t";
+
+/// One node's snapshot (see file comment). `channels` reuses the CB's own
+/// health export type.
+struct NodeTelemetry {
+  std::uint64_t seq = 0;  // monotonic per publisher; resets on restart
+  std::string node;       // CB name
+  net::NodeAddr addr;     // CB endpoint (node identity with `node`)
+  double nodeTimeSec = 0.0;  // publisher clock at snapshot time
+  core::CbStats cb;          // includes .reliable and .batch
+  net::TransportStats transport;
+  std::vector<core::CbChannelHealth> channels;
+};
+
+/// The flattened counter table: every std::uint64_t in CbStats (with its
+/// reliable and batch sub-blocks) and TransportStats, in a fixed order
+/// that *is* the wire format — appending is a version bump.
+std::size_t counterCount();
+/// Dotted diagnostic name of counter `i` ("cb.updatesSent",
+/// "transport.framesDropped", ...). Null if out of range.
+const char* counterName(std::size_t i);
+std::uint64_t counterValue(const NodeTelemetry& t, std::size_t i);
+void setCounterValue(NodeTelemetry& t, std::size_t i, std::uint64_t v);
+
+/// Encode a self-contained keyframe snapshot.
+std::vector<std::uint8_t> encodeTelemetry(const NodeTelemetry& t);
+/// Encode `t` as a delta against `base` (a keyframe the receiver should
+/// hold): identity, time and channels in full, counters only where they
+/// differ from `base`.
+std::vector<std::uint8_t> encodeTelemetryDelta(const NodeTelemetry& t,
+                                               const NodeTelemetry& base);
+
+/// Identity header of a record, readable without the base a delta would
+/// need: lets a monitor route the record to the right node's keyframe and
+/// distinguish "waiting for a keyframe" from corruption.
+struct TelemetryHeader {
+  std::uint64_t seq = 0;
+  std::string node;
+  net::NodeAddr addr;
+  double nodeTimeSec = 0.0;
+  /// Set iff the record is a delta: the keyframe sequence it requires.
+  std::optional<std::uint64_t> baseSeq;
+};
+
+std::optional<TelemetryHeader> peekTelemetryHeader(
+    std::span<const std::uint8_t> bytes);
+
+/// Decode either encoding. Delta records require `base` with the matching
+/// sequence; keyframes ignore `base`. Rejects (nullopt) truncated input,
+/// trailing bytes, bad version, unknown counter indices, or a delta whose
+/// base is absent/mismatched — a monitor must drop, never guess.
+std::optional<NodeTelemetry> decodeTelemetry(
+    std::span<const std::uint8_t> bytes,
+    const NodeTelemetry* base = nullptr);
+
+}  // namespace cod::telemetry

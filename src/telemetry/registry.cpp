@@ -1,0 +1,17 @@
+#include "telemetry/registry.hpp"
+
+namespace cod::telemetry {
+
+NodeTelemetry StatRegistry::snapshot(double now) {
+  NodeTelemetry t;
+  t.seq = nextSeq_++;
+  t.node = cb_->name();
+  t.addr = cb_->address();
+  t.nodeTimeSec = now;
+  t.cb = cb_->stats();
+  if (const net::TransportStats* ts = cb_->transportStats()) t.transport = *ts;
+  t.channels = cb_->channelHealth();
+  return t;
+}
+
+}  // namespace cod::telemetry

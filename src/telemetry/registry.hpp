@@ -1,0 +1,34 @@
+// StatRegistry — where a node's scattered counters become one record.
+//
+// The CB keeps CbStats (with the reliable-layer and send-coalescer
+// blocks), the transport keeps its own TransportStats, and per-channel
+// health lives in the CB's channel tables. The registry is the one place
+// that knows how to gather all of them into a NodeTelemetry snapshot with
+// the node's identity and a monotonic sequence number — the publisher
+// encodes what the registry returns, nothing more.
+#pragma once
+
+#include "core/cb.hpp"
+#include "telemetry/node_telemetry.hpp"
+
+namespace cod::telemetry {
+
+class StatRegistry {
+ public:
+  /// The registry observes the CB (and through it the transport); it
+  /// never mutates either. The CB must outlive the registry.
+  explicit StatRegistry(const core::CommunicationBackbone& cb) : cb_(&cb) {}
+
+  /// Snapshot everything now. Sequence numbers start at 1 and increment
+  /// per call, so a monitor can order snapshots and spot publisher
+  /// restarts (the sequence resets).
+  NodeTelemetry snapshot(double now);
+
+  std::uint64_t lastSeq() const { return nextSeq_ - 1; }
+
+ private:
+  const core::CommunicationBackbone* cb_;
+  std::uint64_t nextSeq_ = 1;
+};
+
+}  // namespace cod::telemetry

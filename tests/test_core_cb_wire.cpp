@@ -560,5 +560,66 @@ TEST_F(WireFixture, DetachedSubscriberLeavesNoStaleLocalLink) {
   EXPECT_EQ(cb->stats().updatesLocalFastPath, 0u);
 }
 
+/// Regression: peer staging slots must be reclaimed on channel teardown.
+/// 64 subscribers joining and resigning one after another (ephemeral-
+/// address dynamic join) must leave the staging table sized for the peak
+/// concurrent peer count — one — not for lifetime peer churn.
+TEST_F(WireFixture, PeerBatchSlotsReclaimedOnChurn) {
+  cb->attach(lp);
+  const PublicationHandle h = cb->publishObjectClass(lp, "wire.cls");
+  double now = 0.0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const net::NodeAddr peer{100 + i, 1};
+    transport->inject(
+        peer, encode(ChannelConnectionMsg{1000 + i, h, 100 + i, "wire.cls"}));
+    cb->tick(now += 0.001);
+    ASSERT_EQ(cb->channelCount(h), 1u);
+    // An update pins the channel's staging slot (lazy resolution).
+    cb->updateAttributeValues(h, sampleAttrs(), now);
+    cb->tick(now += 0.001);
+    EXPECT_LE(cb->peerSlotCount(), 1u);
+    transport->inject(peer,
+                      encode(ByeMsg{100 + i, /*fromPublisher=*/false}));
+    cb->tick(now += 0.001);
+    ASSERT_EQ(cb->channelCount(h), 0u);
+  }
+  EXPECT_EQ(cb->peerSlotCount(), 0u);
+  EXPECT_LE(cb->peerSlotCapacity(), 2u);
+  EXPECT_GE(cb->stats().batch.peerSlotsReclaimed, 64u);
+}
+
+/// The slot cached by a surviving channel must never be handed to another
+/// peer while churn reclaims its neighbours.
+TEST_F(WireFixture, PinnedSlotSurvivesNeighbourChurn) {
+  const PublicationHandle h = publishWithTwoChannels();
+  const AttributeSet attrs = sampleAttrs();
+  cb->updateAttributeValues(h, attrs, 0.01);  // pins sub1's and sub2's slots
+  cb->tick(0.01);
+  transport->sent.clear();
+  // sub2 resigns; a new peer joins; sub1 keeps publishing throughout.
+  transport->inject(sub2, encode(ByeMsg{9, /*fromPublisher=*/false}));
+  cb->tick(0.02);
+  transport->inject({30, 1},
+                    encode(ChannelConnectionMsg{79, h, 11, "wire.cls"}));
+  cb->tick(0.03);
+  transport->sent.clear();
+  cb->updateAttributeValues(h, attrs, 0.04);
+  cb->flushBatches();
+  ASSERT_EQ(transport->sent.size(), 2u);
+  // Both frames reach the right peers with the right channel ids.
+  for (const auto& [dst, bytes] : transport->sent) {
+    const auto msg = decode(bytes);
+    ASSERT_TRUE(msg.has_value());
+    ASSERT_EQ(msg->type, MsgType::kUpdate);
+    if (dst == sub1) {
+      EXPECT_EQ(msg->update.channelId, 5u);
+    } else {
+      EXPECT_EQ(dst, (net::NodeAddr{30, 1}));
+      EXPECT_EQ(msg->update.channelId, 11u);
+    }
+  }
+  EXPECT_EQ(cb->peerSlotCount(), 2u);
+}
+
 }  // namespace
 }  // namespace cod::core

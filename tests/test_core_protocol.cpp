@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "net/transport.hpp"
+#include "telemetry/node_telemetry.hpp"
+
 namespace cod::core {
 namespace {
 
@@ -307,6 +310,180 @@ TEST(Protocol, LargePayloadRoundTrips) {
   const auto d = decode(encode(m));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(d->update.payload.size(), 60000u);
+}
+
+/// net::framesInDatagram duplicates the three kBatch header bytes (net
+/// cannot include core); this pin breaks if either side drifts.
+TEST(Protocol, FramesInDatagramMatchesBatchEncoder) {
+  BatchMsg batch;
+  for (int i = 0; i < 7; ++i)
+    batch.frames.push_back(encode(HeartbeatMsg{static_cast<std::uint32_t>(i),
+                                               0.5, false}));
+  EXPECT_EQ(net::framesInDatagram(encode(batch)), 7u);
+  EXPECT_EQ(net::framesInDatagram(encode(HeartbeatMsg{1, 0.5, false})), 1u);
+  EXPECT_EQ(static_cast<std::uint8_t>(MsgType::kBatch), 10u);
+}
+
+// ---- NodeTelemetry wire format ------------------------------------------
+
+telemetry::NodeTelemetry sampleTelemetry() {
+  telemetry::NodeTelemetry t;
+  t.seq = 17;
+  t.node = "dynamics";
+  t.addr = {6, 1};
+  t.nodeTimeSec = 123.25;
+  // Give every counter a distinct nonzero value so a shifted field table
+  // cannot round-trip by accident.
+  for (std::size_t i = 0; i < telemetry::counterCount(); ++i)
+    telemetry::setCounterValue(t, i, 1000 + 7 * i);
+  CbChannelHealth out;
+  out.channelId = 42;
+  out.className = "crane.state";
+  out.outbound = true;
+  out.qos = net::QosClass::kReliableOrdered;
+  out.live = true;
+  out.ageSec = 0.25;
+  out.windowFrames = 12;
+  out.retransmits = 3;
+  out.cumAcked = 900;
+  t.channels.push_back(out);
+  CbChannelHealth in;
+  in.channelId = 43;
+  in.className = "scenario.status";
+  in.live = false;
+  in.ageSec = 1.5;
+  t.channels.push_back(in);
+  return t;
+}
+
+void expectTelemetryEq(const telemetry::NodeTelemetry& a,
+                       const telemetry::NodeTelemetry& b) {
+  EXPECT_EQ(a.seq, b.seq);
+  EXPECT_EQ(a.node, b.node);
+  EXPECT_EQ(a.addr, b.addr);
+  EXPECT_EQ(a.nodeTimeSec, b.nodeTimeSec);
+  for (std::size_t i = 0; i < telemetry::counterCount(); ++i)
+    EXPECT_EQ(telemetry::counterValue(a, i), telemetry::counterValue(b, i))
+        << telemetry::counterName(i);
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t i = 0; i < a.channels.size(); ++i) {
+    EXPECT_EQ(a.channels[i].channelId, b.channels[i].channelId);
+    EXPECT_EQ(a.channels[i].className, b.channels[i].className);
+    EXPECT_EQ(a.channels[i].outbound, b.channels[i].outbound);
+    EXPECT_EQ(a.channels[i].qos, b.channels[i].qos);
+    EXPECT_EQ(a.channels[i].live, b.channels[i].live);
+    EXPECT_EQ(a.channels[i].ageSec, b.channels[i].ageSec);
+    EXPECT_EQ(a.channels[i].windowFrames, b.channels[i].windowFrames);
+    EXPECT_EQ(a.channels[i].retransmits, b.channels[i].retransmits);
+    EXPECT_EQ(a.channels[i].cumAcked, b.channels[i].cumAcked);
+  }
+}
+
+TEST(TelemetryWire, KeyframeRoundTrips) {
+  const auto t = sampleTelemetry();
+  const auto bytes = telemetry::encodeTelemetry(t);
+  const auto d = telemetry::decodeTelemetry(bytes);
+  ASSERT_TRUE(d.has_value());
+  expectTelemetryEq(*d, t);
+  // A keyframe identifies itself: no base sequence in the header.
+  const auto header = telemetry::peekTelemetryHeader(bytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->seq, 17u);
+  EXPECT_EQ(header->node, "dynamics");
+  EXPECT_FALSE(header->baseSeq.has_value());
+}
+
+TEST(TelemetryWire, DeltaRoundTripsAgainstKeyframe) {
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.nodeTimeSec = 124.25;
+  telemetry::setCounterValue(next, 4, 99999);   // cb.updatesSent
+  telemetry::setCounterValue(next, 35, 55555);  // a transport counter
+  next.channels[1].live = true;
+  const auto bytes = telemetry::encodeTelemetryDelta(next, base);
+  // Deltas only carry changed counters: much smaller than a keyframe.
+  EXPECT_LT(bytes.size(), telemetry::encodeTelemetry(next).size() / 2);
+  const auto header = telemetry::peekTelemetryHeader(bytes);
+  ASSERT_TRUE(header.has_value());
+  ASSERT_TRUE(header->baseSeq.has_value());
+  EXPECT_EQ(*header->baseSeq, base.seq);
+  const auto d = telemetry::decodeTelemetry(bytes, &base);
+  ASSERT_TRUE(d.has_value());
+  expectTelemetryEq(*d, next);
+}
+
+TEST(TelemetryWire, DeltaWithoutMatchingBaseRejected) {
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  telemetry::setCounterValue(next, 0, 1);
+  const auto bytes = telemetry::encodeTelemetryDelta(next, base);
+  EXPECT_FALSE(telemetry::decodeTelemetry(bytes).has_value());
+  auto wrongBase = base;
+  wrongBase.seq = 16;  // stale keyframe: counters could be anything
+  EXPECT_FALSE(telemetry::decodeTelemetry(bytes, &wrongBase).has_value());
+}
+
+TEST(TelemetryWire, TruncatedRecordsRejectedAtEveryLength) {
+  const auto t = sampleTelemetry();
+  const auto full = telemetry::encodeTelemetry(t);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const auto prefix = std::span<const std::uint8_t>(full).first(len);
+    EXPECT_FALSE(telemetry::decodeTelemetry(prefix).has_value())
+        << "prefix length " << len;
+  }
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  telemetry::setCounterValue(next, 10, 424242);
+  const auto delta = telemetry::encodeTelemetryDelta(next, base);
+  for (std::size_t len = 0; len < delta.size(); ++len) {
+    const auto prefix = std::span<const std::uint8_t>(delta).first(len);
+    EXPECT_FALSE(telemetry::decodeTelemetry(prefix, &base).has_value())
+        << "delta prefix length " << len;
+  }
+}
+
+TEST(TelemetryWire, CorruptRecordsRejected) {
+  const auto t = sampleTelemetry();
+  auto bytes = telemetry::encodeTelemetry(t);
+  // Trailing garbage.
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(telemetry::decodeTelemetry(trailing).has_value());
+  // Wrong version byte.
+  auto wrongVersion = bytes;
+  wrongVersion[0] = telemetry::kTelemetryVersion + 1;
+  EXPECT_FALSE(telemetry::decodeTelemetry(wrongVersion).has_value());
+  // Undefined flag bits.
+  auto wrongFlags = bytes;
+  wrongFlags[1] = 0x80;
+  EXPECT_FALSE(telemetry::decodeTelemetry(wrongFlags).has_value());
+  // A delta naming a counter index beyond the table.
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  telemetry::setCounterValue(next, 0, base.cb.broadcastsSent + 1);
+  auto delta = telemetry::encodeTelemetryDelta(next, base);
+  // Locate the (single) changed-field index right after the u16 count that
+  // follows the header; corrupt it to an out-of-range value.
+  const std::size_t headerSize = 1 + 1 + 8 + (2 + next.node.size()) + 4 + 2 +
+                                 8 + 8;  // ver,flags,seq,str,host,port,time,baseSeq
+  ASSERT_LT(headerSize + 3, delta.size());
+  delta[headerSize + 2] = 0xFF;  // field index low byte
+  delta[headerSize + 3] = 0xFF;  // field index high byte
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
+TEST(TelemetryWire, CounterTableIsStable) {
+  // The flattened counter order is the wire format; renaming or
+  // reordering must bump kTelemetryVersion. Spot-check the anchors.
+  ASSERT_GE(telemetry::counterCount(), 42u);
+  EXPECT_STREQ(telemetry::counterName(0), "cb.broadcastsSent");
+  EXPECT_STREQ(telemetry::counterName(4), "cb.updatesSent");
+  EXPECT_STREQ(telemetry::counterName(telemetry::counterCount() - 1),
+               "transport.framesDropped");
 }
 
 }  // namespace

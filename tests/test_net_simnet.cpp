@@ -254,5 +254,99 @@ TEST_F(SimNetTest, HostNames) {
   EXPECT_EQ(net.hostCount(), 2u);
 }
 
+/// Hand-built kBatch container: [u8 10][u16 count][(u32 len)(frame)×n].
+/// (The protocol encoder lives in core, which net must not depend on; a
+/// protocol test pins framesInDatagram against the real encoder.)
+std::vector<std::uint8_t> fakeBatch(std::uint16_t count,
+                                    std::uint8_t frameByte = 6) {
+  std::vector<std::uint8_t> b;
+  b.reserve(3u + count * 5u);
+  b.push_back(10);
+  b.push_back(static_cast<std::uint8_t>(count & 0xFF));
+  b.push_back(static_cast<std::uint8_t>(count >> 8));
+  for (std::uint16_t i = 0; i < count; ++i) {
+    b.push_back(1);  // u32 length = 1, little endian
+    b.push_back(0);
+    b.push_back(0);
+    b.push_back(0);
+    b.push_back(frameByte);
+  }
+  return b;
+}
+
+TEST(FramesInDatagram, CountsContainersAndBareFrames) {
+  EXPECT_EQ(framesInDatagram(fakeBatch(5)), 5u);
+  EXPECT_EQ(framesInDatagram(fakeBatch(1)), 1u);
+  EXPECT_EQ(framesInDatagram(bytes({6, 0, 0})), 1u);  // bare frame
+  EXPECT_EQ(framesInDatagram(bytes({})), 1u);         // runt: one loss
+  EXPECT_EQ(framesInDatagram(bytes({10, 0})), 1u);    // truncated header
+  EXPECT_EQ(framesInDatagram(bytes({10, 0, 0})), 1u); // count 0: still 1
+}
+
+/// Satellite of the telemetry PR: a dropped kBatch container counts as N
+/// lost frames, so soak suites and telemetry report true frame loss, and
+/// the drop is attributed to the endpoint it was headed for.
+TEST_F(SimNetTest, DroppedContainerCountsAllItsFrames) {
+  LinkModel lossy;
+  lossy.lossRate = 1.0;  // every packet dies
+  net.setLink(a, b, lossy);
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  ta->send({b, 1}, fakeBatch(5));
+  ta->send({b, 1}, bytes({6, 0, 0}));  // bare frame
+  net.advance(1.0);
+  EXPECT_EQ(net.stats().packetsSent, 2u);
+  EXPECT_EQ(net.stats().framesSent, 6u);
+  EXPECT_EQ(net.stats().packetsDropped, 2u);
+  EXPECT_EQ(net.stats().framesDropped, 6u);
+  // The sender's socket saw its frames leave; the receiver's socket is
+  // charged the loss (the sim is omniscient; see SimTransport::stats).
+  EXPECT_EQ(ta->stats()->framesSent, 6u);
+  EXPECT_EQ(tb->stats()->framesDropped, 6u);
+  EXPECT_EQ(tb->stats()->framesReceived, 0u);
+}
+
+TEST_F(SimNetTest, DeliveredContainerCountsFramesReceived) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  ta->send({b, 1}, fakeBatch(3));
+  net.advance(1.0);
+  ASSERT_TRUE(tb->receive().has_value());
+  EXPECT_EQ(net.stats().framesSent, 3u);
+  EXPECT_EQ(net.stats().framesReceived, 3u);
+  EXPECT_EQ(net.stats().framesDropped, 0u);
+  EXPECT_EQ(tb->stats()->framesReceived, 3u);
+  EXPECT_EQ(tb->stats()->packetsReceived, 1u);
+}
+
+TEST_F(SimNetTest, BroadcastFramesCountedPerReceiverCopy) {
+  // framesSent counts per delivered copy, mirroring the per-receiver
+  // drop/receive accounting — the global loss ratio must never exceed 1.
+  const HostId c = net.addHost("c");
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  auto tc = net.bind(c, 1);
+  net.setPartitioned(a, c, true);
+  ta->broadcast(1, fakeBatch(3));
+  net.advance(1.0);
+  EXPECT_EQ(net.stats().packetsSent, 1u);
+  EXPECT_EQ(net.stats().framesSent, 6u);     // two receiver copies
+  EXPECT_EQ(net.stats().framesDropped, 3u);  // c's copy, partitioned
+  EXPECT_EQ(net.stats().framesReceived, 3u); // b's copy
+  EXPECT_LE(net.stats().framesDropped, net.stats().framesSent);
+}
+
+TEST_F(SimNetTest, InboxOverflowChargesFramesToReceiver) {
+  auto ta = net.bind(a, 1);
+  auto tb = net.bind(b, 1);
+  tb->setInboxLimit(1);
+  ta->send({b, 1}, fakeBatch(4));
+  ta->send({b, 1}, fakeBatch(4));  // overflows: 4 frames lost
+  net.advance(1.0);
+  EXPECT_EQ(net.stats().framesDropped, 4u);
+  EXPECT_EQ(tb->stats()->framesDropped, 4u);
+  EXPECT_EQ(tb->stats()->framesReceived, 4u);
+}
+
 }  // namespace
 }  // namespace cod::net

@@ -67,9 +67,11 @@ TEST(UdpTransport, StatsCount) {
   UdpTransport b(cfg, 1, 2);
   a.send({1, 2}, std::vector<std::uint8_t>{1, 2, 3});
   ASSERT_TRUE(receiveWithRetry(b).has_value());
-  EXPECT_EQ(a.stats().packetsSent, 1u);
-  EXPECT_EQ(a.stats().bytesSent, 3u);
-  EXPECT_EQ(b.stats().packetsReceived, 1u);
+  EXPECT_EQ(a.stats()->packetsSent, 1u);
+  EXPECT_EQ(a.stats()->bytesSent, 3u);
+  EXPECT_EQ(a.stats()->framesSent, 1u);  // a bare frame counts as one
+  EXPECT_EQ(b.stats()->packetsReceived, 1u);
+  EXPECT_EQ(b.stats()->framesReceived, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,736 @@
+// Telemetry subsystem suite: StatRegistry snapshots, TelemetryPublisher
+// cadence/keyframes, HealthMonitor aggregation (staleness, alarms, rate
+// derivation) on lossy 3-node SimNetwork clusters, the 4-node acceptance
+// scenario, and the off-switch wire-identity guarantee.
+//
+// This binary carries the CTest "soak" label: the monitor suites hammer
+// lossy links the same way the reliable-layer soaks do.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "net/simnet.hpp"
+#include "sim/scenario_module.hpp"
+#include "sim/simulator_app.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/publisher.hpp"
+#include "telemetry/registry.hpp"
+
+namespace cod::telemetry {
+namespace {
+
+core::AttributeSet sampleAttrs() {
+  core::AttributeSet a;
+  a.set("pos", math::Vec3{1.0, 2.0, 3.0});
+  a.set("speed", 4.5);
+  a.set("on", true);
+  return a;
+}
+
+/// Publishes `cls` every `intervalSec` of virtual time.
+class TrafficLp : public core::LogicalProcess {
+ public:
+  TrafficLp(std::string cls, double intervalSec)
+      : core::LogicalProcess("traffic"), cls_(std::move(cls)),
+        interval_(intervalSec) {}
+
+  void bind(core::CommunicationBackbone& cb) {
+    cb.attach(*this);
+    pub_ = cb.publishObjectClass(*this, cls_);
+  }
+
+  void step(double now) override {
+    if (now - last_ < interval_) return;
+    backbone()->updateAttributeValues(pub_, sampleAttrs(), now);
+    last_ = now;
+  }
+
+ private:
+  std::string cls_;
+  double interval_;
+  double last_ = -1e300;
+  core::PublicationHandle pub_ = core::kInvalidHandle;
+};
+
+/// Subscribes `cls` and counts reflections.
+class SinkLp : public core::LogicalProcess {
+ public:
+  explicit SinkLp(std::string cls)
+      : core::LogicalProcess("sink"), cls_(std::move(cls)) {}
+
+  void bind(core::CommunicationBackbone& cb) {
+    cb.attach(*this);
+    cb.subscribeObjectClass(*this, cls_);
+  }
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet&, double) override {
+    if (className == cls_) ++seen_;
+  }
+
+  std::uint64_t seen() const { return seen_; }
+
+ private:
+  std::string cls_;
+  std::uint64_t seen_ = 0;
+};
+
+TEST(StatRegistry, SnapshotsCountersChannelsAndIdentity) {
+  core::CodCluster cluster;
+  auto& cbA = cluster.addComputer("alpha");
+  auto& cbB = cluster.addComputer("bravo");
+  TrafficLp traffic("demo.state", 0.05);
+  SinkLp sink("demo.state");
+  traffic.bind(cbA);
+  sink.bind(cbB);
+  cluster.step(2.0);
+
+  StatRegistry reg(cbA);
+  const NodeTelemetry t1 = reg.snapshot(cluster.now());
+  EXPECT_EQ(t1.seq, 1u);
+  EXPECT_EQ(t1.node, "alpha");
+  EXPECT_EQ(t1.addr, cbA.address());
+  EXPECT_EQ(t1.nodeTimeSec, cluster.now());
+  EXPECT_EQ(t1.cb.updatesSent, cbA.stats().updatesSent);
+  EXPECT_GT(t1.cb.updatesSent, 0u);
+  ASSERT_NE(cbA.transportStats(), nullptr);
+  EXPECT_EQ(t1.transport.packetsSent, cbA.transportStats()->packetsSent);
+  EXPECT_GT(t1.transport.packetsSent, 0u);
+  // One outbound channel, carrying the traffic class.
+  ASSERT_EQ(t1.channels.size(), 1u);
+  EXPECT_TRUE(t1.channels[0].outbound);
+  EXPECT_EQ(t1.channels[0].className, "demo.state");
+  EXPECT_TRUE(t1.channels[0].live);
+  EXPECT_LT(t1.channels[0].ageSec, 1.0);
+
+  const NodeTelemetry t2 = reg.snapshot(cluster.now());
+  EXPECT_EQ(t2.seq, 2u);  // monotonic
+
+  // The subscriber side reports the same channel inbound.
+  StatRegistry regB(cbB);
+  const NodeTelemetry tb = regB.snapshot(cluster.now());
+  ASSERT_EQ(tb.channels.size(), 1u);
+  EXPECT_FALSE(tb.channels[0].outbound);
+  EXPECT_EQ(tb.channels[0].className, "demo.state");
+  EXPECT_TRUE(tb.channels[0].live);
+}
+
+TEST(TelemetryPublisher, CadenceAndKeyframeSchedule) {
+  core::CodCluster cluster;
+  auto& cbA = cluster.addComputer("alpha");
+  auto& cbB = cluster.addComputer("bravo");
+  TelemetryConfig cfg;
+  cfg.intervalSec = 0.5;
+  cfg.keyframeInterval = 3;
+  TelemetryPublisher pub(cfg);
+  pub.bind(cbA);
+  HealthMonitor monitor;
+  monitor.bind(cbB);
+  cluster.step(10.0);
+
+  // ~20 snapshots at 0.5 s cadence, every third a keyframe.
+  EXPECT_GE(pub.snapshotsPublished(), 18u);
+  EXPECT_LE(pub.snapshotsPublished(), 22u);
+  EXPECT_GE(pub.keyframesPublished(), pub.snapshotsPublished() / 3);
+  EXPECT_LT(pub.keyframesPublished(), pub.snapshotsPublished());
+
+  const NodeHealth* h = monitor.node("alpha");
+  ASSERT_NE(h, nullptr);
+  // A clean LAN: everything applies except the first snapshot, published
+  // before discovery wired the channel (the publisher then re-keyframes
+  // for the new subscriber, so no deltas are orphaned).
+  EXPECT_GE(h->snapshotsApplied, pub.snapshotsPublished() - 2);
+  EXPECT_LE(h->deltasRejected, 1u);
+  EXPECT_FALSE(h->silent);
+  EXPECT_EQ(h->last.seq, pub.snapshotsPublished());
+  EXPECT_TRUE(monitor.alarms().empty());
+}
+
+/// A subscriber *swap* between publishes (one monitor leaves, another
+/// joins; net fan-out unchanged) must still force a keyframe — otherwise
+/// the newcomer rejects deltas until the schedule's next keyframe.
+TEST(TelemetryPublisher, SubscriberSwapForcesKeyframe) {
+  net::SimNetwork net(7);
+  const net::HostId hA = net.addHost("A");
+  const net::HostId hB = net.addHost("B");
+  const net::HostId hC = net.addHost("C");
+  core::CommunicationBackbone cbA("alpha", net.bind(hA, 1));
+  TelemetryConfig tcfg;
+  tcfg.intervalSec = 5.0;
+  tcfg.keyframeInterval = 100;  // the schedule will not save the newcomer
+  TelemetryPublisher pub(tcfg);
+  pub.bind(cbA);
+  std::optional<core::CommunicationBackbone> cbB;
+  cbB.emplace("bravo", net.bind(hB, 1));
+  std::optional<HealthMonitor> monB;
+  monB.emplace();
+  monB->bind(*cbB);
+  std::optional<core::CommunicationBackbone> cbC;
+  std::optional<HealthMonitor> monC;
+
+  double t = 0.0;
+  const auto run = [&](double until) {
+    while (t < until) {
+      t += 0.005;
+      net.advance(0.005);
+      cbA.tick(net.now());
+      if (cbB) cbB->tick(net.now());
+      if (cbC) cbC->tick(net.now());
+    }
+  };
+  // Publish #1 lands before discovery, #2 (t≈5) re-keyframes for bravo.
+  run(7.0);
+  ASSERT_NE(monB->node("alpha"), nullptr);
+  ASSERT_GE(monB->node("alpha")->snapshotsApplied, 1u);
+  // The swap, entirely inside one publish interval: charlie joins...
+  cbC.emplace("charlie", net.bind(hC, 1));
+  monC.emplace();
+  monC->bind(*cbC);
+  run(8.5);
+  // ...and bravo resigns cleanly (BYE), restoring the old fan-out of 1.
+  monB.reset();
+  cbB.reset();
+  run(9.5);
+  // Publish #3 (t≈10): same net fan-out, but the established-channel
+  // counter grew — the publisher must emit a keyframe charlie can use.
+  run(12.0);
+  const NodeHealth* h = monC->node("alpha");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->snapshotsApplied, 1u);
+  EXPECT_EQ(h->last.seq, pub.snapshotsPublished());
+}
+
+TEST(TelemetryPublisher, DisabledBindIsInert) {
+  core::CodCluster cluster;
+  auto& cbA = cluster.addComputer("alpha");
+  TelemetryConfig off;
+  off.enabled = false;
+  TelemetryPublisher pub(off);
+  pub.bind(cbA);
+  EXPECT_EQ(cbA.lpCount(), 0u);  // never even attached
+  cluster.step(3.0);
+  EXPECT_EQ(pub.snapshotsPublished(), 0u);
+}
+
+TEST(HealthMonitor, DerivesRatesOnBusyCluster) {
+  core::CodCluster cluster;
+  auto& cbA = cluster.addComputer("alpha");
+  auto& cbB = cluster.addComputer("bravo");
+  auto& cbC = cluster.addComputer("charlie");
+  TrafficLp traffic("demo.state", 1.0 / 16.0);
+  SinkLp sink("demo.state");
+  traffic.bind(cbA);
+  sink.bind(cbB);
+  TelemetryConfig tcfg;
+  tcfg.intervalSec = 0.5;
+  std::vector<std::unique_ptr<TelemetryPublisher>> pubs;
+  for (auto* cb : {&cbA, &cbB, &cbC}) {
+    pubs.push_back(std::make_unique<TelemetryPublisher>(tcfg));
+    pubs.back()->bind(*cb);
+  }
+  MonitorConfig mcfg;
+  mcfg.expectedIntervalSec = tcfg.intervalSec;
+  HealthMonitor monitor(mcfg);
+  monitor.bind(cbC);
+  cluster.step(8.0);
+
+  ASSERT_EQ(monitor.nodeCount(), 3u);
+  const NodeHealth* a = monitor.node("alpha");
+  ASSERT_NE(a, nullptr);
+  // 16 updates/s of demo.state plus 2/s of telemetry.
+  EXPECT_GT(a->updatesPerSec, 10.0);
+  EXPECT_LT(a->updatesPerSec, 30.0);
+  EXPECT_GT(a->bytesPerDatagram, 0.0);
+  EXPECT_NEAR(a->lossPct, 0.0, 1e-9);
+  // charlie watches itself through the local fast path.
+  const NodeHealth* c = monitor.node("charlie");
+  ASSERT_NE(c, nullptr);
+  EXPECT_GT(c->snapshotsApplied, 0u);
+}
+
+/// Feed the monitor crafted records directly (no network): deterministic
+/// coverage of alarm edges, stale sequences and publisher restarts.
+class MonitorUnit : public ::testing::Test {
+ protected:
+  static core::AttributeSet wrap(const std::vector<std::uint8_t>& bytes) {
+    core::AttributeSet a;
+    a.set(kTelemetryAttr, bytes);
+    return a;
+  }
+
+  NodeTelemetry record(std::uint64_t seq, double timeSec) {
+    NodeTelemetry t;
+    t.seq = seq;
+    t.node = "unit";
+    t.addr = {1, 1};
+    t.nodeTimeSec = timeSec;
+    return t;
+  }
+
+  void feed(const NodeTelemetry& t) {
+    monitor.reflectAttributeValues(kTelemetryClass, wrap(encodeTelemetry(t)),
+                                   t.nodeTimeSec);
+  }
+
+  HealthMonitor monitor;
+};
+
+TEST_F(MonitorUnit, ThresholdAlarmsAreEdgeTriggered) {
+  NodeTelemetry t1 = record(1, 0.0);
+  feed(t1);
+  EXPECT_TRUE(monitor.alarms().empty());
+
+  // One second later: a retransmit storm and mailbox overflows.
+  NodeTelemetry t2 = record(2, 1.0);
+  t2.cb.reliable.retransmitsSent = 500;
+  t2.cb.mailboxOverflows = 3;
+  feed(t2);
+  ASSERT_EQ(monitor.alarms().size(), 2u);
+  EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kRetransmitStorm);
+  EXPECT_EQ(monitor.alarms()[1].kind, HealthAlarm::Kind::kMailboxOverflow);
+  EXPECT_EQ(monitor.alarms()[0].node, "unit");
+
+  // The storm persists: no new alarm (edge, not level).
+  NodeTelemetry t3 = record(3, 2.0);
+  t3.cb.reliable.retransmitsSent = 1000;
+  t3.cb.mailboxOverflows = 3;
+  feed(t3);
+  EXPECT_EQ(monitor.alarms().size(), 2u);
+
+  // It subsides, then returns: a fresh alarm.
+  NodeTelemetry t4 = record(4, 3.0);
+  t4.cb.reliable.retransmitsSent = 1000;
+  t4.cb.mailboxOverflows = 3;
+  feed(t4);
+  NodeTelemetry t5 = record(5, 4.0);
+  t5.cb.reliable.retransmitsSent = 1500;
+  t5.cb.mailboxOverflows = 3;
+  feed(t5);
+  ASSERT_EQ(monitor.alarms().size(), 3u);
+  EXPECT_EQ(monitor.alarms()[2].kind, HealthAlarm::Kind::kRetransmitStorm);
+}
+
+TEST_F(MonitorUnit, LossSpikeFromTransportFrameCounters) {
+  NodeTelemetry t1 = record(1, 0.0);
+  t1.transport.framesReceived = 1000;
+  feed(t1);
+  NodeTelemetry t2 = record(2, 1.0);
+  t2.transport.framesReceived = 1070;   // +70
+  t2.transport.framesDropped = 30;      // +30 → 30% inbound loss
+  feed(t2);
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_NEAR(h->lossPct, 30.0, 0.01);
+  ASSERT_EQ(monitor.alarms().size(), 1u);
+  EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kLossSpike);
+  EXPECT_EQ(monitor.peakLossPct(), h->lossPct);
+  EXPECT_EQ(monitor.peakLossNode(), "unit");
+}
+
+TEST_F(MonitorUnit, StaleAndRestartSequences) {
+  feed(record(5, 1.0));
+  feed(record(6, 2.0));
+  // Reordered near-duplicate: dropped, not applied and not a "restart"
+  // (the gap is within plausible reordering).
+  feed(record(5, 1.0));
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->staleDropped, 1u);
+  EXPECT_EQ(h->last.seq, 6u);
+  // Publisher restart: sequence 1 resets the node's history.
+  feed(record(1, 0.5));
+  h = monitor.node("unit");
+  EXPECT_EQ(h->last.seq, 1u);
+  EXPECT_EQ(h->snapshotsApplied, 1u);
+}
+
+TEST_F(MonitorUnit, RestartDetectedEvenWhenFirstKeyframeWasLost) {
+  // A long-lived publisher...
+  feed(record(1800, 1800.0));
+  // ...restarts, and its literal seq-1 keyframe is lost (best-effort
+  // channel). The first keyframe that does arrive is far behind the old
+  // sequence: that is a restart, not reordering — the health row must
+  // not stay frozen on dead-process counters for 1800 intervals.
+  NodeTelemetry t = record(4, 3.0);
+  t.cb.updatesSent = 7;
+  feed(t);
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->last.seq, 4u);
+  EXPECT_EQ(h->last.cb.updatesSent, 7u);
+  EXPECT_EQ(h->snapshotsApplied, 1u);  // history reset
+}
+
+TEST_F(MonitorUnit, SilentNodeRestartingStillEmitsRecovered) {
+  feed(record(5, 0.0));
+  monitor.step(10.0);  // default 3×1 s staleness: node goes silent
+  ASSERT_EQ(monitor.alarms().size(), 1u);
+  EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kNodeSilent);
+  // The node comes back as a *new process* (restart reset): the feed must
+  // still pair the SILENT edge with a RECOVERED edge.
+  feed(record(1, 10.5));
+  ASSERT_EQ(monitor.alarms().size(), 2u);
+  EXPECT_EQ(monitor.alarms()[1].kind, HealthAlarm::Kind::kNodeRecovered);
+  EXPECT_FALSE(monitor.node("unit")->silent);
+}
+
+TEST_F(MonitorUnit, GarbageAndNonBlobRecordsCounted) {
+  core::AttributeSet notBlob;
+  notBlob.set(kTelemetryAttr, 3.25);
+  monitor.reflectAttributeValues(kTelemetryClass, notBlob, 0.0);
+  monitor.reflectAttributeValues(kTelemetryClass,
+                                 wrap({0xDE, 0xAD, 0xBE, 0xEF}), 0.0);
+  EXPECT_EQ(monitor.undecodableDropped(), 2u);
+  EXPECT_EQ(monitor.nodeCount(), 0u);
+}
+
+TEST_F(MonitorUnit, CorruptDeltaWithHeldBaseCountsAsCorruption) {
+  NodeTelemetry base = record(1, 0.0);
+  feed(base);
+  NodeTelemetry next = record(2, 1.0);
+  next.cb.updatesSent = 42;
+  auto bytes = encodeTelemetryDelta(next, base);
+  bytes.pop_back();  // header intact, base held — but the body is mangled
+  monitor.reflectAttributeValues(kTelemetryClass, wrap(bytes), 1.0);
+  // Corruption, not "lost their keyframe": the operator-facing counters
+  // must not point diagnosis at packet loss.
+  EXPECT_EQ(monitor.undecodableDropped(), 1u);
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->deltasRejected, 0u);
+  EXPECT_EQ(h->last.seq, 1u);
+}
+
+TEST_F(MonitorUnit, DeltaWithLostKeyframeRefreshesLivenessOnly) {
+  NodeTelemetry base = record(1, 0.0);
+  base.cb.updatesSent = 10;
+  feed(base);
+  // The keyframe for seq 2 was "lost": a delta against it cannot apply.
+  NodeTelemetry missedKeyframe = record(2, 1.0);
+  missedKeyframe.cb.updatesSent = 20;
+  NodeTelemetry delta = record(3, 2.0);
+  delta.cb.updatesSent = 30;
+  monitor.reflectAttributeValues(
+      kTelemetryClass, wrap(encodeTelemetryDelta(delta, missedKeyframe)), 2.0);
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->deltasRejected, 1u);
+  EXPECT_EQ(h->last.cb.updatesSent, 10u);  // not guessed
+  // A delta against the keyframe we *do* hold applies.
+  NodeTelemetry delta2 = record(4, 3.0);
+  delta2.cb.updatesSent = 40;
+  monitor.reflectAttributeValues(kTelemetryClass,
+                                 wrap(encodeTelemetryDelta(delta2, base)), 3.0);
+  h = monitor.node("unit");
+  EXPECT_EQ(h->last.cb.updatesSent, 40u);
+  EXPECT_EQ(h->last.seq, 4u);
+}
+
+/// Staleness and alarms on a lossy 3-node SimNetwork — the ISSUE's soak
+/// suite. 25 % loss on every link; one node is then silenced outright and
+/// must be flagged, and must recover after the partition heals.
+TEST(HealthMonitorSoak, SilentNodeFlaggedAndRecoveredUnderLoss) {
+  core::CodCluster::Config ccfg;
+  ccfg.link.lossRate = 0.25;
+  ccfg.seed = 11;
+  core::CodCluster cluster(ccfg);
+  auto& cbA = cluster.addComputer("alpha");
+  auto& cbB = cluster.addComputer("bravo");
+  auto& cbC = cluster.addComputer("charlie");
+  TrafficLp traffic("demo.state", 1.0 / 16.0);
+  SinkLp sink("demo.state");
+  traffic.bind(cbB);
+  sink.bind(cbC);
+  TelemetryConfig tcfg;
+  tcfg.intervalSec = 0.25;
+  tcfg.keyframeInterval = 4;
+  std::vector<std::unique_ptr<TelemetryPublisher>> pubs;
+  for (auto* cb : {&cbA, &cbB, &cbC}) {
+    pubs.push_back(std::make_unique<TelemetryPublisher>(tcfg));
+    pubs.back()->bind(*cb);
+  }
+  MonitorConfig mcfg;
+  mcfg.expectedIntervalSec = tcfg.intervalSec;
+  mcfg.silentAfterIntervals = 6.0;  // loss-tolerant staleness threshold
+  HealthMonitor monitor(mcfg);
+  monitor.bind(cbA);
+
+  cluster.step(10.0);
+  // Despite 25 % loss the monitor tracks all three nodes live.
+  ASSERT_EQ(monitor.nodeCount(), 3u);
+  for (const std::string& name : monitor.nodeNames()) {
+    const NodeHealth* h = monitor.node(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->snapshotsApplied, 5u) << name;
+    EXPECT_FALSE(h->silent) << name;
+  }
+  const std::size_t alarmsBefore = monitor.alarms().size();
+
+  // Silence bravo entirely (partition from both peers).
+  net::SimNetwork& net = cluster.network();
+  net.setPartitioned(0, 1, true);
+  net.setPartitioned(1, 2, true);
+  cluster.step(6.0);
+  {
+    const NodeHealth* b = monitor.node("bravo");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->silent);
+    bool flagged = false;
+    for (std::size_t i = alarmsBefore; i < monitor.alarms().size(); ++i) {
+      const HealthAlarm& a = monitor.alarms()[i];
+      if (a.kind == HealthAlarm::Kind::kNodeSilent && a.node == "bravo")
+        flagged = true;
+    }
+    EXPECT_TRUE(flagged);
+  }
+
+  // Heal: rediscovery re-opens the telemetry channel and bravo recovers.
+  net.setPartitioned(0, 1, false);
+  net.setPartitioned(1, 2, false);
+  cluster.step(8.0);
+  {
+    const NodeHealth* b = monitor.node("bravo");
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->silent);
+    bool recovered = false;
+    for (const HealthAlarm& a : monitor.alarms())
+      if (a.kind == HealthAlarm::Kind::kNodeRecovered && a.node == "bravo")
+        recovered = true;
+    EXPECT_TRUE(recovered);
+  }
+}
+
+/// ISSUE acceptance: a HealthMonitor on one node of a 4-node SimNetwork
+/// cluster observes every peer's CbStats/TransportStats live, flags a
+/// loss spike and a silenced node via alarms.
+TEST(HealthMonitorSoak, FourNodeClusterAcceptance) {
+  core::CodCluster::Config ccfg;
+  ccfg.seed = 23;
+  core::CodCluster cluster(ccfg);
+  auto& cb0 = cluster.addComputer("n0");
+  auto& cb1 = cluster.addComputer("n1");
+  auto& cb2 = cluster.addComputer("n2");
+  auto& cb3 = cluster.addComputer("n3");
+  // Busy mesh: n1 streams state consumed on n2 and n3; n2 streams to n0.
+  TrafficLp t1("mesh.a", 1.0 / 16.0), t2("mesh.b", 1.0 / 8.0);
+  SinkLp s2("mesh.a"), s3("mesh.a"), s0("mesh.b");
+  t1.bind(cb1);
+  t2.bind(cb2);
+  s2.bind(cb2);
+  s3.bind(cb3);
+  s0.bind(cb0);
+  TelemetryConfig tcfg;
+  tcfg.intervalSec = 0.25;
+  std::vector<std::unique_ptr<TelemetryPublisher>> pubs;
+  for (auto* cb : {&cb0, &cb1, &cb2, &cb3}) {
+    pubs.push_back(std::make_unique<TelemetryPublisher>(tcfg));
+    pubs.back()->bind(*cb);
+  }
+  MonitorConfig mcfg;
+  mcfg.expectedIntervalSec = tcfg.intervalSec;
+  mcfg.silentAfterIntervals = 6.0;
+  mcfg.lossSpikePct = 10.0;
+  HealthMonitor monitor(mcfg);
+  monitor.bind(cb0);
+
+  // Phase 1 — clean run: every peer's stats are observed live.
+  cluster.step(5.0);
+  ASSERT_EQ(monitor.nodeCount(), 4u);
+  for (const std::string name : {"n0", "n1", "n2", "n3"}) {
+    const NodeHealth* h = monitor.node(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GE(h->snapshotsApplied, 10u) << name;
+    EXPECT_GT(h->last.transport.packetsSent, 0u) << name;
+    // Every node moves updates: over channels or (n0, whose only
+    // subscriber is the monitor beside it) the local fast path.
+    EXPECT_GT(h->last.cb.updatesSent + h->last.cb.updatesLocalFastPath, 0u)
+        << name;
+    EXPECT_FALSE(h->silent) << name;
+  }
+  EXPECT_GT(monitor.node("n1")->updatesPerSec, 10.0);
+  EXPECT_TRUE(monitor.alarms().empty());
+
+  // Phase 2 — a loss spike towards n3: flagged by the threshold alarm.
+  net::SimNetwork& net = cluster.network();
+  net::LinkModel lossy = net.defaultLink();
+  lossy.lossRate = 0.4;
+  net.setLink(1, 3, lossy);
+  cluster.step(5.0);
+  {
+    bool spiked = false;
+    for (const HealthAlarm& a : monitor.alarms())
+      if (a.kind == HealthAlarm::Kind::kLossSpike && a.node == "n3")
+        spiked = true;
+    EXPECT_TRUE(spiked);
+    EXPECT_GE(monitor.peakLossPct(), 10.0);
+  }
+
+  // Phase 3 — n2 goes dark: the silent alarm names it.
+  for (net::HostId other : {0u, 1u, 3u}) net.setPartitioned(2, other, true);
+  cluster.step(6.0);
+  {
+    const NodeHealth* h = monitor.node("n2");
+    ASSERT_NE(h, nullptr);
+    EXPECT_TRUE(h->silent);
+    bool flagged = false;
+    for (const HealthAlarm& a : monitor.alarms())
+      if (a.kind == HealthAlarm::Kind::kNodeSilent && a.node == "n2")
+        flagged = true;
+    EXPECT_TRUE(flagged);
+  }
+}
+
+/// A co-located HealthMonitor feeds the exam debrief: alarms become
+/// annotations, and the peak-loss note lands when the exam finishes.
+TEST(ScenarioAnnotations, ClusterAlarmsEnterTheDebriefStream) {
+  sim::ScenarioModule scenario(scenario::Course{});
+  HealthMonitor monitor;
+  scenario.attachClusterMonitor(&monitor);
+
+  // Craft a loss spike through the monitor's public reflection interface.
+  NodeTelemetry t1;
+  t1.seq = 1;
+  t1.node = "display-1";
+  t1.nodeTimeSec = 0.0;
+  t1.transport.framesReceived = 100;
+  core::AttributeSet a1;
+  a1.set(kTelemetryAttr, encodeTelemetry(t1));
+  monitor.reflectAttributeValues(kTelemetryClass, a1, 0.0);
+  NodeTelemetry t2 = t1;
+  t2.seq = 2;
+  t2.nodeTimeSec = 1.0;
+  t2.transport.framesReceived = 170;
+  t2.transport.framesDropped = 30;
+  core::AttributeSet a2;
+  a2.set(kTelemetryAttr, encodeTelemetry(t2));
+  monitor.reflectAttributeValues(kTelemetryClass, a2, 1.0);
+  ASSERT_EQ(monitor.alarms().size(), 1u);
+
+  const std::uint64_t revBefore = scenario.exam().revision();
+  scenario.step(1.5);
+  const auto& annotations = scenario.exam().score().annotations;
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_NE(annotations[0].note.find("LOSS_SPIKE"), std::string::npos);
+  EXPECT_NE(annotations[0].note.find("display-1"), std::string::npos);
+  // Annotations ride the revision counter into the reliable status stream.
+  EXPECT_GT(scenario.exam().revision(), revBefore);
+  // Re-stepping must not duplicate the alarm.
+  scenario.step(1.6);
+  EXPECT_EQ(scenario.exam().score().annotations.size(), 1u);
+}
+
+// ---- the off-switch wire guarantee --------------------------------------
+
+/// Transport decorator that journals every outbound datagram.
+class TapTransport final : public net::Transport {
+ public:
+  TapTransport(std::unique_ptr<net::Transport> inner,
+               std::vector<std::vector<std::uint8_t>>* log)
+      : inner_(std::move(inner)), log_(log) {}
+
+  net::NodeAddr localAddress() const override {
+    return inner_->localAddress();
+  }
+  void send(const net::NodeAddr& dst,
+            std::span<const std::uint8_t> bytes) override {
+    journal(0, dst.host, dst.port, bytes);
+    inner_->send(dst, bytes);
+  }
+  void broadcast(std::uint16_t port,
+                 std::span<const std::uint8_t> bytes) override {
+    journal(1, 0, port, bytes);
+    inner_->broadcast(port, bytes);
+  }
+  std::optional<net::Datagram> receive() override { return inner_->receive(); }
+  const net::TransportStats* stats() const override { return inner_->stats(); }
+
+ private:
+  void journal(std::uint8_t kind, net::HostId host, std::uint16_t port,
+               std::span<const std::uint8_t> bytes) {
+    std::vector<std::uint8_t> entry{kind,
+                                    static_cast<std::uint8_t>(host & 0xFF),
+                                    static_cast<std::uint8_t>(port & 0xFF)};
+    entry.insert(entry.end(), bytes.begin(), bytes.end());
+    log_->push_back(std::move(entry));
+  }
+
+  std::unique_ptr<net::Transport> inner_;
+  std::vector<std::vector<std::uint8_t>>* log_;
+};
+
+/// Drive a small pub/sub cluster; optionally construct + bind disabled
+/// telemetry objects. Returns the full wire journal of every CB.
+std::vector<std::vector<std::uint8_t>> runTapped(bool withDisabledTelemetry) {
+  net::SimNetwork net(/*seed=*/5);
+  std::vector<std::vector<std::uint8_t>> log;
+  const net::HostId h0 = net.addHost("alpha");
+  const net::HostId h1 = net.addHost("bravo");
+  core::CommunicationBackbone cbA(
+      "alpha", std::make_unique<TapTransport>(net.bind(h0, 1), &log));
+  core::CommunicationBackbone cbB(
+      "bravo", std::make_unique<TapTransport>(net.bind(h1, 1), &log));
+  TrafficLp traffic("demo.state", 0.05);
+  SinkLp sink("demo.state");
+  traffic.bind(cbA);
+  sink.bind(cbB);
+  TelemetryPublisher pubA({.enabled = false});
+  TelemetryPublisher pubB({.enabled = false});
+  if (withDisabledTelemetry) {
+    pubA.bind(cbA);
+    pubB.bind(cbB);
+  }
+  for (double t = 0.0; t < 3.0; t += 0.005) {
+    net.advance(0.005);
+    cbA.tick(net.now());
+    cbB.tick(net.now());
+  }
+  return log;
+}
+
+TEST(TelemetryOffSwitch, DisabledTelemetryIsByteIdenticalOnTheWire) {
+  const auto without = runTapped(false);
+  const auto with = runTapped(true);
+  ASSERT_EQ(without.size(), with.size());
+  for (std::size_t i = 0; i < without.size(); ++i)
+    ASSERT_EQ(without[i], with[i]) << "datagram " << i;
+}
+
+TEST(TelemetryOffSwitch, AppBuildsNoTelemetryWhenDisabled) {
+  sim::CraneSimulatorApp::Config cfg;
+  cfg.displayCount = 1;
+  cfg.telemetry.enabled = false;
+  sim::CraneSimulatorApp app(cfg);
+  EXPECT_EQ(app.telemetryPublisherCount(), 0u);
+  EXPECT_EQ(app.clusterMonitor(), nullptr);
+  EXPECT_NE(app.instructor().renderClusterText().find("telemetry off"),
+            std::string::npos);
+}
+
+TEST(TelemetryApp, InstructorStationWatchesTheWholeRack) {
+  sim::CraneSimulatorApp::Config cfg;
+  cfg.displayCount = 2;
+  cfg.telemetry.intervalSec = 0.5;
+  cfg.telemetryMonitor.expectedIntervalSec = 0.5;
+  sim::CraneSimulatorApp app(cfg);
+  ASSERT_TRUE(app.waitUntilWired(10.0));
+  app.step(4.0);
+  HealthMonitor* monitor = app.clusterMonitor();
+  ASSERT_NE(monitor, nullptr);
+  // 2 displays + sync + dashboard + platform + dynamics + instructor = 7.
+  EXPECT_EQ(monitor->nodeCount(), 7u);
+  for (const std::string& name : monitor->nodeNames()) {
+    const NodeHealth* h = monitor->node(name);
+    EXPECT_GT(h->snapshotsApplied, 0u) << name;
+    EXPECT_FALSE(h->silent) << name;
+  }
+  const std::string window = app.instructor().renderClusterText();
+  EXPECT_NE(window.find("CLUSTER HEALTH"), std::string::npos);
+  EXPECT_NE(window.find("dynamics"), std::string::npos);
+  EXPECT_NE(window.find("instructor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cod::telemetry
