@@ -6,7 +6,12 @@
 #   usage: bench/run_all.sh [build-dir] [output-dir]
 #
 # Defaults: build-dir=build, output-dir=<build-dir>/bench-baselines.
-set -euo pipefail
+#
+# Every bench runs even if an earlier one fails (a mid-list failure must
+# not hide the rest), a pass/fail summary table closes the run so a
+# failure cannot be scrolled past, and the script exits non-zero if ANY
+# bench failed — CI gates on this exit code.
+set -uo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}/bench-baselines}"
@@ -23,6 +28,8 @@ mkdir -p "${OUT_DIR}"
 # Discover built benches instead of duplicating the target lists from
 # bench/CMakeLists.txt. Google-Benchmark binaries (identified by their
 # libbenchmark link) emit JSON; self-driving main() benches emit logs.
+declare -a names statuses
+failed=0
 found=0
 for bin in "${BENCH_DIR}"/bench_*; do
   [[ -f "${bin}" && -x "${bin}" ]] || continue
@@ -34,10 +41,18 @@ for bin in "${BENCH_DIR}"/bench_*; do
     out="${OUT_DIR}/BENCH_${b#bench_}.json"
     echo "== ${b} -> ${out}"
     "${bin}" --benchmark_out="${out}" --benchmark_out_format=json >/dev/null
+    rc=$?
   else
     out="${OUT_DIR}/BENCH_${b#bench_}.log"
     echo "== ${b} -> ${out}"
     "${bin}" > "${out}"
+    rc=$?
+  fi
+  names+=("${b}")
+  statuses+=("${rc}")
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "== ${b} FAILED (exit ${rc})" >&2
+    failed=1
   fi
 done
 
@@ -62,4 +77,19 @@ for required in BENCH_reliable.json BENCH_batching.json BENCH_telemetry.json; do
   fi
 done
 
+echo
+echo "== bench summary ======================"
+for i in "${!names[@]}"; do
+  if [[ "${statuses[$i]}" -eq 0 ]]; then
+    printf '  %-24s PASS\n' "${names[$i]}"
+  else
+    printf '  %-24s FAIL (exit %s)\n' "${names[$i]}" "${statuses[$i]}"
+  fi
+done
+echo "======================================="
+
+if [[ "${failed}" -ne 0 ]]; then
+  echo "error: at least one bench failed (see summary above)" >&2
+  exit 1
+fi
 echo "baselines written to ${OUT_DIR}/"

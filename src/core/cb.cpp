@@ -309,6 +309,10 @@ void CommunicationBackbone::updateAttributeValues(PublicationHandle h,
       stageToChannel(ch, updateFrame_);
       ch.lastSentSec = now_;
       ++stats_.updatesSent;
+      if (ch.qos == net::QosClass::kReliableOrdered) {
+        ++stats_.reliable.dataFramesSent;
+        ch.maxSentSeq = seq;
+      }
     }
     if (cfg_.batch.flushReliableUpdates && pub.retx) {
       // Latency escape hatch: reliable command streams leave now rather
@@ -778,15 +782,27 @@ void CommunicationBackbone::handleNack(const NackMsg& m,
       !pub->retx)
     return;
   ++stats_.reliable.nacksReceived;
+  // A NACK is the subscriber speaking: refresh liveness so the tail-RTO
+  // sweep's stalled-channel guard never pauses a peer that is actively
+  // asking for frames (its heartbeats/acks may all be getting lost).
+  ch->lastHeardSec = now;
   std::uint64_t skipThrough = 0;
   for (const std::uint64_t seq : m.missingSeqs) {
     if (seq < ch->firstSeq || seq >= pub->nextSeq) continue;  // never owed
     if (std::vector<std::uint8_t>* frame = pub->retx->frame(seq)) {
       patchChannelId(*frame, ch->remoteChannelId);
       stageToChannel(*ch, *frame);
-      pub->retx->markSent(seq, now);
+      if (seq > ch->maxSentSeq) {
+        // First trip on this channel (withheld while the QoS upgrade was
+        // unconfirmed): data, not a re-send.
+        ch->maxSentSeq = seq;
+        pub->retx->touchSent(seq, now);
+        ++stats_.reliable.dataFramesSent;
+      } else {
+        pub->retx->markSent(seq, now);
+        ++ch->retransmits;
+      }
       ch->lastSentSec = now;
-      ++ch->retransmits;
     } else if (seq <= pub->retx->highestEvicted()) {
       // Evicted by window overflow: the subscriber must skip, or it will
       // NACK this hole forever.
@@ -823,9 +839,30 @@ void CommunicationBackbone::handleWindowAck(const WindowAckMsg& m,
   if (pub == nullptr || ch->qos != net::QosClass::kReliableOrdered) return;
   ++stats_.reliable.windowAcksReceived;
   ch->windowAckSeen = true;
+  const bool wasConfirmed = ch->qosConfirmed;
   ch->qosConfirmed = true;
   ch->cumAcked = std::max(ch->cumAcked, m.cumulativeSeq);
   ch->lastHeardSec = now;
+  if (!wasConfirmed && pub->retx) {
+    // The QoS upgrade just landed: every frame withheld while the
+    // subscriber was QoS-blind leaves NOW, as one burst, instead of
+    // dribbling out of the tail-RTO sweep at maxRetransmitPerSweep per
+    // timeout. These are first transmissions on this channel — counted
+    // as data and excluded from the retransmit tally, or the
+    // reliable-layer loss estimate would see a flurry of "re-sends" that
+    // were never lost at every publisher-upgraded channel establishment.
+    for (std::uint64_t seq = std::max(ch->firstSeq, ch->cumAcked + 1);
+         seq < pub->nextSeq; ++seq) {
+      std::vector<std::uint8_t>* frame = pub->retx->frame(seq);
+      if (frame == nullptr) continue;  // pruned or evicted
+      patchChannelId(*frame, ch->remoteChannelId);
+      stageToChannel(*ch, *frame);
+      pub->retx->touchSent(seq, now);
+      ch->maxSentSeq = std::max(ch->maxSentSeq, seq);
+      ++stats_.reliable.dataFramesSent;
+      ch->lastSentSec = now;
+    }
+  }
   compactSendWindow(*pub);
 }
 
@@ -957,11 +994,27 @@ void CommunicationBackbone::runTimers(double now) {
       // Unprompted retransmit of frames unacked beyond the timeout: loss
       // of the last frame of a burst leaves no gap for the receiver to
       // NACK, so the sender must cover the tail.
+      //
+      // The sweep skips *stalled* channels — no heartbeat or ack from the
+      // subscriber for two keep-alive intervals. Such a peer is either
+      // dead (its channel is riding out channelTimeoutSec) or cut off,
+      // and resending every unacked frame to it each RTO would both waste
+      // datagrams and poison the reliable-layer loss estimate with
+      // "retransmits" that were never actually lost — the multi-process
+      // UDP soak's ±5pp loss-tracking check caught exactly this during a
+      // kill/restart window. Nothing is given up: the frames stay in the
+      // window, and the moment the peer speaks again lastHeardSec
+      // refreshes and the sweep resumes where it left off.
+      const double stalledAfterSec = 2.0 * cfg_.heartbeatIntervalSec;
+      const auto stalled = [&](const OutChannel& ch) {
+        return now - ch.lastHeardSec > stalledAfterSec;
+      };
       std::uint64_t minUnacked = std::numeric_limits<std::uint64_t>::max();
       for (const OutChannel& ch : chans) {
         // Unconfirmed channels receive nothing yet, so sweeping for them
         // would only churn the frame timers.
-        if (ch.qos == net::QosClass::kReliableOrdered && ch.qosConfirmed)
+        if (ch.qos == net::QosClass::kReliableOrdered && ch.qosConfirmed &&
+            !stalled(ch))
           minUnacked = std::min(minUnacked, ch.cumAcked + 1);
       }
       for (const std::uint64_t seq :
@@ -970,12 +1023,25 @@ void CommunicationBackbone::runTimers(double now) {
         if (frame == nullptr) continue;
         for (OutChannel& ch : chans) {
           if (ch.qos != net::QosClass::kReliableOrdered ||
-              !ch.qosConfirmed || ch.cumAcked >= seq || seq < ch.firstSeq)
+              !ch.qosConfirmed || ch.cumAcked >= seq || seq < ch.firstSeq ||
+              stalled(ch))
             continue;
           patchChannelId(*frame, ch.remoteChannelId);
           stageToChannel(ch, *frame);
           ch.lastSentSec = now;
-          ++ch.retransmits;
+          if (seq > ch.maxSentSeq) {
+            // First transmission on this channel: frames window-buffered
+            // while the QoS upgrade was unconfirmed leave through this
+            // sweep, and counting them as retransmits would inflate the
+            // loss estimate with re-sends that were never lost.
+            ch.maxSentSeq = seq;
+            ++stats_.reliable.dataFramesSent;
+          } else {
+            ++ch.retransmits;
+            // Per channel staged, matching dataFramesSent's unit (the
+            // NACK path counts the same way through markSent).
+            ++stats_.reliable.retransmitsSent;
+          }
         }
       }
     }

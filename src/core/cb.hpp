@@ -325,6 +325,13 @@ class CommunicationBackbone {
     /// Frames re-sent on this channel (NACK-driven + tail timeout), for
     /// the per-channel health export.
     std::uint64_t retransmits = 0;
+    /// Highest sequence ever transmitted on this channel (0 = none).
+    /// Frames withheld while !qosConfirmed make their *first* trip
+    /// through the retransmit machinery after confirmation; this high
+    /// water mark lets those be counted as first transmissions
+    /// (dataFramesSent) instead of retransmits, keeping the
+    /// reliable-layer loss estimate unbiased under channel upgrades.
+    std::uint64_t maxSentSeq = 0;
   };
   struct PublicationEntry {
     PublicationHandle id = 0;

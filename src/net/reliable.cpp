@@ -41,6 +41,12 @@ void ReliableSendWindow::markSent(std::uint64_t seq, double now) {
   ++stats_->retransmitsSent;
 }
 
+void ReliableSendWindow::touchSent(std::uint64_t seq, double now) {
+  const auto it = frames_.find(seq);
+  if (it == frames_.end()) return;
+  it->second.lastSentSec = now;
+}
+
 void ReliableSendWindow::pruneThrough(std::uint64_t throughSeq) {
   while (!frames_.empty() && frames_.begin()->first <= throughSeq) {
     frames_.erase(frames_.begin());
@@ -54,7 +60,11 @@ std::vector<std::uint64_t> ReliableSendWindow::takeTailRetransmits(
   for (auto it = frames_.lower_bound(minUnacked); it != frames_.end(); ++it) {
     if (now - it->second.lastSentSec < cfg_->retxTimeoutSec) continue;
     it->second.lastSentSec = now;
-    ++stats_->retransmitsSent;
+    // retransmitsSent is NOT counted here: the caller re-sends each due
+    // frame on zero or more channels and counts one retransmit per
+    // channel actually staged — the same per-channel unit markSent (the
+    // NACK path) and dataFramesSent use, which the reliable-layer loss
+    // estimate divides against.
     due.push_back(it->first);
     if (due.size() >= cfg_->maxRetransmitPerSweep) break;
   }

@@ -73,7 +73,17 @@ struct ReliableStats {
   std::uint64_t framesBuffered = 0;      // sender: frames stored
   std::uint64_t framesPruned = 0;        // sender: acked and released
   std::uint64_t sendWindowEvictions = 0; // sender: overflow evictions
-  std::uint64_t retransmitsSent = 0;     // sender: frames re-sent
+  /// Sender: frame re-sends, one per channel per re-send (NACK-driven via
+  /// markSent; tail-RTO counted by the CB as it stages each channel).
+  std::uint64_t retransmitsSent = 0;
+  /// Sender: original (first-attempt) data frames staged on reliable
+  /// channels, one per channel per update. With retransmitsSent this
+  /// yields a loss estimate that needs no network omniscience: every
+  /// lost attempt is eventually re-sent exactly once per loss, so
+  /// retransmitsSent / (dataFramesSent + retransmitsSent) converges on
+  /// the path's datagram loss rate — the only loss observable a real
+  /// socket deployment has (transport.hpp: framesDropped stays 0 there).
+  std::uint64_t dataFramesSent = 0;
   std::uint64_t nacksReceived = 0;       // sender side
   std::uint64_t windowAcksReceived = 0;  // sender side
   std::uint64_t nacksSent = 0;           // receiver side
@@ -112,8 +122,16 @@ class ReliableSendWindow {
   /// place before re-sending.
   std::vector<std::uint8_t>* frame(std::uint64_t seq);
 
-  /// Note that `seq` was just (re)sent — restarts its retransmit timeout.
+  /// Note that `seq` was just re-sent — restarts its retransmit timeout
+  /// and counts one retransmit.
   void markSent(std::uint64_t seq, double now);
+
+  /// Restart `seq`'s retransmit timeout WITHOUT counting a retransmit:
+  /// the first transmission of a frame that was window-buffered while its
+  /// channel's QoS was unconfirmed goes through the retransmit plumbing
+  /// but is data, not a re-send — counting it as one would bias the
+  /// reliable-layer loss estimate.
+  void touchSent(std::uint64_t seq, double now);
 
   /// Drop every frame with seq <= `throughSeq` (cumulatively acked by all
   /// reliable channels).

@@ -10,8 +10,64 @@
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <vector>
 
 namespace cod::net {
+
+namespace {
+
+/// Bind one probe socket on `ip`:`port` (0 = kernel-assigned). Returns the
+/// fd (caller closes) and writes the bound port back, or -1 on failure.
+int bindProbe(const std::string& ip, std::uint16_t port,
+              std::uint16_t& boundPort) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &sa.sin_addr) != 1 ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  boundPort = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+std::uint16_t pickEphemeralBasePort(std::uint16_t slots,
+                                    const std::string& bindIp, int attempts) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    std::uint16_t base = 0;
+    const int baseFd = bindProbe(bindIp, 0, base);
+    if (baseFd < 0)
+      throw std::system_error(errno, std::generic_category(),
+                              "pickEphemeralBasePort: probe bind");
+    std::vector<int> probes{baseFd};
+    bool rangeFree = base != 0 && 65535 - base >= slots - 1;
+    for (std::uint16_t i = 1; rangeFree && i < slots; ++i) {
+      std::uint16_t got = 0;
+      const int fd =
+          bindProbe(bindIp, static_cast<std::uint16_t>(base + i), got);
+      if (fd < 0) {
+        rangeFree = false;
+      } else {
+        probes.push_back(fd);
+      }
+    }
+    for (const int fd : probes) ::close(fd);
+    if (rangeFree) return base;
+  }
+  throw std::system_error(EADDRINUSE, std::generic_category(),
+                          "pickEphemeralBasePort: no free port range");
+}
 
 UdpTransport::UdpTransport(const UdpConfig& cfg, HostId host,
                            std::uint16_t port)
@@ -45,6 +101,14 @@ UdpTransport::UdpTransport(const UdpConfig& cfg, HostId host,
 
 UdpTransport::~UdpTransport() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint16_t UdpTransport::boundUdpPort() const {
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+    return 0;
+  return ntohs(bound.sin_port);
 }
 
 std::uint16_t UdpTransport::udpPortFor(const NodeAddr& a) const {

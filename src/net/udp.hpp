@@ -22,6 +22,19 @@ struct UdpConfig {
   std::uint16_t maxHosts = 16;
 };
 
+/// Reserve a collision-free base port for a `slots`-wide address plan by
+/// binding port 0 and reading back the kernel-assigned port — never by
+/// picking a constant. Fixed base ports collide the moment two test lanes
+/// (or a test and a soak run) share a machine; the kernel's ephemeral
+/// allocator hands out a port that is free *now*, and the remaining
+/// `slots - 1` ports of the plan are probe-bound before the base is
+/// accepted, so the whole range was observably free at once. Retries with
+/// a fresh kernel port when the range is torn; throws std::system_error
+/// after `attempts` failures.
+std::uint16_t pickEphemeralBasePort(std::uint16_t slots,
+                                    const std::string& bindIp = "127.0.0.1",
+                                    int attempts = 16);
+
 /// A non-blocking UDP socket implementing the Transport interface.
 class UdpTransport final : public Transport {
  public:
@@ -35,6 +48,10 @@ class UdpTransport final : public Transport {
   std::optional<Datagram> receive() override;
 
   const TransportStats* stats() const override { return &stats_; }
+
+  /// The UDP port this socket is actually bound to, read back from the
+  /// kernel (getsockname) rather than recomputed from the address plan.
+  std::uint16_t boundUdpPort() const;
 
  private:
   std::uint16_t udpPortFor(const NodeAddr& a) const;

@@ -20,6 +20,14 @@ std::uint64_t delta(std::uint64_t cur, std::uint64_t prev) {
 
 }  // namespace
 
+double reliableLossEstimatePct(std::uint64_t dataFramesSent,
+                               std::uint64_t retransmitsSent) {
+  const std::uint64_t attempts = dataFramesSent + retransmitsSent;
+  return attempts == 0 ? 0.0
+                       : 100.0 * static_cast<double>(retransmitsSent) /
+                             static_cast<double>(attempts);
+}
+
 const char* alarmKindName(HealthAlarm::Kind k) {
   switch (k) {
     case HealthAlarm::Kind::kNodeSilent: return "NODE_SILENT";
@@ -148,6 +156,12 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
                   ? 0.0
                   : 100.0 * static_cast<double>(dDropped) /
                         static_cast<double>(dDropped + dReceived);
+  // Real sockets cannot attribute drops (framesDropped pinned at 0), so
+  // loss there must be inferred from the reliable layer's own counters.
+  h.reliableLossPct = reliableLossEstimatePct(
+      delta(cur.cb.reliable.dataFramesSent, prev.cb.reliable.dataFramesSent),
+      delta(cur.cb.reliable.retransmitsSent,
+            prev.cb.reliable.retransmitsSent));
   const std::uint64_t dBytes =
       delta(cur.transport.bytesSent, prev.transport.bytesSent);
   const std::uint64_t dPackets =
@@ -155,18 +169,20 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
   h.bytesPerDatagram = dPackets == 0 ? 0.0
                                      : static_cast<double>(dBytes) /
                                            static_cast<double>(dPackets);
-  if (h.lossPct > peakLossPct_) {
-    peakLossPct_ = h.lossPct;
+  if (h.effectiveLossPct() > peakLossPct_) {
+    peakLossPct_ = h.effectiveLossPct();
     peakLossNode_ = cur.node;
   }
 
-  // Threshold alarms, edge-triggered per node.
+  // Threshold alarms, edge-triggered per node. Loss judges the effective
+  // figure: frame accounting where the transport attributes drops, the
+  // reliable-layer estimate on real sockets.
   char buf[96];
-  if (h.lossPct >= cfg_.lossSpikePct) {
+  if (h.effectiveLossPct() >= cfg_.lossSpikePct) {
     if (!st.lossAlarm) {
       st.lossAlarm = true;
       std::snprintf(buf, sizeof(buf), "inbound loss %.1f%% (threshold %.1f%%)",
-                    h.lossPct, cfg_.lossSpikePct);
+                    h.effectiveLossPct(), cfg_.lossSpikePct);
       raise(HealthAlarm::Kind::kLossSpike, cur.node, buf);
     }
   } else {
@@ -231,11 +247,14 @@ const NodeHealth* HealthMonitor::node(const std::string& name) const {
 }
 
 std::string HealthMonitor::renderTable() const {
+  // loss% is transport frame accounting (0 on real sockets), rloss% the
+  // reliable-layer estimate — side by side so an operator sees at once
+  // which observable their deployment actually has.
   std::string out;
   out +=
-      "+----------------------- CLUSTER HEALTH ------------------------+\n";
+      "+--------------------------- CLUSTER HEALTH ----------------------------+\n";
   out +=
-      "| node            seq    age  upd/s  loss%  retx/s  B/dg  state |\n";
+      "| node            seq    age  upd/s  loss%  rloss%  retx/s  B/dg  state |\n";
   char buf[128];
   for (const auto& [name, st] : nodes_) {
     const NodeHealth& h = st.health;
@@ -244,15 +263,18 @@ std::string HealthMonitor::renderTable() const {
                        : st.retxAlarm ? "RETX"
                                       : "OK";
     std::snprintf(buf, sizeof(buf),
-                  "| %-14s %5llu %6.1f %6.1f %6.1f %7.1f %5.0f %-6s|\n",
+                  "| %-14s %5llu %6.1f %6.1f %6.1f %7.1f %7.1f %5.0f %-6s|\n",
                   name.c_str(), static_cast<unsigned long long>(h.last.seq),
                   now_ - h.lastHeardSec, h.updatesPerSec, h.lossPct,
-                  h.retransmitsPerSec, h.bytesPerDatagram, state);
+                  h.reliableLossPct, h.retransmitsPerSec, h.bytesPerDatagram,
+                  state);
     out += buf;
   }
-  if (nodes_.empty()) out += "| (no nodes heard from yet)                 |\n";
+  if (nodes_.empty())
+    out +=
+        "| (no nodes heard from yet)                                             |\n";
   out +=
-      "+---------------------------------------------------------------+\n";
+      "+-----------------------------------------------------------------------+\n";
   return out;
 }
 

@@ -20,6 +20,7 @@
 // accumulate in an append-only feed consumers drain by index.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -63,6 +64,17 @@ struct HealthAlarm {
 
 const char* alarmKindName(HealthAlarm::Kind k);
 
+/// Loss estimate from reliable-layer counters alone: the fraction of data
+/// transmissions that had to be re-sent. Every lost reliable attempt is
+/// eventually retransmitted (NACK-driven for gaps, tail timeout for burst
+/// ends), so retx / (data + retx) converges on the path's datagram loss
+/// rate. This is the only loss observable a real-socket deployment has —
+/// a kernel UDP socket cannot attribute drops, so transport.framesDropped
+/// stays 0 there and the frame-accounting estimate reads a meaningless
+/// 0%. Both arguments are counters (cumulative or interval deltas).
+double reliableLossEstimatePct(std::uint64_t dataFramesSent,
+                               std::uint64_t retransmitsSent);
+
 /// What the monitor knows about one node.
 struct NodeHealth {
   NodeTelemetry last;          // latest applied snapshot
@@ -73,9 +85,19 @@ struct NodeHealth {
   std::uint64_t staleDropped = 0;    // out-of-order or repeated sequence
   /// Rates over the last pair of applied snapshots (0 until two arrive).
   double updatesPerSec = 0.0;
+  /// Inbound loss from transport frame accounting. Exact on SimNetwork
+  /// (the omniscient LAN attributes every dropped frame); pinned at 0 on
+  /// real sockets, where drops cannot be attributed.
   double lossPct = 0.0;
+  /// Loss inferred from the node's reliable-layer counters over the same
+  /// interval (reliableLossEstimatePct) — the real-socket observable.
+  double reliableLossPct = 0.0;
   double retransmitsPerSec = 0.0;
   double bytesPerDatagram = 0.0;
+  /// The loss figure alarms and the peak-loss annotation use: frame
+  /// accounting where the transport attributes drops, else the
+  /// reliable-layer estimate.
+  double effectiveLossPct() const { return std::max(lossPct, reliableLossPct); }
 };
 
 class HealthMonitor : public core::LogicalProcess {

@@ -42,6 +42,7 @@ constexpr std::array kCounterFields{
     COD_COUNTER("reliable.sendWindowEvictions",
                 cb.reliable.sendWindowEvictions),
     COD_COUNTER("reliable.retransmitsSent", cb.reliable.retransmitsSent),
+    COD_COUNTER("reliable.dataFramesSent", cb.reliable.dataFramesSent),
     COD_COUNTER("reliable.nacksReceived", cb.reliable.nacksReceived),
     COD_COUNTER("reliable.windowAcksReceived",
                 cb.reliable.windowAcksReceived),

@@ -35,7 +35,9 @@ namespace cod::telemetry {
 /// Wire-format version, first byte of every record. Decoders reject
 /// anything else (a mixed-version cluster must fail loudly, not
 /// misinterpret counters).
-inline constexpr std::uint8_t kTelemetryVersion = 1;
+/// v2: reliable.dataFramesSent joined the counter table (the sender-side
+/// denominator of the real-socket loss estimate).
+inline constexpr std::uint8_t kTelemetryVersion = 2;
 
 /// Reserved object class the publishers publish on and monitors subscribe
 /// to — "cod." prefixed so no simulator module class can collide.

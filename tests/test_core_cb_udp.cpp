@@ -14,9 +14,12 @@ namespace {
 
 net::UdpConfig testConfig() {
   net::UdpConfig cfg;
-  cfg.basePort = 53200;  // distinct range from the raw UDP transport tests
   cfg.portsPerHost = 4;
   cfg.maxHosts = 4;
+  // Kernel-reserved (bind port 0, read back): fixed bases collide when
+  // test lanes run in parallel on one machine.
+  cfg.basePort = net::pickEphemeralBasePort(
+      static_cast<std::uint16_t>(cfg.portsPerHost * cfg.maxHosts));
   return cfg;
 }
 
@@ -80,6 +83,70 @@ TEST(CbOverUdp, DiscoveryAndUpdatesOnLoopback) {
   // Sequence-number dedup guarantees strictly increasing delivery.
   for (std::size_t i = 1; i < sub.values.size(); ++i)
     EXPECT_LT(sub.values[i - 1], sub.values[i]);
+}
+
+TEST(CbOverUdp, ChannelTimeoutAndRediscoveryOnLoopback) {
+  // The soak harness's restart seam, isolated: a publisher goes silent
+  // past the channel timeout (here by simply not being ticked — its
+  // process "hangs"), the subscriber tears the channel down and resumes
+  // discovery, and when the publisher returns the pair re-handshakes a
+  // fresh channel and data flows again.
+  const net::UdpConfig cfg = testConfig();
+  CommunicationBackbone::Config cbCfg;
+  cbCfg.broadcastIntervalSec = 0.01;
+  cbCfg.heartbeatIntervalSec = 0.05;
+  cbCfg.channelTimeoutSec = 0.3;
+  cbCfg.connectRetrySec = 0.05;
+  CommunicationBackbone cbPub(
+      "udp-pub", std::make_unique<net::UdpTransport>(cfg, 0, 1), cbCfg);
+  CommunicationBackbone cbSub(
+      "udp-sub", std::make_unique<net::UdpTransport>(cfg, 1, 1), cbCfg);
+  RecordingLp pub, sub;
+  cbPub.attach(pub);
+  const auto h = cbPub.publishObjectClass(pub, "udp.timeout");
+  cbSub.attach(sub);
+  const auto sh = cbSub.subscribeObjectClass(sub, "udp.timeout");
+
+  const auto tickBoth = [&](double untilSec, const auto& done) {
+    while (wallClock() < untilSec) {
+      cbPub.tick(wallClock());
+      cbSub.tick(wallClock());
+      if (done()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return done();
+  };
+  ASSERT_TRUE(tickBoth(wallClock() + 5.0, [&] { return cbSub.connected(sh); }));
+  ASSERT_EQ(cbPub.channelCount(h), 1u);
+
+  // The publisher hangs: only the subscriber keeps ticking. Past the
+  // heartbeat timeout the channel must be gone and counted.
+  {
+    const double deadline = wallClock() + 5.0;
+    while (wallClock() < deadline && cbSub.connected(sh)) {
+      cbSub.tick(wallClock());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_FALSE(cbSub.connected(sh));
+  EXPECT_GE(cbSub.stats().channelsTimedOut, 1u);
+
+  // The publisher returns: the subscription's resumed broadcasts
+  // re-handshake a fresh channel without any restart. The publisher may
+  // briefly carry the stale channel alongside the new one (buffered
+  // subscriber keep-alives refresh it on the first resumed tick), so wait
+  // for it to ride out its own timeout too.
+  ASSERT_TRUE(tickBoth(wallClock() + 5.0, [&] {
+    return cbSub.connected(sh) && cbPub.channelCount(h) == 1;
+  }));
+
+  // Updates flow on the rebuilt channel.
+  const std::size_t before = sub.values.size();
+  AttributeSet a;
+  a.set("v", 1.0);
+  cbPub.updateAttributeValues(h, a, wallClock());
+  ASSERT_TRUE(tickBoth(wallClock() + 5.0,
+                       [&] { return sub.values.size() > before; }));
 }
 
 TEST(CbOverUdp, DynamicJoinOnLoopback) {

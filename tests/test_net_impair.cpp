@@ -1,0 +1,174 @@
+// The userspace impairment layer the multi-process UDP soak rides on:
+// loss/duplication/reordering/delay injected above a real (here: recorded)
+// transport, under a test-controlled clock.
+#include "net/impair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+namespace cod::net {
+namespace {
+
+/// Inner transport that records everything the impairment layer lets
+/// through, in arrival order.
+class RecordingTransport final : public Transport {
+ public:
+  struct Sent {
+    bool broadcast = false;
+    NodeAddr dst;
+    std::uint16_t port = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  NodeAddr localAddress() const override { return {0, 0}; }
+  void send(const NodeAddr& dst, std::span<const std::uint8_t> bytes) override {
+    sent.push_back({false, dst, 0, {bytes.begin(), bytes.end()}});
+  }
+  void broadcast(std::uint16_t port,
+                 std::span<const std::uint8_t> bytes) override {
+    sent.push_back({true, {}, port, {bytes.begin(), bytes.end()}});
+  }
+  std::optional<Datagram> receive() override {
+    if (inbound.empty()) return std::nullopt;
+    Datagram d = std::move(inbound.back());
+    inbound.pop_back();
+    return d;
+  }
+  const TransportStats* stats() const override { return &stats_; }
+
+  std::vector<Sent> sent;
+  std::vector<Datagram> inbound;
+  TransportStats stats_;
+};
+
+struct Rig {
+  explicit Rig(ImpairmentConfig cfg) {
+    auto recorder = std::make_unique<RecordingTransport>();
+    inner = recorder.get();
+    impaired = std::make_unique<ImpairedTransport>(
+        std::move(recorder), cfg, [this] { return clockSec; });
+  }
+  std::vector<std::uint8_t> payload(std::uint8_t b) { return {b}; }
+
+  RecordingTransport* inner = nullptr;
+  std::unique_ptr<ImpairedTransport> impaired;
+  double clockSec = 0.0;
+};
+
+TEST(ImpairedTransport, CleanConfigPassesEverythingThroughImmediately) {
+  Rig rig({});
+  rig.impaired->send({1, 2}, rig.payload(7));
+  ASSERT_EQ(rig.inner->sent.size(), 1u);
+  EXPECT_EQ(rig.inner->sent[0].dst, (NodeAddr{1, 2}));
+  EXPECT_EQ(rig.inner->sent[0].bytes, rig.payload(7));
+  rig.impaired->broadcast(3, rig.payload(9));
+  ASSERT_EQ(rig.inner->sent.size(), 2u);
+  EXPECT_TRUE(rig.inner->sent[1].broadcast);
+  EXPECT_EQ(rig.inner->sent[1].port, 3);
+  EXPECT_EQ(rig.impaired->heldCount(), 0u);
+
+  rig.inner->inbound.push_back(Datagram{{1, 2}, {0, 0}, rig.payload(5)});
+  const auto d = rig.impaired->receive();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, rig.payload(5));
+  // The impairment layer exposes the inner transport's counters untouched.
+  EXPECT_EQ(rig.impaired->stats(), rig.inner->stats());
+}
+
+TEST(ImpairedTransport, LossRateTracksConfiguredProbability) {
+  ImpairmentConfig cfg;
+  cfg.lossPct = 30.0;
+  cfg.seed = 7;
+  Rig rig(cfg);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) rig.impaired->send({1, 0}, rig.payload(1));
+  const ImpairmentStats& st = rig.impaired->impairmentStats();
+  EXPECT_EQ(st.offered, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(st.dropped + rig.inner->sent.size(), static_cast<std::uint64_t>(n));
+  EXPECT_NEAR(st.injectedLossPct(), 30.0, 1.5);
+}
+
+TEST(ImpairedTransport, DelayedDatagramsReleaseOnTheClock) {
+  ImpairmentConfig cfg;
+  cfg.delayMinSec = 0.010;
+  cfg.delayMaxSec = 0.020;
+  Rig rig(cfg);
+  rig.impaired->send({1, 0}, rig.payload(1));
+  EXPECT_TRUE(rig.inner->sent.empty());
+  EXPECT_EQ(rig.impaired->heldCount(), 1u);
+
+  rig.clockSec = 0.005;  // before the minimum delay: still held
+  rig.impaired->pump();
+  EXPECT_TRUE(rig.inner->sent.empty());
+
+  rig.clockSec = 0.020;  // past the maximum: must be out
+  rig.impaired->pump();
+  ASSERT_EQ(rig.inner->sent.size(), 1u);
+  EXPECT_EQ(rig.impaired->heldCount(), 0u);
+  EXPECT_EQ(rig.impaired->impairmentStats().delayed, 1u);
+}
+
+TEST(ImpairedTransport, ReceivePumpsTheReleaseQueue) {
+  ImpairmentConfig cfg;
+  cfg.delayMinSec = 0.010;
+  Rig rig(cfg);
+  rig.impaired->send({1, 0}, rig.payload(1));
+  EXPECT_TRUE(rig.inner->sent.empty());
+  rig.clockSec = 0.015;
+  // The CB's tick polls receive() even when nothing is inbound — that
+  // poll is what drains due datagrams without a dedicated timer.
+  EXPECT_FALSE(rig.impaired->receive().has_value());
+  EXPECT_EQ(rig.inner->sent.size(), 1u);
+}
+
+TEST(ImpairedTransport, ReorderedDatagramsAreOvertaken) {
+  ImpairmentConfig cfg;
+  cfg.reorderPct = 50.0;
+  cfg.reorderHoldSec = 0.02;
+  cfg.seed = 3;
+  Rig rig(cfg);
+  const int n = 100;
+  for (int i = 0; i < n; ++i)
+    rig.impaired->send({1, 0}, rig.payload(static_cast<std::uint8_t>(i)));
+  rig.clockSec = 1.0;
+  rig.impaired->pump();
+  ASSERT_EQ(rig.inner->sent.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(rig.impaired->impairmentStats().reordered, 0u);
+
+  std::vector<std::uint8_t> order;
+  for (const auto& s : rig.inner->sent) order.push_back(s.bytes[0]);
+  std::vector<std::uint8_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  // Nothing lost (a permutation of what was sent)...
+  for (int i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  // ...but held datagrams were overtaken by later immediate ones.
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ImpairedTransport, DuplicatesEmitATrailingCopy) {
+  ImpairmentConfig cfg;
+  cfg.duplicatePct = 100.0;
+  cfg.reorderHoldSec = 0.02;
+  Rig rig(cfg);
+  rig.impaired->send({1, 0}, rig.payload(4));
+  ASSERT_EQ(rig.inner->sent.size(), 1u);  // the original leaves now
+  rig.clockSec = 0.05;
+  rig.impaired->pump();
+  ASSERT_EQ(rig.inner->sent.size(), 2u);  // the copy trails it
+  EXPECT_EQ(rig.inner->sent[0].bytes, rig.inner->sent[1].bytes);
+  EXPECT_EQ(rig.impaired->impairmentStats().duplicated, 1u);
+}
+
+TEST(ImpairedTransport, BroadcastImpairedAsOneEvent) {
+  ImpairmentConfig cfg;
+  cfg.lossPct = 100.0;
+  Rig rig(cfg);
+  rig.impaired->broadcast(1, rig.payload(1));
+  EXPECT_TRUE(rig.inner->sent.empty());
+  EXPECT_EQ(rig.impaired->impairmentStats().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace cod::net

@@ -11,9 +11,12 @@ namespace {
 
 UdpConfig testConfig() {
   UdpConfig cfg;
-  cfg.basePort = 52100;  // away from the default to avoid collisions
   cfg.portsPerHost = 4;
   cfg.maxHosts = 4;
+  // Kernel-assigned, not constant: parallel test lanes (or a concurrent
+  // soak run) must not race each other for a fixed port range.
+  cfg.basePort = pickEphemeralBasePort(
+      static_cast<std::uint16_t>(cfg.portsPerHost * cfg.maxHosts));
   return cfg;
 }
 
@@ -59,6 +62,23 @@ TEST(UdpTransport, RejectsOutOfPlanAddresses) {
   const UdpConfig cfg = testConfig();
   EXPECT_THROW(UdpTransport(cfg, 99, 0), std::out_of_range);
   EXPECT_THROW(UdpTransport(cfg, 0, 99), std::out_of_range);
+}
+
+TEST(UdpTransport, EphemeralBasePortPlanBindsAndReadsBack) {
+  const UdpConfig cfg = testConfig();
+  EXPECT_NE(cfg.basePort, 0);
+  // The address plan maps onto real ports exactly as computed, confirmed
+  // by reading the bound port back from the kernel rather than trusting
+  // the arithmetic.
+  UdpTransport a(cfg, 2, 3);
+  EXPECT_EQ(a.boundUdpPort(),
+            cfg.basePort + 2 * cfg.portsPerHost + 3);
+  // Every slot of the reserved plan is genuinely bindable.
+  UdpTransport b(cfg, 0, 0);
+  UdpTransport c(cfg, 3, 3);
+  EXPECT_EQ(b.boundUdpPort(), cfg.basePort);
+  EXPECT_EQ(c.boundUdpPort(),
+            cfg.basePort + 3 * cfg.portsPerHost + 3);
 }
 
 TEST(UdpTransport, StatsCount) {

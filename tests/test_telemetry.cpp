@@ -283,9 +283,12 @@ TEST_F(MonitorUnit, ThresholdAlarmsAreEdgeTriggered) {
   feed(t1);
   EXPECT_TRUE(monitor.alarms().empty());
 
-  // One second later: a retransmit storm and mailbox overflows.
+  // One second later: a retransmit storm and mailbox overflows. The
+  // retransmits ride on plenty of first-attempt traffic, so the derived
+  // reliable-loss estimate stays below its own (separate) alarm.
   NodeTelemetry t2 = record(2, 1.0);
   t2.cb.reliable.retransmitsSent = 500;
+  t2.cb.reliable.dataFramesSent = 10000;
   t2.cb.mailboxOverflows = 3;
   feed(t2);
   ASSERT_EQ(monitor.alarms().size(), 2u);
@@ -296,6 +299,7 @@ TEST_F(MonitorUnit, ThresholdAlarmsAreEdgeTriggered) {
   // The storm persists: no new alarm (edge, not level).
   NodeTelemetry t3 = record(3, 2.0);
   t3.cb.reliable.retransmitsSent = 1000;
+  t3.cb.reliable.dataFramesSent = 20000;
   t3.cb.mailboxOverflows = 3;
   feed(t3);
   EXPECT_EQ(monitor.alarms().size(), 2u);
@@ -303,10 +307,12 @@ TEST_F(MonitorUnit, ThresholdAlarmsAreEdgeTriggered) {
   // It subsides, then returns: a fresh alarm.
   NodeTelemetry t4 = record(4, 3.0);
   t4.cb.reliable.retransmitsSent = 1000;
+  t4.cb.reliable.dataFramesSent = 20000;
   t4.cb.mailboxOverflows = 3;
   feed(t4);
   NodeTelemetry t5 = record(5, 4.0);
   t5.cb.reliable.retransmitsSent = 1500;
+  t5.cb.reliable.dataFramesSent = 30000;
   t5.cb.mailboxOverflows = 3;
   feed(t5);
   ASSERT_EQ(monitor.alarms().size(), 3u);
@@ -327,6 +333,35 @@ TEST_F(MonitorUnit, LossSpikeFromTransportFrameCounters) {
   ASSERT_EQ(monitor.alarms().size(), 1u);
   EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kLossSpike);
   EXPECT_EQ(monitor.peakLossPct(), h->lossPct);
+  EXPECT_EQ(monitor.peakLossNode(), "unit");
+}
+
+TEST_F(MonitorUnit, ReliableCounterLossEstimateOnRealSockets) {
+  // Real sockets cannot attribute drops: framesDropped stays 0 no matter
+  // what the network eats, so frame accounting reads 0% loss. The
+  // reliable-layer estimate (retx / (data + retx)) must carry the alarm
+  // and the peak-loss annotation instead.
+  EXPECT_NEAR(reliableLossEstimatePct(750, 250), 25.0, 1e-9);
+  EXPECT_EQ(reliableLossEstimatePct(0, 0), 0.0);
+
+  NodeTelemetry t1 = record(1, 0.0);
+  t1.transport.framesReceived = 1000;  // frame accounting sees traffic...
+  t1.cb.reliable.dataFramesSent = 1000;
+  t1.cb.reliable.retransmitsSent = 10;
+  feed(t1);
+  NodeTelemetry t2 = record(2, 1.0);
+  t2.transport.framesReceived = 2000;  // ...but never a drop
+  t2.cb.reliable.dataFramesSent = 1750;   // +750
+  t2.cb.reliable.retransmitsSent = 260;   // +250 → 25% estimated loss
+  feed(t2);
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_NEAR(h->lossPct, 0.0, 1e-9);
+  EXPECT_NEAR(h->reliableLossPct, 25.0, 0.01);
+  EXPECT_NEAR(h->effectiveLossPct(), 25.0, 0.01);
+  ASSERT_FALSE(monitor.alarms().empty());
+  EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kLossSpike);
+  EXPECT_NEAR(monitor.peakLossPct(), 25.0, 0.01);
   EXPECT_EQ(monitor.peakLossNode(), "unit");
 }
 

@@ -1,0 +1,459 @@
+// soak_driver — orchestrator and judge of the multi-process UDP soak.
+//
+// Spawns N soak_node processes on loopback (dynamics, scenario,
+// instructor, displays), all under the same injected impairment, lets
+// them run for --duration seconds, SIGKILLs --victim at --kill-at and
+// restarts it at --restart-at (exercising channel timeout → rediscovery
+// end to end on real sockets), then reads every node's report and exits
+// non-zero unless:
+//
+//   1. every node process exited 0 and wrote a complete report;
+//   2. every reliable probe stream was delivered 100% in order: one
+//      gapless segment per publisher incarnation, final segment ending
+//      exactly at the publisher's last published sequence (a SIGKILLed
+//      first incarnation is owed only a clean in-order prefix — its
+//      unacked tail died with the process, which no protocol can fix);
+//   3. the instructor's HealthMonitor raised NODE_SILENT and then
+//      NODE_RECOVERED for the victim;
+//   4. the monitor's reliable-counter loss estimate tracks the injected
+//      rate within --tolerance-pp for every node with enough samples
+//      (real sockets cannot attribute drops, so this estimate is the
+//      deployment's only loss observable — it had better be honest).
+//
+// Node stdout/stderr land in --out/<name>.log; reports in
+// --out/<name>.report. CI uploads the directory as an artifact when the
+// verdict fails.
+#include <fcntl.h>
+#include <libgen.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/udp.hpp"
+#include "tools/soak/soak_common.hpp"
+
+namespace {
+
+using namespace cod;
+
+using soak::Segment;
+using soak::wallSec;
+
+struct NodeSpec {
+  std::string name;
+  std::string role;
+  int host = 0;
+  int displayChannel = 0;
+};
+
+struct Report {
+  bool present = false;
+  bool exitOk = false;
+  std::uint64_t published = 0;
+  std::map<std::string, std::vector<Segment>> streams;
+  std::map<std::string, std::uint64_t> dups;
+  std::vector<std::pair<std::string, std::string>> alarms;  // kind, node
+  struct LossEst {
+    double pct = 0.0;
+    std::uint64_t data = 0, retx = 0;
+  };
+  std::map<std::string, LossEst> lossEst;
+};
+
+std::uint64_t kvU64(const std::string& token, const std::string& key) {
+  const auto v = soak::kvToken(token, key);
+  return v ? std::stoull(*v) : 0;
+}
+
+void parseLine(const std::string& line, Report& r) {
+  std::istringstream ls(line);
+  std::string kind;
+  ls >> kind;
+  if (kind == "probe-published") {
+    ls >> r.published;
+  } else if (kind == "probe") {
+    std::string peer, word, tok;
+    std::size_t idx = 0;
+    ls >> peer >> word >> idx;
+    Segment seg;
+    while (ls >> tok) {
+      if (auto v = soak::kvToken(tok, "first")) seg.first = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "last")) seg.last = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "count")) seg.count = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "gaps")) seg.gaps = std::stoull(*v);
+    }
+    r.streams[peer].push_back(seg);
+  } else if (kind == "probe-summary") {
+    std::string peer, tok;
+    ls >> peer;
+    while (ls >> tok) r.dups[peer] += kvU64(tok, "dups");
+  } else if (kind == "alarm") {
+    std::string alarmKind, node;
+    ls >> alarmKind >> node;
+    r.alarms.emplace_back(alarmKind, node);
+  } else if (kind == "loss-est") {
+    std::string node, tok;
+    Report::LossEst est;
+    ls >> node >> est.pct;
+    while (ls >> tok) {
+      if (auto v = soak::kvToken(tok, "data")) est.data = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "retx")) est.retx = std::stoull(*v);
+    }
+    r.lossEst[node] = est;
+  } else if (kind == "exit") {
+    std::string status;
+    ls >> status;
+    r.exitOk = status == "ok";
+  }
+}
+
+Report parseReport(const std::string& path) {
+  Report r;
+  std::ifstream in(path);
+  if (!in) return r;
+  r.present = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    try {
+      parseLine(line, r);
+    } catch (const std::exception& e) {
+      // A truncated or garbled line (e.g. the driver's collect-phase
+      // SIGKILL landed mid-flush) must not abort the whole verdict — the
+      // missing "exit ok" trailer already fails this node's report check,
+      // and every other node still gets its diagnostics printed.
+      std::fprintf(stderr, "soak_driver: %s: unparsable line \"%s\" (%s)\n",
+                   path.c_str(), line.c_str(), e.what());
+    }
+  }
+  return r;
+}
+
+class Driver {
+ public:
+  explicit Driver(const soak::Args& args) : args_(args) {
+    outDir_ = args.str("out", "soak-out");
+    nodeBin_ = args.str("node-bin", "");
+    duration_ = args.num("duration", 75.0);
+    lossPct_ = args.num("loss", 25.0);
+    killAt_ = args.num("kill-at", duration_ * 0.33);
+    restartAt_ = args.num("restart-at", duration_ * 0.44);
+    victim_ = args.str("victim", "display-0");
+    tolerancePp_ = args.num("tolerance-pp", 5.0);
+    minLossSamples_ =
+        static_cast<std::uint64_t>(args.integer("min-loss-samples", 400));
+    const int nodes = static_cast<int>(args.integer("nodes", 4));
+    specs_.push_back({"dynamics", "dynamics", 0, 0});
+    specs_.push_back({"scenario", "scenario", 1, 0});
+    specs_.push_back({"instructor", "instructor", 2, 0});
+    for (int i = 3; i < nodes; ++i)
+      specs_.push_back({"display-" + std::to_string(i - 3), "display", i,
+                        (i - 3) % 3});
+    if (nodes < 4)
+      throw std::invalid_argument("--nodes must be >= 4 (one per core role)");
+    // A typo'd victim must die here: at kill time an unknown name would
+    // default-insert pid 0 into the table and ::kill(0, SIGKILL) would
+    // take out the driver's whole process group.
+    if (specFor(victim_) == nullptr)
+      throw std::invalid_argument("--victim=" + victim_ +
+                                  " names no spawned node");
+  }
+
+  int run(char** argv) {
+    ::mkdir(outDir_.c_str(), 0777);
+    if (nodeBin_.empty()) {
+      // Default: soak_node next to this binary.
+      std::vector<char> self(argv[0], argv[0] + std::strlen(argv[0]) + 1);
+      nodeBin_ = std::string(::dirname(self.data())) + "/soak_node";
+    }
+
+    // The whole address plan is sized to the node count and anchored on a
+    // kernel-assigned ephemeral port — parallel CI lanes cannot collide
+    // on a constant the way fixed-port plans do.
+    portsPerHost_ = 4;
+    maxHosts_ = static_cast<int>(specs_.size());
+    basePort_ = static_cast<std::uint16_t>(args_.integer("base-port", 0));
+    if (basePort_ == 0)
+      basePort_ = net::pickEphemeralBasePort(
+          static_cast<std::uint16_t>(maxHosts_ * portsPerHost_));
+    std::printf("soak_driver: %zu nodes, base port %u, %.0f s at %.0f%% loss, "
+                "kill %s @ %.1fs, restart @ %.1fs\n",
+                specs_.size(), basePort_, duration_, lossPct_, victim_.c_str(),
+                killAt_, restartAt_);
+
+    const double start = wallSec();
+    const double endAt = start + duration_;
+    for (const NodeSpec& s : specs_) pids_[s.name] = spawn(s, duration_);
+
+    // ---- Supervise: kill, restart, watch for early deaths ---------------
+    // Supervision stops shy of the end: nodes measure their own duration
+    // from their own start, so a node exiting right on time must not be
+    // mistaken for an early death by a racing WNOHANG.
+    bool killed = false, restarted = false;
+    bool earlyDeath = false;
+    while (wallSec() < endAt - 1.0) {
+      const double t = wallSec() - start;
+      if (!killed && t >= killAt_) {
+        killed = true;
+        std::printf("soak_driver: t=%.1f SIGKILL %s (pid %d)\n", t,
+                    victim_.c_str(), pids_[victim_]);
+        std::fflush(stdout);
+        ::kill(pids_[victim_], SIGKILL);
+        ::waitpid(pids_[victim_], nullptr, 0);
+        pids_.erase(victim_);
+      }
+      if (killed && !restarted && t >= restartAt_) {
+        restarted = true;
+        const NodeSpec* spec = specFor(victim_);
+        const double remaining = endAt - wallSec();
+        std::printf("soak_driver: t=%.1f restart %s (%.1f s remaining)\n", t,
+                    victim_.c_str(), remaining);
+        std::fflush(stdout);
+        pids_[victim_] = spawn(*spec, remaining);
+      }
+      // Any other child exiting before the end is a failure on its own.
+      for (const auto& [name, pid] : pids_) {
+        int status = 0;
+        if (::waitpid(pid, &status, WNOHANG) == pid) {
+          std::fprintf(stderr, "soak_driver: %s (pid %d) died early: %s=%d\n",
+                       name.c_str(), pid,
+                       WIFSIGNALED(status) ? "signal" : "status",
+                       WIFSIGNALED(status) ? WTERMSIG(status)
+                                           : WEXITSTATUS(status));
+          pids_.erase(name);
+          earlyDeath = true;
+          break;
+        }
+      }
+      if (earlyDeath) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // ---- Collect children (grace period, then SIGKILL) ------------------
+    bool exitFailure = earlyDeath;
+    const double reapDeadline = wallSec() + 20.0;
+    for (auto& [name, pid] : pids_) {
+      int status = 0;
+      pid_t got = 0;
+      while ((got = ::waitpid(pid, &status, WNOHANG)) == 0 &&
+             wallSec() < reapDeadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (got == 0) {
+        std::fprintf(stderr, "soak_driver: %s hung; SIGKILL\n", name.c_str());
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, &status, 0);
+        exitFailure = true;
+      } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "soak_driver: %s exited abnormally (%d)\n",
+                     name.c_str(), status);
+        exitFailure = true;
+      }
+    }
+
+    return verdict(exitFailure) ? 0 : 1;
+  }
+
+ private:
+  const NodeSpec* specFor(const std::string& name) const {
+    for (const NodeSpec& s : specs_)
+      if (s.name == name) return &s;
+    return nullptr;
+  }
+
+  std::string peersCsv(const std::string& self) const {
+    std::string csv;
+    for (const NodeSpec& s : specs_) {
+      if (s.name == self) continue;
+      if (!csv.empty()) csv += ",";
+      csv += s.name;
+    }
+    return csv;
+  }
+
+  pid_t spawn(const NodeSpec& s, double duration) {
+    std::vector<std::string> argStrs{
+        nodeBin_,
+        "--name=" + s.name,
+        "--role=" + s.role,
+        "--host=" + std::to_string(s.host),
+        "--base-port=" + std::to_string(basePort_),
+        "--ports-per-host=" + std::to_string(portsPerHost_),
+        "--max-hosts=" + std::to_string(maxHosts_),
+        "--peers=" + peersCsv(s.name),
+        "--report=" + outDir_ + "/" + s.name + ".report",
+        "--duration=" + std::to_string(duration),
+        "--display-channel=" + std::to_string(s.displayChannel),
+    };
+    // Loss is driver-owned (the verdict compares estimates against it);
+    // the remaining knobs pass through to the node untouched.
+    argStrs.push_back("--loss=" + std::to_string(lossPct_));
+    for (const char* key :
+         {"dup", "reorder", "delay-ms", "jitter-ms", "seed", "probe-hz",
+          "quiesce", "telemetry-interval", "silent-after", "channel-timeout",
+          "heartbeat", "ack-interval"}) {
+      if (args_.has(key))
+        argStrs.push_back("--" + std::string(key) + "=" +
+                          args_.str(key, ""));
+    }
+
+    const std::string logPath = outDir_ + "/" + s.name + ".log";
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::system_error(errno, std::generic_category(), "fork");
+    if (pid == 0) {
+      // Child: stdout+stderr → append to the node's log (a restarted
+      // victim continues the same file, with the banner marking the new
+      // incarnation).
+      const int fd =
+          ::open(logPath.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      std::vector<char*> argvChild;
+      argvChild.reserve(argStrs.size() + 1);
+      for (std::string& a : argStrs) argvChild.push_back(a.data());
+      argvChild.push_back(nullptr);
+      ::execv(nodeBin_.c_str(), argvChild.data());
+      std::fprintf(stderr, "execv %s: %s\n", nodeBin_.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    return pid;
+  }
+
+  // ---- Verdict ----------------------------------------------------------
+
+  bool check(bool ok, const std::string& what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+    if (!ok) failures_++;
+    return ok;
+  }
+
+  bool verdict(bool exitFailure) {
+    std::printf("\n== SOAK VERDICT (%zu nodes, %.0f s, %.0f%% loss) ==\n",
+                specs_.size(), duration_, lossPct_);
+    check(!exitFailure, "all node processes ran to completion and exited 0");
+
+    std::map<std::string, Report> reports;
+    for (const NodeSpec& s : specs_) {
+      reports[s.name] = parseReport(outDir_ + "/" + s.name + ".report");
+      check(reports[s.name].present && reports[s.name].exitOk,
+            "report complete: " + s.name);
+    }
+
+    // Reliable probe streams: 100% in-order delivery.
+    for (const NodeSpec& sub : specs_) {
+      const Report& r = reports[sub.name];
+      for (const NodeSpec& pub : specs_) {
+        if (pub.name == sub.name) continue;
+        const auto it = r.streams.find(pub.name);
+        std::ostringstream what;
+        what << "stream " << pub.name << " -> " << sub.name;
+        if (it == r.streams.end()) {
+          check(false, what.str() + ": never connected");
+          continue;
+        }
+        const std::vector<Segment>& segs = it->second;
+        std::uint64_t gaps = 0, delivered = 0;
+        for (const Segment& seg : segs) {
+          gaps += seg.gaps;
+          delivered += seg.count;
+        }
+        const std::uint64_t dups =
+            r.dups.count(pub.name) ? r.dups.at(pub.name) : 0;
+        const bool isVictimPub = pub.name == victim_;
+        // A publisher that lived to the end is owed delivery through its
+        // final sequence; a SIGKILLed incarnation only through the last
+        // frame its successor's report cannot know — so judge the final
+        // segment against the final incarnation's published count.
+        const std::uint64_t expectLast = reports[pub.name].published;
+        const std::size_t maxSegs = isVictimPub && sub.name != victim_ ? 2 : 1;
+        const Segment& lastSeg = segs.back();
+        std::ostringstream detail;
+        detail << what.str() << ": " << delivered << " frames, "
+               << segs.size() << " segment(s), gaps=" << gaps
+               << " dups=" << dups << " last=" << lastSeg.last << "/"
+               << expectLast;
+        check(segs.size() <= maxSegs && gaps == 0 && dups == 0 &&
+                  lastSeg.last == expectLast,
+              detail.str());
+      }
+    }
+
+    // Victim lifecycle alarms from the instructor's monitor.
+    const Report& instr = reports["instructor"];
+    std::size_t silentIdx = instr.alarms.size();
+    bool recoveredAfter = false;
+    for (std::size_t i = 0; i < instr.alarms.size(); ++i) {
+      const auto& [kind, node] = instr.alarms[i];
+      if (node != victim_) continue;
+      if (kind == "NODE_SILENT" && silentIdx == instr.alarms.size())
+        silentIdx = i;
+      if (kind == "NODE_RECOVERED" && silentIdx < i) recoveredAfter = true;
+    }
+    check(silentIdx < instr.alarms.size(),
+          "monitor raised NODE_SILENT for " + victim_);
+    check(recoveredAfter, "monitor raised NODE_RECOVERED for " + victim_);
+
+    // Reliable-counter loss estimate vs injected ground truth.
+    for (const NodeSpec& s : specs_) {
+      const auto it = instr.lossEst.find(s.name);
+      std::ostringstream what;
+      if (it == instr.lossEst.end()) {
+        check(false, "loss estimate present for " + s.name);
+        continue;
+      }
+      const Report::LossEst& est = it->second;
+      const std::uint64_t samples = est.data + est.retx;
+      what << "loss-est " << s.name << " " << est.pct << "% vs injected "
+           << lossPct_ << "% (" << samples << " attempts)";
+      if (samples < minLossSamples_) {
+        std::printf("  [SKIP] %s: below %llu attempts\n", what.str().c_str(),
+                    static_cast<unsigned long long>(minLossSamples_));
+        continue;
+      }
+      check(std::fabs(est.pct - lossPct_) <= tolerancePp_, what.str());
+    }
+
+    std::printf("VERDICT: %s (%d failure%s)\n", failures_ == 0 ? "PASS" : "FAIL",
+                failures_, failures_ == 1 ? "" : "s");
+    return failures_ == 0;
+  }
+
+  soak::Args args_;
+  std::vector<NodeSpec> specs_;
+  std::map<std::string, pid_t> pids_;
+  std::string outDir_, nodeBin_, victim_;
+  double duration_ = 0.0, lossPct_ = 0.0, killAt_ = 0.0, restartAt_ = 0.0;
+  double tolerancePp_ = 5.0;
+  std::uint64_t minLossSamples_ = 400;
+  std::uint16_t basePort_ = 0;
+  int portsPerHost_ = 4, maxHosts_ = 0;
+  int failures_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Driver(soak::Args(argc, argv)).run(argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak_driver: %s\n", e.what());
+    return 2;
+  }
+}

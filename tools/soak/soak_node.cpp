@@ -1,0 +1,319 @@
+// soak_node — one computer of the paper's rack as a real OS process.
+//
+// Runs one CraneSimulatorApp role (dynamics / scenario / display /
+// instructor, selected by --role) on its own CommunicationBackbone over a
+// real UdpTransport on loopback, wrapped in net::ImpairedTransport so the
+// process lives on a genuinely lossy, reordering network. Every node also
+// runs:
+//   * a TelemetryPublisher — its cod.telemetry feed, like every computer
+//     of a production rack;
+//   * a probe LP publishing a reliable soak.probe.<name> stream (one
+//     monotonic sequence per process lifetime) and subscribing to every
+//     peer's, recording exactly what arrived for the driver's
+//     100%-in-order verdict;
+//   * (instructor only) a HealthMonitor aggregating the cluster — the rig
+//     watches itself, with loss derived from reliable-layer counters
+//     because real sockets cannot attribute drops.
+//
+// The node ticks on the wall clock until --duration, stops publishing
+// probes --quiesce seconds early (so retransmits can drain), then writes
+// its report (soak_common.hpp grammar) and exits 0. The driver owns all
+// pass/fail judgement; this binary only records.
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "core/cb.hpp"
+#include "net/impair.hpp"
+#include "net/udp.hpp"
+#include "scenario/course.hpp"
+#include "sim/display_module.hpp"
+#include "sim/dynamics_module.hpp"
+#include "sim/instructor_module.hpp"
+#include "sim/scenario_module.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/publisher.hpp"
+#include "tools/soak/soak_common.hpp"
+
+namespace {
+
+using namespace cod;
+
+using soak::Segment;
+using soak::wallSec;
+
+struct PeerStream {
+  std::vector<Segment> segments;
+  std::uint64_t duplicates = 0;  // app-level dups (CB must dedup; expect 0)
+  std::int64_t lastIncarnation = 0;
+};
+
+class ProbeLp final : public core::LogicalProcess {
+ public:
+  ProbeLp(std::string nodeName, double hz)
+      : core::LogicalProcess("probe-" + nodeName),
+        nodeName_(std::move(nodeName)),
+        intervalSec_(hz > 0.0 ? 1.0 / hz : 0.0) {}
+
+  void bind(core::CommunicationBackbone& cb,
+            const std::vector<std::string>& peers) {
+    cb_ = &cb;
+    cb.attach(*this);
+    pub_ = cb.publishObjectClass(*this, soak::kProbeClassPrefix + nodeName_,
+                                 net::QosClass::kReliableOrdered);
+    for (const std::string& p : peers)
+      cb.subscribeObjectClass(*this, soak::kProbeClassPrefix + p,
+                              net::QosClass::kReliableOrdered);
+  }
+
+  void stopPublishing() { publishing_ = false; }
+  std::uint64_t published() const { return published_; }
+  const std::map<std::string, PeerStream>& streams() const { return streams_; }
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double /*timestamp*/) override {
+    if (className.rfind(soak::kProbeClassPrefix, 0) != 0) return;
+    const std::string peer = className.substr(soak::kProbeClassPrefix.size());
+    const core::AttributeValue* v = attrs.find("seq");
+    if (v == nullptr) return;
+    const std::uint64_t seq = static_cast<std::uint64_t>(v->asInt());
+    // Incarnation token (the publisher's pid): a restarted process must
+    // open a new segment even when its first delivered sequence happens
+    // to run past the old segment's last — detecting restarts from a
+    // backwards sequence alone would fold that case into the old segment
+    // as phantom gaps.
+    const core::AttributeValue* iv = attrs.find("inc");
+    const std::int64_t inc = iv != nullptr ? iv->asInt() : 0;
+    PeerStream& st = streams_[peer];
+    const bool sameIncarnation =
+        !st.segments.empty() && inc == st.lastIncarnation;
+    if (sameIncarnation && seq == st.segments.back().last) {
+      ++st.duplicates;
+      return;
+    }
+    if (!sameIncarnation || seq < st.segments.back().last) {
+      st.lastIncarnation = inc;
+      st.segments.push_back(Segment{seq, seq, 1, 0});
+      return;
+    }
+    Segment& seg = st.segments.back();
+    seg.gaps += seq - seg.last - 1;  // 0 on the strict +1 path
+    seg.last = seq;
+    ++seg.count;
+  }
+
+  void step(double now) override {
+    if (!publishing_ || intervalSec_ <= 0.0) return;
+    if (now - lastPublish_ < intervalSec_) return;
+    lastPublish_ = now;
+    core::AttributeSet a;
+    a.set("seq", static_cast<std::int64_t>(++published_));
+    a.set("inc", static_cast<std::int64_t>(::getpid()));
+    cb_->updateAttributeValues(pub_, a, now);
+  }
+
+ private:
+  std::string nodeName_;
+  double intervalSec_;
+  core::CommunicationBackbone* cb_ = nullptr;
+  core::PublicationHandle pub_ = core::kInvalidHandle;
+  bool publishing_ = true;
+  double lastPublish_ = -1e300;
+  std::uint64_t published_ = 0;
+  std::map<std::string, PeerStream> streams_;
+};
+
+int run(int argc, char** argv) {
+  const soak::Args args(argc, argv);
+  const std::string name = args.required("name");
+  const std::string role = args.required("role");
+  const std::string reportPath = args.required("report");
+  const auto peers = soak::splitCsv(args.str("peers", ""));
+
+  net::UdpConfig ucfg;
+  ucfg.basePort = static_cast<std::uint16_t>(
+      std::stoul(args.required("base-port")));
+  ucfg.portsPerHost = static_cast<std::uint16_t>(args.integer("ports-per-host", 4));
+  ucfg.maxHosts = static_cast<std::uint16_t>(args.integer("max-hosts", 16));
+  const auto host = static_cast<net::HostId>(args.integer("host", 0));
+  const auto cbPort = static_cast<std::uint16_t>(args.integer("cb-port", 1));
+
+  const double duration = args.num("duration", 60.0);
+  const double quiesce = args.num("quiesce", 5.0);
+  const double probeHz = args.num("probe-hz", 40.0);
+
+  net::ImpairmentConfig icfg;
+  icfg.lossPct = args.num("loss", 0.0);
+  icfg.duplicatePct = args.num("dup", 0.0);
+  icfg.reorderPct = args.num("reorder", 0.0);
+  icfg.delayMinSec = args.num("delay-ms", 0.0) / 1000.0;
+  icfg.delayMaxSec = icfg.delayMinSec + args.num("jitter-ms", 0.0) / 1000.0;
+  icfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1)) * 1000003u +
+              host;
+
+  // A restarted victim can find its just-vacated port transiently claimed
+  // (a parallel lane's ephemeral probe can win the race while the port
+  // sat unbound during the kill window); the plan is ours by contract, so
+  // wait the squatter out instead of dying on EADDRINUSE.
+  std::unique_ptr<net::UdpTransport> udp;
+  const double bindDeadline = wallSec() + 10.0;
+  for (;;) {
+    try {
+      udp = std::make_unique<net::UdpTransport>(ucfg, host, cbPort);
+      break;
+    } catch (const std::system_error& e) {
+      if (e.code().value() != EADDRINUSE || wallSec() >= bindDeadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  std::printf("[%s] %s bound 127.0.0.1:%u (host %u) loss=%.1f%% dup=%.1f%% "
+              "reorder=%.1f%% delay=%.1f-%.1fms\n",
+              name.c_str(), role.c_str(), udp->boundUdpPort(), host,
+              icfg.lossPct, icfg.duplicatePct, icfg.reorderPct,
+              icfg.delayMinSec * 1e3, icfg.delayMaxSec * 1e3);
+  auto transport =
+      std::make_unique<net::ImpairedTransport>(std::move(udp), icfg);
+
+  core::CommunicationBackbone::Config cbCfg;
+  cbCfg.broadcastIntervalSec = 0.05;
+  cbCfg.refreshIntervalSec = 0.5;
+  cbCfg.heartbeatIntervalSec = args.num("heartbeat", 0.5);
+  cbCfg.channelTimeoutSec = args.num("channel-timeout", 3.0);
+  // Frequent cumulative acks keep the tail-RTO path honest under loss:
+  // spurious retransmits of already-delivered frames would bias the
+  // reliable-layer loss estimate upward.
+  cbCfg.reliable.ackIntervalSec = args.num("ack-interval", 0.05);
+  core::CommunicationBackbone cb(name, std::move(transport), cbCfg);
+
+  // The role module (the real thing, not a mock — the soak rig must push
+  // the same update streams the rack does).
+  const scenario::Course course = scenario::standardLicensureCourse();
+  std::unique_ptr<sim::DynamicsModule> dynamics;
+  std::unique_ptr<sim::ScenarioModule> scenarioLp;
+  std::unique_ptr<sim::VisualDisplayModule> display;
+  std::unique_ptr<sim::InstructorModule> instructor;
+  std::unique_ptr<telemetry::HealthMonitor> monitor;
+  if (role == "dynamics") {
+    sim::DynamicsModule::Config dc;
+    dc.course = course;
+    dynamics = std::make_unique<sim::DynamicsModule>(dc);
+    dynamics->bind(cb);
+  } else if (role == "scenario") {
+    scenarioLp = std::make_unique<sim::ScenarioModule>(course);
+    scenarioLp->bind(cb);
+  } else if (role == "display") {
+    sim::VisualDisplayModule::Config dc;
+    dc.channel = static_cast<int>(args.integer("display-channel", 0));
+    dc.fbWidth = 64;
+    dc.fbHeight = 48;
+    dc.useSyncServer = false;  // no sync-server node in the soak rack
+    display = std::make_unique<sim::VisualDisplayModule>(course, dc);
+    display->bind(cb);
+  } else if (role == "instructor") {
+    instructor = std::make_unique<sim::InstructorModule>();
+    instructor->bind(cb);
+    telemetry::MonitorConfig mc;
+    mc.expectedIntervalSec = args.num("telemetry-interval", 1.0);
+    mc.silentAfterIntervals = args.num("silent-after", 3.0);
+    monitor = std::make_unique<telemetry::HealthMonitor>(mc);
+    monitor->bind(cb);
+    instructor->attachClusterMonitor(monitor.get());
+  } else {
+    std::fprintf(stderr, "unknown --role=%s\n", role.c_str());
+    return 2;
+  }
+
+  telemetry::TelemetryConfig tcfg;
+  tcfg.intervalSec = args.num("telemetry-interval", 1.0);
+  telemetry::TelemetryPublisher tpub(tcfg);
+  tpub.bind(cb);
+
+  ProbeLp probe(name, probeHz);
+  probe.bind(cb, peers);
+
+  // ---- Main loop: wall clock, ~1 ms tick cadence ------------------------
+  const double stopProbesAt = duration - quiesce;
+  double nextStatus = 5.0;
+  double now = 0.0;
+  while ((now = wallSec()) < duration) {
+    if (now >= stopProbesAt) probe.stopPublishing();
+    cb.tick(now);
+    if (now >= nextStatus) {
+      nextStatus += 5.0;
+      std::printf("[%s] t=%5.1f published=%llu retx=%llu timedOut=%llu\n",
+                  name.c_str(), now,
+                  static_cast<unsigned long long>(probe.published()),
+                  static_cast<unsigned long long>(
+                      cb.stats().reliable.retransmitsSent),
+                  static_cast<unsigned long long>(cb.stats().channelsTimedOut));
+      if (monitor) std::fputs(instructor->renderClusterText().c_str(), stdout);
+      std::fflush(stdout);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ---- Report -----------------------------------------------------------
+  std::ofstream out(reportPath);
+  if (!out) {
+    std::fprintf(stderr, "[%s] cannot write report %s\n", name.c_str(),
+                 reportPath.c_str());
+    return 3;
+  }
+  out << "node " << name << "\n";
+  out << "role " << role << "\n";
+  out << "probe-published " << probe.published() << "\n";
+  for (const auto& [peer, st] : probe.streams()) {
+    std::size_t idx = 0;
+    for (const Segment& seg : st.segments) {
+      out << "probe " << peer << " segment " << idx++ << " first=" << seg.first
+          << " last=" << seg.last << " count=" << seg.count
+          << " gaps=" << seg.gaps << "\n";
+    }
+    out << "probe-summary " << peer << " segments=" << st.segments.size()
+        << " dups=" << st.duplicates << "\n";
+  }
+  if (instructor) out << "status-updates " << instructor->statusUpdatesSeen() << "\n";
+  if (monitor) {
+    for (const telemetry::HealthAlarm& a : monitor->alarms())
+      out << "alarm " << telemetry::alarmKindName(a.kind) << " " << a.node
+          << "\n";
+    for (const std::string& n : monitor->nodeNames()) {
+      const telemetry::NodeHealth* h = monitor->node(n);
+      if (h == nullptr) continue;
+      // Whole-run loss estimate from the node's *cumulative* reliable
+      // counters (latest applied snapshot) — interval rates are noisy at
+      // 1 Hz, the lifetime ratio is what must track the injected rate.
+      const auto& r = h->last.cb.reliable;
+      out << "loss-est " << n << " "
+          << telemetry::reliableLossEstimatePct(r.dataFramesSent,
+                                                r.retransmitsSent)
+          << " data=" << r.dataFramesSent << " retx=" << r.retransmitsSent
+          << "\n";
+    }
+  }
+  out << "exit ok\n";
+  std::printf("[%s] done: published=%llu report=%s\n", name.c_str(),
+              static_cast<unsigned long long>(probe.published()),
+              reportPath.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak_node: %s\n", e.what());
+    return 2;
+  }
+}
