@@ -1,10 +1,25 @@
 #include "core/cb.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 
 namespace cod::core {
+
+namespace {
+
+/// Sorted snapshot of an index's keys — the facade's ordering primitive:
+/// handles and channel ids ascend in creation order, so a sorted key walk
+/// reproduces the pre-shard wire order whatever the shard count.
+template <typename Map>
+std::vector<typename Map::key_type> sortedKeys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
 
 LogicalProcess::~LogicalProcess() {
   if (cb_ != nullptr) cb_->detach(*this);
@@ -15,6 +30,10 @@ CommunicationBackbone::CommunicationBackbone(
     : name_(std::move(name)), transport_(std::move(transport)), cfg_(cfg) {
   if (!transport_)
     throw std::invalid_argument("CommunicationBackbone: null transport");
+  const std::uint32_t n = std::max<std::uint32_t>(1, cfg_.shards);
+  shards_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<CbShard>(*this, i));
 }
 
 CommunicationBackbone::CommunicationBackbone(
@@ -145,18 +164,71 @@ void CommunicationBackbone::detach(LogicalProcess& lp) {
   if (lp.cb_ != this) return;
   // Resign every registration owned by this LP.
   std::vector<PublicationHandle> pubs;
-  for (const auto& [h, e] : publications_)
-    if (e.lp == lp.id_) pubs.push_back(h);
+  for (const auto& [h, s] : pubShard_)
+    if (shards_[s]->publication(h)->lp == lp.id_) pubs.push_back(h);
   std::sort(pubs.begin(), pubs.end());
   for (const PublicationHandle h : pubs) unpublish(h);
   std::vector<SubscriptionHandle> subs;
-  for (const auto& [h, e] : subscriptions_)
-    if (e.lp == lp.id_) subs.push_back(h);
+  for (const auto& [h, s] : subShard_)
+    if (shards_[s]->subscription(h)->lp == lp.id_) subs.push_back(h);
   std::sort(subs.begin(), subs.end());
   for (const SubscriptionHandle h : subs) unsubscribe(h);
   lps_.erase(lp.id_);
   lp.cb_ = nullptr;
   lp.id_ = 0;
+}
+
+PublicationEntry* CommunicationBackbone::findPublication(PublicationHandle h) {
+  const auto it = pubShard_.find(h);
+  return it == pubShard_.end() ? nullptr : shards_[it->second]->publication(h);
+}
+
+const PublicationEntry* CommunicationBackbone::findPublication(
+    PublicationHandle h) const {
+  const auto it = pubShard_.find(h);
+  return it == pubShard_.end() ? nullptr : shards_[it->second]->publication(h);
+}
+
+SubscriptionEntry* CommunicationBackbone::findSubscription(
+    SubscriptionHandle h) {
+  const auto it = subShard_.find(h);
+  return it == subShard_.end() ? nullptr : shards_[it->second]->subscription(h);
+}
+
+const SubscriptionEntry* CommunicationBackbone::findSubscription(
+    SubscriptionHandle h) const {
+  const auto it = subShard_.find(h);
+  return it == subShard_.end() ? nullptr : shards_[it->second]->subscription(h);
+}
+
+void CommunicationBackbone::registerInChannel(std::uint32_t channelId,
+                                              std::uint32_t shard) {
+  inChannelShard_[channelId] = shard;
+}
+
+void CommunicationBackbone::unregisterInChannel(std::uint32_t channelId) {
+  inChannelShard_.erase(channelId);
+}
+
+void CommunicationBackbone::registerOutChannel(const net::NodeAddr& remote,
+                                               std::uint32_t remoteChannelId,
+                                               std::uint32_t shard,
+                                               PublicationHandle pub) {
+  // Assignment, not emplace: a restarted subscriber may reuse a channel
+  // id against a different publication while the stale channel rides out
+  // its timeout — the newest registration wins the route.
+  outChannelIndex_[{remote, remoteChannelId}] = {shard, pub};
+}
+
+void CommunicationBackbone::unregisterOutChannel(const net::NodeAddr& remote,
+                                                 std::uint32_t remoteChannelId,
+                                                 PublicationHandle pub) {
+  const auto it = outChannelIndex_.find({remote, remoteChannelId});
+  // Guarded erase: if the id was re-registered to a newer publication
+  // (see registerOutChannel), the stale channel's teardown must not drop
+  // the live route.
+  if (it != outChannelIndex_.end() && it->second.second == pub)
+    outChannelIndex_.erase(it);
 }
 
 PublicationHandle CommunicationBackbone::publishObjectClass(
@@ -167,9 +239,11 @@ PublicationHandle CommunicationBackbone::publishObjectClass(
   e.lp = lp.id_;
   e.className = className;
   e.qos = qos;
-  auto [it, _] = publications_.emplace(e.id, std::move(e));
-  if (cfg_.localFastPath) matchLocal(it->second);
-  return it->first;
+  const PublicationHandle h = e.id;
+  const std::uint32_t s = shardOf(className);
+  pubShard_.emplace(h, s);
+  shards_[s]->addPublication(std::move(e));
+  return h;
 }
 
 SubscriptionHandle CommunicationBackbone::subscribeObjectClass(
@@ -181,187 +255,68 @@ SubscriptionHandle CommunicationBackbone::subscribeObjectClass(
   e.className = className;
   e.qos = qos;
   e.nextBroadcast = now_;  // start discovery on the next tick
-  auto [it, _] = subscriptions_.emplace(e.id, std::move(e));
-  if (cfg_.localFastPath) {
-    for (auto& [h, pub] : publications_) {
-      if (pub.className == className &&
-          std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
-                    it->first) == pub.localSubscribers.end()) {
-        pub.localSubscribers.push_back(it->first);
-      }
-    }
-  }
-  return it->first;
-}
-
-void CommunicationBackbone::matchLocal(PublicationEntry& pub) {
-  std::vector<SubscriptionHandle> matched;
-  for (const auto& [h, sub] : subscriptions_) {
-    if (sub.className == pub.className &&
-        std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
-                  h) == pub.localSubscribers.end()) {
-      matched.push_back(h);
-    }
-  }
-  // Creation order, not hash order: fast-path delivery order is observable.
-  std::sort(matched.begin(), matched.end());
-  pub.localSubscribers.insert(pub.localSubscribers.end(), matched.begin(),
-                              matched.end());
+  const SubscriptionHandle h = e.id;
+  const std::uint32_t s = shardOf(className);
+  subShard_.emplace(h, s);
+  shards_[s]->addSubscription(std::move(e));
+  return h;
 }
 
 void CommunicationBackbone::unpublish(PublicationHandle h) {
-  const auto it = publications_.find(h);
-  if (it == publications_.end()) return;
-  if (!it->second.channels.empty()) {
-    auto bye = encode(ByeMsg{0, /*fromPublisher=*/true});
-    for (OutChannel& ch : it->second.channels) {
-      patchChannelId(bye, ch.remoteChannelId);
-      stageToChannel(ch, bye);
-    }
-    // Resignation must not wait for the next tick (the subscriber would
-    // keep trusting a dead channel until its heartbeat timeout). Only the
-    // BYE'd peers flush — unrelated peers keep coalescing.
-    for (const OutChannel& ch : it->second.channels)
-      flushSlot(peerBatches_[ch.batchSlot]);
-    for (const OutChannel& ch : it->second.channels)
-      releaseBatchSlot(ch.batchSlot);
-  }
-  publications_.erase(it);
+  const auto it = pubShard_.find(h);
+  if (it == pubShard_.end()) return;
+  shards_[it->second]->unpublish(h);
+  pubShard_.erase(it);
 }
 
 void CommunicationBackbone::unsubscribe(SubscriptionHandle h) {
-  const auto it = subscriptions_.find(h);
-  if (it == subscriptions_.end()) return;
-  std::vector<std::uint32_t> channels;
-  for (const auto& [cid, ch] : inChannels_)
-    if (ch.subscription == h) channels.push_back(cid);
-  for (const std::uint32_t cid : channels) removeInChannel(cid, /*sendBye=*/true);
-  for (auto& [ph, pub] : publications_) {
-    auto& ls = pub.localSubscribers;
-    ls.erase(std::remove(ls.begin(), ls.end(), h), ls.end());
-  }
-  subscriptions_.erase(it);
-}
-
-void CommunicationBackbone::removeInChannel(std::uint32_t channelId,
-                                            bool sendBye) {
-  const auto it = inChannels_.find(channelId);
-  if (it == inChannels_.end()) return;
-  if (sendBye) {
-    // Tell the publisher so its outgoing entry does not linger until the
-    // heartbeat timeout; flush that peer (only) immediately for the same
-    // reason.
-    const auto bytes =
-        encode(ByeMsg{channelId, /*fromPublisher=*/false});
-    stageToChannel(it->second, bytes);
-    flushSlot(peerBatches_[it->second.batchSlot]);
-  }
-  releaseBatchSlot(it->second.batchSlot);
-  inChannels_.erase(it);
+  const auto it = subShard_.find(h);
+  if (it == subShard_.end()) return;
+  shards_[it->second]->unsubscribe(h);
+  subShard_.erase(it);
 }
 
 void CommunicationBackbone::updateAttributeValues(PublicationHandle h,
                                                   const AttributeSet& attrs,
                                                   double timestamp) {
-  const auto it = publications_.find(h);
-  if (it == publications_.end())
+  const auto it = pubShard_.find(h);
+  if (it == pubShard_.end())
     throw std::invalid_argument("updateAttributeValues: unknown publication");
-  PublicationEntry& pub = it->second;
-  const std::uint64_t seq = pub.nextSeq++;
-
-  // Local fast path: same-computer subscribers get the update without the
-  // network round trip (§2.1 — one or many LPs can run on a computer).
-  // Handles whose subscription has been resigned are erased eagerly so the
-  // table cannot accumulate dead links (and channelCount stays truthful).
-  auto& locals = pub.localSubscribers;
-  std::size_t kept = 0;
-  for (const SubscriptionHandle sh : locals) {
-    const auto sit = subscriptions_.find(sh);
-    if (sit == subscriptions_.end()) continue;  // stale: dropped below
-    locals[kept++] = sh;
-    Reflection r{pub.className, attrs, timestamp, seq};
-    enqueueReflection(sit->second, std::move(r));
-    ++stats_.updatesLocalFastPath;
-  }
-  locals.resize(kept);
-
-  if (!pub.channels.empty()) {
-    // Serialize the frame once; only the 4-byte channel id differs between
-    // channels, so fan-out patches it in place instead of re-encoding the
-    // whole payload per channel. The attribute set is encoded straight
-    // into the reusable frame (no intermediate payload vector), so the
-    // steady-state hot path is allocation-free.
-    net::WireWriter w(std::move(updateFrame_));
-    const std::size_t blobStart = beginUpdateFrame(w, seq, timestamp);
-    attrs.encodeInto(w);
-    w.endBlob(blobStart);
-    updateFrame_ = w.take();
-    bool buffered = false;
-    for (OutChannel& ch : pub.channels) {
-      if (ch.qos == net::QosClass::kReliableOrdered && !buffered) {
-        // One buffered copy serves every reliable channel; the channel id
-        // is re-patched at retransmit time.
-        if (pub.retx) pub.retx->store(seq, updateFrame_, now_);
-        buffered = true;
-      }
-      if (!ch.qosConfirmed) continue;  // held back until the upgrade lands
-      patchChannelId(updateFrame_, ch.remoteChannelId);
-      stageToChannel(ch, updateFrame_);
-      ch.lastSentSec = now_;
-      ++stats_.updatesSent;
-      if (ch.qos == net::QosClass::kReliableOrdered) {
-        ++stats_.reliable.dataFramesSent;
-        ch.maxSentSeq = seq;
-      }
-    }
-    if (cfg_.batch.flushReliableUpdates && pub.retx) {
-      // Latency escape hatch: reliable command streams leave now rather
-      // than riding the end-of-tick flush.
-      for (const OutChannel& ch : pub.channels) {
-        if (ch.qos == net::QosClass::kReliableOrdered &&
-            ch.batchSlot != kNoBatchSlot)
-          flushSlot(peerBatches_[ch.batchSlot]);
-      }
-    }
-  }
+  CbShard& shard = *shards_[it->second];
+  shard.update(*shard.publication(h), attrs, timestamp);
 }
 
 std::optional<Reflection> CommunicationBackbone::poll(SubscriptionHandle h) {
-  const auto it = subscriptions_.find(h);
-  if (it == subscriptions_.end() || it->second.mailbox.empty())
-    return std::nullopt;
-  Reflection r = std::move(it->second.mailbox.front());
-  it->second.mailbox.pop_front();
+  SubscriptionEntry* sub = findSubscription(h);
+  if (sub == nullptr || sub->mailbox.empty()) return std::nullopt;
+  Reflection r = std::move(sub->mailbox.front());
+  sub->mailbox.pop_front();
   return r;
 }
 
 const Reflection* CommunicationBackbone::latest(SubscriptionHandle h) const {
-  const auto it = subscriptions_.find(h);
-  if (it == subscriptions_.end() || !it->second.latest) return nullptr;
-  return &*it->second.latest;
+  const SubscriptionEntry* sub = findSubscription(h);
+  if (sub == nullptr || !sub->latest) return nullptr;
+  return &*sub->latest;
 }
 
 std::size_t CommunicationBackbone::pending(SubscriptionHandle h) const {
-  const auto it = subscriptions_.find(h);
-  return it != subscriptions_.end() ? it->second.mailbox.size() : 0;
+  const SubscriptionEntry* sub = findSubscription(h);
+  return sub != nullptr ? sub->mailbox.size() : 0;
 }
 
 std::size_t CommunicationBackbone::channelCount(PublicationHandle h) const {
-  const auto it = publications_.find(h);
-  if (it == publications_.end()) return 0;
-  return it->second.channels.size() + it->second.localSubscribers.size();
+  const PublicationEntry* pub = findPublication(h);
+  if (pub == nullptr) return 0;
+  return pub->channels.size() + pub->localSubscribers.size();
 }
 
 std::vector<CbChannelHealth> CommunicationBackbone::channelHealth() const {
   std::vector<CbChannelHealth> out;
   // Publisher side in publication-id (creation) order: the tables hash,
   // but telemetry snapshots should diff stably between intervals.
-  std::vector<PublicationHandle> pubIds;
-  pubIds.reserve(publications_.size());
-  for (const auto& [h, e] : publications_) pubIds.push_back(h);
-  std::sort(pubIds.begin(), pubIds.end());
-  for (const PublicationHandle h : pubIds) {
-    const PublicationEntry& pub = publications_.find(h)->second;
+  for (const PublicationHandle h : sortedKeys(pubShard_)) {
+    const PublicationEntry& pub = *findPublication(h);
     for (const OutChannel& ch : pub.channels) {
       CbChannelHealth hh;
       hh.channelId = ch.remoteChannelId;
@@ -376,11 +331,13 @@ std::vector<CbChannelHealth> CommunicationBackbone::channelHealth() const {
       out.push_back(std::move(hh));
     }
   }
-  for (const auto& [cid, ch] : inChannels_) {  // channel-id order (std::map)
+  for (const std::uint32_t cid : sortedKeys(inChannelShard_)) {
+    const CbShard& shard = *shards_[inChannelShard_.find(cid)->second];
+    const InChannel& ch = *shard.inChannel(cid);
     CbChannelHealth hh;
     hh.channelId = cid;
-    const auto sit = subscriptions_.find(ch.subscription);
-    if (sit != subscriptions_.end()) hh.className = sit->second.className;
+    const SubscriptionEntry* sub = shard.subscription(ch.subscription);
+    if (sub != nullptr) hh.className = sub->className;
     hh.outbound = false;
     hh.qos = ch.qos;
     hh.live = ch.live;
@@ -395,28 +352,15 @@ std::vector<CbChannelHealth> CommunicationBackbone::channelHealth() const {
 }
 
 std::size_t CommunicationBackbone::sourceCount(SubscriptionHandle h) const {
-  const auto it = subscriptions_.find(h);
-  if (it == subscriptions_.end()) return 0;
-  std::size_t n = 0;
-  for (const auto& [cid, ch] : inChannels_)
-    if (ch.subscription == h && ch.live) ++n;
-  for (const auto& [ph, pub] : publications_) {
-    if (std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
-                  h) != pub.localSubscribers.end())
-      ++n;
-  }
-  return n;
+  const auto it = subShard_.find(h);
+  if (it == subShard_.end()) return 0;
+  return shards_[it->second]->sourceCount(h);
 }
 
-void CommunicationBackbone::enqueueReflection(SubscriptionEntry& sub,
-                                              Reflection r) {
-  sub.latest = r;
-  if (sub.mailbox.size() >= cfg_.mailboxLimit) {
-    sub.mailbox.pop_front();
-    ++stats_.mailboxOverflows;
-  }
-  sub.mailbox.push_back(std::move(r));
-  ++stats_.updatesDelivered;
+CbShardLoad CommunicationBackbone::shardLoad(std::uint32_t shard) const {
+  if (shard >= shards_.size())
+    throw std::out_of_range("shardLoad: no such shard");
+  return shards_[shard]->load();
 }
 
 void CommunicationBackbone::tick(double now) {
@@ -484,32 +428,86 @@ void CommunicationBackbone::dispatchMessage(CbMessage& msg,
                                             const net::NodeAddr& src,
                                             double now) {
   switch (msg.type) {
+    // Discovery messages route by the class hash decode() stamped on
+    // them: the owning shard is a modulo away, no table scan. A message
+    // whose hash routes to a shard that does not hold the named entry is
+    // dropped there — the same fate the pre-shard CB gave mismatched
+    // class names.
     case MsgType::kSubscription:
-      handleSubscription(msg.subscription, src, now);
+      shardForHash(msg.subscription.classHash)
+          .handleSubscription(msg.subscription, src, now);
       break;
     case MsgType::kAcknowledge:
-      handleAcknowledge(msg.acknowledge, src, now);
+      shardForHash(msg.acknowledge.classHash)
+          .handleAcknowledge(msg.acknowledge, src, now);
       break;
     case MsgType::kChannelConnection:
-      handleChannelConnection(msg.channelConnection, src, now);
+      shardForHash(msg.channelConnection.classHash)
+          .handleChannelConnection(msg.channelConnection, src, now);
       break;
-    case MsgType::kChannelAck:
-      handleChannelAck(msg.channelAck, src, now);
+    // Subscriber-side channel messages route by channel id.
+    case MsgType::kChannelAck: {
+      const auto it = inChannelShard_.find(msg.channelAck.channelId);
+      if (it != inChannelShard_.end())
+        shards_[it->second]->handleChannelAck(msg.channelAck, src, now);
       break;
-    case MsgType::kUpdate:
-      handleUpdate(msg.update, src, now);
+    }
+    case MsgType::kUpdate: {
+      const auto it = inChannelShard_.find(msg.update.channelId);
+      if (it == inChannelShard_.end()) {
+        ++stats_.unknownChannelDrops;
+        break;
+      }
+      shards_[it->second]->handleUpdate(msg.update, src, now);
       break;
+    }
+    // Messages that may target either role route by the direction flag:
+    // publisher-sent ones through the channel-id index, subscriber-sent
+    // ones through the (peer, channel id) → publication index.
     case MsgType::kHeartbeat:
-      handleHeartbeat(msg.heartbeat, src, now);
+      if (msg.heartbeat.fromPublisher) {
+        const auto it = inChannelShard_.find(msg.heartbeat.channelId);
+        if (it != inChannelShard_.end())
+          shards_[it->second]->handlePublisherHeartbeat(msg.heartbeat, src,
+                                                        now);
+      } else {
+        const auto it = outChannelIndex_.find({src, msg.heartbeat.channelId});
+        if (it != outChannelIndex_.end())
+          shards_[it->second.first]->handleSubscriberHeartbeat(
+              it->second.second, msg.heartbeat, src, now);
+      }
       break;
     case MsgType::kBye:
-      handleBye(msg.bye, src);
+      if (msg.bye.fromPublisher) {
+        const auto it = inChannelShard_.find(msg.bye.channelId);
+        if (it != inChannelShard_.end())
+          shards_[it->second]->handlePublisherBye(msg.bye, src);
+      } else {
+        const auto it = outChannelIndex_.find({src, msg.bye.channelId});
+        if (it != outChannelIndex_.end())
+          shards_[it->second.first]->handleSubscriberBye(it->second.second,
+                                                         msg.bye, src);
+      }
       break;
-    case MsgType::kNack:
-      handleNack(msg.nack, src, now);
+    case MsgType::kNack: {
+      const auto it = outChannelIndex_.find({src, msg.nack.channelId});
+      if (it != outChannelIndex_.end())
+        shards_[it->second.first]->handleNack(it->second.second, msg.nack, src,
+                                              now);
       break;
+    }
     case MsgType::kWindowAck:
-      handleWindowAck(msg.windowAck, src, now);
+      if (msg.windowAck.fromPublisher) {
+        const auto it = inChannelShard_.find(msg.windowAck.channelId);
+        if (it != inChannelShard_.end())
+          shards_[it->second]->handlePublisherWindowAck(msg.windowAck, src,
+                                                        now);
+      } else {
+        const auto it = outChannelIndex_.find({src, msg.windowAck.channelId});
+        if (it != outChannelIndex_.end())
+          shards_[it->second.first]->handleSubscriberWindowAck(
+              it->second.second, msg.windowAck, src, now);
+      }
       break;
     case MsgType::kBatch:
       // Containers are unpacked in handleDatagram and never nest; one
@@ -519,568 +517,51 @@ void CommunicationBackbone::dispatchMessage(CbMessage& msg,
   }
 }
 
-void CommunicationBackbone::handleSubscription(const SubscriptionMsg& m,
-                                               const net::NodeAddr& src,
-                                               double /*now*/) {
-  // §2.3: the publisher CB checks whether one of its LPs produces the
-  // requested class; if so it acknowledges. It keeps listening while it
-  // executes, which is what makes dynamic join possible. ACKs go out in
-  // publication-id (creation) order — the table hashes, the wire must not.
-  std::vector<PublicationHandle> matches;
-  for (const auto& [h, pub] : publications_)
-    if (pub.className == m.className) matches.push_back(h);
-  std::sort(matches.begin(), matches.end());
-  for (const PublicationHandle h : matches) {
-    const AcknowledgeMsg ack{m.subscriptionId, h, m.className};
-    stageSend(src, encode(ack));
-    ++stats_.acknowledgesSent;
-  }
-}
-
-void CommunicationBackbone::handleAcknowledge(const AcknowledgeMsg& m,
-                                              const net::NodeAddr& src,
-                                              double now) {
-  const auto it = subscriptions_.find(m.subscriptionId);
-  if (it == subscriptions_.end()) return;  // stale: subscription resigned
-  SubscriptionEntry& sub = it->second;
-  if (sub.className != m.className) return;
-  // Dedup: one channel per (publisher endpoint, publication entry).
-  for (const auto& [cid, ch] : inChannels_) {
-    if (ch.subscription == sub.id && ch.remote == src &&
-        ch.remotePublicationId == m.publicationId)
-      return;
-  }
-  InChannel ch;
-  ch.channelId = nextChannelId_++;
-  ch.subscription = sub.id;
-  ch.remote = src;
-  ch.remotePublicationId = m.publicationId;
-  ch.lastConnectSent = now;
-  ch.lastActivity = now;
-  ch.lastHeartbeatSent = now;
-  ch.qos = sub.qos;
-  if (ch.qos == net::QosClass::kReliableOrdered) {
-    // The base sequence arrives with the CHANNEL_ACK; frames that beat it
-    // are buffered in the queue until then.
-    ch.rq = std::make_unique<net::ReliableReceiveQueue>(cfg_.reliable,
-                                                        stats_.reliable);
-  }
-  const ChannelConnectionMsg connect{sub.id, m.publicationId, ch.channelId,
-                                     sub.className, sub.qos};
-  const std::uint32_t channelId = ch.channelId;
-  inChannels_.emplace(channelId, std::move(ch));
-  sub.everAcknowledged = true;
-  stageSend(src, encode(connect));
-}
-
-void CommunicationBackbone::handleChannelConnection(
-    const ChannelConnectionMsg& m, const net::NodeAddr& src, double now) {
-  const auto it = publications_.find(m.publicationId);
-  if (it == publications_.end()) return;
-  PublicationEntry& pub = it->second;
-  if (pub.className != m.className) return;
-  auto existing =
-      std::find_if(pub.channels.begin(), pub.channels.end(),
-                   [&](const OutChannel& ch) {
-                     return ch.remote == src && ch.remoteChannelId == m.channelId;
-                   });
-  if (existing == pub.channels.end()) {
-    OutChannel ch;
-    ch.remoteChannelId = m.channelId;
-    ch.remote = src;
-    ch.lastSentSec = now;
-    ch.lastHeardSec = now;
-    // Effective QoS: the stronger of the subscriber's request and the
-    // publication's floor.
-    ch.qos = (m.qos == net::QosClass::kReliableOrdered ||
-              pub.qos == net::QosClass::kReliableOrdered)
-                 ? net::QosClass::kReliableOrdered
-                 : net::QosClass::kBestEffort;
-    ch.firstSeq = pub.nextSeq;
-    ch.cumAcked = pub.nextSeq - 1;  // owes nothing from before it existed
-    ch.lastAckResendSec = now;      // the ack below counts as the first
-    ch.qosConfirmed = m.qos == ch.qos;  // false iff upgraded by our floor
-    if (ch.qos == net::QosClass::kReliableOrdered && !pub.retx) {
-      pub.retx = std::make_unique<net::ReliableSendWindow>(cfg_.reliable,
-                                                           stats_.reliable);
-    }
-    pub.channels.push_back(std::move(ch));
-    existing = std::prev(pub.channels.end());
-    ++stats_.channelsEstablishedOut;
-  }
-  // Idempotent confirm (the paper's second ACKNOWLEDGE). Re-ACKs repeat
-  // the channel's original QoS and base sequence: a retransmitted
-  // CHANNEL_CONNECTION must not shift the base the subscriber will trust.
-  const ChannelAckMsg ack{m.channelId, pub.id, existing->qos,
-                          existing->firstSeq};
-  stageSend(src, encode(ack));
-}
-
-void CommunicationBackbone::handleChannelAck(const ChannelAckMsg& m,
-                                             const net::NodeAddr& /*src*/,
-                                             double now) {
-  const auto it = inChannels_.find(m.channelId);
-  if (it == inChannels_.end()) return;
-  InChannel& ch = it->second;
-  if (!ch.live) {
-    ch.live = true;
-    ++stats_.channelsEstablishedIn;
-  }
-  ch.lastActivity = now;
-  if (m.qos == net::QosClass::kReliableOrdered) {
-    if (!ch.rq) {
-      // The publication mandates reliability although this subscriber
-      // only asked for best effort: upgrade the channel.
-      ch.qos = net::QosClass::kReliableOrdered;
-      ch.rq = std::make_unique<net::ReliableReceiveQueue>(cfg_.reliable,
-                                                          stats_.reliable);
-    }
-    // Updates may have been delivered newest-wins before this ACK landed
-    // (upgrade path); never re-deliver below them.
-    std::vector<net::ReliableFrame> ready;
-    ch.rq->setBase(std::max(m.firstSeq, ch.lastSeq + 1), ready);
-    deliverReliableReady(ch, ready);
-  }
-}
-
-void CommunicationBackbone::handleUpdate(UpdateMsg& m,
-                                         const net::NodeAddr& /*src*/,
-                                         double now) {
-  const auto it = inChannels_.find(m.channelId);
-  if (it == inChannels_.end()) {
-    ++stats_.unknownChannelDrops;
-    return;
-  }
-  InChannel& ch = it->second;
-  if (!ch.live) {
-    // The CHANNEL_ACK was lost but data is flowing: the channel is live.
-    ch.live = true;
-    ++stats_.channelsEstablishedIn;
-  }
-  ch.lastActivity = now;
-  if (ch.rq) {
-    // Reliable path: the queue owns ordering, duplicates and gap healing.
-    // Retransmits legitimately arrive with old sequence numbers, so the
-    // newest-wins cursor does not apply.
-    std::vector<net::ReliableFrame> ready;
-    ch.rq->offer(net::ReliableFrame{m.seq, m.timestamp, std::move(m.payload)},
-                 ready);
-    deliverReliableReady(ch, ready);
-    return;
-  }
-  if (m.seq <= ch.lastSeq) {
-    ++stats_.duplicatesDropped;
-    return;
-  }
-  ch.lastSeq = m.seq;
-  auto attrs = AttributeSet::decode(m.payload);
-  if (!attrs) {
-    ++stats_.malformedDrops;
-    return;
-  }
-  const auto sit = subscriptions_.find(ch.subscription);
-  if (sit == subscriptions_.end()) return;
-  Reflection r{sit->second.className, std::move(*attrs), m.timestamp, m.seq};
-  enqueueReflection(sit->second, std::move(r));
-}
-
-void CommunicationBackbone::handleHeartbeat(const HeartbeatMsg& m,
-                                            const net::NodeAddr& src,
-                                            double now) {
-  if (m.fromPublisher) {
-    // Subscriber side: a publisher keep-alive refreshes the inbound channel.
-    const auto it = inChannels_.find(m.channelId);
-    if (it != inChannels_.end() && it->second.remote == src)
-      it->second.lastActivity = now;
-    return;
-  }
-  // Publisher side: a subscriber keep-alive refreshes the outgoing channel.
-  for (auto& [h, pub] : publications_) {
-    for (OutChannel& ch : pub.channels) {
-      if (ch.remote == src && ch.remoteChannelId == m.channelId)
-        ch.lastHeardSec = now;
-    }
-  }
-}
-
-void CommunicationBackbone::handleBye(const ByeMsg& m,
-                                      const net::NodeAddr& src) {
-  if (m.fromPublisher) {
-    // A publisher resigned: drop the inbound channel (no BYE back).
-    const auto it = inChannels_.find(m.channelId);
-    if (it != inChannels_.end() && it->second.remote == src)
-      removeInChannel(m.channelId, /*sendBye=*/false);
-    return;
-  }
-  // A subscriber resigned: drop the matching outgoing channel.
-  for (auto& [h, pub] : publications_) {
-    auto& chans = pub.channels;
-    const std::size_t before = chans.size();
-    chans.erase(std::remove_if(chans.begin(), chans.end(),
-                               [&](const OutChannel& ch) {
-                                 if (ch.remote != src ||
-                                     ch.remoteChannelId != m.channelId)
-                                   return false;
-                                 releaseBatchSlot(ch.batchSlot);
-                                 return true;
-                               }),
-                chans.end());
-    if (chans.size() != before) compactSendWindow(pub);
-  }
-}
-
-std::pair<CommunicationBackbone::PublicationEntry*,
-          CommunicationBackbone::OutChannel*>
-CommunicationBackbone::findOutChannel(const net::NodeAddr& src,
-                                      std::uint32_t remoteChannelId) {
-  for (auto& [h, pub] : publications_) {
-    for (OutChannel& ch : pub.channels) {
-      if (ch.remote == src && ch.remoteChannelId == remoteChannelId)
-        return {&pub, &ch};
-    }
-  }
-  return {nullptr, nullptr};
-}
-
-void CommunicationBackbone::compactSendWindow(PublicationEntry& pub) {
-  if (!pub.retx) return;
-  std::uint64_t minAcked = std::numeric_limits<std::uint64_t>::max();
-  bool anyReliable = false;
-  for (const OutChannel& ch : pub.channels) {
-    if (ch.qos != net::QosClass::kReliableOrdered) continue;
-    anyReliable = true;
-    minAcked = std::min(minAcked, ch.cumAcked);
-  }
-  if (!anyReliable) {
-    pub.retx->clear();
-    return;
-  }
-  pub.retx->pruneThrough(minAcked);
-}
-
-void CommunicationBackbone::deliverReliableReady(
-    const InChannel& ch, std::vector<net::ReliableFrame>& ready) {
-  if (ready.empty()) return;
-  const auto sit = subscriptions_.find(ch.subscription);
-  if (sit == subscriptions_.end()) return;
-  for (net::ReliableFrame& f : ready) {
-    auto attrs = AttributeSet::decode(f.payload);
-    if (!attrs) {
-      ++stats_.malformedDrops;
-      continue;
-    }
-    enqueueReflection(sit->second, Reflection{sit->second.className,
-                                              std::move(*attrs), f.timestamp,
-                                              f.seq});
-  }
-}
-
-void CommunicationBackbone::handleNack(const NackMsg& m,
-                                       const net::NodeAddr& src, double now) {
-  const auto [pub, ch] = findOutChannel(src, m.channelId);
-  if (pub == nullptr || ch->qos != net::QosClass::kReliableOrdered ||
-      !pub->retx)
-    return;
-  ++stats_.reliable.nacksReceived;
-  // A NACK is the subscriber speaking: refresh liveness so the tail-RTO
-  // sweep's stalled-channel guard never pauses a peer that is actively
-  // asking for frames (its heartbeats/acks may all be getting lost).
-  ch->lastHeardSec = now;
-  std::uint64_t skipThrough = 0;
-  for (const std::uint64_t seq : m.missingSeqs) {
-    if (seq < ch->firstSeq || seq >= pub->nextSeq) continue;  // never owed
-    if (std::vector<std::uint8_t>* frame = pub->retx->frame(seq)) {
-      patchChannelId(*frame, ch->remoteChannelId);
-      stageToChannel(*ch, *frame);
-      if (seq > ch->maxSentSeq) {
-        // First trip on this channel (withheld while the QoS upgrade was
-        // unconfirmed): data, not a re-send.
-        ch->maxSentSeq = seq;
-        pub->retx->touchSent(seq, now);
-        ++stats_.reliable.dataFramesSent;
-      } else {
-        pub->retx->markSent(seq, now);
-        ++ch->retransmits;
-      }
-      ch->lastSentSec = now;
-    } else if (seq <= pub->retx->highestEvicted()) {
-      // Evicted by window overflow: the subscriber must skip, or it will
-      // NACK this hole forever.
-      skipThrough = std::max(skipThrough, pub->retx->highestEvicted());
-    }
-    // Otherwise the frame was pruned because this subscriber already
-    // acked it — a stale NACK that crossed our prune in flight; ignore.
-  }
-  if (skipThrough > 0) {
-    stageToChannel(*ch, encode(WindowAckMsg{ch->remoteChannelId, skipThrough,
-                                            /*fromPublisher=*/true}));
-  }
-}
-
-void CommunicationBackbone::handleWindowAck(const WindowAckMsg& m,
-                                            const net::NodeAddr& src,
-                                            double now) {
-  if (m.fromPublisher) {
-    // Subscriber side: the publisher cannot retransmit through
-    // cumulativeSeq any more — skip the hole instead of waiting forever.
-    const auto it = inChannels_.find(m.channelId);
-    if (it == inChannels_.end() || it->second.remote != src ||
-        !it->second.rq)
-      return;
-    InChannel& ch = it->second;
-    ch.lastActivity = now;
-    std::vector<net::ReliableFrame> ready;
-    ch.rq->abandonThrough(m.cumulativeSeq, ready);
-    deliverReliableReady(ch, ready);
-    return;
-  }
-  // Publisher side: cumulative delivery progress from the subscriber.
-  const auto [pub, ch] = findOutChannel(src, m.channelId);
-  if (pub == nullptr || ch->qos != net::QosClass::kReliableOrdered) return;
-  ++stats_.reliable.windowAcksReceived;
-  ch->windowAckSeen = true;
-  const bool wasConfirmed = ch->qosConfirmed;
-  ch->qosConfirmed = true;
-  ch->cumAcked = std::max(ch->cumAcked, m.cumulativeSeq);
-  ch->lastHeardSec = now;
-  if (!wasConfirmed && pub->retx) {
-    // The QoS upgrade just landed: every frame withheld while the
-    // subscriber was QoS-blind leaves NOW, as one burst, instead of
-    // dribbling out of the tail-RTO sweep at maxRetransmitPerSweep per
-    // timeout. These are first transmissions on this channel — counted
-    // as data and excluded from the retransmit tally, or the
-    // reliable-layer loss estimate would see a flurry of "re-sends" that
-    // were never lost at every publisher-upgraded channel establishment.
-    for (std::uint64_t seq = std::max(ch->firstSeq, ch->cumAcked + 1);
-         seq < pub->nextSeq; ++seq) {
-      std::vector<std::uint8_t>* frame = pub->retx->frame(seq);
-      if (frame == nullptr) continue;  // pruned or evicted
-      patchChannelId(*frame, ch->remoteChannelId);
-      stageToChannel(*ch, *frame);
-      pub->retx->touchSent(seq, now);
-      ch->maxSentSeq = std::max(ch->maxSentSeq, seq);
-      ++stats_.reliable.dataFramesSent;
-      ch->lastSentSec = now;
-    }
-  }
-  compactSendWindow(*pub);
-}
-
 void CommunicationBackbone::runTimers(double now) {
-  // Subscription discovery broadcasts (§2.3). Handles are snapshotted and
-  // sorted: the table is a hash map now, and broadcast order should stay
-  // creation order on every platform.
-  std::vector<SubscriptionHandle> subIds;
-  subIds.reserve(subscriptions_.size());
-  for (const auto& [h, e] : subscriptions_) subIds.push_back(h);
-  std::sort(subIds.begin(), subIds.end());
-  for (const SubscriptionHandle h : subIds) {
-    SubscriptionEntry& sub = subscriptions_.find(h)->second;
-    if (now < sub.nextBroadcast) continue;
-    const bool hasLive = sourceCount(h) > 0;
-    if (hasLive && cfg_.refreshIntervalSec <= 0.0) {
-      sub.nextBroadcast = 1e300;  // paper-literal: stop once acknowledged
-      continue;
-    }
-    const SubscriptionMsg msg{sub.id, sub.className};
-    const auto bytes = encode(msg);
-    transport_->broadcast(address().port, bytes);
-    ++stats_.broadcastsSent;
-    if (!cfg_.localFastPath) {
-      // A socket does not hear its own broadcast; feed it back so two LPs
-      // on one computer still connect when the fast path is disabled.
-      handleSubscription(msg, address(), now);
-    }
-    sub.nextBroadcast =
-        now + (hasLive ? cfg_.refreshIntervalSec : cfg_.broadcastIntervalSec);
-  }
+  // Every phase walks a globally sorted handle snapshot and dispatches
+  // per entry into the owning shard: creation order on the wire, exactly
+  // as the pre-shard CB emitted it, whatever Config::shards says.
+
+  // Subscription discovery broadcasts (§2.3).
+  for (const SubscriptionHandle h : sortedKeys(subShard_))
+    shards_[subShard_.find(h)->second]->subscriptionTimer(h, now);
 
   // Retransmit CHANNEL_CONNECTION for channels still awaiting their ack,
   // and time out dead inbound channels. Keep-alive frames in one pass
-  // differ only in channel id, so each loop encodes at most one frame and
-  // re-targets it per channel.
+  // differ only in channel id, so the tick encodes at most one frame
+  // (shared across shards) and re-targets it per channel.
   std::vector<std::uint8_t> subHeartbeat;
-  std::vector<std::uint32_t> toDrop;
-  for (auto& [cid, ch] : inChannels_) {
-    // A reliable channel needs the CHANNEL_ACK itself (it carries the base
-    // sequence), so inbound data marking the channel live is not enough to
-    // stop the connection retries.
-    const bool needsAck = !ch.live || (ch.rq && !ch.rq->baseKnown());
-    if (needsAck && now - ch.lastConnectSent >= cfg_.connectRetrySec) {
-      const auto sit = subscriptions_.find(ch.subscription);
-      if (sit != subscriptions_.end()) {
-        const ChannelConnectionMsg connect{ch.subscription,
-                                           ch.remotePublicationId, ch.channelId,
-                                           sit->second.className,
-                                           sit->second.qos};
-        stageSend(ch.remote, encode(connect));
-        ch.lastConnectSent = now;
-      }
-    }
-    if (ch.rq) {
-      // Receiver half of the reliable layer: NACK persistent gaps and
-      // acknowledge cumulative progress. Both coalesce with whatever else
-      // this tick owes the publisher (heartbeats included).
-      const auto missing = ch.rq->collectNacks(now);
-      if (!missing.empty())
-        stageToChannel(ch, encode(NackMsg{ch.channelId, missing}));
-      if (const auto cum = ch.rq->collectAck(now)) {
-        stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
-                                               /*fromPublisher=*/false}));
-        // The ack doubles as a keep-alive on this direction.
-        ch.lastHeartbeatSent = now;
-      }
-    }
-    if (ch.live && now - ch.lastHeartbeatSent >= cfg_.heartbeatIntervalSec) {
-      // Subscriber keep-alive so the publisher can garbage-collect dead
-      // channels (we may never send anything else on this direction).
-      if (subHeartbeat.empty())
-        subHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/false});
-      patchChannelId(subHeartbeat, ch.channelId);
-      stageToChannel(ch, subHeartbeat);
-      ch.lastHeartbeatSent = now;
-      if (cfg_.batch.enabled && ch.rq) {
-        // Piggyback the cumulative ack on the keep-alive that is leaving
-        // anyway: a quiet reliable link keeps the publisher's window
-        // pruned without ever paying a separate control datagram.
-        if (const auto cum = ch.rq->piggybackAck(now))
-          stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
-                                                 /*fromPublisher=*/false}));
-      }
-    }
-    if (now - ch.lastActivity > cfg_.channelTimeoutSec) toDrop.push_back(cid);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> toDrop;  // cid, shard
+  for (const std::uint32_t cid : sortedKeys(inChannelShard_)) {
+    const std::uint32_t s = inChannelShard_.find(cid)->second;
+    if (shards_[s]->inChannelTimer(cid, now, subHeartbeat))
+      toDrop.emplace_back(cid, s);
   }
-  for (const std::uint32_t cid : toDrop) {
-    const auto it = inChannels_.find(cid);
-    if (it == inChannels_.end()) continue;
-    const SubscriptionHandle sh = it->second.subscription;
-    removeInChannel(cid, /*sendBye=*/false);
-    ++stats_.channelsTimedOut;
-    // Resume fast discovery for the orphaned subscription.
-    const auto sit = subscriptions_.find(sh);
-    if (sit != subscriptions_.end()) sit->second.nextBroadcast = now;
-  }
+  for (const auto& [cid, s] : toDrop)
+    shards_[s]->dropTimedOutInChannel(cid, now);
 
   // Publisher keep-alives on idle channels, the reliable tail-retransmit
-  // sweep, and timeout of dead subscribers (sorted snapshot again: the
-  // publication table hashes, but wire order should not).
+  // sweep, and timeout of dead subscribers.
   std::vector<std::uint8_t> pubHeartbeat;
-  std::vector<PublicationHandle> pubIds;
-  pubIds.reserve(publications_.size());
-  for (const auto& [h, e] : publications_) pubIds.push_back(h);
-  std::sort(pubIds.begin(), pubIds.end());
-  for (const PublicationHandle h : pubIds) {
-    PublicationEntry& pub = publications_.find(h)->second;
-    auto& chans = pub.channels;
-    for (OutChannel& ch : chans) {
-      if (ch.qos == net::QosClass::kReliableOrdered && !ch.windowAckSeen &&
-          now - ch.lastAckResendSec >= cfg_.connectRetrySec) {
-        // Until the first WINDOW_ACK arrives the subscriber may not know
-        // this channel is reliable (its CHANNEL_ACK can be lost while
-        // data keeps it live): repeat the ack with the original base.
-        stageToChannel(ch, encode(ChannelAckMsg{ch.remoteChannelId, pub.id,
-                                                ch.qos, ch.firstSeq}));
-        ch.lastAckResendSec = now;
-      }
-      if (now - ch.lastSentSec >= cfg_.heartbeatIntervalSec) {
-        if (pubHeartbeat.empty())
-          pubHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/true});
-        patchChannelId(pubHeartbeat, ch.remoteChannelId);
-        stageToChannel(ch, pubHeartbeat);
-        ch.lastSentSec = now;
-      }
-    }
-    if (pub.retx && !pub.retx->empty()) {
-      // Unprompted retransmit of frames unacked beyond the timeout: loss
-      // of the last frame of a burst leaves no gap for the receiver to
-      // NACK, so the sender must cover the tail.
-      //
-      // The sweep skips *stalled* channels — no heartbeat or ack from the
-      // subscriber for two keep-alive intervals. Such a peer is either
-      // dead (its channel is riding out channelTimeoutSec) or cut off,
-      // and resending every unacked frame to it each RTO would both waste
-      // datagrams and poison the reliable-layer loss estimate with
-      // "retransmits" that were never actually lost — the multi-process
-      // UDP soak's ±5pp loss-tracking check caught exactly this during a
-      // kill/restart window. Nothing is given up: the frames stay in the
-      // window, and the moment the peer speaks again lastHeardSec
-      // refreshes and the sweep resumes where it left off.
-      const double stalledAfterSec = 2.0 * cfg_.heartbeatIntervalSec;
-      const auto stalled = [&](const OutChannel& ch) {
-        return now - ch.lastHeardSec > stalledAfterSec;
-      };
-      std::uint64_t minUnacked = std::numeric_limits<std::uint64_t>::max();
-      for (const OutChannel& ch : chans) {
-        // Unconfirmed channels receive nothing yet, so sweeping for them
-        // would only churn the frame timers.
-        if (ch.qos == net::QosClass::kReliableOrdered && ch.qosConfirmed &&
-            !stalled(ch))
-          minUnacked = std::min(minUnacked, ch.cumAcked + 1);
-      }
-      for (const std::uint64_t seq :
-           pub.retx->takeTailRetransmits(minUnacked, now)) {
-        std::vector<std::uint8_t>* frame = pub.retx->frame(seq);
-        if (frame == nullptr) continue;
-        for (OutChannel& ch : chans) {
-          if (ch.qos != net::QosClass::kReliableOrdered ||
-              !ch.qosConfirmed || ch.cumAcked >= seq || seq < ch.firstSeq ||
-              stalled(ch))
-            continue;
-          patchChannelId(*frame, ch.remoteChannelId);
-          stageToChannel(ch, *frame);
-          ch.lastSentSec = now;
-          if (seq > ch.maxSentSeq) {
-            // First transmission on this channel: frames window-buffered
-            // while the QoS upgrade was unconfirmed leave through this
-            // sweep, and counting them as retransmits would inflate the
-            // loss estimate with re-sends that were never lost.
-            ch.maxSentSeq = seq;
-            ++stats_.reliable.dataFramesSent;
-          } else {
-            ++ch.retransmits;
-            // Per channel staged, matching dataFramesSent's unit (the
-            // NACK path counts the same way through markSent).
-            ++stats_.reliable.retransmitsSent;
-          }
-        }
-      }
-    }
-    const std::size_t before = chans.size();
-    chans.erase(std::remove_if(chans.begin(), chans.end(),
-                               [&](const OutChannel& ch) {
-                                 if (now - ch.lastHeardSec <=
-                                     cfg_.channelTimeoutSec)
-                                   return false;
-                                 releaseBatchSlot(ch.batchSlot);
-                                 return true;
-                               }),
-                chans.end());
-    if (chans.size() != before) {
-      stats_.channelsTimedOut += before - chans.size();
-      compactSendWindow(pub);
-    }
-  }
+  for (const PublicationHandle h : sortedKeys(pubShard_))
+    shards_[pubShard_.find(h)->second]->publicationTimer(h, now, pubHeartbeat);
 }
 
 void CommunicationBackbone::deliverMailboxes() {
-  std::vector<SubscriptionHandle> ids;
-  ids.reserve(subscriptions_.size());
-  for (const auto& [h, sub] : subscriptions_) ids.push_back(h);
   // Subscription-id order == creation order: push delivery across LPs
-  // must not depend on hash-table layout.
-  std::sort(ids.begin(), ids.end());
-  for (const SubscriptionHandle h : ids) {
+  // must not depend on hash-table layout (or shard layout).
+  for (const SubscriptionHandle h : sortedKeys(subShard_)) {
     // Re-find each time: reflect callbacks may (un)subscribe re-entrantly.
-    auto it = subscriptions_.find(h);
-    if (it == subscriptions_.end()) continue;
-    while (!it->second.mailbox.empty()) {
-      Reflection r = std::move(it->second.mailbox.front());
-      it->second.mailbox.pop_front();
-      const auto lpIt = lps_.find(it->second.lp);
+    SubscriptionEntry* sub = findSubscription(h);
+    if (sub == nullptr) continue;
+    while (!sub->mailbox.empty()) {
+      Reflection r = std::move(sub->mailbox.front());
+      sub->mailbox.pop_front();
+      const auto lpIt = lps_.find(sub->lp);
       if (lpIt != lps_.end())
         lpIt->second->reflectAttributeValues(r.className, r.attrs, r.timestamp);
-      it = subscriptions_.find(h);
-      if (it == subscriptions_.end()) break;
+      sub = findSubscription(h);
+      if (sub == nullptr) break;
     }
   }
 }

@@ -24,6 +24,14 @@
 //    kBatch container datagram per peer per flush — the paper's 16 fps
 //    surround view pushes 3+ attribute sets per frame, and without
 //    coalescing each one costs a datagram per channel.
+//
+// Internally the routing core is partitioned into CbShard units keyed by
+// classNameHash(className) % Config::shards (src/core/shard.hpp): table
+// lookups and discovery matching touch only the shard that owns a class,
+// while this facade keeps the public API, the transport, the coalescer,
+// id allocation, the stats block and — via globally sorted handle
+// snapshots — wire ordering, so every shard count is wire-byte-identical
+// to shards=1.
 #pragma once
 
 #include <cstdint>
@@ -34,31 +42,18 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/shard.hpp"
 #include "core/value.hpp"
 #include "net/reliable.hpp"
 #include "net/transport.hpp"
 
 namespace cod::core {
-
-class CommunicationBackbone;
-
-using LpId = std::uint32_t;
-using PublicationHandle = std::uint32_t;
-using SubscriptionHandle = std::uint32_t;
-
-inline constexpr std::uint32_t kInvalidHandle = 0;
-
-/// One delivered attribute update, as seen by a subscriber.
-struct Reflection {
-  std::string className;
-  AttributeSet attrs;
-  double timestamp = 0.0;
-  std::uint64_t seq = 0;
-};
 
 /// Base class for the paper's Logical Processes. Derive, override
 /// reflectAttributeValues() (push model) and/or poll the CB (pull model),
@@ -182,6 +177,13 @@ class CommunicationBackbone {
     /// Push reflections to LogicalProcess::reflectAttributeValues on tick.
     /// (Pull via poll()/latest() works in either mode.)
     bool pushDelivery = true;
+    /// Routing shards: publication/subscription tables and discovery
+    /// matching are partitioned by classNameHash(className) % shards, so
+    /// a node carrying thousands of registrations pays per-class — not
+    /// per-table — lookup costs. Any value is wire-byte-identical to 1
+    /// (ordering is orchestrated globally); size it roughly to
+    /// expected distinct classes / 64. 0 is clamped to 1.
+    std::uint32_t shards = 1;
     /// Tunables of the kReliableOrdered channel machinery.
     net::ReliableConfig reliable;
     /// Tunables of the per-peer send coalescer.
@@ -289,125 +291,51 @@ class CommunicationBackbone {
   std::size_t peerSlotCount() const { return batchSlots_.size(); }
   std::size_t peerSlotCapacity() const { return peerBatches_.size(); }
 
- private:
-  /// Sentinel for "staging slot not resolved yet" in the channel structs.
-  static constexpr std::uint32_t kNoBatchSlot = 0xFFFFFFFFu;
+  /// Routing shards in this CB (>= 1; Config::shards clamped).
+  std::size_t shardCount() const { return shards_.size(); }
+  /// The shard index that owns `className` (same formula every node
+  /// applies to decoded discovery messages).
+  std::uint32_t shardOf(std::string_view className) const {
+    return classNameHash(className) %
+           static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Table sizes of one shard, for balance checks in tests and tooling.
+  CbShardLoad shardLoad(std::uint32_t shard) const;
 
-  struct OutChannel {
-    std::uint32_t remoteChannelId = 0;
-    net::NodeAddr remote;
-    /// Cached index into peerBatches_ for this channel's endpoint, so the
-    /// per-update fan-out stages without an address lookup.
-    std::uint32_t batchSlot = kNoBatchSlot;
-    double lastSentSec = 0.0;   // last update/heartbeat we sent
-    double lastHeardSec = 0.0;  // last heartbeat from the subscriber
-    net::QosClass qos = net::QosClass::kBestEffort;
-    /// Reliable channels: first sequence owed to this channel (fixed at
-    /// creation; re-ACKs repeat it so a lost CHANNEL_ACK cannot shift the
-    /// base) and the highest sequence the subscriber has cumulatively
-    /// acknowledged.
-    std::uint64_t firstSeq = 0;
-    std::uint64_t cumAcked = 0;
-    /// Reliable channels re-send CHANNEL_ACK until the first WINDOW_ACK
-    /// proves the subscriber knows the channel's QoS and base — without
-    /// this, a lost ack on a publisher-upgraded channel would leave the
-    /// subscriber in newest-wins mode forever (inbound data stops its own
-    /// connection retries).
-    bool windowAckSeen = false;
-    double lastAckResendSec = 0.0;
-    /// True once the subscriber provably knows this channel's QoS: from
-    /// creation when it requested it, else from its first WINDOW_ACK.
-    /// Until then a publisher-upgraded channel carries no data — a
-    /// QoS-blind subscriber would consume it newest-wins and permanently
-    /// skip whatever was lost. Frames are window-buffered meanwhile and
-    /// recovered through the normal retransmit path once confirmed.
-    bool qosConfirmed = true;
-    /// Frames re-sent on this channel (NACK-driven + tail timeout), for
-    /// the per-channel health export.
-    std::uint64_t retransmits = 0;
-    /// Highest sequence ever transmitted on this channel (0 = none).
-    /// Frames withheld while !qosConfirmed make their *first* trip
-    /// through the retransmit machinery after confirmation; this high
-    /// water mark lets those be counted as first transmissions
-    /// (dataFramesSent) instead of retransmits, keeping the
-    /// reliable-layer loss estimate unbiased under channel upgrades.
-    std::uint64_t maxSentSeq = 0;
-  };
-  struct PublicationEntry {
-    PublicationHandle id = 0;
-    LpId lp = 0;
-    std::string className;
-    net::QosClass qos = net::QosClass::kBestEffort;  // channel QoS floor
-    std::uint64_t nextSeq = 1;
-    std::vector<OutChannel> channels;
-    std::vector<SubscriptionHandle> localSubscribers;  // fast path links
-    /// Retransmit window, shared by every reliable channel of this
-    /// publication (frames differ only in the patched channel id).
-    /// Allocated on the first reliable channel.
-    std::unique_ptr<net::ReliableSendWindow> retx;
-  };
-  struct InChannel {
-    std::uint32_t channelId = 0;
-    SubscriptionHandle subscription = 0;
-    net::NodeAddr remote;
-    std::uint32_t batchSlot = kNoBatchSlot;  // see OutChannel::batchSlot
-    std::uint32_t remotePublicationId = 0;
-    bool live = false;          // CHANNEL_ACK received
-    double lastConnectSent = 0.0;
-    double lastActivity = 0.0;      // last traffic from the publisher
-    double lastHeartbeatSent = 0.0; // our own keep-alives to the publisher
-    std::uint64_t lastSeq = 0;      // newest-wins cursor (best effort)
-    net::QosClass qos = net::QosClass::kBestEffort;
-    /// Present iff the channel is reliable: gap detection, NACK pacing
-    /// and in-order release.
-    std::unique_ptr<net::ReliableReceiveQueue> rq;
-  };
-  struct SubscriptionEntry {
-    SubscriptionHandle id = 0;
-    LpId lp = 0;
-    std::string className;
-    net::QosClass qos = net::QosClass::kBestEffort;  // requested per channel
-    bool everAcknowledged = false;
-    double nextBroadcast = 0.0;
-    std::deque<Reflection> mailbox;
-    std::optional<Reflection> latest;
-  };
+ private:
+  friend class CbShard;
 
   void handleDatagram(const net::Datagram& d, double now);
-  /// Route one decoded message to its handler (sub-frames of a kBatch
-  /// container go through here individually).
+  /// Route one decoded message to the shard that owns it (sub-frames of a
+  /// kBatch container go through here individually). Discovery messages
+  /// route by their stamped class hash; channel-scoped messages through
+  /// the channel-id / (peer, channel-id) indexes.
   void dispatchMessage(CbMessage& msg, const net::NodeAddr& src, double now);
-  void handleSubscription(const SubscriptionMsg& m, const net::NodeAddr& src,
-                          double now);
-  void handleAcknowledge(const AcknowledgeMsg& m, const net::NodeAddr& src,
-                         double now);
-  void handleChannelConnection(const ChannelConnectionMsg& m,
-                               const net::NodeAddr& src, double now);
-  void handleChannelAck(const ChannelAckMsg& m, const net::NodeAddr& src,
-                        double now);
-  void handleUpdate(UpdateMsg& m, const net::NodeAddr& src, double now);
-  void handleHeartbeat(const HeartbeatMsg& m, const net::NodeAddr& src,
-                       double now);
-  void handleBye(const ByeMsg& m, const net::NodeAddr& src);
-  void handleNack(const NackMsg& m, const net::NodeAddr& src, double now);
-  void handleWindowAck(const WindowAckMsg& m, const net::NodeAddr& src,
-                       double now);
 
   void runTimers(double now);
   void deliverMailboxes();
-  void enqueueReflection(SubscriptionEntry& sub, Reflection r);
-  void matchLocal(PublicationEntry& pub);
-  void removeInChannel(std::uint32_t channelId, bool sendBye);
-  /// Decode and enqueue frames the reliable queue released in order.
-  void deliverReliableReady(const InChannel& ch,
-                            std::vector<net::ReliableFrame>& ready);
-  /// Find the outgoing channel `(src, remoteChannelId)` and its
-  /// publication; nulls if unknown.
-  std::pair<PublicationEntry*, OutChannel*> findOutChannel(
-      const net::NodeAddr& src, std::uint32_t remoteChannelId);
-  /// Prune (or drop) a publication's retransmit window after acks or
-  /// channel departures.
-  void compactSendWindow(PublicationEntry& pub);
+
+  CbShard& shardForHash(std::uint32_t classHash) {
+    return *shards_[classHash % static_cast<std::uint32_t>(shards_.size())];
+  }
+  /// Entry lookups across shards via the handle→shard indexes (null if
+  /// unknown). The non-const forms are what the public accessors use.
+  PublicationEntry* findPublication(PublicationHandle h);
+  const PublicationEntry* findPublication(PublicationHandle h) const;
+  SubscriptionEntry* findSubscription(SubscriptionHandle h);
+  const SubscriptionEntry* findSubscription(SubscriptionHandle h) const;
+
+  /// Shard-side bookkeeping hooks: every inbound channel and every
+  /// outgoing channel endpoint is registered here so inbound traffic
+  /// routes O(log n) to its shard instead of scanning all tables.
+  void registerInChannel(std::uint32_t channelId, std::uint32_t shard);
+  void unregisterInChannel(std::uint32_t channelId);
+  void registerOutChannel(const net::NodeAddr& remote,
+                          std::uint32_t remoteChannelId, std::uint32_t shard,
+                          PublicationHandle pub);
+  void unregisterOutChannel(const net::NodeAddr& remote,
+                            std::uint32_t remoteChannelId,
+                            PublicationHandle pub);
 
   /// One staging buffer per live remote endpoint. A slot stays pinned
   /// while any channel caches its index (`channelRefs`); channel teardown
@@ -454,12 +382,21 @@ class CommunicationBackbone {
   double now_ = 0.0;
 
   std::map<LpId, LogicalProcess*> lps_;
-  /// Hash tables, not ordered maps: updateAttributeValues and the
-  /// reflection paths look these up per update, and nothing needs key
-  /// order (iteration-order-sensitive work snapshots ids first).
-  std::unordered_map<PublicationHandle, PublicationEntry> publications_;
-  std::unordered_map<SubscriptionHandle, SubscriptionEntry> subscriptions_;
-  std::map<std::uint32_t, InChannel> inChannels_;  // keyed by channelId
+
+  /// The routing shards (fixed at construction, >= 1) and the global
+  /// handle→shard / channel→shard indexes the dispatcher routes through.
+  /// Index keys double as the sorted-snapshot source for every
+  /// wire-order-sensitive walk, so ordering never depends on shard count.
+  std::vector<std::unique_ptr<CbShard>> shards_;
+  std::unordered_map<PublicationHandle, std::uint32_t> pubShard_;
+  std::unordered_map<SubscriptionHandle, std::uint32_t> subShard_;
+  std::unordered_map<std::uint32_t, std::uint32_t> inChannelShard_;
+  /// (subscriber endpoint, subscriber-allocated channel id) → owning
+  /// shard + publication: the publisher-side route for heartbeats, BYEs,
+  /// NACKs and window acks, replacing the old all-tables scan.
+  std::map<std::pair<net::NodeAddr, std::uint32_t>,
+           std::pair<std::uint32_t, PublicationHandle>>
+      outChannelIndex_;
 
   std::vector<PeerBatch> peerBatches_;
   std::map<net::NodeAddr, std::uint32_t> batchSlots_;  // active slots only

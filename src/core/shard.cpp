@@ -1,0 +1,780 @@
+// CbShard: the moved routing core of the CommunicationBackbone. The
+// protocol behaviour here is the pre-shard CB's, verbatim — only the
+// table scope changed (one class family per shard) and full-table scans
+// became class-index or facade-index lookups. Anything order-sensitive
+// on the wire is driven by the facade in globally sorted handle order;
+// a shard never iterates its own hash tables to send.
+#include "core/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/cb.hpp"
+
+namespace cod::core {
+
+CbShard::CbShard(CommunicationBackbone& cb, std::uint32_t index)
+    : cb_(cb), index_(index) {}
+
+void CbShard::eraseFromIndex(
+    std::unordered_map<std::string, std::vector<std::uint32_t>>& index,
+    const std::string& className, std::uint32_t handle) {
+  const auto it = index.find(className);
+  if (it == index.end()) return;
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), handle), v.end());
+  if (v.empty()) index.erase(it);
+}
+
+void CbShard::addPublication(PublicationEntry e) {
+  const std::string className = e.className;
+  auto [it, _] = publications_.emplace(e.id, std::move(e));
+  pubsByClass_[className].push_back(it->first);
+  if (cb_.cfg_.localFastPath) matchLocal(it->second);
+}
+
+void CbShard::addSubscription(SubscriptionEntry e) {
+  const std::string className = e.className;
+  auto [it, _] = subscriptions_.emplace(e.id, std::move(e));
+  subsByClass_[className].push_back(it->first);
+  if (cb_.cfg_.localFastPath) {
+    // Same class → same shard, so the local-fast-path reverse links never
+    // cross a shard boundary.
+    const auto ci = pubsByClass_.find(className);
+    if (ci != pubsByClass_.end()) {
+      for (const PublicationHandle ph : ci->second) {
+        PublicationEntry& pub = publications_.find(ph)->second;
+        if (std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
+                      it->first) == pub.localSubscribers.end()) {
+          pub.localSubscribers.push_back(it->first);
+        }
+      }
+    }
+  }
+}
+
+void CbShard::matchLocal(PublicationEntry& pub) {
+  const auto ci = subsByClass_.find(pub.className);
+  if (ci == subsByClass_.end()) return;
+  // The class index is in creation order (handles ascend), so fast-path
+  // delivery order stays creation order — it is observable.
+  for (const SubscriptionHandle h : ci->second) {
+    if (std::find(pub.localSubscribers.begin(), pub.localSubscribers.end(),
+                  h) == pub.localSubscribers.end()) {
+      pub.localSubscribers.push_back(h);
+    }
+  }
+}
+
+void CbShard::unpublish(PublicationHandle h) {
+  const auto it = publications_.find(h);
+  if (it == publications_.end()) return;
+  if (!it->second.channels.empty()) {
+    auto bye = encode(ByeMsg{0, /*fromPublisher=*/true});
+    for (OutChannel& ch : it->second.channels) {
+      patchChannelId(bye, ch.remoteChannelId);
+      cb_.stageToChannel(ch, bye);
+    }
+    // Resignation must not wait for the next tick (the subscriber would
+    // keep trusting a dead channel until its heartbeat timeout). Only the
+    // BYE'd peers flush — unrelated peers keep coalescing.
+    for (const OutChannel& ch : it->second.channels)
+      cb_.flushSlot(cb_.peerBatches_[ch.batchSlot]);
+    for (const OutChannel& ch : it->second.channels) {
+      cb_.releaseBatchSlot(ch.batchSlot);
+      cb_.unregisterOutChannel(ch.remote, ch.remoteChannelId, h);
+    }
+  }
+  eraseFromIndex(pubsByClass_, it->second.className, h);
+  publications_.erase(it);
+}
+
+void CbShard::unsubscribe(SubscriptionHandle h) {
+  const auto it = subscriptions_.find(h);
+  if (it == subscriptions_.end()) return;
+  std::vector<std::uint32_t> channels;
+  for (const auto& [cid, ch] : inChannels_)
+    if (ch.subscription == h) channels.push_back(cid);
+  for (const std::uint32_t cid : channels)
+    removeInChannel(cid, /*sendBye=*/true);
+  // Only same-class publications can hold a fast-path link to this
+  // subscription, and those are all on this shard.
+  const auto ci = pubsByClass_.find(it->second.className);
+  if (ci != pubsByClass_.end()) {
+    for (const PublicationHandle ph : ci->second) {
+      auto& ls = publications_.find(ph)->second.localSubscribers;
+      ls.erase(std::remove(ls.begin(), ls.end(), h), ls.end());
+    }
+  }
+  eraseFromIndex(subsByClass_, it->second.className, h);
+  subscriptions_.erase(it);
+}
+
+PublicationEntry* CbShard::publication(PublicationHandle h) {
+  const auto it = publications_.find(h);
+  return it == publications_.end() ? nullptr : &it->second;
+}
+
+const PublicationEntry* CbShard::publication(PublicationHandle h) const {
+  const auto it = publications_.find(h);
+  return it == publications_.end() ? nullptr : &it->second;
+}
+
+SubscriptionEntry* CbShard::subscription(SubscriptionHandle h) {
+  const auto it = subscriptions_.find(h);
+  return it == subscriptions_.end() ? nullptr : &it->second;
+}
+
+const SubscriptionEntry* CbShard::subscription(SubscriptionHandle h) const {
+  const auto it = subscriptions_.find(h);
+  return it == subscriptions_.end() ? nullptr : &it->second;
+}
+
+const InChannel* CbShard::inChannel(std::uint32_t channelId) const {
+  const auto it = inChannels_.find(channelId);
+  return it == inChannels_.end() ? nullptr : &it->second;
+}
+
+std::size_t CbShard::sourceCount(SubscriptionHandle h) const {
+  const auto it = subscriptions_.find(h);
+  if (it == subscriptions_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& [cid, ch] : inChannels_)
+    if (ch.subscription == h && ch.live) ++n;
+  const auto ci = pubsByClass_.find(it->second.className);
+  if (ci != pubsByClass_.end()) {
+    for (const PublicationHandle ph : ci->second) {
+      const auto& ls = publications_.find(ph)->second.localSubscribers;
+      if (std::find(ls.begin(), ls.end(), h) != ls.end()) ++n;
+    }
+  }
+  return n;
+}
+
+CbShardLoad CbShard::load() const {
+  CbShardLoad l;
+  l.publications = publications_.size();
+  l.subscriptions = subscriptions_.size();
+  l.inChannels = inChannels_.size();
+  for (const auto& [h, pub] : publications_)
+    l.outChannels += pub.channels.size();
+  return l;
+}
+
+void CbShard::enqueueReflection(SubscriptionEntry& sub, Reflection r) {
+  sub.latest = r;
+  if (sub.mailbox.size() >= cb_.cfg_.mailboxLimit) {
+    sub.mailbox.pop_front();
+    ++cb_.stats_.mailboxOverflows;
+  }
+  sub.mailbox.push_back(std::move(r));
+  ++cb_.stats_.updatesDelivered;
+}
+
+void CbShard::handleSubscription(const SubscriptionMsg& m,
+                                 const net::NodeAddr& src, double /*now*/) {
+  // §2.3: the publisher CB checks whether one of its LPs produces the
+  // requested class; if so it acknowledges. It keeps listening while it
+  // executes, which is what makes dynamic join possible. ACKs go out in
+  // publication-id (creation) order — the class index keeps that order,
+  // so no sort is needed here.
+  const auto ci = pubsByClass_.find(m.className);
+  if (ci == pubsByClass_.end()) return;
+  for (const PublicationHandle h : ci->second) {
+    const AcknowledgeMsg ack{m.subscriptionId, h, m.className};
+    cb_.stageSend(src, encode(ack));
+    ++cb_.stats_.acknowledgesSent;
+  }
+}
+
+void CbShard::handleAcknowledge(const AcknowledgeMsg& m,
+                                const net::NodeAddr& src, double now) {
+  const auto it = subscriptions_.find(m.subscriptionId);
+  if (it == subscriptions_.end()) return;  // stale: subscription resigned
+  SubscriptionEntry& sub = it->second;
+  if (sub.className != m.className) return;
+  // Dedup: one channel per (publisher endpoint, publication entry).
+  for (const auto& [cid, ch] : inChannels_) {
+    if (ch.subscription == sub.id && ch.remote == src &&
+        ch.remotePublicationId == m.publicationId)
+      return;
+  }
+  InChannel ch;
+  ch.channelId = cb_.nextChannelId_++;
+  ch.subscription = sub.id;
+  ch.remote = src;
+  ch.remotePublicationId = m.publicationId;
+  ch.lastConnectSent = now;
+  ch.lastActivity = now;
+  ch.lastHeartbeatSent = now;
+  ch.qos = sub.qos;
+  if (ch.qos == net::QosClass::kReliableOrdered) {
+    // The base sequence arrives with the CHANNEL_ACK; frames that beat it
+    // are buffered in the queue until then.
+    ch.rq = std::make_unique<net::ReliableReceiveQueue>(cb_.cfg_.reliable,
+                                                        cb_.stats_.reliable);
+  }
+  const ChannelConnectionMsg connect{sub.id, m.publicationId, ch.channelId,
+                                     sub.className, sub.qos};
+  const std::uint32_t channelId = ch.channelId;
+  inChannels_.emplace(channelId, std::move(ch));
+  cb_.registerInChannel(channelId, index_);
+  sub.everAcknowledged = true;
+  cb_.stageSend(src, encode(connect));
+}
+
+void CbShard::handleChannelConnection(const ChannelConnectionMsg& m,
+                                      const net::NodeAddr& src, double now) {
+  const auto it = publications_.find(m.publicationId);
+  if (it == publications_.end()) return;
+  PublicationEntry& pub = it->second;
+  if (pub.className != m.className) return;
+  auto existing = std::find_if(
+      pub.channels.begin(), pub.channels.end(), [&](const OutChannel& ch) {
+        return ch.remote == src && ch.remoteChannelId == m.channelId;
+      });
+  if (existing == pub.channels.end()) {
+    OutChannel ch;
+    ch.remoteChannelId = m.channelId;
+    ch.remote = src;
+    ch.lastSentSec = now;
+    ch.lastHeardSec = now;
+    // Effective QoS: the stronger of the subscriber's request and the
+    // publication's floor.
+    ch.qos = (m.qos == net::QosClass::kReliableOrdered ||
+              pub.qos == net::QosClass::kReliableOrdered)
+                 ? net::QosClass::kReliableOrdered
+                 : net::QosClass::kBestEffort;
+    ch.firstSeq = pub.nextSeq;
+    ch.cumAcked = pub.nextSeq - 1;  // owes nothing from before it existed
+    ch.lastAckResendSec = now;      // the ack below counts as the first
+    ch.qosConfirmed = m.qos == ch.qos;  // false iff upgraded by our floor
+    if (ch.qos == net::QosClass::kReliableOrdered && !pub.retx) {
+      pub.retx = std::make_unique<net::ReliableSendWindow>(
+          cb_.cfg_.reliable, cb_.stats_.reliable);
+    }
+    pub.channels.push_back(std::move(ch));
+    existing = std::prev(pub.channels.end());
+    cb_.registerOutChannel(src, m.channelId, index_, pub.id);
+    ++cb_.stats_.channelsEstablishedOut;
+  }
+  // Idempotent confirm (the paper's second ACKNOWLEDGE). Re-ACKs repeat
+  // the channel's original QoS and base sequence: a retransmitted
+  // CHANNEL_CONNECTION must not shift the base the subscriber will trust.
+  const ChannelAckMsg ack{m.channelId, pub.id, existing->qos,
+                          existing->firstSeq};
+  cb_.stageSend(src, encode(ack));
+}
+
+void CbShard::handleChannelAck(const ChannelAckMsg& m,
+                               const net::NodeAddr& /*src*/, double now) {
+  const auto it = inChannels_.find(m.channelId);
+  if (it == inChannels_.end()) return;
+  InChannel& ch = it->second;
+  if (!ch.live) {
+    ch.live = true;
+    ++cb_.stats_.channelsEstablishedIn;
+  }
+  ch.lastActivity = now;
+  if (m.qos == net::QosClass::kReliableOrdered) {
+    if (!ch.rq) {
+      // The publication mandates reliability although this subscriber
+      // only asked for best effort: upgrade the channel.
+      ch.qos = net::QosClass::kReliableOrdered;
+      ch.rq = std::make_unique<net::ReliableReceiveQueue>(cb_.cfg_.reliable,
+                                                          cb_.stats_.reliable);
+    }
+    // Updates may have been delivered newest-wins before this ACK landed
+    // (upgrade path); never re-deliver below them.
+    std::vector<net::ReliableFrame> ready;
+    ch.rq->setBase(std::max(m.firstSeq, ch.lastSeq + 1), ready);
+    deliverReliableReady(ch, ready);
+  }
+}
+
+void CbShard::handleUpdate(UpdateMsg& m, const net::NodeAddr& /*src*/,
+                           double now) {
+  const auto it = inChannels_.find(m.channelId);
+  if (it == inChannels_.end()) {
+    ++cb_.stats_.unknownChannelDrops;
+    return;
+  }
+  InChannel& ch = it->second;
+  if (!ch.live) {
+    // The CHANNEL_ACK was lost but data is flowing: the channel is live.
+    ch.live = true;
+    ++cb_.stats_.channelsEstablishedIn;
+  }
+  ch.lastActivity = now;
+  if (ch.rq) {
+    // Reliable path: the queue owns ordering, duplicates and gap healing.
+    // Retransmits legitimately arrive with old sequence numbers, so the
+    // newest-wins cursor does not apply.
+    std::vector<net::ReliableFrame> ready;
+    ch.rq->offer(net::ReliableFrame{m.seq, m.timestamp, std::move(m.payload)},
+                 ready);
+    deliverReliableReady(ch, ready);
+    return;
+  }
+  if (m.seq <= ch.lastSeq) {
+    ++cb_.stats_.duplicatesDropped;
+    return;
+  }
+  ch.lastSeq = m.seq;
+  auto attrs = AttributeSet::decode(m.payload);
+  if (!attrs) {
+    ++cb_.stats_.malformedDrops;
+    return;
+  }
+  const auto sit = subscriptions_.find(ch.subscription);
+  if (sit == subscriptions_.end()) return;
+  Reflection r{sit->second.className, std::move(*attrs), m.timestamp, m.seq};
+  enqueueReflection(sit->second, std::move(r));
+}
+
+void CbShard::handlePublisherHeartbeat(const HeartbeatMsg& m,
+                                       const net::NodeAddr& src, double now) {
+  // Subscriber side: a publisher keep-alive refreshes the inbound channel.
+  const auto it = inChannels_.find(m.channelId);
+  if (it != inChannels_.end() && it->second.remote == src)
+    it->second.lastActivity = now;
+}
+
+void CbShard::handleSubscriberHeartbeat(PublicationHandle pub,
+                                        const HeartbeatMsg& m,
+                                        const net::NodeAddr& src, double now) {
+  // Publisher side: a subscriber keep-alive refreshes the outgoing channel.
+  const auto it = publications_.find(pub);
+  if (it == publications_.end()) return;
+  for (OutChannel& ch : it->second.channels) {
+    if (ch.remote == src && ch.remoteChannelId == m.channelId)
+      ch.lastHeardSec = now;
+  }
+}
+
+void CbShard::handlePublisherBye(const ByeMsg& m, const net::NodeAddr& src) {
+  // A publisher resigned: drop the inbound channel (no BYE back).
+  const auto it = inChannels_.find(m.channelId);
+  if (it != inChannels_.end() && it->second.remote == src)
+    removeInChannel(m.channelId, /*sendBye=*/false);
+}
+
+void CbShard::handleSubscriberBye(PublicationHandle pub, const ByeMsg& m,
+                                  const net::NodeAddr& src) {
+  // A subscriber resigned: drop the matching outgoing channel.
+  const auto it = publications_.find(pub);
+  if (it == publications_.end()) return;
+  auto& chans = it->second.channels;
+  const std::size_t before = chans.size();
+  chans.erase(std::remove_if(chans.begin(), chans.end(),
+                             [&](const OutChannel& ch) {
+                               if (ch.remote != src ||
+                                   ch.remoteChannelId != m.channelId)
+                                 return false;
+                               cb_.releaseBatchSlot(ch.batchSlot);
+                               cb_.unregisterOutChannel(
+                                   ch.remote, ch.remoteChannelId, pub);
+                               return true;
+                             }),
+              chans.end());
+  if (chans.size() != before) compactSendWindow(it->second);
+}
+
+OutChannel* CbShard::findOutChannelIn(PublicationEntry& pub,
+                                      const net::NodeAddr& src,
+                                      std::uint32_t remoteChannelId) {
+  for (OutChannel& ch : pub.channels) {
+    if (ch.remote == src && ch.remoteChannelId == remoteChannelId) return &ch;
+  }
+  return nullptr;
+}
+
+void CbShard::compactSendWindow(PublicationEntry& pub) {
+  if (!pub.retx) return;
+  std::uint64_t minAcked = std::numeric_limits<std::uint64_t>::max();
+  bool anyReliable = false;
+  for (const OutChannel& ch : pub.channels) {
+    if (ch.qos != net::QosClass::kReliableOrdered) continue;
+    anyReliable = true;
+    minAcked = std::min(minAcked, ch.cumAcked);
+  }
+  if (!anyReliable) {
+    pub.retx->clear();
+    return;
+  }
+  pub.retx->pruneThrough(minAcked);
+}
+
+void CbShard::deliverReliableReady(const InChannel& ch,
+                                   std::vector<net::ReliableFrame>& ready) {
+  if (ready.empty()) return;
+  const auto sit = subscriptions_.find(ch.subscription);
+  if (sit == subscriptions_.end()) return;
+  for (net::ReliableFrame& f : ready) {
+    auto attrs = AttributeSet::decode(f.payload);
+    if (!attrs) {
+      ++cb_.stats_.malformedDrops;
+      continue;
+    }
+    enqueueReflection(sit->second,
+                      Reflection{sit->second.className, std::move(*attrs),
+                                 f.timestamp, f.seq});
+  }
+}
+
+void CbShard::handleNack(PublicationHandle pub, const NackMsg& m,
+                         const net::NodeAddr& src, double now) {
+  const auto it = publications_.find(pub);
+  if (it == publications_.end()) return;
+  PublicationEntry& p = it->second;
+  OutChannel* ch = findOutChannelIn(p, src, m.channelId);
+  if (ch == nullptr || ch->qos != net::QosClass::kReliableOrdered || !p.retx)
+    return;
+  ++cb_.stats_.reliable.nacksReceived;
+  // A NACK is the subscriber speaking: refresh liveness so the tail-RTO
+  // sweep's stalled-channel guard never pauses a peer that is actively
+  // asking for frames (its heartbeats/acks may all be getting lost).
+  ch->lastHeardSec = now;
+  std::uint64_t skipThrough = 0;
+  for (const std::uint64_t seq : m.missingSeqs) {
+    if (seq < ch->firstSeq || seq >= p.nextSeq) continue;  // never owed
+    if (std::vector<std::uint8_t>* frame = p.retx->frame(seq)) {
+      patchChannelId(*frame, ch->remoteChannelId);
+      cb_.stageToChannel(*ch, *frame);
+      if (seq > ch->maxSentSeq) {
+        // First trip on this channel (withheld while the QoS upgrade was
+        // unconfirmed): data, not a re-send.
+        ch->maxSentSeq = seq;
+        p.retx->touchSent(seq, now);
+        ++cb_.stats_.reliable.dataFramesSent;
+      } else {
+        p.retx->markSent(seq, now);
+        ++ch->retransmits;
+      }
+      ch->lastSentSec = now;
+    } else if (seq <= p.retx->highestEvicted()) {
+      // Evicted by window overflow: the subscriber must skip, or it will
+      // NACK this hole forever.
+      skipThrough = std::max(skipThrough, p.retx->highestEvicted());
+    }
+    // Otherwise the frame was pruned because this subscriber already
+    // acked it — a stale NACK that crossed our prune in flight; ignore.
+  }
+  if (skipThrough > 0) {
+    cb_.stageToChannel(*ch,
+                       encode(WindowAckMsg{ch->remoteChannelId, skipThrough,
+                                           /*fromPublisher=*/true}));
+  }
+}
+
+void CbShard::handlePublisherWindowAck(const WindowAckMsg& m,
+                                       const net::NodeAddr& src, double now) {
+  // Subscriber side: the publisher cannot retransmit through
+  // cumulativeSeq any more — skip the hole instead of waiting forever.
+  const auto it = inChannels_.find(m.channelId);
+  if (it == inChannels_.end() || it->second.remote != src || !it->second.rq)
+    return;
+  InChannel& ch = it->second;
+  ch.lastActivity = now;
+  std::vector<net::ReliableFrame> ready;
+  ch.rq->abandonThrough(m.cumulativeSeq, ready);
+  deliverReliableReady(ch, ready);
+}
+
+void CbShard::handleSubscriberWindowAck(PublicationHandle pub,
+                                        const WindowAckMsg& m,
+                                        const net::NodeAddr& src, double now) {
+  // Publisher side: cumulative delivery progress from the subscriber.
+  const auto it = publications_.find(pub);
+  if (it == publications_.end()) return;
+  PublicationEntry& p = it->second;
+  OutChannel* ch = findOutChannelIn(p, src, m.channelId);
+  if (ch == nullptr || ch->qos != net::QosClass::kReliableOrdered) return;
+  ++cb_.stats_.reliable.windowAcksReceived;
+  ch->windowAckSeen = true;
+  const bool wasConfirmed = ch->qosConfirmed;
+  ch->qosConfirmed = true;
+  ch->cumAcked = std::max(ch->cumAcked, m.cumulativeSeq);
+  ch->lastHeardSec = now;
+  if (!wasConfirmed && p.retx) {
+    // The QoS upgrade just landed: every frame withheld while the
+    // subscriber was QoS-blind leaves NOW, as one burst, instead of
+    // dribbling out of the tail-RTO sweep at maxRetransmitPerSweep per
+    // timeout. These are first transmissions on this channel — counted
+    // as data and excluded from the retransmit tally, or the
+    // reliable-layer loss estimate would see a flurry of "re-sends" that
+    // were never lost at every publisher-upgraded channel establishment.
+    for (std::uint64_t seq = std::max(ch->firstSeq, ch->cumAcked + 1);
+         seq < p.nextSeq; ++seq) {
+      std::vector<std::uint8_t>* frame = p.retx->frame(seq);
+      if (frame == nullptr) continue;  // pruned or evicted
+      patchChannelId(*frame, ch->remoteChannelId);
+      cb_.stageToChannel(*ch, *frame);
+      p.retx->touchSent(seq, now);
+      ch->maxSentSeq = std::max(ch->maxSentSeq, seq);
+      ++cb_.stats_.reliable.dataFramesSent;
+      ch->lastSentSec = now;
+    }
+  }
+  compactSendWindow(p);
+}
+
+void CbShard::removeInChannel(std::uint32_t channelId, bool sendBye) {
+  const auto it = inChannels_.find(channelId);
+  if (it == inChannels_.end()) return;
+  if (sendBye) {
+    // Tell the publisher so its outgoing entry does not linger until the
+    // heartbeat timeout; flush that peer (only) immediately for the same
+    // reason.
+    const auto bytes = encode(ByeMsg{channelId, /*fromPublisher=*/false});
+    cb_.stageToChannel(it->second, bytes);
+    cb_.flushSlot(cb_.peerBatches_[it->second.batchSlot]);
+  }
+  cb_.releaseBatchSlot(it->second.batchSlot);
+  cb_.unregisterInChannel(channelId);
+  inChannels_.erase(it);
+}
+
+void CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
+                     double timestamp) {
+  const std::uint64_t seq = pub.nextSeq++;
+
+  // Local fast path: same-computer subscribers get the update without the
+  // network round trip (§2.1 — one or many LPs can run on a computer).
+  // Handles whose subscription has been resigned are erased eagerly so the
+  // table cannot accumulate dead links (and channelCount stays truthful).
+  auto& locals = pub.localSubscribers;
+  std::size_t kept = 0;
+  for (const SubscriptionHandle sh : locals) {
+    const auto sit = subscriptions_.find(sh);
+    if (sit == subscriptions_.end()) continue;  // stale: dropped below
+    locals[kept++] = sh;
+    Reflection r{pub.className, attrs, timestamp, seq};
+    enqueueReflection(sit->second, std::move(r));
+    ++cb_.stats_.updatesLocalFastPath;
+  }
+  locals.resize(kept);
+
+  if (!pub.channels.empty()) {
+    // Serialize the frame once; only the 4-byte channel id differs between
+    // channels, so fan-out patches it in place instead of re-encoding the
+    // whole payload per channel. The attribute set is encoded straight
+    // into the reusable frame (no intermediate payload vector), so the
+    // steady-state hot path is allocation-free.
+    net::WireWriter w(std::move(cb_.updateFrame_));
+    const std::size_t blobStart = beginUpdateFrame(w, seq, timestamp);
+    attrs.encodeInto(w);
+    w.endBlob(blobStart);
+    cb_.updateFrame_ = w.take();
+    bool buffered = false;
+    for (OutChannel& ch : pub.channels) {
+      if (ch.qos == net::QosClass::kReliableOrdered && !buffered) {
+        // One buffered copy serves every reliable channel; the channel id
+        // is re-patched at retransmit time.
+        if (pub.retx) pub.retx->store(seq, cb_.updateFrame_, cb_.now_);
+        buffered = true;
+      }
+      if (!ch.qosConfirmed) continue;  // held back until the upgrade lands
+      patchChannelId(cb_.updateFrame_, ch.remoteChannelId);
+      cb_.stageToChannel(ch, cb_.updateFrame_);
+      ch.lastSentSec = cb_.now_;
+      ++cb_.stats_.updatesSent;
+      if (ch.qos == net::QosClass::kReliableOrdered) {
+        ++cb_.stats_.reliable.dataFramesSent;
+        ch.maxSentSeq = seq;
+      }
+    }
+    if (cb_.cfg_.batch.flushReliableUpdates && pub.retx) {
+      // Latency escape hatch: reliable command streams leave now rather
+      // than riding the end-of-tick flush.
+      for (const OutChannel& ch : pub.channels) {
+        if (ch.qos == net::QosClass::kReliableOrdered &&
+            ch.batchSlot != kNoBatchSlot)
+          cb_.flushSlot(cb_.peerBatches_[ch.batchSlot]);
+      }
+    }
+  }
+}
+
+void CbShard::subscriptionTimer(SubscriptionHandle h, double now) {
+  SubscriptionEntry& sub = subscriptions_.find(h)->second;
+  if (now < sub.nextBroadcast) return;
+  const bool hasLive = sourceCount(h) > 0;
+  if (hasLive && cb_.cfg_.refreshIntervalSec <= 0.0) {
+    sub.nextBroadcast = 1e300;  // paper-literal: stop once acknowledged
+    return;
+  }
+  const SubscriptionMsg msg{sub.id, sub.className};
+  const auto bytes = encode(msg);
+  cb_.transport_->broadcast(cb_.address().port, bytes);
+  ++cb_.stats_.broadcastsSent;
+  if (!cb_.cfg_.localFastPath) {
+    // A socket does not hear its own broadcast; feed it back so two LPs
+    // on one computer still connect when the fast path is disabled. The
+    // class lives on this shard by construction, so no re-route.
+    handleSubscription(msg, cb_.address(), now);
+  }
+  sub.nextBroadcast = now + (hasLive ? cb_.cfg_.refreshIntervalSec
+                                     : cb_.cfg_.broadcastIntervalSec);
+}
+
+bool CbShard::inChannelTimer(std::uint32_t channelId, double now,
+                             std::vector<std::uint8_t>& subHeartbeat) {
+  const auto cit = inChannels_.find(channelId);
+  if (cit == inChannels_.end()) return false;
+  InChannel& ch = cit->second;
+  // A reliable channel needs the CHANNEL_ACK itself (it carries the base
+  // sequence), so inbound data marking the channel live is not enough to
+  // stop the connection retries.
+  const bool needsAck = !ch.live || (ch.rq && !ch.rq->baseKnown());
+  if (needsAck && now - ch.lastConnectSent >= cb_.cfg_.connectRetrySec) {
+    const auto sit = subscriptions_.find(ch.subscription);
+    if (sit != subscriptions_.end()) {
+      const ChannelConnectionMsg connect{ch.subscription,
+                                         ch.remotePublicationId, ch.channelId,
+                                         sit->second.className,
+                                         sit->second.qos};
+      cb_.stageSend(ch.remote, encode(connect));
+      ch.lastConnectSent = now;
+    }
+  }
+  if (ch.rq) {
+    // Receiver half of the reliable layer: NACK persistent gaps and
+    // acknowledge cumulative progress. Both coalesce with whatever else
+    // this tick owes the publisher (heartbeats included).
+    const auto missing = ch.rq->collectNacks(now);
+    if (!missing.empty())
+      cb_.stageToChannel(ch, encode(NackMsg{ch.channelId, missing}));
+    if (const auto cum = ch.rq->collectAck(now)) {
+      cb_.stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
+                                                 /*fromPublisher=*/false}));
+      // The ack doubles as a keep-alive on this direction.
+      ch.lastHeartbeatSent = now;
+    }
+  }
+  if (ch.live && now - ch.lastHeartbeatSent >= cb_.cfg_.heartbeatIntervalSec) {
+    // Subscriber keep-alive so the publisher can garbage-collect dead
+    // channels (we may never send anything else on this direction).
+    if (subHeartbeat.empty())
+      subHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/false});
+    patchChannelId(subHeartbeat, ch.channelId);
+    cb_.stageToChannel(ch, subHeartbeat);
+    ch.lastHeartbeatSent = now;
+    if (cb_.cfg_.batch.enabled && ch.rq) {
+      // Piggyback the cumulative ack on the keep-alive that is leaving
+      // anyway: a quiet reliable link keeps the publisher's window
+      // pruned without ever paying a separate control datagram.
+      if (const auto cum = ch.rq->piggybackAck(now))
+        cb_.stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
+                                                   /*fromPublisher=*/false}));
+    }
+  }
+  return now - ch.lastActivity > cb_.cfg_.channelTimeoutSec;
+}
+
+void CbShard::dropTimedOutInChannel(std::uint32_t channelId, double now) {
+  const auto it = inChannels_.find(channelId);
+  if (it == inChannels_.end()) return;
+  const SubscriptionHandle sh = it->second.subscription;
+  removeInChannel(channelId, /*sendBye=*/false);
+  ++cb_.stats_.channelsTimedOut;
+  // Resume fast discovery for the orphaned subscription.
+  const auto sit = subscriptions_.find(sh);
+  if (sit != subscriptions_.end()) sit->second.nextBroadcast = now;
+}
+
+void CbShard::publicationTimer(PublicationHandle h, double now,
+                               std::vector<std::uint8_t>& pubHeartbeat) {
+  PublicationEntry& pub = publications_.find(h)->second;
+  auto& chans = pub.channels;
+  for (OutChannel& ch : chans) {
+    if (ch.qos == net::QosClass::kReliableOrdered && !ch.windowAckSeen &&
+        now - ch.lastAckResendSec >= cb_.cfg_.connectRetrySec) {
+      // Until the first WINDOW_ACK arrives the subscriber may not know
+      // this channel is reliable (its CHANNEL_ACK can be lost while
+      // data keeps it live): repeat the ack with the original base.
+      cb_.stageToChannel(ch, encode(ChannelAckMsg{ch.remoteChannelId, pub.id,
+                                                  ch.qos, ch.firstSeq}));
+      ch.lastAckResendSec = now;
+    }
+    if (now - ch.lastSentSec >= cb_.cfg_.heartbeatIntervalSec) {
+      if (pubHeartbeat.empty())
+        pubHeartbeat = encode(HeartbeatMsg{0, now, /*fromPublisher=*/true});
+      patchChannelId(pubHeartbeat, ch.remoteChannelId);
+      cb_.stageToChannel(ch, pubHeartbeat);
+      ch.lastSentSec = now;
+    }
+  }
+  if (pub.retx && !pub.retx->empty()) {
+    // Unprompted retransmit of frames unacked beyond the timeout: loss
+    // of the last frame of a burst leaves no gap for the receiver to
+    // NACK, so the sender must cover the tail.
+    //
+    // The sweep skips *stalled* channels — no heartbeat or ack from the
+    // subscriber for two keep-alive intervals. Such a peer is either
+    // dead (its channel is riding out channelTimeoutSec) or cut off,
+    // and resending every unacked frame to it each RTO would both waste
+    // datagrams and poison the reliable-layer loss estimate with
+    // "retransmits" that were never actually lost — the multi-process
+    // UDP soak's ±5pp loss-tracking check caught exactly this during a
+    // kill/restart window. Nothing is given up: the frames stay in the
+    // window, and the moment the peer speaks again lastHeardSec
+    // refreshes and the sweep resumes where it left off.
+    const double stalledAfterSec = 2.0 * cb_.cfg_.heartbeatIntervalSec;
+    const auto stalled = [&](const OutChannel& ch) {
+      return now - ch.lastHeardSec > stalledAfterSec;
+    };
+    std::uint64_t minUnacked = std::numeric_limits<std::uint64_t>::max();
+    for (const OutChannel& ch : chans) {
+      // Unconfirmed channels receive nothing yet, so sweeping for them
+      // would only churn the frame timers.
+      if (ch.qos == net::QosClass::kReliableOrdered && ch.qosConfirmed &&
+          !stalled(ch))
+        minUnacked = std::min(minUnacked, ch.cumAcked + 1);
+    }
+    for (const std::uint64_t seq :
+         pub.retx->takeTailRetransmits(minUnacked, now)) {
+      std::vector<std::uint8_t>* frame = pub.retx->frame(seq);
+      if (frame == nullptr) continue;
+      for (OutChannel& ch : chans) {
+        if (ch.qos != net::QosClass::kReliableOrdered || !ch.qosConfirmed ||
+            ch.cumAcked >= seq || seq < ch.firstSeq || stalled(ch))
+          continue;
+        patchChannelId(*frame, ch.remoteChannelId);
+        cb_.stageToChannel(ch, *frame);
+        ch.lastSentSec = now;
+        if (seq > ch.maxSentSeq) {
+          // First transmission on this channel: frames window-buffered
+          // while the QoS upgrade was unconfirmed leave through this
+          // sweep, and counting them as retransmits would inflate the
+          // loss estimate with re-sends that were never lost.
+          ch.maxSentSeq = seq;
+          ++cb_.stats_.reliable.dataFramesSent;
+        } else {
+          ++ch.retransmits;
+          // Per channel staged, matching dataFramesSent's unit (the
+          // NACK path counts the same way through markSent).
+          ++cb_.stats_.reliable.retransmitsSent;
+        }
+      }
+    }
+  }
+  const std::size_t before = chans.size();
+  chans.erase(std::remove_if(chans.begin(), chans.end(),
+                             [&](const OutChannel& ch) {
+                               if (now - ch.lastHeardSec <=
+                                   cb_.cfg_.channelTimeoutSec)
+                                 return false;
+                               cb_.releaseBatchSlot(ch.batchSlot);
+                               cb_.unregisterOutChannel(
+                                   ch.remote, ch.remoteChannelId, pub.id);
+                               return true;
+                             }),
+              chans.end());
+  if (chans.size() != before) {
+    cb_.stats_.channelsTimedOut += before - chans.size();
+    compactSendWindow(pub);
+  }
+}
+
+}  // namespace cod::core

@@ -35,8 +35,49 @@ const char* alarmKindName(HealthAlarm::Kind k) {
     case HealthAlarm::Kind::kLossSpike: return "LOSS_SPIKE";
     case HealthAlarm::Kind::kRetransmitStorm: return "RETX_STORM";
     case HealthAlarm::Kind::kMailboxOverflow: return "MAILBOX_OVERFLOW";
+    case HealthAlarm::Kind::kLossCleared: return "LOSS_CLEARED";
+    case HealthAlarm::Kind::kRetransmitCleared: return "RETX_CLEARED";
+    case HealthAlarm::Kind::kOverflowCleared: return "OVERFLOW_CLEARED";
+    case HealthAlarm::Kind::kChannelWindowPinned: return "CHAN_WINDOW_PINNED";
+    case HealthAlarm::Kind::kChannelRetransmitStorm: return "CHAN_RETX_STORM";
+    case HealthAlarm::Kind::kChannelWindowCleared: return "CHAN_WINDOW_CLEARED";
+    case HealthAlarm::Kind::kChannelRetransmitCleared:
+      return "CHAN_RETX_CLEARED";
   }
   return "UNKNOWN";
+}
+
+HealthAlarm::Severity alarmSeverity(HealthAlarm::Kind k) {
+  switch (k) {
+    // Data has stopped flowing (or the node itself is gone): critical.
+    case HealthAlarm::Kind::kNodeSilent:
+    case HealthAlarm::Kind::kChannelWindowPinned:
+      return HealthAlarm::Severity::kCritical;
+    // Degraded but still moving: warning.
+    case HealthAlarm::Kind::kLossSpike:
+    case HealthAlarm::Kind::kRetransmitStorm:
+    case HealthAlarm::Kind::kMailboxOverflow:
+    case HealthAlarm::Kind::kChannelRetransmitStorm:
+      return HealthAlarm::Severity::kWarning;
+    // Recoveries and falling edges: informational.
+    case HealthAlarm::Kind::kNodeRecovered:
+    case HealthAlarm::Kind::kLossCleared:
+    case HealthAlarm::Kind::kRetransmitCleared:
+    case HealthAlarm::Kind::kOverflowCleared:
+    case HealthAlarm::Kind::kChannelWindowCleared:
+    case HealthAlarm::Kind::kChannelRetransmitCleared:
+      return HealthAlarm::Severity::kInfo;
+  }
+  return HealthAlarm::Severity::kWarning;
+}
+
+const char* severityName(HealthAlarm::Severity s) {
+  switch (s) {
+    case HealthAlarm::Severity::kInfo: return "INFO";
+    case HealthAlarm::Severity::kWarning: return "WARN";
+    case HealthAlarm::Severity::kCritical: return "CRIT";
+  }
+  return "WARN";
 }
 
 HealthMonitor::HealthMonitor(MonitorConfig cfg)
@@ -185,8 +226,11 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
                     h.effectiveLossPct(), cfg_.lossSpikePct);
       raise(HealthAlarm::Kind::kLossSpike, cur.node, buf);
     }
-  } else {
+  } else if (st.lossAlarm) {
     st.lossAlarm = false;
+    std::snprintf(buf, sizeof(buf), "inbound loss back to %.1f%% (threshold %.1f%%)",
+                  h.effectiveLossPct(), cfg_.lossSpikePct);
+    raise(HealthAlarm::Kind::kLossCleared, cur.node, buf);
   }
   if (h.retransmitsPerSec >= cfg_.retransmitStormPerSec) {
     if (!st.retxAlarm) {
@@ -195,8 +239,11 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
                     h.retransmitsPerSec, cfg_.retransmitStormPerSec);
       raise(HealthAlarm::Kind::kRetransmitStorm, cur.node, buf);
     }
-  } else {
+  } else if (st.retxAlarm) {
     st.retxAlarm = false;
+    std::snprintf(buf, sizeof(buf), "back to %.1f retransmits/s (threshold %.1f)",
+                  h.retransmitsPerSec, cfg_.retransmitStormPerSec);
+    raise(HealthAlarm::Kind::kRetransmitCleared, cur.node, buf);
   }
   const std::uint64_t dOverflow =
       delta(cur.cb.mailboxOverflows, prev.cb.mailboxOverflows);
@@ -208,8 +255,81 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
                     static_cast<unsigned long long>(dOverflow));
       raise(HealthAlarm::Kind::kMailboxOverflow, cur.node, buf);
     }
-  } else {
+  } else if (st.overflowAlarm) {
     st.overflowAlarm = false;
+    raise(HealthAlarm::Kind::kOverflowCleared, cur.node,
+          "mailboxes draining again");
+  }
+
+  deriveChannelAlarms(st, prev, cur);
+}
+
+void HealthMonitor::deriveChannelAlarms(NodeState& st,
+                                        const NodeTelemetry& prev,
+                                        const NodeTelemetry& cur) {
+  const double dt = cur.nodeTimeSec - prev.nodeTimeSec;
+  // Previous retransmit counters by channel id, for per-channel rates.
+  std::map<std::uint32_t, std::uint64_t> prevRetx;
+  for (const core::CbChannelHealth& c : prev.channels)
+    if (c.outbound) prevRetx[c.channelId] = c.retransmits;
+
+  char buf[128];
+  std::map<std::uint32_t, bool> seen;
+  for (const core::CbChannelHealth& c : cur.channels) {
+    // Only live outbound reliable channels have a send window and a
+    // retransmit path worth alarming on.
+    if (!c.outbound || c.qos != net::QosClass::kReliableOrdered) continue;
+    seen[c.channelId] = true;
+    ChannelAlarmState& cs = st.channelAlarms[c.channelId];
+
+    const bool pinnedNow = c.live && c.windowFrames >= cfg_.windowPinnedFrames;
+    if (pinnedNow && cs.pinnedPrev) {
+      if (!cs.windowAlarm) {
+        cs.windowAlarm = true;
+        std::snprintf(buf, sizeof(buf),
+                      "channel %u (%s): window pinned at %llu frames",
+                      c.channelId, c.className.c_str(),
+                      static_cast<unsigned long long>(c.windowFrames));
+        raise(HealthAlarm::Kind::kChannelWindowPinned, cur.node, buf);
+      }
+    } else if (!pinnedNow && cs.windowAlarm) {
+      cs.windowAlarm = false;
+      std::snprintf(buf, sizeof(buf),
+                    "channel %u (%s): window draining (%llu frames)",
+                    c.channelId, c.className.c_str(),
+                    static_cast<unsigned long long>(c.windowFrames));
+      raise(HealthAlarm::Kind::kChannelWindowCleared, cur.node, buf);
+    }
+    cs.pinnedPrev = pinnedNow;
+
+    const auto pit = prevRetx.find(c.channelId);
+    const double retxPerSec =
+        pit == prevRetx.end() ? 0.0 : rate(c.retransmits, pit->second, dt);
+    if (retxPerSec >= cfg_.channelRetransmitStormPerSec) {
+      if (!cs.retxAlarm) {
+        cs.retxAlarm = true;
+        std::snprintf(buf, sizeof(buf),
+                      "channel %u (%s): %.1f retransmits/s (threshold %.1f)",
+                      c.channelId, c.className.c_str(), retxPerSec,
+                      cfg_.channelRetransmitStormPerSec);
+        raise(HealthAlarm::Kind::kChannelRetransmitStorm, cur.node, buf);
+      }
+    } else if (cs.retxAlarm) {
+      cs.retxAlarm = false;
+      std::snprintf(buf, sizeof(buf),
+                    "channel %u (%s): back to %.1f retransmits/s", c.channelId,
+                    c.className.c_str(), retxPerSec);
+      raise(HealthAlarm::Kind::kChannelRetransmitCleared, cur.node, buf);
+    }
+  }
+
+  // Channels that left the snapshot (subscriber gone, channel torn down)
+  // take their edge state with them — a reappearing id starts clean.
+  for (auto it = st.channelAlarms.begin(); it != st.channelAlarms.end();) {
+    if (seen.find(it->first) == seen.end())
+      it = st.channelAlarms.erase(it);
+    else
+      ++it;
   }
 }
 
@@ -231,7 +351,8 @@ void HealthMonitor::step(double now) {
 
 void HealthMonitor::raise(HealthAlarm::Kind kind, const std::string& nodeName,
                           std::string detail) {
-  alarms_.push_back(HealthAlarm{kind, now_, nodeName, std::move(detail)});
+  alarms_.push_back(
+      HealthAlarm{kind, alarmSeverity(kind), now_, nodeName, std::move(detail)});
 }
 
 std::vector<std::string> HealthMonitor::nodeNames() const {
@@ -287,8 +408,9 @@ std::string HealthMonitor::renderAlarms(std::size_t maxRows) const {
   char buf[192];
   for (std::size_t i = first; i < alarms_.size(); ++i) {
     const HealthAlarm& a = alarms_[i];
-    std::snprintf(buf, sizeof(buf), "  [t=%8.2f] %-16s %-14s %s\n", a.timeSec,
-                  alarmKindName(a.kind), a.node.c_str(), a.detail.c_str());
+    std::snprintf(buf, sizeof(buf), "  [t=%8.2f] %-4s %-19s %-14s %s\n",
+                  a.timeSec, severityName(a.severity), alarmKindName(a.kind),
+                  a.node.c_str(), a.detail.c_str());
     out += buf;
   }
   return out;

@@ -10,14 +10,20 @@
 // inbound loss %, retransmits/s, bytes per datagram) and raises
 // threshold alarms:
 //
-//   kNodeSilent       no snapshot for N publish intervals
-//   kNodeRecovered    a silent node spoke again
-//   kLossSpike        inbound frame loss between snapshots over threshold
-//   kRetransmitStorm  reliable retransmit rate over threshold
-//   kMailboxOverflow  a node dropped reflections on a full mailbox
+//   kNodeSilent         no snapshot for N publish intervals
+//   kNodeRecovered      a silent node spoke again
+//   kLossSpike          inbound frame loss between snapshots over threshold
+//   kRetransmitStorm    reliable retransmit rate over threshold
+//   kMailboxOverflow    a node dropped reflections on a full mailbox
+//   kChannelWindowPinned     one channel's retransmit window sat at the
+//                            configured cap across two snapshots
+//   kChannelRetransmitStorm  one channel's retransmit rate over threshold
 //
-// Alarms are edge-triggered (one per onset, not one per interval) and
-// accumulate in an append-only feed consumers drain by index.
+// Alarms are edge-triggered (one per onset, not one per interval), carry
+// a severity, and every onset kind has a matching *Cleared kind raised on
+// the condition's falling edge — so a consumer tailing the feed sees the
+// full envelope of an incident, not just its start. The feed is
+// append-only; consumers drain by index.
 #pragma once
 
 #include <algorithm>
@@ -46,6 +52,16 @@ struct MonitorConfig {
   /// Raise on any mailbox overflow growth (off: overflows only show in
   /// the table).
   bool alarmOnMailboxOverflow = true;
+  /// A reliable channel whose send window holds at least this many frames
+  /// across two consecutive snapshots is "pinned": its subscriber is not
+  /// acking and the publisher is about to stall. Matches the reliable
+  /// layer's default window cap.
+  std::uint32_t windowPinnedFrames = 512;
+  /// Per-channel retransmit rate that counts as a channel storm,
+  /// frames/second. Lower than the node-wide storm threshold: one channel
+  /// carrying all of a node's retransmits is a routing/path problem even
+  /// when the node total looks tolerable.
+  double channelRetransmitStormPerSec = 20.0;
 };
 
 struct HealthAlarm {
@@ -55,14 +71,36 @@ struct HealthAlarm {
     kLossSpike = 2,
     kRetransmitStorm = 3,
     kMailboxOverflow = 4,
+    // Falling edges of the threshold alarms above.
+    kLossCleared = 5,
+    kRetransmitCleared = 6,
+    kOverflowCleared = 7,
+    // Per-channel health, from the channel block each snapshot ships.
+    kChannelWindowPinned = 8,
+    kChannelRetransmitStorm = 9,
+    kChannelWindowCleared = 10,
+    kChannelRetransmitCleared = 11,
+  };
+  /// How urgently the instructor station should surface an alarm. Clears
+  /// and recoveries are kInfo; threshold breaches are kWarning; a silent
+  /// node or a pinned window (both mean data has stopped flowing) are
+  /// kCritical.
+  enum class Severity : std::uint8_t {
+    kInfo = 0,
+    kWarning = 1,
+    kCritical = 2,
   };
   Kind kind = Kind::kNodeSilent;
+  Severity severity = Severity::kWarning;
   double timeSec = 0.0;  // monitor clock at detection
   std::string node;
   std::string detail;
 };
 
 const char* alarmKindName(HealthAlarm::Kind k);
+/// The fixed kind → severity mapping (what raise() stamps).
+HealthAlarm::Severity alarmSeverity(HealthAlarm::Kind k);
+const char* severityName(HealthAlarm::Severity s);
 
 /// Loss estimate from reliable-layer counters alone: the fraction of data
 /// transmissions that had to be re-sent. Every lost reliable attempt is
@@ -137,17 +175,32 @@ class HealthMonitor : public core::LogicalProcess {
   std::string renderAlarms(std::size_t maxRows = 8) const;
 
  private:
+  /// Edge-trigger state for one channel of one node (keyed by channel id
+  /// in NodeState). `pinnedPrev` implements the two-consecutive-snapshot
+  /// requirement for window-pinned: a single full window is normal under
+  /// bursty load, a window that never drains is not.
+  struct ChannelAlarmState {
+    bool pinnedPrev = false;
+    bool windowAlarm = false;
+    bool retxAlarm = false;
+  };
+
   struct NodeState {
     NodeHealth health;
     std::optional<NodeTelemetry> keyframe;  // delta base
     bool lossAlarm = false;
     bool retxAlarm = false;
     bool overflowAlarm = false;
+    std::map<std::uint32_t, ChannelAlarmState> channelAlarms;
   };
 
   void applySnapshot(NodeTelemetry&& t, bool isKeyframe);
   void deriveRates(NodeState& st, const NodeTelemetry& prev,
                    const NodeTelemetry& cur);
+  /// Per-channel window/retransmit alarms from two successive channel
+  /// blocks; prunes state for channels that vanished.
+  void deriveChannelAlarms(NodeState& st, const NodeTelemetry& prev,
+                           const NodeTelemetry& cur);
   void raise(HealthAlarm::Kind kind, const std::string& nodeName,
              std::string detail);
 

@@ -295,28 +295,122 @@ TEST_F(MonitorUnit, ThresholdAlarmsAreEdgeTriggered) {
   EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kRetransmitStorm);
   EXPECT_EQ(monitor.alarms()[1].kind, HealthAlarm::Kind::kMailboxOverflow);
   EXPECT_EQ(monitor.alarms()[0].node, "unit");
+  EXPECT_EQ(monitor.alarms()[0].severity, HealthAlarm::Severity::kWarning);
+  EXPECT_EQ(monitor.alarms()[1].severity, HealthAlarm::Severity::kWarning);
 
-  // The storm persists: no new alarm (edge, not level).
+  // The storm persists: no new storm alarm (edge, not level). Overflow is
+  // interval growth, and this interval grew by nothing — its falling edge
+  // lands here.
   NodeTelemetry t3 = record(3, 2.0);
   t3.cb.reliable.retransmitsSent = 1000;
   t3.cb.reliable.dataFramesSent = 20000;
   t3.cb.mailboxOverflows = 3;
   feed(t3);
-  EXPECT_EQ(monitor.alarms().size(), 2u);
+  ASSERT_EQ(monitor.alarms().size(), 3u);
+  EXPECT_EQ(monitor.alarms()[2].kind, HealthAlarm::Kind::kOverflowCleared);
+  EXPECT_EQ(monitor.alarms()[2].severity, HealthAlarm::Severity::kInfo);
 
-  // It subsides, then returns: a fresh alarm.
+  // It subsides (falling edge), then returns: a fresh alarm.
   NodeTelemetry t4 = record(4, 3.0);
   t4.cb.reliable.retransmitsSent = 1000;
   t4.cb.reliable.dataFramesSent = 20000;
   t4.cb.mailboxOverflows = 3;
   feed(t4);
+  ASSERT_EQ(monitor.alarms().size(), 4u);
+  EXPECT_EQ(monitor.alarms()[3].kind, HealthAlarm::Kind::kRetransmitCleared);
+  EXPECT_EQ(monitor.alarms()[3].severity, HealthAlarm::Severity::kInfo);
   NodeTelemetry t5 = record(5, 4.0);
   t5.cb.reliable.retransmitsSent = 1500;
   t5.cb.reliable.dataFramesSent = 30000;
   t5.cb.mailboxOverflows = 3;
   feed(t5);
-  ASSERT_EQ(monitor.alarms().size(), 3u);
-  EXPECT_EQ(monitor.alarms()[2].kind, HealthAlarm::Kind::kRetransmitStorm);
+  ASSERT_EQ(monitor.alarms().size(), 5u);
+  EXPECT_EQ(monitor.alarms()[4].kind, HealthAlarm::Kind::kRetransmitStorm);
+}
+
+TEST_F(MonitorUnit, LossClearPairsWithItsSpike) {
+  NodeTelemetry t1 = record(1, 0.0);
+  t1.transport.framesReceived = 1000;
+  feed(t1);
+  NodeTelemetry t2 = record(2, 1.0);
+  t2.transport.framesReceived = 1070;
+  t2.transport.framesDropped = 30;  // 30% → spike
+  feed(t2);
+  NodeTelemetry t3 = record(3, 2.0);
+  t3.transport.framesReceived = 1170;  // clean interval
+  t3.transport.framesDropped = 30;
+  feed(t3);
+  ASSERT_EQ(monitor.alarms().size(), 2u);
+  EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kLossSpike);
+  EXPECT_EQ(monitor.alarms()[1].kind, HealthAlarm::Kind::kLossCleared);
+  EXPECT_EQ(monitor.alarms()[1].severity, HealthAlarm::Severity::kInfo);
+  EXPECT_EQ(monitor.alarms()[1].node, "unit");
+  // The rendered feed carries the severity column.
+  const std::string rendered = monitor.renderAlarms();
+  EXPECT_NE(rendered.find("WARN"), std::string::npos);
+  EXPECT_NE(rendered.find("INFO"), std::string::npos);
+  EXPECT_NE(rendered.find("LOSS_CLEARED"), std::string::npos);
+}
+
+TEST_F(MonitorUnit, ChannelWindowPinnedAndRetransmitStormAlarms) {
+  auto chan = [](std::uint32_t id, std::uint64_t window, std::uint64_t retx) {
+    core::CbChannelHealth c;
+    c.channelId = id;
+    c.className = "crane.state";
+    c.outbound = true;
+    c.live = true;
+    c.qos = net::QosClass::kReliableOrdered;
+    c.windowFrames = window;
+    c.retransmits = retx;
+    return c;
+  };
+  // t1 → t2: the window is pinned at the cap, but one pinned snapshot is
+  // just bursty load — no alarm until it holds across two. The channel
+  // retransmit storm (100/s ≥ 20/s default) fires right away.
+  NodeTelemetry t1 = record(1, 0.0);
+  t1.channels.push_back(chan(7, 512, 0));
+  feed(t1);
+  NodeTelemetry t2 = record(2, 1.0);
+  t2.channels.push_back(chan(7, 512, 100));
+  feed(t2);
+  ASSERT_EQ(monitor.alarms().size(), 1u);
+  EXPECT_EQ(monitor.alarms()[0].kind,
+            HealthAlarm::Kind::kChannelRetransmitStorm);
+  EXPECT_EQ(monitor.alarms()[0].severity, HealthAlarm::Severity::kWarning);
+  EXPECT_NE(monitor.alarms()[0].detail.find("crane.state"), std::string::npos);
+
+  // t3: still pinned — second consecutive snapshot raises the critical
+  // window alarm; the storm persists without a fresh edge.
+  NodeTelemetry t3 = record(3, 2.0);
+  t3.channels.push_back(chan(7, 512, 200));
+  feed(t3);
+  ASSERT_EQ(monitor.alarms().size(), 2u);
+  EXPECT_EQ(monitor.alarms()[1].kind, HealthAlarm::Kind::kChannelWindowPinned);
+  EXPECT_EQ(monitor.alarms()[1].severity, HealthAlarm::Severity::kCritical);
+
+  // t4: the subscriber acks (window drains) and retransmits stop — both
+  // conditions clear with paired INFO edges.
+  NodeTelemetry t4 = record(4, 3.0);
+  t4.channels.push_back(chan(7, 3, 205));
+  feed(t4);
+  ASSERT_EQ(monitor.alarms().size(), 4u);
+  EXPECT_EQ(monitor.alarms()[2].kind, HealthAlarm::Kind::kChannelWindowCleared);
+  EXPECT_EQ(monitor.alarms()[3].kind,
+            HealthAlarm::Kind::kChannelRetransmitCleared);
+  EXPECT_EQ(monitor.alarms()[2].severity, HealthAlarm::Severity::kInfo);
+
+  // t5: the channel vanishes (teardown) — its edge state goes with it, so
+  // a reappearing pinned channel must again hold two snapshots.
+  NodeTelemetry t5 = record(5, 4.0);
+  feed(t5);
+  NodeTelemetry t6 = record(6, 5.0);
+  t6.channels.push_back(chan(7, 512, 205));
+  feed(t6);
+  NodeTelemetry t7 = record(7, 6.0);
+  t7.channels.push_back(chan(7, 512, 205));
+  feed(t7);
+  ASSERT_EQ(monitor.alarms().size(), 5u);
+  EXPECT_EQ(monitor.alarms()[4].kind, HealthAlarm::Kind::kChannelWindowPinned);
 }
 
 TEST_F(MonitorUnit, LossSpikeFromTransportFrameCounters) {

@@ -11,12 +11,25 @@
 //
 //   node <name>
 //   role <role>
-//   probe-published <finalSeq>
+//   probe-published <finalSeq>      (all roles but mass)
 //   probe <peer> segment <idx> first=<f> last=<l> count=<c> gaps=<g>
 //   probe-summary <peer> segments=<n> dups=<d>
+//   channels-mass out=<o> in=<i> live=<l>     (mass only: this node's
+//                                              mass.* channels at exit)
+//   mass-class <class> reflections=<n> sources=<s>  (mass only)
+//   self-counters updates=<u> data=<d> retx=<r>  (ground truth: the
+//                                              node's own StatRegistry
+//                                              snapshot at exit)
 //   status-updates <n>              (instructor only)
-//   alarm <KIND> <node>             (instructor only, feed order)
-//   loss-est <node> <pct> data=<d> retx=<r>   (instructor only)
+//   alarm <KIND> <node>             (monitor host only, feed order)
+//   loss-est <node> <pct> data=<d> retx=<r>   (monitor host only)
+//   mon-counters <node> updates=<u> data=<d> retx=<r>  (monitor host:
+//                                              the monitor's last view of
+//                                              <node>'s self-counters)
+//   mon-channels <node> out=<o> in=<i>        (monitor host: peak count
+//                                              of <node>'s mass.*
+//                                              channels seen through
+//                                              telemetry over the run)
 //   exit ok                         (always last: truncation marker)
 #pragma once
 
@@ -34,6 +47,14 @@ namespace cod::soak {
 /// own name and subscribes to each peer's. The driver's 100%-in-order
 /// verdict is computed over these streams.
 inline const std::string kProbeClassPrefix = "soak.probe.";
+
+/// Mass-connect object classes: kMassClassPrefix + <k> for k in
+/// [0, --mass-classes). Class k is published by nodes k%N and (k+1)%N of
+/// an N-node mass rack and subscribed by every node, so the rack opens
+/// exactly C*2*(N-1) network channels — the node's MassLp and the
+/// driver's expected-channel-count verdict both derive from this one
+/// assignment rule.
+inline const std::string kMassClassPrefix = "mass.c";
 
 /// One publisher incarnation of a probe stream, as the subscriber saw it:
 /// the record behind the report's `probe ... segment` lines, written by

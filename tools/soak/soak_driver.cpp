@@ -13,12 +13,31 @@
 //      exactly at the publisher's last published sequence (a SIGKILLed
 //      first incarnation is owed only a clean in-order prefix — its
 //      unacked tail died with the process, which no protocol can fix);
-//   3. the instructor's HealthMonitor raised NODE_SILENT and then
+//   3. the monitor host's HealthMonitor raised NODE_SILENT and then
 //      NODE_RECOVERED for the victim;
 //   4. the monitor's reliable-counter loss estimate tracks the injected
 //      rate within --tolerance-pp for every node with enough samples
 //      (real sockets cannot attribute drops, so this estimate is the
-//      deployment's only loss observable — it had better be honest).
+//      deployment's only loss observable — it had better be honest);
+//   5. the monitor's last telemetry view of every node's core counters
+//      matches the node's own StatRegistry dump within
+//      --stat-tolerance-pct (telemetry that silently diverges from
+//      ground truth is worse than none).
+//
+// Two alternate rack shapes:
+//   --mass-connect     N identical `mass` nodes (default 10) open a
+//                      C-class two-publishers-per-class matrix —
+//                      C*2*(N-1) reliable network channels (>= 1000 at
+//                      the defaults). The verdict additionally requires
+//                      every node's mass channel counts to match the
+//                      topology exactly, every class delivered from both
+//                      publishers, and the monitor (on mass-0) to see the
+//                      same channel matrix through telemetry. Kill/
+//                      restart is off by default (it is a connect storm,
+//                      not a failover drill).
+//   --rack=display-heavy  dynamics + dynamics-b (two publishers of every
+//                      crane class), scenario, instructor, and displays
+//                      on the remaining nodes.
 //
 // Node stdout/stderr land in --out/<name>.log; reports in
 // --out/<name>.report. CI uploads the directory as an artifact when the
@@ -59,6 +78,7 @@ struct NodeSpec {
   std::string role;
   int host = 0;
   int displayChannel = 0;
+  int massIndex = 0;
 };
 
 struct Report {
@@ -73,6 +93,20 @@ struct Report {
     std::uint64_t data = 0, retx = 0;
   };
   std::map<std::string, LossEst> lossEst;
+  struct Counters {
+    bool present = false;
+    std::uint64_t updates = 0, data = 0, retx = 0;
+  };
+  Counters self;                                // self-counters
+  std::map<std::string, Counters> monCounters;  // mon-counters, by node
+  struct ChannelCount {
+    bool present = false;
+    std::uint64_t out = 0, in = 0, live = 0;
+  };
+  ChannelCount massChannels;                         // channels-mass
+  std::map<std::string, ChannelCount> monChannels;   // mon-channels
+  // mass-class → (reflections, distinct sources)
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> massClasses;
 };
 
 std::uint64_t kvU64(const std::string& token, const std::string& key) {
@@ -115,6 +149,43 @@ void parseLine(const std::string& line, Report& r) {
       if (auto v = soak::kvToken(tok, "retx")) est.retx = std::stoull(*v);
     }
     r.lossEst[node] = est;
+  } else if (kind == "self-counters" || kind == "mon-counters") {
+    std::string node, tok;
+    if (kind == "mon-counters") ls >> node;
+    Report::Counters c;
+    c.present = true;
+    while (ls >> tok) {
+      if (auto v = soak::kvToken(tok, "updates")) c.updates = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "data")) c.data = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "retx")) c.retx = std::stoull(*v);
+    }
+    if (kind == "mon-counters")
+      r.monCounters[node] = c;
+    else
+      r.self = c;
+  } else if (kind == "channels-mass" || kind == "mon-channels") {
+    std::string node, tok;
+    if (kind == "mon-channels") ls >> node;
+    Report::ChannelCount c;
+    c.present = true;
+    while (ls >> tok) {
+      if (auto v = soak::kvToken(tok, "out")) c.out = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "in")) c.in = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "live")) c.live = std::stoull(*v);
+    }
+    if (kind == "mon-channels")
+      r.monChannels[node] = c;
+    else
+      r.massChannels = c;
+  } else if (kind == "mass-class") {
+    std::string cls, tok;
+    ls >> cls;
+    std::uint64_t refl = 0, src = 0;
+    while (ls >> tok) {
+      if (auto v = soak::kvToken(tok, "reflections")) refl = std::stoull(*v);
+      if (auto v = soak::kvToken(tok, "sources")) src = std::stoull(*v);
+    }
+    r.massClasses[cls] = {refl, src};
   } else if (kind == "exit") {
     std::string status;
     ls >> status;
@@ -150,21 +221,57 @@ class Driver {
     nodeBin_ = args.str("node-bin", "");
     duration_ = args.num("duration", 75.0);
     lossPct_ = args.num("loss", 25.0);
+    massConnect_ = args.has("mass-connect");
+    massClasses_ = static_cast<int>(args.integer("mass-classes", 56));
+    rack_ = args.str("rack", "standard");
     killAt_ = args.num("kill-at", duration_ * 0.33);
     restartAt_ = args.num("restart-at", duration_ * 0.44);
-    victim_ = args.str("victim", "display-0");
     tolerancePp_ = args.num("tolerance-pp", 5.0);
+    statTolerancePct_ = args.num("stat-tolerance-pct", 10.0);
     minLossSamples_ =
         static_cast<std::uint64_t>(args.integer("min-loss-samples", 400));
-    const int nodes = static_cast<int>(args.integer("nodes", 4));
-    specs_.push_back({"dynamics", "dynamics", 0, 0});
-    specs_.push_back({"scenario", "scenario", 1, 0});
-    specs_.push_back({"instructor", "instructor", 2, 0});
-    for (int i = 3; i < nodes; ++i)
-      specs_.push_back({"display-" + std::to_string(i - 3), "display", i,
-                        (i - 3) % 3});
-    if (nodes < 4)
-      throw std::invalid_argument("--nodes must be >= 4 (one per core role)");
+    const int nodes =
+        static_cast<int>(args.integer("nodes", massConnect_ ? 10 : 4));
+    if (massConnect_) {
+      // The 1000-LP bar needs the channel matrix C*2*(N-1) >= 1000.
+      if (nodes < 8)
+        throw std::invalid_argument("--mass-connect needs --nodes >= 8");
+      if (massClasses_ < 1)
+        throw std::invalid_argument("--mass-classes must be >= 1");
+      for (int i = 0; i < nodes; ++i)
+        specs_.push_back(
+            {"mass-" + std::to_string(i), "mass", i, 0, i});
+      monitorNode_ = "mass-0";
+      // A connect storm, not a failover drill: kill/restart only when
+      // explicitly requested.
+      if (!args.has("kill-at")) killAt_ = duration_ + 1.0;
+      victim_ = args.str("victim", specs_.back().name);
+    } else if (rack_ == "display-heavy") {
+      // Two dynamics publishers of every crane class, and every spare
+      // node a display — the fan-out-heavy shape of a licensure rack.
+      if (nodes < 5)
+        throw std::invalid_argument("--rack=display-heavy needs --nodes >= 5");
+      specs_.push_back({"dynamics", "dynamics", 0, 0, 0});
+      specs_.push_back({"dynamics-b", "dynamics", 1, 0, 0});
+      specs_.push_back({"scenario", "scenario", 2, 0, 0});
+      specs_.push_back({"instructor", "instructor", 3, 0, 0});
+      for (int i = 4; i < nodes; ++i)
+        specs_.push_back({"display-" + std::to_string(i - 4), "display", i,
+                          (i - 4) % 3, 0});
+      monitorNode_ = "instructor";
+      victim_ = args.str("victim", "display-0");
+    } else {
+      if (nodes < 4)
+        throw std::invalid_argument("--nodes must be >= 4 (one per core role)");
+      specs_.push_back({"dynamics", "dynamics", 0, 0, 0});
+      specs_.push_back({"scenario", "scenario", 1, 0, 0});
+      specs_.push_back({"instructor", "instructor", 2, 0, 0});
+      for (int i = 3; i < nodes; ++i)
+        specs_.push_back({"display-" + std::to_string(i - 3), "display", i,
+                          (i - 3) % 3, 0});
+      monitorNode_ = "instructor";
+      victim_ = args.str("victim", "display-0");
+    }
     // A typo'd victim must die here: at kill time an unknown name would
     // default-insert pid 0 into the table and ::kill(0, SIGKILL) would
     // take out the driver's whole process group.
@@ -304,11 +411,21 @@ class Driver {
     for (const char* key :
          {"dup", "reorder", "delay-ms", "jitter-ms", "seed", "probe-hz",
           "quiesce", "telemetry-interval", "silent-after", "channel-timeout",
-          "heartbeat", "ack-interval"}) {
+          "heartbeat", "ack-interval", "shards", "mass-hz",
+          "keyframe-interval"}) {
       if (args_.has(key))
         argStrs.push_back("--" + std::string(key) + "=" +
                           args_.str(key, ""));
     }
+    if (s.role == "mass") {
+      argStrs.push_back("--mass-classes=" + std::to_string(massClasses_));
+      argStrs.push_back("--mass-nodes=" + std::to_string(specs_.size()));
+      argStrs.push_back("--mass-index=" + std::to_string(s.massIndex));
+    }
+    // The monitor host: the instructor role brings its own; any other
+    // shape (mass-0) gets an explicit monitor.
+    if (s.name == monitorNode_ && s.role != "instructor")
+      argStrs.push_back("--monitor=1");
 
     const std::string logPath = outDir_ + "/" + s.name + ".log";
     const pid_t pid = ::fork();
@@ -356,62 +473,129 @@ class Driver {
             "report complete: " + s.name);
     }
 
-    // Reliable probe streams: 100% in-order delivery.
-    for (const NodeSpec& sub : specs_) {
-      const Report& r = reports[sub.name];
-      for (const NodeSpec& pub : specs_) {
-        if (pub.name == sub.name) continue;
-        const auto it = r.streams.find(pub.name);
-        std::ostringstream what;
-        what << "stream " << pub.name << " -> " << sub.name;
-        if (it == r.streams.end()) {
-          check(false, what.str() + ": never connected");
-          continue;
+    // Reliable probe streams: 100% in-order delivery. (The mass rack
+    // runs no probes — delivery is judged per mass class instead.)
+    if (!massConnect_) {
+      for (const NodeSpec& sub : specs_) {
+        const Report& r = reports[sub.name];
+        for (const NodeSpec& pub : specs_) {
+          if (pub.name == sub.name) continue;
+          const auto it = r.streams.find(pub.name);
+          std::ostringstream what;
+          what << "stream " << pub.name << " -> " << sub.name;
+          if (it == r.streams.end()) {
+            check(false, what.str() + ": never connected");
+            continue;
+          }
+          const std::vector<Segment>& segs = it->second;
+          std::uint64_t gaps = 0, delivered = 0;
+          for (const Segment& seg : segs) {
+            gaps += seg.gaps;
+            delivered += seg.count;
+          }
+          const std::uint64_t dups =
+              r.dups.count(pub.name) ? r.dups.at(pub.name) : 0;
+          const bool isVictimPub = pub.name == victim_;
+          // A publisher that lived to the end is owed delivery through its
+          // final sequence; a SIGKILLed incarnation only through the last
+          // frame its successor's report cannot know — so judge the final
+          // segment against the final incarnation's published count.
+          const std::uint64_t expectLast = reports[pub.name].published;
+          const std::size_t maxSegs =
+              isVictimPub && sub.name != victim_ ? 2 : 1;
+          const Segment& lastSeg = segs.back();
+          std::ostringstream detail;
+          detail << what.str() << ": " << delivered << " frames, "
+                 << segs.size() << " segment(s), gaps=" << gaps
+                 << " dups=" << dups << " last=" << lastSeg.last << "/"
+                 << expectLast;
+          check(segs.size() <= maxSegs && gaps == 0 && dups == 0 &&
+                    lastSeg.last == expectLast,
+                detail.str());
         }
-        const std::vector<Segment>& segs = it->second;
-        std::uint64_t gaps = 0, delivered = 0;
-        for (const Segment& seg : segs) {
-          gaps += seg.gaps;
-          delivered += seg.count;
-        }
-        const std::uint64_t dups =
-            r.dups.count(pub.name) ? r.dups.at(pub.name) : 0;
-        const bool isVictimPub = pub.name == victim_;
-        // A publisher that lived to the end is owed delivery through its
-        // final sequence; a SIGKILLed incarnation only through the last
-        // frame its successor's report cannot know — so judge the final
-        // segment against the final incarnation's published count.
-        const std::uint64_t expectLast = reports[pub.name].published;
-        const std::size_t maxSegs = isVictimPub && sub.name != victim_ ? 2 : 1;
-        const Segment& lastSeg = segs.back();
-        std::ostringstream detail;
-        detail << what.str() << ": " << delivered << " frames, "
-               << segs.size() << " segment(s), gaps=" << gaps
-               << " dups=" << dups << " last=" << lastSeg.last << "/"
-               << expectLast;
-        check(segs.size() <= maxSegs && gaps == 0 && dups == 0 &&
-                  lastSeg.last == expectLast,
-              detail.str());
       }
     }
 
-    // Victim lifecycle alarms from the instructor's monitor.
-    const Report& instr = reports["instructor"];
-    std::size_t silentIdx = instr.alarms.size();
-    bool recoveredAfter = false;
-    for (std::size_t i = 0; i < instr.alarms.size(); ++i) {
-      const auto& [kind, node] = instr.alarms[i];
-      if (node != victim_) continue;
-      if (kind == "NODE_SILENT" && silentIdx == instr.alarms.size())
-        silentIdx = i;
-      if (kind == "NODE_RECOVERED" && silentIdx < i) recoveredAfter = true;
+    // The mass-connect matrix: exact channel counts per node, every
+    // class delivered from both of its publishers, and the monitor's
+    // telemetry view agreeing with the topology.
+    const Report& instr = reports[monitorNode_];
+    if (massConnect_) {
+      const int n = static_cast<int>(specs_.size());
+      const int c = massClasses_;
+      std::uint64_t totalNetworkChannels = 0;
+      for (const NodeSpec& s : specs_) {
+        const Report& r = reports[s.name];
+        // Same assignment rule as MassLp::publishes — class k is owned
+        // by nodes k%N and (k+1)%N.
+        std::uint64_t pubs = 0;
+        for (int k = 0; k < c; ++k)
+          if (k % n == s.massIndex || (k + 1) % n == s.massIndex) ++pubs;
+        const std::uint64_t expectOut = pubs * (n - 1);
+        const std::uint64_t expectIn = 2ull * c - pubs;
+        totalNetworkChannels += expectOut;
+        std::ostringstream what;
+        what << "channels " << s.name << ": out=" << r.massChannels.out << "/"
+             << expectOut << " in=" << r.massChannels.in << "/" << expectIn
+             << " live=" << r.massChannels.live << "/"
+             << expectOut + expectIn;
+        check(r.massChannels.present && r.massChannels.out == expectOut &&
+                  r.massChannels.in == expectIn &&
+                  r.massChannels.live == expectOut + expectIn,
+              what.str());
+        std::uint64_t delivered = 0;
+        bool deliveryOk = r.massClasses.size() == static_cast<std::size_t>(c);
+        for (const auto& [cls, refSrc] : r.massClasses) {
+          if (refSrc.first == 0 || refSrc.second != 2) deliveryOk = false;
+          delivered += refSrc.first;
+        }
+        std::ostringstream dwhat;
+        dwhat << "delivery " << s.name << ": " << r.massClasses.size() << "/"
+              << c << " classes from both publishers, " << delivered
+              << " reflections";
+        check(deliveryOk, dwhat.str());
+        const auto mit = instr.monChannels.find(s.name);
+        std::ostringstream twhat;
+        twhat << "telemetry sees " << s.name << "'s channel matrix";
+        if (mit == instr.monChannels.end()) {
+          check(false, twhat.str() + ": no mon-channels record");
+        } else {
+          twhat << ": out=" << mit->second.out << "/" << expectOut
+                << " in=" << mit->second.in << "/" << expectIn;
+          check(mit->second.out == expectOut && mit->second.in == expectIn,
+                twhat.str());
+        }
+      }
+      std::ostringstream what;
+      what << "mass rack opens >= 1000 network channels ("
+           << totalNetworkChannels << ")";
+      check(totalNetworkChannels >= 1000, what.str());
     }
-    check(silentIdx < instr.alarms.size(),
-          "monitor raised NODE_SILENT for " + victim_);
-    check(recoveredAfter, "monitor raised NODE_RECOVERED for " + victim_);
 
-    // Reliable-counter loss estimate vs injected ground truth.
-    for (const NodeSpec& s : specs_) {
+    // Victim lifecycle alarms from the monitor host (skipped when the
+    // kill was disabled — nothing went silent by design).
+    if (killAt_ <= duration_) {
+      std::size_t silentIdx = instr.alarms.size();
+      bool recoveredAfter = false;
+      for (std::size_t i = 0; i < instr.alarms.size(); ++i) {
+        const auto& [kind, node] = instr.alarms[i];
+        if (node != victim_) continue;
+        if (kind == "NODE_SILENT" && silentIdx == instr.alarms.size())
+          silentIdx = i;
+        if (kind == "NODE_RECOVERED" && silentIdx < i) recoveredAfter = true;
+      }
+      check(silentIdx < instr.alarms.size(),
+            "monitor raised NODE_SILENT for " + victim_);
+      check(recoveredAfter, "monitor raised NODE_RECOVERED for " + victim_);
+    }
+
+    // Reliable-counter loss estimate vs injected ground truth. Skipped in
+    // mass mode: its 2–4 Hz per-class streams are tail-dominated (nearly
+    // every frame is the last of a burst), so the tail-RTO's spurious
+    // retransmits of already-delivered frames bias the estimate well
+    // above the injected rate. The standard rack's 40 Hz probe streams
+    // are where the estimate is accountable.
+    for (const NodeSpec& s : massConnect_ ? std::vector<NodeSpec>{} : specs_) {
       const auto it = instr.lossEst.find(s.name);
       std::ostringstream what;
       if (it == instr.lossEst.end()) {
@@ -430,6 +614,37 @@ class Driver {
       check(std::fabs(est.pct - lossPct_) <= tolerancePp_, what.str());
     }
 
+    // Telemetry counters vs node-local ground truth: the monitor's last
+    // view of each node must match the node's own exit-time StatRegistry
+    // dump. The monitor's snapshot is up to one telemetry interval older
+    // than the dump, so an absolute floor plus a relative tolerance
+    // absorbs the final interval's traffic — anything beyond that is
+    // telemetry corrupting counters in flight.
+    for (const NodeSpec& s : specs_) {
+      const Report& r = reports[s.name];
+      const auto it = instr.monCounters.find(s.name);
+      std::ostringstream what;
+      what << "telemetry counters track ground truth for " << s.name;
+      if (!r.self.present || it == instr.monCounters.end()) {
+        check(false, what.str() + ": record missing");
+        continue;
+      }
+      const Report::Counters& mon = it->second;
+      const auto close = [&](std::uint64_t self, std::uint64_t seen) {
+        const double tol =
+            std::max(20.0, static_cast<double>(self) * statTolerancePct_ /
+                               100.0);
+        return std::fabs(static_cast<double>(self) -
+                         static_cast<double>(seen)) <= tol;
+      };
+      what << ": updates " << mon.updates << "/" << r.self.updates << " data "
+           << mon.data << "/" << r.self.data << " retx " << mon.retx << "/"
+           << r.self.retx << " (tol " << statTolerancePct_ << "%)";
+      check(close(r.self.updates, mon.updates) &&
+                close(r.self.data, mon.data) && close(r.self.retx, mon.retx),
+            what.str());
+    }
+
     std::printf("VERDICT: %s (%d failure%s)\n", failures_ == 0 ? "PASS" : "FAIL",
                 failures_, failures_ == 1 ? "" : "s");
     return failures_ == 0;
@@ -438,9 +653,11 @@ class Driver {
   soak::Args args_;
   std::vector<NodeSpec> specs_;
   std::map<std::string, pid_t> pids_;
-  std::string outDir_, nodeBin_, victim_;
+  std::string outDir_, nodeBin_, victim_, rack_, monitorNode_;
+  bool massConnect_ = false;
+  int massClasses_ = 56;
   double duration_ = 0.0, lossPct_ = 0.0, killAt_ = 0.0, restartAt_ = 0.0;
-  double tolerancePp_ = 5.0;
+  double tolerancePp_ = 5.0, statTolerancePct_ = 10.0;
   std::uint64_t minLossSamples_ = 400;
   std::uint16_t basePort_ = 0;
   int portsPerHost_ = 4, maxHosts_ = 0;

@@ -3,17 +3,23 @@
 // Runs one CraneSimulatorApp role (dynamics / scenario / display /
 // instructor, selected by --role) on its own CommunicationBackbone over a
 // real UdpTransport on loopback, wrapped in net::ImpairedTransport so the
-// process lives on a genuinely lossy, reordering network. Every node also
-// runs:
+// process lives on a genuinely lossy, reordering network. The extra role
+// `mass` runs no sim module: it is the 1000-channel mass-connect
+// exercise, publishing/subscribing a dense mass.c<k> class matrix
+// (--mass-classes / --mass-nodes / --mass-index). Every node also runs:
 //   * a TelemetryPublisher — its cod.telemetry feed, like every computer
 //     of a production rack;
-//   * a probe LP publishing a reliable soak.probe.<name> stream (one
-//     monotonic sequence per process lifetime) and subscribing to every
-//     peer's, recording exactly what arrived for the driver's
-//     100%-in-order verdict;
-//   * (instructor only) a HealthMonitor aggregating the cluster — the rig
-//     watches itself, with loss derived from reliable-layer counters
-//     because real sockets cannot attribute drops.
+//   * (all but mass) a probe LP publishing a reliable soak.probe.<name>
+//     stream (one monotonic sequence per process lifetime) and
+//     subscribing to every peer's, recording exactly what arrived for the
+//     driver's 100%-in-order verdict;
+//   * (instructor, or any node given --monitor) a HealthMonitor
+//     aggregating the cluster — the rig watches itself, with loss derived
+//     from reliable-layer counters because real sockets cannot attribute
+//     drops.
+//
+// --shards sets CommunicationBackbone::Config::shards, so the soak drives
+// the sharded routing core exactly as a production rack would.
 //
 // The node ticks on the wall clock until --duration, stops publishing
 // probes --quiesce seconds early (so retransmits can drain), then writes
@@ -21,12 +27,14 @@
 // pass/fail judgement; this binary only records.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <set>
 #include <system_error>
 #include <thread>
 #include <vector>
@@ -41,6 +49,7 @@
 #include "sim/scenario_module.hpp"
 #include "telemetry/monitor.hpp"
 #include "telemetry/publisher.hpp"
+#include "telemetry/registry.hpp"
 #include "tools/soak/soak_common.hpp"
 
 namespace {
@@ -132,6 +141,86 @@ class ProbeLp final : public core::LogicalProcess {
   std::map<std::string, PeerStream> streams_;
 };
 
+/// The mass-connect exercise: one LP standing in for dozens of small
+/// simulation objects. It subscribes to every mass.c<k> class of the rack
+/// and publishes the slice this node owns — class k is published by nodes
+/// k%N and (k+1)%N, two publishers per class — all reliable, so a C-class
+/// N-node rack opens C*2*(N-1) network channels plus local fast-path
+/// links. Per class it records reflections and the set of distinct source
+/// nodes, for the driver's every-channel-delivers verdict. The class
+/// names share prefixes and spread across the CB's routing shards by
+/// classNameHash, so this is also the sharded core's torture test.
+class MassLp final : public core::LogicalProcess {
+ public:
+  MassLp(std::uint32_t classes, std::uint32_t nodes, std::uint32_t index,
+         double hz)
+      : core::LogicalProcess("mass-" + std::to_string(index)),
+        classes_(classes),
+        nodes_(nodes),
+        index_(index),
+        intervalSec_(hz > 0.0 ? 1.0 / hz : 0.0) {}
+
+  static std::string className(std::uint32_t k) {
+    return soak::kMassClassPrefix + std::to_string(k);
+  }
+  /// The driver derives per-node channel expectations from this same
+  /// assignment — keep the two in lockstep (soak_common.hpp documents it).
+  bool publishes(std::uint32_t k) const {
+    return k % nodes_ == index_ || (k + 1) % nodes_ == index_;
+  }
+
+  void bind(core::CommunicationBackbone& cb) {
+    cb_ = &cb;
+    cb.attach(*this);
+    for (std::uint32_t k = 0; k < classes_; ++k) {
+      cb.subscribeObjectClass(*this, className(k),
+                              net::QosClass::kReliableOrdered);
+      if (publishes(k))
+        pubs_.push_back(cb.publishObjectClass(*this, className(k),
+                                              net::QosClass::kReliableOrdered));
+    }
+  }
+
+  void stopPublishing() { publishing_ = false; }
+
+  struct ClassRecord {
+    std::uint64_t reflections = 0;
+    std::set<std::int64_t> sources;  // publisher node indices seen
+  };
+  const std::map<std::string, ClassRecord>& records() const { return records_; }
+
+  void reflectAttributeValues(const std::string& className,
+                              const core::AttributeSet& attrs,
+                              double /*timestamp*/) override {
+    if (className.rfind(soak::kMassClassPrefix, 0) != 0) return;
+    ClassRecord& rec = records_[className];
+    ++rec.reflections;
+    if (const core::AttributeValue* v = attrs.find("src"))
+      rec.sources.insert(v->asInt());
+  }
+
+  void step(double now) override {
+    if (!publishing_ || intervalSec_ <= 0.0) return;
+    if (now - lastPublish_ < intervalSec_) return;
+    lastPublish_ = now;
+    core::AttributeSet a;
+    a.set("seq", static_cast<std::int64_t>(++seq_));
+    a.set("src", static_cast<std::int64_t>(index_));
+    for (const core::PublicationHandle h : pubs_)
+      cb_->updateAttributeValues(h, a, now);
+  }
+
+ private:
+  std::uint32_t classes_, nodes_, index_;
+  double intervalSec_;
+  core::CommunicationBackbone* cb_ = nullptr;
+  std::vector<core::PublicationHandle> pubs_;
+  bool publishing_ = true;
+  double lastPublish_ = -1e300;
+  std::uint64_t seq_ = 0;
+  std::map<std::string, ClassRecord> records_;
+};
+
 int run(int argc, char** argv) {
   const soak::Args args(argc, argv);
   const std::string name = args.required("name");
@@ -192,6 +281,7 @@ int run(int argc, char** argv) {
   // spurious retransmits of already-delivered frames would bias the
   // reliable-layer loss estimate upward.
   cbCfg.reliable.ackIntervalSec = args.num("ack-interval", 0.05);
+  cbCfg.shards = static_cast<std::uint32_t>(args.integer("shards", 1));
   core::CommunicationBackbone cb(name, std::move(transport), cbCfg);
 
   // The role module (the real thing, not a mock — the soak rig must push
@@ -202,7 +292,15 @@ int run(int argc, char** argv) {
   std::unique_ptr<sim::VisualDisplayModule> display;
   std::unique_ptr<sim::InstructorModule> instructor;
   std::unique_ptr<telemetry::HealthMonitor> monitor;
-  if (role == "dynamics") {
+  std::unique_ptr<MassLp> mass;
+  if (role == "mass") {
+    mass = std::make_unique<MassLp>(
+        static_cast<std::uint32_t>(args.integer("mass-classes", 56)),
+        static_cast<std::uint32_t>(args.integer("mass-nodes", 1)),
+        static_cast<std::uint32_t>(args.integer("mass-index", 0)),
+        args.num("mass-hz", 2.0));
+    mass->bind(cb);
+  } else if (role == "dynamics") {
     sim::DynamicsModule::Config dc;
     dc.course = course;
     dynamics = std::make_unique<sim::DynamicsModule>(dc);
@@ -231,31 +329,85 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "unknown --role=%s\n", role.c_str());
     return 2;
   }
+  // Any node can host the cluster monitor (--monitor); the instructor
+  // role always does. In the mass-connect rack mass-0 takes the duty.
+  if (monitor == nullptr && args.has("monitor")) {
+    telemetry::MonitorConfig mc;
+    mc.expectedIntervalSec = args.num("telemetry-interval", 1.0);
+    mc.silentAfterIntervals = args.num("silent-after", 3.0);
+    monitor = std::make_unique<telemetry::HealthMonitor>(mc);
+    monitor->bind(cb);
+  }
 
   telemetry::TelemetryConfig tcfg;
   tcfg.intervalSec = args.num("telemetry-interval", 1.0);
+  tcfg.keyframeInterval =
+      static_cast<std::uint32_t>(args.integer("keyframe-interval", 10));
   telemetry::TelemetryPublisher tpub(tcfg);
   tpub.bind(cb);
 
-  ProbeLp probe(name, probeHz);
-  probe.bind(cb, peers);
+  // The mass role keeps its channel matrix pure: no probe streams, so the
+  // driver's channel-count expectations stay exact.
+  std::unique_ptr<ProbeLp> probe;
+  if (role != "mass") {
+    probe = std::make_unique<ProbeLp>(name, probeHz);
+    probe->bind(cb, peers);
+  }
 
   // ---- Main loop: wall clock, ~1 ms tick cadence ------------------------
   const double stopProbesAt = duration - quiesce;
   double nextStatus = 5.0;
   double now = 0.0;
+  // The mass channel matrix is sampled when publishing stops, not at
+  // exit: every node is still alive at the quiesce boundary, while at
+  // exit time slightly-earlier-finishing peers have already sent their
+  // BYEs and torn half the matrix down.
+  std::vector<core::CbChannelHealth> massMatrix;
+  bool massMatrixSampled = false;
+  // The monitor's view of each peer's mass matrix, as the *peak* counts
+  // seen across the run — the final snapshot would race peer teardown the
+  // same way the node's own exit-time sample does.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> monPeak;
+  double nextMonSample = 0.0;
   while ((now = wallSec()) < duration) {
-    if (now >= stopProbesAt) probe.stopPublishing();
+    if (now >= stopProbesAt) {
+      if (probe) probe->stopPublishing();
+      if (mass) mass->stopPublishing();
+      if (mass && !massMatrixSampled) {
+        massMatrixSampled = true;
+        massMatrix = cb.channelHealth();
+      }
+    }
     cb.tick(now);
+    if (monitor && mass && now >= nextMonSample) {
+      nextMonSample = now + 0.25;
+      for (const std::string& n : monitor->nodeNames()) {
+        const telemetry::NodeHealth* h = monitor->node(n);
+        if (h == nullptr) continue;
+        std::uint64_t o = 0, i = 0;
+        for (const core::CbChannelHealth& c : h->last.channels) {
+          if (c.className.rfind(soak::kMassClassPrefix, 0) != 0) continue;
+          ++(c.outbound ? o : i);
+        }
+        auto& peak = monPeak[n];
+        peak.first = std::max(peak.first, o);
+        peak.second = std::max(peak.second, i);
+      }
+    }
     if (now >= nextStatus) {
       nextStatus += 5.0;
-      std::printf("[%s] t=%5.1f published=%llu retx=%llu timedOut=%llu\n",
+      std::printf("[%s] t=%5.1f updates=%llu retx=%llu timedOut=%llu\n",
                   name.c_str(), now,
-                  static_cast<unsigned long long>(probe.published()),
+                  static_cast<unsigned long long>(cb.stats().updatesSent),
                   static_cast<unsigned long long>(
                       cb.stats().reliable.retransmitsSent),
                   static_cast<unsigned long long>(cb.stats().channelsTimedOut));
-      if (monitor) std::fputs(instructor->renderClusterText().c_str(), stdout);
+      if (instructor) {
+        std::fputs(instructor->renderClusterText().c_str(), stdout);
+      } else if (monitor) {
+        std::fputs(monitor->renderTable().c_str(), stdout);
+        std::fputs(monitor->renderAlarms().c_str(), stdout);
+      }
       std::fflush(stdout);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -270,16 +422,41 @@ int run(int argc, char** argv) {
   }
   out << "node " << name << "\n";
   out << "role " << role << "\n";
-  out << "probe-published " << probe.published() << "\n";
-  for (const auto& [peer, st] : probe.streams()) {
-    std::size_t idx = 0;
-    for (const Segment& seg : st.segments) {
-      out << "probe " << peer << " segment " << idx++ << " first=" << seg.first
-          << " last=" << seg.last << " count=" << seg.count
-          << " gaps=" << seg.gaps << "\n";
+  if (probe) {
+    out << "probe-published " << probe->published() << "\n";
+    for (const auto& [peer, st] : probe->streams()) {
+      std::size_t idx = 0;
+      for (const Segment& seg : st.segments) {
+        out << "probe " << peer << " segment " << idx++
+            << " first=" << seg.first << " last=" << seg.last
+            << " count=" << seg.count << " gaps=" << seg.gaps << "\n";
+      }
+      out << "probe-summary " << peer << " segments=" << st.segments.size()
+          << " dups=" << st.duplicates << "\n";
     }
-    out << "probe-summary " << peer << " segments=" << st.segments.size()
-        << " dups=" << st.duplicates << "\n";
+  }
+  if (mass) {
+    if (!massMatrixSampled) massMatrix = cb.channelHealth();
+    std::uint64_t outCh = 0, inCh = 0, liveCh = 0;
+    for (const core::CbChannelHealth& c : massMatrix) {
+      if (c.className.rfind(soak::kMassClassPrefix, 0) != 0) continue;
+      ++(c.outbound ? outCh : inCh);
+      if (c.live) ++liveCh;
+    }
+    out << "channels-mass out=" << outCh << " in=" << inCh
+        << " live=" << liveCh << "\n";
+    for (const auto& [cls, rec] : mass->records())
+      out << "mass-class " << cls << " reflections=" << rec.reflections
+          << " sources=" << rec.sources.size() << "\n";
+  }
+  // Ground truth for the driver's telemetry diff: the same StatRegistry
+  // record the telemetry publisher ships, taken at exit.
+  {
+    telemetry::StatRegistry registry(cb);
+    const telemetry::NodeTelemetry t = registry.snapshot(now);
+    out << "self-counters updates=" << t.cb.updatesSent
+        << " data=" << t.cb.reliable.dataFramesSent
+        << " retx=" << t.cb.reliable.retransmitsSent << "\n";
   }
   if (instructor) out << "status-updates " << instructor->statusUpdatesSeen() << "\n";
   if (monitor) {
@@ -298,11 +475,20 @@ int run(int argc, char** argv) {
                                                 r.retransmitsSent)
           << " data=" << r.dataFramesSent << " retx=" << r.retransmitsSent
           << "\n";
+      // The monitor-side view of the same counters the node dumps in its
+      // own self-counters line; the driver diffs the two.
+      out << "mon-counters " << n << " updates=" << h->last.cb.updatesSent
+          << " data=" << r.dataFramesSent << " retx=" << r.retransmitsSent
+          << "\n";
+      const auto pk = monPeak.find(n);
+      if (pk != monPeak.end())
+        out << "mon-channels " << n << " out=" << pk->second.first
+            << " in=" << pk->second.second << "\n";
     }
   }
   out << "exit ok\n";
-  std::printf("[%s] done: published=%llu report=%s\n", name.c_str(),
-              static_cast<unsigned long long>(probe.published()),
+  std::printf("[%s] done: updates=%llu report=%s\n", name.c_str(),
+              static_cast<unsigned long long>(cb.stats().updatesSent),
               reportPath.c_str());
   return 0;
 }
