@@ -1,6 +1,7 @@
 #include "core/cb.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 namespace cod::core {
@@ -34,6 +35,7 @@ CommunicationBackbone::CommunicationBackbone(
   shards_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i)
     shards_.push_back(std::make_unique<CbShard>(*this, i));
+  if (cfg_.trace != nullptr) traceLane_ = cfg_.trace->registerLane(name_);
 }
 
 CommunicationBackbone::CommunicationBackbone(
@@ -100,9 +102,16 @@ void CommunicationBackbone::stageSend(const net::NodeAddr& dst,
 
 void CommunicationBackbone::stageSend(std::uint32_t slot,
                                       std::span<const std::uint8_t> frame) {
+  // Staging itself is not recorded per frame — the flush event carries
+  // the frame count, and a per-frame instant here would be the single
+  // largest event source in a busy mesh (3+ per tick).
   PeerBatch& b = peerBatches_[slot];
   if (!cfg_.batch.enabled) {
     transport_->send(b.addr, frame);
+    hists_.flushBytes.record(static_cast<double>(frame.size()));
+    if (tracing())
+      traceEvent(telemetry::TraceEventKind::kDatagramSend, now_, 0.0,
+                 frame.size());
     return;
   }
   if (!b.builder.empty() &&
@@ -117,6 +126,10 @@ void CommunicationBackbone::stageSend(std::uint32_t slot,
     // bare frame is wire-compatible; the transport fragments if it must).
     transport_->send(b.addr, frame);
     ++stats_.batch.oversizeSends;
+    hists_.flushBytes.record(static_cast<double>(frame.size()));
+    if (tracing())
+      traceEvent(telemetry::TraceEventKind::kDatagramSend, now_, 0.0,
+                 frame.size());
     return;
   }
   b.builder.append(frame);
@@ -124,18 +137,29 @@ void CommunicationBackbone::stageSend(std::uint32_t slot,
 
 void CommunicationBackbone::flushSlot(PeerBatch& b) {
   if (b.builder.empty()) return;
-  if (b.builder.frameCount() == 1) {
+  const std::size_t frames = b.builder.frameCount();
+  std::size_t sentBytes;
+  if (frames == 1) {
     // A one-frame container is pure overhead — and stripping it keeps a
     // lone message byte-identical to the un-batched protocol.
-    transport_->send(b.addr, b.builder.soloFrame());
+    const auto solo = b.builder.soloFrame();
+    transport_->send(b.addr, solo);
     ++stats_.batch.soloFlushes;
+    sentBytes = solo.size();
   } else {
     const auto bytes = b.builder.bytes();
     transport_->send(b.addr, bytes);
     ++stats_.batch.datagramsCoalesced;
-    stats_.batch.framesCoalesced += b.builder.frameCount();
+    stats_.batch.framesCoalesced += frames;
     stats_.batch.containerBytesSent += bytes.size();
+    sentBytes = bytes.size();
   }
+  hists_.flushBytes.record(static_cast<double>(sentBytes));
+  // One event per container: the flush IS the datagram send (bytes +
+  // frame count); a paired kDatagramSend would double the volume.
+  if (tracing())
+    traceEvent(telemetry::TraceEventKind::kBatchFlush, now_, 0.0, sentBytes,
+               frames);
   b.builder.clear();
 }
 
@@ -364,6 +388,10 @@ CbShardLoad CommunicationBackbone::shardLoad(std::uint32_t shard) const {
 }
 
 void CommunicationBackbone::tick(double now) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  const std::uint64_t ordinal = tickOrdinal_++;
+  // No kTickBegin event: the kTickEnd span already carries the tick's
+  // start time and duration, and the hot path budgets every record().
   now_ = now;
   while (auto d = transport_->receive()) handleDatagram(*d, now);
   runTimers(now);
@@ -379,9 +407,18 @@ void CommunicationBackbone::tick(double now) {
   // The flush point: everything staged this tick — handler replies, timer
   // traffic, LP-step updates — leaves as one datagram per peer.
   flushBatches();
+  const double wallDur =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  hists_.tickDurationSec.record(wallDur);
+  if (tracing())
+    traceEvent(telemetry::TraceEventKind::kTickEnd, now, wallDur, ordinal);
 }
 
 void CommunicationBackbone::handleDatagram(const net::Datagram& d, double now) {
+  if (tracing())
+    traceEvent(telemetry::TraceEventKind::kDatagramRecv, now, 0.0,
+               d.payload.size());
   if (!d.payload.empty() &&
       d.payload.front() == static_cast<std::uint8_t>(MsgType::kBatch)) {
     // Container from a batching sender: walk the length-prefixed

@@ -52,6 +52,8 @@
 #include "core/value.hpp"
 #include "net/reliable.hpp"
 #include "net/transport.hpp"
+#include "telemetry/hist.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cod::core {
 
@@ -204,6 +206,17 @@ class CommunicationBackbone {
       bool flushReliableUpdates = false;
     };
     Batch batch;
+    /// Optional flight recorder (telemetry/trace.hpp). Not owned; may be
+    /// shared by several CBs (each registers its own lane). Hot paths
+    /// record into it only while it exists and is enabled, so a null
+    /// pointer costs one branch per site.
+    telemetry::TraceRecorder* trace = nullptr;
+    /// End-to-end latency sampling: every Nth update of each publication
+    /// with reliable channels carries a trace tag whose WINDOW_ACK echo
+    /// yields publish -> in-order-release latency (histograms() /
+    /// telemetry record). 0 disables sampling — the wire is then
+    /// byte-identical to a trace-free build.
+    std::uint32_t traceSampleEvery = 0;
   };
 
   /// `transport` is this computer's socket; by convention every CB of a
@@ -302,8 +315,25 @@ class CommunicationBackbone {
   /// Table sizes of one shard, for balance checks in tests and tooling.
   CbShardLoad shardLoad(std::uint32_t shard) const;
 
+  /// Latency/size histograms this CB maintains (telemetry record v3):
+  /// delivery latency of sampled reliable updates, tick duration, flush
+  /// sizes and retransmit delay.
+  const telemetry::CbHistograms& histograms() const { return hists_; }
+
  private:
   friend class CbShard;
+
+  /// True while hot paths should pay for trace records.
+  bool tracing() const {
+    return cfg_.trace != nullptr && cfg_.trace->enabled();
+  }
+  /// Record one flight-recorder event on this CB's lane. Call only under
+  /// a tracing() guard (keeps the disabled cost to one branch).
+  void traceEvent(telemetry::TraceEventKind kind, double tsSec,
+                  double durSec = 0.0, std::uint64_t a = 0,
+                  std::uint64_t b = 0) {
+    cfg_.trace->record(kind, traceLane_, tsSec, durSec, a, b);
+  }
 
   void handleDatagram(const net::Datagram& d, double now);
   /// Route one decoded message to the shard that owns it (sub-frames of a
@@ -409,6 +439,9 @@ class CommunicationBackbone {
   std::uint32_t nextHandle_ = 1;
   std::uint32_t nextChannelId_ = 1;
   CbStats stats_;
+  telemetry::CbHistograms hists_;
+  std::uint16_t traceLane_ = 0;  // our lane in cfg_.trace (if attached)
+  std::uint64_t tickOrdinal_ = 0;
   /// Reusable UPDATE frame for updateAttributeValues: encoded once per
   /// update, channel id patched per channel, capacity kept across calls.
   std::vector<std::uint8_t> updateFrame_;

@@ -71,8 +71,14 @@ void encodeInto(const UpdateMsg& m, std::vector<std::uint8_t>& out) {
   const std::size_t blobStart = beginUpdateFrame(w, m.seq, m.timestamp);
   w.raw(m.payload);
   w.endBlob(blobStart);
+  if (m.traced) appendUpdateTraceTag(w, m.pubWallSec);
   out = w.take();
   patchChannelId(out, m.channelId);
+}
+
+void appendUpdateTraceTag(net::WireWriter& w, double pubWallSec) {
+  w.u8(kTraceTagMarker);
+  w.f64(pubWallSec);
 }
 
 std::size_t beginUpdateFrame(net::WireWriter& w, std::uint64_t seq,
@@ -121,6 +127,14 @@ std::vector<std::uint8_t> encode(const WindowAckMsg& m) {
   w.u32(m.channelId);
   w.u64(m.cumulativeSeq);
   w.boolean(m.fromPublisher);
+  if (m.echoed) {
+    // Trailing delivery-timing echo; absent (byte-identical to the
+    // pre-trace message) unless a sampled update is being reported.
+    w.u8(kTraceTagMarker);
+    w.u64(m.echoSeq);
+    w.f64(m.echoTagSec);
+    w.f64(m.echoHoldSec);
+  }
   return w.take();
 }
 
@@ -254,6 +268,17 @@ std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
       auto payload = r.blob();
       if (!ch || !seq || !ts || !payload) return std::nullopt;
       msg.update = {*ch, *seq, *ts, std::move(*payload)};
+      // Optional trailing trace tag: [marker][f64 pubWallSec]. Anything
+      // else trailing is ignored, exactly as it was pre-trace (forward
+      // compatibility relies on it).
+      if (r.remaining() == 1 + sizeof(double)) {
+        const auto marker = r.u8();
+        const auto tag = r.f64();
+        if (marker && *marker == kTraceTagMarker && tag) {
+          msg.update.traced = true;
+          msg.update.pubWallSec = *tag;
+        }
+      }
       break;
     }
     case MsgType::kHeartbeat: {
@@ -292,6 +317,20 @@ std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
       const auto fromPub = r.boolean();
       if (!ch || !cum || !fromPub) return std::nullopt;
       msg.windowAck = {*ch, *cum, *fromPub};
+      // Optional trailing delivery-timing echo:
+      // [marker][u64 echoSeq][f64 echoTagSec][f64 echoHoldSec].
+      if (r.remaining() == 1 + sizeof(std::uint64_t) + 2 * sizeof(double)) {
+        const auto marker = r.u8();
+        const auto eseq = r.u64();
+        const auto etag = r.f64();
+        const auto ehold = r.f64();
+        if (marker && *marker == kTraceTagMarker && eseq && etag && ehold) {
+          msg.windowAck.echoed = true;
+          msg.windowAck.echoSeq = *eseq;
+          msg.windowAck.echoTagSec = *etag;
+          msg.windowAck.echoHoldSec = *ehold;
+        }
+      }
       break;
     }
     case MsgType::kBatch: {

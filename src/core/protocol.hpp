@@ -112,6 +112,22 @@ struct WindowAckMsg {
   std::uint32_t channelId = 0;
   std::uint64_t cumulativeSeq = 0;
   bool fromPublisher = false;
+  /// Optional delivery-timing echo for the end-to-end latency sampler
+  /// (subscriber -> publisher only). When a sampled (trace-tagged) UPDATE
+  /// was released in order, the next WINDOW_ACK echoes the tag back:
+  /// `echoTagSec` verbatim (publisher clock — the subscriber never
+  /// interprets it) plus `echoHoldSec`, the subscriber-clock delay between
+  /// the in-order release and this ack leaving. The publisher computes
+  /// latency = now - echoTagSec - echoHoldSec with no clock sync; the
+  /// residual return-path transit is a documented overestimate.
+  ///
+  /// On the wire the echo is a trailing block after the v1 body, so an
+  /// un-echoing encoder is byte-identical to the pre-trace protocol and
+  /// decoders that predate it simply ignore the tail.
+  bool echoed = false;
+  std::uint64_t echoSeq = 0;
+  double echoTagSec = 0.0;
+  double echoHoldSec = 0.0;
 };
 
 /// One attribute update pushed through a virtual channel.
@@ -120,6 +136,14 @@ struct UpdateMsg {
   std::uint64_t seq = 0;       // per-channel sequence number
   double timestamp = 0.0;      // sender simulation time
   std::vector<std::uint8_t> payload;  // encoded AttributeSet
+  /// End-to-end latency sampling: 1-in-N reliable updates carry a trace
+  /// tag — `pubWallSec`, the publisher's clock at publish — appended
+  /// after the payload blob. The subscriber echoes it on its next
+  /// WINDOW_ACK (see WindowAckMsg). Untagged frames are byte-identical
+  /// to the pre-trace protocol; decoders without the tag reader ignore
+  /// the trailing bytes.
+  bool traced = false;
+  double pubWallSec = 0.0;
 };
 
 struct HeartbeatMsg {
@@ -243,6 +267,18 @@ std::size_t beginUpdateFrame(net::WireWriter& w, std::uint64_t seq,
 /// another virtual channel by rewriting 4 bytes instead of re-serializing
 /// the whole payload.
 inline constexpr std::size_t kChannelIdOffset = 1;
+
+/// First byte of the optional trailing trace blocks on UPDATE
+/// ([marker][f64 pubWallSec]) and WINDOW_ACK
+/// ([marker][u64 echoSeq][f64 echoTagSec][f64 echoHoldSec]). Chosen so a
+/// truncated or foreign tail is overwhelmingly unlikely to alias as a tag.
+inline constexpr std::uint8_t kTraceTagMarker = 0x54;  // 'T'
+
+/// Append the sampled-update trace tag to an UPDATE frame under
+/// construction (call after endBlob(), before take()). The tag rides
+/// inside the retransmit-window copy, so a retransmitted sampled frame
+/// measures retransmit-inclusive latency.
+void appendUpdateTraceTag(net::WireWriter& w, double pubWallSec);
 
 /// Rewrite the channel id of an encoded UPDATE/HEARTBEAT/BYE frame in
 /// place. Precondition: `frame` holds one of those message types (at least

@@ -252,6 +252,8 @@ void CbShard::handleChannelConnection(const ChannelConnectionMsg& m,
     if (ch.qos == net::QosClass::kReliableOrdered && !pub.retx) {
       pub.retx = std::make_unique<net::ReliableSendWindow>(
           cb_.cfg_.reliable, cb_.stats_.reliable);
+      pub.retx->attachRetransmitDelayHistogram(
+          &cb_.hists_.retransmitDelaySec);
     }
     pub.channels.push_back(std::move(ch));
     existing = std::prev(pub.channels.end());
@@ -311,7 +313,8 @@ void CbShard::handleUpdate(UpdateMsg& m, const net::NodeAddr& /*src*/,
     // Retransmits legitimately arrive with old sequence numbers, so the
     // newest-wins cursor does not apply.
     std::vector<net::ReliableFrame> ready;
-    ch.rq->offer(net::ReliableFrame{m.seq, m.timestamp, std::move(m.payload)},
+    ch.rq->offer(net::ReliableFrame{m.seq, m.timestamp, std::move(m.payload),
+                                    m.traced, m.pubWallSec, now},
                  ready);
     deliverReliableReady(ch, ready);
     return;
@@ -405,12 +408,32 @@ void CbShard::compactSendWindow(PublicationEntry& pub) {
   pub.retx->pruneThrough(minAcked);
 }
 
-void CbShard::deliverReliableReady(const InChannel& ch,
+void CbShard::deliverReliableReady(InChannel& ch,
                                    std::vector<net::ReliableFrame>& ready) {
   if (ready.empty()) return;
   const auto sit = subscriptions_.find(ch.subscription);
   if (sit == subscriptions_.end()) return;
+  const bool tracing = cb_.tracing();
   for (net::ReliableFrame& f : ready) {
+    if (f.traced) {
+      // Latency sampling: remember the newest released sample so the next
+      // WINDOW_ACK can echo it back to the publisher. One slot suffices —
+      // a newer sample simply supersedes an un-echoed older one, which
+      // thins the sample stream but never biases it.
+      ch.pendingEcho = PendingTraceEcho{f.seq, f.tagSec, cb_.now_};
+      if (tracing) {
+        cb_.traceEvent(telemetry::TraceEventKind::kSubscriberSpan,
+                       f.arrivalSec, cb_.now_ - f.arrivalSec, f.seq,
+                       ch.channelId);
+      }
+    }
+    // Record the releases worth replaying: frames that waited in the
+    // window (a repair or reorder just resolved) and sampled frames. The
+    // steady state — released the tick it arrived — would otherwise be
+    // the ring's biggest noise source and evict exactly those.
+    if (tracing && (f.traced || cb_.now_ > f.arrivalSec))
+      cb_.traceEvent(telemetry::TraceEventKind::kInOrderRelease, cb_.now_, 0.0,
+                     f.seq, ch.channelId);
     auto attrs = AttributeSet::decode(f.payload);
     if (!attrs) {
       ++cb_.stats_.malformedDrops;
@@ -422,6 +445,17 @@ void CbShard::deliverReliableReady(const InChannel& ch,
   }
 }
 
+void CbShard::attachTraceEcho(InChannel& ch, WindowAckMsg& ack, double now) {
+  if (!ch.pendingEcho) return;
+  // Hold time is measured entirely on the subscriber clock, so the
+  // publisher can subtract it from the round trip without clock sync.
+  ack.echoed = true;
+  ack.echoSeq = ch.pendingEcho->seq;
+  ack.echoTagSec = ch.pendingEcho->tagSec;
+  ack.echoHoldSec = now - ch.pendingEcho->releaseSec;
+  ch.pendingEcho.reset();
+}
+
 void CbShard::handleNack(PublicationHandle pub, const NackMsg& m,
                          const net::NodeAddr& src, double now) {
   const auto it = publications_.find(pub);
@@ -431,6 +465,9 @@ void CbShard::handleNack(PublicationHandle pub, const NackMsg& m,
   if (ch == nullptr || ch->qos != net::QosClass::kReliableOrdered || !p.retx)
     return;
   ++cb_.stats_.reliable.nacksReceived;
+  if (cb_.tracing())
+    cb_.traceEvent(telemetry::TraceEventKind::kNackReceived, now, 0.0,
+                   m.missingSeqs.size(), ch->remoteChannelId);
   // A NACK is the subscriber speaking: refresh liveness so the tail-RTO
   // sweep's stalled-channel guard never pauses a peer that is actively
   // asking for frames (its heartbeats/acks may all be getting lost).
@@ -450,6 +487,9 @@ void CbShard::handleNack(PublicationHandle pub, const NackMsg& m,
       } else {
         p.retx->markSent(seq, now);
         ++ch->retransmits;
+        if (cb_.tracing())
+          cb_.traceEvent(telemetry::TraceEventKind::kRetransmit, now, 0.0, seq,
+                         ch->remoteChannelId);
       }
       ch->lastSentSec = now;
     } else if (seq <= p.retx->highestEvicted()) {
@@ -491,6 +531,17 @@ void CbShard::handleSubscriberWindowAck(PublicationHandle pub,
   OutChannel* ch = findOutChannelIn(p, src, m.channelId);
   if (ch == nullptr || ch->qos != net::QosClass::kReliableOrdered) return;
   ++cb_.stats_.reliable.windowAcksReceived;
+  if (m.echoed) {
+    // The subscriber echoed our trace tag: round trip minus its measured
+    // hold is the publish→in-order-release latency, entirely on this
+    // node's clock (only the ack's return transit inflates it, which is
+    // documented as a conservative overestimate).
+    const double latency = std::max(0.0, now - m.echoTagSec - m.echoHoldSec);
+    cb_.hists_.deliveryLatencySec.record(latency);
+    if (cb_.tracing())
+      cb_.traceEvent(telemetry::TraceEventKind::kPublisherSpan, m.echoTagSec,
+                     latency, m.echoSeq, m.channelId);
+  }
   ch->windowAckSeen = true;
   const bool wasConfirmed = ch->qosConfirmed;
   ch->qosConfirmed = true;
@@ -565,6 +616,19 @@ void CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
     const std::size_t blobStart = beginUpdateFrame(w, seq, timestamp);
     attrs.encodeInto(w);
     w.endBlob(blobStart);
+    // Latency sampling: every traceSampleEvery-th update on a reliable
+    // publication carries the publish-time tag. It is appended BEFORE the
+    // frame is stored in the retransmit window, so a retransmitted sample
+    // measures retransmit-inclusive latency. Sampling off (the default)
+    // appends nothing — the frame is byte-identical.
+    const bool sampled = cb_.cfg_.traceSampleEvery > 0 && pub.retx != nullptr &&
+                         seq % cb_.cfg_.traceSampleEvery == 0;
+    if (sampled) {
+      appendUpdateTraceTag(w, cb_.now_);
+      if (cb_.tracing())
+        cb_.traceEvent(telemetry::TraceEventKind::kUpdatePublished, cb_.now_,
+                       0.0, seq);
+    }
     cb_.updateFrame_ = w.take();
     bool buffered = false;
     for (OutChannel& ch : pub.channels) {
@@ -643,11 +707,16 @@ bool CbShard::inChannelTimer(std::uint32_t channelId, double now,
     // acknowledge cumulative progress. Both coalesce with whatever else
     // this tick owes the publisher (heartbeats included).
     const auto missing = ch.rq->collectNacks(now);
-    if (!missing.empty())
+    if (!missing.empty()) {
       cb_.stageToChannel(ch, encode(NackMsg{ch.channelId, missing}));
+      if (cb_.tracing())
+        cb_.traceEvent(telemetry::TraceEventKind::kNackSent, now, 0.0,
+                       missing.size(), ch.channelId);
+    }
     if (const auto cum = ch.rq->collectAck(now)) {
-      cb_.stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
-                                                 /*fromPublisher=*/false}));
+      WindowAckMsg ack{ch.channelId, *cum, /*fromPublisher=*/false};
+      attachTraceEcho(ch, ack, now);
+      cb_.stageToChannel(ch, encode(ack));
       // The ack doubles as a keep-alive on this direction.
       ch.lastHeartbeatSent = now;
     }
@@ -664,9 +733,11 @@ bool CbShard::inChannelTimer(std::uint32_t channelId, double now,
       // Piggyback the cumulative ack on the keep-alive that is leaving
       // anyway: a quiet reliable link keeps the publisher's window
       // pruned without ever paying a separate control datagram.
-      if (const auto cum = ch.rq->piggybackAck(now))
-        cb_.stageToChannel(ch, encode(WindowAckMsg{ch.channelId, *cum,
-                                                   /*fromPublisher=*/false}));
+      if (const auto cum = ch.rq->piggybackAck(now)) {
+        WindowAckMsg ack{ch.channelId, *cum, /*fromPublisher=*/false};
+        attachTraceEcho(ch, ack, now);
+        cb_.stageToChannel(ch, encode(ack));
+      }
     }
   }
   return now - ch.lastActivity > cb_.cfg_.channelTimeoutSec;
@@ -755,6 +826,9 @@ void CbShard::publicationTimer(PublicationHandle h, double now,
           // Per channel staged, matching dataFramesSent's unit (the
           // NACK path counts the same way through markSent).
           ++cb_.stats_.reliable.retransmitsSent;
+          if (cb_.tracing())
+            cb_.traceEvent(telemetry::TraceEventKind::kRetransmit, now, 0.0,
+                           seq, ch.remoteChannelId);
         }
       }
     }

@@ -114,6 +114,17 @@ struct PublicationEntry {
   std::unique_ptr<net::ReliableSendWindow> retx;
 };
 
+/// Delivery timing of the most recent sampled (trace-tagged) update
+/// released in order on a channel, waiting to be echoed to the publisher
+/// on the next WINDOW_ACK. One slot suffices: sampling is sparse (1-in-N)
+/// and a newer sample superseding an un-echoed older one just thins the
+/// sample stream, never biases it.
+struct PendingTraceEcho {
+  std::uint64_t seq = 0;
+  double tagSec = 0.0;      // publisher clock, echoed verbatim
+  double releaseSec = 0.0;  // our clock at in-order release
+};
+
 /// Subscriber side of one virtual channel.
 struct InChannel {
   std::uint32_t channelId = 0;
@@ -130,6 +141,9 @@ struct InChannel {
   /// Present iff the channel is reliable: gap detection, NACK pacing
   /// and in-order release.
   std::unique_ptr<net::ReliableReceiveQueue> rq;
+  /// Sampled-update delivery timing owed to the publisher (see
+  /// PendingTraceEcho); rides out on the next WINDOW_ACK.
+  std::optional<PendingTraceEcho> pendingEcho;
 };
 
 /// One subscription-table entry.
@@ -233,8 +247,12 @@ class CbShard {
   void matchLocal(PublicationEntry& pub);
   void enqueueReflection(SubscriptionEntry& sub, Reflection r);
   /// Decode and enqueue frames the reliable queue released in order.
-  void deliverReliableReady(const InChannel& ch,
+  /// Non-const: a released trace-tagged frame parks its delivery timing
+  /// in `ch.pendingEcho` for the next WINDOW_ACK.
+  void deliverReliableReady(InChannel& ch,
                             std::vector<net::ReliableFrame>& ready);
+  /// Move `ch.pendingEcho` (if any) onto an outgoing WINDOW_ACK.
+  void attachTraceEcho(InChannel& ch, WindowAckMsg& ack, double now);
   /// Prune (or drop) a publication's retransmit window after acks or
   /// channel departures.
   void compactSendWindow(PublicationEntry& pub);

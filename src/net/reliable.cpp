@@ -37,6 +37,8 @@ std::vector<std::uint8_t>* ReliableSendWindow::frame(std::uint64_t seq) {
 void ReliableSendWindow::markSent(std::uint64_t seq, double now) {
   const auto it = frames_.find(seq);
   if (it == frames_.end()) return;
+  if (retxDelayHist_ != nullptr)
+    retxDelayHist_->record(now - it->second.lastSentSec);
   it->second.lastSentSec = now;
   ++stats_->retransmitsSent;
 }
@@ -59,6 +61,8 @@ std::vector<std::uint64_t> ReliableSendWindow::takeTailRetransmits(
   std::vector<std::uint64_t> due;
   for (auto it = frames_.lower_bound(minUnacked); it != frames_.end(); ++it) {
     if (now - it->second.lastSentSec < cfg_->retxTimeoutSec) continue;
+    if (retxDelayHist_ != nullptr)
+      retxDelayHist_->record(now - it->second.lastSentSec);
     it->second.lastSentSec = now;
     // retransmitsSent is NOT counted here: the caller re-sends each due
     // frame on zero or more channels and counts one retransmit per

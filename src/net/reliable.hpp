@@ -34,6 +34,8 @@
 #include <optional>
 #include <vector>
 
+#include "telemetry/hist.hpp"  // std-only header; no layering cycle
+
 namespace cod::net {
 
 /// Delivery guarantee of one virtual channel.
@@ -101,6 +103,14 @@ struct ReliableFrame {
   std::uint64_t seq = 0;
   double timestamp = 0.0;
   std::vector<std::uint8_t> payload;
+  /// End-to-end latency sampling (core/protocol.hpp trace tag): set when
+  /// the UPDATE carried a tag. `tagSec` is the publisher-clock publish
+  /// time (echoed back verbatim, never interpreted here); `arrivalSec` is
+  /// the receiver-clock arrival time, so release minus arrival is the
+  /// reorder-buffer hold.
+  bool traced = false;
+  double tagSec = 0.0;
+  double arrivalSec = 0.0;
 };
 
 /// Sender half: a bounded window of already-encoded UPDATE frames, keyed
@@ -125,6 +135,13 @@ class ReliableSendWindow {
   /// Note that `seq` was just re-sent — restarts its retransmit timeout
   /// and counts one retransmit.
   void markSent(std::uint64_t seq, double now);
+
+  /// Observe the delay between successive (re)transmissions of each frame
+  /// in `hist` (telemetry's reliable.retxDelaySec). Not owned; null (the
+  /// default) disables the observation.
+  void attachRetransmitDelayHistogram(telemetry::LogHistogram* hist) {
+    retxDelayHist_ = hist;
+  }
 
   /// Restart `seq`'s retransmit timeout WITHOUT counting a retransmit:
   /// the first transmission of a frame that was window-buffered while its
@@ -159,6 +176,7 @@ class ReliableSendWindow {
 
   const ReliableConfig* cfg_;
   ReliableStats* stats_;
+  telemetry::LogHistogram* retxDelayHist_ = nullptr;
   std::map<std::uint64_t, Entry> frames_;
   std::uint64_t highestEvicted_ = 0;
   std::uint64_t highestStored_ = 0;

@@ -43,6 +43,8 @@ const char* alarmKindName(HealthAlarm::Kind k) {
     case HealthAlarm::Kind::kChannelWindowCleared: return "CHAN_WINDOW_CLEARED";
     case HealthAlarm::Kind::kChannelRetransmitCleared:
       return "CHAN_RETX_CLEARED";
+    case HealthAlarm::Kind::kLatencySpike: return "LATENCY_SPIKE";
+    case HealthAlarm::Kind::kLatencyCleared: return "LATENCY_CLEARED";
   }
   return "UNKNOWN";
 }
@@ -58,6 +60,7 @@ HealthAlarm::Severity alarmSeverity(HealthAlarm::Kind k) {
     case HealthAlarm::Kind::kRetransmitStorm:
     case HealthAlarm::Kind::kMailboxOverflow:
     case HealthAlarm::Kind::kChannelRetransmitStorm:
+    case HealthAlarm::Kind::kLatencySpike:
       return HealthAlarm::Severity::kWarning;
     // Recoveries and falling edges: informational.
     case HealthAlarm::Kind::kNodeRecovered:
@@ -66,6 +69,7 @@ HealthAlarm::Severity alarmSeverity(HealthAlarm::Kind k) {
     case HealthAlarm::Kind::kOverflowCleared:
     case HealthAlarm::Kind::kChannelWindowCleared:
     case HealthAlarm::Kind::kChannelRetransmitCleared:
+    case HealthAlarm::Kind::kLatencyCleared:
       return HealthAlarm::Severity::kInfo;
   }
   return HealthAlarm::Severity::kWarning;
@@ -170,7 +174,23 @@ void HealthMonitor::applySnapshot(NodeTelemetry&& t, bool isKeyframe) {
       return;
     }
   }
-  if (h.snapshotsApplied > 0) deriveRates(st, h.last, t);
+  if (h.snapshotsApplied > 0) {
+    // The interval length every rate this snapshot produces divides by,
+    // computed ONCE from the seq-paired publisher clocks. The sequence
+    // check above guarantees cur is newer than prev, so a non-positive dt
+    // means the publisher clock itself went backwards — a restart whose
+    // seq-reset keyframe was lost (telemetry is best effort). Deriving
+    // rates from that pair would divide counter deltas of two different
+    // processes; reset instead, exactly like an announced restart.
+    const double dt = t.nodeTimeSec - h.last.nodeTimeSec;
+    if (dt <= 0.0) {
+      const bool wasSilent = h.silent;
+      st = NodeState{};
+      h.silent = wasSilent;
+    } else {
+      deriveRates(st, h.last, t, dt);
+    }
+  }
   if (h.silent) {
     h.silent = false;
     raise(HealthAlarm::Kind::kNodeRecovered, t.node, "node is back");
@@ -182,9 +202,9 @@ void HealthMonitor::applySnapshot(NodeTelemetry&& t, bool isKeyframe) {
 }
 
 void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
-                                const NodeTelemetry& cur) {
+                                const NodeTelemetry& cur, double dtSec) {
   NodeHealth& h = st.health;
-  const double dt = cur.nodeTimeSec - prev.nodeTimeSec;
+  const double dt = dtSec;
   h.updatesPerSec = rate(cur.cb.updatesSent, prev.cb.updatesSent, dt);
   h.retransmitsPerSec =
       rate(cur.cb.reliable.retransmitsSent, prev.cb.reliable.retransmitsSent,
@@ -213,6 +233,22 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
   if (h.effectiveLossPct() > peakLossPct_) {
     peakLossPct_ = h.effectiveLossPct();
     peakLossNode_ = cur.node;
+  }
+
+  // Interval delivery-latency percentiles: diff the cumulative histogram
+  // exactly as rates diff the counters.
+  constexpr std::size_t kLat = CbHistograms::kDeliveryLatencyIdx;
+  const HistogramSnapshot dLat =
+      LogHistogram::diff(cur.hists[kLat], prev.hists[kLat]);
+  const double lowest = CbHistograms::lowestOf(kLat);
+  h.latencySamples = dLat.count;
+  if (dLat.count > 0) {
+    h.latencyP50Ms = LogHistogram::percentile(dLat, 0.50, lowest) * 1e3;
+    h.latencyP90Ms = LogHistogram::percentile(dLat, 0.90, lowest) * 1e3;
+    h.latencyP99Ms = LogHistogram::percentile(dLat, 0.99, lowest) * 1e3;
+    h.latencyMaxMs = dLat.max * 1e3;
+  } else {
+    h.latencyP50Ms = h.latencyP90Ms = h.latencyP99Ms = h.latencyMaxMs = 0.0;
   }
 
   // Threshold alarms, edge-triggered per node. Loss judges the effective
@@ -260,14 +296,37 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
     raise(HealthAlarm::Kind::kOverflowCleared, cur.node,
           "mailboxes draining again");
   }
+  // Latency spike, edge-triggered like the others. Intervals with fewer
+  // than latencyMinSamples are not judged either way — sparse sampling
+  // must neither raise on one outlier nor clear on an empty interval.
+  if (h.latencySamples >= cfg_.latencyMinSamples) {
+    if (h.latencyP99Ms >= cfg_.latencySpikeP99Ms) {
+      if (!st.latencyAlarm) {
+        st.latencyAlarm = true;
+        std::snprintf(buf, sizeof(buf),
+                      "delivery p99 %.1fms over %llu samples (threshold %.1fms)",
+                      h.latencyP99Ms,
+                      static_cast<unsigned long long>(h.latencySamples),
+                      cfg_.latencySpikeP99Ms);
+        raise(HealthAlarm::Kind::kLatencySpike, cur.node, buf);
+      }
+    } else if (st.latencyAlarm) {
+      st.latencyAlarm = false;
+      std::snprintf(buf, sizeof(buf),
+                    "delivery p99 back to %.1fms (threshold %.1fms)",
+                    h.latencyP99Ms, cfg_.latencySpikeP99Ms);
+      raise(HealthAlarm::Kind::kLatencyCleared, cur.node, buf);
+    }
+  }
 
-  deriveChannelAlarms(st, prev, cur);
+  deriveChannelAlarms(st, prev, cur, dt);
 }
 
 void HealthMonitor::deriveChannelAlarms(NodeState& st,
                                         const NodeTelemetry& prev,
-                                        const NodeTelemetry& cur) {
-  const double dt = cur.nodeTimeSec - prev.nodeTimeSec;
+                                        const NodeTelemetry& cur,
+                                        double dtSec) {
+  const double dt = dtSec;
   // Previous retransmit counters by channel id, for per-channel rates.
   std::map<std::uint32_t, std::uint64_t> prevRetx;
   for (const core::CbChannelHealth& c : prev.channels)
@@ -349,10 +408,42 @@ void HealthMonitor::step(double now) {
   }
 }
 
+void HealthMonitor::attachFlightRecorder(TraceRecorder* recorder,
+                                         std::string dumpPath) {
+  recorder_ = recorder;
+  recorderDumpPath_ = std::move(dumpPath);
+  if (recorder_ != nullptr)
+    recorderLane_ = recorder_->registerLane("health-monitor");
+}
+
 void HealthMonitor::raise(HealthAlarm::Kind kind, const std::string& nodeName,
                           std::string detail) {
-  alarms_.push_back(
-      HealthAlarm{kind, alarmSeverity(kind), now_, nodeName, std::move(detail)});
+  const HealthAlarm::Severity sev = alarmSeverity(kind);
+  alarms_.push_back(HealthAlarm{kind, sev, now_, nodeName, std::move(detail)});
+  if (recorder_ == nullptr) return;
+  // Alarm edges land in the flight recorder's timeline: kInfo kinds are
+  // all falling edges / recoveries, everything else is an onset.
+  const auto ev = sev == HealthAlarm::Severity::kInfo
+                      ? TraceEventKind::kAlarmCleared
+                      : TraceEventKind::kAlarmRaised;
+  recorder_->record(ev, recorderLane_, now_, 0.0,
+                    static_cast<std::uint64_t>(kind));
+  if (sev == HealthAlarm::Severity::kCritical && !recorderDumpPath_.empty()) {
+    // The moment data stopped flowing is the moment the preceding seconds
+    // of hot-path history matter most: dump the ring now, while it still
+    // holds them. Repeated CRITs overwrite — the newest incident wins —
+    // but no more often than flightDumpMinIntervalSec: each dump is
+    // megabytes of synchronous I/O on the monitor's tick path, and a
+    // flapping CRIT edge must not turn the monitor itself into the
+    // cluster's slowest node.
+    if (flightDumps_ == 0 ||
+        now_ - lastFlightDumpSec_ >= cfg_.flightDumpMinIntervalSec) {
+      if (recorder_->dumpToFile(recorderDumpPath_)) {
+        ++flightDumps_;
+        lastFlightDumpSec_ = now_;
+      }
+    }
+  }
 }
 
 std::vector<std::string> HealthMonitor::nodeNames() const {
@@ -370,32 +461,74 @@ const NodeHealth* HealthMonitor::node(const std::string& name) const {
 std::string HealthMonitor::renderTable() const {
   // loss% is transport frame accounting (0 on real sockets), rloss% the
   // reliable-layer estimate — side by side so an operator sees at once
-  // which observable their deployment actually has.
+  // which observable their deployment actually has. p99ms is the interval
+  // delivery-latency p99 from the v3 histogram block (0.0 until sampled
+  // updates flow).
+  constexpr std::size_t kWidth = 80;  // including both border pipes
   std::string out;
   out +=
-      "+--------------------------- CLUSTER HEALTH ----------------------------+\n";
+      "+------------------------------- CLUSTER HEALTH "
+      "-------------------------------+\n";
   out +=
-      "| node            seq    age  upd/s  loss%  rloss%  retx/s  B/dg  state |\n";
-  char buf[128];
+      "| node            seq    age  upd/s  loss%  rloss%  retx/s  B/dg  "
+      "p99ms state |\n";
+  char buf[160];
   for (const auto& [name, st] : nodes_) {
     const NodeHealth& h = st.health;
-    const char* state = h.silent ? "SILENT"
-                       : st.lossAlarm ? "LOSSY"
-                       : st.retxAlarm ? "RETX"
-                                      : "OK";
+    const char* state = h.silent        ? "SILENT"
+                        : st.lossAlarm  ? "LOSSY"
+                        : st.retxAlarm  ? "RETX"
+                        : st.latencyAlarm ? "LAT"
+                                          : "OK";
     std::snprintf(buf, sizeof(buf),
-                  "| %-14s %5llu %6.1f %6.1f %6.1f %7.1f %7.1f %5.0f %-6s|\n",
+                  "| %-14s %5llu %6.1f %6.1f %6.1f %7.1f %7.1f %5.0f %6.1f "
+                  "%-6s|\n",
                   name.c_str(), static_cast<unsigned long long>(h.last.seq),
                   now_ - h.lastHeardSec, h.updatesPerSec, h.lossPct,
                   h.reliableLossPct, h.retransmitsPerSec, h.bytesPerDatagram,
-                  state);
+                  h.latencyP99Ms, state);
     out += buf;
+    // Shard-balance line: per-shard routing-table entries from the v3
+    // shard-load block, so a skewed class→shard hash shows up in the
+    // health table instead of only in tests. Single-shard nodes have
+    // nothing to balance.
+    if (h.last.shardLoad.size() > 1) {
+      std::string line = "|   shards ";
+      std::size_t total = 0, peak = 0, shown = 0;
+      for (const core::CbShardLoad& l : h.last.shardLoad) {
+        const std::size_t entries = l.publications + l.subscriptions +
+                                    l.inChannels + l.outChannels;
+        total += entries;
+        peak = std::max(peak, entries);
+        if (shown < 12) {
+          if (shown > 0) line += '/';
+          std::snprintf(buf, sizeof(buf), "%zu", entries);
+          line += buf;
+        } else if (shown == 12) {
+          line += "/..";
+        }
+        ++shown;
+      }
+      const double mean =
+          static_cast<double>(total) /
+          static_cast<double>(h.last.shardLoad.size());
+      std::snprintf(buf, sizeof(buf), "  (n=%zu, peak/mean %.2f)",
+                    h.last.shardLoad.size(),
+                    mean > 0.0 ? static_cast<double>(peak) / mean : 1.0);
+      line += buf;
+      if (line.size() < kWidth - 1) line.append(kWidth - 1 - line.size(), ' ');
+      line += "|\n";
+      out += line;
+    }
   }
-  if (nodes_.empty())
-    out +=
-        "| (no nodes heard from yet)                                             |\n";
+  if (nodes_.empty()) {
+    std::string line = "| (no nodes heard from yet)";
+    line.append(kWidth - 1 - line.size(), ' ');
+    out += line + "|\n";
+  }
   out +=
-      "+-----------------------------------------------------------------------+\n";
+      "+------------------------------------------------------------------"
+      "------------+\n";
   return out;
 }
 

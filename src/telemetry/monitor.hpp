@@ -35,6 +35,7 @@
 
 #include "core/cb.hpp"
 #include "telemetry/node_telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cod::telemetry {
 
@@ -62,6 +63,19 @@ struct MonitorConfig {
   /// carrying all of a node's retransmits is a routing/path problem even
   /// when the node total looks tolerable.
   double channelRetransmitStormPerSec = 20.0;
+  /// Interval delivery-latency p99 (milliseconds) that counts as a
+  /// latency spike. The figure comes from diffing the node's cumulative
+  /// delivery-latency histogram between snapshots.
+  double latencySpikeP99Ms = 250.0;
+  /// Minimum latency samples in the interval before the p99 is judged at
+  /// all — 1-in-N sampling makes a single outlier meaningless.
+  std::uint64_t latencyMinSamples = 10;
+  /// Automatic CRIT-triggered flight-recorder dumps are spaced at least
+  /// this far apart. A flapping CRIT (a slow node oscillating around the
+  /// silence threshold) would otherwise dump the ring — megabytes of
+  /// synchronous file I/O — on every edge, stalling the monitor's own
+  /// tick loop hard enough to storm its reliable channels.
+  double flightDumpMinIntervalSec = 5.0;
 };
 
 struct HealthAlarm {
@@ -80,6 +94,9 @@ struct HealthAlarm {
     kChannelRetransmitStorm = 9,
     kChannelWindowCleared = 10,
     kChannelRetransmitCleared = 11,
+    // Interval delivery-latency p99 over threshold (v3 histogram block).
+    kLatencySpike = 12,
+    kLatencyCleared = 13,
   };
   /// How urgently the instructor station should surface an alarm. Clears
   /// and recoveries are kInfo; threshold breaches are kWarning; a silent
@@ -132,6 +149,14 @@ struct NodeHealth {
   double reliableLossPct = 0.0;
   double retransmitsPerSec = 0.0;
   double bytesPerDatagram = 0.0;
+  /// Interval delivery-latency percentiles (milliseconds) from diffing
+  /// the node's cumulative latency histogram between the last two
+  /// snapshots; 0 until an interval contains samples.
+  double latencyP50Ms = 0.0;
+  double latencyP90Ms = 0.0;
+  double latencyP99Ms = 0.0;
+  double latencyMaxMs = 0.0;
+  std::uint64_t latencySamples = 0;  // samples in that interval
   /// The loss figure alarms and the peak-loss annotation use: frame
   /// accounting where the transport attributes drops, else the
   /// reliable-layer estimate.
@@ -174,6 +199,15 @@ class HealthMonitor : public core::LogicalProcess {
   /// The newest `maxRows` alarms, oldest first.
   std::string renderAlarms(std::size_t maxRows = 8) const;
 
+  /// Wire a flight recorder to the alarm feed: every alarm edge is
+  /// recorded as a trace event, and a CRITICAL onset automatically dumps
+  /// the recorder's ring to `dumpPath` (Chrome trace JSON) — the moment
+  /// an operator most wants the preceding seconds of hot-path history.
+  /// Pass an empty path to record edges without auto-dumping.
+  void attachFlightRecorder(TraceRecorder* recorder, std::string dumpPath);
+  /// How many CRIT-triggered dumps were written (test/tooling hook).
+  std::uint64_t flightRecorderDumps() const { return flightDumps_; }
+
  private:
   /// Edge-trigger state for one channel of one node (keyed by channel id
   /// in NodeState). `pinnedPrev` implements the two-consecutive-snapshot
@@ -191,16 +225,21 @@ class HealthMonitor : public core::LogicalProcess {
     bool lossAlarm = false;
     bool retxAlarm = false;
     bool overflowAlarm = false;
+    bool latencyAlarm = false;
     std::map<std::uint32_t, ChannelAlarmState> channelAlarms;
   };
 
   void applySnapshot(NodeTelemetry&& t, bool isKeyframe);
+  /// `dtSec` is the snapshot-interval length, computed ONCE in
+  /// applySnapshot from the seq-paired nodeTimeSec of the two snapshots
+  /// being diffed — never recomputed per derivation, so every rate in one
+  /// interval divides by the same (positive) denominator.
   void deriveRates(NodeState& st, const NodeTelemetry& prev,
-                   const NodeTelemetry& cur);
+                   const NodeTelemetry& cur, double dtSec);
   /// Per-channel window/retransmit alarms from two successive channel
   /// blocks; prunes state for channels that vanished.
   void deriveChannelAlarms(NodeState& st, const NodeTelemetry& prev,
-                           const NodeTelemetry& cur);
+                           const NodeTelemetry& cur, double dtSec);
   void raise(HealthAlarm::Kind kind, const std::string& nodeName,
              std::string detail);
 
@@ -213,6 +252,11 @@ class HealthMonitor : public core::LogicalProcess {
   double peakLossPct_ = 0.0;
   std::string peakLossNode_;
   std::uint64_t undecodable_ = 0;
+  TraceRecorder* recorder_ = nullptr;  // not owned
+  std::string recorderDumpPath_;
+  std::uint16_t recorderLane_ = 0;
+  std::uint64_t flightDumps_ = 0;
+  double lastFlightDumpSec_ = 0.0;
 };
 
 }  // namespace cod::telemetry

@@ -113,6 +113,113 @@ void encodeChannels(net::WireWriter& w, const NodeTelemetry& t) {
   }
 }
 
+// ---- v3 histogram block --------------------------------------------------
+//
+// Per histogram: the scalar summary in full, then the bucket array as a
+// sparse (index, count) list — most of the 96 buckets of a log histogram
+// are empty, and in a delta only the buckets that changed since the base
+// keyframe are listed. Indices are strictly ascending on the wire so a
+// decoder can reject duplicates and garbage in one pass.
+
+void encodeHistogram(net::WireWriter& w, const HistogramSnapshot& s,
+                     const HistogramSnapshot* base) {
+  w.u64(s.count);
+  w.f64(s.sum);
+  w.f64(s.min);
+  w.f64(s.max);
+  std::uint16_t listed = 0;
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t prev = base != nullptr ? base->buckets[i] : 0;
+    if (s.buckets[i] != prev) ++listed;
+  }
+  w.u16(listed);
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    const std::uint64_t prev = base != nullptr ? base->buckets[i] : 0;
+    if (s.buckets[i] == prev) continue;
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u64(s.buckets[i]);
+  }
+}
+
+bool decodeHistogram(net::WireReader& r, HistogramSnapshot& s,
+                     const HistogramSnapshot* base) {
+  const auto count = r.u64();
+  const auto sum = r.f64();
+  const auto min = r.f64();
+  const auto max = r.f64();
+  const auto listed = r.u16();
+  if (!count || !sum || !min || !max || !listed) return false;
+  s = base != nullptr ? *base : HistogramSnapshot{};
+  s.count = *count;
+  s.sum = *sum;
+  s.min = *min;
+  s.max = *max;
+  std::uint32_t lastIdx = 0;
+  bool first = true;
+  for (std::uint16_t i = 0; i < *listed; ++i) {
+    const auto idx = r.u16();
+    const auto cnt = r.u64();
+    if (!idx || !cnt) return false;
+    if (*idx >= kHistBuckets) return false;
+    if (!first && *idx <= lastIdx) return false;  // must ascend strictly
+    first = false;
+    lastIdx = *idx;
+    s.buckets[*idx] = *cnt;
+  }
+  return true;
+}
+
+void encodeHistograms(net::WireWriter& w, const NodeTelemetry& t,
+                      const NodeTelemetry* base) {
+  w.u16(static_cast<std::uint16_t>(CbHistograms::kCount));
+  for (std::size_t i = 0; i < CbHistograms::kCount; ++i)
+    encodeHistogram(w, t.hists[i], base != nullptr ? &base->hists[i] : nullptr);
+}
+
+bool decodeHistograms(net::WireReader& r, NodeTelemetry& t,
+                      const NodeTelemetry* base) {
+  const auto count = r.u16();
+  // This version defines the histogram set exactly, like the counter table.
+  if (!count || *count != CbHistograms::kCount) return false;
+  for (std::size_t i = 0; i < CbHistograms::kCount; ++i) {
+    if (!decodeHistogram(r, t.hists[i],
+                         base != nullptr ? &base->hists[i] : nullptr))
+      return false;
+  }
+  return true;
+}
+
+// ---- v3 shard-load block -------------------------------------------------
+
+void encodeShardLoad(net::WireWriter& w, const NodeTelemetry& t) {
+  w.u16(static_cast<std::uint16_t>(
+      std::min<std::size_t>(t.shardLoad.size(), 0xFFFF)));
+  std::size_t n = 0;
+  for (const core::CbShardLoad& l : t.shardLoad) {
+    if (n++ == 0xFFFF) break;
+    w.u32(static_cast<std::uint32_t>(l.publications));
+    w.u32(static_cast<std::uint32_t>(l.subscriptions));
+    w.u32(static_cast<std::uint32_t>(l.inChannels));
+    w.u32(static_cast<std::uint32_t>(l.outChannels));
+  }
+}
+
+bool decodeShardLoad(net::WireReader& r, NodeTelemetry& t) {
+  const auto count = r.u16();
+  if (!count) return false;
+  t.shardLoad.clear();
+  t.shardLoad.reserve(*count);
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    const auto pubs = r.u32();
+    const auto subs = r.u32();
+    const auto inCh = r.u32();
+    const auto outCh = r.u32();
+    if (!pubs || !subs || !inCh || !outCh) return false;
+    t.shardLoad.push_back(core::CbShardLoad{*pubs, *subs, *inCh, *outCh});
+  }
+  return true;
+}
+
 bool decodeChannels(net::WireReader& r, NodeTelemetry& t) {
   const auto count = r.u16();
   if (!count) return false;
@@ -168,6 +275,8 @@ std::vector<std::uint8_t> encodeTelemetry(const NodeTelemetry& t) {
   for (std::size_t i = 0; i < kCounterFields.size(); ++i)
     w.u64(counterValue(t, i));
   encodeChannels(w, t);
+  encodeHistograms(w, t, nullptr);
+  encodeShardLoad(w, t);
   return w.take();
 }
 
@@ -186,6 +295,8 @@ std::vector<std::uint8_t> encodeTelemetryDelta(const NodeTelemetry& t,
     w.u64(counterValue(t, i));
   }
   encodeChannels(w, t);
+  encodeHistograms(w, t, &base);
+  encodeShardLoad(w, t);
   return w.take();
 }
 
@@ -268,6 +379,8 @@ std::optional<NodeTelemetry> decodeTelemetry(
   }
 
   if (!decodeChannels(r, t)) return std::nullopt;
+  if (!decodeHistograms(r, t, delta ? base : nullptr)) return std::nullopt;
+  if (!decodeShardLoad(r, t)) return std::nullopt;
   // Trailing bytes mean corruption (or a newer, larger format lying about
   // its version): reject wholesale.
   if (!r.atEnd()) return std::nullopt;

@@ -21,6 +21,7 @@
 // from a diff.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -29,6 +30,7 @@
 
 #include "core/cb.hpp"
 #include "net/transport.hpp"
+#include "telemetry/hist.hpp"
 
 namespace cod::telemetry {
 
@@ -37,7 +39,10 @@ namespace cod::telemetry {
 /// misinterpret counters).
 /// v2: reliable.dataFramesSent joined the counter table (the sender-side
 /// denominator of the real-socket loss estimate).
-inline constexpr std::uint8_t kTelemetryVersion = 2;
+/// v3: histogram block (delivery latency, tick duration, flush size,
+/// retransmit delay — sparse buckets, delta-encoded like the counters)
+/// and the per-shard load block appended after the channel list.
+inline constexpr std::uint8_t kTelemetryVersion = 3;
 
 /// Reserved object class the publishers publish on and monitors subscribe
 /// to — "cod." prefixed so no simulator module class can collide.
@@ -55,6 +60,14 @@ struct NodeTelemetry {
   core::CbStats cb;          // includes .reliable and .batch
   net::TransportStats transport;
   std::vector<core::CbChannelHealth> channels;
+  /// Cumulative histogram snapshots, indexed like CbHistograms::at()
+  /// (names from CbHistograms::name()). Monitors diff consecutive
+  /// snapshots to derive interval percentiles.
+  std::array<HistogramSnapshot, CbHistograms::kCount> hists{};
+  /// Per-shard routing-table sizes, for the shard-balance line in the
+  /// cluster-health table. Always encoded in full (it is tiny and its
+  /// shape — the shard count — must not be guessed from a diff).
+  std::vector<core::CbShardLoad> shardLoad;
 };
 
 /// The flattened counter table: every std::uint64_t in CbStats (with its

@@ -11,6 +11,11 @@ NodeTelemetry StatRegistry::snapshot(double now) {
   t.cb = cb_->stats();
   if (const net::TransportStats* ts = cb_->transportStats()) t.transport = *ts;
   t.channels = cb_->channelHealth();
+  for (std::size_t i = 0; i < CbHistograms::kCount; ++i)
+    t.hists[i] = cb_->histograms().at(i).snapshot();
+  t.shardLoad.reserve(cb_->shardCount());
+  for (std::size_t i = 0; i < cb_->shardCount(); ++i)
+    t.shardLoad.push_back(cb_->shardLoad(static_cast<std::uint32_t>(i)));
   return t;
 }
 

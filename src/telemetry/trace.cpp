@@ -1,0 +1,159 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cod::telemetry {
+
+const char* traceEventName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kTickBegin: return "tick begin";
+    case TraceEventKind::kTickEnd: return "tick";
+    case TraceEventKind::kFrameStaged: return "frame staged";
+    case TraceEventKind::kBatchFlush: return "batch flush";
+    case TraceEventKind::kDatagramSend: return "datagram send";
+    case TraceEventKind::kDatagramRecv: return "datagram recv";
+    case TraceEventKind::kNackSent: return "nack sent";
+    case TraceEventKind::kNackReceived: return "nack received";
+    case TraceEventKind::kRetransmit: return "retransmit";
+    case TraceEventKind::kInOrderRelease: return "in-order release";
+    case TraceEventKind::kAlarmRaised: return "alarm raised";
+    case TraceEventKind::kAlarmCleared: return "alarm cleared";
+    case TraceEventKind::kUpdatePublished: return "update published";
+    case TraceEventKind::kSubscriberSpan: return "update hold+release";
+    case TraceEventKind::kPublisherSpan: return "update e2e";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) {
+  std::size_t cap = 16;
+  while (cap < capacity) cap <<= 1;
+  ring_.resize(cap);
+  mask_ = cap - 1;
+}
+
+void TraceRecorder::lock() const {
+  while (busy_.test_and_set(std::memory_order_acquire)) {
+    // Spin: the critical sections are a ~48-byte copy or a bounded read;
+    // contention is test-only (the CB is single-threaded per recorder).
+  }
+}
+
+void TraceRecorder::unlock() const { busy_.clear(std::memory_order_release); }
+
+std::uint16_t TraceRecorder::registerLane(const std::string& name) {
+  lock();
+  lanes_.push_back(name);
+  const auto id = static_cast<std::uint16_t>(lanes_.size() - 1);
+  unlock();
+  return id;
+}
+
+void TraceRecorder::record(TraceEventKind kind, std::uint16_t lane,
+                           double tsSec, double durSec, std::uint64_t a,
+                           std::uint64_t b) {
+  if (!enabled()) return;
+  lock();
+  TraceEvent& e = ring_[head_ & mask_];
+  e.tsSec = tsSec;
+  e.durSec = durSec;
+  e.a = a;
+  e.b = b;
+  e.lane = lane;
+  e.kind = kind;
+  ++head_;
+  unlock();
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  lock();
+  const std::uint64_t n = head_;
+  unlock();
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshotEvents() const {
+  lock();
+  const std::uint64_t n = head_;
+  const std::size_t cap = ring_.size();
+  const std::size_t kept = static_cast<std::size_t>(std::min<std::uint64_t>(n, cap));
+  std::vector<TraceEvent> out;
+  out.reserve(kept);
+  for (std::size_t i = 0; i < kept; ++i)
+    out.push_back(ring_[(n - kept + i) % cap]);
+  unlock();
+  return out;
+}
+
+std::string TraceRecorder::dumpJson() const {
+  const std::vector<TraceEvent> events = snapshotEvents();
+  lock();
+  const std::vector<std::string> lanes = lanes_;
+  unlock();
+
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  const auto append = [&](const char* s) {
+    if (!first) out += ',';
+    first = false;
+    out += s;
+  };
+  // Lane names as thread_name metadata so the viewer labels the tracks.
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    std::string name = lanes[i];
+    // Trace-viewer JSON: keep lane names printable-ASCII-safe.
+    for (char& c : name)
+      if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+        c = '_';
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%zu,\"args\":{\"name\":\"%s\"}}",
+                  i, name.c_str());
+    append(buf);
+  }
+  for (const TraceEvent& e : events) {
+    // Sanitize: a recorder shared across threads can in principle hold a
+    // half-initialized tail slot; never emit an event the viewer chokes on.
+    if (static_cast<std::uint8_t>(e.kind) >= kTraceEventKinds) continue;
+    if (!std::isfinite(e.tsSec) || !std::isfinite(e.durSec)) continue;
+    const double ts = e.tsSec * 1e6;  // trace_event ts is microseconds
+    const bool span = e.kind == TraceEventKind::kTickEnd ||
+                      e.kind == TraceEventKind::kSubscriberSpan ||
+                      e.kind == TraceEventKind::kPublisherSpan;
+    if (span) {
+      const double dur = std::max(e.durSec, 0.0) * 1e6;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"pid\":1,\"tid\":%u,\"args\":{\"a\":%llu,\"b\":%llu}}",
+                    traceEventName(e.kind), ts, dur, e.lane,
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\","
+                    "\"pid\":1,\"tid\":%u,\"args\":{\"a\":%llu,\"b\":%llu}}",
+                    traceEventName(e.kind), ts, e.lane,
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b));
+    }
+    append(buf);
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::dumpToFile(const std::string& path) const {
+  const std::string json = dumpJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace cod::telemetry

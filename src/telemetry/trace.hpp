@@ -1,0 +1,116 @@
+// In-memory flight recorder: a fixed-capacity ring of timestamped trace
+// events recorded from the CB/reliable/batch hot paths, dumped as Chrome
+// `trace_event` JSON (load in chrome://tracing or https://ui.perfetto.dev)
+// on demand, on SIGUSR2 (the soak node wires the signal), or automatically
+// when the HealthMonitor raises a CRIT alarm.
+//
+// Design constraints, in order:
+//  * recording must be allocation-free and cheap enough to leave compiled
+//    into release builds — every hot-path call site is guarded by
+//    `enabled()` and the record itself is a bounded-copy under an
+//    uncontended spinlock (the CB is single-threaded; the lock exists so
+//    a dump from a signal-adjacent path or a second CB sharing the
+//    recorder can never tear an event);
+//  * the ring holds the *last* capacity() events — a flight recorder
+//    explains the seconds before an alarm, not the whole run;
+//  * timestamps are the CB tick clock (seconds; virtual in tests, wall in
+//    the soak), so spans line up with the sampled-update trace tags.
+//
+// This header is std-only so src/core and src/net can hold a recorder
+// pointer without an include cycle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cod::telemetry {
+
+/// What happened. The dump maps kinds to Chrome trace phases: span kinds
+/// render as complete slices ("X"), the rest as instants.
+enum class TraceEventKind : std::uint8_t {
+  kTickBegin = 0,     // instant: reserved (the kTickEnd span covers the
+                      // tick; the CB no longer emits this on the hot path)
+  kTickEnd,           // span: one CB tick (dur = wall duration)
+  kFrameStaged,       // instant: reserved (the flush event carries the
+                      // frame count; not emitted per staged frame)
+  kBatchFlush,        // instant: coalescer flushed a peer — this IS the
+                      // datagram send of the container (a = bytes, b = frames)
+  kDatagramSend,      // instant: un-coalesced datagram handed to the
+                      // transport (a = bytes)
+  kDatagramRecv,      // instant: datagram received (a = bytes)
+  kNackSent,          // instant: NACK emitted (a = missing count, b = channel)
+  kNackReceived,      // instant: NACK handled (a = missing count, b = channel)
+  kRetransmit,        // instant: frame re-staged (a = seq, b = channel)
+  kInOrderRelease,    // instant: reliable frame released (a = seq, b = channel)
+  kAlarmRaised,       // instant: HealthMonitor alarm edge (a = kind)
+  kAlarmCleared,      // instant: HealthMonitor falling edge (a = kind)
+  kUpdatePublished,   // instant: sampled update tagged at publish (a = seq)
+  kSubscriberSpan,    // span: sampled update arrival -> in-order release
+  kPublisherSpan,     // span: sampled update publish -> release (echo-derived)
+};
+inline constexpr std::size_t kTraceEventKinds = 15;
+
+const char* traceEventName(TraceEventKind k);
+
+/// One recorded event. `a`/`b` are kind-specific payloads (see the enum);
+/// spans carry their duration in `durSec`.
+struct TraceEvent {
+  double tsSec = 0.0;
+  double durSec = 0.0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint16_t lane = 0;  // registerLane() id; renders as the tid/track
+  TraceEventKind kind = TraceEventKind::kTickBegin;
+};
+
+class TraceRecorder {
+ public:
+  /// `capacity` is rounded up to the next power of two (at least 16) so
+  /// the ring index is a mask, not a divide; the ring is preallocated
+  /// here so record() never touches the heap.
+  explicit TraceRecorder(std::size_t capacity = 16384);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Hot paths check this before paying for a record() call.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Name a lane (one per CB, typically the node name); events recorded
+  /// with the returned id render as their own named track in the viewer.
+  /// Setup-time only (allocates).
+  std::uint16_t registerLane(const std::string& name);
+
+  /// Record one event (no-op while disabled). Thread-safe; allocation-free.
+  void record(TraceEventKind kind, std::uint16_t lane, double tsSec,
+              double durSec = 0.0, std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// The retained events, oldest first. Thread-safe.
+  std::vector<TraceEvent> snapshotEvents() const;
+
+  /// Chrome trace_event JSON of the retained events (plus lane-name
+  /// metadata). Loads in chrome://tracing and Perfetto.
+  std::string dumpJson() const;
+
+  /// dumpJson() to a file; false on I/O failure.
+  bool dumpToFile(const std::string& path) const;
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events ever recorded (>= capacity means the ring has wrapped).
+  std::uint64_t recorded() const;
+
+ private:
+  void lock() const;
+  void unlock() const;
+
+  mutable std::atomic_flag busy_ = ATOMIC_FLAG_INIT;
+  std::atomic<bool> enabled_{true};
+  std::vector<TraceEvent> ring_;  // size is a power of two
+  std::uint64_t mask_ = 0;        // ring_.size() - 1
+  std::uint64_t head_ = 0;  // total recorded; next slot = head_ & mask_
+  std::vector<std::string> lanes_;
+};
+
+}  // namespace cod::telemetry

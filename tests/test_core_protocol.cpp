@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 
 #include "net/transport.hpp"
 #include "telemetry/node_telemetry.hpp"
@@ -123,6 +124,104 @@ TEST(Protocol, UpdateRoundTrip) {
   EXPECT_EQ(d->update.seq, 123456789ull);
   EXPECT_DOUBLE_EQ(d->update.timestamp, 1.25);
   EXPECT_EQ(d->update.payload, (std::vector<std::uint8_t>{10, 20, 30}));
+}
+
+TEST(Protocol, UpdateTraceTagRoundTrips) {
+  UpdateMsg m;
+  m.channelId = 9;
+  m.seq = 77;
+  m.timestamp = 1.5;
+  m.payload = {1, 2, 3};
+  m.traced = true;
+  m.pubWallSec = 12.625;
+  const auto bytes = encode(m);
+  // The tag is exactly [marker][f64] after the untagged frame.
+  auto plain = m;
+  plain.traced = false;
+  EXPECT_EQ(bytes.size(), encode(plain).size() + 9);
+  const auto d = decode(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->update.traced);
+  EXPECT_DOUBLE_EQ(d->update.pubWallSec, 12.625);
+  EXPECT_EQ(d->update.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Protocol, SamplingOffUpdateHasNoTraceBytes) {
+  // traced=false must be byte-identical to the pre-trace encoding — the
+  // interop guarantee the 1-in-N sampler rests on.
+  UpdateMsg m;
+  m.channelId = 9;
+  m.seq = 77;
+  m.timestamp = 1.5;
+  m.payload = {1, 2, 3};
+  const auto bytes = encode(m);
+  net::WireWriter w;
+  const std::size_t blob = beginUpdateFrame(w, m.seq, m.timestamp);
+  for (std::uint8_t b : m.payload) w.u8(b);
+  w.endBlob(blob);
+  auto streamed = w.take();
+  patchChannelId(streamed, m.channelId);
+  EXPECT_EQ(bytes, streamed);
+}
+
+TEST(Protocol, UpdateForeignTailIgnoredNotTraced) {
+  UpdateMsg m;
+  m.channelId = 9;
+  m.seq = 77;
+  m.timestamp = 1.5;
+  m.payload = {1, 2, 3};
+  // A tail of the wrong length is ignored wholesale (pre-trace behavior).
+  auto shortTail = encode(m);
+  shortTail.insert(shortTail.end(), {0x54, 1, 2, 3});
+  const auto d1 = decode(shortTail);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_FALSE(d1->update.traced);
+  EXPECT_EQ(d1->update.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  // A 9-byte tail without the marker is ignored too.
+  auto wrongMarker = encode(m);
+  wrongMarker.insert(wrongMarker.end(), {0x55, 0, 0, 0, 0, 0, 0, 0, 0});
+  const auto d2 = decode(wrongMarker);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_FALSE(d2->update.traced);
+}
+
+TEST(Protocol, WindowAckEchoRoundTrips) {
+  WindowAckMsg a{5, 42, false};
+  a.echoed = true;
+  a.echoSeq = 7;
+  a.echoTagSec = 3.25;
+  a.echoHoldSec = 0.125;
+  const auto bytes = encode(a);
+  EXPECT_EQ(bytes.size(), encode(WindowAckMsg{5, 42, false}).size() + 25);
+  const auto d = decode(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->windowAck.channelId, 5u);
+  EXPECT_EQ(d->windowAck.cumulativeSeq, 42u);
+  ASSERT_TRUE(d->windowAck.echoed);
+  EXPECT_EQ(d->windowAck.echoSeq, 7u);
+  EXPECT_DOUBLE_EQ(d->windowAck.echoTagSec, 3.25);
+  EXPECT_DOUBLE_EQ(d->windowAck.echoHoldSec, 0.125);
+  // The echoed ack still starts with the patchable channel id.
+  auto patched = bytes;
+  patchChannelId(patched, 31u);
+  const auto dp = decode(patched);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->windowAck.channelId, 31u);
+  EXPECT_TRUE(dp->windowAck.echoed);
+  EXPECT_EQ(dp->windowAck.echoSeq, 7u);
+}
+
+TEST(Protocol, WindowAckForeignTailIgnoredNotEchoed) {
+  auto bytes = encode(WindowAckMsg{5, 42, false});
+  bytes.insert(bytes.end(), {0x54, 1, 2});  // wrong length
+  const auto d = decode(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->windowAck.echoed);
+  auto wrongMarker = encode(WindowAckMsg{5, 42, false});
+  wrongMarker.insert(wrongMarker.end(), 25, 0);  // right length, no marker
+  const auto d2 = decode(wrongMarker);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_FALSE(d2->windowAck.echoed);
 }
 
 TEST(Protocol, HeartbeatCarriesDirection) {
@@ -353,6 +452,19 @@ telemetry::NodeTelemetry sampleTelemetry() {
   in.live = false;
   in.ageSec = 1.5;
   t.channels.push_back(in);
+  // Distinct nonzero content in every v3 histogram, with sparse buckets
+  // at different indices per histogram.
+  for (std::size_t h = 0; h < telemetry::CbHistograms::kCount; ++h) {
+    telemetry::HistogramSnapshot& s = t.hists[h];
+    s.count = 50 + h;
+    s.sum = 1.5 * static_cast<double>(h + 1);
+    s.min = 1e-4;
+    s.max = 0.5 + static_cast<double>(h);
+    s.buckets[3] = 20 + h;
+    s.buckets[40 + h] = 30 + h;
+  }
+  t.shardLoad.push_back(core::CbShardLoad{3, 4, 5, 6});
+  t.shardLoad.push_back(core::CbShardLoad{1, 0, 2, 0});
   return t;
 }
 
@@ -376,6 +488,15 @@ void expectTelemetryEq(const telemetry::NodeTelemetry& a,
     EXPECT_EQ(a.channels[i].windowFrames, b.channels[i].windowFrames);
     EXPECT_EQ(a.channels[i].retransmits, b.channels[i].retransmits);
     EXPECT_EQ(a.channels[i].cumAcked, b.channels[i].cumAcked);
+  }
+  for (std::size_t i = 0; i < telemetry::CbHistograms::kCount; ++i)
+    EXPECT_EQ(a.hists[i], b.hists[i]) << telemetry::CbHistograms::name(i);
+  ASSERT_EQ(a.shardLoad.size(), b.shardLoad.size());
+  for (std::size_t i = 0; i < a.shardLoad.size(); ++i) {
+    EXPECT_EQ(a.shardLoad[i].publications, b.shardLoad[i].publications);
+    EXPECT_EQ(a.shardLoad[i].subscriptions, b.shardLoad[i].subscriptions);
+    EXPECT_EQ(a.shardLoad[i].inChannels, b.shardLoad[i].inChannels);
+    EXPECT_EQ(a.shardLoad[i].outChannels, b.shardLoad[i].outChannels);
   }
 }
 
@@ -401,6 +522,12 @@ TEST(TelemetryWire, DeltaRoundTripsAgainstKeyframe) {
   telemetry::setCounterValue(next, 4, 99999);   // cb.updatesSent
   telemetry::setCounterValue(next, 35, 55555);  // a transport counter
   next.channels[1].live = true;
+  // One histogram grows a bucket; a delta lists only that bucket, and the
+  // decode seeds the rest from the keyframe.
+  next.hists[0].count += 4;
+  next.hists[0].sum += 0.25;
+  next.hists[0].buckets[3] += 4;
+  next.shardLoad[1].inChannels = 9;
   const auto bytes = telemetry::encodeTelemetryDelta(next, base);
   // Deltas only carry changed counters: much smaller than a keyframe.
   EXPECT_LT(bytes.size(), telemetry::encodeTelemetry(next).size() / 2);
@@ -474,6 +601,83 @@ TEST(TelemetryWire, CorruptRecordsRejected) {
   delta[headerSize + 2] = 0xFF;  // field index low byte
   delta[headerSize + 3] = 0xFF;  // field index high byte
   EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
+// Locate a unique little-endian byte pattern inside an encoded record —
+// how the histogram-fuzz tests find a bucket entry to corrupt without
+// hard-coding block offsets.
+std::size_t findPattern(const std::vector<std::uint8_t>& bytes,
+                        const std::vector<std::uint8_t>& pattern) {
+  const auto it =
+      std::search(bytes.begin(), bytes.end(), pattern.begin(), pattern.end());
+  EXPECT_NE(it, bytes.end()) << "pattern not found in encoded record";
+  return static_cast<std::size_t>(it - bytes.begin());
+}
+
+TEST(TelemetryWire, HistogramBucketIndexOutOfRangeRejected) {
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.hists[0].count += 1;
+  next.hists[0].buckets[7] = 0xDEADBEEFull;
+  auto delta = telemetry::encodeTelemetryDelta(next, base);
+  ASSERT_TRUE(telemetry::decodeTelemetry(delta, &base).has_value());
+  // The lone changed bucket rides as [u16 idx=7][u64 0xDEADBEEF].
+  const std::size_t at = findPattern(
+      delta, {7, 0, 0xEF, 0xBE, 0xAD, 0xDE, 0, 0, 0, 0});
+  delta[at] = telemetry::kHistBuckets;  // idx beyond the bucket array
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
+TEST(TelemetryWire, HistogramNonAscendingBucketIndexRejected) {
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.hists[0].count += 2;
+  next.hists[0].buckets[7] = 0x11223344ull;
+  next.hists[0].buckets[9] = 0x55667788ull;
+  auto delta = telemetry::encodeTelemetryDelta(next, base);
+  ASSERT_TRUE(telemetry::decodeTelemetry(delta, &base).has_value());
+  const std::size_t at = findPattern(
+      delta, {9, 0, 0x88, 0x77, 0x66, 0x55, 0, 0, 0, 0});
+  delta[at] = 5;  // second entry now indexes below the first (7)
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+  delta[at] = 7;  // duplicate index: "strictly ascending" rejects too
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
+TEST(TelemetryWire, HistogramSetSizeMismatchRejected) {
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.hists[0].count = 0xABCD1234ull;  // distinctive scalar to anchor on
+  auto delta = telemetry::encodeTelemetryDelta(next, base);
+  ASSERT_TRUE(telemetry::decodeTelemetry(delta, &base).has_value());
+  // The hist block opens [u16 kCount] immediately before hist 0's count.
+  const std::size_t at = findPattern(
+      delta, {telemetry::CbHistograms::kCount, 0, 0x34, 0x12, 0xCD, 0xAB, 0, 0,
+              0, 0});
+  delta[at] = telemetry::CbHistograms::kCount + 1;
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+  delta[at] = telemetry::CbHistograms::kCount - 1;
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
+TEST(TelemetryWire, HistogramDeltaAgainstWrongBaseDiverges) {
+  // A delta's sparse bucket list is only meaningful over its own keyframe;
+  // the seq check is what rejects a stale base outright (covered above).
+  // Here: decoding against the *right* base reproduces the buckets the
+  // encoder saw, bucket-exact.
+  const auto base = sampleTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.hists[2].buckets[42] += 11;
+  next.hists[2].count += 11;
+  const auto delta = telemetry::encodeTelemetryDelta(next, base);
+  const auto d = telemetry::decodeTelemetry(delta, &base);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->hists[2].buckets[42], base.hists[2].buckets[42] + 11);
+  EXPECT_EQ(d->hists[2].buckets[3], base.hists[2].buckets[3]);  // seeded
 }
 
 TEST(TelemetryWire, CounterTableIsStable) {

@@ -493,6 +493,126 @@ TEST_F(MonitorUnit, RestartDetectedEvenWhenFirstKeyframeWasLost) {
   EXPECT_EQ(h->snapshotsApplied, 1u);  // history reset
 }
 
+TEST_F(MonitorUnit, BackwardsNodeClockWithAdvancingSeqResetsHistory) {
+  NodeTelemetry t1 = record(10, 100.0);
+  t1.cb.updatesSent = 5000;
+  feed(t1);
+  NodeTelemetry t2 = record(11, 101.0);
+  t2.cb.updatesSent = 6000;
+  feed(t2);
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_NEAR(h->updatesPerSec, 1000.0, 1.0);
+  // A restart whose seq-reset keyframe was lost can surface as a snapshot
+  // whose sequence still advances while the publisher clock went
+  // backwards. Rates derived across that pair would divide two different
+  // processes' counters by a non-positive dt (the old bug: two
+  // independently computed wall-clock deltas let this through as a
+  // negative rate). The monitor must treat it as a missed restart.
+  NodeTelemetry t3 = record(12, 2.0);
+  t3.cb.updatesSent = 50;
+  feed(t3);
+  h = monitor.node("unit");
+  EXPECT_EQ(h->last.seq, 12u);
+  EXPECT_EQ(h->last.cb.updatesSent, 50u);
+  EXPECT_EQ(h->snapshotsApplied, 1u);  // history reset
+  EXPECT_EQ(h->updatesPerSec, 0.0);    // not negative, not garbage
+  // Rates resume cleanly from the new process's baseline.
+  NodeTelemetry t4 = record(13, 3.0);
+  t4.cb.updatesSent = 150;
+  feed(t4);
+  h = monitor.node("unit");
+  EXPECT_NEAR(h->updatesPerSec, 100.0, 1.0);
+  EXPECT_GE(h->updatesPerSec, 0.0);
+}
+
+TEST_F(MonitorUnit, LatencySpikeAlarmFromHistogramDeltas) {
+  constexpr std::size_t kLat = CbHistograms::kDeliveryLatencyIdx;
+  const double lowest = CbHistograms::lowestOf(kLat);
+  // Cumulative latency histogram with `fast` samples near 5 ms and `slow`
+  // samples near 400 ms (default spike threshold is p99 >= 250 ms).
+  const auto hist = [&](std::uint64_t fast, std::uint64_t slow) {
+    HistogramSnapshot s;
+    s.count = fast + slow;
+    s.sum = 0.005 * static_cast<double>(fast) + 0.4 * static_cast<double>(slow);
+    s.min = fast > 0 ? 0.005 : 0.4;
+    s.max = slow > 0 ? 0.4 : 0.005;
+    s.buckets[LogHistogram::bucketOf(0.005, lowest)] += fast;
+    s.buckets[LogHistogram::bucketOf(0.4, lowest)] += slow;
+    return s;
+  };
+
+  NodeTelemetry t1 = record(1, 0.0);
+  feed(t1);
+  // Interval of 5 slow samples: p99 is over threshold but below the
+  // 10-sample floor — sparse sampling must not alarm on a handful.
+  NodeTelemetry t2 = record(2, 1.0);
+  t2.hists[kLat] = hist(0, 5);
+  feed(t2);
+  EXPECT_TRUE(monitor.alarms().empty());
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->latencySamples, 5u);
+  EXPECT_GT(h->latencyP99Ms, 250.0);
+
+  // Interval of 20 more slow samples: now judged, and it spikes.
+  NodeTelemetry t3 = record(3, 2.0);
+  t3.hists[kLat] = hist(0, 25);
+  feed(t3);
+  ASSERT_EQ(monitor.alarms().size(), 1u);
+  EXPECT_EQ(monitor.alarms()[0].kind, HealthAlarm::Kind::kLatencySpike);
+  EXPECT_EQ(monitor.alarms()[0].severity, HealthAlarm::Severity::kWarning);
+  EXPECT_NE(monitor.alarms()[0].detail.find("p99"), std::string::npos);
+
+  // The spike persists: edge-triggered, no second alarm.
+  NodeTelemetry t4 = record(4, 3.0);
+  t4.hists[kLat] = hist(0, 45);
+  feed(t4);
+  ASSERT_EQ(monitor.alarms().size(), 1u);
+
+  // An empty interval must not clear the alarm (not judged either way)...
+  NodeTelemetry t5 = record(5, 4.0);
+  t5.hists[kLat] = hist(0, 45);
+  feed(t5);
+  ASSERT_EQ(monitor.alarms().size(), 1u);
+
+  // ...but a healthy interval of fast samples does, with the paired edge.
+  NodeTelemetry t6 = record(6, 5.0);
+  t6.hists[kLat] = hist(30, 45);
+  feed(t6);
+  ASSERT_EQ(monitor.alarms().size(), 2u);
+  EXPECT_EQ(monitor.alarms()[1].kind, HealthAlarm::Kind::kLatencyCleared);
+  EXPECT_EQ(monitor.alarms()[1].severity, HealthAlarm::Severity::kInfo);
+  h = monitor.node("unit");
+  EXPECT_LT(h->latencyP99Ms, 250.0);
+  EXPECT_EQ(h->latencySamples, 30u);
+  // The health table renders the latency column.
+  const std::string table = monitor.renderTable();
+  EXPECT_NE(table.find("p99ms"), std::string::npos);
+}
+
+TEST_F(MonitorUnit, ShardBalanceLineRendersFromShardLoad) {
+  NodeTelemetry t1 = record(1, 0.0);
+  t1.shardLoad.push_back(core::CbShardLoad{8, 2, 3, 1});   // 14 entries
+  t1.shardLoad.push_back(core::CbShardLoad{1, 1, 0, 0});   // 2 entries
+  feed(t1);
+  const std::string table = monitor.renderTable();
+  EXPECT_NE(table.find("shards"), std::string::npos);
+  EXPECT_NE(table.find("n=2"), std::string::npos);
+  // Peak/mean of (14, 2) entry totals = 14/8 = 1.75.
+  EXPECT_NE(table.find("1.75"), std::string::npos);
+  // A single-shard node renders no balance line ("zz-solo" sorts after
+  // "unit", so any "shards" text past its row would be its own).
+  NodeTelemetry u1 = record(1, 0.0);
+  u1.node = "zz-solo";
+  u1.addr = {2, 1};
+  u1.shardLoad.push_back(core::CbShardLoad{4, 4, 4, 4});
+  monitor.reflectAttributeValues(kTelemetryClass, wrap(encodeTelemetry(u1)),
+                                 0.0);
+  const std::string t2 = monitor.renderTable();
+  EXPECT_EQ(t2.find("shards", t2.find("zz-solo")), std::string::npos);
+}
+
 TEST_F(MonitorUnit, SilentNodeRestartingStillEmitsRecovered) {
   feed(record(5, 0.0));
   monitor.step(10.0);  // default 3×1 s staleness: node goes silent

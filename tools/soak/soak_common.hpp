@@ -30,6 +30,10 @@
 //                                              of <node>'s mass.*
 //                                              channels seen through
 //                                              telemetry over the run)
+//   latency p50=<ms> p90=<ms> p99=<ms> max=<ms> samples=<n>
+//                                   (whole-run sampled publish->release
+//                                    latency; only when --trace-sample
+//                                    produced samples)
 //   exit ok                         (always last: truncation marker)
 #pragma once
 

@@ -107,6 +107,12 @@ struct Report {
   std::map<std::string, ChannelCount> monChannels;   // mon-channels
   // mass-class → (reflections, distinct sources)
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> massClasses;
+  struct Latency {
+    bool present = false;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;  // milliseconds
+    std::uint64_t samples = 0;
+  };
+  Latency latency;  // whole-run delivery latency (sampling on only)
 };
 
 std::uint64_t kvU64(const std::string& token, const std::string& key) {
@@ -186,6 +192,17 @@ void parseLine(const std::string& line, Report& r) {
       if (auto v = soak::kvToken(tok, "sources")) src = std::stoull(*v);
     }
     r.massClasses[cls] = {refl, src};
+  } else if (kind == "latency") {
+    std::string tok;
+    r.latency.present = true;
+    while (ls >> tok) {
+      if (auto v = soak::kvToken(tok, "p50")) r.latency.p50 = std::stod(*v);
+      if (auto v = soak::kvToken(tok, "p90")) r.latency.p90 = std::stod(*v);
+      if (auto v = soak::kvToken(tok, "p99")) r.latency.p99 = std::stod(*v);
+      if (auto v = soak::kvToken(tok, "max")) r.latency.max = std::stod(*v);
+      if (auto v = soak::kvToken(tok, "samples"))
+        r.latency.samples = std::stoull(*v);
+    }
   } else if (kind == "exit") {
     std::string status;
     ls >> status;
@@ -230,6 +247,7 @@ class Driver {
     statTolerancePct_ = args.num("stat-tolerance-pct", 10.0);
     minLossSamples_ =
         static_cast<std::uint64_t>(args.integer("min-loss-samples", 400));
+    maxP99Ms_ = args.num("max-p99-ms", 0.0);  // 0 = latency gate off
     const int nodes =
         static_cast<int>(args.integer("nodes", massConnect_ ? 10 : 4));
     if (massConnect_) {
@@ -296,7 +314,8 @@ class Driver {
     basePort_ = static_cast<std::uint16_t>(args_.integer("base-port", 0));
     if (basePort_ == 0)
       basePort_ = net::pickEphemeralBasePort(
-          static_cast<std::uint16_t>(maxHosts_ * portsPerHost_));
+          static_cast<std::uint16_t>(maxHosts_ * portsPerHost_),
+          args_.str("bind-ip", "127.0.0.1"));
     std::printf("soak_driver: %zu nodes, base port %u, %.0f s at %.0f%% loss, "
                 "kill %s @ %.1fs, restart @ %.1fs\n",
                 specs_.size(), basePort_, duration_, lossPct_, victim_.c_str(),
@@ -412,11 +431,17 @@ class Driver {
          {"dup", "reorder", "delay-ms", "jitter-ms", "seed", "probe-hz",
           "quiesce", "telemetry-interval", "silent-after", "channel-timeout",
           "heartbeat", "ack-interval", "shards", "mass-hz",
-          "keyframe-interval"}) {
+          "keyframe-interval", "bind-ip", "trace-sample"}) {
       if (args_.has(key))
         argStrs.push_back("--" + std::string(key) + "=" +
                           args_.str(key, ""));
     }
+    // Tracing on means every node keeps a flight recorder; route its dump
+    // (exit-time, SIGUSR2, or CRIT-alarm-triggered) into the out dir so a
+    // failing CI run uploads the rings alongside logs and reports.
+    if (args_.has("trace-sample"))
+      argStrs.push_back("--trace-dump=" + outDir_ + "/" + s.name +
+                        ".trace.json");
     if (s.role == "mass") {
       argStrs.push_back("--mass-classes=" + std::to_string(massClasses_));
       argStrs.push_back("--mass-nodes=" + std::to_string(specs_.size()));
@@ -645,6 +670,31 @@ class Driver {
             what.str());
     }
 
+    // End-to-end delivery-latency gate (--max-p99-ms): each node's
+    // whole-run p99 of sampled publish->release latency must stay under
+    // the bound. Nodes with too few samples to make a p99 meaningful are
+    // skipped individually, but at least one node must clear the sample
+    // floor — a gate that silently measured nothing must not pass.
+    if (maxP99Ms_ > 0.0) {
+      constexpr std::uint64_t kMinLatencySamples = 20;
+      std::size_t gated = 0;
+      for (const NodeSpec& s : specs_) {
+        const Report::Latency& lat = reports[s.name].latency;
+        std::ostringstream what;
+        what << "latency " << s.name << " p99=" << lat.p99 << "ms (p50="
+             << lat.p50 << " max=" << lat.max << ", " << lat.samples
+             << " samples) <= " << maxP99Ms_ << "ms";
+        if (!lat.present || lat.samples < kMinLatencySamples) {
+          std::printf("  [SKIP] %s: below %llu samples\n", what.str().c_str(),
+                      static_cast<unsigned long long>(kMinLatencySamples));
+          continue;
+        }
+        ++gated;
+        check(lat.p99 <= maxP99Ms_, what.str());
+      }
+      check(gated > 0, "latency gate measured at least one node");
+    }
+
     std::printf("VERDICT: %s (%d failure%s)\n", failures_ == 0 ? "PASS" : "FAIL",
                 failures_, failures_ == 1 ? "" : "s");
     return failures_ == 0;
@@ -659,6 +709,7 @@ class Driver {
   double duration_ = 0.0, lossPct_ = 0.0, killAt_ = 0.0, restartAt_ = 0.0;
   double tolerancePp_ = 5.0, statTolerancePct_ = 10.0;
   std::uint64_t minLossSamples_ = 400;
+  double maxP99Ms_ = 0.0;
   std::uint16_t basePort_ = 0;
   int portsPerHost_ = 4, maxHosts_ = 0;
   int failures_ = 0;

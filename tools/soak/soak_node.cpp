@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -58,6 +59,11 @@ using namespace cod;
 
 using soak::Segment;
 using soak::wallSec;
+
+/// SIGUSR2 asks for a flight-recorder dump at the next loop iteration —
+/// the only async-signal-safe thing a handler may do is set a flag.
+volatile std::sig_atomic_t gTraceDumpRequested = 0;
+void onSigUsr2(int) { gTraceDumpRequested = 1; }
 
 struct PeerStream {
   std::vector<Segment> segments;
@@ -229,6 +235,7 @@ int run(int argc, char** argv) {
   const auto peers = soak::splitCsv(args.str("peers", ""));
 
   net::UdpConfig ucfg;
+  ucfg.bindIp = args.str("bind-ip", "127.0.0.1");
   ucfg.basePort = static_cast<std::uint16_t>(
       std::stoul(args.required("base-port")));
   ucfg.portsPerHost = static_cast<std::uint16_t>(args.integer("ports-per-host", 4));
@@ -264,9 +271,10 @@ int run(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
   }
-  std::printf("[%s] %s bound 127.0.0.1:%u (host %u) loss=%.1f%% dup=%.1f%% "
+  std::printf("[%s] %s bound %s:%u (host %u) loss=%.1f%% dup=%.1f%% "
               "reorder=%.1f%% delay=%.1f-%.1fms\n",
-              name.c_str(), role.c_str(), udp->boundUdpPort(), host,
+              name.c_str(), role.c_str(), ucfg.bindIp.c_str(),
+              udp->boundUdpPort(), host,
               icfg.lossPct, icfg.duplicatePct, icfg.reorderPct,
               icfg.delayMinSec * 1e3, icfg.delayMaxSec * 1e3);
   auto transport =
@@ -282,6 +290,20 @@ int run(int argc, char** argv) {
   // reliable-layer loss estimate upward.
   cbCfg.reliable.ackIntervalSec = args.num("ack-interval", 0.05);
   cbCfg.shards = static_cast<std::uint32_t>(args.integer("shards", 1));
+  // Flight recorder + latency sampling: --trace-sample tags every Nth
+  // reliable update, --trace-dump names the Chrome-trace JSON written at
+  // exit, on SIGUSR2, and automatically when the monitor raises a CRIT
+  // alarm. Neither flag given → no recorder, no sampling, zero overhead.
+  const auto traceSample =
+      static_cast<std::uint32_t>(args.integer("trace-sample", 0));
+  const std::string traceDump = args.str("trace-dump", "");
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+  if (traceSample > 0 || !traceDump.empty()) {
+    recorder = std::make_unique<telemetry::TraceRecorder>(1 << 15);
+    cbCfg.trace = recorder.get();
+    cbCfg.traceSampleEvery = traceSample;
+    std::signal(SIGUSR2, onSigUsr2);
+  }
   core::CommunicationBackbone cb(name, std::move(transport), cbCfg);
 
   // The role module (the real thing, not a mock — the soak rig must push
@@ -338,6 +360,10 @@ int run(int argc, char** argv) {
     monitor = std::make_unique<telemetry::HealthMonitor>(mc);
     monitor->bind(cb);
   }
+  // A CRIT alarm freezes the preceding seconds of hot-path history to
+  // disk the moment they matter, not at exit when the ring has moved on.
+  if (monitor && recorder)
+    monitor->attachFlightRecorder(recorder.get(), traceDump);
 
   telemetry::TelemetryConfig tcfg;
   tcfg.intervalSec = args.num("telemetry-interval", 1.0);
@@ -392,6 +418,14 @@ int run(int argc, char** argv) {
         auto& peak = monPeak[n];
         peak.first = std::max(peak.first, o);
         peak.second = std::max(peak.second, i);
+      }
+    }
+    if (gTraceDumpRequested) {
+      gTraceDumpRequested = 0;
+      if (recorder && !traceDump.empty()) {
+        recorder->dumpToFile(traceDump);
+        std::printf("[%s] flight recorder dumped to %s (SIGUSR2)\n",
+                    name.c_str(), traceDump.c_str());
       }
     }
     if (now >= nextStatus) {
@@ -458,6 +492,25 @@ int run(int argc, char** argv) {
         << " data=" << t.cb.reliable.dataFramesSent
         << " retx=" << t.cb.reliable.retransmitsSent << "\n";
   }
+  // Whole-run delivery-latency percentiles (milliseconds) from this
+  // node's own cumulative histogram — what the driver's --max-p99-ms
+  // verdict judges. Only present when sampling was on and produced data.
+  {
+    constexpr std::size_t kLat = telemetry::CbHistograms::kDeliveryLatencyIdx;
+    const telemetry::HistogramSnapshot& s =
+        cb.histograms().at(kLat).snapshot();
+    if (s.count > 0) {
+      const double lowest = telemetry::CbHistograms::lowestOf(kLat);
+      char lbuf[160];
+      std::snprintf(lbuf, sizeof(lbuf),
+                    "latency p50=%.3f p90=%.3f p99=%.3f max=%.3f samples=%llu",
+                    telemetry::LogHistogram::percentile(s, 0.50, lowest) * 1e3,
+                    telemetry::LogHistogram::percentile(s, 0.90, lowest) * 1e3,
+                    telemetry::LogHistogram::percentile(s, 0.99, lowest) * 1e3,
+                    s.max * 1e3, static_cast<unsigned long long>(s.count));
+      out << lbuf << "\n";
+    }
+  }
   if (instructor) out << "status-updates " << instructor->statusUpdatesSeen() << "\n";
   if (monitor) {
     for (const telemetry::HealthAlarm& a : monitor->alarms())
@@ -487,6 +540,7 @@ int run(int argc, char** argv) {
     }
   }
   out << "exit ok\n";
+  if (recorder && !traceDump.empty()) recorder->dumpToFile(traceDump);
   std::printf("[%s] done: updates=%llu report=%s\n", name.c_str(),
               static_cast<unsigned long long>(cb.stats().updatesSent),
               reportPath.c_str());
