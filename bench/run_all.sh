@@ -65,14 +65,16 @@ fi
 # (vs best effort), the batching numbers (datagrams/frame batched vs
 # unbatched), the telemetry overhead share (bench_telemetry exits
 # non-zero past its 2% budget), the CB routing numbers (the wide-table
-# lookups must stay flat 1 -> 10k registered pairs at any shard count)
-# and the flight-recorder numbers (bench_trace exits non-zero past its
-# 1% recorder-share budget).
+# lookups must stay flat 1 -> 10k registered pairs at any shard count),
+# the flight-recorder numbers (bench_trace exits non-zero past its
+# 1% recorder-share budget) and the flow-control numbers (budgeted-window
+# gate overhead, per-overflow-policy costs, split-window fan-out and the
+# best-effort thinning fast path).
 # Warn (stderr) if any was not produced — e.g. Google Benchmark missing,
 # so the gbench binaries were never built. Not fatal: the scenario-bench
 # .log baselines above are still valid without them.
 for required in BENCH_reliable.json BENCH_batching.json BENCH_telemetry.json \
-                BENCH_cb_routing.json BENCH_trace.json; do
+                BENCH_cb_routing.json BENCH_trace.json BENCH_flow.json; do
   if [[ ! -s "${OUT_DIR}/${required}" ]]; then
     bench_bin="bench_${required#BENCH_}"
     bench_bin="${bench_bin%.json}"

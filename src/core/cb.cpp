@@ -133,6 +133,16 @@ void CommunicationBackbone::stageSend(std::uint32_t slot,
     return;
   }
   b.builder.append(frame);
+  stagedTickBytes_ += frame.size();
+  if (cfg_.batch.tickFlushByteBudget != 0 &&
+      stagedTickBytes_ >= cfg_.batch.tickFlushByteBudget) {
+    // Adaptive mid-tick flush: the tick has staged enough across all
+    // peers to overrun the budget — drain now instead of pooling it all
+    // into one end-of-tick burst. Only budget-counted (container) bytes
+    // arm this; bare sends left immediately anyway.
+    ++stats_.batch.adaptiveFlushes;
+    flushBatches();
+  }
 }
 
 void CommunicationBackbone::flushSlot(PeerBatch& b) {
@@ -164,6 +174,7 @@ void CommunicationBackbone::flushSlot(PeerBatch& b) {
 }
 
 void CommunicationBackbone::flushBatches() {
+  stagedTickBytes_ = 0;
   for (std::uint32_t i = 0; i < peerBatches_.size(); ++i) {
     PeerBatch& b = peerBatches_[i];
     if (!b.active) continue;
@@ -300,14 +311,39 @@ void CommunicationBackbone::unsubscribe(SubscriptionHandle h) {
   subShard_.erase(it);
 }
 
-void CommunicationBackbone::updateAttributeValues(PublicationHandle h,
+bool CommunicationBackbone::updateAttributeValues(PublicationHandle h,
                                                   const AttributeSet& attrs,
                                                   double timestamp) {
   const auto it = pubShard_.find(h);
   if (it == pubShard_.end())
     throw std::invalid_argument("updateAttributeValues: unknown publication");
   CbShard& shard = *shards_[it->second];
-  shard.update(*shard.publication(h), attrs, timestamp);
+  return shard.update(*shard.publication(h), attrs, timestamp);
+}
+
+void CommunicationBackbone::setPublicationOverflowPolicy(
+    PublicationHandle h, net::OverflowPolicy policy) {
+  PublicationEntry* pub = findPublication(h);
+  if (pub == nullptr)
+    throw std::invalid_argument("setPublicationOverflowPolicy: unknown handle");
+  pub->overflowPolicy = policy;
+  if (pub->retx) pub->retx->setOverflowPolicy(policy);
+  for (OutChannel& ch : pub->channels)
+    if (ch.splitRetx) ch.splitRetx->setOverflowPolicy(policy);
+}
+
+void CommunicationBackbone::setPublicationThinningExempt(PublicationHandle h,
+                                                         bool exempt) {
+  PublicationEntry* pub = findPublication(h);
+  if (pub == nullptr)
+    throw std::invalid_argument(
+        "setPublicationThinningExempt: unknown handle");
+  pub->thinExempt = exempt;
+}
+
+void CommunicationBackbone::setPeerSendFactor(const net::NodeAddr& peer,
+                                              double factor) {
+  for (auto& shard : shards_) shard->setPeerSendFactor(peer, factor);
 }
 
 std::optional<Reflection> CommunicationBackbone::poll(SubscriptionHandle h) {
@@ -349,7 +385,10 @@ std::vector<CbChannelHealth> CommunicationBackbone::channelHealth() const {
       hh.qos = ch.qos;
       hh.live = true;  // an OutChannel exists only once connected
       hh.ageSec = now_ - ch.lastHeardSec;
-      hh.windowFrames = pub.retx ? pub.retx->size() : 0;
+      // A split channel reports its private window — that is the buffer
+      // whose occupancy tells the monitor whether THIS peer is pinned.
+      hh.windowFrames = ch.splitRetx ? ch.splitRetx->size()
+                                     : (pub.retx ? pub.retx->size() : 0);
       hh.retransmits = ch.retransmits;
       hh.cumAcked = ch.cumAcked;
       out.push_back(std::move(hh));

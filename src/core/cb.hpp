@@ -103,6 +103,10 @@ struct CbBatchStats {
   std::uint64_t datagramsUnpacked = 0;   // containers received
   std::uint64_t framesUnpacked = 0;      // sub-frames dispatched from them
   std::uint64_t peerSlotsReclaimed = 0;  // staging slots freed on teardown
+  /// Mid-tick flushes forced by Config::Batch::tickFlushByteBudget: the
+  /// bytes staged across all peers this tick crossed the budget, so
+  /// everything left early instead of pooling into one end-of-tick burst.
+  std::uint64_t adaptiveFlushes = 0;
   /// Mean container size; with framesCoalesced/datagramsCoalesced this is
   /// the observable the batching bench tracks (bytes per datagram).
   double bytesPerDatagram() const {
@@ -148,6 +152,9 @@ struct CbStats {
   std::uint64_t malformedDrops = 0;
   std::uint64_t channelsTimedOut = 0;
   std::uint64_t mailboxOverflows = 0;
+  /// Best-effort updates skipped by backpressure thinning
+  /// (setPeerSendFactor < 1 on the peer's channels).
+  std::uint64_t updatesThinned = 0;
   /// Counters of the reliable-delivery layer (both roles).
   net::ReliableStats reliable;
   /// Counters of the send coalescer.
@@ -204,6 +211,14 @@ class CommunicationBackbone {
       /// waiting for the end-of-tick flush. Costs the coalescing win on
       /// those peers; meant for latency-critical command streams.
       bool flushReliableUpdates = false;
+      /// Adaptive mid-tick flush: once the bytes staged across ALL peers
+      /// since the last flush exceed this, everything leaves immediately
+      /// instead of pooling until end of tick. Bounds the burst a heavy
+      /// tick (mass fan-out, retransmit storm) otherwise fires into the
+      /// NIC in one go — which is exactly when drops compound. 0 (the
+      /// default) disables it: wire timing is then identical to the
+      /// seed's end-of-tick-only flush.
+      std::size_t tickFlushByteBudget = 0;
     };
     Batch batch;
     /// Optional flight recorder (telemetry/trace.hpp). Not owned; may be
@@ -258,9 +273,35 @@ class CommunicationBackbone {
   void unsubscribe(SubscriptionHandle h);
 
   /// HLA service: push one update through every virtual channel linked to
-  /// this publication (plus the local fast path).
-  void updateAttributeValues(PublicationHandle h, const AttributeSet& attrs,
+  /// this publication (plus the local fast path). Returns false iff the
+  /// publication's send window is byte-budgeted with
+  /// OverflowPolicy::kBlockPublisher and full — nothing was sent or
+  /// delivered and the caller should retry later. Every other
+  /// configuration always returns true (callers that predate the flow
+  /// control may ignore the result).
+  bool updateAttributeValues(PublicationHandle h, const AttributeSet& attrs,
                              double timestamp);
+
+  /// Override the overflow policy for one publication's send window
+  /// (applies to its shared window and any split per-channel windows;
+  /// Config::reliable.overflowPolicy is the default).
+  void setPublicationOverflowPolicy(PublicationHandle h,
+                                    net::OverflowPolicy policy);
+
+  /// Telemetry-closed backpressure hook: thin best-effort updates toward
+  /// `peer` to `factor` (fraction actually sent, clamped to [0, 1]; 1
+  /// restores full rate). Reliable channels are never thinned. Applies
+  /// to every current outgoing channel whose endpoint is `peer`;
+  /// channels established later start at full rate.
+  void setPeerSendFactor(const net::NodeAddr& peer, double factor);
+
+  /// Exempt one publication from per-peer thinning. Control-plane
+  /// streams (the telemetry export above all) must keep flowing to a
+  /// struggling peer: they are how its struggle is observed and how its
+  /// recovery is detected, so thinning them would sever the very
+  /// feedback loop that thins. TelemetryPublisher::bind sets this on its
+  /// own publication.
+  void setPublicationThinningExempt(PublicationHandle h, bool exempt);
 
   /// Pull model: take the next queued reflection for a subscription.
   std::optional<Reflection> poll(SubscriptionHandle h);
@@ -442,6 +483,9 @@ class CommunicationBackbone {
   telemetry::CbHistograms hists_;
   std::uint16_t traceLane_ = 0;  // our lane in cfg_.trace (if attached)
   std::uint64_t tickOrdinal_ = 0;
+  /// Bytes staged across all peers since the last flush, for the
+  /// adaptive mid-tick flush (Config::Batch::tickFlushByteBudget).
+  std::size_t stagedTickBytes_ = 0;
   /// Reusable UPDATE frame for updateAttributeValues: encoded once per
   /// update, channel id patched per channel, capacity kept across calls.
   std::vector<std::uint8_t> updateFrame_;

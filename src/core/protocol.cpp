@@ -135,6 +135,12 @@ std::vector<std::uint8_t> encode(const WindowAckMsg& m) {
     w.f64(m.echoTagSec);
     w.f64(m.echoHoldSec);
   }
+  if (m.dupReported) {
+    // Trailing duplicate report, always after the echo when both ride;
+    // absent (byte-identical) while the channel has dropped no duplicate.
+    w.u8(kDupReportMarker);
+    w.u64(m.dupCount);
+  }
   return w.take();
 }
 
@@ -317,9 +323,17 @@ std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
       const auto fromPub = r.boolean();
       if (!ch || !cum || !fromPub) return std::nullopt;
       msg.windowAck = {*ch, *cum, *fromPub};
-      // Optional trailing delivery-timing echo:
-      // [marker][u64 echoSeq][f64 echoTagSec][f64 echoHoldSec].
-      if (r.remaining() == 1 + sizeof(std::uint64_t) + 2 * sizeof(double)) {
+      // Optional trailing blocks, echo before dup report when both ride:
+      //   echo: [0x54][u64 echoSeq][f64 echoTagSec][f64 echoHoldSec] (25)
+      //   dup:  [0x44][u64 dupCount]                                  (9)
+      // Only the exact lengths are parsed; any other tail is ignored
+      // wholesale, exactly as it was pre-trace (forward compatibility
+      // relies on it).
+      constexpr std::size_t kEchoLen =
+          1 + sizeof(std::uint64_t) + 2 * sizeof(double);
+      constexpr std::size_t kDupLen = 1 + sizeof(std::uint64_t);
+      const std::size_t tail = r.remaining();
+      if (tail == kEchoLen || tail == kEchoLen + kDupLen) {
         const auto marker = r.u8();
         const auto eseq = r.u64();
         const auto etag = r.f64();
@@ -329,6 +343,15 @@ std::optional<CbMessage> decode(std::span<const std::uint8_t> bytes) {
           msg.windowAck.echoSeq = *eseq;
           msg.windowAck.echoTagSec = *etag;
           msg.windowAck.echoHoldSec = *ehold;
+        }
+      }
+      if (r.remaining() == kDupLen &&
+          (tail == kDupLen || msg.windowAck.echoed)) {
+        const auto marker = r.u8();
+        const auto dups = r.u64();
+        if (marker && *marker == kDupReportMarker && dups) {
+          msg.windowAck.dupReported = true;
+          msg.windowAck.dupCount = *dups;
         }
       }
       break;

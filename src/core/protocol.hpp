@@ -128,6 +128,19 @@ struct WindowAckMsg {
   std::uint64_t echoSeq = 0;
   double echoTagSec = 0.0;
   double echoHoldSec = 0.0;
+  /// Optional duplicate report (subscriber -> publisher only): the
+  /// cumulative count of duplicate frames this channel's receive queue
+  /// has dropped — retransmits that arrived after the original already
+  /// made it. The publisher subtracts them from its loss estimate (a
+  /// frame delivered twice was never lost; its ack just lost the race
+  /// with the tail RTO, which dominates on low-rate streams). Cumulative
+  /// so a lost report is healed by the next one.
+  ///
+  /// Like the echo, a trailing block after the v1 body: absent (wire
+  /// byte-identical) while the count is zero, ignored by decoders that
+  /// predate it.
+  bool dupReported = false;
+  std::uint64_t dupCount = 0;
 };
 
 /// One attribute update pushed through a virtual channel.
@@ -273,6 +286,11 @@ inline constexpr std::size_t kChannelIdOffset = 1;
 /// ([marker][u64 echoSeq][f64 echoTagSec][f64 echoHoldSec]). Chosen so a
 /// truncated or foreign tail is overwhelmingly unlikely to alias as a tag.
 inline constexpr std::uint8_t kTraceTagMarker = 0x54;  // 'T'
+
+/// First byte of the optional trailing duplicate-report block on
+/// WINDOW_ACK ([marker][u64 dupCount]). Distinct from the trace marker so
+/// the two trailing blocks compose in either's absence.
+inline constexpr std::uint8_t kDupReportMarker = 0x44;  // 'D'
 
 /// Append the sampled-update trace tag to an UPDATE frame under
 /// construction (call after endBlob(), before take()). The tag rides

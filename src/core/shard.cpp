@@ -254,6 +254,8 @@ void CbShard::handleChannelConnection(const ChannelConnectionMsg& m,
           cb_.cfg_.reliable, cb_.stats_.reliable);
       pub.retx->attachRetransmitDelayHistogram(
           &cb_.hists_.retransmitDelaySec);
+      if (pub.overflowPolicy)
+        pub.retx->setOverflowPolicy(*pub.overflowPolicy);
     }
     pub.channels.push_back(std::move(ch));
     existing = std::prev(pub.channels.end());
@@ -399,6 +401,9 @@ void CbShard::compactSendWindow(PublicationEntry& pub) {
   for (const OutChannel& ch : pub.channels) {
     if (ch.qos != net::QosClass::kReliableOrdered) continue;
     anyReliable = true;
+    // A split channel is served from its private window, so its lag no
+    // longer pins the shared one — that is the whole point of the split.
+    if (ch.splitRetx) continue;
     minAcked = std::min(minAcked, ch.cumAcked);
   }
   if (!anyReliable) {
@@ -406,6 +411,93 @@ void CbShard::compactSendWindow(PublicationEntry& pub) {
     return;
   }
   pub.retx->pruneThrough(minAcked);
+}
+
+net::ReliableSendWindow* CbShard::windowFor(PublicationEntry& pub,
+                                            OutChannel& ch) {
+  return ch.splitRetx ? ch.splitRetx.get() : pub.retx.get();
+}
+
+void CbShard::splitChannelWindow(PublicationEntry& pub, OutChannel& ch,
+                                 double now) {
+  ch.splitRetx = std::make_unique<net::ReliableSendWindow>(
+      cb_.cfg_.reliable, cb_.stats_.reliable);
+  ch.splitRetx->setOverflowPolicy(pub.retx->overflowPolicy());
+  // Seed with everything the laggard might still need. Seeding stamps
+  // lastSentSec = now, which defers each frame's next tail-RTO by one
+  // timeout — cheaper than carrying per-frame timers across, and the
+  // NACK path is unaffected.
+  for (const std::uint64_t seq : pub.retx->storedSeqsAbove(ch.cumAcked)) {
+    if (std::vector<std::uint8_t>* f = pub.retx->frame(seq))
+      ch.splitRetx->store(seq, *f, now);
+  }
+  ch.lagSinceSec = -1.0;
+  ch.caughtUpSinceSec = -1.0;
+  ++cb_.stats_.reliable.windowSplits;
+  compactSendWindow(pub);  // the laggard no longer pins the shared window
+}
+
+void CbShard::mergeChannelWindow(OutChannel& ch) {
+  ch.splitRetx.reset();
+  ch.lagSinceSec = -1.0;
+  ch.caughtUpSinceSec = -1.0;
+  ++cb_.stats_.reliable.windowMerges;
+}
+
+void CbShard::runWindowSplitTimer(PublicationEntry& pub, double now) {
+  const net::ReliableConfig& rc = cb_.cfg_.reliable;
+  if (!rc.perChannelWindowSplit || !pub.retx) return;
+  for (OutChannel& ch : pub.channels) {
+    if (ch.qos != net::QosClass::kReliableOrdered || !ch.qosConfirmed)
+      continue;
+    if (!ch.splitRetx) {
+      const bool lagging =
+          !pub.retx->empty() &&
+          pub.retx->highestStored() > ch.cumAcked + rc.splitLagFrames;
+      if (!lagging) {
+        ch.lagSinceSec = -1.0;
+      } else if (ch.lagSinceSec < 0.0) {
+        ch.lagSinceSec = now;
+      } else if (now - ch.lagSinceSec >= rc.splitSustainSec) {
+        splitChannelWindow(pub, ch, now);
+      }
+      continue;
+    }
+    // Merge precondition: the channel has recovered (lag under half the
+    // split threshold, hysteresis) AND the shared window still retains
+    // everything it might NACK — seq > cumAcked implies seq >= the
+    // shared window's lowest stored frame.
+    const std::uint64_t sharedLowest =
+        pub.retx->empty() ? pub.nextSeq : pub.retx->lowestStored();
+    const bool caughtUp =
+        (pub.retx->empty() ||
+         pub.retx->highestStored() <= ch.cumAcked + rc.splitLagFrames / 2) &&
+        ch.cumAcked + 1 >= sharedLowest;
+    if (!caughtUp) {
+      ch.caughtUpSinceSec = -1.0;
+    } else if (ch.caughtUpSinceSec < 0.0) {
+      ch.caughtUpSinceSec = now;
+    } else if (now - ch.caughtUpSinceSec >= rc.mergeSustainSec) {
+      mergeChannelWindow(ch);
+    }
+  }
+}
+
+void CbShard::advertiseDegradeSkips(PublicationEntry& pub) {
+  for (OutChannel& ch : pub.channels) {
+    if (ch.qos != net::QosClass::kReliableOrdered || !ch.qosConfirmed)
+      continue;
+    net::ReliableSendWindow* w = windowFor(pub, ch);
+    if (w == nullptr || w->overflowPolicy() !=
+                            net::OverflowPolicy::kDegradeLatestValue)
+      continue;
+    const std::uint64_t evicted = w->highestEvicted();
+    if (evicted <= ch.cumAcked || evicted <= ch.lastSkipAdvertised) continue;
+    cb_.stageToChannel(ch, encode(WindowAckMsg{ch.remoteChannelId, evicted,
+                                               /*fromPublisher=*/true}));
+    ch.lastSkipAdvertised = evicted;
+    ++cb_.stats_.reliable.degradeSkipsSent;
+  }
 }
 
 void CbShard::deliverReliableReady(InChannel& ch,
@@ -456,6 +548,16 @@ void CbShard::attachTraceEcho(InChannel& ch, WindowAckMsg& ack, double now) {
   ch.pendingEcho.reset();
 }
 
+void CbShard::attachDupReport(const InChannel& ch, WindowAckMsg& ack) {
+  // Cumulative, not interval: a report lost on the wire is healed by the
+  // next one. Zero duplicates appends no dup block, so a loss-free
+  // channel's acks stay byte-identical to the pre-dup-report wire.
+  const std::uint64_t dups = ch.rq->duplicatesDropped();
+  if (dups == 0) return;
+  ack.dupReported = true;
+  ack.dupCount = dups;
+}
+
 void CbShard::handleNack(PublicationHandle pub, const NackMsg& m,
                          const net::NodeAddr& src, double now) {
   const auto it = publications_.find(pub);
@@ -472,30 +574,33 @@ void CbShard::handleNack(PublicationHandle pub, const NackMsg& m,
   // sweep's stalled-channel guard never pauses a peer that is actively
   // asking for frames (its heartbeats/acks may all be getting lost).
   ch->lastHeardSec = now;
+  // A split channel is served from its private window (same shape, its
+  // own eviction horizon).
+  net::ReliableSendWindow* w = windowFor(p, *ch);
   std::uint64_t skipThrough = 0;
   for (const std::uint64_t seq : m.missingSeqs) {
     if (seq < ch->firstSeq || seq >= p.nextSeq) continue;  // never owed
-    if (std::vector<std::uint8_t>* frame = p.retx->frame(seq)) {
+    if (std::vector<std::uint8_t>* frame = w->frame(seq)) {
       patchChannelId(*frame, ch->remoteChannelId);
       cb_.stageToChannel(*ch, *frame);
       if (seq > ch->maxSentSeq) {
         // First trip on this channel (withheld while the QoS upgrade was
         // unconfirmed): data, not a re-send.
         ch->maxSentSeq = seq;
-        p.retx->touchSent(seq, now);
+        w->touchSent(seq, now);
         ++cb_.stats_.reliable.dataFramesSent;
       } else {
-        p.retx->markSent(seq, now);
+        w->markSent(seq, now);
         ++ch->retransmits;
         if (cb_.tracing())
           cb_.traceEvent(telemetry::TraceEventKind::kRetransmit, now, 0.0, seq,
                          ch->remoteChannelId);
       }
       ch->lastSentSec = now;
-    } else if (seq <= p.retx->highestEvicted()) {
+    } else if (seq <= w->highestEvicted()) {
       // Evicted by window overflow: the subscriber must skip, or it will
       // NACK this hole forever.
-      skipThrough = std::max(skipThrough, p.retx->highestEvicted());
+      skipThrough = std::max(skipThrough, w->highestEvicted());
     }
     // Otherwise the frame was pruned because this subscriber already
     // acked it — a stale NACK that crossed our prune in flight; ignore.
@@ -547,6 +652,15 @@ void CbShard::handleSubscriberWindowAck(PublicationHandle pub,
   ch->qosConfirmed = true;
   ch->cumAcked = std::max(ch->cumAcked, m.cumulativeSeq);
   ch->lastHeardSec = now;
+  if (m.dupReported && m.dupCount > ch->dupReported) {
+    // The subscriber's cumulative duplicate count advanced: those
+    // retransmits were delivered twice, not lost. The loss estimate
+    // subtracts them (reliableLossEstimatePct's third argument), which
+    // removes the tail-RTO bias on low-rate streams — a tail re-send
+    // racing a slow ack is a duplicate, not path loss.
+    cb_.stats_.reliable.peerDuplicatesReported += m.dupCount - ch->dupReported;
+    ch->dupReported = m.dupCount;
+  }
   if (!wasConfirmed && p.retx) {
     // The QoS upgrade just landed: every frame withheld while the
     // subscriber was QoS-blind leaves NOW, as one burst, instead of
@@ -567,6 +681,7 @@ void CbShard::handleSubscriberWindowAck(PublicationHandle pub,
       ch->lastSentSec = now;
     }
   }
+  if (ch->splitRetx) ch->splitRetx->pruneThrough(ch->cumAcked);
   compactSendWindow(p);
 }
 
@@ -586,9 +701,43 @@ void CbShard::removeInChannel(std::uint32_t channelId, bool sendBye) {
   inChannels_.erase(it);
 }
 
-void CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
+bool CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
                      double timestamp) {
-  const std::uint64_t seq = pub.nextSeq++;
+  const std::uint64_t seq = pub.nextSeq;
+  const bool network = !pub.channels.empty();
+  bool sampled = false;
+  if (network) {
+    // Serialize the frame once; only the 4-byte channel id differs between
+    // channels, so fan-out patches it in place instead of re-encoding the
+    // whole payload per channel. The attribute set is encoded straight
+    // into the reusable frame (no intermediate payload vector), so the
+    // steady-state hot path is allocation-free. Encoding precedes the
+    // fast path because the kBlockPublisher gate needs the frame's size.
+    net::WireWriter w(std::move(cb_.updateFrame_));
+    const std::size_t blobStart = beginUpdateFrame(w, seq, timestamp);
+    attrs.encodeInto(w);
+    w.endBlob(blobStart);
+    // Latency sampling: every traceSampleEvery-th update on a reliable
+    // publication carries the publish-time tag. It is appended BEFORE the
+    // frame is stored in the retransmit window, so a retransmitted sample
+    // measures retransmit-inclusive latency. Sampling off (the default)
+    // appends nothing — the frame is byte-identical.
+    sampled = cb_.cfg_.traceSampleEvery > 0 && pub.retx != nullptr &&
+              seq % cb_.cfg_.traceSampleEvery == 0;
+    if (sampled) appendUpdateTraceTag(w, cb_.now_);
+    cb_.updateFrame_ = w.take();
+    if (pub.retx &&
+        pub.retx->overflowPolicy() == net::OverflowPolicy::kBlockPublisher &&
+        pub.retx->wouldOverflow(cb_.updateFrame_.size())) {
+      // Refused before the sequence number is consumed or anything is
+      // delivered (local subscribers included — they must not run ahead
+      // of a stream the publisher will retry). Split laggards do not
+      // block: the gate watches only the shared window.
+      ++cb_.stats_.reliable.updatesBlocked;
+      return false;
+    }
+  }
+  pub.nextSeq = seq + 1;
 
   // Local fast path: same-computer subscribers get the update without the
   // network round trip (§2.1 — one or many LPs can run on a computer).
@@ -606,39 +755,37 @@ void CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
   }
   locals.resize(kept);
 
-  if (!pub.channels.empty()) {
-    // Serialize the frame once; only the 4-byte channel id differs between
-    // channels, so fan-out patches it in place instead of re-encoding the
-    // whole payload per channel. The attribute set is encoded straight
-    // into the reusable frame (no intermediate payload vector), so the
-    // steady-state hot path is allocation-free.
-    net::WireWriter w(std::move(cb_.updateFrame_));
-    const std::size_t blobStart = beginUpdateFrame(w, seq, timestamp);
-    attrs.encodeInto(w);
-    w.endBlob(blobStart);
-    // Latency sampling: every traceSampleEvery-th update on a reliable
-    // publication carries the publish-time tag. It is appended BEFORE the
-    // frame is stored in the retransmit window, so a retransmitted sample
-    // measures retransmit-inclusive latency. Sampling off (the default)
-    // appends nothing — the frame is byte-identical.
-    const bool sampled = cb_.cfg_.traceSampleEvery > 0 && pub.retx != nullptr &&
-                         seq % cb_.cfg_.traceSampleEvery == 0;
-    if (sampled) {
-      appendUpdateTraceTag(w, cb_.now_);
-      if (cb_.tracing())
-        cb_.traceEvent(telemetry::TraceEventKind::kUpdatePublished, cb_.now_,
-                       0.0, seq);
-    }
-    cb_.updateFrame_ = w.take();
+  if (network) {
+    if (sampled && cb_.tracing())
+      cb_.traceEvent(telemetry::TraceEventKind::kUpdatePublished, cb_.now_,
+                     0.0, seq);
     bool buffered = false;
     for (OutChannel& ch : pub.channels) {
-      if (ch.qos == net::QosClass::kReliableOrdered && !buffered) {
-        // One buffered copy serves every reliable channel; the channel id
-        // is re-patched at retransmit time.
-        if (pub.retx) pub.retx->store(seq, cb_.updateFrame_, cb_.now_);
-        buffered = true;
+      if (ch.qos == net::QosClass::kReliableOrdered) {
+        if (!buffered) {
+          // One buffered copy serves every shared-window reliable channel;
+          // the channel id is re-patched at retransmit time.
+          if (pub.retx) pub.retx->store(seq, cb_.updateFrame_, cb_.now_);
+          buffered = true;
+        }
+        // A split laggard buffers its own copy: its private window ages
+        // and evicts on the laggard's pace alone.
+        if (ch.splitRetx)
+          ch.splitRetx->store(seq, cb_.updateFrame_, cb_.now_);
       }
       if (!ch.qosConfirmed) continue;  // held back until the upgrade lands
+      if (ch.qos == net::QosClass::kBestEffort && ch.sendFactor < 1.0 &&
+          !pub.thinExempt) {
+        // Backpressure thinning (newest-wins channels only): accumulate
+        // the skip fraction and drop evenly. The skipped update is simply
+        // superseded — exactly the QoS contract of a best-effort channel.
+        ch.thinDebt += 1.0 - ch.sendFactor;
+        if (ch.thinDebt >= 1.0) {
+          ch.thinDebt -= 1.0;
+          ++cb_.stats_.updatesThinned;
+          continue;
+        }
+      }
       patchChannelId(cb_.updateFrame_, ch.remoteChannelId);
       cb_.stageToChannel(ch, cb_.updateFrame_);
       ch.lastSentSec = cb_.now_;
@@ -648,6 +795,7 @@ void CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
         ch.maxSentSeq = seq;
       }
     }
+    if (pub.retx) advertiseDegradeSkips(pub);
     if (cb_.cfg_.batch.flushReliableUpdates && pub.retx) {
       // Latency escape hatch: reliable command streams leave now rather
       // than riding the end-of-tick flush.
@@ -656,6 +804,18 @@ void CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
             ch.batchSlot != kNoBatchSlot)
           cb_.flushSlot(cb_.peerBatches_[ch.batchSlot]);
       }
+    }
+  }
+  return true;
+}
+
+void CbShard::setPeerSendFactor(const net::NodeAddr& peer, double factor) {
+  const double f = std::clamp(factor, 0.0, 1.0);
+  for (auto& [h, pub] : publications_) {
+    for (OutChannel& ch : pub.channels) {
+      if (!(ch.remote == peer)) continue;
+      ch.sendFactor = f;
+      if (f >= 1.0) ch.thinDebt = 0.0;
     }
   }
 }
@@ -716,6 +876,7 @@ bool CbShard::inChannelTimer(std::uint32_t channelId, double now,
     if (const auto cum = ch.rq->collectAck(now)) {
       WindowAckMsg ack{ch.channelId, *cum, /*fromPublisher=*/false};
       attachTraceEcho(ch, ack, now);
+      attachDupReport(ch, ack);
       cb_.stageToChannel(ch, encode(ack));
       // The ack doubles as a keep-alive on this direction.
       ch.lastHeartbeatSent = now;
@@ -736,6 +897,7 @@ bool CbShard::inChannelTimer(std::uint32_t channelId, double now,
       if (const auto cum = ch.rq->piggybackAck(now)) {
         WindowAckMsg ack{ch.channelId, *cum, /*fromPublisher=*/false};
         attachTraceEcho(ch, ack, now);
+        attachDupReport(ch, ack);
         cb_.stageToChannel(ch, encode(ack));
       }
     }
@@ -776,6 +938,13 @@ void CbShard::publicationTimer(PublicationHandle h, double now,
       ch.lastSentSec = now;
     }
   }
+  // Split/merge decisions before the sweeps, so a channel split this
+  // tick is already excluded from the shared sweep below.
+  runWindowSplitTimer(pub, now);
+  const double stalledAfterSec = 2.0 * cb_.cfg_.heartbeatIntervalSec;
+  const auto stalled = [&](const OutChannel& ch) {
+    return now - ch.lastHeardSec > stalledAfterSec;
+  };
   if (pub.retx && !pub.retx->empty()) {
     // Unprompted retransmit of frames unacked beyond the timeout: loss
     // of the last frame of a burst leaves no gap for the receiver to
@@ -791,16 +960,13 @@ void CbShard::publicationTimer(PublicationHandle h, double now,
     // kill/restart window. Nothing is given up: the frames stay in the
     // window, and the moment the peer speaks again lastHeardSec
     // refreshes and the sweep resumes where it left off.
-    const double stalledAfterSec = 2.0 * cb_.cfg_.heartbeatIntervalSec;
-    const auto stalled = [&](const OutChannel& ch) {
-      return now - ch.lastHeardSec > stalledAfterSec;
-    };
     std::uint64_t minUnacked = std::numeric_limits<std::uint64_t>::max();
     for (const OutChannel& ch : chans) {
       // Unconfirmed channels receive nothing yet, so sweeping for them
-      // would only churn the frame timers.
+      // would only churn the frame timers. Split channels sweep their
+      // own window below.
       if (ch.qos == net::QosClass::kReliableOrdered && ch.qosConfirmed &&
-          !stalled(ch))
+          !ch.splitRetx && !stalled(ch))
         minUnacked = std::min(minUnacked, ch.cumAcked + 1);
     }
     for (const std::uint64_t seq :
@@ -809,7 +975,8 @@ void CbShard::publicationTimer(PublicationHandle h, double now,
       if (frame == nullptr) continue;
       for (OutChannel& ch : chans) {
         if (ch.qos != net::QosClass::kReliableOrdered || !ch.qosConfirmed ||
-            ch.cumAcked >= seq || seq < ch.firstSeq || stalled(ch))
+            ch.splitRetx || ch.cumAcked >= seq || seq < ch.firstSeq ||
+            stalled(ch))
           continue;
         patchChannelId(*frame, ch.remoteChannelId);
         cb_.stageToChannel(ch, *frame);
@@ -830,6 +997,30 @@ void CbShard::publicationTimer(PublicationHandle h, double now,
             cb_.traceEvent(telemetry::TraceEventKind::kRetransmit, now, 0.0,
                            seq, ch.remoteChannelId);
         }
+      }
+    }
+  }
+  // Tail sweep of each split channel's private window — same contract,
+  // one channel per window, the laggard's own cumulative ack as floor.
+  for (OutChannel& ch : chans) {
+    if (!ch.splitRetx || ch.splitRetx->empty() || stalled(ch)) continue;
+    for (const std::uint64_t seq :
+         ch.splitRetx->takeTailRetransmits(ch.cumAcked + 1, now)) {
+      std::vector<std::uint8_t>* frame = ch.splitRetx->frame(seq);
+      if (frame == nullptr || ch.cumAcked >= seq || seq < ch.firstSeq)
+        continue;
+      patchChannelId(*frame, ch.remoteChannelId);
+      cb_.stageToChannel(ch, *frame);
+      ch.lastSentSec = now;
+      if (seq > ch.maxSentSeq) {
+        ch.maxSentSeq = seq;
+        ++cb_.stats_.reliable.dataFramesSent;
+      } else {
+        ++ch.retransmits;
+        ++cb_.stats_.reliable.retransmitsSent;
+        if (cb_.tracing())
+          cb_.traceEvent(telemetry::TraceEventKind::kRetransmit, now, 0.0,
+                         seq, ch.remoteChannelId);
       }
     }
   }

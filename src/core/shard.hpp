@@ -97,6 +97,33 @@ struct OutChannel {
   /// (dataFramesSent) instead of retransmits, keeping the
   /// reliable-layer loss estimate unbiased under channel upgrades.
   std::uint64_t maxSentSeq = 0;
+  /// Private send window (flow control, ReliableConfig::
+  /// perChannelWindowSplit): allocated when this channel's cumulative
+  /// ack lags the shared window by splitLagFrames for splitSustainSec,
+  /// so a laggard stops pinning frames every healthy peer already
+  /// acked. Null = serving from the publication's shared window (the
+  /// only state when the feature is off).
+  std::unique_ptr<net::ReliableSendWindow> splitRetx;
+  /// Edge timers of the split/merge decision (-1 = condition not
+  /// currently observed).
+  double lagSinceSec = -1.0;
+  double caughtUpSinceSec = -1.0;
+  /// Telemetry-closed backpressure: fraction of best-effort updates
+  /// actually sent to this peer (1 = all). Reliable channels are never
+  /// thinned — their ordering contract is protected by the overflow
+  /// policy and the window split instead. `thinDebt` accumulates
+  /// (1 - sendFactor) per update and skips one when it reaches 1, so
+  /// any factor thins evenly rather than in bursts.
+  double sendFactor = 1.0;
+  double thinDebt = 0.0;
+  /// Cumulative duplicate count last reported by this subscriber in a
+  /// WINDOW_ACK dup block (high-water mark; reports are cumulative so
+  /// a lost one heals on the next).
+  std::uint64_t dupReported = 0;
+  /// Highest publisher-side skip already advertised to this channel by
+  /// the kDegradeLatestValue eviction path (avoids re-advertising the
+  /// same skip every update).
+  std::uint64_t lastSkipAdvertised = 0;
 };
 
 /// One publication-table entry.
@@ -112,6 +139,17 @@ struct PublicationEntry {
   /// publication (frames differ only in the patched channel id).
   /// Allocated on the first reliable channel.
   std::unique_ptr<net::ReliableSendWindow> retx;
+  /// Per-publication overflow-policy override
+  /// (CommunicationBackbone::setPublicationOverflowPolicy); unset means
+  /// Config::reliable.overflowPolicy. Remembered here so a window
+  /// allocated after the override call still honors it.
+  std::optional<net::OverflowPolicy> overflowPolicy;
+  /// Exempt from per-peer backpressure thinning
+  /// (CommunicationBackbone::setPublicationThinningExempt). Control-plane
+  /// streams — telemetry above all — must keep flowing to a struggling
+  /// peer: they are how its struggle is observed and how its recovery is
+  /// detected, so thinning them would sever the very loop that thins.
+  bool thinExempt = false;
 };
 
 /// Delivery timing of the most recent sampled (trace-tagged) update
@@ -236,8 +274,17 @@ class CbShard {
                         std::vector<std::uint8_t>& pubHeartbeat);
 
   // --- data plane ---
-  void update(PublicationEntry& pub, const AttributeSet& attrs,
+  /// Returns false iff the update was refused by the shared send
+  /// window's OverflowPolicy::kBlockPublisher gate (nothing was sent,
+  /// delivered or sequenced; the caller may retry later). Every other
+  /// policy always returns true.
+  bool update(PublicationEntry& pub, const AttributeSet& attrs,
               double timestamp);
+
+  /// Backpressure hook: set the best-effort thinning factor for every
+  /// outgoing channel of this shard whose endpoint is `peer` (clamped
+  /// to [0, 1]; 1 restores full rate and clears the thinning debt).
+  void setPeerSendFactor(const net::NodeAddr& peer, double factor);
 
   void removeInChannel(std::uint32_t channelId, bool sendBye);
 
@@ -253,6 +300,27 @@ class CbShard {
                             std::vector<net::ReliableFrame>& ready);
   /// Move `ch.pendingEcho` (if any) onto an outgoing WINDOW_ACK.
   void attachTraceEcho(InChannel& ch, WindowAckMsg& ack, double now);
+  /// Attach this channel's cumulative duplicate count to an outgoing
+  /// WINDOW_ACK (dup block) when any duplicates have been dropped.
+  static void attachDupReport(const InChannel& ch, WindowAckMsg& ack);
+  /// The send window serving `ch`: its private split window if one
+  /// exists, else the publication's shared window.
+  static net::ReliableSendWindow* windowFor(PublicationEntry& pub,
+                                            OutChannel& ch);
+  /// Split `ch` onto a private send window seeded from the shared one
+  /// (everything above its cumulative ack), then re-compact the shared
+  /// window the laggard no longer pins.
+  void splitChannelWindow(PublicationEntry& pub, OutChannel& ch, double now);
+  /// Drop `ch`'s private window and rejoin the shared one (caller has
+  /// verified the shared window retains everything still NACKable).
+  void mergeChannelWindow(OutChannel& ch);
+  /// The split/merge decision for every reliable channel of `pub`
+  /// (ReliableConfig::perChannelWindowSplit; no-op when off).
+  void runWindowSplitTimer(PublicationEntry& pub, double now);
+  /// kDegradeLatestValue: proactively advertise publisher-side skips to
+  /// channels whose serving window evicted past their cumulative ack,
+  /// without waiting for a NACK round trip.
+  void advertiseDegradeSkips(PublicationEntry& pub);
   /// Prune (or drop) a publication's retransmit window after acks or
   /// channel departures.
   void compactSendWindow(PublicationEntry& pub);

@@ -36,7 +36,27 @@ void ImpairedTransport::broadcast(std::uint16_t port,
 
 std::optional<Datagram> ImpairedTransport::receive() {
   pump();
-  return inner_->receive();
+  if (!cfg_.impairReceive) return inner_->receive();
+  // Duplex mode: drain the socket fully through the inbound model —
+  // losses vanish here, survivors wait out their delay in a release
+  // queue. Draining everything available keeps the kernel buffer from
+  // backing up while held datagrams age.
+  while (std::optional<Datagram> d = inner_->receive()) {
+    ++stats_.offeredRx;
+    if (rng_.chance(cfg_.lossPct / 100.0)) {
+      ++stats_.droppedRx;
+      continue;
+    }
+    double delay = cfg_.delayMinSec;
+    if (cfg_.delayMaxSec > cfg_.delayMinSec)
+      delay = rng_.uniform(cfg_.delayMinSec, cfg_.delayMaxSec);
+    rxQueue_.push(HeldRx{clock_() + delay, nextOrder_++, std::move(*d)});
+  }
+  if (rxQueue_.empty() || rxQueue_.top().dueSec > clock_())
+    return std::nullopt;
+  Datagram out = std::move(const_cast<HeldRx&>(rxQueue_.top()).dgram);
+  rxQueue_.pop();
+  return out;
 }
 
 void ImpairedTransport::offer(bool isBroadcast, const NodeAddr& dst,

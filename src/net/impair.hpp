@@ -45,6 +45,13 @@ struct ImpairmentConfig {
   double delayMaxSec = 0.0;
   /// How long a reordered (or duplicated) datagram is held, seconds.
   double reorderHoldSec = 0.02;
+  /// Also apply loss and delay (not reordering/duplication) to INBOUND
+  /// datagrams, making the impairment duplex. Send-side-only models a
+  /// congested uplink; duplex models a node whose whole link is bad —
+  /// the starved-node soak drill. An inbound drop is as invisible to the
+  /// layers above as real network loss: the datagram simply never
+  /// arrives.
+  bool impairReceive = false;
   std::uint64_t seed = 1;
 };
 
@@ -58,6 +65,8 @@ struct ImpairmentStats {
   std::uint64_t duplicated = 0;  // extra copies enqueued
   std::uint64_t reordered = 0;   // held for overtaking
   std::uint64_t delayed = 0;     // entered the release queue at all
+  std::uint64_t offeredRx = 0;   // inbound datagrams (impairReceive only)
+  std::uint64_t droppedRx = 0;   // inbound datagrams never delivered up
   double injectedLossPct() const {
     return offered == 0
                ? 0.0
@@ -95,8 +104,8 @@ class ImpairedTransport final : public Transport {
   /// Release every held datagram whose time has come. Called internally
   /// by send/receive; exposed for tests and drain-at-shutdown.
   void pump();
-  /// Held datagrams not yet released.
-  std::size_t heldCount() const { return queue_.size(); }
+  /// Held datagrams not yet released (outbound and delayed inbound).
+  std::size_t heldCount() const { return queue_.size() + rxQueue_.size(); }
 
  private:
   struct Held {
@@ -119,12 +128,25 @@ class ImpairedTransport final : public Transport {
   void hold(bool isBroadcast, const NodeAddr& dst, std::uint16_t port,
             std::span<const std::uint8_t> bytes, double dueSec);
 
+  /// A delayed inbound datagram waiting out its extra latency.
+  struct HeldRx {
+    double dueSec = 0.0;
+    std::uint64_t order = 0;
+    Datagram dgram;
+    bool operator>(const HeldRx& o) const {
+      if (dueSec != o.dueSec) return dueSec > o.dueSec;
+      return order > o.order;
+    }
+  };
+
   std::unique_ptr<Transport> inner_;
   ImpairmentConfig cfg_;
   Clock clock_;
   math::Rng rng_;
   ImpairmentStats stats_;
   std::priority_queue<Held, std::vector<Held>, std::greater<Held>> queue_;
+  std::priority_queue<HeldRx, std::vector<HeldRx>, std::greater<HeldRx>>
+      rxQueue_;
   std::uint64_t nextOrder_ = 0;
 };
 

@@ -12,21 +12,57 @@ const char* qosName(QosClass q) {
   return "?";
 }
 
+const char* overflowPolicyName(OverflowPolicy p) {
+  switch (p) {
+    case OverflowPolicy::kEvictOldest: return "evict-oldest";
+    case OverflowPolicy::kBlockPublisher: return "block-publisher";
+    case OverflowPolicy::kDegradeLatestValue: return "degrade-latest-value";
+  }
+  return "?";
+}
+
 // ---- ReliableSendWindow -------------------------------------------------
+
+bool ReliableSendWindow::wouldOverflow(std::size_t frameBytes) const {
+  if (frames_.size() + 1 > cfg_->sendWindowFrames) return true;
+  return cfg_->sendWindowBytes != 0 &&
+         bytesBuffered_ + frameBytes > cfg_->sendWindowBytes;
+}
+
+void ReliableSendWindow::evictOldest() {
+  highestEvicted_ = std::max(highestEvicted_, frames_.begin()->first);
+  bytesBuffered_ -= frames_.begin()->second.frame.size();
+  frames_.erase(frames_.begin());
+  ++stats_->sendWindowEvictions;
+}
 
 void ReliableSendWindow::store(std::uint64_t seq,
                                std::vector<std::uint8_t> frame, double now) {
   Entry e;
   e.frame = std::move(frame);
   e.lastSentSec = now;  // storing happens at first send
+  bytesBuffered_ += e.frame.size();
   frames_[seq] = std::move(e);
   highestStored_ = std::max(highestStored_, seq);
   ++stats_->framesBuffered;
-  while (frames_.size() > cfg_->sendWindowFrames) {
-    highestEvicted_ = std::max(highestEvicted_, frames_.begin()->first);
-    frames_.erase(frames_.begin());
-    ++stats_->sendWindowEvictions;
+  // Both evicting policies trim here; kBlockPublisher never reaches an
+  // over-budget store (the caller gates on wouldOverflow), but trimming
+  // unconditionally keeps the invariant even if it does.
+  while (frames_.size() > cfg_->sendWindowFrames) evictOldest();
+  if (cfg_->sendWindowBytes != 0) {
+    // Never evict down to nothing: the newest frame stays even when it is
+    // alone bigger than the budget, so the stream always makes progress.
+    while (frames_.size() > 1 && bytesBuffered_ > cfg_->sendWindowBytes)
+      evictOldest();
   }
+}
+
+std::vector<std::uint64_t> ReliableSendWindow::storedSeqsAbove(
+    std::uint64_t afterSeq) const {
+  std::vector<std::uint64_t> seqs;
+  for (auto it = frames_.upper_bound(afterSeq); it != frames_.end(); ++it)
+    seqs.push_back(it->first);
+  return seqs;
 }
 
 std::vector<std::uint8_t>* ReliableSendWindow::frame(std::uint64_t seq) {
@@ -51,6 +87,7 @@ void ReliableSendWindow::touchSent(std::uint64_t seq, double now) {
 
 void ReliableSendWindow::pruneThrough(std::uint64_t throughSeq) {
   while (!frames_.empty() && frames_.begin()->first <= throughSeq) {
+    bytesBuffered_ -= frames_.begin()->second.frame.size();
     frames_.erase(frames_.begin());
     ++stats_->framesPruned;
   }
@@ -110,6 +147,7 @@ ReliableReceiveQueue::Offer ReliableReceiveQueue::offer(
   if (baseKnown_) {
     if (frame.seq < nextExpected_) {
       ++stats_->duplicatesDropped;
+      ++duplicatesDropped_;
       ackDue_ = true;  // the sender evidently missed our last ack
       return Offer::kDuplicate;
     }
@@ -124,6 +162,7 @@ ReliableReceiveQueue::Offer ReliableReceiveQueue::offer(
   // Out of order, or the base is still unknown: hold the frame.
   if (buffer_.contains(frame.seq)) {
     ++stats_->duplicatesDropped;
+    ++duplicatesDropped_;
     return Offer::kDuplicate;
   }
   if (buffer_.size() >= cfg_->reorderLimit) {

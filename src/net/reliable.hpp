@@ -46,6 +46,26 @@ enum class QosClass : std::uint8_t {
 
 const char* qosName(QosClass q);
 
+/// What a byte-budgeted send window does when storing one more frame
+/// would overrun its budget.
+enum class OverflowPolicy : std::uint8_t {
+  /// Evict the oldest buffered frame (the seed behavior): receivers that
+  /// still miss it are told to skip, so overflow degrades to counted
+  /// loss instead of livelock.
+  kEvictOldest = 0,
+  /// Refuse the update: updateAttributeValues returns false and the
+  /// publisher must retry later. Nothing is ever dropped, at the price
+  /// of head-of-line blocking the publisher itself.
+  kBlockPublisher = 1,
+  /// Evict the oldest frame AND proactively advertise the skip to every
+  /// subscriber (publisher-side WINDOW_ACK), without waiting for a NACK
+  /// round trip — the right trade for latest-value-semantics classes
+  /// where a stale update is worthless the moment a newer one exists.
+  kDegradeLatestValue = 2,
+};
+
+const char* overflowPolicyName(OverflowPolicy p);
+
 /// Tunables of the reliable layer (CB config embeds one).
 struct ReliableConfig {
   /// How long a gap must persist before the receiver NACKs it, and the
@@ -62,6 +82,25 @@ struct ReliableConfig {
   /// oldest frame — receivers that still miss it are told to skip, so a
   /// too-small window degrades to counted loss instead of livelock.
   std::size_t sendWindowFrames = 512;
+  /// Retransmit buffer cap in payload BYTES per window (0 = no byte
+  /// budget, the seed behavior). Frame counts are a poor proxy for memory
+  /// and for how long a laggard can pin the window when update sizes vary
+  /// by 100x across classes; the byte budget bounds the real cost. What
+  /// happens at the budget is overflowPolicy's call.
+  std::size_t sendWindowBytes = 0;
+  /// Policy applied when a store would overrun sendWindowFrames /
+  /// sendWindowBytes. Per-publication overrides go through
+  /// ReliableSendWindow::setOverflowPolicy.
+  OverflowPolicy overflowPolicy = OverflowPolicy::kEvictOldest;
+  /// Per-channel window split: a subscriber whose cumulative ack lags the
+  /// shared window by splitLagFrames for splitSustainSec gets its own
+  /// private send window, so it stops pinning the frames every healthy
+  /// peer already acked. It re-merges after mergeSustainSec of staying
+  /// caught up. Off (false) is wire- and behavior-identical to the seed.
+  bool perChannelWindowSplit = false;
+  std::size_t splitLagFrames = 64;
+  double splitSustainSec = 0.5;
+  double mergeSustainSec = 1.0;
   /// Receiver reorder buffer cap, frames per channel.
   std::size_t reorderLimit = 1024;
   /// Missing sequence numbers listed per NACK message.
@@ -95,6 +134,20 @@ struct ReliableStats {
   std::uint64_t duplicatesDropped = 0;   // receiver: seq already delivered
   std::uint64_t reorderOverflows = 0;    // receiver: buffer cap hit
   std::uint64_t gapsAbandoned = 0;       // receiver: skipped on sender's order
+  /// Sender: updates refused under OverflowPolicy::kBlockPublisher (the
+  /// publisher saw updateAttributeValues return false).
+  std::uint64_t updatesBlocked = 0;
+  /// Sender: proactive skip advertisements staged by the
+  /// kDegradeLatestValue eviction path (one per channel per advance).
+  std::uint64_t degradeSkipsSent = 0;
+  /// Sender: per-channel window splits and re-merges.
+  std::uint64_t windowSplits = 0;
+  std::uint64_t windowMerges = 0;
+  /// Sender: duplicates subscribers reported back via WINDOW_ACK dup
+  /// blocks — retransmits that arrived after the original made it. The
+  /// loss estimate subtracts them: a delivered-twice frame was never a
+  /// network loss, just an ack that lost the race with the tail RTO.
+  std::uint64_t peerDuplicatesReported = 0;
 };
 
 /// One data frame as the reliable layer sees it: an opaque payload with
@@ -121,11 +174,22 @@ struct ReliableFrame {
 class ReliableSendWindow {
  public:
   ReliableSendWindow(const ReliableConfig& cfg, ReliableStats& stats)
-      : cfg_(&cfg), stats_(&stats) {}
+      : cfg_(&cfg), stats_(&stats), policy_(cfg.overflowPolicy) {}
 
   /// Buffer one encoded frame (copies; the live frame buffer is reused by
-  /// the caller). Evicts the oldest frame beyond the window cap.
+  /// the caller). Evicts the oldest frames beyond the frame cap and, when
+  /// a byte budget is configured, beyond the byte budget.
   void store(std::uint64_t seq, std::vector<std::uint8_t> frame, double now);
+
+  /// Would storing a frame of `frameBytes` overrun the window's frame cap
+  /// or byte budget? The kBlockPublisher policy asks this BEFORE encoding
+  /// and consuming a sequence number; the evicting policies never ask.
+  bool wouldOverflow(std::size_t frameBytes) const;
+
+  /// Per-window policy override (publications can choose; the config
+  /// default applies until this is called).
+  void setOverflowPolicy(OverflowPolicy p) { policy_ = p; }
+  OverflowPolicy overflowPolicy() const { return policy_; }
 
   /// The stored frame for `seq`, or null if never stored / already
   /// pruned / evicted. Mutable so the caller can patch the channel id in
@@ -164,9 +228,22 @@ class ReliableSendWindow {
   /// NACKing at or below it must be told to skip.
   std::uint64_t highestEvicted() const { return highestEvicted_; }
   std::uint64_t highestStored() const { return highestStored_; }
+  /// Oldest sequence still buffered (0 when empty) — the split path's
+  /// merge precondition: a laggard may rejoin the shared window only if
+  /// everything it might still NACK is retained there.
+  std::uint64_t lowestStored() const {
+    return frames_.empty() ? 0 : frames_.begin()->first;
+  }
+  /// Stored sequences strictly above `afterSeq`, ascending — the split
+  /// path seeds a laggard's private window from the shared one.
+  std::vector<std::uint64_t> storedSeqsAbove(std::uint64_t afterSeq) const;
   std::size_t size() const { return frames_.size(); }
+  std::size_t bytesBuffered() const { return bytesBuffered_; }
   bool empty() const { return frames_.empty(); }
-  void clear() { frames_.clear(); }
+  void clear() {
+    frames_.clear();
+    bytesBuffered_ = 0;
+  }
 
  private:
   struct Entry {
@@ -174,12 +251,16 @@ class ReliableSendWindow {
     double lastSentSec = 0.0;
   };
 
+  void evictOldest();
+
   const ReliableConfig* cfg_;
   ReliableStats* stats_;
   telemetry::LogHistogram* retxDelayHist_ = nullptr;
   std::map<std::uint64_t, Entry> frames_;
   std::uint64_t highestEvicted_ = 0;
   std::uint64_t highestStored_ = 0;
+  std::size_t bytesBuffered_ = 0;
+  OverflowPolicy policy_ = OverflowPolicy::kEvictOldest;
 };
 
 /// Receiver half: gap detection, NACK scheduling and in-order release for
@@ -242,6 +323,10 @@ class ReliableReceiveQueue {
   std::uint64_t nextExpected() const { return nextExpected_; }
   std::uint64_t maxSeen() const { return maxSeen_; }
   std::size_t buffered() const { return buffer_.size(); }
+  /// Cumulative duplicates dropped on THIS channel — reported back to the
+  /// publisher in WINDOW_ACK dup blocks so its loss estimate can subtract
+  /// retransmits that were delivered twice rather than lost.
+  std::uint64_t duplicatesDropped() const { return duplicatesDropped_; }
 
  private:
   void release(std::vector<ReliableFrame>& ready);
@@ -255,6 +340,7 @@ class ReliableReceiveQueue {
   bool baseKnown_ = false;
   std::uint64_t nextExpected_ = 0;
   std::uint64_t maxSeen_ = 0;
+  std::uint64_t duplicatesDropped_ = 0;
   double lastNackSec_ = -1e300;
   double lastAckSec_ = -1e300;
   bool ackDue_ = false;

@@ -86,7 +86,7 @@ UdpTransport::UdpTransport(const UdpConfig& cfg, HostId host,
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(udpPortFor(addr_));
-  if (::inet_pton(AF_INET, cfg_.bindIp.c_str(), &sa.sin_addr) != 1) {
+  if (::inet_pton(AF_INET, ipForHost(host).c_str(), &sa.sin_addr) != 1) {
     ::close(fd_);
     throw std::invalid_argument("UdpTransport: bad bind IP");
   }
@@ -116,6 +116,10 @@ std::uint16_t UdpTransport::udpPortFor(const NodeAddr& a) const {
                                     a.port);
 }
 
+const std::string& UdpTransport::ipForHost(HostId h) const {
+  return h < cfg_.hostIps.size() ? cfg_.hostIps[h] : cfg_.bindIp;
+}
+
 std::optional<NodeAddr> UdpTransport::addrForUdpPort(
     std::uint16_t udpPort) const {
   if (udpPort < cfg_.basePort) return std::nullopt;
@@ -131,7 +135,7 @@ void UdpTransport::send(const NodeAddr& dst,
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(udpPortFor(dst));
-  ::inet_pton(AF_INET, cfg_.bindIp.c_str(), &sa.sin_addr);
+  ::inet_pton(AF_INET, ipForHost(dst.host).c_str(), &sa.sin_addr);
   const ssize_t n =
       ::sendto(fd_, bytes.data(), bytes.size(), 0,
                reinterpret_cast<sockaddr*>(&sa), sizeof(sa));

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/transport.hpp"
 
@@ -20,6 +21,13 @@ struct UdpConfig {
   std::uint16_t basePort = 47000;
   std::uint16_t portsPerHost = 32;
   std::uint16_t maxHosts = 16;
+  /// Optional per-host interface map: host h binds and is reached at
+  /// hostIps[h] when h < hostIps.size(), falling back to bindIp. One
+  /// address plan can then span several loopback aliases (127.0.0.1 /
+  /// 127.0.0.2) or real interfaces. UDP ports stay globally unique
+  /// across the plan (basePort + host*portsPerHost + port regardless of
+  /// IP), so the source port alone still identifies the sender.
+  std::vector<std::string> hostIps;
 };
 
 /// Reserve a collision-free base port for a `slots`-wide address plan by
@@ -56,6 +64,7 @@ class UdpTransport final : public Transport {
  private:
   std::uint16_t udpPortFor(const NodeAddr& a) const;
   std::optional<NodeAddr> addrForUdpPort(std::uint16_t udpPort) const;
+  const std::string& ipForHost(HostId h) const;
 
   UdpConfig cfg_;
   NodeAddr addr_;

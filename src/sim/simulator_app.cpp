@@ -107,6 +107,10 @@ bool CraneSimulatorApp::waitUntilWired(double maxTimeSec) {
       deadline);
 }
 
+void CraneSimulatorApp::publishFinalTelemetry() {
+  for (const auto& t : telemetry_) t->publishFinal(cluster_.now());
+}
+
 bool CraneSimulatorApp::runExam(double maxTimeSec) {
   const double deadline = cluster_.now() + maxTimeSec;
   while (cluster_.now() < deadline) {

@@ -64,6 +64,12 @@ class CraneSimulatorApp {
   /// Returns true if the exam finished.
   bool runExam(double maxTimeSec);
 
+  /// Teardown telemetry: every computer flushes one final KEYFRAME so any
+  /// monitor's last view of the rack is the closing counters, decodable
+  /// without a delta base. Call before discarding the app (exam debrief,
+  /// rack shutdown); no-op when telemetry is disabled.
+  void publishFinalTelemetry();
+
   double now() const { return cluster_.now(); }
   core::CodCluster& cluster() { return cluster_; }
 

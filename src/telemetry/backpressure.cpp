@@ -1,0 +1,110 @@
+#include "telemetry/backpressure.hpp"
+
+#include <algorithm>
+
+namespace cod::telemetry {
+
+BackpressureGovernor::BackpressureGovernor(HealthMonitor& monitor,
+                                           BackpressureConfig cfg)
+    : core::LogicalProcess("backpressure"), mon_(&monitor), cfg_(cfg) {}
+
+void BackpressureGovernor::bind(core::CommunicationBackbone& cb) {
+  cb_ = &cb;
+  cb.attach(*this);
+}
+
+void BackpressureGovernor::apply(const std::string& node, PeerState& st) {
+  // The alarm names a node; the CB thins an endpoint. The monitor's
+  // latest snapshot for that node carries its address — until one has
+  // arrived there is nothing to thin anyway (no snapshot means no
+  // channel carrying our updates has been confirmed via telemetry).
+  const NodeHealth* h = mon_->node(node);
+  if (h == nullptr) return;
+  cb_->setPeerSendFactor(h->last.addr, st.factor);
+}
+
+void BackpressureGovernor::step(double now) {
+  if (cb_ == nullptr) return;
+  const std::vector<HealthAlarm>& feed = mon_->alarms();
+  for (; alarmCursor_ < feed.size(); ++alarmCursor_) {
+    const HealthAlarm& a = feed[alarmCursor_];
+    if (a.node == cb_->name()) continue;  // never thin toward ourselves
+    bool onset = false;
+    bool cleared = false;
+    switch (a.kind) {
+      case HealthAlarm::Kind::kMailboxOverflow: {
+        PeerState& st = peers_[a.node];
+        onset = !st.overflow;
+        st.overflow = true;
+        break;
+      }
+      case HealthAlarm::Kind::kRetransmitStorm: {
+        PeerState& st = peers_[a.node];
+        onset = !st.retxStorm;
+        st.retxStorm = true;
+        break;
+      }
+      case HealthAlarm::Kind::kLatencySpike: {
+        PeerState& st = peers_[a.node];
+        onset = !st.latency;
+        st.latency = true;
+        break;
+      }
+      case HealthAlarm::Kind::kOverflowCleared: {
+        const auto it = peers_.find(a.node);
+        if (it != peers_.end()) {
+          it->second.overflow = false;
+          cleared = true;
+        }
+        break;
+      }
+      case HealthAlarm::Kind::kRetransmitCleared: {
+        const auto it = peers_.find(a.node);
+        if (it != peers_.end()) {
+          it->second.retxStorm = false;
+          cleared = true;
+        }
+        break;
+      }
+      case HealthAlarm::Kind::kLatencyCleared: {
+        const auto it = peers_.find(a.node);
+        if (it != peers_.end()) {
+          it->second.latency = false;
+          cleared = true;
+        }
+        break;
+      }
+      default:
+        break;  // silence, loss spikes and channel alarms: not actuated
+    }
+    if (onset) {
+      PeerState& st = peers_[a.node];
+      st.factor = std::max(cfg_.minSendFactor, st.factor * cfg_.thinStep);
+      st.lastStepSec = now;
+      ++thinSteps_;
+      apply(a.node, st);
+    } else if (cleared) {
+      PeerState& st = peers_[a.node];
+      // The hysteresis clock starts when the LAST trigger kind clears.
+      if (!st.anyActive()) st.clearedAtSec = now;
+    }
+  }
+  // Stepped recovery for peers that have stayed clear long enough.
+  for (auto& [node, st] : peers_) {
+    if (st.factor >= 1.0 || st.anyActive()) continue;
+    if (now - st.clearedAtSec < cfg_.recoverHoldSec) continue;
+    if (now - st.lastStepSec < cfg_.recoverIntervalSec) continue;
+    st.factor = std::min(1.0, st.factor * cfg_.recoverStep);
+    st.lastStepSec = now;
+    ++recoverSteps_;
+    apply(node, st);
+  }
+}
+
+const BackpressureGovernor::PeerState* BackpressureGovernor::peer(
+    const std::string& node) const {
+  const auto it = peers_.find(node);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cod::telemetry

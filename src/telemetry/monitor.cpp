@@ -22,9 +22,18 @@ std::uint64_t delta(std::uint64_t cur, std::uint64_t prev) {
 
 double reliableLossEstimatePct(std::uint64_t dataFramesSent,
                                std::uint64_t retransmitsSent) {
+  return reliableLossEstimatePct(dataFramesSent, retransmitsSent, 0);
+}
+
+double reliableLossEstimatePct(std::uint64_t dataFramesSent,
+                               std::uint64_t retransmitsSent,
+                               std::uint64_t duplicatesReported) {
   const std::uint64_t attempts = dataFramesSent + retransmitsSent;
+  const std::uint64_t losses = retransmitsSent > duplicatesReported
+                                   ? retransmitsSent - duplicatesReported
+                                   : 0;
   return attempts == 0 ? 0.0
-                       : 100.0 * static_cast<double>(retransmitsSent) /
+                       : 100.0 * static_cast<double>(losses) /
                              static_cast<double>(attempts);
 }
 
@@ -219,10 +228,14 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
                         static_cast<double>(dDropped + dReceived);
   // Real sockets cannot attribute drops (framesDropped pinned at 0), so
   // loss there must be inferred from the reliable layer's own counters.
+  // Duplicate-corrected: subscriber-reported duplicates in the interval
+  // are retransmits whose originals arrived — not losses.
   h.reliableLossPct = reliableLossEstimatePct(
       delta(cur.cb.reliable.dataFramesSent, prev.cb.reliable.dataFramesSent),
       delta(cur.cb.reliable.retransmitsSent,
-            prev.cb.reliable.retransmitsSent));
+            prev.cb.reliable.retransmitsSent),
+      delta(cur.cb.reliable.peerDuplicatesReported,
+            prev.cb.reliable.peerDuplicatesReported));
   const std::uint64_t dBytes =
       delta(cur.transport.bytesSent, prev.transport.bytesSent);
   const std::uint64_t dPackets =

@@ -130,6 +130,20 @@ const char* severityName(HealthAlarm::Severity s);
 double reliableLossEstimatePct(std::uint64_t dataFramesSent,
                                std::uint64_t retransmitsSent);
 
+/// Duplicate-corrected loss estimate. Subscribers report (WINDOW_ACK dup
+/// blocks → reliable.peerDuplicatesReported) how many frames arrived
+/// twice: each of those retransmits was a tail-RTO or NACK race that the
+/// original actually survived, not a loss. Subtracting them removes the
+/// bias that overstates loss on low-rate streams, where a frame's ack
+/// routinely loses the race against the retransmit timeout:
+///   losses  = retransmitsSent − duplicatesReported   (floored at 0)
+///   percent = 100 × losses / (dataFramesSent + retransmitsSent)
+/// All arguments are counters (cumulative or interval deltas, but all
+/// three from the same interval).
+double reliableLossEstimatePct(std::uint64_t dataFramesSent,
+                               std::uint64_t retransmitsSent,
+                               std::uint64_t duplicatesReported);
+
 /// What the monitor knows about one node.
 struct NodeHealth {
   NodeTelemetry last;          // latest applied snapshot

@@ -37,6 +37,8 @@ constexpr std::array kCounterFields{
     COD_COUNTER("cb.malformedDrops", cb.malformedDrops),
     COD_COUNTER("cb.channelsTimedOut", cb.channelsTimedOut),
     COD_COUNTER("cb.mailboxOverflows", cb.mailboxOverflows),
+    // v4: flow control / backpressure.
+    COD_COUNTER("cb.updatesThinned", cb.updatesThinned),
     COD_COUNTER("reliable.framesBuffered", cb.reliable.framesBuffered),
     COD_COUNTER("reliable.framesPruned", cb.reliable.framesPruned),
     COD_COUNTER("reliable.sendWindowEvictions",
@@ -54,6 +56,13 @@ constexpr std::array kCounterFields{
     COD_COUNTER("reliable.duplicatesDropped", cb.reliable.duplicatesDropped),
     COD_COUNTER("reliable.reorderOverflows", cb.reliable.reorderOverflows),
     COD_COUNTER("reliable.gapsAbandoned", cb.reliable.gapsAbandoned),
+    // v4: flow control / backpressure.
+    COD_COUNTER("reliable.updatesBlocked", cb.reliable.updatesBlocked),
+    COD_COUNTER("reliable.degradeSkipsSent", cb.reliable.degradeSkipsSent),
+    COD_COUNTER("reliable.windowSplits", cb.reliable.windowSplits),
+    COD_COUNTER("reliable.windowMerges", cb.reliable.windowMerges),
+    COD_COUNTER("reliable.peerDuplicatesReported",
+                cb.reliable.peerDuplicatesReported),
     COD_COUNTER("batch.datagramsCoalesced", cb.batch.datagramsCoalesced),
     COD_COUNTER("batch.framesCoalesced", cb.batch.framesCoalesced),
     COD_COUNTER("batch.soloFlushes", cb.batch.soloFlushes),
@@ -63,6 +72,8 @@ constexpr std::array kCounterFields{
     COD_COUNTER("batch.datagramsUnpacked", cb.batch.datagramsUnpacked),
     COD_COUNTER("batch.framesUnpacked", cb.batch.framesUnpacked),
     COD_COUNTER("batch.peerSlotsReclaimed", cb.batch.peerSlotsReclaimed),
+    // v4: flow control / backpressure.
+    COD_COUNTER("batch.adaptiveFlushes", cb.batch.adaptiveFlushes),
     COD_COUNTER("transport.packetsSent", transport.packetsSent),
     COD_COUNTER("transport.bytesSent", transport.bytesSent),
     COD_COUNTER("transport.packetsReceived", transport.packetsReceived),

@@ -42,7 +42,10 @@ namespace cod::telemetry {
 /// v3: histogram block (delivery latency, tick duration, flush size,
 /// retransmit delay — sparse buckets, delta-encoded like the counters)
 /// and the per-shard load block appended after the channel list.
-inline constexpr std::uint8_t kTelemetryVersion = 3;
+/// v4: flow-control counters joined the table — cb.updatesThinned,
+/// reliable.{updatesBlocked, degradeSkipsSent, windowSplits,
+/// windowMerges, peerDuplicatesReported} and batch.adaptiveFlushes.
+inline constexpr std::uint8_t kTelemetryVersion = 4;
 
 /// Reserved object class the publishers publish on and monitors subscribe
 /// to — "cod." prefixed so no simulator module class can collide.

@@ -11,6 +11,12 @@ void TelemetryPublisher::bind(core::CommunicationBackbone& cb) {
   cb.attach(*this);
   registry_.emplace(cb);
   pub_ = cb.publishObjectClass(*this, kTelemetryClass);
+  // The export is the control plane of the backpressure loop: a governor
+  // on this node may thin best-effort traffic toward a struggling peer,
+  // but never THIS stream — a thinned telemetry feed can phase-lock
+  // against the keyframe cadence and starve the peer's monitors of
+  // decodable snapshots exactly when they matter most.
+  cb.setPublicationThinningExempt(pub_, true);
 }
 
 void TelemetryPublisher::step(double now) {
@@ -54,6 +60,17 @@ void TelemetryPublisher::publishNow(double now) {
   cb_->updateAttributeValues(pub_, attrs, now);
   lastPublishSec_ = now;
   ++published_;
+}
+
+void TelemetryPublisher::publishFinal(double now) {
+  if (pub_ == core::kInvalidHandle) return;
+  // Dropping the keyframe base forces publishNow onto the keyframe path
+  // (a publisher cannot delta against a base it no longer holds).
+  lastKeyframe_.reset();
+  publishNow(now);
+  // The record must actually leave: there may be no next tick to flush
+  // the coalescer for us.
+  cb_->flushBatches();
 }
 
 }  // namespace cod::telemetry

@@ -53,6 +53,13 @@ class TelemetryPublisher : public core::LogicalProcess {
   /// markers, tests).
   void publishNow(double now);
 
+  /// Teardown snapshot: force one final KEYFRAME out now and flush it.
+  /// Call right before the node stops ticking (shutdown, BYE): the
+  /// closing counters must be decodable on their own — a trailing delta
+  /// would be worthless to any monitor that lost its keyframe, and no
+  /// later snapshot will ever heal it.
+  void publishFinal(double now);
+
   std::uint64_t snapshotsPublished() const { return published_; }
   std::uint64_t keyframesPublished() const { return keyframes_; }
   const TelemetryConfig& config() const { return cfg_; }

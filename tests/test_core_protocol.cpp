@@ -224,6 +224,100 @@ TEST(Protocol, WindowAckForeignTailIgnoredNotEchoed) {
   EXPECT_FALSE(d2->windowAck.echoed);
 }
 
+TEST(Protocol, WindowAckDupReportRoundTrips) {
+  WindowAckMsg a{5, 42, false};
+  a.dupReported = true;
+  a.dupCount = 17;
+  const auto bytes = encode(a);
+  // Exactly [marker][u64] after the plain frame — no other bytes move.
+  EXPECT_EQ(bytes.size(), encode(WindowAckMsg{5, 42, false}).size() + 9);
+  const auto d = decode(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->windowAck.channelId, 5u);
+  EXPECT_EQ(d->windowAck.cumulativeSeq, 42u);
+  ASSERT_TRUE(d->windowAck.dupReported);
+  EXPECT_EQ(d->windowAck.dupCount, 17u);
+  EXPECT_FALSE(d->windowAck.echoed);
+  // The dup-reporting ack still starts with the patchable channel id.
+  auto patched = bytes;
+  patchChannelId(patched, 31u);
+  const auto dp = decode(patched);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->windowAck.channelId, 31u);
+  ASSERT_TRUE(dp->windowAck.dupReported);
+  EXPECT_EQ(dp->windowAck.dupCount, 17u);
+}
+
+TEST(Protocol, WindowAckEchoAndDupReportStack) {
+  // Both optional tails ride one ack: echo first, dup report after.
+  WindowAckMsg a{9, 100, false};
+  a.echoed = true;
+  a.echoSeq = 55;
+  a.echoTagSec = 1.5;
+  a.echoHoldSec = 0.25;
+  a.dupReported = true;
+  a.dupCount = 3;
+  const auto bytes = encode(a);
+  EXPECT_EQ(bytes.size(), encode(WindowAckMsg{9, 100, false}).size() + 25 + 9);
+  const auto d = decode(bytes);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_TRUE(d->windowAck.echoed);
+  EXPECT_EQ(d->windowAck.echoSeq, 55u);
+  EXPECT_DOUBLE_EQ(d->windowAck.echoTagSec, 1.5);
+  EXPECT_DOUBLE_EQ(d->windowAck.echoHoldSec, 0.25);
+  ASSERT_TRUE(d->windowAck.dupReported);
+  EXPECT_EQ(d->windowAck.dupCount, 3u);
+}
+
+TEST(Protocol, WindowAckForeignTailIgnoredNotDupReported) {
+  // A 9-byte tail without the dup marker is ignored wholesale.
+  auto wrongMarker = encode(WindowAckMsg{5, 42, false});
+  wrongMarker.insert(wrongMarker.end(), {0x45, 0, 0, 0, 0, 0, 0, 0, 0});
+  const auto d = decode(wrongMarker);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->windowAck.dupReported);
+  EXPECT_EQ(d->windowAck.cumulativeSeq, 42u);
+  // The echo marker at dup-block length must not be taken for a dup block.
+  auto echoMarker = encode(WindowAckMsg{5, 42, false});
+  echoMarker.insert(echoMarker.end(), {0x54, 0, 0, 0, 0, 0, 0, 0, 1});
+  const auto d2 = decode(echoMarker);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_FALSE(d2->windowAck.dupReported);
+  EXPECT_FALSE(d2->windowAck.echoed);
+}
+
+TEST(Protocol, WindowAckArbitraryTailsNeverCorruptBaseFields) {
+  // Fuzz the optional-tail parser: any appended tail of any length must
+  // leave the mandatory fields intact and either parse a well-formed
+  // block or ignore the tail — never reject the frame or misparse.
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const auto plain = encode(WindowAckMsg{12, 777, false});
+  for (int iter = 0; iter < 2000; ++iter) {
+    auto bytes = plain;
+    const std::size_t len = next() % 40;
+    for (std::size_t i = 0; i < len; ++i)
+      bytes.push_back(static_cast<std::uint8_t>(next() & 0xFF));
+    const auto d = decode(bytes);
+    ASSERT_TRUE(d.has_value()) << "iter=" << iter << " len=" << len;
+    EXPECT_EQ(d->windowAck.channelId, 12u);
+    EXPECT_EQ(d->windowAck.cumulativeSeq, 777u);
+    EXPECT_FALSE(d->windowAck.fromPublisher);
+    // A parsed block implies its exact wire shape was present.
+    if (d->windowAck.dupReported) {
+      EXPECT_TRUE(len == 9 || (len == 34 && d->windowAck.echoed));
+    }
+    if (d->windowAck.echoed) {
+      EXPECT_TRUE(len == 25 || len == 34);
+    }
+  }
+}
+
 TEST(Protocol, HeartbeatCarriesDirection) {
   const auto pub = decode(encode(HeartbeatMsg{4, 2.0, true}));
   ASSERT_TRUE(pub.has_value());
@@ -683,9 +777,12 @@ TEST(TelemetryWire, HistogramDeltaAgainstWrongBaseDiverges) {
 TEST(TelemetryWire, CounterTableIsStable) {
   // The flattened counter order is the wire format; renaming or
   // reordering must bump kTelemetryVersion. Spot-check the anchors.
-  ASSERT_GE(telemetry::counterCount(), 42u);
+  ASSERT_EQ(telemetry::counterCount(), 50u);  // v4: 43 + 7 flow counters
   EXPECT_STREQ(telemetry::counterName(0), "cb.broadcastsSent");
   EXPECT_STREQ(telemetry::counterName(4), "cb.updatesSent");
+  // The v4 flow-control counters are inserted in-group, so the table
+  // still ends on the transport block.
+  EXPECT_STREQ(telemetry::counterName(12), "cb.updatesThinned");
   EXPECT_STREQ(telemetry::counterName(telemetry::counterCount() - 1),
                "transport.framesDropped");
 }

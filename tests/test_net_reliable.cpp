@@ -220,6 +220,88 @@ TEST_F(SendWindowTest, OverflowEvictsOldestAndRecordsHighWaterMark) {
   EXPECT_EQ(stats.sendWindowEvictions, 2u);
 }
 
+TEST_F(SendWindowTest, ByteBudgetEvictsOldestBeyondBytes) {
+  cfg.sendWindowBytes = 64;
+  ReliableSendWindow w(cfg, stats);
+  for (std::uint64_t s = 1; s <= 8; ++s)
+    w.store(s, std::vector<std::uint8_t>(16, 0xAA), 0.0);
+  EXPECT_LE(w.bytesBuffered(), 64u);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.frame(4), nullptr);
+  ASSERT_NE(w.frame(5), nullptr);
+  EXPECT_EQ(w.highestEvicted(), 4u);
+  EXPECT_EQ(stats.sendWindowEvictions, 4u);
+}
+
+TEST_F(SendWindowTest, OversizedFrameAloneSurvivesTheBudget) {
+  // A frame bigger than the whole budget must not evict itself — the
+  // stream keeps making progress on exactly one buffered frame.
+  cfg.sendWindowBytes = 8;
+  ReliableSendWindow w(cfg, stats);
+  w.store(1, std::vector<std::uint8_t>(32, 0x11), 0.0);
+  EXPECT_EQ(w.size(), 1u);
+  ASSERT_NE(w.frame(1), nullptr);
+  w.store(2, std::vector<std::uint8_t>(32, 0x22), 0.0);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.frame(1), nullptr);
+  ASSERT_NE(w.frame(2), nullptr);
+  EXPECT_EQ(w.highestEvicted(), 1u);
+}
+
+TEST_F(SendWindowTest, WouldOverflowChecksFrameCapAndByteBudget) {
+  cfg.sendWindowFrames = 2;
+  cfg.sendWindowBytes = 40;
+  ReliableSendWindow w(cfg, stats);
+  EXPECT_FALSE(w.wouldOverflow(16));
+  w.store(1, std::vector<std::uint8_t>(16, 0x11), 0.0);
+  EXPECT_FALSE(w.wouldOverflow(16));  // 32 <= 40, 2 frames <= cap
+  EXPECT_TRUE(w.wouldOverflow(32));   // 48 > 40: byte budget
+  w.store(2, std::vector<std::uint8_t>(16, 0x22), 0.0);
+  EXPECT_TRUE(w.wouldOverflow(1));  // 3 frames > cap of 2
+  // Acks free capacity again — the block is a state, not a verdict.
+  w.pruneThrough(1);
+  EXPECT_FALSE(w.wouldOverflow(16));
+}
+
+TEST_F(SendWindowTest, OverflowPolicyDefaultsFromConfigAndOverrides) {
+  cfg.overflowPolicy = OverflowPolicy::kBlockPublisher;
+  ReliableSendWindow w(cfg, stats);
+  EXPECT_EQ(w.overflowPolicy(), OverflowPolicy::kBlockPublisher);
+  w.setOverflowPolicy(OverflowPolicy::kDegradeLatestValue);
+  EXPECT_EQ(w.overflowPolicy(), OverflowPolicy::kDegradeLatestValue);
+  // The policy names are part of the operator-facing report grammar.
+  EXPECT_STREQ(overflowPolicyName(OverflowPolicy::kEvictOldest),
+               "evict-oldest");
+  EXPECT_STREQ(overflowPolicyName(OverflowPolicy::kBlockPublisher),
+               "block-publisher");
+  EXPECT_STREQ(overflowPolicyName(OverflowPolicy::kDegradeLatestValue),
+               "degrade-latest-value");
+}
+
+TEST_F(SendWindowTest, ByteAccountingTracksPruneAndClear) {
+  cfg.sendWindowBytes = 1024;
+  ReliableSendWindow w(cfg, stats);
+  for (std::uint64_t s = 1; s <= 4; ++s)
+    w.store(s, std::vector<std::uint8_t>(10, 0x33), 0.0);
+  EXPECT_EQ(w.bytesBuffered(), 40u);
+  w.pruneThrough(2);
+  EXPECT_EQ(w.bytesBuffered(), 20u);
+  w.clear();
+  EXPECT_EQ(w.bytesBuffered(), 0u);
+  EXPECT_TRUE(w.empty());
+}
+
+TEST_F(SendWindowTest, StoredSeqsAboveSeedSplitWindows) {
+  ReliableSendWindow w(cfg, stats);
+  for (std::uint64_t s = 3; s <= 7; ++s) w.store(s, {0x55}, 0.0);
+  EXPECT_EQ(w.lowestStored(), 3u);
+  const auto above = w.storedSeqsAbove(4);
+  ASSERT_EQ(above.size(), 3u);
+  EXPECT_EQ(above[0], 5u);
+  EXPECT_EQ(above[2], 7u);
+  EXPECT_TRUE(w.storedSeqsAbove(7).empty());
+}
+
 TEST_F(SendWindowTest, TailRetransmitsHonourTimeoutAndAcks) {
   cfg.retxTimeoutSec = 0.25;
   cfg.maxRetransmitPerSweep = 2;

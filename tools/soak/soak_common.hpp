@@ -20,9 +20,16 @@
 //   self-counters updates=<u> data=<d> retx=<r>  (ground truth: the
 //                                              node's own StatRegistry
 //                                              snapshot at exit)
+//   flow thinned=<n> blocked=<n> splits=<n> merges=<n> degrade-skips=<n>
+//        adaptive-flushes=<n> peer-dups=<n> [thin-steps=<n>
+//        recover-steps=<n>]         (what the adaptive flow-control
+//                                    machinery did; all zero unless the
+//                                    node ran with --flow)
 //   status-updates <n>              (instructor only)
 //   alarm <KIND> <node>             (monitor host only, feed order)
-//   loss-est <node> <pct> data=<d> retx=<r>   (monitor host only)
+//   loss-est <node> <pct> data=<d> retx=<r> dups=<n>  (monitor host only;
+//                                    pct is duplicate-corrected: losses =
+//                                    retx - dups reported by receivers)
 //   mon-counters <node> updates=<u> data=<d> retx=<r>  (monitor host:
 //                                              the monitor's last view of
 //                                              <node>'s self-counters)

@@ -39,6 +39,16 @@
 //                      crane class), scenario, instructor, and displays
 //                      on the remaining nodes.
 //
+// Failure drills on top of either shape:
+//   --starve-node=<n>  run node <n> under much harsher duplex impairment
+//                      (--starve-loss / --starve-delay-ms) than the rest
+//                      of the rack. Combined with --flow (the adaptive
+//                      flow-control stack) and --min-publish-rate, the
+//                      verdict demands the starved node still converge to
+//                      100% in-order delivery AND the healthy nodes keep
+//                      their nominal publish rate — survival, not just
+//                      eventual delivery.
+//
 // Node stdout/stderr land in --out/<name>.log; reports in
 // --out/<name>.report. CI uploads the directory as an artifact when the
 // verdict fails.
@@ -248,6 +258,15 @@ class Driver {
     minLossSamples_ =
         static_cast<std::uint64_t>(args.integer("min-loss-samples", 400));
     maxP99Ms_ = args.num("max-p99-ms", 0.0);  // 0 = latency gate off
+    // The starved-node drill: one node runs under much harsher duplex
+    // impairment than the rest (its transport drops and delays both
+    // directions), and the verdict still demands full in-order probe
+    // delivery plus — via --min-publish-rate — that the HEALTHY nodes'
+    // publish rates were not dragged down with it.
+    starveNode_ = args.str("starve-node", "");
+    starveLossPct_ = args.num("starve-loss", 40.0);
+    starveDelayMs_ = args.num("starve-delay-ms", 100.0);
+    minPublishRate_ = args.num("min-publish-rate", 0.0);  // 0 = gate off
     const int nodes =
         static_cast<int>(args.integer("nodes", massConnect_ ? 10 : 4));
     if (massConnect_) {
@@ -295,6 +314,9 @@ class Driver {
     // take out the driver's whole process group.
     if (specFor(victim_) == nullptr)
       throw std::invalid_argument("--victim=" + victim_ +
+                                  " names no spawned node");
+    if (!starveNode_.empty() && specFor(starveNode_) == nullptr)
+      throw std::invalid_argument("--starve-node=" + starveNode_ +
                                   " names no spawned node");
   }
 
@@ -431,10 +453,19 @@ class Driver {
          {"dup", "reorder", "delay-ms", "jitter-ms", "seed", "probe-hz",
           "quiesce", "telemetry-interval", "silent-after", "channel-timeout",
           "heartbeat", "ack-interval", "shards", "mass-hz",
-          "keyframe-interval", "bind-ip", "trace-sample"}) {
+          "keyframe-interval", "bind-ip", "host-ips", "trace-sample", "flow",
+          "send-window-bytes", "tick-flush-bytes", "split-lag-frames"}) {
       if (args_.has(key))
         argStrs.push_back("--" + std::string(key) + "=" +
                           args_.str(key, ""));
+    }
+    // The starved node's harsher impairment overrides the rack-wide
+    // settings (soak::Args keeps the LAST occurrence of a repeated key,
+    // so appending after the passthroughs wins).
+    if (s.name == starveNode_) {
+      argStrs.push_back("--loss=" + std::to_string(starveLossPct_));
+      argStrs.push_back("--delay-ms=" + std::to_string(starveDelayMs_));
+      argStrs.push_back("--impair-rx=1");  // duplex: its whole link is bad
     }
     // Tracing on means every node keeps a flight recorder; route its dump
     // (exit-time, SIGUSR2, or CRIT-alarm-triggered) into the out dir so a
@@ -614,29 +645,62 @@ class Driver {
       check(recoveredAfter, "monitor raised NODE_RECOVERED for " + victim_);
     }
 
-    // Reliable-counter loss estimate vs injected ground truth. Skipped in
-    // mass mode: its 2–4 Hz per-class streams are tail-dominated (nearly
-    // every frame is the last of a burst), so the tail-RTO's spurious
-    // retransmits of already-delivered frames bias the estimate well
-    // above the injected rate. The standard rack's 40 Hz probe streams
-    // are where the estimate is accountable.
-    for (const NodeSpec& s : massConnect_ ? std::vector<NodeSpec>{} : specs_) {
-      const auto it = instr.lossEst.find(s.name);
-      std::ostringstream what;
-      if (it == instr.lossEst.end()) {
-        check(false, "loss estimate present for " + s.name);
-        continue;
+    // Reliable-counter loss estimate vs injected ground truth — every
+    // rack shape, including mass mode: its 2–4 Hz tail-dominated streams
+    // once biased the estimate far above the injected rate (the tail
+    // RTO's spurious retransmits of already-delivered frames counted as
+    // losses), but receivers now report duplicates back on WINDOW_ACK and
+    // the estimator subtracts them, so the estimate is accountable at any
+    // stream cadence. The starved rack is the one shape still skipped:
+    // its per-node impairment is deliberately asymmetric, so no single
+    // injected rate exists for a node's aggregate outbound traffic
+    // (healthy nodes' frames toward the starved peer die at ITS receive
+    // side and inflate their estimates by design).
+    if (starveNode_.empty()) {
+      for (const NodeSpec& s : specs_) {
+        const auto it = instr.lossEst.find(s.name);
+        std::ostringstream what;
+        if (it == instr.lossEst.end()) {
+          check(false, "loss estimate present for " + s.name);
+          continue;
+        }
+        const Report::LossEst& est = it->second;
+        const std::uint64_t samples = est.data + est.retx;
+        what << "loss-est " << s.name << " " << est.pct << "% vs injected "
+             << lossPct_ << "% (" << samples << " attempts)";
+        if (samples < minLossSamples_) {
+          std::printf("  [SKIP] %s: below %llu attempts\n", what.str().c_str(),
+                      static_cast<unsigned long long>(minLossSamples_));
+          continue;
+        }
+        check(std::fabs(est.pct - lossPct_) <= tolerancePp_, what.str());
       }
-      const Report::LossEst& est = it->second;
-      const std::uint64_t samples = est.data + est.retx;
-      what << "loss-est " << s.name << " " << est.pct << "% vs injected "
-           << lossPct_ << "% (" << samples << " attempts)";
-      if (samples < minLossSamples_) {
-        std::printf("  [SKIP] %s: below %llu attempts\n", what.str().c_str(),
-                    static_cast<unsigned long long>(minLossSamples_));
-        continue;
+    } else {
+      std::printf("  [SKIP] loss-est gate: per-node impairment is asymmetric "
+                  "under --starve-node\n");
+    }
+
+    // Healthy-publisher throughput gate (--min-publish-rate): a starved
+    // peer must not drag the rest of the rack down. Every healthy node's
+    // probe publish count must reach the given fraction of the nominal
+    // rate (probe-hz over the publishing window). The victim and the
+    // starved node judge survival through the in-order delivery gate
+    // instead — the victim's count restarts mid-run, and the starved
+    // node's own publishing is exactly what backpressure may thin.
+    if (minPublishRate_ > 0.0 && !massConnect_) {
+      const double probeHz = args_.num("probe-hz", 40.0);
+      const double quiesce = args_.num("quiesce", 5.0);
+      const double nominal = probeHz * (duration_ - quiesce);
+      for (const NodeSpec& s : specs_) {
+        if (s.name == victim_ && killAt_ <= duration_) continue;
+        if (s.name == starveNode_) continue;
+        const double published =
+            static_cast<double>(reports[s.name].published);
+        std::ostringstream what;
+        what << "publish rate " << s.name << ": " << published << " >= "
+             << minPublishRate_ * 100.0 << "% of nominal " << nominal;
+        check(published >= minPublishRate_ * nominal, what.str());
       }
-      check(std::fabs(est.pct - lossPct_) <= tolerancePp_, what.str());
     }
 
     // Telemetry counters vs node-local ground truth: the monitor's last
@@ -710,6 +774,9 @@ class Driver {
   double tolerancePp_ = 5.0, statTolerancePct_ = 10.0;
   std::uint64_t minLossSamples_ = 400;
   double maxP99Ms_ = 0.0;
+  std::string starveNode_;
+  double starveLossPct_ = 40.0, starveDelayMs_ = 100.0;
+  double minPublishRate_ = 0.0;
   std::uint16_t basePort_ = 0;
   int portsPerHost_ = 4, maxHosts_ = 0;
   int failures_ = 0;

@@ -48,6 +48,7 @@
 #include "sim/dynamics_module.hpp"
 #include "sim/instructor_module.hpp"
 #include "sim/scenario_module.hpp"
+#include "telemetry/backpressure.hpp"
 #include "telemetry/monitor.hpp"
 #include "telemetry/publisher.hpp"
 #include "telemetry/registry.hpp"
@@ -236,6 +237,10 @@ int run(int argc, char** argv) {
 
   net::UdpConfig ucfg;
   ucfg.bindIp = args.str("bind-ip", "127.0.0.1");
+  // --host-ips=ip0,ip1,... spreads the rack across several interfaces
+  // (loopback aliases in CI); host h binds and is reached at the h-th
+  // entry, past the end falls back to --bind-ip.
+  ucfg.hostIps = soak::splitCsv(args.str("host-ips", ""));
   ucfg.basePort = static_cast<std::uint16_t>(
       std::stoul(args.required("base-port")));
   ucfg.portsPerHost = static_cast<std::uint16_t>(args.integer("ports-per-host", 4));
@@ -255,6 +260,9 @@ int run(int argc, char** argv) {
   icfg.delayMaxSec = icfg.delayMinSec + args.num("jitter-ms", 0.0) / 1000.0;
   icfg.seed = static_cast<std::uint64_t>(args.integer("seed", 1)) * 1000003u +
               host;
+  // --impair-rx makes the impairment duplex (loss+delay on inbound
+  // datagrams too) — the starved-node drill's whole-link-is-bad shape.
+  icfg.impairReceive = args.has("impair-rx");
 
   // A restarted victim can find its just-vacated port transiently claimed
   // (a parallel lane's ephemeral probe can win the race while the port
@@ -290,6 +298,23 @@ int run(int argc, char** argv) {
   // reliable-layer loss estimate upward.
   cbCfg.reliable.ackIntervalSec = args.num("ack-interval", 0.05);
   cbCfg.shards = static_cast<std::uint32_t>(args.integer("shards", 1));
+  // --flow arms the adaptive flow-control stack end to end: byte-budgeted
+  // reliable send windows with per-channel split/re-merge, the adaptive
+  // mid-tick flush, and a BackpressureGovernor fed by a HealthMonitor on
+  // EVERY node (the governor actuates this node's send rates, so it needs
+  // the cluster's alarm feed wherever it runs, not just on the monitor
+  // host). The window budget defaults generous — the soak's gate is that
+  // the machinery survives a starved peer, not that eviction fires.
+  const bool flow = args.has("flow");
+  if (flow) {
+    cbCfg.reliable.sendWindowBytes = static_cast<std::size_t>(
+        args.integer("send-window-bytes", 256 * 1024));
+    cbCfg.reliable.perChannelWindowSplit = true;
+    cbCfg.reliable.splitLagFrames =
+        static_cast<std::uint32_t>(args.integer("split-lag-frames", 64));
+    cbCfg.batch.tickFlushByteBudget = static_cast<std::size_t>(
+        args.integer("tick-flush-bytes", 48 * 1024));
+  }
   // Flight recorder + latency sampling: --trace-sample tags every Nth
   // reliable update, --trace-dump names the Chrome-trace JSON written at
   // exit, on SIGUSR2, and automatically when the monitor raises a CRIT
@@ -352,8 +377,9 @@ int run(int argc, char** argv) {
     return 2;
   }
   // Any node can host the cluster monitor (--monitor); the instructor
-  // role always does. In the mass-connect rack mass-0 takes the duty.
-  if (monitor == nullptr && args.has("monitor")) {
+  // role always does. In the mass-connect rack mass-0 takes the duty,
+  // and --flow puts one on every node to feed its governor.
+  if (monitor == nullptr && (args.has("monitor") || flow)) {
     telemetry::MonitorConfig mc;
     mc.expectedIntervalSec = args.num("telemetry-interval", 1.0);
     mc.silentAfterIntervals = args.num("silent-after", 3.0);
@@ -364,6 +390,13 @@ int run(int argc, char** argv) {
   // disk the moment they matter, not at exit when the ring has moved on.
   if (monitor && recorder)
     monitor->attachFlightRecorder(recorder.get(), traceDump);
+  // Telemetry-closed backpressure: the governor tails this node's alarm
+  // feed and thins best-effort sends toward struggling peers.
+  std::unique_ptr<telemetry::BackpressureGovernor> governor;
+  if (flow && monitor) {
+    governor = std::make_unique<telemetry::BackpressureGovernor>(*monitor);
+    governor->bind(cb);
+  }
 
   telemetry::TelemetryConfig tcfg;
   tcfg.intervalSec = args.num("telemetry-interval", 1.0);
@@ -395,7 +428,18 @@ int run(int argc, char** argv) {
   // same way the node's own exit-time sample does.
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> monPeak;
   double nextMonSample = 0.0;
+  // The closing counters must reach the monitor host before this process
+  // stops ticking: force one final KEYFRAME out shortly before the end
+  // (a teardown delta would be undecodable by a monitor that lost its
+  // base, and no later snapshot would ever heal it). 0.75 s leaves the
+  // datagram a real chance to land and be applied while peers still tick.
+  const double finalSnapshotAt = duration - 0.75;
+  bool finalSnapshotSent = false;
   while ((now = wallSec()) < duration) {
+    if (!finalSnapshotSent && now >= finalSnapshotAt) {
+      finalSnapshotSent = true;
+      tpub.publishFinal(now);
+    }
     if (now >= stopProbesAt) {
       if (probe) probe->stopPublishing();
       if (mass) mass->stopPublishing();
@@ -491,6 +535,20 @@ int run(int argc, char** argv) {
     out << "self-counters updates=" << t.cb.updatesSent
         << " data=" << t.cb.reliable.dataFramesSent
         << " retx=" << t.cb.reliable.retransmitsSent << "\n";
+    // Flow-control observability: what the adaptive machinery actually
+    // did this run (all zero when --flow is off — the features are
+    // config-gated and the driver asserts nothing fired unarmed).
+    out << "flow thinned=" << t.cb.updatesThinned
+        << " blocked=" << t.cb.reliable.updatesBlocked
+        << " splits=" << t.cb.reliable.windowSplits
+        << " merges=" << t.cb.reliable.windowMerges
+        << " degrade-skips=" << t.cb.reliable.degradeSkipsSent
+        << " adaptive-flushes=" << t.cb.batch.adaptiveFlushes
+        << " peer-dups=" << t.cb.reliable.peerDuplicatesReported;
+    if (governor)
+      out << " thin-steps=" << governor->thinSteps()
+          << " recover-steps=" << governor->recoverSteps();
+    out << "\n";
   }
   // Whole-run delivery-latency percentiles (milliseconds) from this
   // node's own cumulative histogram — what the driver's --max-p99-ms
@@ -525,9 +583,10 @@ int run(int argc, char** argv) {
       const auto& r = h->last.cb.reliable;
       out << "loss-est " << n << " "
           << telemetry::reliableLossEstimatePct(r.dataFramesSent,
-                                                r.retransmitsSent)
+                                                r.retransmitsSent,
+                                                r.peerDuplicatesReported)
           << " data=" << r.dataFramesSent << " retx=" << r.retransmitsSent
-          << "\n";
+          << " dups=" << r.peerDuplicatesReported << "\n";
       // The monitor-side view of the same counters the node dumps in its
       // own self-counters line; the driver diffs the two.
       out << "mon-counters " << n << " updates=" << h->last.cb.updatesSent
