@@ -427,13 +427,24 @@ CbShardLoad CommunicationBackbone::shardLoad(std::uint32_t shard) const {
 }
 
 void CommunicationBackbone::tick(double now) {
-  const auto wall0 = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
+  const bool prof = cfg_.phaseProfile;
+  const auto wall0 = Clock::now();
   const std::uint64_t ordinal = tickOrdinal_++;
   // No kTickBegin event: the kTickEnd span already carries the tick's
   // start time and duration, and the hot path budgets every record().
   now_ = now;
+  // The receive loop interleaves socket polling/decoding with routing
+  // (dispatchMessage), so the route phase cannot be bracketed as one
+  // span: dispatchMessage accumulates its own time and pollDecode is the
+  // loop's wall time minus that. Adaptive mid-tick flushes triggered
+  // inside a phase are charged to that phase — the flush phase is the
+  // end-of-tick flush only.
+  phaseRouteAccumSec_ = 0.0;
   while (auto d = transport_->receive()) handleDatagram(*d, now);
+  const auto tRecv = prof ? Clock::now() : Clock::time_point{};
   runTimers(now);
+  const auto tTimers = prof ? Clock::now() : Clock::time_point{};
   if (cfg_.pushDelivery) deliverMailboxes();
   // Step LPs by id snapshot: an LP may attach/detach others in step().
   std::vector<LpId> ids;
@@ -443,13 +454,26 @@ void CommunicationBackbone::tick(double now) {
     const auto it = lps_.find(id);
     if (it != lps_.end()) it->second->step(now);
   }
+  const auto tStage = prof ? Clock::now() : Clock::time_point{};
   // The flush point: everything staged this tick — handler replies, timer
   // traffic, LP-step updates — leaves as one datagram per peer.
   flushBatches();
-  const double wallDur =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
+  const auto wall1 = Clock::now();
+  const double wallDur = std::chrono::duration<double>(wall1 - wall0).count();
   hists_.tickDurationSec.record(wallDur);
+  if (prof) {
+    const double recvSec =
+        std::chrono::duration<double>(tRecv - wall0).count();
+    phaseHists_.pollDecodeSec.record(
+        std::max(0.0, recvSec - phaseRouteAccumSec_));
+    phaseHists_.routeSec.record(phaseRouteAccumSec_);
+    phaseHists_.timersSec.record(
+        std::chrono::duration<double>(tTimers - tRecv).count());
+    phaseHists_.stageSec.record(
+        std::chrono::duration<double>(tStage - tTimers).count());
+    phaseHists_.flushSec.record(
+        std::chrono::duration<double>(wall1 - tStage).count());
+  }
   if (tracing())
     traceEvent(telemetry::TraceEventKind::kTickEnd, now, wallDur, ordinal);
 }
@@ -503,6 +527,9 @@ void CommunicationBackbone::handleDatagram(const net::Datagram& d, double now) {
 void CommunicationBackbone::dispatchMessage(CbMessage& msg,
                                             const net::NodeAddr& src,
                                             double now) {
+  using Clock = std::chrono::steady_clock;
+  const auto routeStart =
+      cfg_.phaseProfile ? Clock::now() : Clock::time_point{};
   switch (msg.type) {
     // Discovery messages route by the class hash decode() stamped on
     // them: the owning shard is a modulo away, no table scan. A message
@@ -591,6 +618,9 @@ void CommunicationBackbone::dispatchMessage(CbMessage& msg,
       ++stats_.malformedDrops;
       break;
   }
+  if (cfg_.phaseProfile)
+    phaseRouteAccumSec_ +=
+        std::chrono::duration<double>(Clock::now() - routeStart).count();
 }
 
 void CommunicationBackbone::runTimers(double now) {

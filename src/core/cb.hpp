@@ -232,6 +232,12 @@ class CommunicationBackbone {
     /// telemetry record). 0 disables sampling — the wire is then
     /// byte-identical to a trace-free build.
     std::uint32_t traceSampleEvery = 0;
+    /// Tick-phase profiler: time each tick's poll/decode, route, timer,
+    /// stage and flush phases into phaseHistograms(), shipped as
+    /// telemetry wire v5. Off (the default) costs nothing — no clock
+    /// reads — and keeps the telemetry record on the v4 layout,
+    /// byte-identical to an unprofiled build.
+    bool phaseProfile = false;
   };
 
   /// `transport` is this computer's socket; by convention every CB of a
@@ -361,6 +367,12 @@ class CommunicationBackbone {
   /// sizes and retransmit delay.
   const telemetry::CbHistograms& histograms() const { return hists_; }
 
+  /// Per-phase tick histograms (telemetry record v5). All-zero unless
+  /// Config::phaseProfile.
+  const telemetry::TickPhaseHistograms& phaseHistograms() const {
+    return phaseHists_;
+  }
+
  private:
   friend class CbShard;
 
@@ -481,6 +493,12 @@ class CommunicationBackbone {
   std::uint32_t nextChannelId_ = 1;
   CbStats stats_;
   telemetry::CbHistograms hists_;
+  telemetry::TickPhaseHistograms phaseHists_;
+  /// Route time this tick: dispatchMessage accumulates here (it runs
+  /// interleaved with the receive loop, so it cannot be bracketed as one
+  /// span); tick() subtracts it from the receive-loop wall time to get
+  /// the poll/decode phase. Only maintained under Config::phaseProfile.
+  double phaseRouteAccumSec_ = 0.0;
   std::uint16_t traceLane_ = 0;  // our lane in cfg_.trace (if attached)
   std::uint64_t tickOrdinal_ = 0;
   /// Bytes staged across all peers since the last flush, for the

@@ -91,4 +91,38 @@ double CbHistograms::lowestOf(std::size_t i) {
   }
 }
 
+LogHistogram& TickPhaseHistograms::at(std::size_t i) {
+  switch (i) {
+    case 0: return pollDecodeSec;
+    case 1: return routeSec;
+    case 2: return timersSec;
+    case 3: return stageSec;
+    default: return flushSec;
+  }
+}
+
+const LogHistogram& TickPhaseHistograms::at(std::size_t i) const {
+  return const_cast<TickPhaseHistograms*>(this)->at(i);
+}
+
+const char* TickPhaseHistograms::name(std::size_t i) {
+  switch (i) {
+    case 0: return "phase.pollDecodeSec";
+    case 1: return "phase.routeSec";
+    case 2: return "phase.timersSec";
+    case 3: return "phase.stageSec";
+    default: return "phase.flushSec";
+  }
+}
+
+const char* TickPhaseHistograms::shortName(std::size_t i) {
+  switch (i) {
+    case 0: return "poll";
+    case 1: return "route";
+    case 2: return "timer";
+    case 3: return "stage";
+    default: return "flush";
+  }
+}
+
 }  // namespace cod::telemetry

@@ -116,4 +116,38 @@ struct CbHistograms {
   static double lowestOf(std::size_t i);
 };
 
+/// The measured phases one CommunicationBackbone::tick splits into when
+/// Config::phaseProfile is on. Fixed wire order (telemetry v5 phase
+/// block) — append-only, like the counter table.
+enum class TickPhase : std::size_t {
+  kPollDecode = 0,  // transport receive loop minus routing time
+  kRoute = 1,       // dispatchMessage: decode routing + table updates
+  kTimers = 2,      // runTimers: broadcasts, retransmits, keep-alives
+  kStage = 3,       // mailbox delivery + LP step (update staging)
+  kFlush = 4,       // flushBatches: coalesced sends
+};
+
+inline constexpr std::size_t kTickPhaseCount = 5;
+
+/// Per-phase wall-clock histograms, one set per CommunicationBackbone.
+/// All share one lowest bound (phases are all sub-tick durations) so the
+/// v5 phase block needs no per-phase bound on the wire.
+struct TickPhaseHistograms {
+  static constexpr double kLowest = 1e-7;
+
+  LogHistogram pollDecodeSec{kLowest};
+  LogHistogram routeSec{kLowest};
+  LogHistogram timersSec{kLowest};
+  LogHistogram stageSec{kLowest};
+  LogHistogram flushSec{kLowest};
+
+  LogHistogram& at(std::size_t i);
+  const LogHistogram& at(std::size_t i) const;
+  /// Stable wire/table name of phase `i`.
+  static const char* name(std::size_t i);
+  /// Short label for dense table columns ("poll", "route", ...).
+  static const char* shortName(std::size_t i);
+  static double lowestOf(std::size_t) { return kLowest; }
+};
+
 }  // namespace cod::telemetry

@@ -137,6 +137,11 @@ void HealthMonitor::reflectAttributeValues(const std::string& className,
       } else {
         ++h.deltasRejected;
       }
+      // Nothing applied, but the node proved alive: archive that fact
+      // (before the recovered edge below, so a replayer processes the
+      // ping — and raises its own matching edge — at this moment).
+      if (archive_ != nullptr)
+        archive_->appendLivenessPing(header->node, now_);
       h.lastHeardSec = now_;
       if (h.silent) {
         h.silent = false;
@@ -207,6 +212,11 @@ void HealthMonitor::applySnapshot(NodeTelemetry&& t, bool isKeyframe) {
   h.lastHeardSec = now_;
   ++h.snapshotsApplied;
   if (isKeyframe) st.keyframe = t;
+  // Archive the applied state re-encoded as a KEYFRAME (self-contained:
+  // a delta's base might land in a rotated-away segment), stamped with
+  // this monitor's clock — replaying against these timestamps reproduces
+  // its silence judgement exactly.
+  if (archive_ != nullptr) archive_->appendSnapshot(encodeTelemetry(t), now_);
   h.last = std::move(t);
 }
 
@@ -262,6 +272,27 @@ void HealthMonitor::deriveRates(NodeState& st, const NodeTelemetry& prev,
     h.latencyMaxMs = dLat.max * 1e3;
   } else {
     h.latencyP50Ms = h.latencyP90Ms = h.latencyP99Ms = h.latencyMaxMs = 0.0;
+  }
+
+  // Per-phase interval p99s and the hot phase (where the interval's tick
+  // time actually went — judged by summed duration, not p99, so one
+  // outlier doesn't crown a quiet phase) from the v5 phase block.
+  h.phaseP99Ms.fill(0.0);
+  h.hotPhase = -1;
+  if (cur.phaseProfiling) {
+    double hotSum = 0.0;
+    for (std::size_t i = 0; i < kTickPhaseCount; ++i) {
+      const HistogramSnapshot dPhase =
+          LogHistogram::diff(cur.phases[i], prev.phases[i]);
+      if (dPhase.count > 0)
+        h.phaseP99Ms[i] = LogHistogram::percentile(
+                              dPhase, 0.99, TickPhaseHistograms::lowestOf(i)) *
+                          1e3;
+      if (dPhase.sum > hotSum) {
+        hotSum = dPhase.sum;
+        h.hotPhase = static_cast<int>(i);
+      }
+    }
   }
 
   // Threshold alarms, edge-triggered per node. Loss judges the effective
@@ -405,6 +436,16 @@ void HealthMonitor::deriveChannelAlarms(NodeState& st,
   }
 }
 
+void HealthMonitor::noteLiveness(const std::string& node) {
+  NodeHealth& h = nodes_[node].health;
+  h.lastHeardSec = now_;
+  if (h.silent) {
+    h.silent = false;
+    raise(HealthAlarm::Kind::kNodeRecovered, node,
+          "node is back (awaiting keyframe)");
+  }
+}
+
 void HealthMonitor::step(double now) {
   now_ = std::max(now_, now);
   const double silentAfter =
@@ -429,10 +470,32 @@ void HealthMonitor::attachFlightRecorder(TraceRecorder* recorder,
     recorderLane_ = recorder_->registerLane("health-monitor");
 }
 
+std::string HealthMonitor::flightDumpPath(const std::string& base,
+                                          std::uint64_t seq) {
+  if (seq == 0) return base;
+  // Insert ".N" before the last extension ("x.trace.json" ->
+  // "x.trace.2.json") so tooling globbing on the extension still finds
+  // every dump; no extension (or a dotted directory) appends instead.
+  const auto slash = base.find_last_of('/');
+  const auto dot = base.find_last_of('.');
+  std::string suffix(1, '.');
+  suffix += std::to_string(seq + 1);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + suffix;
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 void HealthMonitor::raise(HealthAlarm::Kind kind, const std::string& nodeName,
                           std::string detail) {
   const HealthAlarm::Severity sev = alarmSeverity(kind);
   alarms_.push_back(HealthAlarm{kind, sev, now_, nodeName, std::move(detail)});
+  if (archive_ != nullptr) {
+    const HealthAlarm& a = alarms_.back();
+    archive_->appendAlarm(static_cast<std::uint8_t>(a.kind),
+                          static_cast<std::uint8_t>(a.severity), a.timeSec,
+                          a.node, a.detail, now_);
+  }
   if (recorder_ == nullptr) return;
   // Alarm edges land in the flight recorder's timeline: kInfo kinds are
   // all falling edges / recoveries, everything else is an onset.
@@ -444,16 +507,21 @@ void HealthMonitor::raise(HealthAlarm::Kind kind, const std::string& nodeName,
   if (sev == HealthAlarm::Severity::kCritical && !recorderDumpPath_.empty()) {
     // The moment data stopped flowing is the moment the preceding seconds
     // of hot-path history matter most: dump the ring now, while it still
-    // holds them. Repeated CRITs overwrite — the newest incident wins —
-    // but no more often than flightDumpMinIntervalSec: each dump is
-    // megabytes of synchronous I/O on the monitor's tick path, and a
-    // flapping CRIT edge must not turn the monitor itself into the
-    // cluster's slowest node.
+    // holds them. Each incident gets its own numbered file (first at the
+    // configured path, then .2, .3, ... before the extension) so a later
+    // CRIT cannot destroy the evidence of an earlier one — but no more
+    // often than flightDumpMinIntervalSec: each dump is megabytes of
+    // synchronous I/O on the monitor's tick path, and a flapping CRIT
+    // edge must not turn the monitor itself into the cluster's slowest
+    // node.
     if (flightDumps_ == 0 ||
         now_ - lastFlightDumpSec_ >= cfg_.flightDumpMinIntervalSec) {
-      if (recorder_->dumpToFile(recorderDumpPath_)) {
+      const std::string path =
+          flightDumpPath(recorderDumpPath_, flightDumps_);
+      if (recorder_->dumpToFile(path)) {
         ++flightDumps_;
         lastFlightDumpSec_ = now_;
+        if (archive_ != nullptr) archive_->appendTraceDumpMarker(path, now_);
       }
     }
   }
@@ -476,16 +544,28 @@ std::string HealthMonitor::renderTable() const {
   // reliable-layer estimate — side by side so an operator sees at once
   // which observable their deployment actually has. p99ms is the interval
   // delivery-latency p99 from the v3 histogram block (0.0 until sampled
-  // updates flow).
-  constexpr std::size_t kWidth = 80;  // including both border pipes
-  std::string out;
-  out +=
-      "+------------------------------- CLUSTER HEALTH "
-      "-------------------------------+\n";
-  out +=
-      "| node            seq    age  upd/s  loss%  rloss%  retx/s  B/dg  "
-      "p99ms state |\n";
+  // updates flow). The hot column (the phase most interval tick time went
+  // to, v5 phase block) appears only when some node runs the profiler.
+  //
+  // Column widths are computed from content: a long node name widens its
+  // column instead of shearing every figure out of alignment.
+  bool anyPhases = false;
+  for (const auto& [name, st] : nodes_)
+    if (st.health.hotPhase >= 0) anyPhases = true;
+
+  std::vector<std::string> headers = {"node",   "seq",    "age",
+                                      "upd/s",  "loss%",  "rloss%",
+                                      "retx/s", "B/dg",   "p99ms"};
+  if (anyPhases) headers.push_back("hot");
+  headers.push_back("state");
+  const std::size_t cols = headers.size();
+
   char buf[160];
+  auto fmt = [&buf](const char* f, double v) {
+    std::snprintf(buf, sizeof(buf), f, v);
+    return std::string(buf);
+  };
+  std::vector<std::vector<std::string>> rows;
   for (const auto& [name, st] : nodes_) {
     const NodeHealth& h = st.health;
     const char* state = h.silent        ? "SILENT"
@@ -493,14 +573,72 @@ std::string HealthMonitor::renderTable() const {
                         : st.retxAlarm  ? "RETX"
                         : st.latencyAlarm ? "LAT"
                                           : "OK";
-    std::snprintf(buf, sizeof(buf),
-                  "| %-14s %5llu %6.1f %6.1f %6.1f %7.1f %7.1f %5.0f %6.1f "
-                  "%-6s|\n",
-                  name.c_str(), static_cast<unsigned long long>(h.last.seq),
-                  now_ - h.lastHeardSec, h.updatesPerSec, h.lossPct,
-                  h.reliableLossPct, h.retransmitsPerSec, h.bytesPerDatagram,
-                  h.latencyP99Ms, state);
-    out += buf;
+    std::vector<std::string> row;
+    row.push_back(name);
+    row.push_back(std::to_string(h.last.seq));
+    row.push_back(fmt("%.1f", now_ - h.lastHeardSec));
+    row.push_back(fmt("%.1f", h.updatesPerSec));
+    row.push_back(fmt("%.1f", h.lossPct));
+    row.push_back(fmt("%.1f", h.reliableLossPct));
+    row.push_back(fmt("%.1f", h.retransmitsPerSec));
+    row.push_back(fmt("%.0f", h.bytesPerDatagram));
+    row.push_back(fmt("%.1f", h.latencyP99Ms));
+    if (anyPhases)
+      row.push_back(h.hotPhase >= 0 ? TickPhaseHistograms::shortName(
+                                          static_cast<std::size_t>(h.hotPhase))
+                                    : "-");
+    row.push_back(state);
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::size_t> widths(cols);
+  for (std::size_t i = 0; i < cols; ++i) widths[i] = headers[i].size();
+  for (const auto& row : rows)
+    for (std::size_t i = 0; i < cols; ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  // node is left-aligned (names scan better flush left), the trailing
+  // hot/state labels too; every figure is right-aligned under its header.
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const bool left = i == 0 || i >= cols - (anyPhases ? 2u : 1u);
+      line += ' ';
+      if (left) {
+        line += row[i];
+        line.append(widths[i] - row[i].size(), ' ');
+      } else {
+        line.append(widths[i] - row[i].size(), ' ');
+        line += row[i];
+      }
+    }
+    line += " |\n";
+    return line;
+  };
+
+  const std::string header = renderRow(headers);
+  const std::size_t lineWidth = header.size() - 1;  // sans newline
+  auto borderWith = [lineWidth](const std::string& title) {
+    std::string line(lineWidth, '-');
+    line.front() = line.back() = '+';
+    if (!title.empty() && title.size() + 4 <= lineWidth) {
+      const std::size_t at = (lineWidth - title.size()) / 2;
+      line.replace(at, title.size(), title);
+    }
+    return line + "\n";
+  };
+  auto padLine = [lineWidth](std::string line) {
+    if (line.size() < lineWidth - 1)
+      line.append(lineWidth - 1 - line.size(), ' ');
+    return line + "|\n";
+  };
+
+  std::string out = borderWith(" CLUSTER HEALTH ");
+  out += header;
+  std::size_t rowIdx = 0;
+  for (const auto& [name, st] : nodes_) {
+    const NodeHealth& h = st.health;
+    out += renderRow(rows[rowIdx++]);
     // Shard-balance line: per-shard routing-table entries from the v3
     // shard-load block, so a skewed class→shard hash shows up in the
     // health table instead of only in tests. Single-shard nodes have
@@ -529,19 +667,11 @@ std::string HealthMonitor::renderTable() const {
                     h.last.shardLoad.size(),
                     mean > 0.0 ? static_cast<double>(peak) / mean : 1.0);
       line += buf;
-      if (line.size() < kWidth - 1) line.append(kWidth - 1 - line.size(), ' ');
-      line += "|\n";
-      out += line;
+      out += padLine(std::move(line));
     }
   }
-  if (nodes_.empty()) {
-    std::string line = "| (no nodes heard from yet)";
-    line.append(kWidth - 1 - line.size(), ' ');
-    out += line + "|\n";
-  }
-  out +=
-      "+------------------------------------------------------------------"
-      "------------+\n";
+  if (nodes_.empty()) out += padLine("| (no nodes heard from yet)");
+  out += borderWith("");
   return out;
 }
 

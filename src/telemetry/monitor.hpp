@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/cb.hpp"
+#include "telemetry/archive.hpp"
 #include "telemetry/node_telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -171,6 +172,13 @@ struct NodeHealth {
   double latencyP99Ms = 0.0;
   double latencyMaxMs = 0.0;
   std::uint64_t latencySamples = 0;  // samples in that interval
+  /// Interval p99 (milliseconds) of each tick phase, TickPhase order,
+  /// from diffing the node's v5 phase histograms between snapshots.
+  /// All-zero for nodes not running the phase profiler.
+  std::array<double, kTickPhaseCount> phaseP99Ms{};
+  /// The phase the node spent most interval time in
+  /// (TickPhaseHistograms::shortName index), -1 without phase data.
+  int hotPhase = -1;
   /// The loss figure alarms and the peak-loss annotation use: frame
   /// accounting where the transport attributes drops, else the
   /// reliable-layer estimate.
@@ -188,6 +196,12 @@ class HealthMonitor : public core::LogicalProcess {
                               const core::AttributeSet& attrs,
                               double timestamp) override;
   void step(double now) override;
+
+  /// Replay hook (cod_inspect feeds archive kLivenessPing records here):
+  /// `node` proved alive at the monitor's current clock without an
+  /// applicable snapshot — refresh its liveness, raising the recovered
+  /// edge if it was silent, exactly as the live rejected-delta path does.
+  void noteLiveness(const std::string& node);
 
   /// Names of every node heard from so far, in name order (the display
   /// order of the health table).
@@ -221,6 +235,17 @@ class HealthMonitor : public core::LogicalProcess {
   void attachFlightRecorder(TraceRecorder* recorder, std::string dumpPath);
   /// How many CRIT-triggered dumps were written (test/tooling hook).
   std::uint64_t flightRecorderDumps() const { return flightDumps_; }
+  /// Path CRIT dump number `seq` (0-based) is written to: the configured
+  /// path for the first, then a ".2", ".3", ... inserted before the last
+  /// extension so earlier incidents' dumps survive later ones.
+  static std::string flightDumpPath(const std::string& base,
+                                    std::uint64_t seq);
+
+  /// Wire a flight-data archive (not owned) to this monitor: every
+  /// applied snapshot is re-encoded as a keyframe and appended, along
+  /// with every alarm edge and CRIT dump marker — the durable record
+  /// cod_inspect replays offline. Null detaches.
+  void attachArchive(TelemetryArchive* archive) { archive_ = archive; }
 
  private:
   /// Edge-trigger state for one channel of one node (keyed by channel id
@@ -271,6 +296,7 @@ class HealthMonitor : public core::LogicalProcess {
   std::uint16_t recorderLane_ = 0;
   std::uint64_t flightDumps_ = 0;
   double lastFlightDumpSec_ = 0.0;
+  TelemetryArchive* archive_ = nullptr;  // not owned
 };
 
 }  // namespace cod::telemetry

@@ -95,7 +95,11 @@ constexpr std::uint8_t kChanLive = 0x04;
 
 void encodeHeader(net::WireWriter& w, const NodeTelemetry& t,
                   std::uint8_t flags) {
-  w.u8(kTelemetryVersion);
+  // The phase-profiler block is the only v4 -> v5 delta, so a record
+  // without phase data IS a v4 record — byte-identical to what a v4
+  // encoder emits. Mixed clusters interop as long as profiling nodes'
+  // monitors are current.
+  w.u8(t.phaseProfiling ? kTelemetryVersion : kTelemetryVersionPhaseless);
   w.u8(flags);
   w.u64(t.seq);
   w.str(t.node);
@@ -200,6 +204,32 @@ bool decodeHistograms(net::WireReader& r, NodeTelemetry& t,
   return true;
 }
 
+// ---- v5 tick-phase block -------------------------------------------------
+//
+// Same sparse layout as the v3 histogram block, kTickPhaseCount entries
+// in TickPhase order. Present iff the record's version byte is 5.
+
+void encodePhases(net::WireWriter& w, const NodeTelemetry& t,
+                  const NodeTelemetry* base) {
+  w.u16(static_cast<std::uint16_t>(kTickPhaseCount));
+  for (std::size_t i = 0; i < kTickPhaseCount; ++i)
+    encodeHistogram(w, t.phases[i],
+                    base != nullptr ? &base->phases[i] : nullptr);
+}
+
+bool decodePhases(net::WireReader& r, NodeTelemetry& t,
+                  const NodeTelemetry* base) {
+  const auto count = r.u16();
+  // v5 defines the phase set exactly, like the v3 histogram set.
+  if (!count || *count != kTickPhaseCount) return false;
+  for (std::size_t i = 0; i < kTickPhaseCount; ++i) {
+    if (!decodeHistogram(r, t.phases[i],
+                         base != nullptr ? &base->phases[i] : nullptr))
+      return false;
+  }
+  return true;
+}
+
 // ---- v3 shard-load block -------------------------------------------------
 
 void encodeShardLoad(net::WireWriter& w, const NodeTelemetry& t) {
@@ -288,6 +318,7 @@ std::vector<std::uint8_t> encodeTelemetry(const NodeTelemetry& t) {
   encodeChannels(w, t);
   encodeHistograms(w, t, nullptr);
   encodeShardLoad(w, t);
+  if (t.phaseProfiling) encodePhases(w, t, nullptr);
   return w.take();
 }
 
@@ -308,6 +339,7 @@ std::vector<std::uint8_t> encodeTelemetryDelta(const NodeTelemetry& t,
   encodeChannels(w, t);
   encodeHistograms(w, t, &base);
   encodeShardLoad(w, t);
+  if (t.phaseProfiling) encodePhases(w, t, &base);
   return w.take();
 }
 
@@ -316,8 +348,10 @@ std::optional<TelemetryHeader> peekTelemetryHeader(
   net::WireReader r(bytes);
   const auto version = r.u8();
   const auto flags = r.u8();
-  if (!version || *version != kTelemetryVersion || !flags ||
-      (*flags & ~kFlagDelta) != 0)
+  if (!version ||
+      (*version != kTelemetryVersion &&
+       *version != kTelemetryVersionPhaseless) ||
+      !flags || (*flags & ~kFlagDelta) != 0)
     return std::nullopt;
   const auto seq = r.u64();
   auto node = r.str();
@@ -344,9 +378,12 @@ std::optional<NodeTelemetry> decodeTelemetry(
   const auto version = r.u8();
   const auto flags = r.u8();
   if (!version || !flags) return std::nullopt;
-  if (*version != kTelemetryVersion) return std::nullopt;
+  if (*version != kTelemetryVersion &&
+      *version != kTelemetryVersionPhaseless)
+    return std::nullopt;
   if ((*flags & ~kFlagDelta) != 0) return std::nullopt;
   const bool delta = (*flags & kFlagDelta) != 0;
+  const bool hasPhases = *version == kTelemetryVersion;
 
   NodeTelemetry t;
   const auto seq = r.u64();
@@ -392,6 +429,10 @@ std::optional<NodeTelemetry> decodeTelemetry(
   if (!decodeChannels(r, t)) return std::nullopt;
   if (!decodeHistograms(r, t, delta ? base : nullptr)) return std::nullopt;
   if (!decodeShardLoad(r, t)) return std::nullopt;
+  if (hasPhases) {
+    t.phaseProfiling = true;
+    if (!decodePhases(r, t, delta ? base : nullptr)) return std::nullopt;
+  }
   // Trailing bytes mean corruption (or a newer, larger format lying about
   // its version): reject wholesale.
   if (!r.atEnd()) return std::nullopt;

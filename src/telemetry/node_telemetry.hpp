@@ -45,7 +45,16 @@ namespace cod::telemetry {
 /// v4: flow-control counters joined the table — cb.updatesThinned,
 /// reliable.{updatesBlocked, degradeSkipsSent, windowSplits,
 /// windowMerges, peerDuplicatesReported} and batch.adaptiveFlushes.
-inline constexpr std::uint8_t kTelemetryVersion = 4;
+/// v5: tick-phase profiler block (kTickPhaseCount sparse histograms,
+/// same encoding as the v3 block) appended after the shard-load block.
+/// A node with the profiler OFF (`Config::phaseProfile == false`, the
+/// default) still emits version 4 — byte-identical to a v4 peer — so v5
+/// is only on the wire when there is phase data to carry. Decoders
+/// accept both.
+inline constexpr std::uint8_t kTelemetryVersion = 5;
+/// The version emitted (and still accepted) when the phase profiler is
+/// off: the v4 layout, unchanged.
+inline constexpr std::uint8_t kTelemetryVersionPhaseless = 4;
 
 /// Reserved object class the publishers publish on and monitors subscribe
 /// to — "cod." prefixed so no simulator module class can collide.
@@ -71,6 +80,14 @@ struct NodeTelemetry {
   /// cluster-health table. Always encoded in full (it is tiny and its
   /// shape — the shard count — must not be guessed from a diff).
   std::vector<core::CbShardLoad> shardLoad;
+  /// True when this node runs the tick-phase profiler: `phases` is
+  /// meaningful and the record encodes as wire v5. False encodes the
+  /// exact v4 bytes (phase block absent), keeping profiler-off nodes
+  /// byte-identical to v4 peers.
+  bool phaseProfiling = false;
+  /// Cumulative per-phase tick histograms, indexed like
+  /// TickPhaseHistograms::at(). All-zero unless `phaseProfiling`.
+  std::array<HistogramSnapshot, kTickPhaseCount> phases{};
 };
 
 /// The flattened counter table: every std::uint64_t in CbStats (with its

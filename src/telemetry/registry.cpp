@@ -16,6 +16,11 @@ NodeTelemetry StatRegistry::snapshot(double now) {
   t.shardLoad.reserve(cb_->shardCount());
   for (std::size_t i = 0; i < cb_->shardCount(); ++i)
     t.shardLoad.push_back(cb_->shardLoad(static_cast<std::uint32_t>(i)));
+  if (cb_->config().phaseProfile) {
+    t.phaseProfiling = true;  // record encodes as wire v5
+    for (std::size_t i = 0; i < kTickPhaseCount; ++i)
+      t.phases[i] = cb_->phaseHistograms().at(i).snapshot();
+  }
   return t;
 }
 

@@ -774,6 +774,136 @@ TEST(TelemetryWire, HistogramDeltaAgainstWrongBaseDiverges) {
   EXPECT_EQ(d->hists[2].buckets[3], base.hists[2].buckets[3]);  // seeded
 }
 
+// ---- Wire v5: the tick-phase block --------------------------------------
+
+// sampleTelemetry() with the phase profiler on and distinct nonzero
+// content in every phase histogram.
+telemetry::NodeTelemetry samplePhasedTelemetry() {
+  auto t = sampleTelemetry();
+  t.phaseProfiling = true;
+  for (std::size_t p = 0; p < telemetry::kTickPhaseCount; ++p) {
+    telemetry::HistogramSnapshot& s = t.phases[p];
+    s.count = 400 + p;
+    s.sum = 0.25 * static_cast<double>(p + 1);
+    s.min = 1e-6;
+    s.max = 0.01 + static_cast<double>(p) * 1e-3;
+    s.buckets[5] = 100 + p;
+    s.buckets[60 + p] = 200 + p;
+  }
+  return t;
+}
+
+TEST(TelemetryWire, PhaselessEncodingIsByteIdenticalV4) {
+  // With the profiler off the encoder must emit the EXACT v4 record a
+  // pre-v5 build emits: version byte 4, nothing appended. A v5-capable
+  // peer with the profiler on produces those same bytes with only the
+  // version relabeled and the phase block appended last — so v4 decoders
+  // never see phase bytes and v5 decoders interop with v4 peers.
+  const auto plain = sampleTelemetry();
+  const auto v4 = telemetry::encodeTelemetry(plain);
+  EXPECT_EQ(v4[0], telemetry::kTelemetryVersionPhaseless);
+  auto phased = plain;
+  phased.phaseProfiling = true;  // all-zero phase snapshots
+  const auto v5 = telemetry::encodeTelemetry(phased);
+  ASSERT_GT(v5.size(), v4.size());
+  EXPECT_EQ(v5[0], telemetry::kTelemetryVersion);
+  EXPECT_TRUE(std::equal(v4.begin() + 1, v4.end(), v5.begin() + 1))
+      << "phase block must be appended after every v4 block, not inserted";
+}
+
+TEST(TelemetryWire, PhaseBlockRoundTripsKeyframeAndDelta) {
+  const auto base = samplePhasedTelemetry();
+  const auto bytes = telemetry::encodeTelemetry(base);
+  const auto k = telemetry::decodeTelemetry(bytes);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_TRUE(k->phaseProfiling);
+  expectTelemetryEq(*k, base);
+  for (std::size_t p = 0; p < telemetry::kTickPhaseCount; ++p)
+    EXPECT_EQ(k->phases[p], base.phases[p])
+        << telemetry::TickPhaseHistograms::name(p);
+  // Peek understands both versions.
+  const auto header = telemetry::peekTelemetryHeader(bytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->node, base.node);
+
+  auto next = base;
+  next.seq = 18;
+  next.phases[1].count += 6;
+  next.phases[1].sum += 0.125;
+  next.phases[1].buckets[5] += 6;
+  const auto delta = telemetry::encodeTelemetryDelta(next, base);
+  const auto d = telemetry::decodeTelemetry(delta, &base);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->phaseProfiling);
+  for (std::size_t p = 0; p < telemetry::kTickPhaseCount; ++p)
+    EXPECT_EQ(d->phases[p], next.phases[p])
+        << telemetry::TickPhaseHistograms::name(p);
+}
+
+TEST(TelemetryWire, V5WithoutPhaseBlockRejected) {
+  // A record claiming version 5 must actually CARRY the phase block; a
+  // v4-shaped record relabeled 5 is truncated input, not a quiet default.
+  auto bytes = telemetry::encodeTelemetry(sampleTelemetry());
+  ASSERT_EQ(bytes[0], telemetry::kTelemetryVersionPhaseless);
+  bytes[0] = telemetry::kTelemetryVersion;
+  EXPECT_FALSE(telemetry::decodeTelemetry(bytes).has_value());
+  // And the converse: version 4 bytes followed by a phase block is
+  // trailing garbage to a v4 parse.
+  auto v5 = telemetry::encodeTelemetry(samplePhasedTelemetry());
+  ASSERT_EQ(v5[0], telemetry::kTelemetryVersion);
+  v5[0] = telemetry::kTelemetryVersionPhaseless;
+  EXPECT_FALSE(telemetry::decodeTelemetry(v5).has_value());
+}
+
+TEST(TelemetryWire, PhaseBucketIndexOutOfRangeRejected) {
+  const auto base = samplePhasedTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.phases[0].count += 1;
+  next.phases[0].buckets[11] = 0xFACEB00Cull;
+  auto delta = telemetry::encodeTelemetryDelta(next, base);
+  ASSERT_TRUE(telemetry::decodeTelemetry(delta, &base).has_value());
+  const std::size_t at = findPattern(
+      delta, {11, 0, 0x0C, 0xB0, 0xCE, 0xFA, 0, 0, 0, 0});
+  delta[at] = telemetry::kHistBuckets;  // idx beyond the bucket array
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
+TEST(TelemetryWire, PhaseNonAscendingBucketIndexRejected) {
+  const auto base = samplePhasedTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.phases[2].count += 2;
+  next.phases[2].buckets[11] = 0x31415926ull;
+  next.phases[2].buckets[13] = 0x27182818ull;
+  auto delta = telemetry::encodeTelemetryDelta(next, base);
+  ASSERT_TRUE(telemetry::decodeTelemetry(delta, &base).has_value());
+  const std::size_t at = findPattern(
+      delta, {13, 0, 0x18, 0x28, 0x18, 0x27, 0, 0, 0, 0});
+  delta[at] = 9;  // second entry now indexes below the first (11)
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+  delta[at] = 11;  // duplicate index: "strictly ascending" rejects too
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
+TEST(TelemetryWire, PhaseSetSizeMismatchRejected) {
+  const auto base = samplePhasedTelemetry();
+  auto next = base;
+  next.seq = 18;
+  next.phases[0].count = 0x1234DCBAull;  // distinctive scalar to anchor on
+  auto delta = telemetry::encodeTelemetryDelta(next, base);
+  ASSERT_TRUE(telemetry::decodeTelemetry(delta, &base).has_value());
+  // The phase block opens [u16 kTickPhaseCount] right before phase 0's
+  // count scalar.
+  const std::size_t at = findPattern(
+      delta, {telemetry::kTickPhaseCount, 0, 0xBA, 0xDC, 0x34, 0x12, 0, 0,
+              0, 0});
+  delta[at] = telemetry::kTickPhaseCount + 1;
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+  delta[at] = telemetry::kTickPhaseCount - 1;
+  EXPECT_FALSE(telemetry::decodeTelemetry(delta, &base).has_value());
+}
+
 TEST(TelemetryWire, CounterTableIsStable) {
   // The flattened counter order is the wire format; renaming or
   // reordering must bump kTelemetryVersion. Spot-check the anchors.

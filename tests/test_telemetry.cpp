@@ -7,6 +7,8 @@
 // lossy links the same way the reliable-layer soaks do.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -979,6 +981,158 @@ TEST(TelemetryApp, InstructorStationWatchesTheWholeRack) {
   EXPECT_NE(window.find("CLUSTER HEALTH"), std::string::npos);
   EXPECT_NE(window.find("dynamics"), std::string::npos);
   EXPECT_NE(window.find("instructor"), std::string::npos);
+}
+
+TEST(FlightDumpPath, NumbersDumpsBeforeTheLastExtension) {
+  using M = HealthMonitor;
+  // Dump 0 is the configured path verbatim; later incidents insert ".N"
+  // before the last extension so extension-globbing tools see them all.
+  EXPECT_EQ(M::flightDumpPath("x.trace.json", 0), "x.trace.json");
+  EXPECT_EQ(M::flightDumpPath("x.trace.json", 1), "x.trace.2.json");
+  EXPECT_EQ(M::flightDumpPath("x.trace.json", 9), "x.trace.10.json");
+  // No extension: append. A dot only in a directory name is not an
+  // extension.
+  EXPECT_EQ(M::flightDumpPath("dump", 1), "dump.2");
+  EXPECT_EQ(M::flightDumpPath("out.d/dump", 1), "out.d/dump.2");
+  EXPECT_EQ(M::flightDumpPath("out.d/dump.json", 2), "out.d/dump.3.json");
+}
+
+TEST_F(MonitorUnit, RenderTableGoldenAdaptsNodeColumnToLongNames) {
+  feed(record(7, 0.0));
+  NodeTelemetry other = record(3, 0.0);
+  other.node = "zz-instructor-station-backup";
+  other.addr = {2, 1};
+  monitor.reflectAttributeValues(kTelemetryClass, wrap(encodeTelemetry(other)),
+                                 0.0);
+  const std::string table = monitor.renderTable();
+  // Adaptive width invariant: the 28-char name widens the node column for
+  // EVERY line — nothing shears out of alignment.
+  std::size_t lineLen = 0;
+  std::size_t start = 0;
+  while (start < table.size()) {
+    const std::size_t end = table.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    if (lineLen == 0) lineLen = end - start;
+    EXPECT_EQ(end - start, lineLen) << table;
+    start = end + 1;
+  }
+  // The exact render, golden: single-snapshot nodes, all rates 0, no hot
+  // column (nobody runs the phase profiler).
+  const std::string golden =
+      "+-------------------------------- CLUSTER HEALTH ---------------"
+      "------------------+\n"
+      "| node                         seq age upd/s loss% rloss% retx/s"
+      " B/dg p99ms state |\n"
+      "| unit                           7 0.0   0.0   0.0    0.0    0.0"
+      "    0   0.0 OK    |\n"
+      "| zz-instructor-station-backup   3 0.0   0.0   0.0    0.0    0.0"
+      "    0   0.0 OK    |\n"
+      "+---------------------------------------------------------------"
+      "------------------+\n";
+  EXPECT_EQ(table, golden);
+}
+
+TEST_F(MonitorUnit, PhaseProfileDerivesHotPhaseAndPhaseP99) {
+  NodeTelemetry t1 = record(1, 0.0);
+  t1.phaseProfiling = true;
+  feed(t1);
+  const NodeHealth* h = monitor.node("unit");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->hotPhase, -1);  // one snapshot: no interval to judge yet
+  // No interval judged anywhere yet: the hot column stays hidden so a
+  // profiler-free cluster's table is unchanged.
+  EXPECT_EQ(monitor.renderTable().find("hot"), std::string::npos);
+
+  // Interval work: route dominates by SUMMED time (1000 ticks of 2 ms),
+  // flush holds the single slowest sample (one 0.5 s outlier). The hot
+  // phase must be route — summed duration, not p99, crowns it.
+  NodeTelemetry t2 = record(2, 1.0);
+  t2.phaseProfiling = true;
+  auto& route = t2.phases[static_cast<std::size_t>(TickPhase::kRoute)];
+  route.count = 1000;
+  route.sum = 2.0;
+  route.min = 0.002;
+  route.max = 0.002;
+  route.buckets[LogHistogram::bucketOf(0.002, TickPhaseHistograms::kLowest)] =
+      1000;
+  auto& flush = t2.phases[static_cast<std::size_t>(TickPhase::kFlush)];
+  flush.count = 1;
+  flush.sum = 0.5;
+  flush.min = 0.5;
+  flush.max = 0.5;
+  flush.buckets[LogHistogram::bucketOf(0.5, TickPhaseHistograms::kLowest)] = 1;
+  feed(t2);
+
+  h = monitor.node("unit");
+  EXPECT_EQ(h->hotPhase, static_cast<int>(TickPhase::kRoute));
+  EXPECT_GT(h->phaseP99Ms[static_cast<std::size_t>(TickPhase::kRoute)],
+            0.0);
+  EXPECT_GT(h->phaseP99Ms[static_cast<std::size_t>(TickPhase::kFlush)],
+            100.0);  // the 0.5 s outlier is still visible in its own p99
+  EXPECT_EQ(h->phaseP99Ms[static_cast<std::size_t>(TickPhase::kTimers)],
+            0.0);  // empty interval: not judged
+  // The health table shows the hot column with the phase's short name.
+  const std::string table = monitor.renderTable();
+  EXPECT_NE(table.find("hot"), std::string::npos);
+  EXPECT_NE(table.find("route"), std::string::npos);
+}
+
+TEST(FlightRecorder, CritDumpsAreRateLimitedAndNumbered) {
+  TraceRecorder rec(256);
+  const std::string base = ::testing::TempDir() + "cod-rate.trace.json";
+  const std::string second = ::testing::TempDir() + "cod-rate.trace.2.json";
+  std::remove(base.c_str());
+  std::remove(second.c_str());
+
+  MonitorConfig cfg;
+  cfg.flightDumpMinIntervalSec = 5.0;
+  HealthMonitor monitor(cfg);
+  monitor.attachFlightRecorder(&rec, base);
+
+  const auto snap = [](std::uint64_t seq, double timeSec) {
+    NodeTelemetry t;
+    t.seq = seq;
+    t.node = "unit";
+    t.addr = {1, 1};
+    t.nodeTimeSec = timeSec;
+    return t;
+  };
+  const auto feed = [&](const NodeTelemetry& t) {
+    core::AttributeSet a;
+    a.set(kTelemetryAttr, encodeTelemetry(t));
+    monitor.reflectAttributeValues(kTelemetryClass, a, t.nodeTimeSec);
+  };
+
+  // CRIT #1 (node silent at t=10): dumps to the base path.
+  feed(snap(1, 0.0));
+  monitor.step(10.0);
+  EXPECT_EQ(monitor.flightRecorderDumps(), 1u);
+  EXPECT_TRUE(std::ifstream(base).good());
+
+  // The node flaps: recovers, then goes silent again at t=14 — only 4 s
+  // after the last dump. The alarm is raised but the dump is suppressed:
+  // a flapping CRIT must not storm the monitor with synchronous I/O.
+  feed(snap(2, 10.5));
+  monitor.step(14.0);
+  const auto countSilent = [&] {
+    std::size_t n = 0;
+    for (const HealthAlarm& a : monitor.alarms())
+      n += a.kind == HealthAlarm::Kind::kNodeSilent ? 1 : 0;
+    return n;
+  };
+  EXPECT_EQ(countSilent(), 2u);
+  EXPECT_EQ(monitor.flightRecorderDumps(), 1u);
+  EXPECT_FALSE(std::ifstream(second).good());
+
+  // Third CRIT at t=20, 10 s after the last dump: past the limit, and it
+  // lands in the NUMBERED file so incident #1's evidence survives.
+  feed(snap(3, 14.2));
+  monitor.step(20.0);
+  EXPECT_EQ(countSilent(), 3u);
+  EXPECT_EQ(monitor.flightRecorderDumps(), 2u);
+  EXPECT_TRUE(std::ifstream(second).good());
+  std::remove(base.c_str());
+  std::remove(second.c_str());
 }
 
 }  // namespace

@@ -52,6 +52,7 @@
 // Node stdout/stderr land in --out/<name>.log; reports in
 // --out/<name>.report. CI uploads the directory as an artifact when the
 // verdict fails.
+#include <dirent.h>
 #include <fcntl.h>
 #include <libgen.h>
 #include <signal.h>
@@ -267,6 +268,12 @@ class Driver {
     starveLossPct_ = args.num("starve-loss", 40.0);
     starveDelayMs_ = args.num("starve-delay-ms", 100.0);
     minPublishRate_ = args.num("min-publish-rate", 0.0);  // 0 = gate off
+    // --archive: the monitor host records the run's flight-data archive,
+    // and the verdict re-runs its own post-mortem checks by replaying the
+    // file through cod_inspect — the offline judgement must agree with
+    // the live one.
+    archiveEnabled_ = args.has("archive");
+    archivePath_ = outDir_ + "/soak.archive";
     const int nodes =
         static_cast<int>(args.integer("nodes", massConnect_ ? 10 : 4));
     if (massConnect_) {
@@ -322,10 +329,35 @@ class Driver {
 
   int run(char** argv) {
     ::mkdir(outDir_.c_str(), 0777);
+    if (archiveEnabled_) {
+      // One driver run is one flight. The archive writer deliberately
+      // rotates (never truncates) segments a previous incarnation left —
+      // right for a victim restart INSIDE a run, wrong across runs: a
+      // re-run in the same --out would replay last run's alarms
+      // concatenated with this one's and fail the replay gate on a
+      // backwards-jumping clock. Scrub soak.archive and every rotated
+      // soak.archive.<n> before spawning.
+      if (DIR* d = ::opendir(outDir_.c_str())) {
+        const std::string base = "soak.archive";
+        while (const dirent* e = ::readdir(d)) {
+          const std::string name = e->d_name;
+          if (name == base || name.compare(0, base.size() + 1, base + ".") == 0)
+            std::remove((outDir_ + "/" + name).c_str());
+        }
+        ::closedir(d);
+      }
+    }
     if (nodeBin_.empty()) {
       // Default: soak_node next to this binary.
       std::vector<char> self(argv[0], argv[0] + std::strlen(argv[0]) + 1);
       nodeBin_ = std::string(::dirname(self.data())) + "/soak_node";
+    }
+    inspectBin_ = args_.str("inspect-bin", "");
+    if (inspectBin_.empty()) {
+      // Default: cod_inspect in the sibling tools/inspect build dir.
+      std::vector<char> self(argv[0], argv[0] + std::strlen(argv[0]) + 1);
+      inspectBin_ =
+          std::string(::dirname(self.data())) + "/../inspect/cod_inspect";
     }
 
     // The whole address plan is sized to the node count and anchored on a
@@ -454,7 +486,8 @@ class Driver {
           "quiesce", "telemetry-interval", "silent-after", "channel-timeout",
           "heartbeat", "ack-interval", "shards", "mass-hz",
           "keyframe-interval", "bind-ip", "host-ips", "trace-sample", "flow",
-          "send-window-bytes", "tick-flush-bytes", "split-lag-frames"}) {
+          "send-window-bytes", "tick-flush-bytes", "split-lag-frames",
+          "phase-profile"}) {
       if (args_.has(key))
         argStrs.push_back("--" + std::string(key) + "=" +
                           args_.str(key, ""));
@@ -482,6 +515,10 @@ class Driver {
     // shape (mass-0) gets an explicit monitor.
     if (s.name == monitorNode_ && s.role != "instructor")
       argStrs.push_back("--monitor=1");
+    // The monitor host is also the flight-data recorder: one archive
+    // records the whole cluster's health feed.
+    if (archiveEnabled_ && s.name == monitorNode_)
+      argStrs.push_back("--archive=" + archivePath_);
 
     const std::string logPath = outDir_ + "/" + s.name + ".log";
     const pid_t pid = ::fork();
@@ -645,6 +682,16 @@ class Driver {
       check(recoveredAfter, "monitor raised NODE_RECOVERED for " + victim_);
     }
 
+    // Archive replay: feed the recorded flight data back through
+    // cod_inspect and require the OFFLINE monitor to reproduce the live
+    // one's judgement — per-node alarm sequences, final counters, and
+    // (when the kill ran) the victim's SILENT→RECOVERED arc.
+    if (archiveEnabled_) {
+      std::fflush(stdout);
+      check(replayArchive() == 0,
+            "archive replay (cod_inspect) reproduces the live judgement");
+    }
+
     // Reliable-counter loss estimate vs injected ground truth — every
     // rack shape, including mass mode: its 2–4 Hz tail-dominated streams
     // once biased the estimate far above the injected rate (the tail
@@ -764,6 +811,53 @@ class Driver {
     return failures_ == 0;
   }
 
+  /// Run `cod_inspect --replay` over the recorded archive, output to
+  /// <out>/inspect.log (echoed on failure). Returns the tool's exit code
+  /// (0 replay matched, 1 mismatch, 2 unusable archive), -1 on spawn
+  /// trouble.
+  int replayArchive() {
+    std::vector<std::string> argStrs{
+        inspectBin_, "--archive=" + archivePath_, "--replay", "--timeline",
+        "--expected-interval=" +
+            std::to_string(args_.num("telemetry-interval", 1.0)),
+        "--silent-after=" + std::to_string(args_.num("silent-after", 3.0))};
+    if (killAt_ <= duration_)
+      argStrs.push_back("--verify-victim=" + victim_);
+    const std::string logPath = outDir_ + "/inspect.log";
+    const pid_t pid = ::fork();
+    if (pid < 0) return -1;
+    if (pid == 0) {
+      const int fd =
+          ::open(logPath.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      std::vector<char*> argvChild;
+      argvChild.reserve(argStrs.size() + 1);
+      for (std::string& a : argStrs) argvChild.push_back(a.data());
+      argvChild.push_back(nullptr);
+      ::execv(inspectBin_.c_str(), argvChild.data());
+      std::fprintf(stderr, "execv %s: %s\n", inspectBin_.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    const int rc =
+        WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+    if (rc != 0) {
+      // Surface the replay's own mismatch report in the driver log (CI
+      // shows the driver's output; the file is an artifact either way).
+      std::ifstream in(logPath);
+      std::string line;
+      while (std::getline(in, line))
+        std::printf("    inspect| %s\n", line.c_str());
+    }
+    return rc;
+  }
+
   soak::Args args_;
   std::vector<NodeSpec> specs_;
   std::map<std::string, pid_t> pids_;
@@ -777,6 +871,8 @@ class Driver {
   std::string starveNode_;
   double starveLossPct_ = 40.0, starveDelayMs_ = 100.0;
   double minPublishRate_ = 0.0;
+  bool archiveEnabled_ = false;
+  std::string archivePath_, inspectBin_;
   std::uint16_t basePort_ = 0;
   int portsPerHost_ = 4, maxHosts_ = 0;
   int failures_ = 0;

@@ -298,6 +298,10 @@ int run(int argc, char** argv) {
   // reliable-layer loss estimate upward.
   cbCfg.reliable.ackIntervalSec = args.num("ack-interval", 0.05);
   cbCfg.shards = static_cast<std::uint32_t>(args.integer("shards", 1));
+  // --phase-profile arms the tick-phase profiler: per-phase duration
+  // histograms and telemetry wire v5 (peers stay v4-compatible; the
+  // encoder only emits the phase block when this is on).
+  cbCfg.phaseProfile = args.has("phase-profile");
   // --flow arms the adaptive flow-control stack end to end: byte-budgeted
   // reliable send windows with per-channel split/re-merge, the adaptive
   // mid-tick flush, and a BackpressureGovernor fed by a HealthMonitor on
@@ -390,6 +394,22 @@ int run(int argc, char** argv) {
   // disk the moment they matter, not at exit when the ring has moved on.
   if (monitor && recorder)
     monitor->attachFlightRecorder(recorder.get(), traceDump);
+  // --archive=<path> makes this node's monitor the cluster's black box:
+  // every applied snapshot, alarm edge, liveness ping, and dump marker
+  // goes to an append-only CRC-framed log cod_inspect can replay.
+  std::unique_ptr<telemetry::TelemetryArchive> archive;
+  const std::string archivePath = args.str("archive", "");
+  if (monitor && !archivePath.empty()) {
+    telemetry::TelemetryArchive::Config acfg;
+    acfg.path = archivePath;
+    archive = std::make_unique<telemetry::TelemetryArchive>(acfg);
+    if (archive->ok()) {
+      monitor->attachArchive(archive.get());
+    } else {
+      std::fprintf(stderr, "[%s] cannot open archive %s (continuing)\n",
+                   name.c_str(), archivePath.c_str());
+    }
+  }
   // Telemetry-closed backpressure: the governor tails this node's alarm
   // feed and thins best-effort sends toward struggling peers.
   std::unique_ptr<telemetry::BackpressureGovernor> governor;
@@ -600,6 +620,14 @@ int run(int argc, char** argv) {
   }
   out << "exit ok\n";
   if (recorder && !traceDump.empty()) recorder->dumpToFile(traceDump);
+  if (archive) {
+    archive->close();
+    std::printf("[%s] archive %s: %llu records, %llu bytes, %llu rotations\n",
+                name.c_str(), archivePath.c_str(),
+                static_cast<unsigned long long>(archive->recordsWritten()),
+                static_cast<unsigned long long>(archive->bytesWritten()),
+                static_cast<unsigned long long>(archive->segmentsRotated()));
+  }
   std::printf("[%s] done: updates=%llu report=%s\n", name.c_str(),
               static_cast<unsigned long long>(cb.stats().updatesSent),
               reportPath.c_str());

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# SIGUSR2 mid-run must freeze the soak_node flight-recorder ring to the
+# --trace-dump file immediately — while the process is still alive, not
+# at exit — and the dump must be well-formed Chrome trace JSON.
+#
+# Usage: test_sigusr2_dump.sh <soak_node binary> <out dir>
+set -eu
+
+NODE_BIN="$1"
+OUT_DIR="$2"
+mkdir -p "$OUT_DIR"
+DUMP="$OUT_DIR/usr2.trace.json"
+LOG="$OUT_DIR/usr2.log"
+rm -f "$DUMP"
+
+# Ephemeral-ish port derived from our pid so parallel ctest lanes don't
+# collide on a constant.
+PORT=$((21000 + ($$ % 20000)))
+
+"$NODE_BIN" --name=usr2 --role=dynamics --report="$OUT_DIR/usr2.report" \
+  --base-port="$PORT" --host=0 --duration=10 --quiesce=1 \
+  --trace-sample=8 --trace-dump="$DUMP" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+
+# Let the node start ticking and record some events, then poke it.
+sleep 3
+kill -USR2 "$PID"
+
+# The dump is written from the main loop within a tick or two.
+for _ in $(seq 1 50); do
+  [ -s "$DUMP" ] && break
+  sleep 0.1
+done
+if ! [ -s "$DUMP" ]; then
+  echo "FAIL: no dump file after SIGUSR2"
+  cat "$LOG"
+  exit 1
+fi
+
+# It must be THIS dump, not the exit-time one: the node is still running.
+if ! kill -0 "$PID" 2>/dev/null; then
+  echo "FAIL: node exited before the mid-run dump could be attributed"
+  cat "$LOG"
+  exit 1
+fi
+
+# Well-formed: a complete Chrome-trace JSON object.
+grep -q '"traceEvents"' "$DUMP" || { echo "FAIL: no traceEvents key"; exit 1; }
+case "$(tail -c 2 "$DUMP" | tr -d '[:space:]')" in
+  *}) ;;
+  *) echo "FAIL: dump does not end with }"; exit 1 ;;
+esac
+
+# The node logs the SIGUSR2 attribution line from its main loop.
+for _ in $(seq 1 50); do
+  grep -q 'SIGUSR2' "$LOG" && break
+  sleep 0.1
+done
+grep -q 'SIGUSR2' "$LOG" || { echo "FAIL: no SIGUSR2 log line"; exit 1; }
+
+# Clean exit still works after the mid-run dump.
+wait "$PID"
+trap - EXIT
+echo "PASS: SIGUSR2 produced a well-formed mid-run dump"
