@@ -47,9 +47,21 @@ for bin in "${BENCH_DIR}"/bench_*; do
     echo "== ${b} -> ${out}"
     "${bin}" > "${out}"
     rc=$?
+    # Scenario benches that print a machine-readable COD_BENCH_SUMMARY
+    # {json} line also get a BENCH_<name>.json baseline, same as the
+    # Google-Benchmark binaries — CI diffs trajectories off the JSON
+    # without parsing the human log.
+    summary="$(grep -h '^COD_BENCH_SUMMARY ' "${out}" | tail -n1)"
+    if [[ -n "${summary}" ]]; then
+      printf '%s\n' "${summary#COD_BENCH_SUMMARY }" \
+        > "${OUT_DIR}/BENCH_${b#bench_}.json"
+    fi
   fi
   names+=("${b}")
   statuses+=("${rc}")
+  # One machine-readable result line per bench, greppable by CI.
+  printf 'COD_BENCH_RESULT {"bench":"%s","exit":%d,"baseline":"%s"}\n' \
+    "${b}" "${rc}" "${out}"
   if [[ "${rc}" -ne 0 ]]; then
     echo "== ${b} FAILED (exit ${rc})" >&2
     failed=1
@@ -71,10 +83,15 @@ fi
 # gate overhead, per-overflow-policy costs, split-window fan-out and the
 # best-effort thinning fast path) and the flight-data archive numbers
 # (bench_archive exits non-zero past its 1% append-share budget, and
-# prices the cod_inspect replay path).
+# prices the cod_inspect replay path) and the async-engine numbers
+# (bench_async: mmsg-vs-single-syscall datagrams/s and the sync-vs-async
+# 16-peer mesh p99 tick latency, gated by COD_BENCH_ASYNC_STRICT tier).
 # Warn (stderr) if any was not produced — e.g. Google Benchmark missing,
 # so the gbench binaries were never built. Not fatal: the scenario-bench
-# .log baselines above are still valid without them.
+# .log baselines above are still valid without them. BENCH_async.json
+# comes from a self-driving bench (no Google Benchmark needed), so its
+# absence means bench_async itself did not run or print its summary —
+# that one is fatal.
 for required in BENCH_reliable.json BENCH_batching.json BENCH_telemetry.json \
                 BENCH_cb_routing.json BENCH_trace.json BENCH_flow.json \
                 BENCH_archive.json; do
@@ -85,6 +102,11 @@ for required in BENCH_reliable.json BENCH_batching.json BENCH_telemetry.json \
     echo "         (is Google Benchmark installed?)" >&2
   fi
 done
+if [[ ! -s "${OUT_DIR}/BENCH_async.json" ]]; then
+  echo "error: BENCH_async.json missing — bench_async did not emit its" >&2
+  echo "       COD_BENCH_SUMMARY line" >&2
+  failed=1
+fi
 
 echo
 echo "== bench summary ======================"

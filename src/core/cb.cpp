@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "net/engine.hpp"
+
 namespace cod::core {
 
 namespace {
@@ -31,6 +33,19 @@ CommunicationBackbone::CommunicationBackbone(
     : name_(std::move(name)), transport_(std::move(transport)), cfg_(cfg) {
   if (!transport_)
     throw std::invalid_argument("CommunicationBackbone: null transport");
+  if (cfg_.asyncNet) {
+    // Interpose the async engine between the CB and whatever transport
+    // the caller handed us: recv/send move to dedicated threads, the
+    // tick thread talks to lock-free rings. Everything below (stageSend,
+    // flushSlot) is oblivious — it just calls Transport as before.
+    net::AsyncNetConfig acfg;
+    acfg.trace = cfg_.trace;
+    acfg.laneName = name_;
+    auto eng =
+        std::make_unique<net::AsyncTransport>(std::move(transport_), acfg);
+    asyncEngine_ = eng.get();
+    transport_ = std::move(eng);
+  }
   const std::uint32_t n = std::max<std::uint32_t>(1, cfg_.shards);
   shards_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i)
@@ -64,7 +79,8 @@ std::uint32_t CommunicationBackbone::batchSlotFor(const net::NodeAddr& dst) {
     peerBatches_[slot].addr = dst;
   } else {
     slot = static_cast<std::uint32_t>(peerBatches_.size());
-    peerBatches_.push_back(PeerBatch{dst, {}, 0, false});
+    peerBatches_.emplace_back();
+    peerBatches_[slot].addr = dst;
   }
   peerBatches_[slot].active = true;
   batchSlots_.emplace(dst, slot);
@@ -81,14 +97,14 @@ void CommunicationBackbone::releaseBatchSlot(std::uint32_t slot) {
   if (slot == kNoBatchSlot) return;
   PeerBatch& b = peerBatches_[slot];
   if (b.channelRefs > 0) --b.channelRefs;
-  // Staged frames (a BYE, say) must still leave; if the builder is not
+  // Staged frames (a BYE, say) must still leave; if the slot is not
   // empty yet, the flush that empties it completes the reclaim.
   reclaimSlotIfIdle(slot);
 }
 
 void CommunicationBackbone::reclaimSlotIfIdle(std::uint32_t slot) {
   PeerBatch& b = peerBatches_[slot];
-  if (!b.active || b.channelRefs > 0 || !b.builder.empty()) return;
+  if (!b.active || b.channelRefs > 0 || !b.empty()) return;
   batchSlots_.erase(b.addr);
   b.active = false;
   freeBatchSlots_.push_back(slot);
@@ -98,6 +114,53 @@ void CommunicationBackbone::reclaimSlotIfIdle(std::uint32_t slot) {
 void CommunicationBackbone::stageSend(const net::NodeAddr& dst,
                                       std::span<const std::uint8_t> frame) {
   stageSend(batchSlotFor(dst), frame);
+}
+
+std::uint32_t CommunicationBackbone::arenaAppend(
+    std::span<const std::uint8_t> frame) {
+  // Recycle only when no staged descriptor references the arena anymore:
+  // a mid-fan-out adaptive flush may have emptied every slot while the
+  // fan-out's shared chunk is still about to be staged to more channels,
+  // and THAT is guarded by the fan-out not appending between channels.
+  if (stagedFrameCount_ == 0) stageArena_.clear();
+  const std::uint32_t off = static_cast<std::uint32_t>(stageArena_.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  stageArena_.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  stageArena_.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+  stageArena_.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+  stageArena_.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+  stageArena_.insert(stageArena_.end(), frame.begin(), frame.end());
+  return off;
+}
+
+void CommunicationBackbone::appendStaged(PeerBatch& b, const StagedFrame& f) {
+  b.stagedBytes = (b.frames.empty() ? kBatchHeaderBytes : b.stagedBytes) +
+                  kBatchFramePrefixBytes + f.len;
+  b.frames.push_back(f);
+  ++stagedFrameCount_;
+  stagedTickBytes_ += f.len;
+  if (cfg_.batch.tickFlushByteBudget != 0 &&
+      stagedTickBytes_ >= cfg_.batch.tickFlushByteBudget) {
+    // Adaptive mid-tick flush: the tick has staged enough across all
+    // peers to overrun the budget — drain now instead of pooling it all
+    // into one end-of-tick burst. Only budget-counted (container) bytes
+    // arm this; bare sends left immediately anyway.
+    ++stats_.batch.adaptiveFlushes;
+    flushBatches();
+  }
+}
+
+void CommunicationBackbone::sendPatchedBare(const net::NodeAddr& addr,
+                                            std::uint32_t off,
+                                            std::uint32_t len,
+                                            const std::uint8_t* chanLe) {
+  // [type u8][channel id u32 @1][rest]: three spans swap in the id
+  // without touching the shared frame bytes. sendv consumes the spans
+  // before returning, so arena growth afterwards is harmless.
+  const std::uint8_t* base = stageArena_.data() + off + kBatchFramePrefixBytes;
+  const net::ByteSpan parts[3] = {
+      {base, 1}, {chanLe, 4}, {base + 5, len - 5}};
+  transport_->sendv(addr, parts);
 }
 
 void CommunicationBackbone::stageSend(std::uint32_t slot,
@@ -114,14 +177,12 @@ void CommunicationBackbone::stageSend(std::uint32_t slot,
                  frame.size());
     return;
   }
-  if (!b.builder.empty() &&
-      (b.builder.sizeWith(frame.size()) > cfg_.batch.byteBudget ||
-       b.builder.frameCount() >= kBatchMaxFrames)) {
+  if (!b.empty() && (b.sizeWith(frame.size()) > cfg_.batch.byteBudget ||
+                     b.frames.size() >= kBatchMaxFrames)) {
     ++stats_.batch.budgetFlushes;
     flushSlot(b);
   }
-  if (b.builder.empty() &&
-      b.builder.sizeWith(frame.size()) > cfg_.batch.byteBudget) {
+  if (b.empty() && b.sizeWith(frame.size()) > cfg_.batch.byteBudget) {
     // Even alone this frame busts the budget: bypass the container (the
     // bare frame is wire-compatible; the transport fragments if it must).
     transport_->send(b.addr, frame);
@@ -132,37 +193,97 @@ void CommunicationBackbone::stageSend(std::uint32_t slot,
                  frame.size());
     return;
   }
-  b.builder.append(frame);
-  stagedTickBytes_ += frame.size();
-  if (cfg_.batch.tickFlushByteBudget != 0 &&
-      stagedTickBytes_ >= cfg_.batch.tickFlushByteBudget) {
-    // Adaptive mid-tick flush: the tick has staged enough across all
-    // peers to overrun the budget — drain now instead of pooling it all
-    // into one end-of-tick burst. Only budget-counted (container) bytes
-    // arm this; bare sends left immediately anyway.
-    ++stats_.batch.adaptiveFlushes;
-    flushBatches();
+  StagedFrame f;
+  f.off = arenaAppend(frame);
+  f.len = static_cast<std::uint32_t>(frame.size());
+  appendStaged(b, f);
+}
+
+void CommunicationBackbone::stagePatched(std::uint32_t slot, std::uint32_t off,
+                                         std::uint32_t len,
+                                         std::uint32_t channelId) {
+  // The update fan-out's per-channel path: same decision tree as
+  // stageSend, but the frame bytes are already in the arena (appended
+  // once for the whole fan-out) and only the 4 channel-id bytes differ —
+  // staging a channel costs a 16-byte descriptor, not a frame copy.
+  PeerBatch& b = peerBatches_[slot];
+  StagedFrame f;
+  f.off = off;
+  f.len = len;
+  f.chanLe[0] = static_cast<std::uint8_t>(channelId & 0xFF);
+  f.chanLe[1] = static_cast<std::uint8_t>((channelId >> 8) & 0xFF);
+  f.chanLe[2] = static_cast<std::uint8_t>((channelId >> 16) & 0xFF);
+  f.chanLe[3] = static_cast<std::uint8_t>((channelId >> 24) & 0xFF);
+  f.patched = true;
+  if (!cfg_.batch.enabled) {
+    sendPatchedBare(b.addr, off, len, f.chanLe);
+    hists_.flushBytes.record(static_cast<double>(len));
+    if (tracing())
+      traceEvent(telemetry::TraceEventKind::kDatagramSend, now_, 0.0, len);
+    return;
   }
+  if (!b.empty() && (b.sizeWith(len) > cfg_.batch.byteBudget ||
+                     b.frames.size() >= kBatchMaxFrames)) {
+    ++stats_.batch.budgetFlushes;
+    flushSlot(b);
+  }
+  if (b.empty() && b.sizeWith(len) > cfg_.batch.byteBudget) {
+    sendPatchedBare(b.addr, off, len, f.chanLe);
+    ++stats_.batch.oversizeSends;
+    hists_.flushBytes.record(static_cast<double>(len));
+    if (tracing())
+      traceEvent(telemetry::TraceEventKind::kDatagramSend, now_, 0.0, len);
+    return;
+  }
+  appendStaged(b, f);
 }
 
 void CommunicationBackbone::flushSlot(PeerBatch& b) {
-  if (b.builder.empty()) return;
-  const std::size_t frames = b.builder.frameCount();
+  if (b.empty()) return;
+  const std::size_t frames = b.frames.size();
+  const std::uint8_t* arena = stageArena_.data();
   std::size_t sentBytes;
   if (frames == 1) {
     // A one-frame container is pure overhead — and stripping it keeps a
     // lone message byte-identical to the un-batched protocol.
-    const auto solo = b.builder.soloFrame();
-    transport_->send(b.addr, solo);
+    const StagedFrame& f = b.frames.front();
+    if (!f.patched) {
+      transport_->send(
+          b.addr, {arena + f.off + kBatchFramePrefixBytes, f.len});
+    } else {
+      sendPatchedBare(b.addr, f.off, f.len, f.chanLe);
+    }
     ++stats_.batch.soloFlushes;
-    sentBytes = solo.size();
+    sentBytes = f.len;
   } else {
-    const auto bytes = b.builder.bytes();
-    transport_->send(b.addr, bytes);
+    // Scatter-gather container: stack header + one span per unpatched
+    // frame ([len][frame] is already contiguous in the arena), three per
+    // patched frame. No staging copy happens on this path at all — the
+    // bytes go from the arena to the transport.
+    const std::uint8_t hdr[kBatchHeaderBytes] = {
+        static_cast<std::uint8_t>(MsgType::kBatch),
+        static_cast<std::uint8_t>(frames & 0xFF),
+        static_cast<std::uint8_t>((frames >> 8) & 0xFF)};
+    iovScratch_.clear();
+    iovScratch_.emplace_back(hdr, kBatchHeaderBytes);
+    std::size_t size = kBatchHeaderBytes;
+    for (const StagedFrame& f : b.frames) {
+      if (!f.patched) {
+        iovScratch_.emplace_back(arena + f.off,
+                                 kBatchFramePrefixBytes + f.len);
+      } else {
+        iovScratch_.emplace_back(arena + f.off, kBatchFramePrefixBytes + 1);
+        iovScratch_.emplace_back(f.chanLe, 4);
+        iovScratch_.emplace_back(arena + f.off + kBatchFramePrefixBytes + 5,
+                                 f.len - 5);
+      }
+      size += kBatchFramePrefixBytes + f.len;
+    }
+    transport_->sendv(b.addr, iovScratch_);
     ++stats_.batch.datagramsCoalesced;
     stats_.batch.framesCoalesced += frames;
-    stats_.batch.containerBytesSent += bytes.size();
-    sentBytes = bytes.size();
+    stats_.batch.containerBytesSent += size;
+    sentBytes = size;
   }
   hists_.flushBytes.record(static_cast<double>(sentBytes));
   // One event per container: the flush IS the datagram send (bytes +
@@ -170,7 +291,9 @@ void CommunicationBackbone::flushSlot(PeerBatch& b) {
   if (tracing())
     traceEvent(telemetry::TraceEventKind::kBatchFlush, now_, 0.0, sentBytes,
                frames);
-  b.builder.clear();
+  stagedFrameCount_ -= frames;
+  b.frames.clear();
+  b.stagedBytes = 0;
 }
 
 void CommunicationBackbone::flushBatches() {

@@ -55,6 +55,10 @@
 #include "telemetry/hist.hpp"
 #include "telemetry/trace.hpp"
 
+namespace cod::net {
+class AsyncTransport;
+}  // namespace cod::net
+
 namespace cod::core {
 
 /// Base class for the paper's Logical Processes. Derive, override
@@ -238,6 +242,15 @@ class CommunicationBackbone {
     /// reads — and keeps the telemetry record on the v4 layout,
     /// byte-identical to an unprofiled build.
     bool phaseProfile = false;
+    /// Async threaded network engine (net/engine.hpp): wrap the transport
+    /// in an AsyncTransport so socket recv/send run on dedicated threads
+    /// with lock-free rings to/from the tick thread, and syscalls batch
+    /// (recvmmsg/sendmmsg on UDP). Off (the default) keeps the seed's
+    /// single-threaded transport path, byte-identical on the wire; on,
+    /// datagram CONTENT is identical but ordering across peers can
+    /// interleave with tick boundaries. Engine health counters ship as
+    /// telemetry wire v6.
+    bool asyncNet = false;
   };
 
   /// `transport` is this computer's socket; by convention every CB of a
@@ -420,18 +433,43 @@ class CommunicationBackbone {
                             std::uint32_t remoteChannelId,
                             PublicationHandle pub);
 
+  /// One frame staged for a peer, as a descriptor into the shared staging
+  /// arena (`stageArena_`) rather than bytes of its own. The arena entry
+  /// is `[u32 len LE][frame bytes]` at `off` — already in kBatch
+  /// sub-frame framing, so an unpatched frame flushes as ONE iovec span
+  /// with no per-frame staging copy. A `patched` entry is the update
+  /// fan-out's zero-copy channel-id rewrite: the frame bytes are shared
+  /// by every channel of the fan-out and `chanLe` overrides the 4 id
+  /// bytes at frame offset 1 at flush time (three spans: length prefix +
+  /// type byte, the id, the rest).
+  struct StagedFrame {
+    std::uint32_t off = 0;  // arena offset of [u32 len][frame]
+    std::uint32_t len = 0;  // frame bytes (excluding the u32 prefix)
+    std::uint8_t chanLe[4] = {0, 0, 0, 0};
+    bool patched = false;
+  };
+
   /// One staging buffer per live remote endpoint. A slot stays pinned
   /// while any channel caches its index (`channelRefs`); channel teardown
   /// releases the pin and an unpinned slot is reclaimed to a free list
-  /// once its builder has flushed, so the table tracks live peers instead
-  /// of growing with lifetime peer churn (ephemeral-address dynamic join).
-  /// Reclaim happens only at zero refs, so a cached index can never watch
-  /// its slot be re-issued to a different peer.
+  /// once its staged frames have flushed, so the table tracks live peers
+  /// instead of growing with lifetime peer churn (ephemeral-address
+  /// dynamic join). Reclaim happens only at zero refs, so a cached index
+  /// can never watch its slot be re-issued to a different peer.
   struct PeerBatch {
     net::NodeAddr addr;
-    BatchBuilder builder;
+    std::vector<StagedFrame> frames;
+    /// Container size if flushed now: kBatchHeaderBytes + Σ(4 + len).
+    /// 0 when empty (mirrors BatchBuilder::sizeWith's accounting).
+    std::size_t stagedBytes = 0;
     std::uint32_t channelRefs = 0;  // live channels caching this index
     bool active = false;            // false: parked on the free list
+
+    bool empty() const { return frames.empty(); }
+    std::size_t sizeWith(std::size_t frameSize) const {
+      return (frames.empty() ? kBatchHeaderBytes : stagedBytes) +
+             kBatchFramePrefixBytes + frameSize;
+    }
   };
 
   /// Resolve (or create) the staging slot for `dst`. Slots created here
@@ -457,6 +495,28 @@ class CommunicationBackbone {
       ch.batchSlot = acquireBatchSlot(ch.remote);
     stageSend(ch.batchSlot, frame);
   }
+  /// Append `[u32 len][frame]` to the staging arena, returning its offset
+  /// (offsets stay valid across arena growth; the arena is recycled only
+  /// when nothing staged references it anymore).
+  std::uint32_t arenaAppend(std::span<const std::uint8_t> frame);
+  /// Stage a frame already in the arena with its channel-id bytes
+  /// rewritten to `channelId` at flush time — the update fan-out's
+  /// zero-copy per-channel path. Same flush decisions as stageSend.
+  void stagePatched(std::uint32_t slot, std::uint32_t off, std::uint32_t len,
+                    std::uint32_t channelId);
+  template <typename Channel>
+  void stagePatchedToChannel(Channel& ch, std::uint32_t off,
+                             std::uint32_t len) {
+    if (ch.batchSlot == kNoBatchSlot)
+      ch.batchSlot = acquireBatchSlot(ch.remote);
+    stagePatched(ch.batchSlot, off, len, ch.remoteChannelId);
+  }
+  /// Shared tail of the two staging paths: append the descriptor, grow
+  /// the budget accounting, arm the adaptive mid-tick flush.
+  void appendStaged(PeerBatch& b, const StagedFrame& f);
+  /// Send an arena frame bare with its channel id patched (three spans).
+  void sendPatchedBare(const net::NodeAddr& addr, std::uint32_t off,
+                       std::uint32_t len, const std::uint8_t* chanLe);
   void flushSlot(PeerBatch& b);
 
   std::string name_;
@@ -507,6 +567,26 @@ class CommunicationBackbone {
   /// Reusable UPDATE frame for updateAttributeValues: encoded once per
   /// update, channel id patched per channel, capacity kept across calls.
   std::vector<std::uint8_t> updateFrame_;
+  /// Shared staging arena: every staged frame's bytes live here as
+  /// `[u32 len][frame]` chunks; PeerBatch slots hold descriptors only.
+  /// Cleared lazily — only when a new chunk is appended while NOTHING is
+  /// staged (stagedFrameCount_ == 0) — so a mid-fan-out adaptive flush
+  /// can empty the slots without invalidating the fan-out's shared chunk
+  /// that later channels still reference. Offsets, not pointers, so
+  /// growth reallocation is harmless.
+  std::vector<std::uint8_t> stageArena_;
+  /// Descriptors currently staged across ALL peer slots (arena-recycling
+  /// guard, see stageArena_).
+  std::size_t stagedFrameCount_ = 0;
+  /// Reusable span list for scatter-gather flushes.
+  std::vector<net::ByteSpan> iovScratch_;
+  /// The async engine when Config::asyncNet (owned via transport_; this
+  /// is a borrowed view for engine-stat snapshots). Null when sync.
+  net::AsyncTransport* asyncEngine_ = nullptr;
+
+ public:
+  /// Engine view for telemetry (null unless Config::asyncNet).
+  net::AsyncTransport* asyncEngine() const { return asyncEngine_; }
 };
 
 }  // namespace cod::core

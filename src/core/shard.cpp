@@ -760,6 +760,12 @@ bool CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
       cb_.traceEvent(telemetry::TraceEventKind::kUpdatePublished, cb_.now_,
                      0.0, seq);
     bool buffered = false;
+    // The frame enters the staging arena once for the whole fan-out (on
+    // the first channel that actually sends); each channel then stages a
+    // 16-byte descriptor whose flush-time spans swap in that channel's id
+    // — no per-channel patch-and-copy of the frame bytes.
+    std::uint32_t fanOff = 0;
+    bool fanStaged = false;
     for (OutChannel& ch : pub.channels) {
       if (ch.qos == net::QosClass::kReliableOrdered) {
         if (!buffered) {
@@ -786,8 +792,12 @@ bool CbShard::update(PublicationEntry& pub, const AttributeSet& attrs,
           continue;
         }
       }
-      patchChannelId(cb_.updateFrame_, ch.remoteChannelId);
-      cb_.stageToChannel(ch, cb_.updateFrame_);
+      if (!fanStaged) {
+        fanOff = cb_.arenaAppend(cb_.updateFrame_);
+        fanStaged = true;
+      }
+      cb_.stagePatchedToChannel(
+          ch, fanOff, static_cast<std::uint32_t>(cb_.updateFrame_.size()));
       ch.lastSentSec = cb_.now_;
       ++cb_.stats_.updatesSent;
       if (ch.qos == net::QosClass::kReliableOrdered) {

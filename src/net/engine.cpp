@@ -1,0 +1,296 @@
+#include "net/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#ifdef __linux__
+#include <poll.h>
+#endif
+
+namespace cod::net {
+
+namespace {
+
+double steadySeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr std::size_t kRecvBurst = 32;
+constexpr std::size_t kSendBurst = 32;
+
+constexpr const char* kEngineCounterNames[kEngineCounterCount] = {
+    "engine.recvDatagrams",  "engine.recvBatches", "engine.recvRingDrops",
+    "engine.recvRingPeak",   "engine.sendDatagrams", "engine.sendBatches",
+    "engine.sendRingStalls", "engine.sendRingDrops", "engine.sendRingPeak",
+};
+
+}  // namespace
+
+const char* engineCounterName(std::size_t i) {
+  return i < kEngineCounterCount ? kEngineCounterNames[i] : nullptr;
+}
+
+std::uint64_t engineCounterValue(const AsyncEngineStats& s, std::size_t i) {
+  switch (i) {
+    case 0: return s.recvDatagrams;
+    case 1: return s.recvBatches;
+    case 2: return s.recvRingDrops;
+    case 3: return s.recvRingPeak;
+    case 4: return s.sendDatagrams;
+    case 5: return s.sendBatches;
+    case 6: return s.sendRingStalls;
+    case 7: return s.sendRingDrops;
+    case 8: return s.sendRingPeak;
+    default: return 0;
+  }
+}
+
+void setEngineCounterValue(AsyncEngineStats& s, std::size_t i,
+                           std::uint64_t v) {
+  switch (i) {
+    case 0: s.recvDatagrams = v; break;
+    case 1: s.recvBatches = v; break;
+    case 2: s.recvRingDrops = v; break;
+    case 3: s.recvRingPeak = v; break;
+    case 4: s.sendDatagrams = v; break;
+    case 5: s.sendBatches = v; break;
+    case 6: s.sendRingStalls = v; break;
+    case 7: s.sendRingDrops = v; break;
+    case 8: s.sendRingPeak = v; break;
+    default: break;
+  }
+}
+
+AsyncTransport::AsyncTransport(std::unique_ptr<Transport> inner,
+                               AsyncNetConfig cfg)
+    : inner_(std::move(inner)),
+      cfg_(std::move(cfg)),
+      addr_(inner_->localAddress()),
+      clock_(cfg_.clock ? cfg_.clock : std::function<double()>(&steadySeconds)),
+      recvRing_(cfg_.recvRingCapacity),
+      sendRing_(cfg_.sendRingCapacity) {
+  if (cfg_.trace != nullptr) {
+    recvLane_ = cfg_.trace->registerLane(cfg_.laneName + "/recv");
+    sendLane_ = cfg_.trace->registerLane(cfg_.laneName + "/send");
+  }
+  recvThread_ = std::thread(&AsyncTransport::recvLoop, this);
+  sendThread_ = std::thread(&AsyncTransport::sendLoop, this);
+}
+
+AsyncTransport::~AsyncTransport() {
+  stop_.store(true, std::memory_order_release);
+  if (recvThread_.joinable()) recvThread_.join();
+  // The send thread drains the ring empty before honoring stop_, so
+  // everything staged before this destructor ran (including the CB's
+  // farewell flush) still reaches the wire.
+  if (sendThread_.joinable()) sendThread_.join();
+}
+
+// ---------------------------------------------------------------- tick side
+
+AsyncTransport::SendSlot* AsyncTransport::acquireSendSlot() {
+  SendSlot* s = sendRing_.beginPush();
+  if (s != nullptr) return s;
+  // Full ring: the send thread is behind. Yield it the core a bounded
+  // number of times — on a loaded box this is normally enough — then
+  // drop, because blocking the tick would defeat the whole engine.
+  engine_.sendRingStalls.fetch_add(1, std::memory_order_relaxed);
+  for (int i = 0; i < cfg_.sendStallSpins; ++i) {
+    std::this_thread::yield();
+    s = sendRing_.beginPush();
+    if (s != nullptr) return s;
+  }
+  engine_.sendRingDrops.fetch_add(1, std::memory_order_relaxed);
+  counters_.packetsDropped.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void AsyncTransport::finishPush(std::size_t payloadBytes) {
+  sendRing_.commitPush();
+  counters_.packetsSent.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytesSent.fetch_add(payloadBytes, std::memory_order_relaxed);
+  const std::size_t depth = sendRing_.approxSize();
+  if (depth > engine_.sendRingPeak.load(std::memory_order_relaxed))
+    engine_.sendRingPeak.store(depth, std::memory_order_relaxed);
+}
+
+void AsyncTransport::send(const NodeAddr& dst,
+                          std::span<const std::uint8_t> bytes) {
+  SendSlot* s = acquireSendSlot();
+  if (s == nullptr) return;
+  s->isBroadcast = false;
+  s->dst = dst;
+  s->bytes.assign(bytes.begin(), bytes.end());
+  counters_.framesSent.fetch_add(framesInDatagram(bytes),
+                                 std::memory_order_relaxed);
+  finishPush(bytes.size());
+}
+
+void AsyncTransport::sendv(const NodeAddr& dst,
+                           std::span<const ByteSpan> parts) {
+  SendSlot* s = acquireSendSlot();
+  if (s == nullptr) return;
+  s->isBroadcast = false;
+  s->dst = dst;
+  s->bytes.clear();
+  std::size_t total = 0;
+  for (const ByteSpan p : parts) total += p.size();
+  s->bytes.reserve(total);
+  for (const ByteSpan p : parts)
+    s->bytes.insert(s->bytes.end(), p.begin(), p.end());
+  counters_.framesSent.fetch_add(framesInDatagram(s->bytes),
+                                 std::memory_order_relaxed);
+  finishPush(total);
+}
+
+void AsyncTransport::broadcast(std::uint16_t port,
+                               std::span<const std::uint8_t> bytes) {
+  SendSlot* s = acquireSendSlot();
+  if (s == nullptr) return;
+  s->isBroadcast = true;
+  s->port = port;
+  s->bytes.assign(bytes.begin(), bytes.end());
+  counters_.framesSent.fetch_add(framesInDatagram(bytes),
+                                 std::memory_order_relaxed);
+  finishPush(bytes.size());
+}
+
+std::optional<Datagram> AsyncTransport::receive() {
+  Datagram* slot = recvRing_.front();
+  if (slot == nullptr) return std::nullopt;
+  Datagram out = std::move(*slot);
+  recvRing_.pop();
+  return out;
+}
+
+const TransportStats* AsyncTransport::stats() const {
+  statsSnapshot_.packetsSent =
+      counters_.packetsSent.load(std::memory_order_relaxed);
+  statsSnapshot_.bytesSent =
+      counters_.bytesSent.load(std::memory_order_relaxed);
+  statsSnapshot_.framesSent =
+      counters_.framesSent.load(std::memory_order_relaxed);
+  statsSnapshot_.packetsReceived =
+      counters_.packetsReceived.load(std::memory_order_relaxed);
+  statsSnapshot_.bytesReceived =
+      counters_.bytesReceived.load(std::memory_order_relaxed);
+  statsSnapshot_.framesReceived =
+      counters_.framesReceived.load(std::memory_order_relaxed);
+  statsSnapshot_.packetsDropped =
+      counters_.packetsDropped.load(std::memory_order_relaxed);
+  statsSnapshot_.framesDropped = 0;
+  return &statsSnapshot_;
+}
+
+AsyncEngineStats AsyncTransport::engineStats() const {
+  AsyncEngineStats s;
+  s.recvDatagrams = engine_.recvDatagrams.load(std::memory_order_relaxed);
+  s.recvBatches = engine_.recvBatches.load(std::memory_order_relaxed);
+  s.recvRingDrops = engine_.recvRingDrops.load(std::memory_order_relaxed);
+  s.recvRingPeak = engine_.recvRingPeak.load(std::memory_order_relaxed);
+  s.sendDatagrams = engine_.sendDatagrams.load(std::memory_order_relaxed);
+  s.sendBatches = engine_.sendBatches.load(std::memory_order_relaxed);
+  s.sendRingStalls = engine_.sendRingStalls.load(std::memory_order_relaxed);
+  s.sendRingDrops = engine_.sendRingDrops.load(std::memory_order_relaxed);
+  s.sendRingPeak = engine_.sendRingPeak.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ------------------------------------------------------------- recv thread
+
+void AsyncTransport::recvLoop() {
+  std::vector<Datagram> burst(kRecvBurst);
+  const int fd = inner_->pollableFd();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::size_t n = inner_->receiveBatch({burst.data(), burst.size()});
+    if (n == 0) {
+#ifdef __linux__
+      if (fd >= 0) {
+        pollfd pfd{fd, POLLIN, 0};
+        ::poll(&pfd, 1, 1);  // 1 ms: bounds both latency and shutdown lag
+        continue;
+      }
+#endif
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.idleSleepUsec));
+      continue;
+    }
+    engine_.recvBatches.fetch_add(1, std::memory_order_relaxed);
+    engine_.recvDatagrams.fetch_add(n, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      Datagram* slot = recvRing_.beginPush();
+      if (slot == nullptr) {
+        // Tick thread is behind; shed load here exactly like a full
+        // kernel socket buffer would.
+        engine_.recvRingDrops.fetch_add(n - i, std::memory_order_relaxed);
+        counters_.packetsDropped.fetch_add(n - i, std::memory_order_relaxed);
+        break;
+      }
+      counters_.packetsReceived.fetch_add(1, std::memory_order_relaxed);
+      counters_.bytesReceived.fetch_add(burst[i].payload.size(),
+                                        std::memory_order_relaxed);
+      counters_.framesReceived.fetch_add(framesInDatagram(burst[i].payload),
+                                         std::memory_order_relaxed);
+      // Swap, don't assign: the slot's old vector becomes burst[i]'s
+      // buffer for the next receiveBatch — capacity circulates instead
+      // of being reallocated.
+      slot->src = burst[i].src;
+      slot->dst = burst[i].dst;
+      std::swap(slot->payload, burst[i].payload);
+      recvRing_.commitPush();
+    }
+    const std::size_t depth = recvRing_.approxSize();
+    if (depth > engine_.recvRingPeak.load(std::memory_order_relaxed))
+      engine_.recvRingPeak.store(depth, std::memory_order_relaxed);
+    if (cfg_.trace != nullptr)
+      cfg_.trace->record(telemetry::TraceEventKind::kDatagramRecv, recvLane_,
+                         clock_(), 0.0, n, depth);
+  }
+}
+
+// ------------------------------------------------------------- send thread
+
+void AsyncTransport::sendLoop() {
+  std::vector<OutDatagram> run;
+  run.reserve(kSendBurst);
+  while (true) {
+    SendSlot* head = sendRing_.front();
+    if (head == nullptr) {
+      // Drain-then-exit: stop_ is only honored on an empty ring, so the
+      // CB's farewell frames (staged in ~CB, before ~AsyncTransport)
+      // still go out.
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.idleSleepUsec));
+      continue;
+    }
+    if (head->isBroadcast) {
+      inner_->broadcast(head->port, head->bytes);
+      engine_.sendDatagrams.fetch_add(1, std::memory_order_relaxed);
+      sendRing_.pop();
+      continue;
+    }
+    // Build a run of consecutive unicast datagrams and hand them to the
+    // inner transport as one sendMany burst (one sendmmsg on UDP). The
+    // spans point into ring slots, which stay untouched by the producer
+    // until pop() — so no copy crosses this hop.
+    run.clear();
+    std::size_t count = 0;
+    while (count < kSendBurst) {
+      SendSlot* s = count == 0 ? head : sendRing_.peek(count);
+      if (s == nullptr || s->isBroadcast) break;
+      run.push_back(OutDatagram{s->dst, s->bytes});
+      ++count;
+    }
+    inner_->sendMany(run);
+    engine_.sendBatches.fetch_add(1, std::memory_order_relaxed);
+    engine_.sendDatagrams.fetch_add(count, std::memory_order_relaxed);
+    if (cfg_.trace != nullptr)
+      cfg_.trace->record(telemetry::TraceEventKind::kDatagramSend, sendLane_,
+                         clock_(), 0.0, count, sendRing_.approxSize());
+    sendRing_.pop(count);
+  }
+}
+
+}  // namespace cod::net

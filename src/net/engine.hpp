@@ -1,0 +1,237 @@
+// Async threaded network engine: recv/send threads + lock-free rings.
+//
+// AsyncTransport decorates any Transport and moves its socket work off the
+// tick thread onto two dedicated threads:
+//
+//   recv thread:  inner->receiveBatch() (recvmmsg bursts on UDP) ──▶ recv ring
+//   tick thread:  receive() pops the recv ring; send()/sendv() push the
+//                 send ring (the CB's batch flush gathers its iovec spans
+//                 straight into a ring slot — no intermediate datagram copy
+//                 beyond the one that crosses the thread boundary)
+//   send thread:  send ring ──▶ inner->sendMany() (sendmmsg bursts on UDP)
+//
+// The rings are single-producer/single-consumer, preallocated, power-of-two
+// sized, and wait-free on both ends (bounded-spin-then-drop when the send
+// ring is full, drop-and-count when the recv ring is full — UDP semantics
+// all the way up, never blocking the tick).
+//
+// Threading contract:
+//   - The tick thread is the only caller of send/sendv/sendMany/broadcast/
+//     receive/receiveBatch/stats/engineStats.
+//   - The recv thread is the only caller of inner->receiveBatch(); the
+//     send thread is the only caller of inner->send/sendv/sendMany/
+//     broadcast. A transport sandwiched between AsyncTransport and the
+//     socket (ImpairedTransport) therefore sees two concurrent callers
+//     and must lock internally — ImpairedTransport does.
+//   - Because inner's TransportStats are written by both engine threads,
+//     AsyncTransport keeps its own counters (per-field atomics) and
+//     serves those from stats(); inner->stats() must not be read while
+//     the engine runs.
+//   - Shutdown: stop flag → recv thread exits promptly; send thread
+//     drains the ring empty, then exits; both are joined before the
+//     inner transport is destroyed. Frames staged during ~CB() (the BYE
+//     flush) are therefore still delivered.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "telemetry/trace.hpp"
+
+namespace cod::net {
+
+/// Fixed-capacity single-producer/single-consumer ring over preallocated
+/// slots. Producer: beginPush() → fill the slot in place → commitPush().
+/// Consumer: front() → drain the slot → pop(). Slot objects are never
+/// destroyed between pushes, so vectors inside them keep their heap
+/// capacity across laps — the steady-state hot path does not allocate.
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer: slot to fill, or nullptr when the ring is full.
+  T* beginPush() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cachedTail_ > mask_) {
+      cachedTail_ = tail_.load(std::memory_order_acquire);
+      if (head - cachedTail_ > mask_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+  /// Producer: publish the slot returned by the last beginPush().
+  void commitPush() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  /// Consumer: oldest slot, or nullptr when the ring is empty.
+  T* front() { return peek(0); }
+  /// Consumer: slot at offset `i` from the oldest (for run-building
+  /// without popping — the send thread batches this way), or nullptr
+  /// when fewer than i+1 entries are available.
+  T* peek(std::size_t i) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (cachedHead_ - tail <= i) {
+      cachedHead_ = head_.load(std::memory_order_acquire);
+      if (cachedHead_ - tail <= i) return nullptr;
+    }
+    return &slots_[(tail + i) & mask_];
+  }
+  /// Consumer: release the oldest `n` slots back to the producer.
+  void pop(std::size_t n = 1) {
+    tail_.store(tail_.load(std::memory_order_relaxed) + n,
+                std::memory_order_release);
+  }
+
+  /// Either thread: entry count at some recent instant (racy by nature).
+  std::size_t approxSize() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return head - tail;
+  }
+  bool empty() const { return approxSize() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Producer-owned cursor + its cached view of the consumer cursor, on
+  /// their own cache line so producer writes don't bounce the consumer's.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cachedTail_ = 0;
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cachedHead_ = 0;
+};
+
+/// Engine health counters, snapshotted into telemetry wire v6 records.
+/// Append-only — the order here is the wire order (node_telemetry.cpp).
+struct AsyncEngineStats {
+  std::uint64_t recvDatagrams = 0;   // pulled off the socket
+  std::uint64_t recvBatches = 0;     // receiveBatch calls that returned >0
+  std::uint64_t recvRingDrops = 0;   // datagrams lost to a full recv ring
+  std::uint64_t recvRingPeak = 0;    // high-water recv ring depth
+  std::uint64_t sendDatagrams = 0;   // handed to the inner transport
+  std::uint64_t sendBatches = 0;     // sendMany bursts issued
+  std::uint64_t sendRingStalls = 0;  // pushes that had to spin on a full ring
+  std::uint64_t sendRingDrops = 0;   // datagrams dropped after the spin budget
+  std::uint64_t sendRingPeak = 0;    // high-water send ring depth
+};
+
+inline constexpr std::size_t kEngineCounterCount = 9;
+/// Stable telemetry names for the wire-v6 engine block, in wire order.
+/// Null if out of range.
+const char* engineCounterName(std::size_t i);
+std::uint64_t engineCounterValue(const AsyncEngineStats& s, std::size_t i);
+void setEngineCounterValue(AsyncEngineStats& s, std::size_t i,
+                           std::uint64_t v);
+
+struct AsyncNetConfig {
+  /// Ring capacities (rounded up to powers of two). Sized so a saturated
+  /// tick's worth of datagrams fits with headroom.
+  std::size_t recvRingCapacity = 1024;
+  std::size_t sendRingCapacity = 1024;
+  /// How many yields a full-send-ring push spins before dropping.
+  int sendStallSpins = 64;
+  /// recv thread park time when the socket is idle and there is no
+  /// pollable fd (simulated inner transports), microseconds.
+  int idleSleepUsec = 200;
+  /// Optional trace wiring: lanes "<laneName>/recv" and "<laneName>/send"
+  /// are registered and each syscall burst is recorded (a = datagrams in
+  /// the burst, b = ring depth after).
+  telemetry::TraceRecorder* trace = nullptr;
+  std::string laneName = "async";
+  /// Timestamp source for trace events; defaults to steady-clock seconds.
+  std::function<double()> clock;
+};
+
+/// The async engine. See the file comment for the threading contract.
+class AsyncTransport final : public Transport {
+ public:
+  explicit AsyncTransport(std::unique_ptr<Transport> inner,
+                          AsyncNetConfig cfg = {});
+  ~AsyncTransport() override;
+
+  NodeAddr localAddress() const override { return addr_; }
+  void send(const NodeAddr& dst, std::span<const std::uint8_t> bytes) override;
+  void broadcast(std::uint16_t port,
+                 std::span<const std::uint8_t> bytes) override;
+  std::optional<Datagram> receive() override;
+  /// The CB flush path: gathers `parts` into a send-ring slot (one copy,
+  /// into preallocated slot storage) — never linearizes into a temporary.
+  void sendv(const NodeAddr& dst, std::span<const ByteSpan> parts) override;
+  /// No readiness fd: datagrams surface through the recv ring, which
+  /// receive() polls without a syscall.
+  int pollableFd() const override { return -1; }
+
+  /// This engine's own traffic counters (see the threading contract —
+  /// inner->stats() is off-limits while the engine runs).
+  const TransportStats* stats() const override;
+  AsyncEngineStats engineStats() const;
+
+  Transport& inner() { return *inner_; }
+
+ private:
+  /// One outbound datagram crossing the tick→send-thread boundary.
+  struct SendSlot {
+    bool isBroadcast = false;
+    NodeAddr dst;
+    std::uint16_t port = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void recvLoop();
+  void sendLoop();
+  /// Acquire a send slot, spinning up to cfg_.sendStallSpins yields on a
+  /// full ring; nullptr = give up (caller counts the drop).
+  SendSlot* acquireSendSlot();
+  void finishPush(std::size_t payloadBytes);
+
+  std::unique_ptr<Transport> inner_;
+  AsyncNetConfig cfg_;
+  NodeAddr addr_;
+  std::function<double()> clock_;
+
+  SpscRing<Datagram> recvRing_;
+  SpscRing<SendSlot> sendRing_;
+
+  std::atomic<bool> stop_{false};
+
+  /// Mirrored TransportStats, split by writer thread. Loads/stores are
+  /// relaxed: each field has exactly one writer and the reader only needs
+  /// eventually-consistent counters.
+  struct {
+    std::atomic<std::uint64_t> packetsSent{0}, bytesSent{0}, framesSent{0};
+    std::atomic<std::uint64_t> packetsReceived{0}, bytesReceived{0},
+        framesReceived{0};
+    std::atomic<std::uint64_t> packetsDropped{0};
+  } counters_;
+  struct {
+    std::atomic<std::uint64_t> recvDatagrams{0}, recvBatches{0},
+        recvRingDrops{0}, recvRingPeak{0};
+    std::atomic<std::uint64_t> sendDatagrams{0}, sendBatches{0},
+        sendRingStalls{0}, sendRingDrops{0}, sendRingPeak{0};
+  } engine_;
+  mutable TransportStats statsSnapshot_;
+
+  std::uint16_t recvLane_ = 0;
+  std::uint16_t sendLane_ = 0;
+
+  std::thread recvThread_;
+  std::thread sendThread_;
+};
+
+}  // namespace cod::net

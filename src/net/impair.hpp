@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -98,14 +99,26 @@ class ImpairedTransport final : public Transport {
   /// its own here (see ImpairmentStats).
   const TransportStats* stats() const override { return inner_->stats(); }
 
-  const ImpairmentStats& impairmentStats() const { return stats_; }
+  /// Forwarded so the async engine's recv thread can park on the real
+  /// socket underneath the impairment layer.
+  int pollableFd() const override { return inner_->pollableFd(); }
+
+  /// Snapshot by value: the engine threads mutate these under mu_ while
+  /// the tick thread reads them.
+  ImpairmentStats impairmentStats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   Transport& inner() { return *inner_; }
 
   /// Release every held datagram whose time has come. Called internally
   /// by send/receive; exposed for tests and drain-at-shutdown.
   void pump();
   /// Held datagrams not yet released (outbound and delayed inbound).
-  std::size_t heldCount() const { return queue_.size() + rxQueue_.size(); }
+  std::size_t heldCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size() + rxQueue_.size();
+  }
 
  private:
   struct Held {
@@ -127,6 +140,9 @@ class ImpairedTransport final : public Transport {
   void forward(const Held& h);
   void hold(bool isBroadcast, const NodeAddr& dst, std::uint16_t port,
             std::span<const std::uint8_t> bytes, double dueSec);
+  /// pump() body without the lock, for internal callers already holding
+  /// mu_ (the public pump() would self-deadlock).
+  void pumpLocked();
 
   /// A delayed inbound datagram waiting out its extra latency.
   struct HeldRx {
@@ -142,6 +158,12 @@ class ImpairedTransport final : public Transport {
   std::unique_ptr<Transport> inner_;
   ImpairmentConfig cfg_;
   Clock clock_;
+  /// Serializes the whole decorator — release queues, the shared Rng,
+  /// and (because calls into inner_ happen under it) the inner socket's
+  /// stats counters. The async engine's recv and send threads both go
+  /// through this transport concurrently; without the lock the seeded
+  /// impairment model would be racy and nondeterministic.
+  mutable std::mutex mu_;
   math::Rng rng_;
   ImpairmentStats stats_;
   std::priority_queue<Held, std::vector<Held>, std::greater<Held>> queue_;

@@ -64,6 +64,17 @@ struct TransportStats {
 /// bytes are duplicated here and a protocol test pins the two together.
 std::uint32_t framesInDatagram(std::span<const std::uint8_t> bytes);
 
+/// One scatter-gather fragment of an outbound datagram (iovec-shaped).
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// One datagram of a sendMany() burst. `bytes` must stay valid for the
+/// duration of the call only — implementations either copy or hand the
+/// span straight to the kernel before returning.
+struct OutDatagram {
+  NodeAddr dst;
+  ByteSpan bytes;
+};
+
 /// Unreliable datagram transport endpoint (one "socket").
 ///
 /// All operations are non-blocking; `receive` polls the inbound queue.
@@ -87,6 +98,30 @@ class Transport {
 
   /// Poll one inbound datagram; nullopt when the queue is empty.
   virtual std::optional<Datagram> receive() = 0;
+
+  /// Scatter-gather send: the datagram is the concatenation of `parts`.
+  /// The CB's batch flush uses this so a kBatch container leaves as iovec
+  /// spans over the staging arena instead of being linearized per flush.
+  /// The default implementation gathers into a reused scratch buffer and
+  /// calls send(); transports with a native scatter-gather syscall
+  /// (UdpTransport, via sendmsg) override it.
+  virtual void sendv(const NodeAddr& dst, std::span<const ByteSpan> parts);
+
+  /// Batched send: one call, many datagrams. The default loops send();
+  /// UdpTransport overrides with one sendmmsg syscall per burst — the
+  /// async engine's send thread drains its ring through this.
+  virtual void sendMany(std::span<const OutDatagram> dgrams);
+
+  /// Batched receive: fill up to out.size() datagrams, return how many.
+  /// The default polls receive() in a loop; UdpTransport overrides with
+  /// one recvmmsg syscall per burst (identical delivery order — pinned by
+  /// an equivalence test). Never blocks.
+  virtual std::size_t receiveBatch(std::span<Datagram> out);
+
+  /// A poll(2)-able readiness fd for the receive side, or -1 when the
+  /// transport has none (simulated/in-memory transports). The async
+  /// engine's recv thread parks on this instead of spinning.
+  virtual int pollableFd() const { return -1; }
 
   /// Per-endpoint traffic counters, null if this transport keeps none.
   /// The telemetry subsystem snapshots these into NodeTelemetry records.

@@ -130,25 +130,173 @@ std::optional<NodeAddr> UdpTransport::addrForUdpPort(
   return a;
 }
 
+void UdpTransport::toSockaddr(const NodeAddr& a, void* out) const {
+  auto* sa = static_cast<sockaddr_in*>(out);
+  std::memset(sa, 0, sizeof(*sa));
+  sa->sin_family = AF_INET;
+  sa->sin_port = htons(udpPortFor(a));
+  ::inet_pton(AF_INET, ipForHost(a.host).c_str(), &sa->sin_addr);
+}
+
+void UdpTransport::countSent(std::size_t bytes, std::uint32_t frames) {
+  ++stats_.packetsSent;
+  stats_.bytesSent += bytes;
+  stats_.framesSent += frames;
+}
+
 void UdpTransport::send(const NodeAddr& dst,
                         std::span<const std::uint8_t> bytes) {
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_port = htons(udpPortFor(dst));
-  ::inet_pton(AF_INET, ipForHost(dst.host).c_str(), &sa.sin_addr);
+  sockaddr_in sa;
+  toSockaddr(dst, &sa);
   const ssize_t n =
       ::sendto(fd_, bytes.data(), bytes.size(), 0,
                reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
   if (n >= 0) {
-    ++stats_.packetsSent;
-    stats_.bytesSent += bytes.size();
-    stats_.framesSent += framesInDatagram(bytes);
+    countSent(bytes.size(), framesInDatagram(bytes));
   } else {
     // Local sendto() failure (e.g. ENOBUFS). Not framesDropped: that
     // counter means *inbound* loss to the telemetry monitor, and a real
     // socket cannot attribute network loss at all (transport.hpp).
     ++stats_.packetsDropped;
   }
+}
+
+void UdpTransport::sendv(const NodeAddr& dst,
+                         std::span<const ByteSpan> parts) {
+  constexpr std::size_t kMaxIov = 64;
+  if (parts.size() > kMaxIov) {
+    // A container with hundreds of spans exceeds the stack iovec array;
+    // fall back to the gather-copy path rather than chase IOV_MAX.
+    Transport::sendv(dst, parts);
+    return;
+  }
+  iovec iov[kMaxIov];
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    iov[i].iov_base = const_cast<std::uint8_t*>(parts[i].data());
+    iov[i].iov_len = parts[i].size();
+    total += parts[i].size();
+  }
+  sockaddr_in sa;
+  toSockaddr(dst, &sa);
+  msghdr msg{};
+  msg.msg_name = &sa;
+  msg.msg_namelen = sizeof(sa);
+  msg.msg_iov = iov;
+  msg.msg_iovlen = parts.size();
+  const ssize_t n = ::sendmsg(fd_, &msg, 0);
+  if (n >= 0) {
+    // frames: peek the first 3 bytes across parts (the container header
+    // span is at least that long in practice; runts count as one frame).
+    std::uint8_t head[3];
+    std::size_t got = 0;
+    for (const ByteSpan p : parts) {
+      for (std::size_t i = 0; i < p.size() && got < 3; ++i) head[got++] = p[i];
+      if (got == 3) break;
+    }
+    countSent(total, framesInDatagram({head, got}));
+  } else {
+    ++stats_.packetsDropped;
+  }
+}
+
+bool UdpTransport::mmsgActive() const {
+#ifdef __linux__
+  return useMmsg_;
+#else
+  return false;
+#endif
+}
+
+void UdpTransport::sendMany(std::span<const OutDatagram> dgrams) {
+#ifdef __linux__
+  if (useMmsg_) {
+    std::size_t done = 0;
+    while (done < dgrams.size()) {
+      const std::size_t n = std::min(kMmsgBurst, dgrams.size() - done);
+      mmsghdr msgs[kMmsgBurst];
+      iovec iov[kMmsgBurst];
+      sockaddr_in sas[kMmsgBurst];
+      std::memset(msgs, 0, n * sizeof(mmsghdr));
+      for (std::size_t i = 0; i < n; ++i) {
+        const OutDatagram& d = dgrams[done + i];
+        iov[i].iov_base = const_cast<std::uint8_t*>(d.bytes.data());
+        iov[i].iov_len = d.bytes.size();
+        toSockaddr(d.dst, &sas[i]);
+        msgs[i].msg_hdr.msg_name = &sas[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(sas[i]);
+        msgs[i].msg_hdr.msg_iov = &iov[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int sent =
+          ::sendmmsg(fd_, msgs, static_cast<unsigned int>(n), 0);
+      if (sent <= 0) {
+        // First pending datagram failed (ENOBUFS and kin): count it
+        // dropped — datagrams are independent, exactly as in send() —
+        // and keep going with the rest of the burst.
+        ++stats_.packetsDropped;
+        ++done;
+        continue;
+      }
+      for (int i = 0; i < sent; ++i) {
+        const OutDatagram& d = dgrams[done + i];
+        countSent(d.bytes.size(), framesInDatagram(d.bytes));
+      }
+      done += static_cast<std::size_t>(sent);
+      if (static_cast<std::size_t>(sent) < n) {
+        // sendmmsg stopped early: the next datagram errored. Skip it like
+        // send() would and resume behind it.
+        ++stats_.packetsDropped;
+        ++done;
+      }
+    }
+    return;
+  }
+#endif
+  Transport::sendMany(dgrams);
+}
+
+std::size_t UdpTransport::receiveBatch(std::span<Datagram> out) {
+#ifdef __linux__
+  if (useMmsg_) {
+    constexpr std::size_t kBufBytes = 65536;
+    if (recvBufs_.empty()) recvBufs_.resize(kMmsgBurst * kBufBytes);
+    std::size_t total = 0;
+    while (total < out.size()) {
+      const std::size_t n = std::min(kMmsgBurst, out.size() - total);
+      mmsghdr msgs[kMmsgBurst];
+      iovec iov[kMmsgBurst];
+      sockaddr_in froms[kMmsgBurst];
+      std::memset(msgs, 0, n * sizeof(mmsghdr));
+      for (std::size_t i = 0; i < n; ++i) {
+        iov[i].iov_base = recvBufs_.data() + i * kBufBytes;
+        iov[i].iov_len = kBufBytes;
+        msgs[i].msg_hdr.msg_name = &froms[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+        msgs[i].msg_hdr.msg_iov = &iov[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int got =
+          ::recvmmsg(fd_, msgs, static_cast<unsigned int>(n), 0, nullptr);
+      if (got <= 0) break;  // EWOULDBLOCK: burst drained the socket
+      for (int i = 0; i < got; ++i) {
+        const auto src = addrForUdpPort(ntohs(froms[i].sin_port));
+        if (!src) continue;  // outside our address plan, as in receive()
+        Datagram& d = out[total++];
+        d.src = *src;
+        d.dst = addr_;
+        const std::uint8_t* base = recvBufs_.data() + i * kBufBytes;
+        d.payload.assign(base, base + msgs[i].msg_len);
+        ++stats_.packetsReceived;
+        stats_.bytesReceived += d.payload.size();
+        stats_.framesReceived += framesInDatagram(d.payload);
+      }
+      if (static_cast<std::size_t>(got) < n) break;  // socket drained
+    }
+    return total;
+  }
+#endif
+  return Transport::receiveBatch(out);
 }
 
 void UdpTransport::broadcast(std::uint16_t port,

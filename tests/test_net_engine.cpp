@@ -1,0 +1,460 @@
+// The async network engine: SPSC ring semantics (including the
+// concurrent cases TSan is pointed at), mmsg-vs-fallback syscall
+// equivalence on real sockets, and AsyncTransport end-to-end over
+// loopback — alone and under a full CB.
+#include "net/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/cb.hpp"
+#include "net/udp.hpp"
+#include "telemetry/node_telemetry.hpp"
+#include "telemetry/registry.hpp"
+
+namespace cod::net {
+namespace {
+
+UdpConfig testConfig() {
+  UdpConfig cfg;
+  cfg.portsPerHost = 4;
+  cfg.maxHosts = 4;
+  // Kernel-assigned, not constant: parallel test lanes (or a concurrent
+  // soak run) must not race each other for a fixed port range.
+  cfg.basePort = pickEphemeralBasePort(
+      static_cast<std::uint16_t>(cfg.portsPerHost * cfg.maxHosts));
+  return cfg;
+}
+
+std::optional<Datagram> receiveWithRetry(Transport& t, int attempts = 500) {
+  for (int i = 0; i < attempts; ++i) {
+    if (auto d = t.receive()) return d;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return std::nullopt;
+}
+
+// Drain up to `want` datagrams, polling until `attempts` empty polls in a
+// row (loopback delivery is fast but not instantaneous).
+std::vector<Datagram> drain(Transport& t, std::size_t want,
+                            int attempts = 500) {
+  std::vector<Datagram> got;
+  int idle = 0;
+  while (got.size() < want && idle < attempts) {
+    std::array<Datagram, 8> burst;
+    const std::size_t n = t.receiveBatch(burst);
+    if (n == 0) {
+      ++idle;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    idle = 0;
+    for (std::size_t i = 0; i < n; ++i) got.push_back(std::move(burst[i]));
+  }
+  return got;
+}
+
+std::vector<std::uint8_t> numberedPayload(std::uint8_t tag, std::size_t len) {
+  std::vector<std::uint8_t> p(len);
+  for (std::size_t i = 0; i < len; ++i)
+    p[i] = static_cast<std::uint8_t>(tag + i);
+  return p;
+}
+
+// ---- SpscRing ----------------------------------------------------------
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoAcrossManyWraparounds) {
+  SpscRing<int> ring(4);  // tiny: every 4 pushes lap the buffer
+  int next = 0;
+  for (int i = 0; i < 1000; ++i) {
+    int* slot = ring.beginPush();
+    ASSERT_NE(slot, nullptr);
+    *slot = i;
+    ring.commitPush();
+    if (i % 3 == 2) {  // drain in a different cadence than the fill
+      for (int k = 0; k < 3; ++k) {
+        int* f = ring.front();
+        ASSERT_NE(f, nullptr);
+        EXPECT_EQ(*f, next++);
+        ring.pop();
+      }
+    }
+  }
+  while (int* f = ring.front()) {
+    EXPECT_EQ(*f, next++);
+    ring.pop();
+  }
+  EXPECT_EQ(next, 1000);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, FullRingRefusesUntilDrained) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    int* slot = ring.beginPush();
+    ASSERT_NE(slot, nullptr);
+    *slot = i;
+    ring.commitPush();
+  }
+  EXPECT_EQ(ring.beginPush(), nullptr);
+  EXPECT_EQ(ring.approxSize(), 4u);
+  ring.pop();
+  int* slot = ring.beginPush();
+  ASSERT_NE(slot, nullptr);
+  *slot = 4;
+  ring.commitPush();
+  EXPECT_EQ(ring.beginPush(), nullptr);  // full again
+}
+
+TEST(SpscRing, PeekBuildsRunsWithoutPopping) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    *ring.beginPush() = 10 + i;
+    ring.commitPush();
+  }
+  for (int i = 0; i < 5; ++i) {
+    int* p = ring.peek(static_cast<std::size_t>(i));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 10 + i);
+  }
+  EXPECT_EQ(ring.peek(5), nullptr);
+  ring.pop(3);  // release the run in one step, like the send thread
+  ASSERT_NE(ring.front(), nullptr);
+  EXPECT_EQ(*ring.front(), 13);
+  EXPECT_EQ(ring.approxSize(), 2u);
+}
+
+TEST(SpscRing, SlotStorageSurvivesLaps) {
+  // The whole point of begin/commit: vectors inside slots keep their
+  // heap capacity across laps, so steady state does not allocate.
+  SpscRing<std::vector<std::uint8_t>> ring(2);
+  ring.beginPush()->assign(4096, 0xAB);
+  ring.commitPush();
+  const std::uint8_t* heap = ring.front()->data();
+  const std::size_t cap = ring.front()->capacity();
+  ring.front()->clear();  // consumer drains but does not shrink
+  ring.pop();
+  for (int lap = 0; lap < 8; ++lap) {
+    std::vector<std::uint8_t>* slot = ring.beginPush();
+    ASSERT_LE(slot->size(), slot->capacity());
+    slot->resize(4096);
+    ring.commitPush();
+    if (slot->data() == heap) {
+      EXPECT_EQ(slot->capacity(), cap);
+    }
+    ring.front()->clear();
+    ring.pop();
+  }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerStress) {
+  // One producer thread, one consumer thread, a ring small enough that
+  // both full and empty edges are hit constantly. Run under
+  // COD_SANITIZE=thread this is the engine's memory-ordering proof.
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> ring(16);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (std::uint64_t* slot = ring.beginPush()) {
+        *slot = i * 2654435761u;  // value derived from index, not index
+        ring.commitPush();
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::uint64_t seen = 0;
+  bool ok = true;
+  while (seen < kCount) {
+    if (std::uint64_t* f = ring.front()) {
+      ok = ok && (*f == seen * 2654435761u);
+      ring.pop();
+      ++seen;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ok) << "ring reordered or corrupted a value";
+  EXPECT_TRUE(ring.empty());
+}
+
+// ---- Engine counter table ----------------------------------------------
+
+TEST(EngineStats, CounterAccessorsRoundTrip) {
+  AsyncEngineStats s;
+  for (std::size_t i = 0; i < kEngineCounterCount; ++i)
+    setEngineCounterValue(s, i, 100 + i);
+  EXPECT_EQ(s.recvDatagrams, 100u);
+  EXPECT_EQ(s.sendRingPeak, 108u);
+  for (std::size_t i = 0; i < kEngineCounterCount; ++i) {
+    EXPECT_EQ(engineCounterValue(s, i), 100 + i) << engineCounterName(i);
+    EXPECT_NE(engineCounterName(i), nullptr);
+  }
+}
+
+// ---- mmsg syscalls vs portable fallback --------------------------------
+
+TEST(UdpMmsg, ReceiveBatchMatchesFallback) {
+  // The same 12 datagrams, read once through recvmmsg and once through
+  // the portable one-recvfrom-per-datagram fallback: identical payload
+  // sequences (loopback preserves order per flow).
+  const UdpConfig cfg = testConfig();
+  UdpTransport a(cfg, 0, 0);
+  UdpTransport b(cfg, 1, 0);
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (std::uint8_t i = 0; i < 12; ++i)
+    sent.push_back(numberedPayload(i, 32 + i));
+
+  for (const bool mmsg : {true, false}) {
+    b.useMmsgSyscalls(mmsg);
+    for (const auto& p : sent) a.send({1, 0}, p);
+    const auto got = drain(b, sent.size());
+    ASSERT_EQ(got.size(), sent.size()) << "mmsg=" << mmsg;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].payload, sent[i]) << "mmsg=" << mmsg << " i=" << i;
+      EXPECT_EQ(got[i].src, (NodeAddr{0, 0}));
+      EXPECT_EQ(got[i].dst, (NodeAddr{1, 0}));
+    }
+  }
+}
+
+TEST(UdpMmsg, SendManyMatchesIndividualSends) {
+  const UdpConfig cfg = testConfig();
+  UdpTransport a(cfg, 0, 1);
+  UdpTransport b(cfg, 1, 1);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (std::uint8_t i = 0; i < 10; ++i)
+    payloads.push_back(numberedPayload(static_cast<std::uint8_t>(0x40 + i),
+                                       16 + i));
+  for (const bool mmsg : {true, false}) {
+    a.useMmsgSyscalls(mmsg);
+    std::vector<OutDatagram> burst;
+    for (const auto& p : payloads) burst.push_back({{1, 1}, p});
+    a.sendMany(burst);
+    const auto got = drain(b, payloads.size());
+    ASSERT_EQ(got.size(), payloads.size()) << "mmsg=" << mmsg;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i].payload, payloads[i]) << "mmsg=" << mmsg;
+  }
+  const TransportStats* st = a.stats();
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->packetsSent, 2 * payloads.size());
+  EXPECT_EQ(st->packetsDropped, 0u);
+}
+
+TEST(UdpMmsg, SendvGathersToOneDatagram) {
+  // A scatter-gather send must land as ONE datagram whose payload is the
+  // concatenation of the parts — exactly what send() of the linearized
+  // buffer produces.
+  const UdpConfig cfg = testConfig();
+  UdpTransport a(cfg, 0, 2);
+  UdpTransport b(cfg, 1, 2);
+  const std::vector<std::uint8_t> h{0xAA, 0xBB};
+  const std::vector<std::uint8_t> mid = numberedPayload(1, 100);
+  const std::vector<std::uint8_t> tail{0xEE};
+  std::vector<std::uint8_t> linear;
+  linear.insert(linear.end(), h.begin(), h.end());
+  linear.insert(linear.end(), mid.begin(), mid.end());
+  linear.insert(linear.end(), tail.begin(), tail.end());
+
+  const std::array<ByteSpan, 3> parts{ByteSpan{h}, ByteSpan{mid},
+                                      ByteSpan{tail}};
+  a.sendv({1, 2}, parts);
+  const auto d = receiveWithRetry(b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, linear);
+  EXPECT_FALSE(b.receive().has_value()) << "sendv split into >1 datagram";
+}
+
+TEST(UdpMmsg, BurstLargerThanOneSyscallBatch) {
+  // More datagrams than kMmsgBurst: the loop must issue multiple
+  // sendmmsg/recvmmsg calls and lose nothing.
+  const UdpConfig cfg = testConfig();
+  UdpTransport a(cfg, 0, 3);
+  UdpTransport b(cfg, 1, 3);
+  const std::size_t n = UdpTransport::kMmsgBurst * 2 + 5;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (std::size_t i = 0; i < n; ++i)
+    payloads.push_back(numberedPayload(static_cast<std::uint8_t>(i), 8));
+  std::vector<OutDatagram> burst;
+  for (const auto& p : payloads) burst.push_back({{1, 3}, p});
+  a.sendMany(burst);
+  const auto got = drain(b, n);
+  ASSERT_EQ(got.size(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(got[i].payload, payloads[i]);
+}
+
+// ---- AsyncTransport over loopback --------------------------------------
+
+TEST(AsyncEngine, LoopbackSmoke) {
+  const UdpConfig cfg = testConfig();
+  AsyncNetConfig acfg;
+  acfg.laneName = "test-a";
+  AsyncTransport a(std::make_unique<UdpTransport>(cfg, 0, 0), acfg);
+  AsyncNetConfig bcfg;
+  bcfg.laneName = "test-b";
+  AsyncTransport b(std::make_unique<UdpTransport>(cfg, 1, 0), bcfg);
+
+  EXPECT_EQ(a.localAddress(), (NodeAddr{0, 0}));
+  const auto payload = numberedPayload(7, 64);
+  a.send({1, 0}, payload);
+  const auto d = receiveWithRetry(b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload, payload);
+  EXPECT_EQ(d->src, (NodeAddr{0, 0}));
+
+  // sendv crosses the ring as one gathered datagram.
+  const std::vector<std::uint8_t> p1{1, 2, 3};
+  const std::vector<std::uint8_t> p2{4, 5};
+  const std::array<ByteSpan, 2> parts{ByteSpan{p1}, ByteSpan{p2}};
+  a.sendv({1, 0}, parts);
+  const auto d2 = receiveWithRetry(b);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(d2->payload, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+
+  // Broadcast crosses the engine too.
+  a.broadcast(0, std::vector<std::uint8_t>{99});
+  const auto d3 = receiveWithRetry(b);
+  ASSERT_TRUE(d3.has_value());
+  EXPECT_EQ(d3->payload, (std::vector<std::uint8_t>{99}));
+
+  // The engine's own stats saw the traffic; engineStats counts syscall
+  // batches and ring traffic on both ends.
+  const TransportStats* st = a.stats();
+  ASSERT_NE(st, nullptr);
+  EXPECT_GE(st->packetsSent, 3u);
+  const AsyncEngineStats ea = a.engineStats();
+  EXPECT_GE(ea.sendDatagrams, 3u);
+  EXPECT_GE(ea.sendBatches, 1u);
+  const AsyncEngineStats eb = b.engineStats();
+  EXPECT_GE(eb.recvDatagrams, 3u);
+  EXPECT_GE(eb.recvBatches, 1u);
+  EXPECT_GE(eb.recvRingPeak, 1u);
+  EXPECT_GE(b.stats()->packetsReceived, 3u);
+}
+
+TEST(AsyncEngine, ShutdownDrainsStagedSends) {
+  // Destroying the engine right after staging a burst must still deliver
+  // it: the send thread drains the ring before honoring the stop flag
+  // (this is what carries the CB's farewell BYE flush).
+  const UdpConfig cfg = testConfig();
+  UdpTransport receiver(cfg, 1, 1);
+  const std::size_t n = 20;
+  {
+    AsyncTransport a(std::make_unique<UdpTransport>(cfg, 0, 1), {});
+    for (std::size_t i = 0; i < n; ++i)
+      a.send({1, 1}, numberedPayload(static_cast<std::uint8_t>(i), 16));
+  }  // ~AsyncTransport: drain, join, then inner teardown
+  const auto got = drain(receiver, n);
+  EXPECT_EQ(got.size(), n);
+}
+
+TEST(AsyncEngine, FullSendRingDropsAndCounts) {
+  // A tiny ring with no consumer fast enough: pushes past capacity must
+  // drop-and-count, never block the caller forever or crash.
+  const UdpConfig cfg = testConfig();
+  AsyncNetConfig acfg;
+  acfg.sendRingCapacity = 4;
+  acfg.sendStallSpins = 1;
+  AsyncTransport a(std::make_unique<UdpTransport>(cfg, 0, 2), acfg);
+  const auto payload = numberedPayload(3, 1200);
+  for (int i = 0; i < 5000; ++i) a.send({1, 2}, payload);
+  // Every call is accounted for: it either entered the ring (packetsSent,
+  // counted at push time) or dropped after the spin budget.
+  const AsyncEngineStats es = a.engineStats();
+  EXPECT_EQ(a.stats()->packetsSent + es.sendRingDrops, 5000u);
+  EXPECT_LE(es.sendRingPeak, 4u);
+}
+
+// ---- Full CB over the async engine -------------------------------------
+
+double wallClock() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+class RecordingLp : public core::LogicalProcess {
+ public:
+  RecordingLp() : LogicalProcess("lp") {}
+  std::vector<double> values;
+  void reflectAttributeValues(const std::string&, const core::AttributeSet& a,
+                              double) override {
+    values.push_back(a.getDouble("v"));
+  }
+};
+
+TEST(AsyncEngine, CbEndToEndWithAsyncNet) {
+  const UdpConfig cfg = testConfig();
+  core::CommunicationBackbone::Config cbCfg;
+  cbCfg.broadcastIntervalSec = 0.01;
+  cbCfg.asyncNet = true;
+  core::CommunicationBackbone cbA(
+      "async-a", std::make_unique<UdpTransport>(cfg, 0, 3), cbCfg);
+  core::CommunicationBackbone cbB(
+      "async-b", std::make_unique<UdpTransport>(cfg, 1, 3), cbCfg);
+  ASSERT_NE(cbA.asyncEngine(), nullptr);
+  ASSERT_NE(cbB.asyncEngine(), nullptr);
+
+  RecordingLp pub, sub;
+  cbA.attach(pub);
+  const auto h = cbA.publishObjectClass(pub, "async.demo");
+  cbB.attach(sub);
+  const auto sh = cbB.subscribeObjectClass(sub, "async.demo");
+
+  const double deadline = wallClock() + 5.0;
+  while (!cbB.connected(sh) && wallClock() < deadline) {
+    cbA.tick(wallClock());
+    cbB.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(cbB.connected(sh)) << "discovery did not converge over the "
+                                    "async engine";
+
+  for (int i = 0; i < 50; ++i) {
+    core::AttributeSet a;
+    a.set("v", static_cast<double>(i));
+    cbA.updateAttributeValues(h, a, wallClock());
+    cbA.tick(wallClock());
+    cbB.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const double drainDeadline = wallClock() + 1.0;
+  while (sub.values.size() < 50 && wallClock() < drainDeadline) {
+    cbB.tick(wallClock());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(sub.values.size(), 45u);
+  for (std::size_t i = 1; i < sub.values.size(); ++i)
+    EXPECT_LT(sub.values[i - 1], sub.values[i]);
+
+  // Engine health is visible and flows into wire-v6 telemetry.
+  const AsyncEngineStats es = cbA.asyncEngine()->engineStats();
+  EXPECT_GT(es.sendDatagrams, 0u);
+  EXPECT_GT(cbB.asyncEngine()->engineStats().recvDatagrams, 0u);
+  telemetry::StatRegistry reg(cbA);
+  const telemetry::NodeTelemetry t = reg.snapshot(wallClock());
+  EXPECT_TRUE(t.asyncNet);
+  EXPECT_GT(t.engine[4], 0u);  // engine.sendDatagrams
+  const auto bytes = telemetry::encodeTelemetry(t);
+  EXPECT_EQ(bytes[0], telemetry::kTelemetryVersionAsync);
+  const auto decoded = telemetry::decodeTelemetry(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->engine, t.engine);
+}
+
+}  // namespace
+}  // namespace cod::net

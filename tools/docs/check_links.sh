@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Verify every intra-repo markdown link resolves to a real file.
+#
+#   usage: tools/docs/check_links.sh [repo-root]
+#
+# Scans every tracked *.md outside build trees for inline links
+# [text](target), skips external schemes (http/https/mailto) and
+# pure-anchor links (#section), strips #anchors from file targets, and
+# resolves the rest relative to the linking file (or the repo root for
+# /absolute-style targets). Exits non-zero listing every broken link —
+# CI runs this so a docs reorganization cannot silently orphan the
+# cross-references that make the docs navigable.
+set -uo pipefail
+
+ROOT="${1:-.}"
+cd "${ROOT}" || exit 1
+
+broken=0
+checked=0
+
+# Markdown files: prefer git's view (tracked files only); fall back to
+# find for exported trees without .git.
+if git rev-parse --git-dir >/dev/null 2>&1; then
+  mapfile -t files < <(git ls-files '*.md')
+else
+  mapfile -t files < <(find . -name '*.md' -not -path './build*/*' \
+                       -not -path './.git/*' | sed 's|^\./||')
+fi
+
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "error: no markdown files found under ${ROOT}" >&2
+  exit 1
+fi
+
+for f in "${files[@]}"; do
+  # The paper-retrieval archives carry figure links into assets that were
+  # never vendored; they are source material, not navigable docs.
+  case "${f}" in
+    PAPER.md|PAPERS.md|SNIPPETS.md) continue ;;
+  esac
+  dir="$(dirname "${f}")"
+  # Inline links only (reference-style defs are rare here); one per line
+  # via grep -o so multiple links on a line are all seen. The pattern
+  # deliberately rejects targets with spaces/parens — our docs do not
+  # use them, and anything weirder should fail loudly anyway.
+  while IFS= read -r target; do
+    case "${target}" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -z "${path}" ]] && continue
+    if [[ "${path}" = /* ]]; then
+      resolved=".${path}"
+    else
+      resolved="${dir}/${path}"
+    fi
+    checked=$((checked + 1))
+    if [[ ! -e "${resolved}" ]]; then
+      echo "BROKEN: ${f}: (${target}) -> ${resolved}" >&2
+      broken=$((broken + 1))
+    fi
+  done < <(grep -o '\[[^][]*\]([^()[:space:]]*)' "${f}" 2>/dev/null \
+           | sed 's/^\[[^][]*\](//; s/)$//')
+done
+
+echo "checked ${checked} intra-repo links across ${#files[@]} markdown files"
+if [[ "${broken}" -ne 0 ]]; then
+  echo "error: ${broken} broken link(s)" >&2
+  exit 1
+fi
